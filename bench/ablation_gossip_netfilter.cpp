@@ -1,0 +1,68 @@
+// Ablation — hierarchical netFilter vs gossip-based netFilter (the
+// paper's §VI future work, implemented in core/gossip_netfilter.h).
+//
+// Same workload, same overlay, two substrates. Hierarchical netFilter is
+// exact and cheap but needs a maintained tree; the gossip variant needs no
+// tree at all, at the price of more traffic (push-sum rounds) and
+// approximate values. The sweep over gossip rounds shows the accuracy
+// money buys.
+#include "bench/bench_util.h"
+
+#include "core/gossip_netfilter.h"
+
+int main(int argc, char** argv) {
+  using namespace nf;
+  const auto cli = bench::Cli::parse(argc, argv);
+
+  bench::Params params;
+  params.num_peers = 500;
+  params.num_items = 50000;
+  params.seed = cli.seed;
+  bench::Env env(params);
+  {
+    // Gossip needs a connected, non-tree overlay to mix.
+    Rng rng(cli.seed + 5);
+    env.overlay = net::Overlay(net::random_connected(500, 6.0, rng));
+    env.hierarchy = agg::build_bfs_hierarchy(env.overlay, PeerId(0));
+  }
+  const Value t = env.threshold();
+  const auto oracle = env.workload.frequent_items(t);
+
+  std::cout << "# Ablation: hierarchical vs gossip-based netFilter "
+               "(N=500, n=5*10^4, theta=0.01)\n"
+            << "# oracle: " << oracle.size() << " frequent items at t=" << t
+            << "\n";
+
+  bench::banner("hierarchical netFilter (exact, needs tree maintenance)",
+                "baseline for cost and accuracy");
+  const auto exact = env.run_netfilter(200, 3);
+  TableWriter ht({"bytes/peer", "rounds", "fp", "fn", "max_rel_err"},
+                 std::cout, 14);
+  ht.row(exact.stats.total_cost(),
+         exact.stats.rounds_filtering + exact.stats.rounds_verification, 0,
+         0, 0.0);
+
+  bench::banner("gossip netFilter at increasing round budgets",
+                "no false negatives once rounds suffice; value error and "
+                "borderline false positives shrink with rounds; cost is "
+                "one to two orders above hierarchical");
+  TableWriter table({"rounds/phase", "bytes/peer", "reported", "fp", "fn",
+                     "max_rel_err"},
+                    std::cout, 14);
+  for (std::uint32_t rounds : {30u, 60u, 120u}) {
+    core::GossipNetFilterConfig cfg;
+    cfg.num_groups = 200;
+    cfg.num_filters = 3;
+    cfg.phase1_rounds = rounds;
+    cfg.phase2_rounds = rounds;
+    cfg.seed = cli.seed;
+    const core::GossipNetFilter gnf(cfg);
+    net::TrafficMeter meter(params.num_peers);
+    const auto res = gnf.run(env.workload, env.overlay, PeerId(0), meter, t,
+                             &oracle);
+    table.row(rounds, res.stats.total_cost(), res.stats.num_reported,
+              res.stats.false_positives, res.stats.false_negatives,
+              res.stats.max_value_rel_error);
+  }
+  return 0;
+}

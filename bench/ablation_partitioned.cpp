@@ -1,0 +1,63 @@
+// Ablation — partitioned netFilter over k replicated hierarchies
+// (§III-A.1's multi-hierarchy suggestion realized as load balancing).
+//
+// Same workload and parameters, k = 1..4 hierarchies. Exactness is
+// invariant; what moves is the load profile: the busiest peer (the root
+// under k=1) sheds work as slices spread across roots, while the average
+// per-peer cost barely moves (each peer serves k trees but each tree
+// carries 1/k of the data).
+#include "bench/bench_util.h"
+
+#include "core/partitioned.h"
+
+int main(int argc, char** argv) {
+  using namespace nf;
+  const auto cli = bench::Cli::parse(argc, argv);
+
+  bench::Params params;
+  params.seed = cli.seed;
+  bench::Env env(params);
+  {
+    // A connected graph gives the replicas genuinely different trees.
+    Rng rng(cli.seed + 3);
+    env.overlay = net::Overlay(net::random_connected(1000, 4.0, rng));
+    env.hierarchy = agg::build_bfs_hierarchy(env.overlay, PeerId(0));
+  }
+  const Value t = env.threshold();
+  const auto oracle = env.workload.frequent_items(t);
+
+  std::cout << "# Ablation: partitioned netFilter over k hierarchies "
+               "(N=1000, n=10^5, g=100, f=4)\n";
+  bench::banner(
+      "load profile vs partition count",
+      "root-adjacent hotspot drops ~k-fold; avg cost flat; always exact. "
+      "The global max moves less: on any overlay the BFS-central peers "
+      "relay large candidate unions for every root — partitioning "
+      "balances the roots (the paper's stated bottleneck concern), not "
+      "the graph's center");
+  TableWriter table({"k", "avg_bytes/peer", "root_area_max", "global_max",
+                     "exact"},
+                    std::cout, 16);
+
+  core::NetFilterConfig cfg;
+  cfg.num_groups = 100;
+  cfg.num_filters = 4;
+  const core::PartitionedNetFilter pnf(cfg);
+  for (std::uint32_t k = 1; k <= 4; ++k) {
+    Rng rng(cli.seed + 7);
+    const auto mh = agg::MultiHierarchy::build_random(env.overlay, k, rng);
+    net::TrafficMeter meter(1000);
+    const auto res = pnf.run(env.workload, mh, env.overlay, meter, t);
+    // Hotspot in the root areas: the busiest direct child of any root
+    // (roots themselves only receive; senders are charged).
+    std::uint64_t root_area_max = 0;
+    for (std::uint32_t s = 0; s < k; ++s) {
+      for (PeerId c : mh.at(s).downstream(mh.at(s).root())) {
+        root_area_max = std::max(root_area_max, meter.peer_total(c));
+      }
+    }
+    table.row(k, meter.per_peer(), root_area_max, meter.max_peer_total(),
+              res.frequent == oracle ? "yes" : "NO");
+  }
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Analysis check — measured cost vs the closed-form model (paper §IV,
+// Formulae 1-4).
+//
+// For each g the simulator's measured per-peer costs are printed next to
+// the model's prediction assembled from the measured w, r and fp
+// (Formula 1), and the predicted heterogeneous false positives (Formula 4)
+// next to the measured count. Filtering and dissemination components are
+// exact by construction; aggregation is an upper bound (deep peers carry
+// fewer candidates), so model >= measured with the gap shrinking as the
+// candidate set shrinks.
+#include "bench/bench_util.h"
+
+#include "core/cost_model.h"
+
+int main(int argc, char** argv) {
+  using namespace nf;
+  using namespace nf::core;
+  const auto cli = bench::Cli::parse(argc, argv);
+
+  bench::Params params;
+  params.seed = cli.seed;
+  bench::Env env(params);
+  const WireSizes wire;
+  const auto r =
+      static_cast<double>(env.workload.frequent_items(env.threshold()).size());
+  const auto n = static_cast<double>(env.workload.num_distinct());
+
+  std::cout << "# Cost-model validation (Formulae 1, 2, 4)\n"
+            << "# defaults: N=1000, n=10^5, theta=0.01, alpha=1, f=3\n";
+  bench::banner("Formula 1 vs measured total cost across g",
+                "model tracks measurement; filtering/dissemination exact, "
+                "aggregation an upper bound");
+  TableWriter table({"g", "measured", "model(F1)", "fp_measured",
+                     "fp_model(F4)"},
+                    std::cout, 16);
+  for (std::uint32_t g : {50u, 100u, 200u, 400u}) {
+    const auto res = env.run_netfilter(g, 3);
+    const double w_per_filter =
+        static_cast<double>(res.stats.heavy_groups_total) / 3.0;
+    const double model = cost_model::netfilter_cost(
+        wire, 3, g, w_per_filter, static_cast<double>(res.stats.num_frequent),
+        static_cast<double>(res.stats.num_false_positives));
+    const double fp_model = cost_model::expected_fp2(n, r, g, 3);
+    table.row(g, res.stats.total_cost(), model,
+              res.stats.num_false_positives, fp_model);
+  }
+
+  bench::banner("Formula 2 bounds vs measured naive cost",
+                "(sa+si)*o <= C_naive <= (sa+si)*o*(h-1)");
+  const auto naive = env.run_naive();
+  const double o = env.workload.avg_local_distinct();
+  TableWriter bounds({"lower", "measured", "upper", "o", "height"},
+                     std::cout, 16);
+  bounds.row(cost_model::naive_cost_lower(wire, o),
+             naive.stats.cost_per_peer,
+             cost_model::naive_cost_upper(wire, o, env.hierarchy.height()), o,
+             env.hierarchy.height());
+  return 0;
+}

@@ -1,0 +1,115 @@
+// Shared experiment plumbing for the bench binaries.
+//
+// Every binary reproduces one table/figure of the paper's evaluation (§V)
+// under the Table III defaults:
+//   N = 1000 peers, n = 10^5 items, 10·n instances, θ = 0.01, α = 1,
+//   b = 3 downstream neighbors, sa = sg = si = 4 bytes.
+//
+// Flags (shared): --quick scales the 10^6-item experiments down 10x for CI
+// runs; --seed=S changes the master seed.
+#pragma once
+
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "agg/hierarchy.h"
+#include "common/table.h"
+#include "core/naive.h"
+#include "core/netfilter.h"
+#include "net/topology.h"
+#include "workload/workload.h"
+
+namespace nf::bench {
+
+struct Params {
+  std::uint32_t num_peers = 1000;    ///< N
+  std::uint64_t num_items = 100000;  ///< n
+  double alpha = 1.0;                ///< Zipf skewness
+  double theta = 0.01;               ///< threshold ratio
+  std::uint32_t fanout = 3;          ///< b
+  std::uint64_t seed = 42;
+};
+
+/// Workload + overlay + hierarchy, built once and shared across a sweep.
+struct Env {
+  explicit Env(const Params& p)
+      : params(p),
+        workload([&] {
+          wl::WorkloadConfig cfg;
+          cfg.num_peers = p.num_peers;
+          cfg.num_items = p.num_items;
+          cfg.alpha = p.alpha;
+          cfg.seed = p.seed;
+          return wl::Workload::generate(cfg);
+        }()),
+        overlay([&] {
+          Rng rng(p.seed + 1);
+          return net::Overlay(net::random_tree(p.num_peers, p.fanout, rng));
+        }()),
+        hierarchy(agg::build_bfs_hierarchy(overlay, PeerId(0))) {}
+
+  [[nodiscard]] Value threshold() const {
+    return workload.threshold_for(params.theta);
+  }
+
+  [[nodiscard]] core::NetFilterResult run_netfilter(std::uint32_t g,
+                                                    std::uint32_t f) {
+    net::TrafficMeter meter(params.num_peers);
+    core::NetFilterConfig cfg;
+    cfg.num_groups = g;
+    cfg.num_filters = f;
+    const core::NetFilter nf(cfg);
+    return nf.run(workload, hierarchy, overlay, meter, threshold());
+  }
+
+  [[nodiscard]] core::NaiveResult run_naive() {
+    net::TrafficMeter meter(params.num_peers);
+    const core::NaiveCollector naive{WireSizes{}};
+    return naive.run(workload, hierarchy, overlay, meter, threshold());
+  }
+
+  Params params;
+  wl::Workload workload;
+  net::Overlay overlay;
+  agg::Hierarchy hierarchy;
+};
+
+struct Cli {
+  bool quick = false;
+  std::uint64_t seed = 42;
+
+  static Cli parse(int argc, char** argv) {
+    Cli cli;
+    for (int i = 1; i < argc; ++i) {
+      const std::string_view arg = argv[i];
+      if (arg == "--quick") {
+        cli.quick = true;
+      } else if (arg.rfind("--seed=", 0) == 0) {
+        cli.seed = std::stoull(std::string(arg.substr(7)));
+      } else if (arg == "--help" || arg == "-h") {
+        std::cout << "flags: --quick (scale 10^6-item runs down 10x), "
+                     "--seed=S\n";
+        std::exit(0);
+      } else {
+        std::cerr << "unknown flag: " << arg << "\n";
+        std::exit(2);
+      }
+    }
+    return cli;
+  }
+
+  /// n for the paper's 10^6-item experiments, honoring --quick.
+  [[nodiscard]] std::uint64_t large_n() const {
+    return quick ? 100000ull : 1000000ull;
+  }
+};
+
+inline void banner(std::string_view title, std::string_view expectation) {
+  std::cout << "\n## " << title << "\n#  paper expectation: " << expectation
+            << "\n";
+}
+
+}  // namespace nf::bench

@@ -1,0 +1,52 @@
+// Figure 8 — effect of the threshold ratio θ (paper §V-D).
+//
+// n = 10^6, sweep Zipf α from 0 to 5 for θ ∈ {0.1, 0.01, 0.001} with the
+// paper's optimal settings (g, f) = (10, 6), (100, 5), (1000, 2), plus the
+// naive baseline. Expected shapes: larger θ means fewer qualifying items
+// and lower cost; netFilter beats naive at every θ.
+#include "bench/bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace nf;
+  const auto cli = bench::Cli::parse(argc, argv);
+
+  struct Setting {
+    double theta;
+    std::uint32_t g;
+    std::uint32_t f;
+  };
+  const Setting settings[] = {{0.1, 10, 6}, {0.01, 100, 5}, {0.001, 1000, 2}};
+
+  std::cout << "# Figure 8: effect of threshold (N=1000, n=10^6)\n";
+  bench::banner(
+      "Figure 8: cost vs skewness for three thresholds + naive",
+      "cost decreases as theta grows; netFilter below naive at every theta");
+
+  TableWriter table({"alpha", "nf theta=.001", "nf theta=.01",
+                     "nf theta=.1", "naive"},
+                    std::cout, 16);
+  for (double alpha : {0.0, 1.0, 2.0, 3.0, 4.0, 5.0}) {
+    bench::Params params;
+    params.num_items = cli.large_n();
+    params.alpha = alpha;
+    params.seed = cli.seed;
+
+    double cost[3] = {0, 0, 0};
+    double naive_cost = 0;
+    // One workload per alpha, shared across the three thresholds.
+    bench::Env env(params);
+    for (int i = 0; i < 3; ++i) {
+      env.params.theta = settings[i].theta;
+      cost[i] =
+          env.run_netfilter(settings[i].g, settings[i].f).stats.total_cost();
+    }
+    env.params.theta = 0.01;
+    naive_cost = env.run_naive().stats.cost_per_peer;
+    table.row(alpha, cost[2], cost[1], cost[0], naive_cost);
+  }
+  if (cli.quick) {
+    std::cout << "# (--quick: n scaled to 10^5; run without --quick for "
+                 "the paper's n=10^6)\n";
+  }
+  return 0;
+}

@@ -1,0 +1,147 @@
+// Google-benchmark microbenchmarks for the library's hot paths: the
+// per-instance costs that bound how large a simulated system fits in a
+// given wall-clock budget.
+#include <benchmark/benchmark.h>
+
+#include "agg/hll.h"
+#include "common/hashing.h"
+#include "net/codec.h"
+#include "common/value_map.h"
+#include "common/zipf.h"
+#include "core/netfilter.h"
+#include "workload/workload.h"
+
+namespace nf {
+namespace {
+
+void BM_ZipfSample(benchmark::State& state) {
+  const ZipfDistribution zipf(static_cast<std::uint64_t>(state.range(0)),
+                              1.0);
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(zipf(rng));
+  }
+}
+BENCHMARK(BM_ZipfSample)->Arg(1000)->Arg(100000)->Arg(1000000);
+
+void BM_GroupHash(benchmark::State& state) {
+  const GroupHash h(7, 100);
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(h.group_of(ItemId(fmix64(++i))));
+  }
+}
+BENCHMARK(BM_GroupHash);
+
+void BM_FilterBankGroups(benchmark::State& state) {
+  const FilterBank bank(7, static_cast<std::uint32_t>(state.range(0)), 100);
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bank.groups_of(ItemId(fmix64(++i))));
+  }
+}
+BENCHMARK(BM_FilterBankGroups)->Arg(1)->Arg(3)->Arg(10);
+
+void BM_ValueMapMergeAdd(benchmark::State& state) {
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  Rng rng(3);
+  std::vector<std::pair<ItemId, Value>> pa, pb;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    pa.emplace_back(ItemId(hash64(i, 1)), 1);
+    pb.emplace_back(ItemId(hash64(i, 2)), 1);
+  }
+  const auto a = ValueMap<ItemId, Value>::from_unsorted(pa);
+  const auto b = ValueMap<ItemId, Value>::from_unsorted(pb);
+  for (auto _ : state) {
+    auto merged = a;
+    merged.merge_add(b);
+    benchmark::DoNotOptimize(merged);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(2 * n));
+}
+BENCHMARK(BM_ValueMapMergeAdd)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_HllInsert(benchmark::State& state) {
+  agg::HyperLogLog hll(12);
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    hll.insert(ItemId(++i));
+  }
+}
+BENCHMARK(BM_HllInsert);
+
+void BM_LocalGroupAggregates(benchmark::State& state) {
+  wl::WorkloadConfig wc;
+  wc.num_peers = 10;
+  wc.num_items = 100000;
+  const auto workload = wl::Workload::generate(wc);
+  core::NetFilterConfig cfg;
+  cfg.num_groups = 100;
+  cfg.num_filters = static_cast<std::uint32_t>(state.range(0));
+  const core::NetFilter nf(cfg);
+  const auto& items = workload.local_items(PeerId(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nf.local_group_aggregates(items));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(items.size()));
+}
+BENCHMARK(BM_LocalGroupAggregates)->Arg(1)->Arg(3)->Arg(5);
+
+void BM_VarintEncodeAggregates(benchmark::State& state) {
+  Rng rng(9);
+  std::vector<Value> values(static_cast<std::size_t>(state.range(0)));
+  for (auto& v : values) v = rng.below(10000);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net::encode_aggregates(values));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_VarintEncodeAggregates)->Arg(300)->Arg(3000);
+
+void BM_DeltaEncodePairs(benchmark::State& state) {
+  std::vector<std::pair<ItemId, Value>> pairs;
+  for (std::int64_t i = 0; i < state.range(0); ++i) {
+    pairs.emplace_back(ItemId(hash64(static_cast<std::uint64_t>(i), 1)), 3);
+  }
+  const auto map = ValueMap<ItemId, Value>::from_unsorted(pairs);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net::encode_pairs(map));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_DeltaEncodePairs)->Arg(1000)->Arg(10000);
+
+void BM_CodecRoundTripPairs(benchmark::State& state) {
+  std::vector<std::pair<ItemId, Value>> pairs;
+  for (std::int64_t i = 0; i < state.range(0); ++i) {
+    pairs.emplace_back(ItemId(hash64(static_cast<std::uint64_t>(i), 2)), 7);
+  }
+  const auto map = ValueMap<ItemId, Value>::from_unsorted(pairs);
+  const auto encoded = net::encode_pairs(map);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net::decode_pairs(encoded));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_CodecRoundTripPairs)->Arg(1000)->Arg(10000);
+
+void BM_WorkloadGenerate(benchmark::State& state) {
+  for (auto _ : state) {
+    wl::WorkloadConfig wc;
+    wc.num_peers = 100;
+    wc.num_items = static_cast<std::uint64_t>(state.range(0));
+    benchmark::DoNotOptimize(wl::Workload::generate(wc));
+  }
+}
+BENCHMARK(BM_WorkloadGenerate)->Arg(10000)->Arg(100000)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace nf
+
+BENCHMARK_MAIN();

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# One-shot reproduction: build, test, regenerate every paper table/figure.
+# Outputs land in test_output.txt and bench_output.txt at the repo root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build 2>&1 | tee test_output.txt
+
+{
+  for b in build/bench/*; do
+    [ -f "$b" ] && [ -x "$b" ] || continue
+    case "$b" in *.cmake) continue;; esac
+    echo "===== $(basename "$b") ====="
+    "$b" "$@"
+  done
+} 2>&1 | tee bench_output.txt
+
+echo
+echo "Done. See EXPERIMENTS.md for the paper-vs-measured record."

@@ -1,0 +1,119 @@
+// Generic bottom-up aggregate computation over a hierarchy (paper §III-A.2).
+//
+// Leaves send their local contribution to their upstream neighbor; an
+// internal peer merges its own contribution with everything received from
+// downstream and forwards one merged message upward; the root ends up with
+// the global aggregate. One message per non-root member, completing in
+// `height` rounds — the "one or two rounds of communications" property the
+// paper credits hierarchical aggregation with.
+//
+// The aggregate type `T` must be provided with:
+//   local(peer)  -> T        the peer's own contribution
+//   merge(T&, T&&)           combine a child's aggregate into the parent's
+//   wire_bytes(const T&)     modelled serialized size of one message
+//
+// Used with T = std::vector<Value> for item-group aggregates (phase 1),
+// T = ValueMap<ItemId> for candidate aggregation (phase 2), and scalar
+// pairs for the v / N bootstrap aggregates.
+#pragma once
+
+#include <any>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "agg/hierarchy.h"
+#include "common/error.h"
+#include "common/ids.h"
+#include "net/engine.h"
+
+namespace nf::agg {
+
+template <typename T>
+class Convergecast final : public net::Protocol {
+ public:
+  using LocalFn = std::function<T(PeerId)>;
+  using MergeFn = std::function<void(T&, T&&)>;
+  using WireBytesFn = std::function<std::uint64_t(const T&)>;
+
+  Convergecast(const Hierarchy& hierarchy, net::TrafficCategory category,
+               LocalFn local, MergeFn merge, WireBytesFn wire_bytes)
+      : hierarchy_(hierarchy),
+        category_(category),
+        local_(std::move(local)),
+        merge_(std::move(merge)),
+        wire_bytes_(std::move(wire_bytes)),
+        state_(hierarchy.num_peers()) {}
+
+  void on_round(net::Context& ctx) override {
+    const PeerId p = ctx.self();
+    if (!hierarchy_.is_member(p)) return;
+    State& st = state_[p.value()];
+    if (!st.acc.has_value()) {
+      st.acc.emplace(local_(p));
+      st.pending = static_cast<std::uint32_t>(
+          hierarchy_.downstream(p).size());
+      maybe_forward(ctx, st);
+    }
+  }
+
+  void on_message(net::Context& ctx, net::Envelope&& env) override {
+    State& st = state_[ctx.self().value()];
+    ensure(st.acc.has_value(), "convergecast message before initialization");
+    ensure(st.pending > 0, "unexpected convergecast message");
+    T* payload = std::any_cast<T>(&env.payload);
+    ensure(payload != nullptr, "convergecast payload type mismatch");
+    merge_(*st.acc, std::move(*payload));
+    --st.pending;
+    maybe_forward(ctx, st);
+  }
+
+  [[nodiscard]] bool active() const override { return !complete_; }
+
+  [[nodiscard]] bool complete() const { return complete_; }
+
+  /// The global aggregate; valid once complete().
+  [[nodiscard]] const T& result() const {
+    require(complete_, "convergecast not complete");
+    return *state_[hierarchy_.root().value()].acc;
+  }
+
+  /// Bytes this peer propagated upward (0 for the root). Valid after run.
+  [[nodiscard]] std::uint64_t sent_bytes(PeerId p) const {
+    return state_[p.value()].sent_bytes;
+  }
+
+ private:
+  struct State {
+    bool sent = false;
+    std::uint32_t pending = 0;
+    std::uint64_t sent_bytes = 0;
+    std::optional<T> acc;
+  };
+
+  void maybe_forward(net::Context& ctx, State& st) {
+    if (st.pending != 0 || st.sent) return;
+    const PeerId p = ctx.self();
+    if (p == hierarchy_.root()) {
+      complete_ = true;
+      return;
+    }
+    st.sent = true;
+    st.sent_bytes = wire_bytes_(*st.acc);
+    ctx.send(hierarchy_.upstream(p), category_, st.sent_bytes,
+             std::any(std::move(*st.acc)));
+    st.acc.reset();
+  }
+
+  const Hierarchy& hierarchy_;
+  net::TrafficCategory category_;
+  LocalFn local_;
+  MergeFn merge_;
+  WireBytesFn wire_bytes_;
+  std::vector<State> state_;
+  bool complete_ = false;
+};
+
+}  // namespace nf::agg

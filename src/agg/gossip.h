@@ -1,0 +1,84 @@
+// Push-sum gossip aggregation (Kempe, Dobra & Gehring style).
+//
+// The paper (§III-A) contrasts hierarchical aggregation with gossip
+// aggregation: gossip needs O(log N) rounds to (almost) converge and yields
+// approximate aggregates, but has no tree to repair. The paper picks the
+// hierarchy and leaves "a well-designed gossip aggregation" as future work;
+// we implement push-sum so the trade-off can actually be measured
+// (bench/ablation_gossip) and so the gossip-based netFilter extension has a
+// substrate.
+//
+// Each peer holds a value vector x_p and a weight w_p (initially 1 at every
+// peer). Every round it splits (x, w) in half, keeps one half and sends the
+// other to a uniformly random alive neighbor. x_p / w_p converges to the
+// network-wide average of the initial vectors; multiplying by the peer
+// count (aggregated the same way via an extra "count" coordinate seeded 1
+// at the root) estimates the global sum.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/rng.h"
+#include "net/engine.h"
+
+namespace nf::agg {
+
+class PushSumGossip final : public net::Protocol {
+ public:
+  struct Config {
+    /// Bytes per transmitted vector coordinate (the paper's sa).
+    std::uint32_t bytes_per_coordinate = 4;
+    /// Extra bytes for the transmitted weight.
+    std::uint32_t weight_bytes = 4;
+    /// Stop after this many rounds.
+    std::uint32_t rounds = 50;
+    std::uint64_t seed = 1;
+  };
+
+  /// `initial[p]` is peer p's local vector. All vectors must have the same
+  /// dimension. The hidden extra coordinate (1 at peer 0, 0 elsewhere)
+  /// estimates 1/N so `estimate_sum` needs no out-of-band peer count.
+  PushSumGossip(std::vector<std::vector<double>> initial, Config config);
+
+  void on_round(net::Context& ctx) override;
+  void on_message(net::Context& ctx, net::Envelope&& env) override;
+  [[nodiscard]] bool active() const override {
+    return rounds_done_ < config_.rounds;
+  }
+
+  /// Peer p's current estimate of the network-wide SUM of coordinate `i`.
+  [[nodiscard]] double estimate_sum(PeerId p, std::size_t i) const;
+
+  /// Max over peers of the relative disagreement of coordinate i estimates
+  /// (convergence diagnostic).
+  [[nodiscard]] double relative_spread(std::size_t i) const;
+
+  /// Sum of coordinate i over all peers' resident state. Once no shares are
+  /// in flight this equals the initial global sum exactly (mass
+  /// conservation — the invariant push-sum correctness rests on).
+  [[nodiscard]] double total_mass(std::size_t i) const;
+
+  [[nodiscard]] std::uint32_t rounds_done() const { return rounds_done_; }
+  [[nodiscard]] std::size_t dimension() const { return dimension_; }
+
+ private:
+  struct Share {
+    std::vector<double> x;
+    double count;
+    double w;
+  };
+
+  Config config_;
+  std::size_t dimension_;
+  std::vector<std::vector<double>> x_;  // per-peer value vector
+  std::vector<double> count_;           // per-peer "1 at peer 0" coordinate
+  std::vector<double> w_;               // per-peer weight
+  std::vector<Rng> rng_;                // per-peer independent randomness
+  std::uint32_t rounds_done_{0};
+  std::uint64_t ticks_this_round_{0};
+  std::uint32_t num_peers_{0};
+};
+
+}  // namespace nf::agg

@@ -1,0 +1,206 @@
+#include "agg/hierarchy.h"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+
+#include "common/error.h"
+
+namespace nf::agg {
+
+Hierarchy::Hierarchy(PeerId root, std::vector<std::uint32_t> depth,
+                     std::vector<PeerId> upstream,
+                     std::vector<std::vector<PeerId>> downstream,
+                     std::vector<PeerId> host)
+    : root_(root),
+      depth_(std::move(depth)),
+      upstream_(std::move(upstream)),
+      downstream_(std::move(downstream)),
+      host_(std::move(host)) {
+  ensure(depth_.size() == upstream_.size() &&
+             depth_.size() == downstream_.size() &&
+             depth_.size() == host_.size(),
+         "hierarchy vectors disagree on peer count");
+  std::uint32_t max_depth = 0;
+  for (std::uint32_t d : depth_) {
+    if (d == kInfiniteDepth) continue;
+    ++num_members_;
+    max_depth = std::max(max_depth, d);
+  }
+  height_ = num_members_ > 0 ? max_depth + 1 : 0;
+}
+
+std::uint32_t Hierarchy::depth(PeerId p) const {
+  require(is_member(p), "depth of non-member");
+  return depth_[p.value()];
+}
+
+PeerId Hierarchy::upstream(PeerId p) const {
+  require(is_member(p), "upstream of non-member");
+  return upstream_[p.value()];
+}
+
+const std::vector<PeerId>& Hierarchy::downstream(PeerId p) const {
+  require(is_member(p), "downstream of non-member");
+  return downstream_[p.value()];
+}
+
+std::vector<PeerId> Hierarchy::members_deepest_first() const {
+  std::vector<PeerId> members;
+  members.reserve(num_members_);
+  for (std::uint32_t p = 0; p < num_peers(); ++p) {
+    if (is_member(PeerId(p))) members.push_back(PeerId(p));
+  }
+  std::stable_sort(members.begin(), members.end(),
+                   [&](PeerId a, PeerId b) {
+                     return depth_[a.value()] > depth_[b.value()];
+                   });
+  return members;
+}
+
+double Hierarchy::avg_fanout() const {
+  std::uint64_t internal = 0;
+  std::uint64_t fanout = 0;
+  for (std::uint32_t p = 0; p < num_peers(); ++p) {
+    const PeerId id(p);
+    if (!is_member(id) || downstream_[p].empty()) continue;
+    ++internal;
+    fanout += downstream_[p].size();
+  }
+  return internal ? static_cast<double>(fanout) / static_cast<double>(internal)
+                  : 0.0;
+}
+
+void Hierarchy::validate(const Overlay& overlay) const {
+  ensure(num_peers() == overlay.num_peers(), "peer count mismatch");
+  ensure(is_member(root_) && depth_[root_.value()] == 0, "bad root");
+  ensure(upstream_[root_.value()] == root_, "root upstream must be itself");
+  std::uint32_t reachable = 0;
+  for (std::uint32_t p = 0; p < num_peers(); ++p) {
+    const PeerId id(p);
+    if (!is_member(id)) {
+      // Alive non-members must be hosted by an alive member.
+      if (overlay.is_alive(id)) {
+        const PeerId h = host_[p];
+        ensure(is_member(h) && overlay.is_alive(h),
+               "alive non-member lacks alive member host");
+      }
+      continue;
+    }
+    ensure(overlay.is_alive(id), "dead member");
+    ++reachable;
+    if (id != root_) {
+      const PeerId up = upstream_[p];
+      ensure(is_member(up), "upstream is not a member");
+      ensure(depth_[p] == depth_[up.value()] + 1,
+             "child depth must be parent depth + 1");
+      ensure(overlay.topology().has_edge(id, up),
+             "hierarchy edge not in overlay");
+      const auto& siblings = downstream_[up.value()];
+      ensure(std::find(siblings.begin(), siblings.end(), id) !=
+                 siblings.end(),
+             "parent does not list child as downstream");
+    }
+    for (PeerId child : downstream_[p]) {
+      ensure(is_member(child) && upstream_[child.value()] == id,
+             "downstream peer does not point back");
+    }
+  }
+  ensure(reachable == num_members_, "member count mismatch");
+}
+
+Hierarchy build_bfs_hierarchy(const Overlay& overlay, PeerId root) {
+  return build_bfs_hierarchy(
+      overlay, root, std::vector<bool>(overlay.num_peers(), true));
+}
+
+Hierarchy build_bfs_hierarchy(const Overlay& overlay, PeerId root,
+                              const std::vector<bool>& participant) {
+  const std::uint32_t n = overlay.num_peers();
+  require(participant.size() == n, "participant mask size mismatch");
+  require(root.value() < n && overlay.is_alive(root), "root must be alive");
+  require(participant[root.value()], "root must participate");
+
+  std::vector<std::uint32_t> depth(n, kInfiniteDepth);
+  std::vector<PeerId> upstream(n, PeerId(0));
+  std::vector<std::vector<PeerId>> downstream(n);
+  std::vector<PeerId> host(n);
+  for (std::uint32_t p = 0; p < n; ++p) host[p] = PeerId(p);
+
+  // BFS over the participant-induced alive subgraph. Neighbor iteration is
+  // in adjacency order, so the construction is deterministic.
+  std::queue<PeerId> frontier;
+  depth[root.value()] = 0;
+  upstream[root.value()] = root;
+  frontier.push(root);
+  while (!frontier.empty()) {
+    const PeerId p = frontier.front();
+    frontier.pop();
+    for (PeerId q : overlay.neighbors(p)) {
+      if (!overlay.is_alive(q) || !participant[q.value()]) continue;
+      if (depth[q.value()] != kInfiniteDepth) continue;
+      depth[q.value()] = depth[p.value()] + 1;
+      upstream[q.value()] = p;
+      downstream[p.value()].push_back(q);
+      frontier.push(q);
+    }
+  }
+
+  // Attach every alive non-member (non-participant, or participant demoted
+  // because unreachable) to the nearest member: multi-source BFS from all
+  // members over the alive overlay, ties resolved by visiting order (member
+  // with smaller id enqueued first).
+  std::vector<PeerId> nearest(n, PeerId(0));
+  std::vector<bool> visited(n, false);
+  std::queue<PeerId> hosts_frontier;
+  for (std::uint32_t p = 0; p < n; ++p) {
+    if (depth[p] != kInfiniteDepth) {
+      visited[p] = true;
+      nearest[p] = PeerId(p);
+      hosts_frontier.push(PeerId(p));
+    }
+  }
+  while (!hosts_frontier.empty()) {
+    const PeerId p = hosts_frontier.front();
+    hosts_frontier.pop();
+    for (PeerId q : overlay.neighbors(p)) {
+      if (!overlay.is_alive(q) || visited[q.value()]) continue;
+      visited[q.value()] = true;
+      nearest[q.value()] = nearest[p.value()];
+      hosts_frontier.push(q);
+    }
+  }
+  for (std::uint32_t p = 0; p < n; ++p) {
+    if (depth[p] == kInfiniteDepth && overlay.is_alive(PeerId(p))) {
+      ensure(visited[p],
+             "alive peer cannot reach any hierarchy member; overlay is "
+             "disconnected");
+      host[p] = nearest[p];
+    }
+  }
+
+  return Hierarchy(root, std::move(depth), std::move(upstream),
+                   std::move(downstream), std::move(host));
+}
+
+std::vector<bool> select_stable_peers(const std::vector<double>& uptime,
+                                      double fraction, PeerId root) {
+  require(fraction > 0.0 && fraction <= 1.0, "fraction must be in (0,1]");
+  const auto n = static_cast<std::uint32_t>(uptime.size());
+  require(root.value() < n, "root out of range");
+  std::vector<std::uint32_t> order(n);
+  std::iota(order.begin(), order.end(), 0u);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::uint32_t a, std::uint32_t b) {
+                     return uptime[a] > uptime[b];
+                   });
+  auto count = static_cast<std::uint32_t>(
+      static_cast<double>(n) * fraction);
+  count = std::max(count, 1u);
+  std::vector<bool> participant(n, false);
+  for (std::uint32_t i = 0; i < count; ++i) participant[order[i]] = true;
+  participant[root.value()] = true;
+  return participant;
+}
+
+}  // namespace nf::agg

@@ -1,0 +1,108 @@
+// BFS hierarchy over the overlay (paper §III-A.1).
+//
+// Aggregate computation in netFilter runs over a breadth-first spanning
+// hierarchy rooted at a designated peer: every participating peer sits at
+// depth = shortest-path distance (in overlay hops) from the root, its
+// upstream neighbor is the overlay neighbor it was discovered through, and
+// its downstream neighbors are the peers it discovered.
+//
+// Only *stable* peers participate (paper: peers online longest); each
+// non-participating peer attaches to its nearest participant and reports its
+// local item set there ("host report"). In the paper's evaluation every peer
+// participates, which is the default here too.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/rng.h"
+#include "net/overlay.h"
+
+namespace nf::agg {
+
+using net::Overlay;
+
+/// Immutable snapshot of a hierarchy. Produced by `build_bfs_hierarchy` or
+/// exported from a running `HierarchyMaintenance` protocol after repair.
+class Hierarchy {
+ public:
+  Hierarchy(PeerId root, std::vector<std::uint32_t> depth,
+            std::vector<PeerId> upstream,
+            std::vector<std::vector<PeerId>> downstream,
+            std::vector<PeerId> host);
+
+  [[nodiscard]] PeerId root() const { return root_; }
+  [[nodiscard]] std::uint32_t num_peers() const {
+    return static_cast<std::uint32_t>(depth_.size());
+  }
+
+  /// True if the peer participates in the hierarchy (is a member).
+  [[nodiscard]] bool is_member(PeerId p) const {
+    return depth_[p.value()] != kInfiniteDepth;
+  }
+  [[nodiscard]] std::uint32_t num_members() const { return num_members_; }
+
+  /// Depth of a member peer (0 for the root).
+  [[nodiscard]] std::uint32_t depth(PeerId p) const;
+
+  /// Upstream (parent) of a member peer; the root's upstream is itself.
+  [[nodiscard]] PeerId upstream(PeerId p) const;
+
+  [[nodiscard]] const std::vector<PeerId>& downstream(PeerId p) const;
+
+  [[nodiscard]] bool is_leaf(PeerId p) const {
+    return is_member(p) && downstream(p).empty();
+  }
+
+  /// For a non-member: the member it reports its local item set to.
+  /// For members: the peer itself.
+  [[nodiscard]] PeerId host(PeerId p) const { return host_[p.value()]; }
+
+  /// Height h: number of levels (max member depth + 1), the `h` of the
+  /// paper's naive cost bound (Formula 2).
+  [[nodiscard]] std::uint32_t height() const { return height_; }
+
+  /// All member peers, deepest first — the order in which a synchronous
+  /// bottom-up pass can be evaluated sequentially.
+  [[nodiscard]] std::vector<PeerId> members_deepest_first() const;
+
+  /// Average number of downstream neighbors over internal member peers
+  /// (the paper's `b`).
+  [[nodiscard]] double avg_fanout() const;
+
+  /// Checks structural invariants: parent/child symmetry, child depth =
+  /// parent depth + 1, hierarchy edges are overlay edges, spanning (every
+  /// alive peer is a member or hosted by an alive member), acyclic.
+  /// Throws ProtocolError on violation.
+  void validate(const Overlay& overlay) const;
+
+ private:
+  PeerId root_;
+  std::vector<std::uint32_t> depth_;
+  std::vector<PeerId> upstream_;
+  std::vector<std::vector<PeerId>> downstream_;
+  std::vector<PeerId> host_;
+  std::uint32_t num_members_{0};
+  std::uint32_t height_{0};
+};
+
+/// Builds the BFS hierarchy over all alive peers, rooted at `root`.
+[[nodiscard]] Hierarchy build_bfs_hierarchy(const Overlay& overlay,
+                                            PeerId root);
+
+/// Builds the BFS hierarchy over the alive peers marked in `participant`
+/// (root must participate). Participants unreachable through other
+/// participants are demoted to non-participants. Every alive
+/// non-participant is hosted by its nearest participant (BFS over the full
+/// overlay, ties broken by smaller peer id).
+[[nodiscard]] Hierarchy build_bfs_hierarchy(
+    const Overlay& overlay, PeerId root,
+    const std::vector<bool>& participant);
+
+/// Selects the `fraction` most stable peers as participants given per-peer
+/// uptimes; the root is always included. Ties broken by smaller peer id.
+[[nodiscard]] std::vector<bool> select_stable_peers(
+    const std::vector<double>& uptime, double fraction, PeerId root);
+
+}  // namespace nf::agg

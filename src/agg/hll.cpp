@@ -1,0 +1,64 @@
+#include "agg/hll.h"
+
+#include <bit>
+#include <cmath>
+
+#include "common/error.h"
+#include "common/hashing.h"
+
+namespace nf::agg {
+
+namespace {
+// Fixed salt so every peer sketches identically without coordination.
+constexpr std::uint64_t kHllSeed = 0x484C4C5345454431ull;
+}  // namespace
+
+HyperLogLog::HyperLogLog(std::uint32_t precision) : precision_(precision) {
+  require(precision >= 4 && precision <= 18, "HLL precision must be in 4..18");
+  registers_.assign(std::size_t{1} << precision, 0);
+}
+
+void HyperLogLog::insert(ItemId item) {
+  const std::uint64_t h = hash64(item.value(), kHllSeed);
+  const std::uint64_t index = h >> (64 - precision_);
+  const std::uint64_t rest = h << precision_;
+  // Rank: position of the leftmost 1-bit in the remaining bits, 1-based;
+  // all-zero rest maps to the maximum rank.
+  const auto rank = static_cast<std::uint8_t>(
+      rest == 0 ? (64 - precision_ + 1)
+                : static_cast<std::uint32_t>(std::countl_zero(rest)) + 1);
+  auto& reg = registers_[index];
+  if (rank > reg) reg = rank;
+}
+
+void HyperLogLog::merge(const HyperLogLog& other) {
+  require(precision_ == other.precision_, "HLL precision mismatch");
+  for (std::size_t i = 0; i < registers_.size(); ++i) {
+    if (other.registers_[i] > registers_[i]) {
+      registers_[i] = other.registers_[i];
+    }
+  }
+}
+
+double HyperLogLog::estimate() const {
+  const auto m = static_cast<double>(registers_.size());
+  double alpha = 0.7213 / (1.0 + 1.079 / m);
+  if (registers_.size() == 16) alpha = 0.673;
+  else if (registers_.size() == 32) alpha = 0.697;
+  else if (registers_.size() == 64) alpha = 0.709;
+
+  double inv_sum = 0.0;
+  std::size_t zeros = 0;
+  for (std::uint8_t r : registers_) {
+    inv_sum += std::ldexp(1.0, -static_cast<int>(r));
+    if (r == 0) ++zeros;
+  }
+  const double raw = alpha * m * m / inv_sum;
+  if (raw <= 2.5 * m && zeros > 0) {
+    // Linear counting for the small range.
+    return m * std::log(m / static_cast<double>(zeros));
+  }
+  return raw;
+}
+
+}  // namespace nf::agg

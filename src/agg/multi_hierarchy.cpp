@@ -1,0 +1,51 @@
+#include "agg/multi_hierarchy.h"
+
+#include <unordered_set>
+
+#include "common/error.h"
+
+namespace nf::agg {
+
+MultiHierarchy MultiHierarchy::build(const net::Overlay& overlay,
+                                     const std::vector<PeerId>& roots) {
+  require(!roots.empty(), "need at least one root");
+  std::unordered_set<PeerId> seen;
+  MultiHierarchy out;
+  out.hierarchies_.reserve(roots.size());
+  for (PeerId root : roots) {
+    require(seen.insert(root).second, "duplicate root");
+    out.hierarchies_.push_back(build_bfs_hierarchy(overlay, root));
+  }
+  return out;
+}
+
+MultiHierarchy MultiHierarchy::build_random(const net::Overlay& overlay,
+                                            std::uint32_t replicas,
+                                            Rng& rng) {
+  require(replicas >= 1 && replicas <= overlay.num_alive(),
+          "replica count out of range");
+  std::unordered_set<PeerId> chosen;
+  std::vector<PeerId> roots;
+  while (roots.size() < replicas) {
+    const PeerId cand(static_cast<std::uint32_t>(
+        rng.below(overlay.num_peers())));
+    if (!overlay.is_alive(cand) || !chosen.insert(cand).second) continue;
+    roots.push_back(cand);
+  }
+  return build(overlay, roots);
+}
+
+const Hierarchy& MultiHierarchy::at(std::size_t i) const {
+  require(i < hierarchies_.size(), "hierarchy index out of range");
+  return hierarchies_[i];
+}
+
+const Hierarchy& MultiHierarchy::surviving(
+    const net::Overlay& overlay) const {
+  for (const auto& h : hierarchies_) {
+    if (overlay.is_alive(h.root())) return h;
+  }
+  throw ProtocolError("every replicated hierarchy root is dead");
+}
+
+}  // namespace nf::agg

@@ -1,0 +1,43 @@
+// Replicated hierarchies for root fault tolerance (paper §III-A.1).
+//
+// A single hierarchy dies with its root. The paper suggests constructing
+// multiple hierarchies (after [13]); we build k BFS hierarchies with
+// distinct roots over the same overlay. A netFilter request runs on the
+// primary; if its root fails mid-run, the driver re-runs on the first
+// replica whose root is still alive. Aggregation traffic is only spent on
+// the hierarchy in use, so the replicas cost only their (ignored, per the
+// paper's model) formation traffic.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "agg/hierarchy.h"
+#include "common/rng.h"
+
+namespace nf::agg {
+
+class MultiHierarchy {
+ public:
+  /// Builds one hierarchy per root, in order. Roots must be distinct and
+  /// alive.
+  static MultiHierarchy build(const net::Overlay& overlay,
+                              const std::vector<PeerId>& roots);
+
+  /// Builds `replicas` hierarchies at uniformly random distinct roots.
+  static MultiHierarchy build_random(const net::Overlay& overlay,
+                                     std::uint32_t replicas, Rng& rng);
+
+  [[nodiscard]] std::size_t size() const { return hierarchies_.size(); }
+  [[nodiscard]] const Hierarchy& at(std::size_t i) const;
+  [[nodiscard]] const Hierarchy& primary() const { return at(0); }
+
+  /// First hierarchy whose root is currently alive. Throws ProtocolError if
+  /// every root is dead.
+  [[nodiscard]] const Hierarchy& surviving(const net::Overlay& overlay) const;
+
+ private:
+  std::vector<Hierarchy> hierarchies_;
+};
+
+}  // namespace nf::agg

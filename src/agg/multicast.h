@@ -1,0 +1,80 @@
+// Top-down dissemination over a hierarchy (paper Algorithm 2, line 1).
+//
+// The root propagates a payload down the hierarchy: each member forwards a
+// copy to every downstream neighbor and invokes a per-peer handler. Used to
+// disseminate the heavy item-group identifiers before candidate
+// verification; the charged size is the modelled wire size of the payload
+// (sg bytes per heavy group id), not the in-memory size.
+#pragma once
+
+#include <any>
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "agg/hierarchy.h"
+#include "common/error.h"
+#include "common/ids.h"
+#include "net/engine.h"
+
+namespace nf::agg {
+
+template <typename T>
+class Multicast final : public net::Protocol {
+ public:
+  /// `on_receive` runs at every member (including the root) exactly once.
+  using ReceiveFn = std::function<void(PeerId, const T&)>;
+
+  Multicast(const Hierarchy& hierarchy, net::TrafficCategory category,
+            T payload, std::uint64_t wire_bytes, ReceiveFn on_receive)
+      : hierarchy_(hierarchy),
+        category_(category),
+        payload_(std::move(payload)),
+        wire_bytes_(wire_bytes),
+        on_receive_(std::move(on_receive)),
+        received_(hierarchy.num_peers(), false) {}
+
+  void on_round(net::Context& ctx) override {
+    const PeerId p = ctx.self();
+    if (p != hierarchy_.root() || received_[p.value()]) return;
+    deliver(ctx, p, payload_);
+  }
+
+  void on_message(net::Context& ctx, net::Envelope&& env) override {
+    const PeerId p = ctx.self();
+    ensure(!received_[p.value()], "duplicate multicast delivery");
+    const T* payload = std::any_cast<T>(&env.payload);
+    ensure(payload != nullptr, "multicast payload type mismatch");
+    deliver(ctx, p, *payload);
+  }
+
+  [[nodiscard]] bool active() const override {
+    return num_received_ < hierarchy_.num_members();
+  }
+
+  [[nodiscard]] bool complete() const { return !active(); }
+
+  /// Number of members that have received the payload so far.
+  [[nodiscard]] std::uint32_t num_received() const { return num_received_; }
+
+ private:
+  void deliver(net::Context& ctx, PeerId p, const T& payload) {
+    received_[p.value()] = true;
+    ++num_received_;
+    on_receive_(p, payload);
+    for (PeerId child : hierarchy_.downstream(p)) {
+      ctx.send(child, category_, wire_bytes_, std::any(payload));
+    }
+  }
+
+  const Hierarchy& hierarchy_;
+  net::TrafficCategory category_;
+  T payload_;
+  std::uint64_t wire_bytes_;
+  ReceiveFn on_receive_;
+  std::vector<bool> received_;
+  std::uint32_t num_received_{0};
+};
+
+}  // namespace nf::agg

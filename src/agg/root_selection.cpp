@@ -1,0 +1,116 @@
+#include "agg/root_selection.h"
+
+#include <algorithm>
+#include <queue>
+#include <vector>
+
+#include "common/error.h"
+
+namespace nf::agg {
+
+namespace {
+
+/// BFS distances from `start` over the alive overlay (kInfiniteDepth for
+/// unreachable peers).
+std::vector<std::uint32_t> distances(const net::Overlay& overlay,
+                                     PeerId start) {
+  std::vector<std::uint32_t> dist(overlay.num_peers(), kInfiniteDepth);
+  std::queue<PeerId> frontier;
+  dist[start.value()] = 0;
+  frontier.push(start);
+  while (!frontier.empty()) {
+    const PeerId p = frontier.front();
+    frontier.pop();
+    for (PeerId q : overlay.neighbors(p)) {
+      if (!overlay.is_alive(q) || dist[q.value()] != kInfiniteDepth) {
+        continue;
+      }
+      dist[q.value()] = dist[p.value()] + 1;
+      frontier.push(q);
+    }
+  }
+  return dist;
+}
+
+PeerId farthest(const std::vector<std::uint32_t>& dist) {
+  std::uint32_t best = 0;
+  std::uint32_t best_d = 0;
+  for (std::uint32_t p = 0; p < dist.size(); ++p) {
+    if (dist[p] != kInfiniteDepth && dist[p] >= best_d) {
+      best_d = dist[p];
+      best = p;
+    }
+  }
+  return PeerId(best);
+}
+
+}  // namespace
+
+std::uint32_t eccentricity(const net::Overlay& overlay, PeerId p) {
+  require(overlay.is_alive(p), "peer must be alive");
+  const auto dist = distances(overlay, p);
+  std::uint32_t ecc = 0;
+  for (std::uint32_t q = 0; q < dist.size(); ++q) {
+    if (dist[q] != kInfiniteDepth) ecc = std::max(ecc, dist[q]);
+  }
+  return ecc;
+}
+
+PeerId select_root(const net::Overlay& overlay, RootPolicy policy,
+                   std::span<const double> uptime, Rng& rng) {
+  require(overlay.num_alive() > 0, "no alive peers");
+  switch (policy) {
+    case RootPolicy::kRandom: {
+      while (true) {
+        const PeerId cand(
+            static_cast<std::uint32_t>(rng.below(overlay.num_peers())));
+        if (overlay.is_alive(cand)) return cand;
+      }
+    }
+    case RootPolicy::kMostStable: {
+      require(uptime.size() == overlay.num_peers(),
+              "kMostStable needs one uptime per peer");
+      PeerId best(0);
+      double best_up = -1.0;
+      for (std::uint32_t p = 0; p < overlay.num_peers(); ++p) {
+        if (overlay.is_alive(PeerId(p)) && uptime[p] > best_up) {
+          best_up = uptime[p];
+          best = PeerId(p);
+        }
+      }
+      return best;
+    }
+    case RootPolicy::kCenter: {
+      // Double-sweep heuristic: from a random alive probe, find the
+      // farthest peer u; from u, find the farthest peer w and the
+      // distances to everyone. The peer minimizing max(d(u,.), d(w,.))
+      // approximates the center of the u-w "diameter" path.
+      PeerId probe(0);
+      do {
+        probe = PeerId(
+            static_cast<std::uint32_t>(rng.below(overlay.num_peers())));
+      } while (!overlay.is_alive(probe));
+      const PeerId u = farthest(distances(overlay, probe));
+      const auto du = distances(overlay, u);
+      const PeerId w = farthest(du);
+      const auto dw = distances(overlay, w);
+      PeerId best = probe;
+      std::uint32_t best_score = kInfiniteDepth;
+      for (std::uint32_t p = 0; p < overlay.num_peers(); ++p) {
+        if (!overlay.is_alive(PeerId(p)) || du[p] == kInfiniteDepth ||
+            dw[p] == kInfiniteDepth) {
+          continue;
+        }
+        const std::uint32_t score = std::max(du[p], dw[p]);
+        if (score < best_score) {
+          best_score = score;
+          best = PeerId(p);
+        }
+      }
+      return best;
+    }
+  }
+  throw InvalidArgument("unknown root policy");
+}
+
+}  // namespace nf::agg

@@ -1,0 +1,43 @@
+// Root selection policies (paper §III-A.1).
+//
+// "This designated peer could be a randomly selected peer, the most stable
+// peer, or a peer that is close to the center of the network. In this
+// study, we choose a peer randomly as the root node and leave other
+// options for future exploration." — explored here:
+//
+//   kRandom     — the paper's choice.
+//   kMostStable — the peer with the longest uptime (it also anchors the
+//                 stable-peer recruitment of §III-A).
+//   kCenter     — a peer of (approximately) minimum eccentricity: BFS from
+//                 a few probes finds a far pair, and the midpoint of their
+//                 shortest path lands near the graph center. A central root
+//                 halves the hierarchy height, which shortens every phase
+//                 and tightens the naive bound (Formula 2 scales with h).
+//
+// bench/ablation_root measures height and costs under each policy.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "common/ids.h"
+#include "common/rng.h"
+#include "net/overlay.h"
+
+namespace nf::agg {
+
+enum class RootPolicy : std::uint8_t { kRandom, kMostStable, kCenter };
+
+/// Picks a root among the alive peers. `uptime` is only consulted for
+/// kMostStable (may be empty otherwise); `rng` only for kRandom and the
+/// kCenter probes.
+[[nodiscard]] PeerId select_root(const net::Overlay& overlay,
+                                 RootPolicy policy,
+                                 std::span<const double> uptime, Rng& rng);
+
+/// Eccentricity of `p` over the alive overlay: max BFS distance to any
+/// reachable alive peer.
+[[nodiscard]] std::uint32_t eccentricity(const net::Overlay& overlay,
+                                         PeerId p);
+
+}  // namespace nf::agg

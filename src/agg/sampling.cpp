@@ -1,0 +1,149 @@
+#include "agg/sampling.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+#include <vector>
+
+#include "agg/hll.h"
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace nf::agg {
+
+SampleEstimates sample_estimates(const Hierarchy& hierarchy,
+                                 const ItemSource& items, Value v_total,
+                                 Value threshold,
+                                 const SamplingConfig& config,
+                                 net::TrafficMeter* meter) {
+  require(config.num_branches > 0, "need at least one branch");
+  require(config.items_per_peer > 0, "need at least one item per peer");
+  require(v_total > 0, "v_total must be positive");
+  Rng rng(config.seed);
+
+  // 1. Walk `num_branches` random root-to-leaf branches; the sampled peer
+  // set is the union of the peers on them.
+  std::unordered_set<PeerId> sampled_set;
+  for (std::uint32_t b = 0; b < config.num_branches; ++b) {
+    PeerId cur = hierarchy.root();
+    sampled_set.insert(cur);
+    while (!hierarchy.downstream(cur).empty()) {
+      const auto& kids = hierarchy.downstream(cur);
+      cur = kids[rng.below(kids.size())];
+      sampled_set.insert(cur);
+    }
+  }
+  std::vector<PeerId> sampled(sampled_set.begin(), sampled_set.end());
+  std::sort(sampled.begin(), sampled.end());  // determinism
+
+  // 2. Each sampled peer picks `items_per_peer` random distinct local items.
+  std::unordered_set<ItemId> picked;
+  double mean_local_distinct = 0.0;
+  for (PeerId p : sampled) {
+    const auto& local = items.local_items(p);
+    mean_local_distinct += static_cast<double>(local.size());
+    if (local.size() <= config.items_per_peer) {
+      for (const auto& [id, v] : local) picked.insert(id);
+      continue;
+    }
+    // Floyd's algorithm over indices keeps the pick O(k).
+    std::unordered_set<std::size_t> idx;
+    const std::size_t n = local.size();
+    for (std::size_t j = n - config.items_per_peer; j < n; ++j) {
+      std::size_t t = rng.below(j + 1);
+      if (!idx.insert(t).second) idx.insert(j);
+    }
+    for (std::size_t i : idx) picked.insert((local.begin() + static_cast<std::ptrdiff_t>(i))->first);
+  }
+  mean_local_distinct /= static_cast<double>(sampled.size());
+
+  // 3. Aggregate the picked items over the sampled peers only: ṽᵢ.
+  std::vector<ItemId> picked_sorted(picked.begin(), picked.end());
+  std::sort(picked_sorted.begin(), picked_sorted.end());
+  std::vector<double> tilde(picked_sorted.size(), 0.0);
+  for (PeerId p : sampled) {
+    const auto& local = items.local_items(p);
+    for (std::size_t i = 0; i < picked_sorted.size(); ++i) {
+      tilde[i] += static_cast<double>(local.value_of(picked_sorted[i]));
+    }
+    if (meter != nullptr) {
+      // Each sampled peer propagates one <id, value> pair per sampled item
+      // up its branch (merged along the way, so charged once per peer).
+      const std::uint64_t bytes =
+          picked_sorted.size() *
+          (std::uint64_t{config.aggregate_bytes} + config.item_id_bytes);
+      meter->record(p, net::TrafficCategory::kSampling, bytes);
+    }
+  }
+
+  // 4. Scale to global-value estimates: v̂ᵢ = ṽᵢ · v / Σⱼ ṽⱼ (§IV-E).
+  double tilde_sum = 0.0;
+  for (double t : tilde) tilde_sum += t;
+  ensure(tilde_sum > 0.0, "sampled peers hold no items");
+  const double scale = static_cast<double>(v_total) / tilde_sum;
+
+  SampleEstimates out;
+  out.num_sampled_peers = static_cast<std::uint32_t>(sampled.size());
+  out.num_sampled_items = static_cast<std::uint32_t>(picked_sorted.size());
+
+  // 5. Formulae 7 and 8, Horvitz-Thompson weighted. The raw sample is
+  // size-biased — an item sitting on many peers enters the sample far more
+  // often than a rare one — so plain means over sampled items overshoot
+  // badly for skewed data. Weighting each sampled item by 1/π̂ₓ (its
+  // estimated inclusion probability, computed below from its estimated
+  // popularity) undoes the bias; the same weights drive the r̂ estimator.
+  const double s = static_cast<double>(sampled.size());
+  const double n_peers_d = static_cast<double>(items.num_peers());
+  const double pick_rate =
+      std::min(1.0, static_cast<double>(config.items_per_peer) /
+                        std::max(1.0, mean_local_distinct));
+  const auto inclusion_probability = [&](double v_hat) {
+    // E[#peers holding x] under random scatter of v̂ₓ unit instances.
+    const double peers_x =
+        n_peers_d * (1.0 - std::pow(1.0 - 1.0 / n_peers_d, v_hat));
+    return 1.0 - std::pow(1.0 - pick_rate * peers_x / n_peers_d, s);
+  };
+
+  double wsum_all = 0.0, wval_all = 0.0;
+  double wsum_light = 0.0, wval_light = 0.0;
+  double r_hat = 0.0;
+  for (double t : tilde) {
+    const double v_hat = t * scale;
+    const double pi = std::max(inclusion_probability(v_hat), 1e-12);
+    const double w = 1.0 / pi;
+    wsum_all += w;
+    wval_all += w * v_hat;
+    if (v_hat < static_cast<double>(threshold)) {
+      wsum_light += w;
+      wval_light += w * v_hat;
+    } else {
+      r_hat += w;  // step 7 folded in: HT count of heavy items
+    }
+  }
+  out.v_bar = wsum_all > 0.0 ? wval_all / wsum_all : 0.0;
+  out.v_bar_light = wsum_light > 0.0 ? wval_light / wsum_light : 0.0;
+  out.r_hat = r_hat;
+
+  // 6. n̂ via HLL merged up the hierarchy.
+  const std::uint32_t num_peers = items.num_peers();
+  if (config.estimate_n) {
+    HyperLogLog merged(config.hll_precision);
+    for (std::uint32_t p = 0; p < num_peers; ++p) {
+      if (!hierarchy.is_member(PeerId(p))) continue;
+      HyperLogLog sketch(config.hll_precision);
+      for (const auto& [id, v] : items.local_items(PeerId(p))) {
+        sketch.insert(id);
+      }
+      if (meter != nullptr && PeerId(p) != hierarchy.root()) {
+        meter->record(PeerId(p), net::TrafficCategory::kSampling,
+                      sketch.wire_bytes());
+      }
+      merged.merge(sketch);
+    }
+    out.n_hat = merged.estimate();
+  }
+
+  return out;
+}
+
+}  // namespace nf::agg

@@ -1,0 +1,64 @@
+// Random-branch sampling for practical parameter estimation (paper §IV-E).
+//
+// The optimal filter size g_opt (Formula 3) and filter count f_opt
+// (Formula 6) need v̄ (average global value), v̄_light (average global value
+// of light items), n (distinct items) and r (heavy items). The paper
+// estimates them by sampling a few root-to-leaf branches of the hierarchy:
+// every peer on a sampled branch picks some random local items, the sampled
+// peers' aggregates for those items are collected, and each is scaled by
+// v / Σᵢ ṽᵢ to estimate its global value (the paper's v̂ᵢ formula); v̄ and
+// v̄_light follow from Formulae 8 and 7.
+//
+// The paper defers its n and r estimators to the tech report; we instantiate
+// them as documented in DESIGN.md:
+//   n̂ — HyperLogLog sketches merged up the hierarchy (mergeable, one
+//       fixed-size message per peer);
+//   r̂ — Horvitz–Thompson over the sampled items: each sampled item with
+//       estimated global value ≥ t contributes 1/π̂ₓ, where π̂ₓ is its
+//       estimated probability of entering the sample (more popular items
+//       sit on more peers and are sampled more often).
+#pragma once
+
+#include <cstdint>
+
+#include "agg/hierarchy.h"
+#include "common/item_source.h"
+#include "net/metrics.h"
+
+namespace nf::agg {
+
+struct SamplingConfig {
+  /// Number of root-to-leaf branches to sample.
+  std::uint32_t num_branches = 5;
+  /// Random local items each sampled peer contributes.
+  std::uint32_t items_per_peer = 50;
+  /// HLL precision for the n estimate (2^p one-byte registers per message).
+  std::uint32_t hll_precision = 10;
+  /// If false, n̂ is left at 0 and no HLL traffic is charged (caller knows n).
+  bool estimate_n = true;
+  /// Wire sizes for the charged sampling traffic.
+  std::uint32_t aggregate_bytes = 4;
+  std::uint32_t item_id_bytes = 4;
+  std::uint64_t seed = 7;
+};
+
+struct SampleEstimates {
+  double v_bar = 0.0;        ///< estimate of v̄ (Formula 8)
+  double v_bar_light = 0.0;  ///< estimate of v̄_light (Formula 7)
+  double n_hat = 0.0;        ///< estimate of n (0 if estimate_n == false)
+  double r_hat = 0.0;        ///< estimate of r
+  std::uint32_t num_sampled_peers = 0;
+  std::uint32_t num_sampled_items = 0;  ///< x in the paper
+};
+
+/// Runs the sampling procedure. Traffic is charged to `meter` (category
+/// kSampling) if non-null: each sampled peer propagates one <id, value>
+/// pair per sampled item along its branch; if `estimate_n`, every member
+/// additionally propagates one HLL sketch up the hierarchy.
+[[nodiscard]] SampleEstimates sample_estimates(const Hierarchy& hierarchy,
+                                               const ItemSource& items,
+                                               Value v_total, Value threshold,
+                                               const SamplingConfig& config,
+                                               net::TrafficMeter* meter);
+
+}  // namespace nf::agg

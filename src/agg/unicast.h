@@ -1,0 +1,125 @@
+// Source-routed request/reply along the hierarchy.
+//
+// §III-A.1: "requests from different peers are first forwarded to the root
+// node ... [which] forwards [the result] to the corresponding peer". A
+// request travels up the parent chain recording its route; the root's
+// handler produces a reply that retraces the recorded route back to the
+// requester — no peer needs global knowledge, only its own upstream link
+// and the route carried in the message.
+#pragma once
+
+#include <any>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "agg/hierarchy.h"
+#include "common/error.h"
+#include "common/ids.h"
+#include "net/engine.h"
+
+namespace nf::agg {
+
+template <typename Request, typename Reply>
+class TreeRequestReply final : public net::Protocol {
+ public:
+  /// `serve` runs once at the root and produces the reply.
+  /// `request_bytes`/`reply_bytes` are charged per hop.
+  TreeRequestReply(const Hierarchy& hierarchy, PeerId requester,
+                   Request request, std::uint64_t request_bytes,
+                   std::function<Reply(PeerId, const Request&)> serve,
+                   std::function<std::uint64_t(const Reply&)> reply_bytes,
+                   net::TrafficCategory category =
+                       net::TrafficCategory::kControl)
+      : hierarchy_(hierarchy),
+        requester_(requester),
+        request_(std::move(request)),
+        request_bytes_(request_bytes),
+        serve_(std::move(serve)),
+        reply_bytes_(std::move(reply_bytes)),
+        category_(category) {
+    require(hierarchy.is_member(requester), "requester must be a member");
+  }
+
+  void on_round(net::Context& ctx) override {
+    if (started_ || ctx.self() != requester_) return;
+    started_ = true;
+    if (requester_ == hierarchy_.root()) {
+      // Degenerate case: the requester is the root; serve locally.
+      reply_ = serve_(requester_, request_);
+      return;
+    }
+    Up up{{requester_}, request_};
+    ctx.send(hierarchy_.upstream(requester_), category_, request_bytes_,
+             std::any(std::move(up)));
+  }
+
+  void on_message(net::Context& ctx, net::Envelope&& env) override {
+    const PeerId self = ctx.self();
+    if (auto* up = std::any_cast<Up>(&env.payload)) {
+      if (self == hierarchy_.root()) {
+        Down down{std::move(up->route), serve_(self, up->request)};
+        const PeerId next = down.route.back();
+        down.route.pop_back();
+        // The last route entry before popping is the root's child on the
+        // path... route = [requester, ..., root-child]; send to the back.
+        ctx.send(next, category_, reply_bytes_(down.reply),
+                 std::any(std::move(down)));
+        return;
+      }
+      up->route.push_back(self);
+      ctx.send(hierarchy_.upstream(self), category_, request_bytes_,
+               std::any(std::move(*up)));
+      return;
+    }
+    if (auto* down = std::any_cast<Down>(&env.payload)) {
+      if (down->route.empty()) {
+        ensure(self == requester_, "reply misrouted");
+        reply_ = std::move(down->reply);
+        return;
+      }
+      const PeerId next = down->route.back();
+      down->route.pop_back();
+      ctx.send(next, category_, reply_bytes_(down->reply),
+               std::any(std::move(*down)));
+      return;
+    }
+    ensure(false, "unknown request/reply message");
+  }
+
+  [[nodiscard]] bool active() const override {
+    return !reply_.has_value();
+  }
+
+  [[nodiscard]] bool complete() const { return reply_.has_value(); }
+
+  /// The reply as delivered at the requester.
+  [[nodiscard]] const Reply& reply() const {
+    require(reply_.has_value(), "no reply yet");
+    return *reply_;
+  }
+
+ private:
+  struct Up {
+    std::vector<PeerId> route;  // [requester, hop, hop, ...]
+    Request request;
+  };
+  struct Down {
+    std::vector<PeerId> route;  // remaining hops, requester first
+    Reply reply;
+  };
+
+  const Hierarchy& hierarchy_;
+  PeerId requester_;
+  Request request_;
+  std::uint64_t request_bytes_;
+  std::function<Reply(PeerId, const Request&)> serve_;
+  std::function<std::uint64_t(const Reply&)> reply_bytes_;
+  net::TrafficCategory category_;
+  bool started_ = false;
+  std::optional<Reply> reply_;
+};
+
+}  // namespace nf::agg

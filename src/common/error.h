@@ -1,0 +1,68 @@
+// Error handling for the netFilter library.
+//
+// The library throws exceptions for contract violations and unrecoverable
+// configuration errors (per C++ Core Guidelines E.2/E.3: use exceptions for
+// error handling, asserts for internal invariants that should never fire).
+#pragma once
+
+#include <source_location>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace nf {
+
+/// Base class for every exception thrown by the library.
+class Error : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Thrown when a public API is called with invalid arguments
+/// (e.g. a filter bank with zero groups, a threshold ratio outside (0,1]).
+class InvalidArgument : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Thrown when a protocol invariant is violated at runtime
+/// (e.g. a message addressed to a peer that is not alive).
+class ProtocolError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Concatenates arbitrary streamable values into a string. Used for error
+/// messages; avoids std::format, which is unavailable on GCC 12.
+template <typename... Args>
+[[nodiscard]] std::string concat(const Args&... args) {
+  std::ostringstream os;
+  if constexpr (sizeof...(Args) > 0) {
+    (os << ... << args);
+  }
+  return os.str();
+}
+
+/// Precondition check for public API boundaries. Unlike `assert`, this is
+/// always on: a simulator that silently continues after a bad configuration
+/// produces plausible-looking garbage, which is worse than stopping.
+inline void require(
+    bool condition, const std::string& what,
+    std::source_location loc = std::source_location::current()) {
+  if (!condition) {
+    throw InvalidArgument(
+        concat(what, " (", loc.file_name(), ":", loc.line(), ")"));
+  }
+}
+
+/// Internal invariant check; throws ProtocolError with location info.
+inline void ensure(
+    bool condition, const std::string& what,
+    std::source_location loc = std::source_location::current()) {
+  if (!condition) {
+    throw ProtocolError(concat("invariant violated: ", what, " (",
+                               loc.file_name(), ":", loc.line(), ")"));
+  }
+}
+
+}  // namespace nf

@@ -1,0 +1,123 @@
+// Seeded hash functions and the hash family used to define filters.
+//
+// netFilter partitions items into item groups by hashing (paper §III-B.1):
+// each of the `f` filters is an independent hash function
+// h_i : items -> {0..g-1}. Peers must agree on the functions without
+// coordination, so a filter is fully described by (seed, g) — two integers
+// the root can broadcast. We use the 64-bit finalizer from MurmurHash3
+// (fmix64) composed with the seed, which gives good avalanche behaviour and
+// is cheap enough to hash millions of items per second.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "common/error.h"
+#include "common/ids.h"
+#include "common/rng.h"
+
+namespace nf {
+
+/// MurmurHash3 64-bit finalizer. Full avalanche: every input bit affects
+/// every output bit with probability ~1/2.
+[[nodiscard]] constexpr std::uint64_t fmix64(std::uint64_t k) {
+  k ^= k >> 33;
+  k *= 0xFF51AFD7ED558CCDull;
+  k ^= k >> 33;
+  k *= 0xC4CEB9FE1A85EC53ull;
+  k ^= k >> 33;
+  return k;
+}
+
+/// Seeded 64-bit hash of a 64-bit key.
+[[nodiscard]] constexpr std::uint64_t hash64(std::uint64_t key,
+                                             std::uint64_t seed) {
+  return fmix64(key ^ fmix64(seed));
+}
+
+/// FNV-1a over bytes, for hashing application-level string keys (keywords,
+/// byte sequences) into the 64-bit ItemId space.
+[[nodiscard]] inline std::uint64_t hash_bytes(std::string_view bytes,
+                                              std::uint64_t seed = 0) {
+  std::uint64_t h = 0xCBF29CE484222325ull ^ fmix64(seed);
+  for (char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001B3ull;
+  }
+  return fmix64(h);
+}
+
+/// One hash filter: maps items to one of `g` item groups.
+///
+/// Copyable value type; two GroupHash instances with the same (seed, g)
+/// behave identically on every peer, which is what makes decentralized
+/// candidate materialization possible (paper §III-C).
+class GroupHash {
+ public:
+  GroupHash(std::uint64_t seed, std::uint32_t num_groups)
+      : seed_(seed), num_groups_(num_groups) {
+    require(num_groups > 0, "GroupHash requires at least one group");
+  }
+
+  [[nodiscard]] GroupId group_of(ItemId item) const {
+    // Multiply-shift style range reduction of the seeded hash. Using the
+    // high bits via 128-bit multiply avoids modulo bias entirely.
+    const std::uint64_t h = hash64(item.value(), seed_);
+    const auto g = static_cast<std::uint32_t>(
+        (static_cast<__uint128_t>(h) * num_groups_) >> 64);
+    return GroupId(g);
+  }
+
+  [[nodiscard]] std::uint32_t num_groups() const { return num_groups_; }
+  [[nodiscard]] std::uint64_t seed() const { return seed_; }
+
+  friend bool operator==(const GroupHash&, const GroupHash&) = default;
+
+ private:
+  std::uint64_t seed_;
+  std::uint32_t num_groups_;
+};
+
+/// A bank of `f` independent filters, all with the same group count `g`.
+/// This is the complete, broadcastable description of netFilter's
+/// candidate-filtering configuration.
+class FilterBank {
+ public:
+  /// Derives `num_filters` independent seeds from `master_seed`.
+  FilterBank(std::uint64_t master_seed, std::uint32_t num_filters,
+             std::uint32_t num_groups) {
+    require(num_filters > 0, "FilterBank requires at least one filter");
+    std::uint64_t sm = master_seed;
+    filters_.reserve(num_filters);
+    for (std::uint32_t i = 0; i < num_filters; ++i) {
+      filters_.emplace_back(splitmix64(sm), num_groups);
+    }
+  }
+
+  [[nodiscard]] std::uint32_t num_filters() const {
+    return static_cast<std::uint32_t>(filters_.size());
+  }
+  [[nodiscard]] std::uint32_t num_groups() const {
+    return filters_.front().num_groups();
+  }
+  [[nodiscard]] const GroupHash& filter(std::uint32_t i) const {
+    require(i < filters_.size(), "filter index out of range");
+    return filters_[i];
+  }
+
+  /// The f groups an item belongs to, one per filter.
+  [[nodiscard]] std::vector<GroupId> groups_of(ItemId item) const {
+    std::vector<GroupId> out;
+    out.reserve(filters_.size());
+    for (const auto& f : filters_) out.push_back(f.group_of(item));
+    return out;
+  }
+
+  friend bool operator==(const FilterBank&, const FilterBank&) = default;
+
+ private:
+  std::vector<GroupHash> filters_;
+};
+
+}  // namespace nf

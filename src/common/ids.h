@@ -1,0 +1,65 @@
+// Strong identifier types used across the netFilter codebase.
+//
+// The protocol juggles several integer id spaces (peers, items, item groups,
+// filters). Mixing them up is an easy, silent bug in a simulator, so each id
+// space gets its own strong type. The wrapper is a zero-cost `struct` with an
+// explicit constructor and full comparison support; it converts back to its
+// raw representation only through `value()`.
+#pragma once
+
+#include <compare>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <ostream>
+
+namespace nf {
+
+/// CRTP-free strong id wrapper. `Tag` makes distinct instantiations
+/// non-interconvertible; `Rep` is the underlying integer representation.
+template <typename Tag, typename Rep = std::uint32_t>
+struct StrongId {
+  using rep_type = Rep;
+
+  constexpr StrongId() = default;
+  constexpr explicit StrongId(Rep v) : value_(v) {}
+
+  [[nodiscard]] constexpr Rep value() const { return value_; }
+
+  friend constexpr auto operator<=>(StrongId, StrongId) = default;
+
+  friend std::ostream& operator<<(std::ostream& os, StrongId id) {
+    return os << id.value_;
+  }
+
+ private:
+  Rep value_{0};
+};
+
+/// Identifies a peer (node) in the overlay. Dense: peers are numbered
+/// `0..N-1` by the simulator.
+using PeerId = StrongId<struct PeerIdTag, std::uint32_t>;
+
+/// Identifies a distinct data item (e.g. a song, keyword, flow key).
+/// Sparse: item ids live in an arbitrary 64-bit key space so that hashed
+/// application keys (keyword strings, address pairs) can be used directly.
+using ItemId = StrongId<struct ItemIdTag, std::uint64_t>;
+
+/// Identifies one item group within one filter (0..g-1).
+using GroupId = StrongId<struct GroupIdTag, std::uint32_t>;
+
+/// Sentinel used by the hierarchy-repair protocol: "my depth is unknown".
+inline constexpr std::uint32_t kInfiniteDepth = 0xFFFFFFFFu;
+
+}  // namespace nf
+
+namespace std {
+
+template <typename Tag, typename Rep>
+struct hash<nf::StrongId<Tag, Rep>> {
+  size_t operator()(nf::StrongId<Tag, Rep> id) const noexcept {
+    return std::hash<Rep>{}(id.value());
+  }
+};
+
+}  // namespace std

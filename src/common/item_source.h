@@ -1,0 +1,30 @@
+// Read-only access to per-peer local item sets.
+//
+// Decouples the aggregation/core layers from the workload generator: any
+// source of local item sets (synthetic workload, application adapter, test
+// fixture) implements this interface.
+#pragma once
+
+#include <cstdint>
+
+#include "common/ids.h"
+#include "common/value_map.h"
+
+namespace nf {
+
+/// Values are unsigned counts (number of downloads, queries, packets...).
+using Value = std::uint64_t;
+using LocalItems = ValueMap<ItemId, Value>;
+
+class ItemSource {
+ public:
+  virtual ~ItemSource() = default;
+
+  /// Peer `p`'s local item set A_p with local values.
+  [[nodiscard]] virtual const LocalItems& local_items(PeerId p) const = 0;
+
+  /// Number of peers the source covers.
+  [[nodiscard]] virtual std::uint32_t num_peers() const = 0;
+};
+
+}  // namespace nf

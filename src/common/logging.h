@@ -1,0 +1,67 @@
+// Minimal leveled logging for the simulator.
+//
+// The experiment binaries print their results on stdout; diagnostics go to
+// stderr through this logger so the two streams never mix. Logging is off
+// (kWarn) by default and is cheap when disabled: the level check happens
+// before any argument formatting.
+#pragma once
+
+#include <iostream>
+#include <mutex>
+#include <sstream>
+#include <string_view>
+
+namespace nf {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+namespace detail {
+inline LogLevel& log_level_ref() {
+  static LogLevel level = LogLevel::kWarn;
+  return level;
+}
+inline std::mutex& log_mutex() {
+  static std::mutex m;
+  return m;
+}
+}  // namespace detail
+
+inline void set_log_level(LogLevel level) { detail::log_level_ref() = level; }
+[[nodiscard]] inline LogLevel log_level() { return detail::log_level_ref(); }
+
+/// Logs all streamed arguments on one stderr line if `level` is enabled.
+template <typename... Args>
+void log(LogLevel level, std::string_view tag, const Args&... args) {
+  if (static_cast<int>(level) < static_cast<int>(log_level())) return;
+  std::ostringstream os;
+  switch (level) {
+    case LogLevel::kDebug: os << "[debug "; break;
+    case LogLevel::kInfo:  os << "[info  "; break;
+    case LogLevel::kWarn:  os << "[warn  "; break;
+    case LogLevel::kError: os << "[error "; break;
+  }
+  os << tag << "] ";
+  (os << ... << args);
+  os << '\n';
+  const std::scoped_lock lock(detail::log_mutex());
+  std::cerr << os.str();
+}
+
+template <typename... Args>
+void log_debug(std::string_view tag, const Args&... args) {
+  log(LogLevel::kDebug, tag, args...);
+}
+template <typename... Args>
+void log_info(std::string_view tag, const Args&... args) {
+  log(LogLevel::kInfo, tag, args...);
+}
+template <typename... Args>
+void log_warn(std::string_view tag, const Args&... args) {
+  log(LogLevel::kWarn, tag, args...);
+}
+template <typename... Args>
+void log_error(std::string_view tag, const Args&... args) {
+  log(LogLevel::kError, tag, args...);
+}
+
+}  // namespace nf

@@ -1,0 +1,72 @@
+// Fixed-width text table printer for experiment output.
+//
+// Every bench binary prints the rows of one paper table/figure. A shared
+// printer keeps the output format uniform and greppable:
+//
+//   TableWriter t({"g", "candidates/peer", "total cost"});
+//   t.row(100, 31.4, 5123.0);
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace nf {
+
+class TableWriter {
+ public:
+  explicit TableWriter(std::vector<std::string> headers,
+                       std::ostream& os = std::cout, int width = 18)
+      : headers_(std::move(headers)), os_(os), width_(width) {
+    print_header();
+  }
+
+  template <typename... Cells>
+  void row(const Cells&... cells) {
+    static_assert(sizeof...(Cells) > 0);
+    (print_cell(cells), ...);
+    os_ << '\n';
+  }
+
+  void rule() const {
+    os_ << std::string(headers_.size() * static_cast<std::size_t>(width_),
+                       '-')
+        << '\n';
+  }
+
+ private:
+  void print_header() {
+    for (const auto& h : headers_) os_ << std::setw(width_) << h;
+    os_ << '\n';
+    rule();
+  }
+
+  template <typename Cell>
+  void print_cell(const Cell& cell) {
+    std::ostringstream tmp;
+    if constexpr (std::is_floating_point_v<Cell>) {
+      // Two decimals for ordinary magnitudes; keep significant digits for
+      // small values (epsilons, ratios) instead of printing "0.00".
+      const double x = static_cast<double>(cell);
+      int decimals = 2;
+      if (x != 0.0 && std::abs(x) < 0.1) {
+        decimals = 2 + static_cast<int>(-std::floor(std::log10(std::abs(x))));
+        decimals = std::min(decimals, 9);
+      }
+      tmp << std::fixed << std::setprecision(decimals) << cell;
+    } else {
+      tmp << cell;
+    }
+    os_ << std::setw(width_) << tmp.str();
+  }
+
+  std::vector<std::string> headers_;
+  std::ostream& os_;
+  int width_;
+};
+
+}  // namespace nf

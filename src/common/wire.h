@@ -1,0 +1,34 @@
+// Wire-size configuration: the byte cost of each protocol field.
+//
+// The paper's sole performance metric is communication cost in bytes, built
+// from three field sizes (Table II/III): sa (an aggregate value), sg (an
+// item-group identifier), si (an item identifier). All default to 4 bytes.
+// Making them a value type lets experiments reproduce the paper exactly and
+// also explore e.g. 8-byte identifiers.
+#pragma once
+
+#include <cstdint>
+
+#include "common/error.h"
+
+namespace nf {
+
+/// Byte counts for serialized protocol fields.
+struct WireSizes {
+  std::uint32_t aggregate_bytes = 4;  ///< sa: one aggregate value
+  std::uint32_t group_id_bytes = 4;   ///< sg: one item-group identifier
+  std::uint32_t item_id_bytes = 4;    ///< si: one item identifier
+
+  /// Bytes for one <item id, value> pair as propagated during candidate
+  /// aggregation and by the naive approach: sa + si.
+  [[nodiscard]] std::uint64_t item_value_pair() const {
+    return std::uint64_t{aggregate_bytes} + item_id_bytes;
+  }
+
+  void validate() const {
+    require(aggregate_bytes > 0 && group_id_bytes > 0 && item_id_bytes > 0,
+            "wire sizes must be positive");
+  }
+};
+
+}  // namespace nf

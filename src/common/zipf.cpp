@@ -1,0 +1,83 @@
+#include "common/zipf.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace nf {
+
+double generalized_harmonic(std::uint64_t n, double alpha) {
+  // Kahan summation from the small terms up, so H is accurate even for
+  // n = 10^6 where the tail terms are tiny relative to the head.
+  double sum = 0.0;
+  double c = 0.0;
+  for (std::uint64_t k = n; k >= 1; --k) {
+    const double term = std::pow(static_cast<double>(k), -alpha);
+    const double y = term - c;
+    const double t = sum + y;
+    c = (t - sum) - y;
+    sum = t;
+  }
+  return sum;
+}
+
+ZipfDistribution::ZipfDistribution(std::uint64_t num_ranks, double alpha)
+    : num_ranks_(num_ranks), alpha_(alpha) {
+  require(num_ranks >= 1, "ZipfDistribution requires at least one rank");
+  require(alpha >= 0.0, "ZipfDistribution requires alpha >= 0");
+  h_integral_x1_ = h_integral(1.5) - 1.0;
+  h_integral_num_ranks_ = h_integral(static_cast<double>(num_ranks) + 0.5);
+  s_ = 2.0 - h_integral_inverse(h_integral(2.5) - h(2.0));
+  harmonic_ = generalized_harmonic(num_ranks, alpha);
+}
+
+double ZipfDistribution::h_integral(double x) const {
+  // Integral of x^-alpha: log(x) when alpha == 1, else x^(1-alpha)/(1-alpha).
+  // Written with expm1/log1p for numerical stability near alpha == 1.
+  const double log_x = std::log(x);
+  // helper(t) = (exp(t*(1-alpha)) - 1) / (1-alpha), continuous at alpha==1.
+  const double t = log_x * (1.0 - alpha_);
+  const double helper = (std::abs(t) > 1e-8) ? std::expm1(t) / (1.0 - alpha_)
+                                             : log_x * (1.0 + t * 0.5);
+  return helper;
+}
+
+double ZipfDistribution::h_integral_inverse(double x) const {
+  double t = x * (1.0 - alpha_);
+  if (t < -1.0) t = -1.0;  // clamp against rounding below the pole
+  const double y = (std::abs(t) > 1e-8)
+                       ? std::log1p(t) / (1.0 - alpha_)
+                       : x * (1.0 - x * (1.0 - alpha_) * 0.5);
+  return std::exp(y);
+}
+
+double ZipfDistribution::h(double x) const { return std::pow(x, -alpha_); }
+
+std::uint64_t ZipfDistribution::operator()(Rng& rng) const {
+  if (num_ranks_ == 1) return 1;
+  if (alpha_ == 0.0) return rng.between(1, num_ranks_);
+  // Hörmann & Derflinger rejection-inversion. Expected < 1.2 iterations.
+  while (true) {
+    const double u = h_integral_num_ranks_ +
+                     rng.uniform() * (h_integral_x1_ - h_integral_num_ranks_);
+    const double x = h_integral_inverse(u);
+    std::uint64_t k = static_cast<std::uint64_t>(x + 0.5);
+    if (k < 1) {
+      k = 1;
+    } else if (k > num_ranks_) {
+      k = num_ranks_;
+    }
+    const double kd = static_cast<double>(k);
+    if (kd - x <= s_ ||
+        u >= h_integral(kd + 0.5) - h(kd)) {
+      return k;
+    }
+  }
+}
+
+double ZipfDistribution::pmf(std::uint64_t rank) const {
+  require(rank >= 1 && rank <= num_ranks_, "rank out of range");
+  return std::pow(static_cast<double>(rank), -alpha_) / harmonic_;
+}
+
+}  // namespace nf

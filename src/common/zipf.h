@@ -1,0 +1,51 @@
+// Zipf-distributed sampling for workload generation.
+//
+// The paper's evaluation (§V, Table III) models item popularity with a Zipf
+// distribution of skewness α: the k-th most popular of n items is drawn with
+// probability proportional to 1/k^α. The evaluation sweeps α from 0
+// (uniform) to 5 (extremely skewed), so the sampler must be O(1) per draw
+// independent of n (n reaches 10^6 and we draw 10·n instances). We use
+// Hörmann & Derflinger's rejection-inversion method, the same algorithm
+// behind the samplers in Apache Commons and absl.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.h"
+
+namespace nf {
+
+/// Generalized harmonic number H_{n,alpha} = sum_{k=1..n} k^-alpha.
+[[nodiscard]] double generalized_harmonic(std::uint64_t n, double alpha);
+
+/// Samples ranks in [1, n] with P(k) ∝ k^-alpha.
+///
+/// alpha >= 0; alpha == 0 degenerates to the uniform distribution.
+/// Thread-compatible: const sampling requires the caller to pass its Rng.
+class ZipfDistribution {
+ public:
+  ZipfDistribution(std::uint64_t num_ranks, double alpha);
+
+  /// Draws one rank in [1, num_ranks].
+  [[nodiscard]] std::uint64_t operator()(Rng& rng) const;
+
+  /// Probability mass of rank k under this distribution.
+  [[nodiscard]] double pmf(std::uint64_t rank) const;
+
+  [[nodiscard]] std::uint64_t num_ranks() const { return num_ranks_; }
+  [[nodiscard]] double alpha() const { return alpha_; }
+
+ private:
+  [[nodiscard]] double h_integral(double x) const;
+  [[nodiscard]] double h_integral_inverse(double x) const;
+  [[nodiscard]] double h(double x) const;
+
+  std::uint64_t num_ranks_;
+  double alpha_;
+  double h_integral_x1_;
+  double h_integral_num_ranks_;
+  double s_;
+  double harmonic_;  // H_{n,alpha}, for pmf()
+};
+
+}  // namespace nf

@@ -1,0 +1,67 @@
+#include "core/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace nf::core::cost_model {
+
+double netfilter_cost(const WireSizes& wire, double num_filters,
+                      double num_groups, double heavy_groups_per_filter,
+                      double heavy_items, double false_positives) {
+  return wire.aggregate_bytes * num_filters * num_groups +
+         wire.group_id_bytes * num_filters * heavy_groups_per_filter +
+         static_cast<double>(wire.item_value_pair()) *
+             (heavy_items + false_positives);
+}
+
+double naive_cost_lower(const WireSizes& wire, double items_per_peer) {
+  return static_cast<double>(wire.item_value_pair()) * items_per_peer;
+}
+
+double naive_cost_upper(const WireSizes& wire, double items_per_peer,
+                        double height) {
+  return static_cast<double>(wire.item_value_pair()) * items_per_peer *
+         std::max(1.0, height - 1.0);
+}
+
+double expected_fp2(double num_items, double heavy_items, double num_groups,
+                    double num_filters) {
+  require(num_groups >= 1.0, "num_groups must be >= 1");
+  if (num_items <= heavy_items) return 0.0;
+  // P(light item shares a group with >=1 of the r heavy items, one filter).
+  const double p_collide =
+      1.0 - std::pow(1.0 - 1.0 / num_groups, heavy_items);
+  return (num_items - heavy_items) * std::pow(p_collide, num_filters);
+}
+
+double optimal_num_groups(double v_bar_light, double theta, double v_bar,
+                          double c) {
+  require(theta > 0.0, "theta must be positive");
+  require(v_bar > 0.0, "v_bar must be positive");
+  return c + v_bar_light / (theta * v_bar);
+}
+
+std::uint32_t optimal_num_filters(const WireSizes& wire, double num_items,
+                                  double heavy_items, double num_groups) {
+  require(num_groups >= 2.0, "num_groups must be >= 2");
+  if (num_items <= heavy_items || heavy_items <= 0.0) return 1;
+  const double p_collide =
+      1.0 - std::pow(1.0 - 1.0 / num_groups, heavy_items);
+  if (p_collide <= 0.0) return 1;
+  if (p_collide >= 1.0) {
+    // Every light item collides under every filter; more filters cannot
+    // help (the filter size is too small for this r).
+    return 1;
+  }
+  const double arg = static_cast<double>(wire.item_value_pair()) *
+                     (num_items - heavy_items) /
+                     (num_groups * wire.aggregate_bytes);
+  if (arg <= 1.0) return 1;
+  // log base 1/p_collide of arg; p_collide < 1 so the base is > 1.
+  const double f = std::log(arg) / -std::log(p_collide);
+  return std::max(1u, static_cast<std::uint32_t>(std::ceil(f)));
+}
+
+}  // namespace nf::core::cost_model

@@ -1,0 +1,48 @@
+// Analytic cost model of netFilter (paper §IV, Formulae 1-6).
+//
+// Used three ways: (1) to pick the optimal filter size g and filter count f,
+// (2) to sanity-check the simulator (bench/analysis_cost_model compares
+// model vs measured), (3) in tests as a closed-form oracle for the
+// protocol's byte accounting.
+#pragma once
+
+#include <cstdint>
+
+#include "common/wire.h"
+
+namespace nf::core::cost_model {
+
+/// Formula 1: C_filter = sa·f·g + sg·f·w + (sa+si)·(r+fp).
+/// `heavy_groups_per_filter` is the paper's w; `false_positives` its fp.
+[[nodiscard]] double netfilter_cost(const WireSizes& wire, double num_filters,
+                                    double num_groups,
+                                    double heavy_groups_per_filter,
+                                    double heavy_items,
+                                    double false_positives);
+
+/// Formula 2 bounds: (sa+si)·o <= C_naive <= (sa+si)·o·(h-1).
+[[nodiscard]] double naive_cost_lower(const WireSizes& wire,
+                                      double items_per_peer);
+[[nodiscard]] double naive_cost_upper(const WireSizes& wire,
+                                      double items_per_peer, double height);
+
+/// Formula 4: expected heterogeneous false positives
+/// fp2 = (n-r)·(1-(1-1/g)^r)^f.
+[[nodiscard]] double expected_fp2(double num_items, double heavy_items,
+                                  double num_groups, double num_filters);
+
+/// Formula 3: g_opt = c + v̄_light / (θ·v̄), with small positive constant c.
+/// Setting g at least this large makes homogeneous false positives unlikely
+/// (at most t/v̄_light items land in one group in expectation).
+[[nodiscard]] double optimal_num_groups(double v_bar_light, double theta,
+                                        double v_bar, double c = 20.0);
+
+/// Formula 6: f_opt = ceil( log_{1/(1-(1-1/g)^r)} ((sa+si)(n-r)/(g·sa)) ).
+/// The f at which one more filter costs more in filtering than it saves in
+/// candidate aggregation. Clamped to >= 1.
+[[nodiscard]] std::uint32_t optimal_num_filters(const WireSizes& wire,
+                                                double num_items,
+                                                double heavy_items,
+                                                double num_groups);
+
+}  // namespace nf::core::cost_model

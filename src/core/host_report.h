@@ -1,0 +1,54 @@
+// Host reporting: non-participating peers hand their local item sets to a
+// stable peer (paper §III-A: "other peers forward their local item sets to
+// one of these peers participating in netFilter").
+//
+// EffectiveItems presents, for each hierarchy member, the union of its own
+// local item set and the sets of the non-members it hosts — the view every
+// netFilter phase operates on. Reporting traffic is charged once, when the
+// view is built (category kHostReport): each alive non-member sends
+// (sa + si) bytes per local item to its host.
+//
+// In the paper's default evaluation every peer participates, in which case
+// this class adds no copies and charges no traffic.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "agg/hierarchy.h"
+#include "common/item_source.h"
+#include "common/wire.h"
+#include "net/metrics.h"
+
+namespace nf::core {
+
+class EffectiveItems final : public ItemSource {
+ public:
+  /// Builds the per-member effective view and charges reporting traffic to
+  /// `meter` (if non-null).
+  EffectiveItems(const ItemSource& base, const agg::Hierarchy& hierarchy,
+                 const net::Overlay& overlay, const WireSizes& wire,
+                 net::TrafficMeter* meter);
+
+  /// For members: own + hosted items. For non-members: empty (their items
+  /// were handed to the host).
+  [[nodiscard]] const LocalItems& local_items(PeerId p) const override;
+
+  [[nodiscard]] std::uint32_t num_peers() const override {
+    return base_.num_peers();
+  }
+
+  /// Number of peers that reported to a host (diagnostics).
+  [[nodiscard]] std::uint32_t num_reporters() const { return num_reporters_; }
+
+ private:
+  const ItemSource& base_;
+  const agg::Hierarchy& hierarchy_;
+  // Members that host at least one reporter get a merged copy here.
+  std::unordered_map<PeerId, LocalItems> merged_;
+  LocalItems empty_;
+  std::uint32_t num_reporters_{0};
+};
+
+}  // namespace nf::core

@@ -1,0 +1,101 @@
+// Approximate frequent-items baseline: mergeable Misra-Gries summaries.
+//
+// The paper's related work ([9], [12]) finds frequent items approximately
+// with an ε error tolerance and communication O(a/ε); the paper argues
+// exactness matters (no false positives for attack detection, exact values
+// for cache replacement) and declines a head-to-head. We implement the
+// approximate approach anyway — each peer summarizes its local set with a
+// k-counter Misra-Gries sketch, sketches merge up the hierarchy, and the
+// root reports every item whose lower bound can still reach the threshold —
+// so bench/ablation_approx can quantify the paper's argument: the bytes an
+// ε-approximation needs as ε shrinks toward exactness, and the false
+// positives it reports on the way.
+//
+// Guarantees (standard MG bounds with k counters over total mass v):
+//   estimate(x) <= true(x) <= estimate(x) + v/(k+1)
+// Reporting items with estimate(x) + v/(k+1) >= t yields no false
+// negatives; false positives and value errors up to v/(k+1) remain.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "agg/hierarchy.h"
+#include "common/item_source.h"
+#include "common/wire.h"
+#include "net/engine.h"
+
+namespace nf::core {
+
+/// Mergeable Misra-Gries summary with at most `capacity` counters.
+class MisraGries {
+ public:
+  explicit MisraGries(std::size_t capacity);
+
+  /// Counts `weight` occurrences of `item`.
+  void add(ItemId item, Value weight);
+
+  /// Mergeable-summaries merge (Agarwal et al.): sum counters, then subtract
+  /// the (capacity+1)-largest count from all and drop non-positive ones.
+  /// The combined error stays <= v/(capacity+1).
+  void merge(const MisraGries& other);
+
+  /// Lower-bound estimate for one item (0 if not tracked).
+  [[nodiscard]] Value estimate(ItemId item) const;
+
+  /// Total weight subtracted from every tracked counter so far; the
+  /// over-approximation needed for "could reach threshold" decisions.
+  [[nodiscard]] Value error_bound() const { return decremented_; }
+
+  [[nodiscard]] const ValueMap<ItemId, Value>& counters() const {
+    return counters_;
+  }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+  [[nodiscard]] std::uint64_t wire_bytes(const WireSizes& wire) const {
+    return counters_.size() * wire.item_value_pair() + wire.aggregate_bytes;
+  }
+
+ private:
+  void shrink();
+
+  std::size_t capacity_;
+  ValueMap<ItemId, Value> counters_;
+  Value decremented_{0};
+};
+
+struct ApproxStats {
+  double cost_per_peer = 0.0;
+  std::uint64_t rounds = 0;
+  std::uint64_t num_reported = 0;
+  std::uint64_t false_positives = 0;   ///< vs the exact oracle, if provided
+  std::uint64_t false_negatives = 0;
+  double max_value_error = 0.0;        ///< max |reported - true| over reported
+};
+
+struct ApproxResult {
+  /// Items that may be frequent, with their lower-bound estimates.
+  ValueMap<ItemId, Value> reported;
+  ApproxStats stats;
+};
+
+class ApproxCollector {
+ public:
+  /// `epsilon`: error tolerance as a fraction of v; counters per sketch is
+  /// ceil(1/epsilon).
+  ApproxCollector(WireSizes wire, double epsilon);
+
+  [[nodiscard]] ApproxResult run(const ItemSource& items,
+                                 const agg::Hierarchy& hierarchy,
+                                 net::Overlay& overlay,
+                                 net::TrafficMeter& meter, Value threshold,
+                                 const ValueMap<ItemId, Value>* oracle) const;
+
+  [[nodiscard]] std::size_t sketch_capacity() const { return capacity_; }
+
+ private:
+  WireSizes wire_;
+  std::size_t capacity_;
+};
+
+}  // namespace nf::core

@@ -1,0 +1,45 @@
+#include "core/monitor.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace nf::core {
+
+EpochReport ContinuousMonitor::epoch(const ItemSource& items,
+                                     const agg::Hierarchy& hierarchy,
+                                     net::Overlay& overlay,
+                                     net::TrafficMeter& meter) {
+  EpochReport report;
+  report.epoch = epochs_;
+
+  // v from the members' current state (in deployment this is the one-value
+  // bootstrap aggregate; its cost is charged by the tuner when used).
+  for (std::uint32_t p = 0; p < items.num_peers(); ++p) {
+    if (hierarchy.is_member(PeerId(p)) || !overlay.is_alive(PeerId(p))) {
+      report.total_value += items.local_items(PeerId(p)).total();
+    }
+  }
+  require(report.total_value > 0, "system holds no items");
+  report.threshold = static_cast<Value>(
+      std::ceil(theta_ * static_cast<double>(report.total_value)));
+
+  const NetFilterResult result =
+      netfilter_.run(items, hierarchy, overlay, meter, report.threshold);
+  report.frequent = result.frequent;
+  report.stats = result.stats;
+
+  for (const auto& [id, v] : report.frequent) {
+    if (!previous_.contains(id)) report.newly_frequent.push_back(id);
+  }
+  for (const auto& [id, v] : previous_) {
+    if (!report.frequent.contains(id)) report.dropped.push_back(id);
+  }
+
+  previous_ = report.frequent;
+  ++epochs_;
+  total_cost_ += result.stats.total_cost();
+  return report;
+}
+
+}  // namespace nf::core

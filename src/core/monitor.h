@@ -1,0 +1,62 @@
+// Continuous frequent-item monitoring.
+//
+// Wraps netFilter for the deployment pattern the paper's applications
+// imply: counters grow over time, and the operator wants the frequent set
+// refreshed every epoch together with what *changed* — which items became
+// frequent, which fell out (with a ratio threshold t = θ·v, the bar rises
+// as the system total grows, so items can drop out even though their
+// counters never shrink). Every epoch's set is exact; the monitor also
+// tracks amortized communication cost.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/netfilter.h"
+
+namespace nf::core {
+
+struct EpochReport {
+  std::uint32_t epoch = 0;
+  Value total_value = 0;           ///< v at this epoch
+  Value threshold = 0;             ///< t = θ·v at this epoch
+  ValueMap<ItemId, Value> frequent;  ///< exact set with exact values
+  std::vector<ItemId> newly_frequent;
+  std::vector<ItemId> dropped;     ///< frequent last epoch, not now
+  NetFilterStats stats;
+};
+
+class ContinuousMonitor {
+ public:
+  /// `theta` is re-applied to the current total every epoch.
+  ContinuousMonitor(NetFilterConfig config, double theta)
+      : netfilter_(config), theta_(theta) {
+    require(theta > 0.0 && theta <= 1.0, "theta must be in (0,1]");
+  }
+
+  /// Runs one epoch over the source's current state. The hierarchy may
+  /// differ between epochs (e.g. repaired after churn).
+  [[nodiscard]] EpochReport epoch(const ItemSource& items,
+                                  const agg::Hierarchy& hierarchy,
+                                  net::Overlay& overlay,
+                                  net::TrafficMeter& meter);
+
+  [[nodiscard]] std::uint32_t epochs_run() const { return epochs_; }
+
+  /// Cumulative netFilter bytes per peer across all epochs.
+  [[nodiscard]] double total_cost_per_peer() const { return total_cost_; }
+
+  /// Last epoch's frequent set (empty before the first epoch).
+  [[nodiscard]] const ValueMap<ItemId, Value>& current() const {
+    return previous_;
+  }
+
+ private:
+  NetFilter netfilter_;
+  double theta_;
+  ValueMap<ItemId, Value> previous_;
+  std::uint32_t epochs_ = 0;
+  double total_cost_ = 0.0;
+};
+
+}  // namespace nf::core

@@ -1,0 +1,240 @@
+#include "core/netfilter.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "agg/convergecast.h"
+#include "agg/multicast.h"
+#include "common/error.h"
+#include "core/host_report.h"
+#include "net/codec.h"
+
+namespace nf::core {
+
+namespace {
+
+double per_peer(std::uint64_t bytes, std::uint32_t num_peers) {
+  return static_cast<double>(bytes) / static_cast<double>(num_peers);
+}
+
+}  // namespace
+
+std::uint64_t HeavyGroupSet::total() const {
+  std::uint64_t t = 0;
+  for (const auto& bitmap : heavy) {
+    t += static_cast<std::uint64_t>(
+        std::count(bitmap.begin(), bitmap.end(), true));
+  }
+  return t;
+}
+
+bool HeavyGroupSet::passes(ItemId item, const FilterBank& bank) const {
+  for (std::uint32_t i = 0; i < bank.num_filters(); ++i) {
+    const GroupId group = bank.filter(i).group_of(item);
+    if (!heavy[i][group.value()]) return false;
+  }
+  return true;
+}
+
+NetFilter::NetFilter(NetFilterConfig config)
+    : config_(config),
+      bank_(config.filter_seed, config.num_filters, config.num_groups) {
+  config_.validate();
+}
+
+std::vector<Value> NetFilter::local_group_aggregates(
+    const LocalItems& items) const {
+  const std::uint32_t g = config_.num_groups;
+  const std::uint32_t f = config_.num_filters;
+  std::vector<Value> agg(static_cast<std::size_t>(f) * g, 0);
+  for (const auto& [id, value] : items) {
+    for (std::uint32_t i = 0; i < f; ++i) {
+      const GroupId group = bank_.filter(i).group_of(id);
+      agg[static_cast<std::size_t>(i) * g + group.value()] += value;
+    }
+  }
+  return agg;
+}
+
+LocalItems NetFilter::materialize_candidates(const LocalItems& items,
+                                             const HeavyGroupSet& heavy) const {
+  LocalItems out = items;
+  out.retain([&](ItemId id, Value) { return heavy.passes(id, bank_); });
+  return out;
+}
+
+HeavyGroupSet NetFilter::filter_candidates(const ItemSource& items,
+                                           const agg::Hierarchy& hierarchy,
+                                           net::Overlay& overlay,
+                                           net::TrafficMeter& meter,
+                                           Value threshold,
+                                           NetFilterStats* stats) const {
+  require(threshold >= 1, "threshold must be >= 1");
+  const std::uint32_t g = config_.num_groups;
+  const std::uint32_t f = config_.num_filters;
+  const std::uint64_t before = meter.total(net::TrafficCategory::kFiltering);
+
+  // Under the paper's model every peer propagates sa bytes per item group
+  // per filter (§IV-A: candidate filtering cost = sa·f·g), regardless of
+  // sparsity; under kVarintDelta the actual varint encoding is priced.
+  const std::uint64_t flat_bytes =
+      std::uint64_t{config_.wire.aggregate_bytes} * f * g;
+  const WireModel model = config_.wire_model;
+
+  agg::Convergecast<std::vector<Value>> cast(
+      hierarchy, net::TrafficCategory::kFiltering,
+      /*local=*/
+      [&](PeerId p) { return local_group_aggregates(items.local_items(p)); },
+      /*merge=*/
+      [](std::vector<Value>& acc, std::vector<Value>&& child) {
+        ensure(acc.size() == child.size(), "group vector size mismatch");
+        for (std::size_t i = 0; i < acc.size(); ++i) acc[i] += child[i];
+      },
+      /*wire_bytes=*/
+      [flat_bytes, model](const std::vector<Value>& v) {
+        return model == WireModel::kFlatFields
+                   ? flat_bytes
+                   : net::encode_aggregates(v).size();
+      });
+
+  net::Engine engine(overlay, meter);
+  engine.set_fault_model(config_.fault);
+  const std::uint64_t rounds =
+      engine.run(cast, config_.max_rounds_per_phase);
+  ensure(cast.complete(), "candidate filtering did not complete");
+
+  const std::vector<Value>& global = cast.result();
+  HeavyGroupSet heavy;
+  heavy.heavy.assign(f, std::vector<bool>(g, false));
+  for (std::uint32_t i = 0; i < f; ++i) {
+    for (std::uint32_t j = 0; j < g; ++j) {
+      heavy.heavy[i][j] =
+          global[static_cast<std::size_t>(i) * g + j] >= threshold;
+    }
+  }
+
+  if (stats != nullptr) {
+    stats->threshold = threshold;
+    stats->heavy_groups_total = heavy.total();
+    stats->rounds_filtering = rounds;
+    stats->filtering_cost =
+        per_peer(meter.total(net::TrafficCategory::kFiltering) - before,
+                 overlay.num_peers());
+  }
+  return heavy;
+}
+
+NetFilterResult NetFilter::verify_candidates(
+    const ItemSource& items, const agg::Hierarchy& hierarchy,
+    net::Overlay& overlay, net::TrafficMeter& meter, Value threshold,
+    const HeavyGroupSet& heavy, NetFilterStats stats) const {
+  const std::uint64_t dissemination_before =
+      meter.total(net::TrafficCategory::kDissemination);
+  const std::uint64_t aggregation_before =
+      meter.total(net::TrafficCategory::kAggregation);
+
+  // Phase 2a: the root propagates the heavy group identifiers downwards
+  // (Algorithm 2, line 1); each message costs sg per heavy group id under
+  // the flat model, or a delta-coded id list under kVarintDelta.
+  std::uint64_t dissemination_bytes =
+      heavy.total() * config_.wire.group_id_bytes;
+  if (config_.wire_model == WireModel::kVarintDelta) {
+    std::vector<std::uint64_t> heavy_ids;
+    for (std::size_t i = 0; i < heavy.heavy.size(); ++i) {
+      for (std::size_t j = 0; j < heavy.heavy[i].size(); ++j) {
+        if (heavy.heavy[i][j]) {
+          heavy_ids.push_back(i * heavy.heavy[i].size() + j);
+        }
+      }
+    }
+    dissemination_bytes = net::encode_sorted_ids(heavy_ids).size();
+  }
+
+  // Phase 2b: peers materialize their partial candidate sets on receipt
+  // (Algorithm 2, line 2) and the <id, value> pairs merge bottom-up
+  // (lines 3-4). The downward wave strictly precedes the upward one — no
+  // peer can contribute before it has the heavy list — so the two protocols
+  // run back to back.
+  std::vector<LocalItems> partial(overlay.num_peers());
+  std::vector<bool> ready(overlay.num_peers(), false);
+
+  agg::Multicast<HeavyGroupSet> down(
+      hierarchy, net::TrafficCategory::kDissemination, heavy,
+      dissemination_bytes,
+      /*on_receive=*/[&](PeerId p, const HeavyGroupSet& hg) {
+        partial[p.value()] =
+            materialize_candidates(items.local_items(p), hg);
+        ready[p.value()] = true;
+      });
+
+  net::Engine engine(overlay, meter);
+  engine.set_fault_model(config_.fault);
+  const std::uint64_t down_rounds =
+      engine.run(down, config_.max_rounds_per_phase);
+  ensure(down.complete(), "dissemination did not complete");
+
+  agg::Convergecast<LocalItems> up(
+      hierarchy, net::TrafficCategory::kAggregation,
+      /*local=*/
+      [&](PeerId p) {
+        ensure(ready[p.value()], "peer aggregating before materialization");
+        return std::move(partial[p.value()]);
+      },
+      /*merge=*/
+      [](LocalItems& acc, LocalItems&& child) { acc.merge_add(child); },
+      /*wire_bytes=*/
+      [this](const LocalItems& m) {
+        return config_.wire_model == WireModel::kFlatFields
+                   ? m.size() * config_.wire.item_value_pair()
+                   : net::encode_pairs(m).size();
+      });
+  const std::uint64_t up_rounds = engine.run(up, config_.max_rounds_per_phase);
+  ensure(up.complete(), "candidate aggregation did not complete");
+
+  NetFilterResult result;
+  const LocalItems& candidates = up.result();
+  stats.num_candidates = candidates.size();
+  result.frequent = candidates;
+  result.frequent.retain(
+      [&](ItemId, Value v) { return v >= threshold; });
+  stats.num_frequent = result.frequent.size();
+  stats.num_false_positives = stats.num_candidates - stats.num_frequent;
+  stats.rounds_verification = down_rounds + up_rounds;
+
+  const std::uint64_t aggregation_bytes =
+      meter.total(net::TrafficCategory::kAggregation) - aggregation_before;
+  stats.dissemination_cost = per_peer(
+      meter.total(net::TrafficCategory::kDissemination) - dissemination_before,
+      overlay.num_peers());
+  stats.aggregation_cost = per_peer(aggregation_bytes, overlay.num_peers());
+  stats.candidates_per_peer =
+      static_cast<double>(aggregation_bytes) /
+      static_cast<double>(config_.wire.item_value_pair()) /
+      static_cast<double>(overlay.num_peers());
+
+  result.stats = stats;
+  return result;
+}
+
+NetFilterResult NetFilter::run(const ItemSource& items,
+                               const agg::Hierarchy& hierarchy,
+                               net::Overlay& overlay, net::TrafficMeter& meter,
+                               Value threshold) const {
+  require(items.num_peers() == overlay.num_peers(),
+          "item source and overlay disagree on peer count");
+  const std::uint64_t host_before =
+      meter.total(net::TrafficCategory::kHostReport);
+  const EffectiveItems effective(items, hierarchy, overlay, config_.wire,
+                                 &meter);
+
+  NetFilterStats stats;
+  const HeavyGroupSet heavy = filter_candidates(effective, hierarchy, overlay,
+                                                meter, threshold, &stats);
+  stats.host_report_cost =
+      per_peer(meter.total(net::TrafficCategory::kHostReport) - host_before,
+               overlay.num_peers());
+  return verify_candidates(effective, hierarchy, overlay, meter, threshold,
+                           heavy, stats);
+}
+
+}  // namespace nf::core

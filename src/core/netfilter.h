@@ -1,0 +1,115 @@
+// netFilter — exact identification of frequent items in P2P systems
+// (paper §III).
+//
+// Phase 1, candidate filtering: every peer folds its local item set into
+// f×g item-group aggregates (one g-sized vector per hash filter) and the
+// vectors are summed up the hierarchy. Item groups whose aggregate is below
+// the threshold are light; an item survives as a candidate only if all f of
+// its groups are heavy.
+//
+// Phase 2, candidate verification: the root multicasts the heavy group ids
+// down the hierarchy; each peer materializes the candidates visible in its
+// local set (Algorithm 2) and exact <id, value> pairs are merged bottom-up.
+// Candidates whose exact global value clears the threshold are the answer —
+// no false positives, no false negatives, exact values.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "agg/hierarchy.h"
+#include "common/hashing.h"
+#include "common/item_source.h"
+#include "core/config.h"
+#include "net/engine.h"
+
+namespace nf::core {
+
+/// The heavy item groups that survive phase 1: one bitmap per filter.
+struct HeavyGroupSet {
+  std::vector<std::vector<bool>> heavy;  ///< [filter][group]
+
+  /// Σ_f w_f — total heavy groups across filters (what Fig 5(a)/6(a) plot).
+  [[nodiscard]] std::uint64_t total() const;
+
+  /// True iff every one of the item's f groups is heavy.
+  [[nodiscard]] bool passes(ItemId item, const FilterBank& bank) const;
+};
+
+struct NetFilterStats {
+  std::uint64_t threshold = 0;             ///< t actually used
+  std::uint64_t heavy_groups_total = 0;    ///< Σ_f w_f
+  std::uint64_t num_candidates = 0;        ///< |candidate set| at the root
+  std::uint64_t num_frequent = 0;          ///< true frequent items reported
+  std::uint64_t num_false_positives = 0;   ///< candidates - frequent (fp)
+  double candidates_per_peer = 0.0;        ///< avg <id,value> pairs sent/peer
+  std::uint64_t rounds_filtering = 0;
+  std::uint64_t rounds_verification = 0;
+
+  // Per-peer average communication cost in bytes (the paper's metric),
+  // split the way Figures 5(b)/6(b) plot it.
+  double filtering_cost = 0.0;
+  double dissemination_cost = 0.0;
+  double aggregation_cost = 0.0;
+  double host_report_cost = 0.0;
+
+  /// The paper's "total cost": the lumped sum of the three phase costs.
+  [[nodiscard]] double total_cost() const {
+    return filtering_cost + dissemination_cost + aggregation_cost;
+  }
+};
+
+struct NetFilterResult {
+  /// IFI(A, t): exact item ids and exact global values.
+  ValueMap<ItemId, Value> frequent;
+  NetFilterStats stats;
+};
+
+class NetFilter {
+ public:
+  explicit NetFilter(NetFilterConfig config);
+
+  /// Runs both phases over `hierarchy` and returns the exact frequent-item
+  /// set. `items` must cover every peer of the overlay; traffic is charged
+  /// to `meter`. `threshold` must be >= 1.
+  [[nodiscard]] NetFilterResult run(const ItemSource& items,
+                                    const agg::Hierarchy& hierarchy,
+                                    net::Overlay& overlay,
+                                    net::TrafficMeter& meter,
+                                    Value threshold) const;
+
+  /// Phase 1 only (exposed for tests and extensions): returns the heavy
+  /// group bitmap and fills the filtering stats fields.
+  [[nodiscard]] HeavyGroupSet filter_candidates(const ItemSource& items,
+                                                const agg::Hierarchy& hierarchy,
+                                                net::Overlay& overlay,
+                                                net::TrafficMeter& meter,
+                                                Value threshold,
+                                                NetFilterStats* stats) const;
+
+  /// Phase 2 only: candidate materialization + verification given the
+  /// heavy group bitmap.
+  [[nodiscard]] NetFilterResult verify_candidates(
+      const ItemSource& items, const agg::Hierarchy& hierarchy,
+      net::Overlay& overlay, net::TrafficMeter& meter, Value threshold,
+      const HeavyGroupSet& heavy, NetFilterStats stats) const;
+
+  /// The f×g group aggregates of one local item set — what each peer
+  /// contributes in phase 1. Layout: filter-major, aggregates[i*g + group].
+  [[nodiscard]] std::vector<Value> local_group_aggregates(
+      const LocalItems& items) const;
+
+  /// The candidates visible in one local item set given the heavy bitmap —
+  /// what each peer materializes in phase 2 (Algorithm 2, line 2).
+  [[nodiscard]] LocalItems materialize_candidates(
+      const LocalItems& items, const HeavyGroupSet& heavy) const;
+
+  [[nodiscard]] const FilterBank& bank() const { return bank_; }
+  [[nodiscard]] const NetFilterConfig& config() const { return config_; }
+
+ private:
+  NetFilterConfig config_;
+  FilterBank bank_;
+};
+
+}  // namespace nf::core

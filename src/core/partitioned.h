@@ -1,0 +1,68 @@
+// Partitioned netFilter over replicated hierarchies.
+//
+// §III-A.1 suggests building multiple hierarchies (after [13]) against the
+// single point of failure; [13]-style systems also use them for load
+// balancing. This driver realizes both: k BFS hierarchies with distinct
+// roots run netFilter cooperatively, each owning a slice of the work —
+//
+//   * phase 1: filter i's group aggregates flow up hierarchy (i mod k);
+//   * dissemination: each root multicasts its own slice of the heavy
+//     bitmap down its own hierarchy, so every peer reassembles the full
+//     f-filter bitmap;
+//   * phase 2: candidate items are partitioned by hash — item x is
+//     verified through hierarchy (hash(x) mod k) — and each root reports
+//     the exact frequent items of its slice; the union is the answer.
+//
+// Exactness is untouched (every slice is aggregated over all peers); what
+// changes is the load profile: no single root carries the whole filtering
+// vector or the whole candidate stream. bench/ablation_partitioned
+// measures the max/mean load drop.
+#pragma once
+
+#include <cstdint>
+
+#include "agg/multi_hierarchy.h"
+#include "core/netfilter.h"
+
+namespace nf::core {
+
+struct PartitionedStats {
+  std::uint64_t threshold = 0;
+  std::uint64_t heavy_groups_total = 0;
+  std::uint64_t num_candidates = 0;
+  std::uint64_t num_frequent = 0;
+  double filtering_cost = 0.0;      ///< bytes/peer, all hierarchies
+  double dissemination_cost = 0.0;
+  double aggregation_cost = 0.0;
+  std::uint64_t rounds = 0;
+
+  [[nodiscard]] double total_cost() const {
+    return filtering_cost + dissemination_cost + aggregation_cost;
+  }
+};
+
+struct PartitionedResult {
+  ValueMap<ItemId, Value> frequent;  ///< exact union over all slices
+  PartitionedStats stats;
+};
+
+class PartitionedNetFilter {
+ public:
+  /// `config.num_filters` should be >= the number of hierarchies for the
+  /// filtering load to spread evenly (it is clamped to >= 1 per slice).
+  explicit PartitionedNetFilter(NetFilterConfig config);
+
+  [[nodiscard]] PartitionedResult run(const ItemSource& items,
+                                      const agg::MultiHierarchy& hierarchies,
+                                      net::Overlay& overlay,
+                                      net::TrafficMeter& meter,
+                                      Value threshold) const;
+
+  [[nodiscard]] const FilterBank& bank() const { return bank_; }
+
+ private:
+  NetFilterConfig config_;
+  FilterBank bank_;
+};
+
+}  // namespace nf::core

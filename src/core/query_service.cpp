@@ -1,0 +1,234 @@
+#include "core/query_service.h"
+
+#include <algorithm>
+#include <any>
+#include <cmath>
+#include <optional>
+
+#include "common/error.h"
+
+namespace nf::core {
+
+namespace {
+
+/// Stage 1: every requester's theta travels up the parent chain to the
+/// root, recording its route (paper §III-A.1). One protocol instance
+/// carries all requests.
+class RequestsUp final : public net::Protocol {
+ public:
+  struct Arrived {
+    PeerId requester;
+    double theta;
+    std::vector<PeerId> route;  // [requester, hop, ...], excluding root
+  };
+
+  RequestsUp(const agg::Hierarchy& hierarchy,
+             const std::vector<FrequentItemsRequest>& requests,
+             std::uint64_t request_bytes)
+      : hierarchy_(hierarchy),
+        requests_(requests),
+        request_bytes_(request_bytes) {}
+
+  void on_round(net::Context& ctx) override {
+    // The engine calls on_round for every alive peer every round, so each
+    // requester originates its own request(s) in round 0.
+    if (started_.empty()) started_.resize(requests_.size(), false);
+    for (std::size_t i = 0; i < requests_.size(); ++i) {
+      if (started_[i] || requests_[i].requester != ctx.self()) continue;
+      started_[i] = true;
+      forward(ctx,
+              Arrived{requests_[i].requester, requests_[i].theta, {}});
+    }
+  }
+
+  void on_message(net::Context& ctx, net::Envelope&& env) override {
+    auto* msg = std::any_cast<Arrived>(&env.payload);
+    ensure(msg != nullptr, "request payload type mismatch");
+    forward(ctx, std::move(*msg));
+  }
+
+  [[nodiscard]] bool active() const override {
+    return arrived_.size() < requests_.size();
+  }
+  [[nodiscard]] const std::vector<Arrived>& arrived() const {
+    return arrived_;
+  }
+
+ private:
+  void forward(net::Context& ctx, Arrived&& msg) {
+    const PeerId self = ctx.self();
+    if (self == hierarchy_.root()) {
+      arrived_.push_back(std::move(msg));
+      return;
+    }
+    msg.route.push_back(self);
+    ctx.send(hierarchy_.upstream(self), net::TrafficCategory::kControl,
+             request_bytes_, std::any(std::move(msg)));
+  }
+
+  const agg::Hierarchy& hierarchy_;
+  const std::vector<FrequentItemsRequest>& requests_;
+  std::uint64_t request_bytes_;
+  std::vector<bool> started_;
+  std::vector<Arrived> arrived_;
+};
+
+/// Stage 3: per-requester replies retrace the recorded routes.
+class RepliesDown final : public net::Protocol {
+ public:
+  struct Pending {
+    std::vector<PeerId> route;  // remaining hops; requester first
+    FrequentItemsResponse response;
+  };
+
+  RepliesDown(const agg::Hierarchy& hierarchy, std::vector<Pending> replies,
+              std::uint64_t pair_bytes)
+      : hierarchy_(hierarchy),
+        outbox_(std::move(replies)),
+        pair_bytes_(pair_bytes),
+        expected_(outbox_.size()) {}
+
+  void on_round(net::Context& ctx) override {
+    if (ctx.self() != hierarchy_.root() || sent_) return;
+    sent_ = true;
+    for (auto& pending : outbox_) {
+      dispatch(ctx, std::move(pending));
+    }
+    outbox_.clear();
+  }
+
+  void on_message(net::Context& ctx, net::Envelope&& env) override {
+    auto* msg = std::any_cast<Pending>(&env.payload);
+    ensure(msg != nullptr, "reply payload type mismatch");
+    dispatch(ctx, std::move(*msg));
+  }
+
+  [[nodiscard]] bool active() const override {
+    return delivered_.size() < expected_;
+  }
+  [[nodiscard]] std::vector<FrequentItemsResponse> take_delivered() {
+    return std::move(delivered_);
+  }
+
+ private:
+  void dispatch(net::Context& ctx, Pending&& pending) {
+    if (pending.route.empty()) {
+      ensure(ctx.self() == pending.response.requester, "reply misrouted");
+      delivered_.push_back(std::move(pending.response));
+      return;
+    }
+    const PeerId next = pending.route.back();
+    pending.route.pop_back();
+    const std::uint64_t bytes =
+        pending.response.frequent.size() * pair_bytes_;
+    ctx.send(next, net::TrafficCategory::kControl, bytes,
+             std::any(std::move(pending)));
+  }
+
+  const agg::Hierarchy& hierarchy_;
+  std::vector<Pending> outbox_;
+  std::uint64_t pair_bytes_;
+  std::size_t expected_;
+  bool sent_ = false;
+  std::vector<FrequentItemsResponse> delivered_;
+};
+
+}  // namespace
+
+std::vector<FrequentItemsResponse> QueryService::serve(
+    const std::vector<FrequentItemsRequest>& requests,
+    const ItemSource& items, const agg::Hierarchy& hierarchy,
+    net::Overlay& overlay, net::TrafficMeter& meter,
+    QueryServiceStats* stats) const {
+  require(!requests.empty(), "no requests");
+  for (const auto& req : requests) {
+    require(req.theta > 0.0 && req.theta <= 1.0, "theta must be in (0,1]");
+    require(hierarchy.is_member(req.requester),
+            "requester must be a hierarchy member");
+  }
+
+  // v is needed to turn thetas into absolute thresholds; in deployment the
+  // root gets it from the bootstrap aggregate (see tuner.cpp); the byte
+  // charge for that is the tuner's, not the query service's.
+  Value v_total = 0;
+  for (std::uint32_t p = 0; p < items.num_peers(); ++p) {
+    if (hierarchy.is_member(PeerId(p))) {
+      v_total += items.local_items(PeerId(p)).total();
+    }
+  }
+  require(v_total > 0, "system holds no items");
+
+  // Stage 1: route all requests to the root (one theta per message).
+  const std::uint64_t control_at_entry =
+      meter.total(net::TrafficCategory::kControl);
+  RequestsUp up(hierarchy, requests, config_.wire.aggregate_bytes);
+  {
+    net::Engine engine(overlay, meter);
+    engine.run(up, 10000);
+  }
+  ensure(up.arrived().size() == requests.size(),
+         "not every request reached the root");
+  const std::uint64_t control_after_requests =
+      meter.total(net::TrafficCategory::kControl);
+
+  // Stage 2: one shared netFilter run at the minimum threshold.
+  double min_theta = 1.0;
+  for (const auto& req : requests) min_theta = std::min(min_theta, req.theta);
+  const auto min_threshold = static_cast<Value>(
+      std::ceil(min_theta * static_cast<double>(v_total)));
+  const NetFilter netfilter(config_);
+  const NetFilterResult shared =
+      netfilter.run(items, hierarchy, overlay, meter, min_threshold);
+
+  // Stage 3: per-request filtering of the superset, replies retrace routes.
+  std::vector<RepliesDown::Pending> pending;
+  pending.reserve(requests.size());
+  for (const auto& arrived : up.arrived()) {
+    RepliesDown::Pending p;
+    p.route = arrived.route;
+    p.response.requester = arrived.requester;
+    p.response.threshold = static_cast<Value>(
+        std::ceil(arrived.theta * static_cast<double>(v_total)));
+    p.response.frequent = shared.frequent;
+    p.response.frequent.retain([&](ItemId, Value v) {
+      return v >= p.response.threshold;
+    });
+    pending.push_back(std::move(p));
+  }
+  RepliesDown down(hierarchy, std::move(pending),
+                   config_.wire.item_value_pair());
+  {
+    net::Engine engine(overlay, meter);
+    engine.run(down, 10000);
+  }
+  auto responses = down.take_delivered();
+  ensure(responses.size() == requests.size(), "lost replies");
+  // Restore the caller's request order.
+  std::stable_sort(responses.begin(), responses.end(),
+                   [&](const FrequentItemsResponse& a,
+                       const FrequentItemsResponse& b) {
+                     const auto pos = [&](PeerId id) {
+                       for (std::size_t i = 0; i < requests.size(); ++i) {
+                         if (requests[i].requester == id) return i;
+                       }
+                       return requests.size();
+                     };
+                     return pos(a.requester) < pos(b.requester);
+                   });
+
+  if (stats != nullptr) {
+    stats->min_threshold = min_threshold;
+    stats->netfilter_runs = 1;
+    stats->netfilter = shared.stats;
+    const double n = static_cast<double>(overlay.num_peers());
+    stats->request_cost_per_peer =
+        static_cast<double>(control_after_requests - control_at_entry) / n;
+    stats->reply_cost_per_peer =
+        static_cast<double>(meter.total(net::TrafficCategory::kControl) -
+                            control_after_requests) /
+        n;
+  }
+  return responses;
+}
+
+}  // namespace nf::core

@@ -1,0 +1,57 @@
+// Multi-request sharing (paper §III-A.1).
+//
+// Several peers may concurrently request frequent-item sets with different
+// thresholds. Instead of one hierarchy + one netFilter run per request, all
+// requests are forwarded to the root, netFilter runs ONCE with the minimum
+// requested threshold, and each requester receives the superset filtered at
+// its own threshold. Forwarding and reply traffic is charged so the sharing
+// win is measurable.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "agg/hierarchy.h"
+#include "common/item_source.h"
+#include "core/netfilter.h"
+
+namespace nf::core {
+
+struct FrequentItemsRequest {
+  PeerId requester;
+  double theta;  ///< requested threshold ratio
+};
+
+struct FrequentItemsResponse {
+  PeerId requester;
+  Value threshold = 0;                 ///< t for this requester
+  ValueMap<ItemId, Value> frequent;    ///< exact result at their threshold
+};
+
+struct QueryServiceStats {
+  Value min_threshold = 0;       ///< the single threshold netFilter ran at
+  std::uint64_t netfilter_runs = 1;
+  NetFilterStats netfilter;      ///< stats of the one shared run
+  double request_cost_per_peer = 0.0;  ///< forwarding requests to the root
+  double reply_cost_per_peer = 0.0;    ///< shipping per-request results back
+};
+
+class QueryService {
+ public:
+  explicit QueryService(NetFilterConfig config) : config_(config) {}
+
+  /// Serves all requests with one shared netFilter run. The request with
+  /// the smallest theta defines the run threshold; every response is exact
+  /// for its own theta because filtering a superset of frequent items by a
+  /// larger threshold loses nothing.
+  [[nodiscard]] std::vector<FrequentItemsResponse> serve(
+      const std::vector<FrequentItemsRequest>& requests,
+      const ItemSource& items, const agg::Hierarchy& hierarchy,
+      net::Overlay& overlay, net::TrafficMeter& meter,
+      QueryServiceStats* stats = nullptr) const;
+
+ private:
+  NetFilterConfig config_;
+};
+
+}  // namespace nf::core

@@ -1,0 +1,50 @@
+#include "core/topk.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace nf::core {
+
+TopKResult TopK::run(const ItemSource& items,
+                     const agg::Hierarchy& hierarchy, net::Overlay& overlay,
+                     net::TrafficMeter& meter, std::uint32_t k) const {
+  require(k >= 1, "k must be at least 1");
+
+  Value v_total = 0;
+  for (std::uint32_t p = 0; p < items.num_peers(); ++p) {
+    if (hierarchy.is_member(PeerId(p))) {
+      v_total += items.local_items(PeerId(p)).total();
+    }
+  }
+  require(v_total > 0, "system holds no items");
+
+  TopKResult result;
+  // At most k items can each hold >= v/k of the mass, so this start never
+  // over-collects; halving from there converges in O(log(v/k)) runs.
+  Value t = std::max<Value>(1, v_total / k);
+  ValueMap<ItemId, Value> frequent;
+  while (true) {
+    const NetFilterResult run_result =
+        netfilter_.run(items, hierarchy, overlay, meter, t);
+    ++result.stats.netfilter_runs;
+    result.stats.total_cost += run_result.stats.total_cost();
+    frequent = run_result.frequent;
+    result.stats.final_threshold = t;
+    if (frequent.size() >= k || t == 1) break;
+    t = std::max<Value>(1, t / 2);
+  }
+
+  // Any item outside IFI(t) has value < t <= value of every item inside,
+  // so sorting the final run's output yields the exact global top-k.
+  result.items.assign(frequent.begin(), frequent.end());
+  std::sort(result.items.begin(), result.items.end(),
+            [](const auto& a, const auto& b) {
+              if (a.second != b.second) return a.second > b.second;
+              return a.first < b.first;
+            });
+  if (result.items.size() > k) result.items.resize(k);
+  return result;
+}
+
+}  // namespace nf::core

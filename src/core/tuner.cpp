@@ -1,0 +1,59 @@
+#include "core/tuner.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "core/cost_model.h"
+
+namespace nf::core {
+
+TunedSetting tune(const ItemSource& items, const agg::Hierarchy& hierarchy,
+                  double theta, const TunerConfig& config,
+                  net::TrafficMeter* meter) {
+  require(theta > 0.0 && theta <= 1.0, "theta must be in (0,1]");
+
+  // Bootstrap aggregates for v (and N, which the hierarchy already knows):
+  // each peer contributes a single value (paper §IV). Charged one aggregate
+  // field per non-root member; the full engine-driven version of this pass
+  // lives in agg/bootstrap.h.
+  TunedSetting out;
+  for (std::uint32_t p = 0; p < items.num_peers(); ++p) {
+    const PeerId id(p);
+    if (!hierarchy.is_member(id)) continue;
+    out.v_total += items.local_items(id).total();
+    if (meter != nullptr && id != hierarchy.root()) {
+      meter->record(id, net::TrafficCategory::kSampling,
+                    config.wire.aggregate_bytes);
+    }
+  }
+  require(out.v_total > 0, "system holds no items");
+  out.threshold = static_cast<Value>(
+      std::ceil(theta * static_cast<double>(out.v_total)));
+
+  out.estimates = agg::sample_estimates(hierarchy, items, out.v_total,
+                                        out.threshold, config.sampling, meter);
+
+  // Formula 3. If the sample saw no light items (tiny universe or huge
+  // sample), fall back to v̄ itself — every group then holds ~1/θ of the
+  // mass budget.
+  const double v_bar = std::max(out.estimates.v_bar, 1e-9);
+  const double v_light =
+      out.estimates.v_bar_light > 0.0 ? out.estimates.v_bar_light : v_bar;
+  const double g_opt = cost_model::optimal_num_groups(
+      v_light, theta, v_bar, config.g_constant);
+  out.num_groups = std::clamp(
+      static_cast<std::uint32_t>(std::lround(g_opt)), config.min_groups,
+      config.max_groups);
+
+  // Formula 6 wants n and r.
+  const double n_hat = std::max(out.estimates.n_hat, 1.0);
+  const double r_hat = std::clamp(out.estimates.r_hat, 1.0, n_hat);
+  out.num_filters = std::min(
+      config.max_filters,
+      cost_model::optimal_num_filters(config.wire, n_hat, r_hat,
+                                      out.num_groups));
+  return out;
+}
+
+}  // namespace nf::core

@@ -1,0 +1,53 @@
+// Setting netFilter optimally in practice (paper §IV-E).
+//
+// g_opt and f_opt (Formulae 3, 6) depend on v̄, v̄_light, n and r — none of
+// which the root knows. The tuner obtains them the way the paper
+// prescribes: v and N by trivial one-value-per-peer aggregates, the rest by
+// random-branch sampling (agg::sample_estimates), then evaluates the
+// formulae. The sampling traffic is charged so experiments can report the
+// all-in cost of self-tuning.
+#pragma once
+
+#include "agg/hierarchy.h"
+#include "agg/sampling.h"
+#include "common/item_source.h"
+#include "core/config.h"
+
+namespace nf::core {
+
+struct TunedSetting {
+  std::uint32_t num_groups = 0;   ///< chosen g
+  std::uint32_t num_filters = 0;  ///< chosen f
+  Value threshold = 0;            ///< t = θ·v
+  Value v_total = 0;              ///< v, from the bootstrap aggregate
+  agg::SampleEstimates estimates;
+
+  /// A ready-to-run config carrying the tuned g and f.
+  [[nodiscard]] NetFilterConfig to_config(const NetFilterConfig& base) const {
+    NetFilterConfig c = base;
+    c.num_groups = num_groups;
+    c.num_filters = num_filters;
+    return c;
+  }
+};
+
+struct TunerConfig {
+  agg::SamplingConfig sampling{};
+  WireSizes wire{};
+  /// The additive constant c of Formula 3.
+  double g_constant = 20.0;
+  /// Clamp bounds for the chosen parameters.
+  std::uint32_t min_groups = 2;
+  std::uint32_t max_groups = 1u << 20;
+  std::uint32_t max_filters = 16;
+};
+
+/// Computes v by a scalar aggregate over the hierarchy (charged sa bytes per
+/// non-root member, category kSampling), runs branch sampling, and applies
+/// Formulae 3 and 6. `theta` in (0, 1].
+[[nodiscard]] TunedSetting tune(const ItemSource& items,
+                                const agg::Hierarchy& hierarchy,
+                                double theta, const TunerConfig& config,
+                                net::TrafficMeter* meter);
+
+}  // namespace nf::core

@@ -1,0 +1,144 @@
+#include "net/codec.h"
+
+#include <limits>
+
+namespace nf::net {
+
+void put_varint(Bytes& out, std::uint64_t value) {
+  while (value >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>(value) | 0x80);
+    value >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(value));
+}
+
+std::uint64_t get_varint(std::span<const std::uint8_t> in,
+                         std::size_t& offset) {
+  std::uint64_t value = 0;
+  int shift = 0;
+  while (true) {
+    ensure(offset < in.size(), "truncated varint");
+    ensure(shift < 64, "over-long varint");
+    const std::uint8_t byte = in[offset++];
+    value |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) break;
+    shift += 7;
+  }
+  return value;
+}
+
+std::size_t varint_size(std::uint64_t value) {
+  std::size_t size = 1;
+  while (value >= 0x80) {
+    value >>= 7;
+    ++size;
+  }
+  return size;
+}
+
+Bytes encode_sorted_ids(std::span<const std::uint64_t> ids) {
+  Bytes out;
+  put_varint(out, ids.size());
+  std::uint64_t prev = 0;
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    require(i == 0 || ids[i] >= prev, "ids must be sorted ascending");
+    put_varint(out, ids[i] - prev);
+    prev = ids[i];
+  }
+  return out;
+}
+
+std::vector<std::uint64_t> decode_sorted_ids(
+    std::span<const std::uint8_t> in) {
+  std::size_t offset = 0;
+  const std::uint64_t count = get_varint(in, offset);
+  std::vector<std::uint64_t> out;
+  out.reserve(count);
+  std::uint64_t prev = 0;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    prev += get_varint(in, offset);
+    out.push_back(prev);
+  }
+  ensure(offset == in.size(), "trailing bytes after id list");
+  return out;
+}
+
+Bytes encode_pairs(const ValueMap<ItemId, std::uint64_t>& map) {
+  Bytes out;
+  put_varint(out, map.size());
+  std::uint64_t prev = 0;
+  for (const auto& [id, value] : map) {
+    put_varint(out, id.value() - prev);
+    put_varint(out, value);
+    prev = id.value();
+  }
+  return out;
+}
+
+ValueMap<ItemId, std::uint64_t> decode_pairs(
+    std::span<const std::uint8_t> in) {
+  std::size_t offset = 0;
+  const std::uint64_t count = get_varint(in, offset);
+  std::vector<std::pair<ItemId, std::uint64_t>> pairs;
+  pairs.reserve(count);
+  std::uint64_t prev = 0;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    prev += get_varint(in, offset);
+    const std::uint64_t value = get_varint(in, offset);
+    pairs.emplace_back(ItemId(prev), value);
+  }
+  ensure(offset == in.size(), "trailing bytes after pair list");
+  return ValueMap<ItemId, std::uint64_t>::from_unsorted(std::move(pairs));
+}
+
+Bytes encode_aggregates(std::span<const std::uint64_t> values) {
+  Bytes out;
+  put_varint(out, values.size());
+  for (std::uint64_t v : values) put_varint(out, v);
+  return out;
+}
+
+std::vector<std::uint64_t> decode_aggregates(
+    std::span<const std::uint8_t> in) {
+  std::size_t offset = 0;
+  const std::uint64_t count = get_varint(in, offset);
+  std::vector<std::uint64_t> out;
+  out.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    out.push_back(get_varint(in, offset));
+  }
+  ensure(offset == in.size(), "trailing bytes after aggregate vector");
+  return out;
+}
+
+Bytes encode_aggregates_fixed32(std::span<const std::uint64_t> values) {
+  Bytes out;
+  put_varint(out, values.size());
+  for (std::uint64_t v : values) {
+    const auto clamped = static_cast<std::uint32_t>(std::min<std::uint64_t>(
+        v, std::numeric_limits<std::uint32_t>::max()));
+    for (int shift = 0; shift < 32; shift += 8) {
+      out.push_back(static_cast<std::uint8_t>(clamped >> shift));
+    }
+  }
+  return out;
+}
+
+std::vector<std::uint64_t> decode_aggregates_fixed32(
+    std::span<const std::uint8_t> in) {
+  std::size_t offset = 0;
+  const std::uint64_t count = get_varint(in, offset);
+  ensure(in.size() - offset == count * 4, "fixed32 length mismatch");
+  std::vector<std::uint64_t> out;
+  out.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::uint32_t v = 0;
+    for (int shift = 0; shift < 32; shift += 8) {
+      v |= static_cast<std::uint32_t>(in[offset++]) << shift;
+    }
+    out.push_back(v);
+  }
+  return out;
+}
+
+}  // namespace nf::net

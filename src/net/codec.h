@@ -1,0 +1,66 @@
+// Byte-level codecs for the protocol messages.
+//
+// The paper charges flat field sizes (sa = sg = si = 4 bytes, Table III).
+// A deployment would serialize for real, so this module provides the
+// encodings a production implementation would use and exact decoders for
+// them:
+//
+//   * varint  — LEB128 variable-length unsigned integers; small aggregate
+//     values cost one byte, not four.
+//   * delta   — sorted id lists stored as first-difference varints; dense
+//     id ranges (heavy group ids) shrink dramatically.
+//   * pairs   — <item id, value> lists as delta-coded sorted ids plus
+//     varint values: the candidate aggregation and naive messages.
+//   * dense   — group-aggregate vectors as fixed-width or varint arrays.
+//
+// bench/ablation_encoding compares the paper's flat-field byte model with
+// these realistic encodings across every message type of a full run.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/error.h"
+#include "common/ids.h"
+#include "common/value_map.h"
+
+namespace nf::net {
+
+using Bytes = std::vector<std::uint8_t>;
+
+/// Appends the LEB128 encoding of `value` to `out`.
+void put_varint(Bytes& out, std::uint64_t value);
+
+/// Reads one LEB128 integer at `offset`, advancing it. Throws
+/// ProtocolError on truncated or over-long input.
+[[nodiscard]] std::uint64_t get_varint(std::span<const std::uint8_t> in,
+                                       std::size_t& offset);
+
+/// Byte size of the LEB128 encoding of `value`.
+[[nodiscard]] std::size_t varint_size(std::uint64_t value);
+
+/// Sorted id list -> count + delta-coded varints.
+[[nodiscard]] Bytes encode_sorted_ids(std::span<const std::uint64_t> ids);
+[[nodiscard]] std::vector<std::uint64_t> decode_sorted_ids(
+    std::span<const std::uint8_t> in);
+
+/// <item, value> map -> count + delta-coded ids with interleaved varint
+/// values (ValueMap iterates sorted, so deltas are non-negative).
+[[nodiscard]] Bytes encode_pairs(const ValueMap<ItemId, std::uint64_t>& map);
+[[nodiscard]] ValueMap<ItemId, std::uint64_t> decode_pairs(
+    std::span<const std::uint8_t> in);
+
+/// Dense aggregate vector -> count + varint per slot (zeros cost 1 byte).
+[[nodiscard]] Bytes encode_aggregates(std::span<const std::uint64_t> values);
+[[nodiscard]] std::vector<std::uint64_t> decode_aggregates(
+    std::span<const std::uint8_t> in);
+
+/// Fixed-width reference encoding (the paper's model): 4 bytes per slot,
+/// values clamped at 2^32-1.
+[[nodiscard]] Bytes encode_aggregates_fixed32(
+    std::span<const std::uint64_t> values);
+[[nodiscard]] std::vector<std::uint64_t> decode_aggregates_fixed32(
+    std::span<const std::uint8_t> in);
+
+}  // namespace nf::net

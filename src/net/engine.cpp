@@ -1,0 +1,200 @@
+#include "net/engine.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace nf::net {
+
+std::uint64_t Context::round() const { return engine_.round(); }
+
+const Overlay& Context::overlay() const { return engine_.overlay(); }
+
+const std::vector<PeerId>& Context::neighbors() const {
+  return engine_.overlay().neighbors(self_);
+}
+
+bool Context::is_alive(PeerId p) const {
+  return engine_.overlay().is_alive(p);
+}
+
+void Context::send(PeerId to, TrafficCategory category, std::uint64_t bytes,
+                   std::any payload) {
+  engine_.meter().record(self_, category, bytes);
+  engine_.enqueue(protocol_index_,
+                  Envelope{self_, to, category, bytes, std::move(payload)});
+}
+
+Engine::Engine(Overlay& overlay, TrafficMeter& meter)
+    : overlay_(overlay), meter_(meter) {
+  require(meter.num_peers() == overlay.num_peers(),
+          "meter and overlay disagree on peer count");
+}
+
+void Engine::set_latency_model(const LatencyModel& model) {
+  require(model.min_delay >= 1, "latency must be at least one round");
+  require(model.max_delay >= model.min_delay,
+          "max_delay must be >= min_delay");
+  latency_ = model;
+  latency_on_ = model.max_delay > 1;
+}
+
+void Engine::set_fault_model(const LinkFaultModel& model) {
+  require(model.loss_probability >= 0.0 && model.loss_probability < 1.0,
+          "loss probability must be in [0, 1)");
+  require(model.retransmit_after >= 1, "retransmit_after must be >= 1");
+  require(model.max_retries >= 1, "max_retries must be >= 1");
+  fault_ = model;
+  lossy_ = model.loss_probability > 0.0;
+  fault_rng_.reseed(model.seed);
+}
+
+void Engine::enqueue(std::size_t protocol_index, Envelope&& env) {
+  Outgoing out{protocol_index, std::move(env), 0, false, PeerId(0)};
+  if (lossy_) {
+    // Register for retransmission until acknowledged.
+    out.msg_id = next_msg_id_++;
+    pending_.emplace(
+        out.msg_id,
+        Pending{out, round_ + fault_.retransmit_after, /*attempts=*/1});
+  }
+  if (latency_on_) {
+    const std::uint32_t d =
+        latency_.delay(out.envelope.from, out.envelope.to);
+    if (d > 1) {
+      // Sends of round r with delay d arrive at round r + d; the outbox
+      // covers d == 1.
+      delayed_[round_ + d].push_back(std::move(out));
+      return;
+    }
+  }
+  outbox_.push_back(std::move(out));
+}
+
+void Engine::deliver(std::span<Protocol* const> protocols, Outgoing&& out) {
+  if (!overlay_.is_alive(out.envelope.to)) {
+    ++dropped_;
+    return;
+  }
+  if (lossy_ && fault_rng_.chance(fault_.loss_probability)) {
+    ++lost_;  // the link ate it; the retransmission timer will cover it
+    return;
+  }
+  if (out.is_ack) {
+    pending_.erase(out.msg_id);
+    return;
+  }
+  if (lossy_ && out.msg_id != 0) {
+    // Acknowledge receipt (the ACK itself is lossy too). The ACK travels
+    // outside any protocol: protocol_index is irrelevant for is_ack.
+    meter_.record(out.envelope.to, TrafficCategory::kControl,
+                  fault_.ack_bytes);
+    Outgoing ack{out.protocol_index,
+                 Envelope{out.envelope.to, out.envelope.from,
+                          TrafficCategory::kControl, fault_.ack_bytes, {}},
+                 out.msg_id, true, out.envelope.from};
+    outbox_.push_back(std::move(ack));
+    // Exactly-once delivery: retransmitted duplicates stop here.
+    if (!seen_.insert(out.msg_id).second) {
+      ++duplicates_;
+      return;
+    }
+  }
+  ensure(out.protocol_index < protocols.size(), "bad protocol index");
+  Context ctx(*this, out.envelope.to, out.protocol_index);
+  protocols[out.protocol_index]->on_message(ctx, std::move(out.envelope));
+}
+
+void Engine::scan_retransmissions() {
+  if (!lossy_ || pending_.empty()) return;
+  // Deterministic order: collect due ids, sort, resend.
+  std::vector<std::uint64_t> due;
+  for (const auto& [id, p] : pending_) {
+    if (p.next_retry <= round_) due.push_back(id);
+  }
+  std::sort(due.begin(), due.end());
+  for (std::uint64_t id : due) {
+    auto it = pending_.find(id);
+    Pending& p = it->second;
+    if (p.attempts > fault_.max_retries) {
+      ++given_up_;
+      pending_.erase(it);
+      continue;
+    }
+    ++p.attempts;
+    ++retransmissions_;
+    p.next_retry = round_ + fault_.retransmit_after;
+    meter_.record(p.message.envelope.from, p.message.envelope.category,
+                  p.message.envelope.bytes);
+    outbox_.push_back(p.message);  // copy; pending_ keeps the original
+  }
+}
+
+std::uint64_t Engine::run(Protocol& protocol, std::uint64_t max_rounds,
+                          const ChurnSchedule* schedule) {
+  Protocol* p = &protocol;
+  return run(std::span<Protocol* const>(&p, 1), max_rounds, schedule);
+}
+
+std::uint64_t Engine::run(std::span<Protocol* const> protocols,
+                          std::uint64_t max_rounds,
+                          const ChurnSchedule* schedule) {
+  require(!protocols.empty(), "need at least one protocol");
+  const std::uint64_t start_round = round_;
+  for (std::uint64_t executed = 0; executed < max_rounds; ++executed) {
+    // 1. Apply churn scheduled for this round.
+    if (schedule != nullptr) {
+      for (const auto& event : schedule->events_at(round_)) {
+        switch (event.type) {
+          case ChurnEventType::kFail: overlay_.fail(event.peer); break;
+          case ChurnEventType::kJoin: overlay_.revive(event.peer); break;
+        }
+      }
+    }
+
+    // 2. Deliver messages sent last round. Messages to peers that died in
+    // the meantime are dropped (the network does not buffer for the dead).
+    std::vector<Outgoing> inbox;
+    inbox.swap(in_flight_);
+    if (latency_on_) {
+      const auto due = delayed_.find(round_);
+      if (due != delayed_.end()) {
+        for (auto& out : due->second) inbox.push_back(std::move(out));
+        delayed_.erase(due);
+      }
+    }
+    for (auto& out : inbox) {
+      deliver(protocols, std::move(out));
+    }
+
+    // 3. Reliability layer: resend what was not acknowledged in time.
+    scan_retransmissions();
+
+    // 4. Per-round tick for every alive peer, every protocol.
+    for (std::size_t pi = 0; pi < protocols.size(); ++pi) {
+      for (std::uint32_t peer = 0; peer < overlay_.num_peers(); ++peer) {
+        if (!overlay_.is_alive(PeerId(peer))) continue;
+        Context ctx(*this, PeerId(peer), pi);
+        protocols[pi]->on_round(ctx);
+      }
+    }
+
+    // 5. Sends made during this round travel next round.
+    in_flight_.swap(outbox_);
+    outbox_.clear();
+    ++round_;
+
+    // 6. Quiescence check. Under the fault model, unacknowledged messages
+    // keep the engine alive until they are delivered or given up on.
+    const bool any_active =
+        std::any_of(protocols.begin(), protocols.end(),
+                    [](const Protocol* p) { return p->active(); });
+    if (in_flight_.empty() && !any_active && pending_.empty() &&
+        delayed_.empty()) {
+      break;
+    }
+  }
+  return round_ - start_round;
+}
+
+}  // namespace nf::net

@@ -1,0 +1,203 @@
+// Round-based message-passing engine.
+//
+// The simulator advances in synchronous rounds, the standard model for
+// evaluating P2P aggregation protocols: a message sent in round r is
+// delivered at the start of round r+1 if its destination is then alive.
+// Protocols are state machines over peers: the engine calls
+// `on_round(ctx)` once per alive peer per round and `on_message(ctx, env)`
+// for each delivered envelope. Several protocols can run concurrently (e.g.
+// heartbeats alongside an aggregation); envelopes are routed back to the
+// protocol that sent them.
+//
+// Determinism: peers are visited in id order, inboxes are delivered in send
+// order, and churn events fire at fixed rounds, so a run is a pure function
+// of (topology, workload, schedule, seeds).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/rng.h"
+#include "net/churn.h"
+#include "net/envelope.h"
+#include "net/metrics.h"
+#include "net/overlay.h"
+
+namespace nf::net {
+
+/// Opt-in unreliable-link model with an automatic reliability layer.
+///
+/// With `loss_probability > 0` every transmission (data and ACK alike) is
+/// dropped independently with that probability. The engine then behaves
+/// like a reliable transport: each delivered message is acknowledged
+/// (`ack_bytes` charged to the receiver, category kControl), unacked
+/// messages are retransmitted after `retransmit_after` rounds (re-charging
+/// the sender), and receiver-side duplicate suppression keeps protocols
+/// exactly-once — so every protocol in the library runs unmodified over
+/// lossy links, paying for the losses in bytes and rounds instead of
+/// correctness. `bench/ablation_loss` measures that price.
+struct LinkFaultModel {
+  double loss_probability = 0.0;
+  std::uint32_t ack_bytes = 4;
+  std::uint32_t retransmit_after = 2;  ///< rounds without ACK before resend
+  std::uint32_t max_retries = 50;      ///< then give up (dest likely dead)
+  std::uint64_t seed = 0xACC1DE57ull;
+};
+
+/// Heterogeneous link latencies: each (unordered) overlay link gets a
+/// fixed delay drawn uniformly from [min_delay, max_delay] rounds,
+/// deterministic in (seed, endpoints). The default (1, 1) reproduces the
+/// synchronous model. Protocols need no changes — convergecast and friends
+/// are event-driven — but completion times stretch to the slowest path.
+struct LatencyModel {
+  std::uint32_t min_delay = 1;
+  std::uint32_t max_delay = 1;
+  std::uint64_t seed = 0x1A7E9C1ull;
+
+  [[nodiscard]] std::uint32_t delay(PeerId a, PeerId b) const {
+    if (min_delay == max_delay) return min_delay;
+    // Order-independent per-link hash.
+    const std::uint64_t lo = std::min(a.value(), b.value());
+    const std::uint64_t hi = std::max(a.value(), b.value());
+    std::uint64_t h = seed ^ (lo * 0x9E3779B97F4A7C15ull) ^ (hi << 32);
+    h ^= h >> 29;
+    h *= 0xBF58476D1CE4E5B9ull;
+    h ^= h >> 32;
+    return min_delay +
+           static_cast<std::uint32_t>(h % (max_delay - min_delay + 1));
+  }
+};
+
+class Engine;
+
+/// Per-peer view handed to protocol callbacks. Sends are charged to the
+/// meter immediately and delivered next round.
+class Context {
+ public:
+  [[nodiscard]] PeerId self() const { return self_; }
+  [[nodiscard]] std::uint64_t round() const;
+  [[nodiscard]] const Overlay& overlay() const;
+  [[nodiscard]] const std::vector<PeerId>& neighbors() const;
+  [[nodiscard]] bool is_alive(PeerId p) const;
+
+  /// Queues a message for delivery at the next round and meters its bytes.
+  void send(PeerId to, TrafficCategory category, std::uint64_t bytes,
+            std::any payload = {});
+
+ private:
+  friend class Engine;
+  Context(Engine& engine, PeerId self, std::size_t protocol_index)
+      : engine_(engine), self_(self), protocol_index_(protocol_index) {}
+
+  Engine& engine_;
+  PeerId self_;
+  std::size_t protocol_index_;
+};
+
+/// A distributed protocol: one instance drives all peers (per-peer state
+/// lives inside the protocol, indexed by PeerId).
+class Protocol {
+ public:
+  virtual ~Protocol() = default;
+
+  /// Called once per alive peer per round, after message delivery.
+  virtual void on_round(Context& /*ctx*/) {}
+
+  /// Called for each envelope delivered to an alive peer.
+  virtual void on_message(Context& /*ctx*/, Envelope&& /*env*/) {}
+
+  /// Engine stops when no messages are in flight and no protocol is active.
+  [[nodiscard]] virtual bool active() const { return false; }
+};
+
+class Engine {
+ public:
+  Engine(Overlay& overlay, TrafficMeter& meter);
+
+  /// Runs `protocols` until quiescence (no messages in flight, no protocol
+  /// active) or `max_rounds`, whichever first. Returns rounds executed.
+  /// Churn events in `schedule` whose round falls inside the run are applied
+  /// at the start of the matching round.
+  std::uint64_t run(std::span<Protocol* const> protocols,
+                    std::uint64_t max_rounds,
+                    const ChurnSchedule* schedule = nullptr);
+
+  /// Convenience overload for a single protocol.
+  std::uint64_t run(Protocol& protocol, std::uint64_t max_rounds,
+                    const ChurnSchedule* schedule = nullptr);
+
+  [[nodiscard]] std::uint64_t round() const { return round_; }
+  [[nodiscard]] Overlay& overlay() { return overlay_; }
+  [[nodiscard]] const Overlay& overlay() const { return overlay_; }
+  [[nodiscard]] TrafficMeter& meter() { return meter_; }
+
+  /// Messages dropped because the destination was dead on delivery.
+  [[nodiscard]] std::uint64_t dropped_messages() const { return dropped_; }
+
+  /// Enables the lossy-link model. Must be called before run().
+  void set_fault_model(const LinkFaultModel& model);
+
+  /// Sets heterogeneous link latencies. Must be called before run().
+  void set_latency_model(const LatencyModel& model);
+
+  /// Diagnostics for the reliability layer (0 when the model is off).
+  [[nodiscard]] std::uint64_t lost_transmissions() const { return lost_; }
+  [[nodiscard]] std::uint64_t retransmissions() const {
+    return retransmissions_;
+  }
+  [[nodiscard]] std::uint64_t duplicates_suppressed() const {
+    return duplicates_;
+  }
+  [[nodiscard]] std::uint64_t given_up() const { return given_up_; }
+
+ private:
+  friend class Context;
+  struct Outgoing {
+    std::size_t protocol_index;
+    Envelope envelope;
+    std::uint64_t msg_id = 0;   // 0 = unreliable (model off) or ACK
+    bool is_ack = false;
+    PeerId ack_to{0};           // for ACKs: the original sender
+  };
+
+  struct Pending {
+    Outgoing message;           // full copy for retransmission
+    std::uint64_t next_retry;
+    std::uint32_t attempts;
+  };
+
+  void enqueue(std::size_t protocol_index, Envelope&& env);
+  void deliver(std::span<Protocol* const> protocols, Outgoing&& out);
+  void scan_retransmissions();
+
+  Overlay& overlay_;
+  TrafficMeter& meter_;
+  std::vector<Outgoing> in_flight_;
+  std::vector<Outgoing> outbox_;
+  // Messages scheduled for rounds beyond the next one (latency > 1),
+  // keyed by absolute delivery round.
+  std::unordered_map<std::uint64_t, std::vector<Outgoing>> delayed_;
+  LatencyModel latency_{};
+  bool latency_on_ = false;
+  std::uint64_t round_{0};
+  std::uint64_t dropped_{0};
+
+  // Reliability layer (active iff fault_.loss_probability > 0).
+  LinkFaultModel fault_{};
+  bool lossy_ = false;
+  Rng fault_rng_{0};
+  std::uint64_t next_msg_id_ = 1;
+  std::unordered_map<std::uint64_t, Pending> pending_;
+  std::unordered_set<std::uint64_t> seen_;
+  std::uint64_t lost_ = 0;
+  std::uint64_t retransmissions_ = 0;
+  std::uint64_t duplicates_ = 0;
+  std::uint64_t given_up_ = 0;
+};
+
+}  // namespace nf::net

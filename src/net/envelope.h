@@ -1,0 +1,26 @@
+// Message envelope carried by the round engine.
+//
+// Payloads are protocol-defined (`std::any`); the envelope carries the
+// routing and accounting fields the engine needs. `bytes` is the *modelled*
+// wire size of the payload under the configured WireSizes — the simulator
+// charges exactly what the protocol specification says the message costs,
+// independent of the in-memory representation.
+#pragma once
+
+#include <any>
+#include <cstdint>
+
+#include "common/ids.h"
+#include "net/metrics.h"
+
+namespace nf::net {
+
+struct Envelope {
+  PeerId from;
+  PeerId to;
+  TrafficCategory category{TrafficCategory::kControl};
+  std::uint64_t bytes{0};
+  std::any payload;
+};
+
+}  // namespace nf::net

@@ -1,0 +1,101 @@
+// Bounded flooding over the overlay.
+//
+// The hierarchy-free protocols (gossip-based netFilter) need a way to put
+// one payload on every peer without a tree: classic P2P flooding. The
+// originator sends to all neighbors; every peer forwards the first copy it
+// sees to all neighbors except the one it came from, up to a TTL.
+// Duplicate suppression is by a per-peer seen flag, so each peer processes
+// the payload exactly once while each overlay edge carries it at most
+// twice (once per direction, worst case).
+#pragma once
+
+#include <any>
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "common/error.h"
+#include "common/ids.h"
+#include "net/engine.h"
+
+namespace nf::net {
+
+template <typename T>
+class Flood final : public Protocol {
+ public:
+  using ReceiveFn = std::function<void(PeerId, const T&)>;
+
+  /// `ttl` bounds propagation depth (hops from the originator); use a value
+  /// at least the overlay diameter for full coverage.
+  Flood(PeerId originator, T payload, std::uint64_t wire_bytes,
+        TrafficCategory category, std::uint32_t ttl, ReceiveFn on_receive)
+      : originator_(originator),
+        payload_(std::move(payload)),
+        wire_bytes_(wire_bytes),
+        category_(category),
+        ttl_(ttl),
+        on_receive_(std::move(on_receive)) {
+    require(ttl >= 1, "flood needs ttl >= 1");
+  }
+
+  void on_round(Context& ctx) override {
+    if (seen_.empty()) seen_.assign(ctx.overlay().num_peers(), false);
+    const PeerId self = ctx.self();
+    if (self != originator_ || seen_[self.value()]) return;
+    seen_[self.value()] = true;
+    ++num_reached_;
+    on_receive_(self, payload_);
+    forward(ctx, ttl_, self);
+  }
+
+  void on_message(Context& ctx, Envelope&& env) override {
+    const PeerId self = ctx.self();
+    if (seen_.empty()) seen_.assign(ctx.overlay().num_peers(), false);
+    auto* msg = std::any_cast<std::pair<std::uint32_t, T>>(&env.payload);
+    ensure(msg != nullptr, "flood payload type mismatch");
+    ++num_copies_;
+    if (seen_[self.value()]) return;  // duplicate
+    seen_[self.value()] = true;
+    ++num_reached_;
+    on_receive_(self, msg->second);
+    if (msg->first > 0) forward(ctx, msg->first, env.from);
+  }
+
+  [[nodiscard]] bool active() const override {
+    // Flood has no natural completion signal a peer could observe; the
+    // engine drains in-flight copies and stops.
+    return num_reached_ == 0;
+  }
+
+  /// Peers that have processed the payload.
+  [[nodiscard]] std::uint32_t num_reached() const { return num_reached_; }
+
+  /// Total copies received, including suppressed duplicates.
+  [[nodiscard]] std::uint64_t num_copies() const { return num_copies_; }
+
+  [[nodiscard]] bool reached(PeerId p) const {
+    return p.value() < seen_.size() && seen_[p.value()];
+  }
+
+ private:
+  void forward(Context& ctx, std::uint32_t ttl, PeerId except) {
+    for (PeerId q : ctx.neighbors()) {
+      if (q == except) continue;
+      ctx.send(q, category_, wire_bytes_,
+               std::any(std::pair<std::uint32_t, T>(ttl - 1, payload_)));
+    }
+  }
+
+  PeerId originator_;
+  T payload_;
+  std::uint64_t wire_bytes_;
+  TrafficCategory category_;
+  std::uint32_t ttl_;
+  ReceiveFn on_receive_;
+  std::vector<bool> seen_;
+  std::uint32_t num_reached_{0};
+  std::uint64_t num_copies_{0};
+};
+
+}  // namespace nf::net

@@ -1,0 +1,58 @@
+#include "net/metrics.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/error.h"
+
+namespace nf::net {
+
+TrafficMeter::TrafficMeter(std::uint32_t num_peers) : per_peer_(num_peers) {}
+
+void TrafficMeter::record(PeerId sender, TrafficCategory category,
+                          std::uint64_t bytes) {
+  require(sender.value() < per_peer_.size(), "sender out of range");
+  const auto c = static_cast<std::size_t>(category);
+  per_peer_[sender.value()][c] += bytes;
+  totals_[c] += bytes;
+  ++num_messages_;
+}
+
+std::uint64_t TrafficMeter::total(TrafficCategory category) const {
+  return totals_[static_cast<std::size_t>(category)];
+}
+
+std::uint64_t TrafficMeter::total() const {
+  return std::accumulate(totals_.begin(), totals_.end(), std::uint64_t{0});
+}
+
+double TrafficMeter::per_peer(TrafficCategory category) const {
+  return static_cast<double>(total(category)) /
+         static_cast<double>(per_peer_.size());
+}
+
+double TrafficMeter::per_peer() const {
+  return static_cast<double>(total()) / static_cast<double>(per_peer_.size());
+}
+
+std::uint64_t TrafficMeter::peer_total(PeerId p) const {
+  require(p.value() < per_peer_.size(), "peer out of range");
+  const auto& row = per_peer_[p.value()];
+  return std::accumulate(row.begin(), row.end(), std::uint64_t{0});
+}
+
+std::uint64_t TrafficMeter::max_peer_total() const {
+  std::uint64_t best = 0;
+  for (std::size_t i = 0; i < per_peer_.size(); ++i) {
+    best = std::max(best, peer_total(PeerId(static_cast<std::uint32_t>(i))));
+  }
+  return best;
+}
+
+void TrafficMeter::reset() {
+  for (auto& row : per_peer_) row.fill(0);
+  totals_.fill(0);
+  num_messages_ = 0;
+}
+
+}  // namespace nf::net

@@ -1,0 +1,36 @@
+#include "net/overlay.h"
+
+#include "common/error.h"
+
+namespace nf::net {
+
+Overlay::Overlay(Topology topology)
+    : topology_(std::move(topology)),
+      alive_(topology_.num_peers(), true),
+      num_alive_(topology_.num_peers()) {}
+
+std::vector<PeerId> Overlay::alive_neighbors(PeerId p) const {
+  std::vector<PeerId> out;
+  for (PeerId q : topology_.neighbors(p)) {
+    if (is_alive(q)) out.push_back(q);
+  }
+  return out;
+}
+
+void Overlay::fail(PeerId p) {
+  require(p.value() < num_peers(), "peer out of range");
+  if (alive_[p.value()]) {
+    alive_[p.value()] = false;
+    --num_alive_;
+  }
+}
+
+void Overlay::revive(PeerId p) {
+  require(p.value() < num_peers(), "peer out of range");
+  if (!alive_[p.value()]) {
+    alive_[p.value()] = true;
+    ++num_alive_;
+  }
+}
+
+}  // namespace nf::net

@@ -1,0 +1,50 @@
+// Overlay: a topology plus peer liveness.
+//
+// The topology is the static wiring; the overlay tracks which peers are
+// currently alive (churn flips liveness) and answers the queries protocols
+// need: "who are my *alive* neighbors right now?".
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/ids.h"
+#include "net/topology.h"
+
+namespace nf::net {
+
+class Overlay {
+ public:
+  explicit Overlay(Topology topology);
+
+  [[nodiscard]] std::uint32_t num_peers() const {
+    return topology_.num_peers();
+  }
+  [[nodiscard]] const Topology& topology() const { return topology_; }
+
+  [[nodiscard]] bool is_alive(PeerId p) const {
+    return alive_[p.value()];
+  }
+  [[nodiscard]] std::uint32_t num_alive() const { return num_alive_; }
+
+  /// All neighbors, dead or alive (the static wiring).
+  [[nodiscard]] const std::vector<PeerId>& neighbors(PeerId p) const {
+    return topology_.neighbors(p);
+  }
+
+  /// Alive neighbors only. Returns a fresh vector; churn-path only.
+  [[nodiscard]] std::vector<PeerId> alive_neighbors(PeerId p) const;
+
+  /// Marks a peer failed/left. Idempotent.
+  void fail(PeerId p);
+
+  /// Brings a failed peer back with its original links. Idempotent.
+  void revive(PeerId p);
+
+ private:
+  Topology topology_;
+  std::vector<bool> alive_;
+  std::uint32_t num_alive_;
+};
+
+}  // namespace nf::net

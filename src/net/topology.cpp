@@ -1,0 +1,181 @@
+#include "net/topology.h"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+
+#include "common/error.h"
+
+namespace nf::net {
+
+Topology::Topology(std::uint32_t num_peers) : adjacency_(num_peers) {
+  require(num_peers >= 1, "topology needs at least one peer");
+}
+
+void Topology::add_edge(PeerId a, PeerId b) {
+  require(a.value() < num_peers() && b.value() < num_peers(),
+          "edge endpoint out of range");
+  require(a != b, "self loops are not allowed");
+  require(!has_edge(a, b), "duplicate edge");
+  adjacency_[a.value()].push_back(b);
+  adjacency_[b.value()].push_back(a);
+  ++num_edges_;
+}
+
+bool Topology::has_edge(PeerId a, PeerId b) const {
+  const auto& na = adjacency_[a.value()];
+  return std::find(na.begin(), na.end(), b) != na.end();
+}
+
+const std::vector<PeerId>& Topology::neighbors(PeerId p) const {
+  require(p.value() < num_peers(), "peer out of range");
+  return adjacency_[p.value()];
+}
+
+bool Topology::connected() const {
+  if (num_peers() <= 1) return true;
+  std::vector<bool> seen(num_peers(), false);
+  std::queue<PeerId> frontier;
+  frontier.push(PeerId(0));
+  seen[0] = true;
+  std::uint32_t reached = 1;
+  while (!frontier.empty()) {
+    const PeerId p = frontier.front();
+    frontier.pop();
+    for (PeerId q : adjacency_[p.value()]) {
+      if (!seen[q.value()]) {
+        seen[q.value()] = true;
+        ++reached;
+        frontier.push(q);
+      }
+    }
+  }
+  return reached == num_peers();
+}
+
+void Topology::validate() const {
+  std::size_t directed_edges = 0;
+  for (std::uint32_t i = 0; i < num_peers(); ++i) {
+    const auto& ns = adjacency_[i];
+    directed_edges += ns.size();
+    std::vector<PeerId> sorted(ns);
+    std::sort(sorted.begin(), sorted.end());
+    ensure(std::adjacent_find(sorted.begin(), sorted.end()) == sorted.end(),
+           "duplicate neighbor entry");
+    for (PeerId q : ns) {
+      ensure(q != PeerId(i), "self loop");
+      ensure(has_edge(q, PeerId(i)), "asymmetric adjacency");
+    }
+  }
+  ensure(directed_edges == 2 * num_edges_, "edge count mismatch");
+}
+
+Topology random_tree(std::uint32_t num_peers, std::uint32_t max_children,
+                     Rng& rng) {
+  require(max_children >= 1, "fan-out must be at least 1");
+  Topology topo(num_peers);
+  // `open` holds peers that can still accept children. Attaching to a
+  // uniformly random open peer yields bushy trees of height ~ log_b N.
+  std::vector<std::uint32_t> child_count(num_peers, 0);
+  std::vector<PeerId> open;
+  open.push_back(PeerId(0));
+  for (std::uint32_t i = 1; i < num_peers; ++i) {
+    const std::size_t slot = rng.below(open.size());
+    const PeerId parent = open[slot];
+    topo.add_edge(parent, PeerId(i));
+    if (++child_count[parent.value()] >= max_children) {
+      open[slot] = open.back();
+      open.pop_back();
+    }
+    open.push_back(PeerId(i));
+  }
+  return topo;
+}
+
+Topology random_connected(std::uint32_t num_peers, double avg_degree,
+                          Rng& rng) {
+  require(avg_degree >= 2.0 || num_peers <= 2,
+          "need average degree >= 2 for a connected graph");
+  // Random spanning tree first (uniform attachment), then top up with
+  // uniformly random non-duplicate edges.
+  Topology topo(num_peers);
+  for (std::uint32_t i = 1; i < num_peers; ++i) {
+    topo.add_edge(PeerId(static_cast<std::uint32_t>(rng.below(i))), PeerId(i));
+  }
+  const auto target_edges = static_cast<std::size_t>(
+      avg_degree * num_peers / 2.0);
+  std::size_t attempts = 0;
+  const std::size_t max_attempts = 20 * target_edges + 100;
+  while (topo.num_edges() < target_edges && attempts++ < max_attempts) {
+    const PeerId a(static_cast<std::uint32_t>(rng.below(num_peers)));
+    const PeerId b(static_cast<std::uint32_t>(rng.below(num_peers)));
+    if (a == b || topo.has_edge(a, b)) continue;
+    topo.add_edge(a, b);
+  }
+  return topo;
+}
+
+Topology watts_strogatz(std::uint32_t num_peers, std::uint32_t k, double beta,
+                        Rng& rng) {
+  require(k >= 2 && k % 2 == 0, "Watts-Strogatz requires even k >= 2");
+  require(num_peers > k, "Watts-Strogatz requires n > k");
+  require(beta >= 0.0 && beta <= 1.0, "beta must be in [0,1]");
+  Topology topo(num_peers);
+  // Ring lattice: each peer connects to k/2 clockwise neighbors.
+  for (std::uint32_t i = 0; i < num_peers; ++i) {
+    for (std::uint32_t j = 1; j <= k / 2; ++j) {
+      const PeerId a(i);
+      const PeerId b((i + j) % num_peers);
+      // Rewire the far endpoint with probability beta.
+      if (rng.chance(beta)) {
+        PeerId c(static_cast<std::uint32_t>(rng.below(num_peers)));
+        int tries = 0;
+        while ((c == a || topo.has_edge(a, c)) && tries++ < 32) {
+          c = PeerId(static_cast<std::uint32_t>(rng.below(num_peers)));
+        }
+        if (c != a && !topo.has_edge(a, c)) {
+          topo.add_edge(a, c);
+          continue;
+        }
+      }
+      if (!topo.has_edge(a, b)) topo.add_edge(a, b);
+    }
+  }
+  return topo;
+}
+
+Topology barabasi_albert(std::uint32_t num_peers, std::uint32_t m, Rng& rng) {
+  require(m >= 1, "m must be at least 1");
+  require(num_peers > m, "Barabasi-Albert requires n > m");
+  Topology topo(num_peers);
+  // Degree-proportional sampling via the standard repeated-endpoints trick:
+  // every edge contributes both endpoints to `endpoints`, so a uniform draw
+  // from it is a degree-weighted draw over peers.
+  std::vector<PeerId> endpoints;
+  // Seed: clique-ish chain over the first m+1 peers.
+  for (std::uint32_t i = 0; i < m; ++i) {
+    topo.add_edge(PeerId(i), PeerId(i + 1));
+    endpoints.push_back(PeerId(i));
+    endpoints.push_back(PeerId(i + 1));
+  }
+  for (std::uint32_t i = m + 1; i < num_peers; ++i) {
+    std::vector<PeerId> targets;
+    int tries = 0;
+    while (targets.size() < m && tries++ < 1000) {
+      const PeerId t = endpoints[rng.below(endpoints.size())];
+      if (t == PeerId(i)) continue;
+      if (std::find(targets.begin(), targets.end(), t) != targets.end()) {
+        continue;
+      }
+      targets.push_back(t);
+    }
+    for (PeerId t : targets) {
+      topo.add_edge(PeerId(i), t);
+      endpoints.push_back(PeerId(i));
+      endpoints.push_back(t);
+    }
+  }
+  return topo;
+}
+
+}  // namespace nf::net

@@ -1,0 +1,74 @@
+// Overlay topology generation.
+//
+// netFilter runs over an *unstructured* P2P overlay: peers know only their
+// immediate neighbors and no global index exists (paper §I). The evaluation
+// parameterizes the hierarchy fan-out with b = "number of downstream
+// neighbors per peer" (Table III, b = 3), so the default experiment topology
+// is a random tree with fan-out b (its BFS hierarchy reproduces exactly that
+// fan-out). Richer generators — connected Erdős–Rényi, Watts–Strogatz,
+// Barabási–Albert — are provided to show the protocol is topology-agnostic
+// (the BFS hierarchy flattens whatever graph it is given).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/rng.h"
+
+namespace nf::net {
+
+/// An undirected overlay graph over peers 0..N-1.
+/// Invariants (enforced by `validate`): no self loops, no duplicate edges,
+/// symmetric adjacency.
+class Topology {
+ public:
+  explicit Topology(std::uint32_t num_peers);
+
+  void add_edge(PeerId a, PeerId b);
+  [[nodiscard]] bool has_edge(PeerId a, PeerId b) const;
+
+  [[nodiscard]] std::uint32_t num_peers() const {
+    return static_cast<std::uint32_t>(adjacency_.size());
+  }
+  [[nodiscard]] std::size_t num_edges() const { return num_edges_; }
+  [[nodiscard]] const std::vector<PeerId>& neighbors(PeerId p) const;
+  [[nodiscard]] std::size_t degree(PeerId p) const {
+    return neighbors(p).size();
+  }
+
+  /// True iff the graph is connected (ignoring isolated graphs of size 0/1).
+  [[nodiscard]] bool connected() const;
+
+  /// Throws ProtocolError if an invariant is broken.
+  void validate() const;
+
+ private:
+  std::vector<std::vector<PeerId>> adjacency_;
+  std::size_t num_edges_{0};
+};
+
+/// Uniform random recursive tree with maximum fan-out `max_children`:
+/// peer i > 0 attaches to a uniformly random earlier peer that still has
+/// capacity. With max_children = b this reproduces the paper's hierarchy
+/// shape (b downstream neighbors per peer, height ~ log_b N).
+[[nodiscard]] Topology random_tree(std::uint32_t num_peers,
+                                   std::uint32_t max_children, Rng& rng);
+
+/// Connected Erdős–Rényi-style graph: a random spanning tree plus uniformly
+/// random extra edges until the average degree reaches `avg_degree`.
+[[nodiscard]] Topology random_connected(std::uint32_t num_peers,
+                                        double avg_degree, Rng& rng);
+
+/// Watts–Strogatz small world: ring lattice of even degree `k`, each edge
+/// rewired with probability `beta`; rewiring that would disconnect or
+/// duplicate is skipped.
+[[nodiscard]] Topology watts_strogatz(std::uint32_t num_peers, std::uint32_t k,
+                                      double beta, Rng& rng);
+
+/// Barabási–Albert preferential attachment: each new peer attaches `m`
+/// edges to existing peers with probability proportional to degree.
+[[nodiscard]] Topology barabasi_albert(std::uint32_t num_peers,
+                                       std::uint32_t m, Rng& rng);
+
+}  // namespace nf::net

@@ -1,0 +1,64 @@
+// A mutable item source for continuous monitoring.
+//
+// The paper's motivating applications are cumulative counters — downloads,
+// query appearances, packets — that only grow. GrowingWorkload holds the
+// current per-peer local sets and accepts per-peer deltas between epochs;
+// core::ContinuousMonitor re-runs netFilter over it each epoch.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/item_source.h"
+
+namespace nf::wl {
+
+class GrowingWorkload final : public ItemSource {
+ public:
+  explicit GrowingWorkload(std::uint32_t num_peers) : local_(num_peers) {
+    require(num_peers >= 1, "need at least one peer");
+  }
+
+  /// Starts from an existing source's current state.
+  static GrowingWorkload from(const ItemSource& base) {
+    GrowingWorkload out(base.num_peers());
+    for (std::uint32_t p = 0; p < base.num_peers(); ++p) {
+      out.local_[p] = base.local_items(PeerId(p));
+    }
+    return out;
+  }
+
+  /// Adds `delta` to peer `p`'s local value of `item`.
+  void add(PeerId p, ItemId item, Value delta) {
+    require(p.value() < local_.size(), "peer out of range");
+    require(delta > 0, "deltas must be positive (counters only grow)");
+    local_[p.value()].add(item, delta);
+  }
+
+  /// Merges a whole delta set into peer `p`.
+  void add_all(PeerId p, const LocalItems& delta) {
+    require(p.value() < local_.size(), "peer out of range");
+    local_[p.value()].merge_add(delta);
+  }
+
+  // ItemSource
+  [[nodiscard]] const LocalItems& local_items(PeerId p) const override {
+    require(p.value() < local_.size(), "peer out of range");
+    return local_[p.value()];
+  }
+  [[nodiscard]] std::uint32_t num_peers() const override {
+    return static_cast<std::uint32_t>(local_.size());
+  }
+
+  /// Current grand total v (oracle-side convenience).
+  [[nodiscard]] Value total_value() const {
+    Value v = 0;
+    for (const auto& l : local_) v += l.total();
+    return v;
+  }
+
+ private:
+  std::vector<LocalItems> local_;
+};
+
+}  // namespace nf::wl

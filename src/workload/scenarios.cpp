@@ -1,0 +1,290 @@
+#include "workload/scenarios.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "common/hashing.h"
+#include "common/rng.h"
+#include "common/zipf.h"
+
+namespace nf::wl {
+
+ItemId Catalog::intern(const std::string& key) {
+  const ItemId id(hash_bytes(key));
+  auto [it, inserted] = names_.emplace(id, key);
+  if (!inserted) {
+    ensure(it->second == key, "item id collision between distinct keys");
+  }
+  return id;
+}
+
+const std::string& Catalog::name_of(ItemId id) const {
+  const auto it = names_.find(id);
+  require(it != names_.end(), "unknown item id");
+  return it->second;
+}
+
+namespace {
+
+std::string keyword_name(std::uint64_t rank) {
+  return "kw-" + std::to_string(rank);
+}
+
+}  // namespace
+
+ScenarioOutput keyword_queries(std::uint32_t num_peers,
+                               std::uint32_t vocabulary,
+                               std::uint32_t queries_per_peer, double alpha,
+                               std::uint64_t seed) {
+  require(vocabulary >= 4, "vocabulary too small");
+  Rng rng(seed);
+  const ZipfDistribution zipf(vocabulary, alpha);
+  ScenarioOutput out;
+  std::vector<LocalItems> locals(num_peers);
+  for (std::uint32_t p = 0; p < num_peers; ++p) {
+    std::vector<std::pair<ItemId, Value>> pairs;
+    for (std::uint32_t q = 0; q < queries_per_peer; ++q) {
+      // A query mentions 1..4 distinct keywords; the local value of a
+      // keyword counts the queries it appears in, so dedup within a query.
+      const std::uint64_t len = rng.between(1, 4);
+      std::vector<std::uint64_t> kws;
+      while (kws.size() < len) {
+        const std::uint64_t kw = zipf(rng);
+        if (std::find(kws.begin(), kws.end(), kw) == kws.end()) {
+          kws.push_back(kw);
+        }
+      }
+      for (std::uint64_t kw : kws) {
+        pairs.emplace_back(out.catalog.intern(keyword_name(kw)), 1);
+      }
+    }
+    locals[p] = LocalItems::from_unsorted(std::move(pairs));
+  }
+  out.workload = Workload::from_local_sets(std::move(locals));
+  return out;
+}
+
+ScenarioOutput document_replicas(std::uint32_t num_peers,
+                                 std::uint32_t num_documents,
+                                 std::uint32_t replicas_per_peer,
+                                 double alpha, std::uint64_t seed) {
+  require(num_documents >= 4, "too few documents");
+  Rng rng(seed);
+  const ZipfDistribution doc_dist(num_documents, alpha);
+  ScenarioOutput out;
+  std::vector<LocalItems> locals(num_peers);
+  for (std::uint32_t p = 0; p < num_peers; ++p) {
+    std::vector<std::pair<ItemId, Value>> pairs;
+    for (std::uint32_t rep = 0; rep < replicas_per_peer; ++rep) {
+      const std::uint64_t doc = doc_dist(rng);
+      pairs.emplace_back(
+          out.catalog.intern("doc-" + std::to_string(doc)), 1);
+    }
+    locals[p] = LocalItems::from_unsorted(std::move(pairs));
+  }
+  out.workload = Workload::from_local_sets(std::move(locals));
+  return out;
+}
+
+ScenarioOutput popular_peers(std::uint32_t num_peers,
+                             std::uint32_t queries_per_peer,
+                             std::uint32_t num_super_peers,
+                             std::uint64_t seed) {
+  require(num_peers > num_super_peers + 1, "too few peers");
+  Rng rng(seed);
+  ScenarioOutput out;
+  std::vector<std::string> super_names;
+  for (std::uint32_t s = 0; s < num_super_peers; ++s) {
+    super_names.push_back("peer-" + std::to_string(s));
+  }
+  std::vector<LocalItems> locals(num_peers);
+  for (std::uint32_t p = 0; p < num_peers; ++p) {
+    std::vector<std::pair<ItemId, Value>> pairs;
+    for (std::uint32_t q = 0; q < queries_per_peer; ++q) {
+      // 40% of queries are answered by one of the super-peers, the rest by
+      // a uniformly random ordinary peer.
+      std::uint64_t answerer;
+      if (num_super_peers > 0 && rng.chance(0.4)) {
+        answerer = rng.below(num_super_peers);
+      } else {
+        answerer = rng.between(num_super_peers, num_peers - 1);
+      }
+      if (answerer == p) continue;  // peers do not rate themselves
+      pairs.emplace_back(
+          out.catalog.intern("peer-" + std::to_string(answerer)), 1);
+    }
+    locals[p] = LocalItems::from_unsorted(std::move(pairs));
+  }
+  out.workload = Workload::from_local_sets(std::move(locals));
+  for (const auto& name : super_names) {
+    out.planted.push_back(ItemId(hash_bytes(name)));
+  }
+  return out;
+}
+
+ScenarioOutput contacted_peer_pairs(std::uint32_t num_peers,
+                                    std::uint32_t packets_per_peer,
+                                    std::uint32_t num_friend_pairs,
+                                    std::uint64_t seed) {
+  require(num_peers >= 4, "too few peers");
+  Rng rng(seed);
+  ScenarioOutput out;
+  const auto pair_name = [](std::uint64_t a, std::uint64_t b) {
+    if (a > b) std::swap(a, b);
+    return "pair-" + std::to_string(a) + "<->" + std::to_string(b);
+  };
+  // Friend pairs exchange sustained traffic; their packets transit many
+  // relays, so every relay sees a slice of the same conversation.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> friends;
+  while (friends.size() < num_friend_pairs) {
+    const std::uint64_t a = rng.below(num_peers);
+    const std::uint64_t b = rng.below(num_peers);
+    if (a != b) friends.emplace_back(a, b);
+  }
+  std::vector<LocalItems> locals(num_peers);
+  for (std::uint32_t p = 0; p < num_peers; ++p) {
+    std::vector<std::pair<ItemId, Value>> pairs;
+    for (std::uint32_t k = 0; k < packets_per_peer; ++k) {
+      const std::uint64_t a = rng.below(num_peers);
+      const std::uint64_t b = rng.below(num_peers);
+      if (a == b) continue;
+      pairs.emplace_back(out.catalog.intern(pair_name(a, b)), 1);
+    }
+    for (const auto& [a, b] : friends) {
+      // Each relay forwards a burst of this conversation's packets.
+      if (!rng.chance(0.7)) continue;
+      pairs.emplace_back(out.catalog.intern(pair_name(a, b)),
+                         rng.between(packets_per_peer / 20 + 1,
+                                     packets_per_peer / 5 + 2));
+    }
+    locals[p] = LocalItems::from_unsorted(std::move(pairs));
+  }
+  out.workload = Workload::from_local_sets(std::move(locals));
+  for (const auto& [a, b] : friends) {
+    out.planted.push_back(ItemId(hash_bytes(pair_name(a, b))));
+  }
+  return out;
+}
+
+ScenarioOutput co_occurring_pairs(std::uint32_t num_peers,
+                                  std::uint32_t vocabulary,
+                                  std::uint32_t queries_per_peer, double alpha,
+                                  std::uint64_t seed) {
+  require(vocabulary >= 4, "vocabulary too small");
+  Rng rng(seed);
+  const ZipfDistribution zipf(vocabulary, alpha);
+  ScenarioOutput out;
+  std::vector<LocalItems> locals(num_peers);
+  for (std::uint32_t p = 0; p < num_peers; ++p) {
+    std::vector<std::pair<ItemId, Value>> pairs;
+    for (std::uint32_t q = 0; q < queries_per_peer; ++q) {
+      const std::uint64_t len = rng.between(2, 4);
+      std::vector<std::uint64_t> kws;
+      while (kws.size() < len) {
+        const std::uint64_t kw = zipf(rng);
+        if (std::find(kws.begin(), kws.end(), kw) == kws.end()) {
+          kws.push_back(kw);
+        }
+      }
+      std::sort(kws.begin(), kws.end());
+      for (std::size_t i = 0; i < kws.size(); ++i) {
+        for (std::size_t j = i + 1; j < kws.size(); ++j) {
+          const std::string name =
+              keyword_name(kws[i]) + "+" + keyword_name(kws[j]);
+          pairs.emplace_back(out.catalog.intern(name), 1);
+        }
+      }
+    }
+    locals[p] = LocalItems::from_unsorted(std::move(pairs));
+  }
+  out.workload = Workload::from_local_sets(std::move(locals));
+  return out;
+}
+
+ScenarioOutput ddos_flows(std::uint32_t num_peers,
+                          std::uint32_t address_space,
+                          std::uint32_t flows_per_peer,
+                          std::uint32_t num_victims, std::uint64_t seed) {
+  require(address_space > num_victims, "address space too small");
+  Rng rng(seed);
+  // Background destinations are mildly skewed (a CDN effect), flow sizes
+  // Pareto-ish in [1 KB, ~1 MB].
+  const ZipfDistribution dest_dist(address_space, 0.8);
+  ScenarioOutput out;
+
+  std::vector<std::string> victim_names;
+  for (std::uint32_t i = 0; i < num_victims; ++i) {
+    victim_names.push_back("10.66.0." + std::to_string(i + 1));
+  }
+
+  std::vector<LocalItems> locals(num_peers);
+  for (std::uint32_t p = 0; p < num_peers; ++p) {
+    std::vector<std::pair<ItemId, Value>> pairs;
+    for (std::uint32_t fl = 0; fl < flows_per_peer; ++fl) {
+      const std::uint64_t dest = dest_dist(rng);
+      const std::string name = "198.51." + std::to_string(dest / 256 % 256) +
+                               "." + std::to_string(dest % 256) + "#" +
+                               std::to_string(dest);
+      // Pareto(1.2)-ish size in kilobytes: heavy-tailed background flows so
+      // each router routinely sees individual flows far larger than any
+      // single attack flow.
+      const double u = std::max(rng.uniform(), 1e-9);
+      const auto kb = static_cast<Value>(1.0 / std::pow(u, 1.0 / 1.2));
+      pairs.emplace_back(out.catalog.intern(name), std::max<Value>(kb, 1));
+    }
+    // Attack traffic: every victim receives a stream of small flows through
+    // ~80% of routers. Individually unremarkable, globally dominant.
+    for (std::uint32_t v = 0; v < num_victims; ++v) {
+      if (!rng.chance(0.8)) continue;
+      const std::uint64_t attack_kb = rng.between(8, 30);
+      pairs.emplace_back(out.catalog.intern(victim_names[v]), attack_kb);
+    }
+    locals[p] = LocalItems::from_unsorted(std::move(pairs));
+  }
+  out.workload = Workload::from_local_sets(std::move(locals));
+  for (const auto& name : victim_names) {
+    out.planted.push_back(ItemId(hash_bytes(name)));
+  }
+  return out;
+}
+
+ScenarioOutput worm_signatures(std::uint32_t num_peers,
+                               std::uint32_t benign_signatures,
+                               std::uint32_t flows_per_peer,
+                               std::uint32_t num_worms, std::uint64_t seed) {
+  require(benign_signatures >= 4, "too few benign signatures");
+  Rng rng(seed);
+  const ZipfDistribution benign_dist(benign_signatures, 1.2);
+  ScenarioOutput out;
+
+  std::vector<std::string> worm_names;
+  for (std::uint32_t w = 0; w < num_worms; ++w) {
+    worm_names.push_back("worm-sig-" +
+                         std::to_string(hash64(w, seed) % 0xFFFFFF));
+  }
+
+  std::vector<LocalItems> locals(num_peers);
+  for (std::uint32_t p = 0; p < num_peers; ++p) {
+    std::vector<std::pair<ItemId, Value>> pairs;
+    for (std::uint32_t fl = 0; fl < flows_per_peer; ++fl) {
+      const std::uint64_t sig = benign_dist(rng);
+      pairs.emplace_back(out.catalog.intern("sig-" + std::to_string(sig)), 1);
+    }
+    // A worm propagates scanning flows through nearly every vantage point.
+    for (std::uint32_t w = 0; w < num_worms; ++w) {
+      if (!rng.chance(0.9)) continue;
+      const Value infected_flows = rng.between(
+          flows_per_peer / 10 + 1, flows_per_peer / 3 + 2);
+      pairs.emplace_back(out.catalog.intern(worm_names[w]), infected_flows);
+    }
+    locals[p] = LocalItems::from_unsorted(std::move(pairs));
+  }
+  out.workload = Workload::from_local_sets(std::move(locals));
+  for (const auto& name : worm_names) {
+    out.planted.push_back(ItemId(hash_bytes(name)));
+  }
+  return out;
+}
+
+}  // namespace nf::wl

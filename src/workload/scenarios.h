@@ -1,0 +1,105 @@
+// Application scenario generators — the operations of the paper's Table I.
+//
+// Each scenario synthesizes per-peer local item sets for one of the
+// applications the paper motivates IFI with, together with a Catalog that
+// maps the opaque ItemIds back to human-readable keys so the examples can
+// print real answers ("keyword 'mp3' was queried 18,204 times"), plus any
+// planted ground truth the scenario controls (e.g. the DDoS victim).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.h"
+#include "workload/workload.h"
+
+namespace nf::wl {
+
+/// Reverse mapping from hashed item ids to the application-level keys.
+class Catalog {
+ public:
+  ItemId intern(const std::string& key);
+  [[nodiscard]] const std::string& name_of(ItemId id) const;
+  [[nodiscard]] bool contains(ItemId id) const {
+    return names_.contains(id);
+  }
+  [[nodiscard]] std::size_t size() const { return names_.size(); }
+
+ private:
+  std::unordered_map<ItemId, std::string> names_;
+};
+
+struct ScenarioOutput {
+  Workload workload;
+  Catalog catalog;
+  /// Items the scenario deliberately made frequent (test/demo oracle).
+  std::vector<ItemId> planted;
+};
+
+/// Table I row 1 — "frequent keywords identification" (cache management):
+/// each peer issues `queries_per_peer` queries of 1..4 keywords drawn from a
+/// Zipf-distributed vocabulary; the local value of a keyword is the number
+/// of the peer's queries it appears in.
+[[nodiscard]] ScenarioOutput keyword_queries(std::uint32_t num_peers,
+                                             std::uint32_t vocabulary,
+                                             std::uint32_t queries_per_peer,
+                                             double alpha, std::uint64_t seed);
+
+/// Table I row 2 — "frequent documents identification" (search technique
+/// design): the local value of a document is the number of replicas the
+/// peer stores; popular documents are replicated at many peers.
+[[nodiscard]] ScenarioOutput document_replicas(std::uint32_t num_peers,
+                                               std::uint32_t num_documents,
+                                               std::uint32_t replicas_per_peer,
+                                               double alpha,
+                                               std::uint64_t seed);
+
+/// Table I row 3 — "frequently co-occurring keyword pairs" (query
+/// refinement): items are unordered keyword pairs co-occurring in a query.
+[[nodiscard]] ScenarioOutput co_occurring_pairs(std::uint32_t num_peers,
+                                                std::uint32_t vocabulary,
+                                                std::uint32_t queries_per_peer,
+                                                double alpha,
+                                                std::uint64_t seed);
+
+/// Table I row 4 — "popular peers identification" (content mirroring,
+/// incentive mechanisms): the local value of peer X at peer i counts the
+/// queries for which X provided satisfactory results to i. A few planted
+/// "super-peers" answer a disproportionate share of everyone's queries.
+[[nodiscard]] ScenarioOutput popular_peers(std::uint32_t num_peers,
+                                           std::uint32_t queries_per_peer,
+                                           std::uint32_t num_super_peers,
+                                           std::uint64_t seed);
+
+/// Table I row 5 — "frequently contacted peer pairs" (topology
+/// optimization, social analysis): items are source/destination address
+/// pairs observed in relayed packets; a few planted "friend pairs"
+/// exchange heavy traffic that is routed through many relays.
+[[nodiscard]] ScenarioOutput contacted_peer_pairs(std::uint32_t num_peers,
+                                                  std::uint32_t packets_per_peer,
+                                                  std::uint32_t num_friend_pairs,
+                                                  std::uint64_t seed);
+
+/// Table I row 6 — "large flow of traffic identification" (DDoS detection):
+/// peers are routers; the local value of a destination address is the total
+/// size of flows to it seen at that router. `num_victims` destinations are
+/// planted as attack targets: each receives attack flows through most
+/// routers, so only the *global* view reveals them.
+[[nodiscard]] ScenarioOutput ddos_flows(std::uint32_t num_peers,
+                                        std::uint32_t address_space,
+                                        std::uint32_t flows_per_peer,
+                                        std::uint32_t num_victims,
+                                        std::uint64_t seed);
+
+/// Table I row 7 — "frequent byte sequences" (worm detection): the local
+/// value of a byte-sequence signature is the number of flows containing it;
+/// `num_worms` signatures are planted across most peers.
+[[nodiscard]] ScenarioOutput worm_signatures(std::uint32_t num_peers,
+                                             std::uint32_t benign_signatures,
+                                             std::uint32_t flows_per_peer,
+                                             std::uint32_t num_worms,
+                                             std::uint64_t seed);
+
+}  // namespace nf::wl

@@ -1,0 +1,119 @@
+#include "workload/trace.h"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+#include "common/error.h"
+
+namespace nf::wl {
+
+namespace {
+constexpr std::string_view kMagic = "netfilter-trace-v1";
+}  // namespace
+
+void save_trace(std::ostream& os, const ItemSource& items, TraceKeyMode mode,
+                const Catalog* catalog) {
+  os << kMagic << ' ' << (mode == TraceKeyMode::kIds ? "ids" : "keys")
+     << '\n';
+  for (std::uint32_t p = 0; p < items.num_peers(); ++p) {
+    const auto& local = items.local_items(PeerId(p));
+    if (local.empty()) continue;
+    os << "peer " << p << '\n';
+    for (const auto& [id, value] : local) {
+      if (mode == TraceKeyMode::kIds) {
+        os << id.value();
+      } else if (catalog != nullptr && catalog->contains(id)) {
+        os << catalog->name_of(id);
+      } else {
+        os << "item-" << id.value();
+      }
+      os << ' ' << value << '\n';
+    }
+  }
+}
+
+ScenarioOutput load_trace(std::istream& is) {
+  std::string line;
+  require(static_cast<bool>(std::getline(is, line)), "empty trace");
+  std::istringstream header(line);
+  std::string magic;
+  std::string mode_word;
+  header >> magic >> mode_word;
+  require(magic == kMagic, "not a netfilter trace (bad magic)");
+  TraceKeyMode mode;
+  if (mode_word == "ids") {
+    mode = TraceKeyMode::kIds;
+  } else if (mode_word == "keys") {
+    mode = TraceKeyMode::kKeys;
+  } else {
+    throw InvalidArgument("trace key mode must be 'ids' or 'keys'");
+  }
+
+  ScenarioOutput out;
+  std::vector<std::vector<std::pair<ItemId, Value>>> raw;
+  std::int64_t current_peer = -1;
+  std::size_t line_no = 1;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::string first;
+    ls >> first;
+    if (first == "peer") {
+      std::uint32_t peer = 0;
+      require(static_cast<bool>(ls >> peer),
+              concat("bad peer line at ", line_no));
+      current_peer = peer;
+      if (raw.size() <= static_cast<std::size_t>(peer)) {
+        raw.resize(static_cast<std::size_t>(peer) + 1);
+      }
+      continue;
+    }
+    require(current_peer >= 0,
+            concat("item before any 'peer' line at ", line_no));
+    Value value = 0;
+    require(static_cast<bool>(ls >> value),
+            concat("missing value at line ", line_no));
+    std::string trailing;
+    require(!(ls >> trailing), concat("trailing tokens at line ", line_no));
+    ItemId id;
+    if (mode == TraceKeyMode::kIds) {
+      try {
+        id = ItemId(std::stoull(first));
+      } catch (const std::exception&) {
+        throw InvalidArgument(concat("bad item id at line ", line_no));
+      }
+    } else {
+      id = out.catalog.intern(first);
+    }
+    raw[static_cast<std::size_t>(current_peer)].emplace_back(id, value);
+  }
+  require(!raw.empty(), "trace contains no peers");
+
+  std::vector<LocalItems> locals;
+  locals.reserve(raw.size());
+  for (auto& pairs : raw) {
+    locals.push_back(LocalItems::from_unsorted(std::move(pairs)));
+  }
+  out.workload = Workload::from_local_sets(std::move(locals));
+  return out;
+}
+
+void save_trace_file(const std::string& path, const ItemSource& items,
+                     TraceKeyMode mode, const Catalog* catalog) {
+  std::ofstream os(path);
+  require(os.good(), concat("cannot open for writing: ", path));
+  save_trace(os, items, mode, catalog);
+  require(os.good(), concat("write failed: ", path));
+}
+
+ScenarioOutput load_trace_file(const std::string& path) {
+  std::ifstream is(path);
+  require(is.good(), concat("cannot open: ", path));
+  return load_trace(is);
+}
+
+}  // namespace nf::wl

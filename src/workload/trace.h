@@ -1,0 +1,46 @@
+// Trace import/export.
+//
+// Lets users run netFilter over their own data instead of the synthetic
+// Zipf workload: dump per-peer local item sets to a line-oriented text
+// trace, or load one produced by an external tool. Two key modes:
+//
+//   netfilter-trace-v1 ids          netfilter-trace-v1 keys
+//   peer 0                          peer 0
+//   18446744073709551557 3          the-beatles-yesterday 3
+//   42 1                            weather-report 1
+//   peer 1                          peer 1
+//   ...                             ...
+//
+// `ids` carries raw 64-bit item identifiers verbatim; `keys` carries
+// application strings, interned to ids by hashing (a Catalog maps them
+// back for display). Lines starting with '#' and blank lines are ignored.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "workload/scenarios.h"
+#include "workload/workload.h"
+
+namespace nf::wl {
+
+enum class TraceKeyMode { kIds, kKeys };
+
+/// Writes every peer's local item set. In kKeys mode, items are written as
+/// their catalog names; items without a catalog entry fall back to
+/// "item-<id>".
+void save_trace(std::ostream& os, const ItemSource& items,
+                TraceKeyMode mode, const Catalog* catalog = nullptr);
+
+/// Parses a trace. Peers may appear in any order; repeated `peer` sections
+/// and repeated items accumulate. Peers absent from the trace (up to the
+/// maximum peer id seen) get empty local sets. Throws InvalidArgument on
+/// malformed input.
+[[nodiscard]] ScenarioOutput load_trace(std::istream& is);
+
+/// Convenience file wrappers.
+void save_trace_file(const std::string& path, const ItemSource& items,
+                     TraceKeyMode mode, const Catalog* catalog = nullptr);
+[[nodiscard]] ScenarioOutput load_trace_file(const std::string& path);
+
+}  // namespace nf::wl

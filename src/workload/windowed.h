@@ -1,0 +1,92 @@
+// Sliding-window item source.
+//
+// The paper's flagship query is windowed: "which MP3 songs have been
+// downloaded more than 10,000 times IN THE PAST WEEK" (§I, footnote 1).
+// Cumulative counters cannot answer that; each peer must keep its recent
+// activity bucketed by epoch and expose the sum of the last W epochs.
+// WindowedWorkload does exactly that: push one delta set per peer per
+// epoch, and `local_items` always reflects the current window — so
+// netFilter and ContinuousMonitor run on it unchanged, and an item whose
+// burst of popularity scrolls out of the window drops out of the frequent
+// set even though nothing was ever decremented at the source.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "common/item_source.h"
+
+namespace nf::wl {
+
+class WindowedWorkload final : public ItemSource {
+ public:
+  /// `window` = number of most-recent epochs that count (W >= 1).
+  WindowedWorkload(std::uint32_t num_peers, std::uint32_t window)
+      : window_(window), current_(num_peers), sum_(num_peers) {
+    require(num_peers >= 1, "need at least one peer");
+    require(window >= 1, "window must cover at least one epoch");
+  }
+
+  /// Records activity for the epoch being assembled.
+  void add(PeerId p, ItemId item, Value delta) {
+    require(p.value() < current_.size(), "peer out of range");
+    require(delta > 0, "deltas must be positive");
+    current_[p.value()].add(item, delta);
+    dirty_ = true;
+  }
+
+  /// Closes the current epoch: its deltas enter the window and the oldest
+  /// epoch (if the window is full) scrolls out.
+  void roll_epoch() {
+    history_.push_back(std::move(current_));
+    current_.assign(num_peers(), LocalItems{});
+    if (history_.size() > window_) history_.pop_front();
+    rebuild();
+    ++epochs_rolled_;
+    dirty_ = false;
+  }
+
+  // ItemSource: the window sum over *closed* epochs. Call roll_epoch()
+  // before querying; throws if un-rolled activity would be silently
+  // ignored.
+  [[nodiscard]] const LocalItems& local_items(PeerId p) const override {
+    require(p.value() < sum_.size(), "peer out of range");
+    require(!dirty_,
+            "current epoch has unrolled activity; call roll_epoch() first");
+    return sum_[p.value()];
+  }
+  [[nodiscard]] std::uint32_t num_peers() const override {
+    return static_cast<std::uint32_t>(sum_.size());
+  }
+
+  [[nodiscard]] std::uint32_t window() const { return window_; }
+  [[nodiscard]] std::uint64_t epochs_rolled() const { return epochs_rolled_; }
+
+  /// Total value inside the current window.
+  [[nodiscard]] Value total_value() const {
+    require(!dirty_, "roll_epoch() first");
+    Value v = 0;
+    for (const auto& l : sum_) v += l.total();
+    return v;
+  }
+
+ private:
+  void rebuild() {
+    for (std::uint32_t p = 0; p < num_peers(); ++p) {
+      sum_[p].clear();
+      for (const auto& epoch : history_) {
+        sum_[p].merge_add(epoch[p]);
+      }
+    }
+  }
+
+  std::uint32_t window_;
+  std::deque<std::vector<LocalItems>> history_;
+  std::vector<LocalItems> current_;
+  std::vector<LocalItems> sum_;
+  std::uint64_t epochs_rolled_ = 0;
+  bool dirty_ = false;
+};
+
+}  // namespace nf::wl

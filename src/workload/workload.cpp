@@ -1,0 +1,140 @@
+#include "workload/workload.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "common/hashing.h"
+
+namespace nf::wl {
+
+void WorkloadConfig::validate() const {
+  require(num_peers >= 1, "need at least one peer");
+  require(num_items >= 1, "need at least one item");
+  require(instances_per_item > 0.0, "instances_per_item must be positive");
+  require(alpha >= 0.0, "alpha must be non-negative");
+}
+
+ItemId item_id_for_rank(std::uint64_t rank, std::uint64_t seed) {
+  return ItemId(hash64(rank, seed ^ 0x1D3A5B7C9E0F2468ull));
+}
+
+Workload Workload::generate(const WorkloadConfig& config) {
+  config.validate();
+  Rng rng(config.seed);
+  const ZipfDistribution zipf(config.num_items, config.alpha);
+  const auto total_instances = static_cast<std::uint64_t>(
+      config.instances_per_item * static_cast<double>(config.num_items));
+
+  // Draw each instance's (rank, peer) and bucket per peer. Ranks are stored
+  // as 32-bit to keep the transient footprint at 4 bytes per instance
+  // (10^7 instances at n = 10^6).
+  require(config.num_items <= 0xFFFFFFFFull, "num_items exceeds u32 ranks");
+  std::vector<std::vector<std::uint32_t>> raw(config.num_peers);
+  const std::uint64_t expected_per_peer =
+      total_instances / config.num_peers + 1;
+  for (auto& bucket : raw) bucket.reserve(expected_per_peer);
+  std::uint64_t sampled_instances = total_instances;
+  if (config.min_one_instance && total_instances >= config.num_items) {
+    // One guaranteed instance per item at a random peer, so the data set
+    // really contains n distinct items; the rest follow the Zipf shape.
+    for (std::uint64_t rank = 1; rank <= config.num_items; ++rank) {
+      raw[rng.below(config.num_peers)].push_back(
+          static_cast<std::uint32_t>(rank));
+    }
+    sampled_instances -= config.num_items;
+  }
+  for (std::uint64_t i = 0; i < sampled_instances; ++i) {
+    const auto rank = static_cast<std::uint32_t>(zipf(rng));
+    const auto peer = static_cast<std::uint32_t>(
+        rng.below(config.num_peers));
+    raw[peer].push_back(rank);
+  }
+
+  // Compact each bucket into a LocalItems map and accumulate ground truth
+  // per rank (dense array — cheaper than merging sparse maps).
+  Workload out;
+  out.local_.resize(config.num_peers);
+  std::vector<Value> global_by_rank(config.num_items + 1, 0);
+  for (std::uint32_t p = 0; p < config.num_peers; ++p) {
+    auto& bucket = raw[p];
+    std::sort(bucket.begin(), bucket.end());
+    std::vector<std::pair<ItemId, Value>> pairs;
+    for (std::size_t i = 0; i < bucket.size();) {
+      std::size_t j = i;
+      while (j < bucket.size() && bucket[j] == bucket[i]) ++j;
+      const Value count = j - i;
+      global_by_rank[bucket[i]] += count;
+      pairs.emplace_back(item_id_for_rank(bucket[i], config.seed), count);
+      i = j;
+    }
+    bucket.clear();
+    bucket.shrink_to_fit();
+    out.local_[p] = LocalItems::from_unsorted(std::move(pairs));
+    out.total_ += out.local_[p].total();
+  }
+
+  std::vector<std::pair<ItemId, Value>> global_pairs;
+  for (std::uint64_t rank = 1; rank <= config.num_items; ++rank) {
+    if (global_by_rank[rank] > 0) {
+      global_pairs.emplace_back(item_id_for_rank(rank, config.seed),
+                                global_by_rank[rank]);
+    }
+  }
+  out.global_ = ValueMap<ItemId, Value>::from_unsorted(std::move(global_pairs));
+  ensure(out.total_ == out.global_.total(), "ground truth total mismatch");
+  return out;
+}
+
+Workload Workload::from_local_sets(std::vector<LocalItems> local_sets) {
+  require(!local_sets.empty(), "need at least one peer");
+  Workload out;
+  out.local_ = std::move(local_sets);
+  for (const auto& local : out.local_) {
+    out.global_.merge_add(local);
+  }
+  out.total_ = out.global_.total();
+  return out;
+}
+
+const LocalItems& Workload::local_items(PeerId p) const {
+  require(p.value() < local_.size(), "peer out of range");
+  return local_[p.value()];
+}
+
+Value Workload::threshold_for(double theta) const {
+  require(theta > 0.0 && theta <= 1.0, "theta must be in (0,1]");
+  return static_cast<Value>(
+      std::ceil(theta * static_cast<double>(total_)));
+}
+
+ValueMap<ItemId, Value> Workload::frequent_items(Value threshold) const {
+  ValueMap<ItemId, Value> out = global_;
+  out.retain([&](ItemId, Value v) { return v >= threshold; });
+  return out;
+}
+
+double Workload::avg_local_distinct() const {
+  double sum = 0.0;
+  for (const auto& local : local_) sum += static_cast<double>(local.size());
+  return sum / static_cast<double>(local_.size());
+}
+
+double Workload::avg_global_value() const {
+  if (global_.empty()) return 0.0;
+  return static_cast<double>(total_) / static_cast<double>(global_.size());
+}
+
+double Workload::avg_light_value(Value threshold) const {
+  double sum = 0.0;
+  std::uint64_t count = 0;
+  for (const auto& [id, v] : global_) {
+    if (v < threshold) {
+      sum += static_cast<double>(v);
+      ++count;
+    }
+  }
+  return count > 0 ? sum / static_cast<double>(count) : 0.0;
+}
+
+}  // namespace nf::wl

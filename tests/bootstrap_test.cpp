@@ -1,0 +1,61 @@
+#include "agg/bootstrap.h"
+
+#include <gtest/gtest.h>
+
+#include "net/topology.h"
+#include "workload/workload.h"
+
+namespace nf::agg {
+namespace {
+
+using net::Overlay;
+using net::TrafficMeter;
+
+TEST(BootstrapTest, ComputesVAndNExactly) {
+  wl::WorkloadConfig wc;
+  wc.num_peers = 60;
+  wc.num_items = 2000;
+  wc.seed = 1;
+  const wl::Workload workload = wl::Workload::generate(wc);
+  Rng rng(2);
+  Overlay overlay(net::random_tree(60, 3, rng));
+  TrafficMeter meter(60);
+  const Hierarchy h = build_bfs_hierarchy(overlay, PeerId(0));
+
+  const BootstrapTotals totals =
+      bootstrap_totals(workload, h, overlay, meter, WireSizes{});
+  EXPECT_EQ(totals.v_total, workload.total_value());
+  EXPECT_EQ(totals.num_members, 60u);
+  // Two aggregate fields per non-root member.
+  EXPECT_EQ(meter.total(net::TrafficCategory::kSampling), 59u * 8);
+  EXPECT_GT(totals.rounds, 0u);
+}
+
+TEST(BootstrapTest, CountsOnlyMembers) {
+  wl::WorkloadConfig wc;
+  wc.num_peers = 20;
+  wc.num_items = 200;
+  wc.seed = 3;
+  const wl::Workload workload = wl::Workload::generate(wc);
+  Rng rng(4);
+  Overlay overlay(net::random_connected(20, 4.0, rng));
+  TrafficMeter meter(20);
+  std::vector<double> uptime(20);
+  for (auto& u : uptime) u = rng.uniform();
+  const auto participant = select_stable_peers(uptime, 0.5, PeerId(0));
+  const Hierarchy h = build_bfs_hierarchy(overlay, PeerId(0), participant);
+
+  const BootstrapTotals totals =
+      bootstrap_totals(workload, h, overlay, meter, WireSizes{});
+  EXPECT_EQ(totals.num_members, h.num_members());
+  Value expect = 0;
+  for (std::uint32_t p = 0; p < 20; ++p) {
+    if (h.is_member(PeerId(p))) {
+      expect += workload.local_items(PeerId(p)).total();
+    }
+  }
+  EXPECT_EQ(totals.v_total, expect);
+}
+
+}  // namespace
+}  // namespace nf::agg

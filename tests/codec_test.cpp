@@ -1,0 +1,140 @@
+#include "net/codec.h"
+
+#include <gtest/gtest.h>
+
+#include "common/hashing.h"
+#include "common/rng.h"
+
+namespace nf::net {
+namespace {
+
+TEST(VarintTest, KnownEncodings) {
+  Bytes out;
+  put_varint(out, 0);
+  put_varint(out, 1);
+  put_varint(out, 127);
+  put_varint(out, 128);
+  put_varint(out, 300);
+  EXPECT_EQ(out, (Bytes{0x00, 0x01, 0x7F, 0x80, 0x01, 0xAC, 0x02}));
+}
+
+TEST(VarintTest, SizesMatchEncoding) {
+  const std::uint64_t cases[] = {
+      0, 1, 127, 128, 16383, 16384, std::uint64_t{1} << 40,
+      std::numeric_limits<std::uint64_t>::max()};
+  for (std::uint64_t v : cases) {
+    Bytes out;
+    put_varint(out, v);
+    EXPECT_EQ(out.size(), varint_size(v)) << v;
+  }
+}
+
+TEST(VarintTest, RoundTripFuzz) {
+  Rng rng(1);
+  Bytes out;
+  std::vector<std::uint64_t> values;
+  for (int i = 0; i < 10000; ++i) {
+    // Mix magnitudes: shift a random value by a random amount.
+    const std::uint64_t v = rng() >> rng.below(64);
+    values.push_back(v);
+    put_varint(out, v);
+  }
+  std::size_t offset = 0;
+  for (std::uint64_t expected : values) {
+    EXPECT_EQ(get_varint(out, offset), expected);
+  }
+  EXPECT_EQ(offset, out.size());
+}
+
+TEST(VarintTest, TruncatedInputThrows) {
+  Bytes out;
+  put_varint(out, 1ull << 40);
+  out.pop_back();
+  std::size_t offset = 0;
+  EXPECT_THROW((void)get_varint(out, offset), ProtocolError);
+}
+
+TEST(VarintTest, OverlongInputThrows) {
+  const Bytes evil(11, 0x80);  // 11 continuation bytes > 64 bits
+  std::size_t offset = 0;
+  EXPECT_THROW((void)get_varint(evil, offset), ProtocolError);
+}
+
+TEST(SortedIdsTest, RoundTrip) {
+  const std::vector<std::uint64_t> ids{3, 7, 8, 100, 100000, 1ull << 50};
+  EXPECT_EQ(decode_sorted_ids(encode_sorted_ids(ids)), ids);
+}
+
+TEST(SortedIdsTest, EmptyAndSingle) {
+  const std::vector<std::uint64_t> none;
+  EXPECT_TRUE(decode_sorted_ids(encode_sorted_ids(none)).empty());
+  const std::vector<std::uint64_t> one{42};
+  EXPECT_EQ(decode_sorted_ids(encode_sorted_ids(one)), one);
+}
+
+TEST(SortedIdsTest, DenseIdsCompressWell) {
+  // Heavy-group ids 0..99: deltas of ~1 cost 1 byte each.
+  std::vector<std::uint64_t> dense(100);
+  for (std::uint64_t i = 0; i < 100; ++i) dense[i] = i;
+  const Bytes encoded = encode_sorted_ids(dense);
+  EXPECT_LT(encoded.size(), 110u);  // vs 400 bytes at 4 bytes/id
+}
+
+TEST(SortedIdsTest, UnsortedInputRejected) {
+  const std::vector<std::uint64_t> bad{5, 3};
+  EXPECT_THROW((void)encode_sorted_ids(bad), InvalidArgument);
+}
+
+TEST(SortedIdsTest, TrailingGarbageRejected) {
+  const std::vector<std::uint64_t> ids{1, 2};
+  Bytes b = encode_sorted_ids(ids);
+  b.push_back(0x00);
+  EXPECT_THROW((void)decode_sorted_ids(b), ProtocolError);
+}
+
+TEST(PairsTest, RoundTripFuzz) {
+  Rng rng(2);
+  for (int iter = 0; iter < 50; ++iter) {
+    ValueMap<ItemId, std::uint64_t> map;
+    const std::uint64_t n = rng.below(200);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      map.add(ItemId(hash64(i, static_cast<std::uint64_t>(iter))),
+              rng.between(1, 1000000));
+    }
+    EXPECT_EQ(decode_pairs(encode_pairs(map)), map);
+  }
+}
+
+TEST(AggregatesTest, RoundTripAndZeroCompression) {
+  std::vector<std::uint64_t> values(300, 0);
+  values[7] = 12;
+  values[130] = 1ull << 33;
+  EXPECT_EQ(decode_aggregates(encode_aggregates(values)), values);
+  // Mostly-zero vector: ~1 byte per slot instead of 4.
+  EXPECT_LT(encode_aggregates(values).size(), 320u);
+}
+
+TEST(AggregatesTest, Fixed32MatchesPaperModel) {
+  std::vector<std::uint64_t> values(100, 77);
+  const Bytes encoded = encode_aggregates_fixed32(values);
+  // count varint + 4 bytes per slot: the paper's sa*g.
+  EXPECT_EQ(encoded.size(), varint_size(100) + 400u);
+  EXPECT_EQ(decode_aggregates_fixed32(encoded), values);
+}
+
+TEST(AggregatesTest, Fixed32ClampsOverflow) {
+  const std::vector<std::uint64_t> values{std::uint64_t{1} << 40};
+  const auto decoded = decode_aggregates_fixed32(
+      encode_aggregates_fixed32(values));
+  EXPECT_EQ(decoded[0], 0xFFFFFFFFull);
+}
+
+TEST(AggregatesTest, Fixed32LengthMismatchThrows) {
+  const std::vector<std::uint64_t> values{1, 2};
+  Bytes b = encode_aggregates_fixed32(values);
+  b.pop_back();
+  EXPECT_THROW((void)decode_aggregates_fixed32(b), ProtocolError);
+}
+
+}  // namespace
+}  // namespace nf::net

@@ -1,0 +1,176 @@
+#include "agg/convergecast.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <tuple>
+
+#include "common/value_map.h"
+
+namespace nf::agg {
+namespace {
+
+using net::Engine;
+using net::Overlay;
+using net::Topology;
+using net::TrafficCategory;
+using net::TrafficMeter;
+
+struct Fixture {
+  explicit Fixture(Topology topo)
+      : overlay(std::move(topo)),
+        meter(overlay.num_peers()),
+        hierarchy(build_bfs_hierarchy(overlay, PeerId(0))) {}
+
+  Overlay overlay;
+  TrafficMeter meter;
+  Hierarchy hierarchy;
+};
+
+Topology line(std::uint32_t n) {
+  Topology t(n);
+  for (std::uint32_t i = 0; i + 1 < n; ++i) {
+    t.add_edge(PeerId(i), PeerId(i + 1));
+  }
+  return t;
+}
+
+TEST(ConvergecastTest, SumsScalarsOverLine) {
+  Fixture fx(line(5));
+  Convergecast<std::uint64_t> cast(
+      fx.hierarchy, TrafficCategory::kFiltering,
+      [](PeerId p) { return std::uint64_t{p.value() + 1}; },  // 1..5
+      [](std::uint64_t& a, std::uint64_t&& b) { a += b; },
+      [](const std::uint64_t&) { return std::uint64_t{4}; });
+  Engine engine(fx.overlay, fx.meter);
+  engine.run(cast, 100);
+  ASSERT_TRUE(cast.complete());
+  EXPECT_EQ(cast.result(), 15u);
+}
+
+TEST(ConvergecastTest, CompletesInHeightRounds) {
+  Fixture fx(line(8));  // height 8
+  Convergecast<std::uint64_t> cast(
+      fx.hierarchy, TrafficCategory::kFiltering,
+      [](PeerId) { return std::uint64_t{1}; },
+      [](std::uint64_t& a, std::uint64_t&& b) { a += b; },
+      [](const std::uint64_t&) { return std::uint64_t{4}; });
+  Engine engine(fx.overlay, fx.meter);
+  const std::uint64_t rounds = engine.run(cast, 100);
+  EXPECT_EQ(cast.result(), 8u);
+  // One level per round plus the final quiescence checks.
+  EXPECT_LE(rounds, fx.hierarchy.height() + 2);
+}
+
+TEST(ConvergecastTest, OneMessagePerNonRootMember) {
+  Rng rng(4);
+  Fixture fx(net::random_tree(100, 3, rng));
+  Convergecast<std::uint64_t> cast(
+      fx.hierarchy, TrafficCategory::kFiltering,
+      [](PeerId) { return std::uint64_t{1}; },
+      [](std::uint64_t& a, std::uint64_t&& b) { a += b; },
+      [](const std::uint64_t&) { return std::uint64_t{4}; });
+  Engine engine(fx.overlay, fx.meter);
+  engine.run(cast, 200);
+  EXPECT_EQ(cast.result(), 100u);
+  EXPECT_EQ(fx.meter.num_messages(), 99u);
+  EXPECT_EQ(fx.meter.total(TrafficCategory::kFiltering), 99u * 4);
+  // The root never sends.
+  EXPECT_EQ(cast.sent_bytes(PeerId(0)), 0u);
+}
+
+TEST(ConvergecastTest, VectorAggregatesAddElementwise) {
+  Rng rng(5);
+  Fixture fx(net::random_tree(50, 3, rng));
+  Convergecast<std::vector<std::uint64_t>> cast(
+      fx.hierarchy, TrafficCategory::kFiltering,
+      [](PeerId p) {
+        return std::vector<std::uint64_t>{1, p.value(), 2 * p.value()};
+      },
+      [](std::vector<std::uint64_t>& a, std::vector<std::uint64_t>&& b) {
+        for (std::size_t i = 0; i < a.size(); ++i) a[i] += b[i];
+      },
+      [](const std::vector<std::uint64_t>& v) { return 4 * v.size(); });
+  Engine engine(fx.overlay, fx.meter);
+  engine.run(cast, 200);
+  ASSERT_TRUE(cast.complete());
+  const std::uint64_t sum_ids = 50 * 49 / 2;
+  EXPECT_EQ(cast.result()[0], 50u);
+  EXPECT_EQ(cast.result()[1], sum_ids);
+  EXPECT_EQ(cast.result()[2], 2 * sum_ids);
+}
+
+TEST(ConvergecastTest, ValueMapMergeMatchesGroundTruth) {
+  Rng rng(6);
+  Fixture fx(net::random_tree(64, 4, rng));
+  // Each peer holds items {p mod 7, p mod 3} with value p+1.
+  auto local = [](PeerId p) {
+    ValueMap<ItemId, std::uint64_t> m;
+    m.add(ItemId(p.value() % 7), p.value() + 1);
+    m.add(ItemId(100 + p.value() % 3), p.value() + 1);
+    return m;
+  };
+  ValueMap<ItemId, std::uint64_t> truth;
+  for (std::uint32_t p = 0; p < 64; ++p) truth.merge_add(local(PeerId(p)));
+
+  Convergecast<ValueMap<ItemId, std::uint64_t>> cast(
+      fx.hierarchy, TrafficCategory::kAggregation, local,
+      [](auto& a, auto&& b) { a.merge_add(b); },
+      [](const auto& m) { return 8 * m.size(); });
+  Engine engine(fx.overlay, fx.meter);
+  engine.run(cast, 200);
+  ASSERT_TRUE(cast.complete());
+  EXPECT_EQ(cast.result(), truth);
+}
+
+TEST(ConvergecastTest, SingletonHierarchyCompletesWithoutTraffic) {
+  Fixture fx{Topology(1)};
+  Convergecast<std::uint64_t> cast(
+      fx.hierarchy, TrafficCategory::kFiltering,
+      [](PeerId) { return std::uint64_t{42}; },
+      [](std::uint64_t& a, std::uint64_t&& b) { a += b; },
+      [](const std::uint64_t&) { return std::uint64_t{4}; });
+  Engine engine(fx.overlay, fx.meter);
+  engine.run(cast, 10);
+  ASSERT_TRUE(cast.complete());
+  EXPECT_EQ(cast.result(), 42u);
+  EXPECT_EQ(fx.meter.total(), 0u);
+}
+
+TEST(ConvergecastTest, ResultBeforeCompletionThrows) {
+  Fixture fx(line(3));
+  Convergecast<std::uint64_t> cast(
+      fx.hierarchy, TrafficCategory::kFiltering,
+      [](PeerId) { return std::uint64_t{1}; },
+      [](std::uint64_t& a, std::uint64_t&& b) { a += b; },
+      [](const std::uint64_t&) { return std::uint64_t{4}; });
+  EXPECT_THROW((void)cast.result(), InvalidArgument);
+}
+
+class ConvergecastTopologyTest
+    : public ::testing::TestWithParam<std::tuple<std::uint32_t, std::uint64_t>> {};
+
+TEST_P(ConvergecastTopologyTest, SumIsExactOnArbitraryGraphs) {
+  const auto [n, seed] = GetParam();
+  Rng rng(seed);
+  Fixture fx(net::random_connected(n, 4.0, rng));
+  Convergecast<std::uint64_t> cast(
+      fx.hierarchy, TrafficCategory::kFiltering,
+      [](PeerId p) { return std::uint64_t{p.value()} * 3 + 1; },
+      [](std::uint64_t& a, std::uint64_t&& b) { a += b; },
+      [](const std::uint64_t&) { return std::uint64_t{4}; });
+  Engine engine(fx.overlay, fx.meter);
+  engine.run(cast, 1000);
+  ASSERT_TRUE(cast.complete());
+  std::uint64_t expect = 0;
+  for (std::uint32_t p = 0; p < n; ++p) expect += std::uint64_t{p} * 3 + 1;
+  EXPECT_EQ(cast.result(), expect);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Graphs, ConvergecastTopologyTest,
+    ::testing::Combine(::testing::Values(2u, 5u, 37u, 256u, 1000u),
+                       ::testing::Values(11u, 12u)));
+
+}  // namespace
+}  // namespace nf::agg

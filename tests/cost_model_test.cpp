@@ -1,0 +1,130 @@
+#include "core/cost_model.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace nf::core::cost_model {
+namespace {
+
+const WireSizes kWire{};  // sa = sg = si = 4
+
+TEST(CostModelTest, Formula1Arithmetic) {
+  // sa*f*g + sg*f*w + (sa+si)*(r+fp) = 4*3*100 + 4*3*10 + 8*(50+20)
+  EXPECT_DOUBLE_EQ(netfilter_cost(kWire, 3, 100, 10, 50, 20),
+                   1200.0 + 120.0 + 560.0);
+}
+
+TEST(CostModelTest, Formula2Bounds) {
+  EXPECT_DOUBLE_EQ(naive_cost_lower(kWire, 1000), 8000.0);
+  EXPECT_DOUBLE_EQ(naive_cost_upper(kWire, 1000, 7), 48000.0);
+  // Degenerate height clamps at the lower bound.
+  EXPECT_DOUBLE_EQ(naive_cost_upper(kWire, 1000, 1), 8000.0);
+}
+
+TEST(Fp2Test, MatchesFormula4ByHand) {
+  const double n = 1000;
+  const double r = 10;
+  const double g = 100;
+  const double f = 2;
+  const double p = 1.0 - std::pow(1.0 - 1.0 / g, r);
+  EXPECT_NEAR(expected_fp2(n, r, g, f), (n - r) * p * p, 1e-9);
+}
+
+TEST(Fp2Test, MoreFiltersReduceFalsePositives) {
+  double prev = expected_fp2(100000, 100, 100, 1);
+  for (double f = 2; f <= 8; ++f) {
+    const double cur = expected_fp2(100000, 100, 100, f);
+    EXPECT_LT(cur, prev);
+    prev = cur;
+  }
+}
+
+TEST(Fp2Test, LargerFiltersReduceFalsePositives) {
+  double prev = expected_fp2(100000, 100, 25, 3);
+  for (double g : {50.0, 100.0, 200.0, 400.0}) {
+    const double cur = expected_fp2(100000, 100, g, 3);
+    EXPECT_LT(cur, prev);
+    prev = cur;
+  }
+}
+
+TEST(Fp2Test, EdgeCases) {
+  EXPECT_DOUBLE_EQ(expected_fp2(100, 100, 10, 2), 0.0);  // all heavy
+  EXPECT_DOUBLE_EQ(expected_fp2(100, 200, 10, 2), 0.0);  // r > n clamps
+  // g=1: every light item collides -> fp2 = n - r.
+  EXPECT_DOUBLE_EQ(expected_fp2(100, 10, 1, 3), 90.0);
+}
+
+TEST(GOptTest, MatchesFormula3) {
+  // g_opt = c + v_light/(theta*v_bar); paper example: theta=0.01,
+  // v_light/v_bar ~ 0.8 -> g_opt = c + 80.
+  EXPECT_DOUBLE_EQ(optimal_num_groups(0.8, 0.01, 1.0, 20.0), 100.0);
+  EXPECT_DOUBLE_EQ(optimal_num_groups(8.0, 0.01, 10.0, 5.0), 85.0);
+}
+
+TEST(GOptTest, SmallerThetaNeedsLargerFilters) {
+  EXPECT_GT(optimal_num_groups(0.8, 0.001, 1.0),
+            optimal_num_groups(0.8, 0.01, 1.0));
+}
+
+TEST(GOptTest, InvalidArgsThrow) {
+  EXPECT_THROW((void)optimal_num_groups(1.0, 0.0, 1.0), InvalidArgument);
+  EXPECT_THROW((void)optimal_num_groups(1.0, 0.1, 0.0), InvalidArgument);
+}
+
+TEST(FOptTest, Formula6ByHand) {
+  const double n = 100000;
+  const double r = 50;
+  const double g = 100;
+  const double p = 1.0 - std::pow(1.0 - 1.0 / g, r);
+  const double arg = 8.0 * (n - r) / (g * 4.0);
+  const double expect = std::ceil(std::log(arg) / -std::log(p));
+  EXPECT_EQ(optimal_num_filters(kWire, n, r, g),
+            static_cast<std::uint32_t>(expect));
+}
+
+TEST(FOptTest, PaperDefaultsLandNearThree) {
+  // Paper §V-B: with n=1e5, g=100 the measured optimum is f=3. Under the
+  // paper's default workload (Zipf(1), v=10^6, theta=0.01) the heavy-item
+  // count is r = |{k : 10^6/(k*H_{10^5}) >= 10^4}| ≈ 8.
+  const std::uint32_t f = optimal_num_filters(kWire, 1e5, 8, 100);
+  EXPECT_GE(f, 2u);
+  EXPECT_LE(f, 4u);
+}
+
+TEST(FOptTest, MoreHeavyItemsNeedMoreFilters) {
+  EXPECT_LE(optimal_num_filters(kWire, 1e5, 10, 100),
+            optimal_num_filters(kWire, 1e5, 60, 100));
+}
+
+TEST(FOptTest, DegenerateCasesClampToOne) {
+  EXPECT_EQ(optimal_num_filters(kWire, 100, 100, 10), 1u);  // nothing light
+  EXPECT_EQ(optimal_num_filters(kWire, 100, 0, 10), 1u);    // nothing heavy
+  // Tiny argument (few light items per group slot) needs no extra filters.
+  EXPECT_EQ(optimal_num_filters(kWire, 10, 5, 1000), 1u);
+}
+
+TEST(FOptTest, CostIsMinimizedNearFOpt) {
+  // Sanity-check the optimality argument of §IV-D using the model itself:
+  // total modelled cost at f_opt should not exceed cost at f_opt±1 by more
+  // than rounding slack.
+  const double n = 1e5;
+  const double r = 40;
+  const double g = 100;
+  const auto cost_at = [&](double f) {
+    const double fp = expected_fp2(n, r, g, f);
+    return netfilter_cost(kWire, f, g, /*w=*/r, r, fp);
+  };
+  const std::uint32_t f_opt = optimal_num_filters(kWire, n, r, g);
+  const double at_opt = cost_at(f_opt);
+  EXPECT_LE(at_opt, cost_at(f_opt + 1) * 1.0001);
+  if (f_opt > 1) {
+    EXPECT_LE(at_opt, cost_at(f_opt - 1) * 1.0001);
+  }
+}
+
+}  // namespace
+}  // namespace nf::core::cost_model

@@ -1,0 +1,187 @@
+// Adversarial and degenerate inputs for the whole stack.
+#include <gtest/gtest.h>
+
+#include "core/naive.h"
+#include "core/netfilter.h"
+#include "net/topology.h"
+#include "workload/workload.h"
+
+namespace nf::core {
+namespace {
+
+using net::Overlay;
+using net::Topology;
+using net::TrafficMeter;
+
+struct Rig {
+  explicit Rig(std::vector<LocalItems> locals, std::uint64_t seed = 1)
+      : workload(wl::Workload::from_local_sets(std::move(locals))),
+        overlay([&] {
+          Rng rng(seed);
+          return Overlay(
+              net::random_tree(workload.num_peers(), 3, rng));
+        }()),
+        meter(workload.num_peers()),
+        hierarchy(agg::build_bfs_hierarchy(overlay, PeerId(0))) {}
+
+  wl::Workload workload;
+  Overlay overlay;
+  TrafficMeter meter;
+  agg::Hierarchy hierarchy;
+};
+
+NetFilterConfig config(std::uint32_t g, std::uint32_t f) {
+  NetFilterConfig c;
+  c.num_groups = g;
+  c.num_filters = f;
+  return c;
+}
+
+TEST(EdgeCaseTest, SinglePeerSystem) {
+  std::vector<LocalItems> locals(1);
+  locals[0].add(ItemId(1), 10);
+  locals[0].add(ItemId(2), 1);
+  Rig rig(std::move(locals));
+  const auto res = NetFilter(config(4, 2))
+                       .run(rig.workload, rig.hierarchy, rig.overlay,
+                            rig.meter, 5);
+  ASSERT_EQ(res.frequent.size(), 1u);
+  EXPECT_EQ(res.frequent.value_of(ItemId(1)), 10u);
+  // A single peer exchanges nothing.
+  EXPECT_EQ(rig.meter.total(), 0u);
+}
+
+TEST(EdgeCaseTest, ValueExactlyAtThresholdIsIncluded) {
+  // IFI is defined with >= t (paper: "global values ... greater than t"
+  // formalized as vx >= t in the definition); pin the >= semantics.
+  std::vector<LocalItems> locals(3);
+  locals[0].add(ItemId(7), 3);
+  locals[1].add(ItemId(7), 4);
+  locals[2].add(ItemId(8), 6);
+  Rig rig(std::move(locals));
+  const auto res = NetFilter(config(8, 2))
+                       .run(rig.workload, rig.hierarchy, rig.overlay,
+                            rig.meter, 7);
+  EXPECT_TRUE(res.frequent.contains(ItemId(7)));   // exactly 7
+  EXPECT_FALSE(res.frequent.contains(ItemId(8)));  // 6 < 7
+}
+
+TEST(EdgeCaseTest, AllMassOnOneItem) {
+  std::vector<LocalItems> locals(10);
+  for (auto& l : locals) l.add(ItemId(42), 100);
+  Rig rig(std::move(locals));
+  const Value t = 500;
+  const auto res = NetFilter(config(16, 3))
+                       .run(rig.workload, rig.hierarchy, rig.overlay,
+                            rig.meter, t);
+  ASSERT_EQ(res.frequent.size(), 1u);
+  EXPECT_EQ(res.frequent.value_of(ItemId(42)), 1000u);
+}
+
+TEST(EdgeCaseTest, AllItemsTiedAtThreshold) {
+  // Every item has the same global value == t: all must be reported.
+  std::vector<LocalItems> locals(5);
+  for (std::uint64_t item = 0; item < 20; ++item) {
+    for (std::uint32_t p = 0; p < 5; ++p) {
+      locals[p].add(ItemId(item), 2);
+    }
+  }
+  Rig rig(std::move(locals));
+  const auto res = NetFilter(config(8, 2))
+                       .run(rig.workload, rig.hierarchy, rig.overlay,
+                            rig.meter, 10);
+  EXPECT_EQ(res.frequent.size(), 20u);
+}
+
+TEST(EdgeCaseTest, EmptyPeersAreFine) {
+  std::vector<LocalItems> locals(6);
+  locals[2].add(ItemId(1), 9);  // only one peer holds anything
+  Rig rig(std::move(locals));
+  const auto res = NetFilter(config(4, 1))
+                       .run(rig.workload, rig.hierarchy, rig.overlay,
+                            rig.meter, 5);
+  ASSERT_EQ(res.frequent.size(), 1u);
+  EXPECT_EQ(res.frequent.value_of(ItemId(1)), 9u);
+}
+
+TEST(EdgeCaseTest, HugeValuesDoNotOverflow) {
+  // Values near 2^62 summed across peers stay within uint64.
+  const Value big = Value{1} << 61;
+  std::vector<LocalItems> locals(3);
+  locals[0].add(ItemId(5), big);
+  locals[1].add(ItemId(5), big);
+  locals[2].add(ItemId(6), 1);
+  Rig rig(std::move(locals));
+  const auto res = NetFilter(config(8, 2))
+                       .run(rig.workload, rig.hierarchy, rig.overlay,
+                            rig.meter, big);
+  ASSERT_TRUE(res.frequent.contains(ItemId(5)));
+  EXPECT_EQ(res.frequent.value_of(ItemId(5)), 2 * big);
+}
+
+TEST(EdgeCaseTest, AdjacentItemIdsLandInDistinctGroups) {
+  // Sequential ids (0,1,2,...) are the classic weak-hash killer; the
+  // filter bank must still spread them.
+  std::vector<LocalItems> locals(4);
+  for (std::uint64_t item = 0; item < 64; ++item) {
+    locals[item % 4].add(ItemId(item), 1);
+  }
+  Rig rig(std::move(locals));
+  const NetFilter nf(config(16, 1));
+  const auto agg = nf.local_group_aggregates(rig.workload.local_items(PeerId(0)));
+  std::size_t nonempty = 0;
+  for (Value v : agg) nonempty += (v > 0);
+  EXPECT_GE(nonempty, 8u);  // 16 items over 16 groups: most groups hit
+}
+
+TEST(EdgeCaseTest, GMuchLargerThanItemCountStillExact) {
+  std::vector<LocalItems> locals(4);
+  locals[0].add(ItemId(1), 10);
+  locals[1].add(ItemId(2), 3);
+  Rig rig(std::move(locals));
+  const auto res = NetFilter(config(100000, 2))
+                       .run(rig.workload, rig.hierarchy, rig.overlay,
+                            rig.meter, 5);
+  ASSERT_EQ(res.frequent.size(), 1u);
+}
+
+TEST(EdgeCaseTest, NaiveAgreesOnAllEdgeCases) {
+  for (std::uint64_t seed : {1u, 2u, 3u}) {
+    Rng rng(seed);
+    std::vector<LocalItems> locals(8);
+    for (auto& l : locals) {
+      const std::uint64_t n = rng.below(10);
+      for (std::uint64_t i = 0; i < n; ++i) {
+        l.add(ItemId(rng.below(12)), rng.between(1, 4));
+      }
+    }
+    // Ensure at least one item exists so thresholds are valid.
+    locals[0].add(ItemId(0), 5);
+    Rig rig(std::move(locals), seed);
+    const Value t = 3;
+    const auto fast = NetFilter(config(8, 2))
+                          .run(rig.workload, rig.hierarchy, rig.overlay,
+                               rig.meter, t);
+    const auto slow = NaiveCollector{WireSizes{}}.run(
+        rig.workload, rig.hierarchy, rig.overlay, rig.meter, t);
+    EXPECT_EQ(fast.frequent, slow.frequent) << "seed " << seed;
+  }
+}
+
+TEST(EdgeCaseTest, CustomWireSizesPropagate) {
+  std::vector<LocalItems> locals(4);
+  for (auto& l : locals) l.add(ItemId(1), 5);
+  Rig rig(std::move(locals));
+  NetFilterConfig cfg = config(10, 2);
+  cfg.wire.aggregate_bytes = 8;
+  cfg.wire.group_id_bytes = 2;
+  cfg.wire.item_id_bytes = 16;
+  const auto res = NetFilter(cfg).run(rig.workload, rig.hierarchy,
+                                      rig.overlay, rig.meter, 10);
+  // Filtering: 3 non-root peers * 8 * 2 * 10 bytes / 4 peers.
+  EXPECT_DOUBLE_EQ(res.stats.filtering_cost, 3.0 * 8 * 2 * 10 / 4.0);
+  EXPECT_TRUE(res.frequent.contains(ItemId(1)));
+}
+
+}  // namespace
+}  // namespace nf::core

@@ -1,0 +1,44 @@
+#include "common/error.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace nf {
+namespace {
+
+TEST(ErrorTest, RequirePassesOnTrue) {
+  EXPECT_NO_THROW(require(true, "never"));
+}
+
+TEST(ErrorTest, RequireThrowsInvalidArgument) {
+  EXPECT_THROW(require(false, "bad arg"), InvalidArgument);
+}
+
+TEST(ErrorTest, EnsureThrowsProtocolError) {
+  EXPECT_THROW(ensure(false, "broken"), ProtocolError);
+}
+
+TEST(ErrorTest, MessagesCarryContextAndLocation) {
+  try {
+    require(false, "the message");
+    FAIL() << "should have thrown";
+  } catch (const InvalidArgument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("the message"), std::string::npos);
+    EXPECT_NE(what.find("error_test.cpp"), std::string::npos);
+  }
+}
+
+TEST(ErrorTest, HierarchyIsCatchableAsError) {
+  EXPECT_THROW(require(false, "x"), Error);
+  EXPECT_THROW(ensure(false, "x"), Error);
+}
+
+TEST(ConcatTest, JoinsStreamables) {
+  EXPECT_EQ(concat("a", 1, '-', 2.5), "a1-2.5");
+  EXPECT_EQ(concat(), "");
+}
+
+}  // namespace
+}  // namespace nf

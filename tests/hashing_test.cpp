@@ -1,0 +1,133 @@
+#include "common/hashing.h"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace nf {
+namespace {
+
+TEST(Fmix64Test, ZeroMapsToZero) { EXPECT_EQ(fmix64(0), 0u); }
+
+TEST(Fmix64Test, IsInjectiveOnSample) {
+  std::set<std::uint64_t> out;
+  for (std::uint64_t i = 0; i < 10000; ++i) out.insert(fmix64(i));
+  EXPECT_EQ(out.size(), 10000u);
+}
+
+TEST(Fmix64Test, AvalancheFlipsAboutHalfTheBits) {
+  // Flipping one input bit should flip ~32 of 64 output bits.
+  double total_flips = 0.0;
+  int cases = 0;
+  for (std::uint64_t x = 1; x < 100; ++x) {
+    for (int bit = 0; bit < 64; bit += 7) {
+      const std::uint64_t a = fmix64(x);
+      const std::uint64_t b = fmix64(x ^ (1ull << bit));
+      total_flips += std::popcount(a ^ b);
+      ++cases;
+    }
+  }
+  EXPECT_NEAR(total_flips / cases, 32.0, 3.0);
+}
+
+TEST(Hash64Test, SeedChangesOutput) {
+  EXPECT_NE(hash64(123, 1), hash64(123, 2));
+}
+
+TEST(Hash64Test, Deterministic) {
+  EXPECT_EQ(hash64(42, 7), hash64(42, 7));
+}
+
+TEST(HashBytesTest, DistinctStringsDistinctHashes) {
+  std::set<std::uint64_t> out;
+  for (int i = 0; i < 5000; ++i) {
+    out.insert(hash_bytes("key-" + std::to_string(i)));
+  }
+  EXPECT_EQ(out.size(), 5000u);
+}
+
+TEST(HashBytesTest, EmptyAndSeedBehaviour) {
+  EXPECT_EQ(hash_bytes(""), hash_bytes(""));
+  EXPECT_NE(hash_bytes("a", 1), hash_bytes("a", 2));
+  EXPECT_NE(hash_bytes("a"), hash_bytes("b"));
+}
+
+TEST(GroupHashTest, GroupsInRange) {
+  const GroupHash h(99, 17);
+  for (std::uint64_t i = 0; i < 10000; ++i) {
+    EXPECT_LT(h.group_of(ItemId(i)).value(), 17u);
+  }
+}
+
+TEST(GroupHashTest, ZeroGroupsThrows) {
+  EXPECT_THROW(GroupHash(1, 0), InvalidArgument);
+}
+
+TEST(GroupHashTest, SameSeedSameMapping) {
+  const GroupHash a(5, 100);
+  const GroupHash b(5, 100);
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.group_of(ItemId(i)), b.group_of(ItemId(i)));
+  }
+  EXPECT_EQ(a, b);
+}
+
+TEST(GroupHashTest, RoughlyBalancedBuckets) {
+  const GroupHash h(123, 10);
+  std::vector<int> counts(10, 0);
+  constexpr int kItems = 100000;
+  for (std::uint64_t i = 0; i < kItems; ++i) {
+    ++counts[h.group_of(ItemId(fmix64(i + 1))).value()];
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(c, kItems / 10, kItems / 100);
+  }
+}
+
+TEST(FilterBankTest, DerivesIndependentFilters) {
+  const FilterBank bank(42, 4, 50);
+  ASSERT_EQ(bank.num_filters(), 4u);
+  EXPECT_EQ(bank.num_groups(), 50u);
+  // All filter seeds distinct.
+  std::set<std::uint64_t> seeds;
+  for (std::uint32_t i = 0; i < 4; ++i) seeds.insert(bank.filter(i).seed());
+  EXPECT_EQ(seeds.size(), 4u);
+}
+
+TEST(FilterBankTest, GroupsOfReturnsOnePerFilter) {
+  const FilterBank bank(42, 3, 10);
+  const auto groups = bank.groups_of(ItemId(777));
+  ASSERT_EQ(groups.size(), 3u);
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(groups[i], bank.filter(i).group_of(ItemId(777)));
+  }
+}
+
+TEST(FilterBankTest, SameMasterSeedSameBank) {
+  const FilterBank a(7, 3, 100);
+  const FilterBank b(7, 3, 100);
+  EXPECT_EQ(a, b);
+}
+
+TEST(FilterBankTest, FiltersDisagreeOnItems) {
+  // Independent filters should map a given item to different groups often.
+  const FilterBank bank(11, 2, 100);
+  int disagreements = 0;
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    const auto groups = bank.groups_of(ItemId(fmix64(i)));
+    if (groups[0] != groups[1]) ++disagreements;
+  }
+  EXPECT_GT(disagreements, 950);
+}
+
+TEST(FilterBankTest, InvalidConfigThrows) {
+  EXPECT_THROW(FilterBank(1, 0, 10), InvalidArgument);
+  const FilterBank bank(1, 2, 10);
+  EXPECT_THROW((void)bank.filter(2), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace nf

@@ -1,0 +1,196 @@
+#include "agg/hierarchy.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <queue>
+#include <tuple>
+
+#include "common/error.h"
+
+namespace nf::agg {
+namespace {
+
+using net::Overlay;
+using net::Topology;
+
+Overlay make_line(std::uint32_t n) {
+  Topology t(n);
+  for (std::uint32_t i = 0; i + 1 < n; ++i) {
+    t.add_edge(PeerId(i), PeerId(i + 1));
+  }
+  return Overlay(std::move(t));
+}
+
+/// Reference BFS distances over the alive sub-overlay.
+std::vector<std::uint32_t> bfs_distances(const Overlay& o, PeerId root) {
+  std::vector<std::uint32_t> dist(o.num_peers(), kInfiniteDepth);
+  std::queue<PeerId> q;
+  dist[root.value()] = 0;
+  q.push(root);
+  while (!q.empty()) {
+    const PeerId p = q.front();
+    q.pop();
+    for (PeerId nb : o.neighbors(p)) {
+      if (!o.is_alive(nb) || dist[nb.value()] != kInfiniteDepth) continue;
+      dist[nb.value()] = dist[p.value()] + 1;
+      q.push(nb);
+    }
+  }
+  return dist;
+}
+
+TEST(HierarchyTest, LineHierarchyDepthsAreDistances) {
+  const Overlay o = make_line(5);
+  const Hierarchy h = build_bfs_hierarchy(o, PeerId(0));
+  h.validate(o);
+  EXPECT_EQ(h.num_members(), 5u);
+  EXPECT_EQ(h.height(), 5u);
+  for (std::uint32_t p = 0; p < 5; ++p) {
+    EXPECT_EQ(h.depth(PeerId(p)), p);
+  }
+  EXPECT_TRUE(h.is_leaf(PeerId(4)));
+  EXPECT_FALSE(h.is_leaf(PeerId(0)));
+}
+
+TEST(HierarchyTest, RootFromTheMiddle) {
+  const Overlay o = make_line(5);
+  const Hierarchy h = build_bfs_hierarchy(o, PeerId(2));
+  h.validate(o);
+  EXPECT_EQ(h.depth(PeerId(0)), 2u);
+  EXPECT_EQ(h.depth(PeerId(4)), 2u);
+  EXPECT_EQ(h.height(), 3u);
+  EXPECT_EQ(h.upstream(PeerId(1)), PeerId(2));
+  EXPECT_EQ(h.upstream(PeerId(3)), PeerId(2));
+}
+
+class HierarchyRandomTest
+    : public ::testing::TestWithParam<std::tuple<std::uint32_t, std::uint64_t>> {};
+
+TEST_P(HierarchyRandomTest, DepthsAreShortestPathsOnRandomGraphs) {
+  const auto [n, seed] = GetParam();
+  Rng rng(seed);
+  const Overlay o{net::random_connected(n, 4.0, rng)};
+  const PeerId root(static_cast<std::uint32_t>(rng.below(n)));
+  const Hierarchy h = build_bfs_hierarchy(o, root);
+  h.validate(o);
+  const auto dist = bfs_distances(o, root);
+  for (std::uint32_t p = 0; p < n; ++p) {
+    ASSERT_TRUE(h.is_member(PeerId(p)));
+    EXPECT_EQ(h.depth(PeerId(p)), dist[p]) << "peer " << p;
+  }
+}
+
+TEST_P(HierarchyRandomTest, TreeFanoutTracksTopologyCap) {
+  const auto [n, seed] = GetParam();
+  if (n < 50) GTEST_SKIP();
+  Rng rng(seed);
+  const Overlay o{net::random_tree(n, 3, rng)};
+  const Hierarchy h = build_bfs_hierarchy(o, PeerId(0));
+  h.validate(o);
+  for (std::uint32_t p = 0; p < n; ++p) {
+    EXPECT_LE(h.downstream(PeerId(p)).size(), 3u);
+  }
+  EXPECT_GT(h.avg_fanout(), 1.0);
+  EXPECT_LE(h.avg_fanout(), 3.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, HierarchyRandomTest,
+    ::testing::Combine(::testing::Values(2u, 10u, 100u, 500u),
+                       ::testing::Values(1u, 2u, 3u)));
+
+TEST(HierarchyTest, UnreachableAlivePeerIsAnError) {
+  Topology t(5);
+  t.add_edge(PeerId(0), PeerId(1));
+  t.add_edge(PeerId(0), PeerId(2));
+  t.add_edge(PeerId(2), PeerId(3));
+  t.add_edge(PeerId(3), PeerId(4));
+  Overlay o(std::move(t));
+  o.fail(PeerId(3));
+  // Peer 4's only route is through dead peer 3: unreachable.
+  EXPECT_THROW((void)build_bfs_hierarchy(o, PeerId(0)), ProtocolError);
+}
+
+TEST(HierarchyTest, DeadLeafIsSimplyExcluded) {
+  Overlay o = make_line(4);
+  o.fail(PeerId(3));
+  const Hierarchy h = build_bfs_hierarchy(o, PeerId(0));
+  h.validate(o);
+  EXPECT_EQ(h.num_members(), 3u);
+  EXPECT_FALSE(h.is_member(PeerId(3)));
+}
+
+TEST(HierarchyTest, ParticipantSubsetWithHosts) {
+  const Overlay o = make_line(6);
+  const std::vector<bool> participant{true, true, false, true, false, false};
+  // Participant 3 is cut off from {0,1} by non-participant 2 -> demoted.
+  const Hierarchy h = build_bfs_hierarchy(o, PeerId(0), participant);
+  h.validate(o);
+  EXPECT_TRUE(h.is_member(PeerId(0)));
+  EXPECT_TRUE(h.is_member(PeerId(1)));
+  EXPECT_FALSE(h.is_member(PeerId(2)));
+  EXPECT_FALSE(h.is_member(PeerId(3)));
+  // Hosts are the nearest member.
+  EXPECT_EQ(h.host(PeerId(2)), PeerId(1));
+  EXPECT_EQ(h.host(PeerId(3)), PeerId(1));
+  EXPECT_EQ(h.host(PeerId(5)), PeerId(1));
+  // Members host themselves.
+  EXPECT_EQ(h.host(PeerId(0)), PeerId(0));
+}
+
+TEST(HierarchyTest, MembersDeepestFirstIsBottomUpOrder) {
+  Rng rng(9);
+  const Overlay o{net::random_tree(200, 3, rng)};
+  const Hierarchy h = build_bfs_hierarchy(o, PeerId(0));
+  const auto order = h.members_deepest_first();
+  ASSERT_EQ(order.size(), 200u);
+  for (std::size_t i = 0; i + 1 < order.size(); ++i) {
+    EXPECT_GE(h.depth(order[i]), h.depth(order[i + 1]));
+  }
+  EXPECT_EQ(order.back(), PeerId(0));
+}
+
+TEST(HierarchyTest, NonMemberAccessorsThrow) {
+  const Overlay o = make_line(4);
+  const std::vector<bool> participant{true, true, false, false};
+  const Hierarchy h = build_bfs_hierarchy(o, PeerId(0), participant);
+  EXPECT_THROW((void)h.depth(PeerId(2)), InvalidArgument);
+  EXPECT_THROW((void)h.upstream(PeerId(2)), InvalidArgument);
+  EXPECT_THROW((void)h.downstream(PeerId(2)), InvalidArgument);
+}
+
+TEST(HierarchyTest, RootMustBeAliveParticipant) {
+  Overlay o = make_line(3);
+  o.fail(PeerId(0));
+  EXPECT_THROW((void)build_bfs_hierarchy(o, PeerId(0)), InvalidArgument);
+  const Overlay o2 = make_line(3);
+  const std::vector<bool> participant{false, true, true};
+  EXPECT_THROW((void)build_bfs_hierarchy(o2, PeerId(0), participant),
+               InvalidArgument);
+}
+
+TEST(SelectStablePeersTest, PicksHighestUptime) {
+  const std::vector<double> uptime{0.1, 0.9, 0.5, 0.8};
+  const auto mask = select_stable_peers(uptime, 0.5, PeerId(1));
+  EXPECT_FALSE(mask[0]);
+  EXPECT_TRUE(mask[1]);
+  EXPECT_FALSE(mask[2]);
+  EXPECT_TRUE(mask[3]);
+}
+
+TEST(SelectStablePeersTest, RootAlwaysIncluded) {
+  const std::vector<double> uptime{0.1, 0.9, 0.5, 0.8};
+  const auto mask = select_stable_peers(uptime, 0.25, PeerId(0));
+  EXPECT_TRUE(mask[0]);  // forced in despite lowest uptime
+  EXPECT_TRUE(mask[1]);
+}
+
+TEST(SelectStablePeersTest, FullFractionSelectsEveryone) {
+  const std::vector<double> uptime{0.3, 0.2, 0.1};
+  const auto mask = select_stable_peers(uptime, 1.0, PeerId(2));
+  EXPECT_EQ(std::count(mask.begin(), mask.end(), true), 3);
+}
+
+}  // namespace
+}  // namespace nf::agg

@@ -1,0 +1,97 @@
+#include "agg/hll.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/hashing.h"
+
+namespace nf::agg {
+namespace {
+
+TEST(HllTest, EmptyEstimatesZeroish) {
+  const HyperLogLog hll(12);
+  EXPECT_LT(hll.estimate(), 1.0);
+}
+
+TEST(HllTest, SmallCardinalityIsNearExact) {
+  HyperLogLog hll(12);
+  for (std::uint64_t i = 0; i < 100; ++i) hll.insert(ItemId(fmix64(i + 1)));
+  EXPECT_NEAR(hll.estimate(), 100.0, 5.0);
+}
+
+TEST(HllTest, DuplicatesDoNotInflate) {
+  HyperLogLog hll(12);
+  for (int rep = 0; rep < 50; ++rep) {
+    for (std::uint64_t i = 0; i < 200; ++i) {
+      hll.insert(ItemId(fmix64(i + 1)));
+    }
+  }
+  EXPECT_NEAR(hll.estimate(), 200.0, 10.0);
+}
+
+class HllAccuracyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(HllAccuracyTest, RelativeErrorWithinFourSigma) {
+  const std::uint64_t n = GetParam();
+  HyperLogLog hll(12);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    hll.insert(ItemId(fmix64(i * 2654435761ull + 17)));
+  }
+  const double sigma = 1.04 / std::sqrt(4096.0);
+  EXPECT_NEAR(hll.estimate(), static_cast<double>(n),
+              4.0 * sigma * static_cast<double>(n) + 10.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Cardinalities, HllAccuracyTest,
+                         ::testing::Values(1000u, 10000u, 100000u, 1000000u));
+
+TEST(HllTest, MergeEqualsUnion) {
+  HyperLogLog a(10);
+  HyperLogLog b(10);
+  HyperLogLog u(10);
+  for (std::uint64_t i = 0; i < 5000; ++i) {
+    const ItemId id(fmix64(i + 1));
+    if (i % 2 == 0) a.insert(id);
+    if (i % 3 == 0) b.insert(id);
+    if (i % 2 == 0 || i % 3 == 0) u.insert(id);
+  }
+  a.merge(b);
+  EXPECT_EQ(a, u);
+}
+
+TEST(HllTest, MergeIsIdempotentAndCommutative) {
+  HyperLogLog a(8);
+  HyperLogLog b(8);
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    (i % 2 ? a : b).insert(ItemId(fmix64(i + 1)));
+  }
+  HyperLogLog ab = a;
+  ab.merge(b);
+  HyperLogLog ba = b;
+  ba.merge(a);
+  EXPECT_EQ(ab, ba);
+  HyperLogLog twice = ab;
+  twice.merge(ab);
+  EXPECT_EQ(twice, ab);
+}
+
+TEST(HllTest, PrecisionMismatchThrows) {
+  HyperLogLog a(8);
+  const HyperLogLog b(9);
+  EXPECT_THROW(a.merge(b), InvalidArgument);
+}
+
+TEST(HllTest, InvalidPrecisionThrows) {
+  EXPECT_THROW(HyperLogLog(3), InvalidArgument);
+  EXPECT_THROW(HyperLogLog(19), InvalidArgument);
+}
+
+TEST(HllTest, WireBytesIsRegisterCount) {
+  EXPECT_EQ(HyperLogLog(10).wire_bytes(), 1024u);
+  EXPECT_EQ(HyperLogLog(4).wire_bytes(), 16u);
+}
+
+}  // namespace
+}  // namespace nf::agg

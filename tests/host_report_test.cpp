@@ -1,0 +1,119 @@
+#include "core/host_report.h"
+
+#include <gtest/gtest.h>
+
+#include "net/topology.h"
+#include "workload/workload.h"
+
+namespace nf::core {
+namespace {
+
+using net::Overlay;
+using net::TrafficCategory;
+using net::TrafficMeter;
+
+struct Rig {
+  explicit Rig(std::uint64_t seed)
+      : workload([&] {
+          wl::WorkloadConfig cfg;
+          cfg.num_peers = 30;
+          cfg.num_items = 1000;
+          cfg.seed = seed;
+          return wl::Workload::generate(cfg);
+        }()),
+        overlay([&] {
+          Rng rng(seed);
+          return Overlay(net::random_connected(30, 4.0, rng));
+        }()),
+        meter(30) {}
+
+  wl::Workload workload;
+  Overlay overlay;
+  TrafficMeter meter;
+};
+
+TEST(EffectiveItemsTest, FullParticipationIsTransparent) {
+  Rig rig(1);
+  const agg::Hierarchy h = agg::build_bfs_hierarchy(rig.overlay, PeerId(0));
+  const EffectiveItems eff(rig.workload, h, rig.overlay, WireSizes{},
+                           &rig.meter);
+  EXPECT_EQ(eff.num_reporters(), 0u);
+  EXPECT_EQ(rig.meter.total(TrafficCategory::kHostReport), 0u);
+  for (std::uint32_t p = 0; p < 30; ++p) {
+    EXPECT_EQ(eff.local_items(PeerId(p)),
+              rig.workload.local_items(PeerId(p)));
+  }
+}
+
+TEST(EffectiveItemsTest, NonMembersReportToHostsAndMassIsPreserved) {
+  Rig rig(2);
+  std::vector<double> uptime(30);
+  Rng rng(3);
+  for (auto& u : uptime) u = rng.uniform();
+  const auto participant = agg::select_stable_peers(uptime, 0.5, PeerId(0));
+  const agg::Hierarchy h =
+      agg::build_bfs_hierarchy(rig.overlay, PeerId(0), participant);
+  const EffectiveItems eff(rig.workload, h, rig.overlay, WireSizes{},
+                           &rig.meter);
+  EXPECT_GT(eff.num_reporters(), 0u);
+  EXPECT_GT(rig.meter.total(TrafficCategory::kHostReport), 0u);
+
+  // Non-members expose empty sets; total mass over members is unchanged.
+  Value total = 0;
+  for (std::uint32_t p = 0; p < 30; ++p) {
+    if (!h.is_member(PeerId(p))) {
+      EXPECT_TRUE(eff.local_items(PeerId(p)).empty());
+    }
+    total += eff.local_items(PeerId(p)).total();
+  }
+  EXPECT_EQ(total, rig.workload.total_value());
+}
+
+TEST(EffectiveItemsTest, ChargesPairBytesPerReportedItem) {
+  // Deterministic star overlay: removing one leaf participant cannot
+  // demote any other, so there is exactly one reporter.
+  Rig rig(4);
+  net::Topology star(30);
+  for (std::uint32_t i = 1; i < 30; ++i) {
+    star.add_edge(PeerId(0), PeerId(i));
+  }
+  rig.overlay = Overlay(std::move(star));
+  std::vector<bool> participant(30, true);
+  participant[7] = false;  // exactly one reporter
+  const agg::Hierarchy h =
+      agg::build_bfs_hierarchy(rig.overlay, PeerId(0), participant);
+  const EffectiveItems eff(rig.workload, h, rig.overlay, WireSizes{},
+                           &rig.meter);
+  EXPECT_EQ(eff.num_reporters(), 1u);
+  EXPECT_EQ(rig.meter.total(TrafficCategory::kHostReport),
+            rig.workload.local_items(PeerId(7)).size() * 8);
+  EXPECT_EQ(rig.meter.peer_total(PeerId(7)),
+            rig.workload.local_items(PeerId(7)).size() * 8);
+}
+
+TEST(EffectiveItemsTest, DeadNonMembersDoNotReport) {
+  Rig rig(5);
+  std::vector<bool> participant(30, true);
+  participant[9] = false;
+  rig.overlay.fail(PeerId(9));
+  const agg::Hierarchy h =
+      agg::build_bfs_hierarchy(rig.overlay, PeerId(0), participant);
+  const EffectiveItems eff(rig.workload, h, rig.overlay, WireSizes{},
+                           &rig.meter);
+  EXPECT_EQ(eff.num_reporters(), 0u);
+}
+
+TEST(EffectiveItemsTest, NullMeterSkipsCharging) {
+  Rig rig(6);
+  std::vector<bool> participant(30, true);
+  participant[3] = false;
+  const agg::Hierarchy h =
+      agg::build_bfs_hierarchy(rig.overlay, PeerId(0), participant);
+  const EffectiveItems eff(rig.workload, h, rig.overlay, WireSizes{},
+                           nullptr);
+  EXPECT_EQ(eff.num_reporters(), 1u);
+  EXPECT_EQ(rig.meter.total(), 0u);
+}
+
+}  // namespace
+}  // namespace nf::core

@@ -1,0 +1,45 @@
+// Large-scale smoke test: the full stack at 5x the paper's peer count.
+// Guards against accidental quadratic blowups in the simulator hot paths.
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+#include "core/netfilter.h"
+#include "net/topology.h"
+#include "workload/workload.h"
+
+namespace nf::core {
+namespace {
+
+TEST(LargeScaleTest, FiveThousandPeersStayExactAndFast) {
+  const auto start = std::chrono::steady_clock::now();
+
+  wl::WorkloadConfig wc;
+  wc.num_peers = 5000;
+  wc.num_items = 200000;
+  wc.seed = 1;
+  const wl::Workload workload = wl::Workload::generate(wc);
+
+  Rng rng(2);
+  net::Overlay overlay(net::random_tree(5000, 3, rng));
+  net::TrafficMeter meter(5000);
+  const agg::Hierarchy h = agg::build_bfs_hierarchy(overlay, PeerId(0));
+  EXPECT_EQ(h.num_members(), 5000u);
+
+  const Value t = workload.threshold_for(0.01);
+  NetFilterConfig cfg;
+  cfg.num_groups = 100;
+  cfg.num_filters = 3;
+  const NetFilter nf(cfg);
+  const auto res = nf.run(workload, h, overlay, meter, t);
+  EXPECT_EQ(res.frequent, workload.frequent_items(t));
+
+  const auto elapsed = std::chrono::duration_cast<std::chrono::seconds>(
+      std::chrono::steady_clock::now() - start);
+  // Generation + hierarchy + full run; generous bound to avoid flaking on
+  // slow CI machines while still catching accidental O(N^2) regressions.
+  EXPECT_LT(elapsed.count(), 60);
+}
+
+}  // namespace
+}  // namespace nf::core

@@ -1,0 +1,62 @@
+#include "common/logging.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace nf {
+namespace {
+
+/// Captures stderr for the duration of a scope.
+class CaptureStderr {
+ public:
+  CaptureStderr() : old_(std::cerr.rdbuf(buffer_.rdbuf())) {}
+  ~CaptureStderr() { std::cerr.rdbuf(old_); }
+  [[nodiscard]] std::string str() const { return buffer_.str(); }
+
+ private:
+  std::ostringstream buffer_;
+  std::streambuf* old_;
+};
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void TearDown() override { set_log_level(LogLevel::kWarn); }
+};
+
+TEST_F(LoggingTest, DisabledLevelsProduceNothing) {
+  set_log_level(LogLevel::kWarn);
+  CaptureStderr capture;
+  log_debug("tag", "invisible");
+  log_info("tag", "invisible");
+  EXPECT_TRUE(capture.str().empty());
+}
+
+TEST_F(LoggingTest, EnabledLevelsProduceTaggedLines) {
+  set_log_level(LogLevel::kDebug);
+  CaptureStderr capture;
+  log_debug("net", "round ", 42);
+  log_error("agg", "boom");
+  const std::string out = capture.str();
+  EXPECT_NE(out.find("[debug net] round 42"), std::string::npos);
+  EXPECT_NE(out.find("[error agg] boom"), std::string::npos);
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 2);
+}
+
+TEST_F(LoggingTest, ErrorAlwaysPassesWarnThreshold) {
+  set_log_level(LogLevel::kWarn);
+  CaptureStderr capture;
+  log_warn("x", "w");
+  log_error("x", "e");
+  const std::string out = capture.str();
+  EXPECT_NE(out.find("[warn"), std::string::npos);
+  EXPECT_NE(out.find("[error"), std::string::npos);
+}
+
+TEST_F(LoggingTest, LevelRoundTrips) {
+  set_log_level(LogLevel::kInfo);
+  EXPECT_EQ(log_level(), LogLevel::kInfo);
+}
+
+}  // namespace
+}  // namespace nf

@@ -1,0 +1,172 @@
+#include "core/misra_gries.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "net/topology.h"
+#include "workload/workload.h"
+
+namespace nf::core {
+namespace {
+
+using net::Overlay;
+using net::TrafficMeter;
+
+TEST(MisraGriesTest, ExactBelowCapacity) {
+  MisraGries mg(10);
+  mg.add(ItemId(1), 5);
+  mg.add(ItemId(2), 3);
+  mg.add(ItemId(1), 2);
+  EXPECT_EQ(mg.estimate(ItemId(1)), 7u);
+  EXPECT_EQ(mg.estimate(ItemId(2)), 3u);
+  EXPECT_EQ(mg.estimate(ItemId(3)), 0u);
+  EXPECT_EQ(mg.error_bound(), 0u);
+}
+
+TEST(MisraGriesTest, CapacityIsEnforced) {
+  MisraGries mg(4);
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    mg.add(ItemId(i), i + 1);
+  }
+  EXPECT_LE(mg.counters().size(), 4u);
+}
+
+TEST(MisraGriesTest, ErrorBoundHolds) {
+  // Classic guarantee: estimate <= true <= estimate + error_bound.
+  Rng rng(1);
+  MisraGries mg(20);
+  std::map<std::uint64_t, std::uint64_t> truth;
+  for (int i = 0; i < 20000; ++i) {
+    const std::uint64_t id = rng.below(200);
+    const std::uint64_t w = rng.between(1, 5);
+    mg.add(ItemId(id), w);
+    truth[id] += w;
+  }
+  for (const auto& [id, v] : truth) {
+    const Value est = mg.estimate(ItemId(id));
+    EXPECT_LE(est, v);
+    EXPECT_GE(est + mg.error_bound(), v) << "id " << id;
+  }
+}
+
+TEST(MisraGriesTest, MergePreservesErrorBound) {
+  Rng rng(2);
+  MisraGries a(16);
+  MisraGries b(16);
+  std::map<std::uint64_t, std::uint64_t> truth;
+  for (int i = 0; i < 5000; ++i) {
+    const std::uint64_t id = rng.below(100);
+    const std::uint64_t w = rng.between(1, 3);
+    (i % 2 ? a : b).add(ItemId(id), w);
+    truth[id] += w;
+  }
+  a.merge(b);
+  EXPECT_LE(a.counters().size(), 16u);
+  for (const auto& [id, v] : truth) {
+    const Value est = a.estimate(ItemId(id));
+    EXPECT_LE(est, v);
+    EXPECT_GE(est + a.error_bound(), v);
+  }
+}
+
+TEST(MisraGriesTest, HeavyItemSurvivesAggressiveMerging) {
+  // An item holding >1/(k+1) of the mass must be tracked after any merges.
+  MisraGries total(8);
+  for (int part = 0; part < 10; ++part) {
+    MisraGries mg(8);
+    mg.add(ItemId(42), 1000);
+    for (std::uint64_t i = 0; i < 50; ++i) {
+      mg.add(ItemId(100 + i + static_cast<std::uint64_t>(part) * 50), 10);
+    }
+    total.merge(mg);
+  }
+  EXPECT_GT(total.estimate(ItemId(42)), 0u);
+  EXPECT_GE(total.estimate(ItemId(42)) + total.error_bound(), 10000u);
+}
+
+TEST(MisraGriesTest, CapacityMismatchThrows) {
+  MisraGries a(4);
+  const MisraGries b(5);
+  EXPECT_THROW(a.merge(b), InvalidArgument);
+  EXPECT_THROW(MisraGries(0), InvalidArgument);
+}
+
+TEST(MisraGriesTest, WireBytesTracksCounters) {
+  MisraGries mg(10);
+  const WireSizes wire;
+  EXPECT_EQ(mg.wire_bytes(wire), 4u);  // just the error field
+  mg.add(ItemId(1), 1);
+  mg.add(ItemId(2), 1);
+  EXPECT_EQ(mg.wire_bytes(wire), 2 * 8 + 4u);
+}
+
+struct Rig {
+  explicit Rig(std::uint64_t seed)
+      : workload([&] {
+          wl::WorkloadConfig cfg;
+          cfg.num_peers = 80;
+          cfg.num_items = 10000;
+          cfg.seed = seed;
+          return wl::Workload::generate(cfg);
+        }()),
+        overlay([&] {
+          Rng rng(seed + 1);
+          return Overlay(net::random_tree(80, 3, rng));
+        }()),
+        meter(80),
+        hierarchy(agg::build_bfs_hierarchy(overlay, PeerId(0))) {}
+
+  wl::Workload workload;
+  Overlay overlay;
+  TrafficMeter meter;
+  agg::Hierarchy hierarchy;
+};
+
+TEST(ApproxCollectorTest, NoFalseNegatives) {
+  Rig rig(3);
+  const Value t = rig.workload.threshold_for(0.01);
+  const auto oracle = rig.workload.frequent_items(t);
+  const ApproxCollector approx(WireSizes{}, /*epsilon=*/0.002);
+  const ApproxResult res = approx.run(rig.workload, rig.hierarchy,
+                                      rig.overlay, rig.meter, t, &oracle);
+  EXPECT_EQ(res.stats.false_negatives, 0u);
+  for (const auto& [id, v] : oracle) {
+    EXPECT_TRUE(res.reported.contains(id));
+  }
+}
+
+TEST(ApproxCollectorTest, TighterEpsilonCostsMore) {
+  auto cost_at = [](double eps) {
+    Rig rig(4);
+    const Value t = rig.workload.threshold_for(0.01);
+    const ApproxCollector approx(WireSizes{}, eps);
+    return approx
+        .run(rig.workload, rig.hierarchy, rig.overlay, rig.meter, t, nullptr)
+        .stats.cost_per_peer;
+  };
+  EXPECT_LT(cost_at(0.02), cost_at(0.001));
+}
+
+TEST(ApproxCollectorTest, ReportsFalsePositivesAgainstOracle) {
+  // The no-false-negative guarantee needs epsilon < theta; just inside that
+  // boundary the upper-bound report rule must over-report borderline items.
+  Rig rig(5);
+  const Value t = rig.workload.threshold_for(0.01);
+  const auto oracle = rig.workload.frequent_items(t);
+  const ApproxCollector approx(WireSizes{}, /*epsilon=*/0.008);
+  const ApproxResult res = approx.run(rig.workload, rig.hierarchy,
+                                      rig.overlay, rig.meter, t, &oracle);
+  EXPECT_EQ(res.stats.false_negatives, 0u);
+  EXPECT_GT(res.stats.false_positives, 0u);
+  EXPECT_GT(res.stats.max_value_error, 0.0);
+}
+
+TEST(ApproxCollectorTest, SketchCapacityFromEpsilon) {
+  EXPECT_EQ(ApproxCollector(WireSizes{}, 0.01).sketch_capacity(), 100u);
+  EXPECT_EQ(ApproxCollector(WireSizes{}, 1.0).sketch_capacity(), 1u);
+  EXPECT_THROW(ApproxCollector(WireSizes{}, 0.0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace nf::core

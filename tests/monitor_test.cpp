@@ -1,0 +1,163 @@
+#include "core/monitor.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "net/topology.h"
+#include "workload/growing.h"
+#include "workload/workload.h"
+
+namespace nf::core {
+namespace {
+
+using net::Overlay;
+using net::TrafficMeter;
+
+struct Rig {
+  explicit Rig(std::uint64_t seed)
+      : growing([&] {
+          wl::WorkloadConfig cfg;
+          cfg.num_peers = 60;
+          cfg.num_items = 3000;
+          cfg.seed = seed;
+          return wl::GrowingWorkload::from(wl::Workload::generate(cfg));
+        }()),
+        overlay([&] {
+          Rng rng(seed + 1);
+          return Overlay(net::random_tree(60, 3, rng));
+        }()),
+        meter(60),
+        hierarchy(agg::build_bfs_hierarchy(overlay, PeerId(0))) {}
+
+  [[nodiscard]] ValueMap<ItemId, Value> oracle(double theta) const {
+    ValueMap<ItemId, Value> global;
+    for (std::uint32_t p = 0; p < 60; ++p) {
+      global.merge_add(growing.local_items(PeerId(p)));
+    }
+    const auto t = static_cast<Value>(
+        std::ceil(theta * static_cast<double>(global.total())));
+    global.retain([&](ItemId, Value v) { return v >= t; });
+    return global;
+  }
+
+  wl::GrowingWorkload growing;
+  Overlay overlay;
+  TrafficMeter meter;
+  agg::Hierarchy hierarchy;
+};
+
+NetFilterConfig config() {
+  NetFilterConfig c;
+  c.num_groups = 48;
+  c.num_filters = 2;
+  return c;
+}
+
+TEST(GrowingWorkloadTest, AccumulatesDeltas) {
+  wl::GrowingWorkload g(3);
+  g.add(PeerId(0), ItemId(7), 2);
+  g.add(PeerId(0), ItemId(7), 3);
+  g.add(PeerId(2), ItemId(7), 1);
+  EXPECT_EQ(g.local_items(PeerId(0)).value_of(ItemId(7)), 5u);
+  EXPECT_EQ(g.total_value(), 6u);
+  LocalItems batch;
+  batch.add(ItemId(9), 4);
+  g.add_all(PeerId(1), batch);
+  EXPECT_EQ(g.total_value(), 10u);
+  EXPECT_THROW(g.add(PeerId(9), ItemId(1), 1), InvalidArgument);
+  EXPECT_THROW(g.add(PeerId(0), ItemId(1), 0), InvalidArgument);
+}
+
+TEST(ContinuousMonitorTest, EveryEpochIsExact) {
+  Rig rig(1);
+  ContinuousMonitor monitor(config(), 0.01);
+  Rng rng(77);
+  for (int e = 0; e < 5; ++e) {
+    const EpochReport report =
+        monitor.epoch(rig.growing, rig.hierarchy, rig.overlay, rig.meter);
+    EXPECT_EQ(report.frequent, rig.oracle(0.01)) << "epoch " << e;
+    EXPECT_EQ(report.epoch, static_cast<std::uint32_t>(e));
+    // Grow some counters for the next epoch.
+    for (int i = 0; i < 200; ++i) {
+      rig.growing.add(PeerId(static_cast<std::uint32_t>(rng.below(60))),
+                      ItemId(rng.below(40)), rng.between(1, 30));
+    }
+  }
+  EXPECT_EQ(monitor.epochs_run(), 5u);
+  EXPECT_GT(monitor.total_cost_per_peer(), 0.0);
+}
+
+TEST(ContinuousMonitorTest, DetectsNewlyFrequentItems) {
+  Rig rig(2);
+  ContinuousMonitor monitor(config(), 0.01);
+  (void)monitor.epoch(rig.growing, rig.hierarchy, rig.overlay, rig.meter);
+
+  // Pump one previously-absent item well past the threshold, spread over
+  // many peers.
+  const ItemId rocket(424242);
+  const Value t_now = static_cast<Value>(rig.growing.total_value() / 50);
+  for (std::uint32_t p = 0; p < 60; ++p) {
+    rig.growing.add(PeerId(p), rocket, t_now / 30 + 1);
+  }
+  const EpochReport report =
+      monitor.epoch(rig.growing, rig.hierarchy, rig.overlay, rig.meter);
+  EXPECT_TRUE(report.frequent.contains(rocket));
+  EXPECT_EQ(std::count(report.newly_frequent.begin(),
+                       report.newly_frequent.end(), rocket),
+            1);
+}
+
+TEST(ContinuousMonitorTest, RisingBarDropsStaleItems) {
+  Rig rig(3);
+  ContinuousMonitor monitor(config(), 0.01);
+  const EpochReport first =
+      monitor.epoch(rig.growing, rig.hierarchy, rig.overlay, rig.meter);
+  ASSERT_GT(first.frequent.size(), 1u);
+
+  // Find the weakest currently-frequent item, then inflate *other* items
+  // so the threshold rises past it (its own counter never shrinks).
+  ItemId weakest;
+  Value weakest_v = std::numeric_limits<Value>::max();
+  for (const auto& [id, v] : first.frequent) {
+    if (v < weakest_v) {
+      weakest_v = v;
+      weakest = id;
+    }
+  }
+  const Value pump = rig.growing.total_value();  // double the system total
+  for (std::uint32_t p = 0; p < 60; ++p) {
+    rig.growing.add(PeerId(p), ItemId(999999), pump / 60 + 1);
+  }
+  const EpochReport second =
+      monitor.epoch(rig.growing, rig.hierarchy, rig.overlay, rig.meter);
+  EXPECT_GT(second.threshold, first.threshold);
+  EXPECT_FALSE(second.frequent.contains(weakest));
+  EXPECT_EQ(std::count(second.dropped.begin(), second.dropped.end(),
+                       weakest),
+            1);
+  // Still exact.
+  EXPECT_EQ(second.frequent, rig.oracle(0.01));
+}
+
+TEST(ContinuousMonitorTest, SurvivesHierarchyChangeBetweenEpochs) {
+  Rig rig(4);
+  ContinuousMonitor monitor(config(), 0.01);
+  (void)monitor.epoch(rig.growing, rig.hierarchy, rig.overlay, rig.meter);
+  // Re-root the hierarchy (as a repair or re-election would).
+  const agg::Hierarchy rerooted =
+      agg::build_bfs_hierarchy(rig.overlay, PeerId(30));
+  const EpochReport report =
+      monitor.epoch(rig.growing, rerooted, rig.overlay, rig.meter);
+  EXPECT_EQ(report.frequent, rig.oracle(0.01));
+}
+
+TEST(ContinuousMonitorTest, InvalidThetaThrows) {
+  EXPECT_THROW(ContinuousMonitor(config(), 0.0), InvalidArgument);
+  EXPECT_THROW(ContinuousMonitor(config(), 1.0001), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace nf::core

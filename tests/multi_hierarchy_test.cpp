@@ -1,0 +1,71 @@
+#include "agg/multi_hierarchy.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "net/topology.h"
+
+namespace nf::agg {
+namespace {
+
+using net::Overlay;
+
+Overlay make_overlay(std::uint32_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  return Overlay(net::random_connected(n, 4.0, rng));
+}
+
+TEST(MultiHierarchyTest, BuildsOnePerRoot) {
+  const Overlay o = make_overlay(50, 1);
+  const MultiHierarchy mh =
+      MultiHierarchy::build(o, {PeerId(0), PeerId(7), PeerId(33)});
+  ASSERT_EQ(mh.size(), 3u);
+  EXPECT_EQ(mh.at(0).root(), PeerId(0));
+  EXPECT_EQ(mh.at(1).root(), PeerId(7));
+  EXPECT_EQ(mh.at(2).root(), PeerId(33));
+  for (std::size_t i = 0; i < 3; ++i) mh.at(i).validate(o);
+  EXPECT_EQ(mh.primary().root(), PeerId(0));
+}
+
+TEST(MultiHierarchyTest, DuplicateRootsRejected) {
+  const Overlay o = make_overlay(10, 2);
+  EXPECT_THROW((void)MultiHierarchy::build(o, {PeerId(1), PeerId(1)}),
+               InvalidArgument);
+  EXPECT_THROW((void)MultiHierarchy::build(o, {}), InvalidArgument);
+}
+
+TEST(MultiHierarchyTest, SurvivingSkipsDeadRoots) {
+  Overlay o = make_overlay(50, 3);
+  const MultiHierarchy mh =
+      MultiHierarchy::build(o, {PeerId(0), PeerId(7), PeerId(33)});
+  EXPECT_EQ(mh.surviving(o).root(), PeerId(0));
+  o.fail(PeerId(0));
+  EXPECT_EQ(mh.surviving(o).root(), PeerId(7));
+  o.fail(PeerId(7));
+  EXPECT_EQ(mh.surviving(o).root(), PeerId(33));
+  o.fail(PeerId(33));
+  EXPECT_THROW((void)mh.surviving(o), ProtocolError);
+}
+
+TEST(MultiHierarchyTest, RandomRootsAreDistinctAndAlive) {
+  Overlay o = make_overlay(100, 4);
+  o.fail(PeerId(5));
+  Rng rng(9);
+  const MultiHierarchy mh = MultiHierarchy::build_random(o, 5, rng);
+  ASSERT_EQ(mh.size(), 5u);
+  std::set<std::uint32_t> roots;
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_TRUE(o.is_alive(mh.at(i).root()));
+    roots.insert(mh.at(i).root().value());
+  }
+  EXPECT_EQ(roots.size(), 5u);
+}
+
+TEST(MultiHierarchyTest, IndexOutOfRangeThrows) {
+  const Overlay o = make_overlay(10, 5);
+  const MultiHierarchy mh = MultiHierarchy::build(o, {PeerId(0)});
+  EXPECT_THROW((void)mh.at(1), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace nf::agg

@@ -1,0 +1,106 @@
+#include "agg/multicast.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+namespace nf::agg {
+namespace {
+
+using net::Engine;
+using net::Overlay;
+using net::Topology;
+using net::TrafficCategory;
+using net::TrafficMeter;
+
+struct Fixture {
+  explicit Fixture(Topology topo)
+      : overlay(std::move(topo)),
+        meter(overlay.num_peers()),
+        hierarchy(build_bfs_hierarchy(overlay, PeerId(0))) {}
+
+  Overlay overlay;
+  TrafficMeter meter;
+  Hierarchy hierarchy;
+};
+
+TEST(MulticastTest, EveryMemberReceivesExactlyOnce) {
+  Rng rng(1);
+  Fixture fx(net::random_tree(100, 3, rng));
+  std::multiset<std::uint32_t> receivers;
+  Multicast<std::string> mc(
+      fx.hierarchy, TrafficCategory::kDissemination, "payload", 16,
+      [&](PeerId p, const std::string& s) {
+        EXPECT_EQ(s, "payload");
+        receivers.insert(p.value());
+      });
+  Engine engine(fx.overlay, fx.meter);
+  engine.run(mc, 200);
+  ASSERT_TRUE(mc.complete());
+  EXPECT_EQ(mc.num_received(), 100u);
+  EXPECT_EQ(receivers.size(), 100u);
+  for (std::uint32_t p = 0; p < 100; ++p) {
+    EXPECT_EQ(receivers.count(p), 1u) << "peer " << p;
+  }
+}
+
+TEST(MulticastTest, ChargesOneMessagePerEdge) {
+  Rng rng(2);
+  Fixture fx(net::random_tree(64, 4, rng));
+  Multicast<int> mc(fx.hierarchy, TrafficCategory::kDissemination, 7, 10,
+                    [](PeerId, const int&) {});
+  Engine engine(fx.overlay, fx.meter);
+  engine.run(mc, 100);
+  // N-1 tree edges, one message of 10 bytes each.
+  EXPECT_EQ(fx.meter.num_messages(), 63u);
+  EXPECT_EQ(fx.meter.total(TrafficCategory::kDissemination), 630u);
+}
+
+TEST(MulticastTest, CompletesInHeightRounds) {
+  Topology t(6);
+  for (std::uint32_t i = 0; i + 1 < 6; ++i) {
+    t.add_edge(PeerId(i), PeerId(i + 1));
+  }
+  Fixture fx(std::move(t));
+  Multicast<int> mc(fx.hierarchy, TrafficCategory::kDissemination, 1, 1,
+                    [](PeerId, const int&) {});
+  Engine engine(fx.overlay, fx.meter);
+  const std::uint64_t rounds = engine.run(mc, 100);
+  EXPECT_TRUE(mc.complete());
+  EXPECT_LE(rounds, fx.hierarchy.height() + 1);
+}
+
+TEST(MulticastTest, SingletonRootOnlyDeliversLocally) {
+  Fixture fx{Topology(1)};
+  int deliveries = 0;
+  Multicast<int> mc(fx.hierarchy, TrafficCategory::kDissemination, 1, 1,
+                    [&](PeerId, const int&) { ++deliveries; });
+  Engine engine(fx.overlay, fx.meter);
+  engine.run(mc, 10);
+  EXPECT_TRUE(mc.complete());
+  EXPECT_EQ(deliveries, 1);
+  EXPECT_EQ(fx.meter.total(), 0u);
+}
+
+TEST(MulticastTest, RootHandlerRunsFirst) {
+  Rng rng(3);
+  Fixture fx(net::random_tree(30, 3, rng));
+  std::vector<std::uint32_t> order;
+  Multicast<int> mc(fx.hierarchy, TrafficCategory::kDissemination, 1, 1,
+                    [&](PeerId p, const int&) { order.push_back(p.value()); });
+  Engine engine(fx.overlay, fx.meter);
+  engine.run(mc, 100);
+  ASSERT_FALSE(order.empty());
+  EXPECT_EQ(order.front(), 0u);
+  // Delivery order respects depth: a child never precedes its parent.
+  std::vector<std::uint32_t> depth_at_delivery;
+  for (std::uint32_t p : order) {
+    depth_at_delivery.push_back(fx.hierarchy.depth(PeerId(p)));
+  }
+  EXPECT_TRUE(std::is_sorted(depth_at_delivery.begin(),
+                             depth_at_delivery.end()));
+}
+
+}  // namespace
+}  // namespace nf::agg

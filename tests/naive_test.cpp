@@ -1,0 +1,109 @@
+#include "core/naive.h"
+
+#include <gtest/gtest.h>
+
+#include "core/cost_model.h"
+#include "net/topology.h"
+#include "workload/workload.h"
+
+namespace nf::core {
+namespace {
+
+using net::Overlay;
+using net::TrafficMeter;
+
+struct Rig {
+  Rig(std::uint32_t num_peers, std::uint64_t num_items, double alpha,
+      std::uint64_t seed)
+      : workload([&] {
+          wl::WorkloadConfig cfg;
+          cfg.num_peers = num_peers;
+          cfg.num_items = num_items;
+          cfg.alpha = alpha;
+          cfg.seed = seed;
+          return wl::Workload::generate(cfg);
+        }()),
+        overlay([&] {
+          Rng rng(seed + 1);
+          return Overlay(net::random_tree(num_peers, 3, rng));
+        }()),
+        meter(num_peers),
+        hierarchy(agg::build_bfs_hierarchy(overlay, PeerId(0))) {}
+
+  wl::Workload workload;
+  Overlay overlay;
+  TrafficMeter meter;
+  agg::Hierarchy hierarchy;
+};
+
+TEST(NaiveTest, ExactResult) {
+  Rig rig(80, 5000, 1.0, 1);
+  const Value t = rig.workload.threshold_for(0.01);
+  const NaiveCollector naive(WireSizes{});
+  const NaiveResult res =
+      naive.run(rig.workload, rig.hierarchy, rig.overlay, rig.meter, t);
+  EXPECT_EQ(res.frequent, rig.workload.frequent_items(t));
+  EXPECT_EQ(res.stats.num_frequent, res.frequent.size());
+}
+
+TEST(NaiveTest, CostWithinFormula2Bounds) {
+  Rig rig(100, 20000, 1.0, 2);
+  const Value t = rig.workload.threshold_for(0.01);
+  const NaiveCollector naive(WireSizes{});
+  const NaiveResult res =
+      naive.run(rig.workload, rig.hierarchy, rig.overlay, rig.meter, t);
+  const double o = rig.workload.avg_local_distinct();
+  const WireSizes wire;
+  // Lower bound has slack: the root propagates nothing, so the average over
+  // peers can fall just below (sa+si)*o.
+  EXPECT_GE(res.stats.cost_per_peer,
+            cost_model::naive_cost_lower(wire, o) * 0.9);
+  EXPECT_LE(res.stats.cost_per_peer,
+            cost_model::naive_cost_upper(wire, o,
+                                         rig.hierarchy.height()));
+}
+
+TEST(NaiveTest, CostFarBelowNTimesN) {
+  // The paper's observation: C_naive is near o, not n*N.
+  Rig rig(100, 20000, 1.0, 3);
+  const Value t = rig.workload.threshold_for(0.01);
+  const NaiveCollector naive(WireSizes{});
+  const NaiveResult res =
+      naive.run(rig.workload, rig.hierarchy, rig.overlay, rig.meter, t);
+  const double full_broadcast = 8.0 * static_cast<double>(
+      rig.workload.num_distinct());
+  EXPECT_LT(res.stats.cost_per_peer, full_broadcast);
+}
+
+TEST(NaiveTest, ItemsPerPeerMatchesBytes) {
+  Rig rig(50, 3000, 1.0, 4);
+  const Value t = rig.workload.threshold_for(0.01);
+  const NaiveCollector naive(WireSizes{});
+  const NaiveResult res =
+      naive.run(rig.workload, rig.hierarchy, rig.overlay, rig.meter, t);
+  EXPECT_NEAR(res.stats.items_per_peer * 8.0, res.stats.cost_per_peer, 1e-9);
+}
+
+TEST(NaiveTest, SkewReducesCost) {
+  auto cost_at = [](double alpha) {
+    Rig rig(60, 10000, alpha, 5);
+    const Value t = rig.workload.threshold_for(0.01);
+    const NaiveCollector naive(WireSizes{});
+    return naive
+        .run(rig.workload, rig.hierarchy, rig.overlay, rig.meter, t)
+        .stats.cost_per_peer;
+  };
+  // More skew -> fewer distinct items in circulation -> cheaper collection.
+  EXPECT_LT(cost_at(3.0), cost_at(0.5));
+}
+
+TEST(NaiveTest, ZeroThresholdRejected) {
+  Rig rig(10, 100, 1.0, 6);
+  const NaiveCollector naive(WireSizes{});
+  EXPECT_THROW((void)naive.run(rig.workload, rig.hierarchy, rig.overlay,
+                               rig.meter, 0),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace nf::core

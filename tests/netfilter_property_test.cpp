@@ -1,0 +1,207 @@
+// Property-style sweeps over netFilter invariants (DESIGN.md §8).
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/netfilter.h"
+#include "net/topology.h"
+#include "workload/workload.h"
+
+namespace nf::core {
+namespace {
+
+using net::Overlay;
+using net::TrafficMeter;
+
+struct Rig {
+  Rig(std::uint32_t num_peers, std::uint64_t num_items, double alpha,
+      std::uint64_t seed)
+      : workload([&] {
+          wl::WorkloadConfig cfg;
+          cfg.num_peers = num_peers;
+          cfg.num_items = num_items;
+          cfg.alpha = alpha;
+          cfg.seed = seed;
+          return wl::Workload::generate(cfg);
+        }()),
+        overlay([&] {
+          Rng rng(seed * 31 + 1);
+          // Alternate topology families to avoid over-fitting to trees.
+          switch (seed % 3) {
+            case 0: return Overlay(net::random_tree(num_peers, 3, rng));
+            case 1: return Overlay(net::random_connected(num_peers, 4.0, rng));
+            default: return Overlay(net::barabasi_albert(num_peers, 2, rng));
+          }
+        }()),
+        meter(num_peers),
+        hierarchy(agg::build_bfs_hierarchy(overlay, PeerId(0))) {}
+
+  wl::Workload workload;
+  Overlay overlay;
+  TrafficMeter meter;
+  agg::Hierarchy hierarchy;
+};
+
+NetFilterConfig config(std::uint32_t g, std::uint32_t f,
+                       std::uint64_t seed = 0xF117E25EEDull) {
+  NetFilterConfig c;
+  c.num_groups = g;
+  c.num_filters = f;
+  c.filter_seed = seed;
+  return c;
+}
+
+class RandomizedExactness
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, double>> {};
+
+TEST_P(RandomizedExactness, OutputEqualsOracleOnRandomConfigurations) {
+  const auto [seed, alpha] = GetParam();
+  Rng rng(seed);
+  const auto num_peers = static_cast<std::uint32_t>(rng.between(2, 120));
+  const std::uint64_t num_items = rng.between(50, 20000);
+  Rig rig(num_peers, num_items, alpha, seed);
+  const auto g = static_cast<std::uint32_t>(rng.between(1, 400));
+  const auto f = static_cast<std::uint32_t>(rng.between(1, 8));
+  const double theta = 0.001 + rng.uniform() * 0.2;
+  const Value t = rig.workload.threshold_for(theta);
+  const NetFilter nf(config(g, f, rng()));
+  const NetFilterResult res =
+      nf.run(rig.workload, rig.hierarchy, rig.overlay, rig.meter, t);
+  EXPECT_EQ(res.frequent, rig.workload.frequent_items(t))
+      << "N=" << num_peers << " n=" << num_items << " g=" << g << " f=" << f
+      << " theta=" << theta;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Fuzz, RandomizedExactness,
+    ::testing::Combine(::testing::Range<std::uint64_t>(1, 21),
+                       ::testing::Values(0.0, 0.8, 1.0, 2.5)));
+
+TEST(NetFilterMonotonicity, MoreFiltersNeverAddCandidates) {
+  // With a nested bank (same seed, prefix filters), candidates(f+1) ⊆
+  // candidates(f): an extra filter can only prune more.
+  Rig rig(60, 8000, 1.0, 42);
+  const Value t = rig.workload.threshold_for(0.01);
+  std::uint64_t prev_candidates = std::numeric_limits<std::uint64_t>::max();
+  for (std::uint32_t f = 1; f <= 6; ++f) {
+    TrafficMeter meter(60);
+    const NetFilter nf(config(60, f, 777));
+    const NetFilterResult res =
+        nf.run(rig.workload, rig.hierarchy, rig.overlay, meter, t);
+    EXPECT_LE(res.stats.num_candidates, prev_candidates) << "f=" << f;
+    prev_candidates = res.stats.num_candidates;
+    EXPECT_EQ(res.frequent, rig.workload.frequent_items(t));
+  }
+}
+
+TEST(NetFilterMonotonicity, HigherThresholdShrinksResult) {
+  Rig rig(60, 8000, 1.0, 43);
+  const NetFilter nf(config(80, 3));
+  ValueMap<ItemId, Value> prev;
+  bool first = true;
+  for (double theta : {0.001, 0.005, 0.02, 0.1}) {
+    TrafficMeter meter(60);
+    const Value t = rig.workload.threshold_for(theta);
+    const auto res =
+        nf.run(rig.workload, rig.hierarchy, rig.overlay, meter, t);
+    if (!first) {
+      // Every item at the higher threshold was also in the lower-threshold
+      // result.
+      for (const auto& [id, v] : res.frequent) {
+        EXPECT_TRUE(prev.contains(id));
+      }
+      EXPECT_LE(res.frequent.size(), prev.size());
+    }
+    prev = res.frequent;
+    first = false;
+  }
+}
+
+TEST(NetFilterMonotonicity, LargerFiltersNeverIncreaseFalsePositives) {
+  // Expectation over hashing: more groups -> fewer collisions. Tested with
+  // averaged seeds to keep it deterministic but meaningful.
+  Rig rig(50, 10000, 1.0, 44);
+  const Value t = rig.workload.threshold_for(0.01);
+  auto avg_fp = [&](std::uint32_t g) {
+    double total = 0;
+    for (std::uint64_t s = 0; s < 3; ++s) {
+      TrafficMeter meter(50);
+      const NetFilter nf(config(g, 2, 1000 + s));
+      total += static_cast<double>(
+          nf.run(rig.workload, rig.hierarchy, rig.overlay, meter, t)
+              .stats.num_false_positives);
+    }
+    return total / 3;
+  };
+  const double fp_small = avg_fp(20);
+  const double fp_large = avg_fp(500);
+  EXPECT_LE(fp_large, fp_small);
+}
+
+class ParticipationFuzz
+    : public ::testing::TestWithParam<std::tuple<double, std::uint64_t>> {};
+
+TEST_P(ParticipationFuzz, StablePeerRecruitmentNeverBreaksExactness) {
+  const auto [fraction, seed] = GetParam();
+  Rig rig(80, 6000, 1.0, seed);
+  Rng rng(seed * 13 + 1);
+  std::vector<double> uptime(80);
+  for (auto& u : uptime) u = rng.uniform();
+  const auto participant =
+      agg::select_stable_peers(uptime, fraction, PeerId(0));
+  const agg::Hierarchy h =
+      agg::build_bfs_hierarchy(rig.overlay, PeerId(0), participant);
+  h.validate(rig.overlay);
+  const Value t = rig.workload.threshold_for(0.01);
+  const NetFilter nf(config(60, 3));
+  const auto res = nf.run(rig.workload, h, rig.overlay, rig.meter, t);
+  EXPECT_EQ(res.frequent, rig.workload.frequent_items(t))
+      << "fraction=" << fraction << " seed=" << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Fractions, ParticipationFuzz,
+    ::testing::Combine(::testing::Values(0.1, 0.3, 0.5, 0.8, 1.0),
+                       ::testing::Values(101u, 102u, 103u)));
+
+TEST(NetFilterProperty, CostAccountingMatchesMeter) {
+  Rig rig(70, 6000, 1.0, 45);
+  const Value t = rig.workload.threshold_for(0.01);
+  const NetFilter nf(config(90, 3));
+  const NetFilterResult res =
+      nf.run(rig.workload, rig.hierarchy, rig.overlay, rig.meter, t);
+  using net::TrafficCategory;
+  const double n = 70.0;
+  EXPECT_DOUBLE_EQ(
+      res.stats.filtering_cost,
+      static_cast<double>(rig.meter.total(TrafficCategory::kFiltering)) / n);
+  EXPECT_DOUBLE_EQ(
+      res.stats.dissemination_cost,
+      static_cast<double>(rig.meter.total(TrafficCategory::kDissemination)) /
+          n);
+  EXPECT_DOUBLE_EQ(
+      res.stats.aggregation_cost,
+      static_cast<double>(rig.meter.total(TrafficCategory::kAggregation)) / n);
+}
+
+TEST(NetFilterProperty, IdenticalFilterSeedsGiveIdenticalBanks) {
+  // Decentralized materialization relies on every peer deriving the same
+  // filters from (seed, f, g).
+  const NetFilter a(config(64, 4, 9));
+  const NetFilter b(config(64, 4, 9));
+  EXPECT_EQ(a.bank(), b.bank());
+}
+
+TEST(NetFilterProperty, CandidatesPerPeerBoundedByCandidates) {
+  // A peer propagates at most the full candidate set.
+  Rig rig(40, 4000, 1.0, 46);
+  const Value t = rig.workload.threshold_for(0.01);
+  const NetFilter nf(config(64, 3));
+  const auto res =
+      nf.run(rig.workload, rig.hierarchy, rig.overlay, rig.meter, t);
+  EXPECT_LE(res.stats.candidates_per_peer,
+            static_cast<double>(res.stats.num_candidates));
+}
+
+}  // namespace
+}  // namespace nf::core

@@ -1,0 +1,64 @@
+#include "net/overlay.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace nf::net {
+namespace {
+
+Overlay make_line(std::uint32_t n) {
+  Topology t(n);
+  for (std::uint32_t i = 0; i + 1 < n; ++i) {
+    t.add_edge(PeerId(i), PeerId(i + 1));
+  }
+  return Overlay(std::move(t));
+}
+
+TEST(OverlayTest, AllAliveInitially) {
+  const Overlay o = make_line(5);
+  EXPECT_EQ(o.num_alive(), 5u);
+  for (std::uint32_t p = 0; p < 5; ++p) {
+    EXPECT_TRUE(o.is_alive(PeerId(p)));
+  }
+}
+
+TEST(OverlayTest, FailAndReviveFlipLiveness) {
+  Overlay o = make_line(5);
+  o.fail(PeerId(2));
+  EXPECT_FALSE(o.is_alive(PeerId(2)));
+  EXPECT_EQ(o.num_alive(), 4u);
+  o.revive(PeerId(2));
+  EXPECT_TRUE(o.is_alive(PeerId(2)));
+  EXPECT_EQ(o.num_alive(), 5u);
+}
+
+TEST(OverlayTest, FailIsIdempotent) {
+  Overlay o = make_line(3);
+  o.fail(PeerId(1));
+  o.fail(PeerId(1));
+  EXPECT_EQ(o.num_alive(), 2u);
+  o.revive(PeerId(1));
+  o.revive(PeerId(1));
+  EXPECT_EQ(o.num_alive(), 3u);
+}
+
+TEST(OverlayTest, AliveNeighborsExcludesDead) {
+  Overlay o = make_line(5);
+  o.fail(PeerId(1));
+  const auto ns = o.alive_neighbors(PeerId(2));
+  ASSERT_EQ(ns.size(), 1u);
+  EXPECT_EQ(ns[0], PeerId(3));
+  // Static neighbors still include the dead peer.
+  EXPECT_EQ(o.neighbors(PeerId(2)).size(), 2u);
+}
+
+TEST(OverlayTest, OutOfRangeThrows) {
+  Overlay o = make_line(3);
+  EXPECT_THROW(o.fail(PeerId(3)), InvalidArgument);
+  EXPECT_THROW(o.revive(PeerId(9)), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace nf::net

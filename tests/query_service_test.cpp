@@ -1,0 +1,128 @@
+#include "core/query_service.h"
+
+#include <gtest/gtest.h>
+
+#include "net/topology.h"
+#include "workload/workload.h"
+
+namespace nf::core {
+namespace {
+
+using net::Overlay;
+using net::TrafficMeter;
+
+struct Rig {
+  explicit Rig(std::uint64_t seed)
+      : workload([&] {
+          wl::WorkloadConfig cfg;
+          cfg.num_peers = 80;
+          cfg.num_items = 8000;
+          cfg.seed = seed;
+          return wl::Workload::generate(cfg);
+        }()),
+        overlay([&] {
+          Rng rng(seed + 1);
+          return Overlay(net::random_tree(80, 3, rng));
+        }()),
+        meter(80),
+        hierarchy(agg::build_bfs_hierarchy(overlay, PeerId(0))) {}
+
+  wl::Workload workload;
+  Overlay overlay;
+  TrafficMeter meter;
+  agg::Hierarchy hierarchy;
+};
+
+NetFilterConfig config() {
+  NetFilterConfig c;
+  c.num_groups = 80;
+  c.num_filters = 3;
+  return c;
+}
+
+TEST(QueryServiceTest, EachRequesterGetsItsExactSet) {
+  Rig rig(1);
+  const QueryService svc(config());
+  const std::vector<FrequentItemsRequest> reqs{
+      {PeerId(5), 0.1}, {PeerId(17), 0.01}, {PeerId(40), 0.03}};
+  QueryServiceStats stats;
+  const auto responses = svc.serve(reqs, rig.workload, rig.hierarchy,
+                                   rig.overlay, rig.meter, &stats);
+  ASSERT_EQ(responses.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(responses[i].requester, reqs[i].requester);
+    const Value t = rig.workload.threshold_for(reqs[i].theta);
+    EXPECT_EQ(responses[i].threshold, t);
+    EXPECT_EQ(responses[i].frequent, rig.workload.frequent_items(t))
+        << "request " << i;
+  }
+}
+
+TEST(QueryServiceTest, RunsNetFilterOnceAtMinTheta) {
+  Rig rig(2);
+  const QueryService svc(config());
+  QueryServiceStats stats;
+  (void)svc.serve({{PeerId(1), 0.05}, {PeerId(2), 0.01}, {PeerId(3), 0.2}},
+                  rig.workload, rig.hierarchy, rig.overlay, rig.meter,
+                  &stats);
+  EXPECT_EQ(stats.netfilter_runs, 1u);
+  EXPECT_EQ(stats.min_threshold, rig.workload.threshold_for(0.01));
+}
+
+TEST(QueryServiceTest, SupersetRelationHolds) {
+  Rig rig(3);
+  const QueryService svc(config());
+  const auto responses =
+      svc.serve({{PeerId(1), 0.005}, {PeerId(2), 0.05}}, rig.workload,
+                rig.hierarchy, rig.overlay, rig.meter);
+  ASSERT_EQ(responses.size(), 2u);
+  // The low-theta set contains the high-theta set.
+  for (const auto& [id, v] : responses[1].frequent) {
+    EXPECT_TRUE(responses[0].frequent.contains(id));
+  }
+  EXPECT_GE(responses[0].frequent.size(), responses[1].frequent.size());
+}
+
+TEST(QueryServiceTest, SharingBeatsSeparateRuns) {
+  // Total bytes of the shared run must be below the sum of three separate
+  // netFilter runs at each requested theta.
+  Rig shared_rig(4);
+  const QueryService svc(config());
+  (void)svc.serve({{PeerId(1), 0.01}, {PeerId(2), 0.02}, {PeerId(3), 0.05}},
+                  shared_rig.workload, shared_rig.hierarchy,
+                  shared_rig.overlay, shared_rig.meter);
+  const std::uint64_t shared_bytes = shared_rig.meter.total();
+
+  Rig separate_rig(4);
+  const NetFilter nf(config());
+  for (double theta : {0.01, 0.02, 0.05}) {
+    (void)nf.run(separate_rig.workload, separate_rig.hierarchy,
+                 separate_rig.overlay, separate_rig.meter,
+                 separate_rig.workload.threshold_for(theta));
+  }
+  EXPECT_LT(shared_bytes, separate_rig.meter.total());
+}
+
+TEST(QueryServiceTest, ChargesRequestAndReplyTraffic) {
+  Rig rig(5);
+  const QueryService svc(config());
+  QueryServiceStats stats;
+  (void)svc.serve({{PeerId(60), 0.01}}, rig.workload, rig.hierarchy,
+                  rig.overlay, rig.meter, &stats);
+  EXPECT_GT(stats.request_cost_per_peer, 0.0);
+  EXPECT_GT(stats.reply_cost_per_peer, 0.0);
+}
+
+TEST(QueryServiceTest, RejectsBadInput) {
+  Rig rig(6);
+  const QueryService svc(config());
+  EXPECT_THROW((void)svc.serve({}, rig.workload, rig.hierarchy, rig.overlay,
+                               rig.meter),
+               InvalidArgument);
+  EXPECT_THROW((void)svc.serve({{PeerId(1), 0.0}}, rig.workload,
+                               rig.hierarchy, rig.overlay, rig.meter),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace nf::core

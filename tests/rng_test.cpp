@@ -1,0 +1,187 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <numeric>
+#include <set>
+#include <vector>
+
+namespace nf {
+namespace {
+
+TEST(SplitMix64Test, KnownSequenceIsDeterministic) {
+  std::uint64_t s1 = 1234;
+  std::uint64_t s2 = 1234;
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(splitmix64(s1), splitmix64(s2));
+  }
+}
+
+TEST(SplitMix64Test, DistinctSeedsDiverge) {
+  std::uint64_t a = 1;
+  std::uint64_t b = 2;
+  EXPECT_NE(splitmix64(a), splitmix64(b));
+}
+
+TEST(RngTest, SameSeedSameStream) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(RngTest, DifferentSeedsDifferentStreams) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(RngTest, ReseedRestartsStream) {
+  Rng a(7);
+  std::vector<std::uint64_t> first;
+  for (int i = 0; i < 10; ++i) first.push_back(a());
+  a.reseed(7);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(a(), first[static_cast<std::size_t>(i)]);
+}
+
+TEST(RngTest, BelowStaysInRange) {
+  Rng rng(3);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 17ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.below(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, BelowOneAlwaysZero) {
+  Rng rng(5);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(RngTest, BelowZeroThrows) {
+  Rng rng(5);
+  EXPECT_THROW((void)rng.below(0), InvalidArgument);
+}
+
+TEST(RngTest, BetweenInclusiveBounds) {
+  Rng rng(9);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t x = rng.between(10, 12);
+    EXPECT_GE(x, 10u);
+    EXPECT_LE(x, 12u);
+    saw_lo |= (x == 10);
+    saw_hi |= (x == 12);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, BetweenBadRangeThrows) {
+  Rng rng(5);
+  EXPECT_THROW((void)rng.between(3, 2), InvalidArgument);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(11);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(RngTest, BelowIsRoughlyUniform) {
+  Rng rng(13);
+  constexpr std::uint64_t kBuckets = 10;
+  constexpr int kDraws = 100000;
+  std::array<int, kBuckets> counts{};
+  for (int i = 0; i < kDraws; ++i) {
+    ++counts[rng.below(kBuckets)];
+  }
+  // Chi-square with 9 dof; 99.9% critical value ~ 27.9.
+  double chi2 = 0.0;
+  const double expected = static_cast<double>(kDraws) / kBuckets;
+  for (int c : counts) {
+    const double d = c - expected;
+    chi2 += d * d / expected;
+  }
+  EXPECT_LT(chi2, 27.9);
+}
+
+TEST(RngTest, ChanceRespectsProbability) {
+  Rng rng(17);
+  int hits = 0;
+  for (int i = 0; i < 100000; ++i) {
+    if (rng.chance(0.3)) ++hits;
+  }
+  EXPECT_NEAR(hits / 100000.0, 0.3, 0.01);
+  Rng never(18);
+  for (int i = 0; i < 100; ++i) EXPECT_FALSE(never.chance(0.0));
+}
+
+TEST(RngTest, ForkProducesIndependentChildren) {
+  Rng parent(21);
+  Rng c1 = parent.fork();
+  Rng c2 = parent.fork();
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (c1() == c2()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(RngTest, ForkIsStableAcrossRuns) {
+  Rng p1(33);
+  Rng p2(33);
+  Rng a = p1.fork();
+  Rng b = p2.fork();
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(ShuffleTest, ProducesPermutation) {
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  Rng rng(55);
+  shuffle(v, rng);
+  std::set<int> seen(v.begin(), v.end());
+  EXPECT_EQ(seen.size(), 100u);
+  EXPECT_EQ(*seen.begin(), 0);
+  EXPECT_EQ(*seen.rbegin(), 99);
+}
+
+TEST(ShuffleTest, ActuallyShuffles) {
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  const std::vector<int> orig = v;
+  Rng rng(56);
+  shuffle(v, rng);
+  EXPECT_NE(v, orig);
+}
+
+TEST(ShuffleTest, UniformOverSmallPermutations) {
+  // All 6 permutations of 3 elements should be roughly equally likely.
+  std::map<std::array<int, 3>, int> counts;
+  Rng rng(57);
+  for (int i = 0; i < 60000; ++i) {
+    std::array<int, 3> v{0, 1, 2};
+    shuffle(v, rng);
+    ++counts[v];
+  }
+  ASSERT_EQ(counts.size(), 6u);
+  for (const auto& [perm, c] : counts) {
+    EXPECT_NEAR(c, 10000, 500);
+  }
+}
+
+}  // namespace
+}  // namespace nf

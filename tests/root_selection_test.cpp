@@ -1,0 +1,106 @@
+#include "agg/root_selection.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "agg/hierarchy.h"
+#include "net/topology.h"
+
+namespace nf::agg {
+namespace {
+
+using net::Overlay;
+using net::Topology;
+
+Overlay make_line(std::uint32_t n) {
+  Topology t(n);
+  for (std::uint32_t i = 0; i + 1 < n; ++i) {
+    t.add_edge(PeerId(i), PeerId(i + 1));
+  }
+  return Overlay(std::move(t));
+}
+
+TEST(EccentricityTest, LineEndpointsAndMiddle) {
+  const Overlay o = make_line(9);
+  EXPECT_EQ(eccentricity(o, PeerId(0)), 8u);
+  EXPECT_EQ(eccentricity(o, PeerId(8)), 8u);
+  EXPECT_EQ(eccentricity(o, PeerId(4)), 4u);
+}
+
+TEST(RootSelectionTest, RandomPicksAliveUniformly) {
+  Overlay o = make_line(10);
+  o.fail(PeerId(3));
+  Rng rng(1);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 2000; ++i) {
+    const PeerId r = select_root(o, RootPolicy::kRandom, {}, rng);
+    ASSERT_TRUE(o.is_alive(r));
+    ++counts[r.value()];
+  }
+  EXPECT_EQ(counts[3], 0);
+  for (std::uint32_t p = 0; p < 10; ++p) {
+    if (p == 3) continue;
+    EXPECT_NEAR(counts[p], 2000 / 9, 80) << p;
+  }
+}
+
+TEST(RootSelectionTest, MostStablePicksHighestAliveUptime) {
+  Overlay o = make_line(5);
+  const std::vector<double> uptime{0.1, 0.9, 0.3, 0.95, 0.2};
+  Rng rng(2);
+  EXPECT_EQ(select_root(o, RootPolicy::kMostStable, uptime, rng), PeerId(3));
+  o.fail(PeerId(3));
+  EXPECT_EQ(select_root(o, RootPolicy::kMostStable, uptime, rng), PeerId(1));
+}
+
+TEST(RootSelectionTest, MostStableNeedsUptimes) {
+  const Overlay o = make_line(3);
+  Rng rng(3);
+  EXPECT_THROW((void)select_root(o, RootPolicy::kMostStable, {}, rng),
+               InvalidArgument);
+}
+
+TEST(RootSelectionTest, CenterOfLineIsTheMiddle) {
+  const Overlay o = make_line(11);
+  Rng rng(4);
+  const PeerId c = select_root(o, RootPolicy::kCenter, {}, rng);
+  EXPECT_EQ(eccentricity(o, c), 5u);  // true center of an 11-line
+}
+
+TEST(RootSelectionTest, CenterRootHalvesHierarchyHeight) {
+  // On random trees a central root should give a substantially shorter
+  // hierarchy than the worst random pick.
+  Rng rng(5);
+  const Overlay o{net::random_tree(500, 3, rng)};
+  const PeerId center = select_root(o, RootPolicy::kCenter, {}, rng);
+  const std::uint32_t center_ecc = eccentricity(o, center);
+  std::uint32_t worst_ecc = 0;
+  for (int i = 0; i < 10; ++i) {
+    const PeerId r = select_root(o, RootPolicy::kRandom, {}, rng);
+    worst_ecc = std::max(worst_ecc, eccentricity(o, r));
+  }
+  EXPECT_LT(center_ecc, worst_ecc);
+  // The double-sweep approximation is within 1 of the optimum on trees:
+  // ecc(center) <= ceil(diameter/2) + 1.
+  const std::uint32_t diameter = [&] {
+    std::uint32_t best = 0;
+    for (std::uint32_t p = 0; p < 500; p += 37) {
+      best = std::max(best, eccentricity(o, PeerId(p)));
+    }
+    return best;
+  }();
+  EXPECT_LE(center_ecc, (diameter + 1) / 2 + 1);
+}
+
+TEST(RootSelectionTest, CenterRootShortensNetFilterRounds) {
+  Rng rng(6);
+  const Overlay o{net::random_tree(300, 3, rng)};
+  const PeerId center = select_root(o, RootPolicy::kCenter, {}, rng);
+  const Hierarchy hc = build_bfs_hierarchy(o, center);
+  const Hierarchy h0 = build_bfs_hierarchy(o, PeerId(0));
+  EXPECT_LE(hc.height(), h0.height());
+}
+
+}  // namespace
+}  // namespace nf::agg

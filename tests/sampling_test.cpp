@@ -1,0 +1,159 @@
+#include "agg/sampling.h"
+
+#include <gtest/gtest.h>
+
+#include "net/topology.h"
+#include "workload/workload.h"
+
+namespace nf::agg {
+namespace {
+
+using net::Overlay;
+using net::TrafficMeter;
+
+struct SamplingRig {
+  SamplingRig(std::uint32_t num_peers, std::uint64_t num_items, double alpha,
+        std::uint64_t seed)
+      : workload([&] {
+          wl::WorkloadConfig cfg;
+          cfg.num_peers = num_peers;
+          cfg.num_items = num_items;
+          cfg.alpha = alpha;
+          cfg.seed = seed;
+          return wl::Workload::generate(cfg);
+        }()),
+        overlay([&] {
+          Rng rng(seed + 1);
+          return Overlay(net::random_tree(num_peers, 3, rng));
+        }()),
+        hierarchy(build_bfs_hierarchy(overlay, PeerId(0))) {}
+
+  wl::Workload workload;
+  Overlay overlay;
+  Hierarchy hierarchy;
+};
+
+TEST(SamplingTest, EstimatesTrackGroundTruth) {
+  SamplingRig s(200, 20000, 1.0, 7);
+  const Value t = s.workload.threshold_for(0.01);
+  SamplingConfig cfg;
+  cfg.num_branches = 8;
+  cfg.items_per_peer = 100;
+  TrafficMeter meter(200);
+  const SampleEstimates est = sample_estimates(
+      s.hierarchy, s.workload, s.workload.total_value(), t, cfg, &meter);
+
+  EXPECT_GT(est.num_sampled_peers, 1u);
+  EXPECT_GT(est.num_sampled_items, 50u);
+
+  // n̂ from the HLL should be tight (~3% at precision 10).
+  const double n_true = static_cast<double>(s.workload.num_distinct());
+  EXPECT_NEAR(est.n_hat, n_true, 0.10 * n_true);
+
+  // v̄ and v̄_light should land within a small factor of the truth — they
+  // only drive g_opt, whose cost curve is flat near the optimum. The
+  // paper's sampling is popularity-biased (items on more peers are sampled
+  // more often); Horvitz-Thompson weighting removes most but not all of the
+  // skew on the light average, so accept a 5x band on the raw estimates...
+  const double v_bar_true = s.workload.avg_global_value();
+  const double v_light_true = s.workload.avg_light_value(t);
+  EXPECT_GT(est.v_bar, v_bar_true / 5.0);
+  EXPECT_GT(est.v_bar_light, v_light_true / 5.0);
+  EXPECT_LT(est.v_bar_light, v_light_true * 5.0);
+
+  // ...and require the quantity that matters — the g_opt ratio
+  // v̄_light / v̄ of Formula 3 — to track the oracle within 5x as well.
+  const double ratio_true = v_light_true / v_bar_true;
+  const double ratio_est = est.v_bar_light / est.v_bar;
+  EXPECT_GT(ratio_est, ratio_true / 5.0);
+  EXPECT_LT(ratio_est, ratio_true * 5.0);
+
+  // r̂ should have the right order of magnitude.
+  const double r_true =
+      static_cast<double>(s.workload.frequent_items(t).size());
+  EXPECT_GT(est.r_hat, r_true / 5.0);
+  EXPECT_LT(est.r_hat, r_true * 5.0);
+}
+
+TEST(SamplingTest, ChargesSamplingTraffic) {
+  SamplingRig s(100, 5000, 1.0, 9);
+  const Value t = s.workload.threshold_for(0.01);
+  SamplingConfig cfg;
+  TrafficMeter meter(100);
+  (void)sample_estimates(s.hierarchy, s.workload, s.workload.total_value(), t,
+                         cfg, &meter);
+  EXPECT_GT(meter.total(net::TrafficCategory::kSampling), 0u);
+  EXPECT_EQ(meter.total(net::TrafficCategory::kFiltering), 0u);
+}
+
+TEST(SamplingTest, NullMeterIsAllowed) {
+  SamplingRig s(50, 2000, 1.0, 11);
+  const Value t = s.workload.threshold_for(0.01);
+  SamplingConfig cfg;
+  const SampleEstimates est = sample_estimates(
+      s.hierarchy, s.workload, s.workload.total_value(), t, cfg, nullptr);
+  EXPECT_GT(est.v_bar, 0.0);
+}
+
+TEST(SamplingTest, SkippingNEstimateLeavesZeroAndSavesBytes) {
+  SamplingRig s(100, 5000, 1.0, 13);
+  const Value t = s.workload.threshold_for(0.01);
+  SamplingConfig with;
+  SamplingConfig without;
+  without.estimate_n = false;
+  TrafficMeter m1(100);
+  TrafficMeter m2(100);
+  const auto e1 = sample_estimates(s.hierarchy, s.workload,
+                                   s.workload.total_value(), t, with, &m1);
+  const auto e2 = sample_estimates(s.hierarchy, s.workload,
+                                   s.workload.total_value(), t, without, &m2);
+  EXPECT_GT(e1.n_hat, 0.0);
+  EXPECT_EQ(e2.n_hat, 0.0);
+  EXPECT_LT(m2.total(net::TrafficCategory::kSampling),
+            m1.total(net::TrafficCategory::kSampling));
+}
+
+TEST(SamplingTest, DeterministicForSeed) {
+  SamplingRig s(100, 5000, 1.0, 17);
+  const Value t = s.workload.threshold_for(0.01);
+  SamplingConfig cfg;
+  const auto a = sample_estimates(s.hierarchy, s.workload,
+                                  s.workload.total_value(), t, cfg, nullptr);
+  const auto b = sample_estimates(s.hierarchy, s.workload,
+                                  s.workload.total_value(), t, cfg, nullptr);
+  EXPECT_EQ(a.v_bar, b.v_bar);
+  EXPECT_EQ(a.v_bar_light, b.v_bar_light);
+  EXPECT_EQ(a.r_hat, b.r_hat);
+  EXPECT_EQ(a.n_hat, b.n_hat);
+}
+
+TEST(SamplingTest, MoreBranchesSampleMorePeers) {
+  SamplingRig s(300, 5000, 1.0, 19);
+  const Value t = s.workload.threshold_for(0.01);
+  SamplingConfig few;
+  few.num_branches = 1;
+  SamplingConfig many;
+  many.num_branches = 20;
+  const auto a = sample_estimates(s.hierarchy, s.workload,
+                                  s.workload.total_value(), t, few, nullptr);
+  const auto b = sample_estimates(s.hierarchy, s.workload,
+                                  s.workload.total_value(), t, many, nullptr);
+  EXPECT_LT(a.num_sampled_peers, b.num_sampled_peers);
+}
+
+TEST(SamplingTest, InvalidConfigThrows) {
+  SamplingRig s(20, 500, 1.0, 23);
+  SamplingConfig zero_branches;
+  zero_branches.num_branches = 0;
+  EXPECT_THROW((void)sample_estimates(s.hierarchy, s.workload, 1, 1,
+                                      zero_branches, nullptr),
+               InvalidArgument);
+  SamplingConfig zero_items;
+  zero_items.items_per_peer = 0;
+  EXPECT_THROW((void)sample_estimates(s.hierarchy, s.workload, 1, 1,
+                                      zero_items, nullptr),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace nf::agg

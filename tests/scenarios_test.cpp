@@ -1,0 +1,164 @@
+#include "workload/scenarios.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/error.h"
+#include "common/hashing.h"
+
+namespace nf::wl {
+namespace {
+
+TEST(CatalogTest, InternIsStableAndReversible) {
+  Catalog c;
+  const ItemId id1 = c.intern("hello");
+  const ItemId id2 = c.intern("hello");
+  EXPECT_EQ(id1, id2);
+  EXPECT_EQ(c.name_of(id1), "hello");
+  EXPECT_EQ(c.size(), 1u);
+  const ItemId id3 = c.intern("world");
+  EXPECT_NE(id1, id3);
+  EXPECT_TRUE(c.contains(id3));
+  EXPECT_FALSE(c.contains(ItemId(123)));
+  EXPECT_THROW((void)c.name_of(ItemId(123)), InvalidArgument);
+}
+
+TEST(KeywordQueriesTest, ProducesConsistentWorkload) {
+  const ScenarioOutput out = keyword_queries(40, 500, 100, 1.0, 3);
+  EXPECT_EQ(out.workload.num_peers(), 40u);
+  EXPECT_GT(out.workload.total_value(), 0u);
+  // Every item in the ground truth has a catalog name.
+  for (const auto& [id, v] : out.workload.global()) {
+    EXPECT_TRUE(out.catalog.contains(id));
+  }
+  // Keyword rank 1 should be globally frequent under Zipf(1).
+  const ItemId top = ItemId(hash_bytes("kw-1"));
+  EXPECT_GT(out.workload.global().value_of(top),
+            out.workload.total_value() / 100);
+}
+
+TEST(KeywordQueriesTest, LocalValuesCountQueriesNotOccurrences) {
+  // Each of the q queries contains a keyword at most once, so no local
+  // value can exceed the number of queries.
+  const std::uint32_t q = 50;
+  const ScenarioOutput out = keyword_queries(10, 100, q, 1.0, 5);
+  for (std::uint32_t p = 0; p < 10; ++p) {
+    for (const auto& [id, v] : out.workload.local_items(PeerId(p))) {
+      EXPECT_LE(v, q);
+    }
+  }
+}
+
+TEST(CoOccurringPairsTest, ItemsArePairsWithCanonicalOrder) {
+  const ScenarioOutput out = co_occurring_pairs(20, 100, 50, 1.0, 7);
+  EXPECT_GT(out.workload.num_distinct(), 0u);
+  for (const auto& [id, v] : out.workload.global()) {
+    const std::string& name = out.catalog.name_of(id);
+    const auto plus = name.find('+');
+    ASSERT_NE(plus, std::string::npos) << name;
+    // Canonical: first keyword rank <= second keyword rank.
+    const auto a = std::stoul(name.substr(3, plus - 3));
+    const auto b = std::stoul(name.substr(plus + 4));
+    EXPECT_LE(a, b) << name;
+  }
+}
+
+TEST(DdosFlowsTest, PlantedVictimsDominateGlobally) {
+  const ScenarioOutput out = ddos_flows(100, 5000, 200, 3, 11);
+  ASSERT_EQ(out.planted.size(), 3u);
+  // Each victim's global value should clear a 0.5% threshold easily.
+  const Value t = out.workload.threshold_for(0.005);
+  for (ItemId victim : out.planted) {
+    EXPECT_GE(out.workload.global().value_of(victim), t)
+        << out.catalog.name_of(victim);
+  }
+}
+
+TEST(DdosFlowsTest, VictimsAreNotLocallyObvious) {
+  const ScenarioOutput out = ddos_flows(100, 5000, 200, 2, 13);
+  // At most a handful of routers should see the victim among their top-5
+  // local destinations; the attack hides in per-router noise.
+  for (ItemId victim : out.planted) {
+    int top5 = 0;
+    for (std::uint32_t p = 0; p < 100; ++p) {
+      const auto& local = out.workload.local_items(PeerId(p));
+      const Value vv = local.value_of(victim);
+      if (vv == 0) continue;
+      int bigger = 0;
+      for (const auto& [id, v] : local) {
+        if (v > vv) ++bigger;
+      }
+      if (bigger < 5) ++top5;
+    }
+    EXPECT_LT(top5, 60);
+  }
+}
+
+TEST(WormSignaturesTest, PlantedWormsAreFrequent) {
+  const ScenarioOutput out = worm_signatures(80, 2000, 100, 2, 17);
+  ASSERT_EQ(out.planted.size(), 2u);
+  const Value t = out.workload.threshold_for(0.01);
+  for (ItemId worm : out.planted) {
+    EXPECT_GE(out.workload.global().value_of(worm), t);
+  }
+}
+
+TEST(DocumentReplicasTest, PopularDocumentsAreFrequent) {
+  const ScenarioOutput out = document_replicas(60, 2000, 50, 1.0, 19);
+  EXPECT_EQ(out.workload.num_peers(), 60u);
+  // doc-1 is the most replicated; it should clear a 1% threshold.
+  const ItemId top = ItemId(hash_bytes("doc-1"));
+  EXPECT_GE(out.workload.global().value_of(top),
+            out.workload.threshold_for(0.01));
+  // Local replica counts are bounded by the per-peer budget.
+  for (std::uint32_t p = 0; p < 60; ++p) {
+    EXPECT_LE(out.workload.local_items(PeerId(p)).total(), 50u);
+  }
+}
+
+TEST(PopularPeersTest, SuperPeersDominate) {
+  const ScenarioOutput out = popular_peers(100, 200, 3, 23);
+  ASSERT_EQ(out.planted.size(), 3u);
+  const Value t = out.workload.threshold_for(0.02);
+  for (ItemId super : out.planted) {
+    EXPECT_GE(out.workload.global().value_of(super), t)
+        << out.catalog.name_of(super);
+  }
+  // No peer rated itself: peer-i never appears in peer i's local set.
+  for (std::uint32_t p = 0; p < 100; ++p) {
+    const ItemId self_id = ItemId(hash_bytes("peer-" + std::to_string(p)));
+    EXPECT_EQ(out.workload.local_items(PeerId(p)).value_of(self_id), 0u);
+  }
+}
+
+TEST(ContactedPeerPairsTest, FriendPairsAreFrequentAndCanonical) {
+  const ScenarioOutput out = contacted_peer_pairs(80, 300, 2, 29);
+  ASSERT_EQ(out.planted.size(), 2u);
+  const Value t = out.workload.threshold_for(0.01);
+  for (ItemId pair : out.planted) {
+    EXPECT_GE(out.workload.global().value_of(pair), t);
+    // Canonical naming: smaller id first.
+    const std::string& name = out.catalog.name_of(pair);
+    const auto sep = name.find("<->");
+    ASSERT_NE(sep, std::string::npos);
+    const auto a = std::stoul(name.substr(5, sep - 5));
+    const auto b = std::stoul(name.substr(sep + 3));
+    EXPECT_LE(a, b);
+  }
+}
+
+TEST(ScenariosTest, DeterministicForSeed) {
+  const ScenarioOutput a = keyword_queries(10, 100, 20, 1.0, 21);
+  const ScenarioOutput b = keyword_queries(10, 100, 20, 1.0, 21);
+  EXPECT_EQ(a.workload.global(), b.workload.global());
+}
+
+TEST(ScenariosTest, InvalidArgumentsThrow) {
+  EXPECT_THROW((void)keyword_queries(10, 2, 10, 1.0, 1), InvalidArgument);
+  EXPECT_THROW((void)ddos_flows(10, 2, 10, 3, 1), InvalidArgument);
+  EXPECT_THROW((void)worm_signatures(10, 2, 10, 1, 1), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace nf::wl

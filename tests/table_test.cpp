@@ -1,0 +1,58 @@
+#include "common/table.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace nf {
+namespace {
+
+TEST(TableWriterTest, PrintsHeaderAndRule) {
+  std::ostringstream os;
+  TableWriter t({"a", "b"}, os, 6);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("     a     b"), std::string::npos);
+  EXPECT_NE(out.find("------------"), std::string::npos);
+}
+
+TEST(TableWriterTest, FormatsMixedCellTypes) {
+  std::ostringstream os;
+  TableWriter t({"x", "y", "z"}, os, 10);
+  t.row(7, 3.14159, "hi");
+  const std::string out = os.str();
+  EXPECT_NE(out.find("         7"), std::string::npos);
+  EXPECT_NE(out.find("      3.14"), std::string::npos);
+  EXPECT_NE(out.find("        hi"), std::string::npos);
+}
+
+TEST(TableWriterTest, SmallFloatsKeepSignificantDigits) {
+  std::ostringstream os;
+  TableWriter t({"eps"}, os, 12);
+  t.row(0.0002);
+  t.row(0.05);
+  t.row(0.0);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("0.0002"), std::string::npos);
+  EXPECT_NE(out.find("0.050"), std::string::npos);
+  EXPECT_NE(out.find("0.00\n"), std::string::npos);  // zero prints plainly
+}
+
+TEST(TableWriterTest, LargeFloatsUseTwoDecimals) {
+  std::ostringstream os;
+  TableWriter t({"v"}, os, 12);
+  t.row(12345.6789);
+  EXPECT_NE(os.str().find("12345.68"), std::string::npos);
+}
+
+TEST(TableWriterTest, RowsEndWithNewline) {
+  std::ostringstream os;
+  TableWriter t({"v"}, os, 8);
+  t.row(1);
+  t.row(2);
+  const std::string out = os.str();
+  // Header + rule + 2 rows = 4 lines.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+}
+
+}  // namespace
+}  // namespace nf

@@ -1,0 +1,124 @@
+#include "core/topk.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "net/topology.h"
+#include "workload/workload.h"
+
+namespace nf::core {
+namespace {
+
+using net::Overlay;
+using net::TrafficMeter;
+
+struct Rig {
+  Rig(std::uint32_t num_peers, std::uint64_t num_items, double alpha,
+      std::uint64_t seed)
+      : workload([&] {
+          wl::WorkloadConfig cfg;
+          cfg.num_peers = num_peers;
+          cfg.num_items = num_items;
+          cfg.alpha = alpha;
+          cfg.seed = seed;
+          return wl::Workload::generate(cfg);
+        }()),
+        overlay([&] {
+          Rng rng(seed + 1);
+          return Overlay(net::random_tree(num_peers, 3, rng));
+        }()),
+        meter(num_peers),
+        hierarchy(agg::build_bfs_hierarchy(overlay, PeerId(0))) {}
+
+  /// Brute-force oracle with the same tie-break (value desc, id asc).
+  [[nodiscard]] std::vector<std::pair<ItemId, Value>> oracle(
+      std::uint32_t k) const {
+    std::vector<std::pair<ItemId, Value>> all(workload.global().begin(),
+                                              workload.global().end());
+    std::sort(all.begin(), all.end(), [](const auto& a, const auto& b) {
+      if (a.second != b.second) return a.second > b.second;
+      return a.first < b.first;
+    });
+    if (all.size() > k) all.resize(k);
+    return all;
+  }
+
+  wl::Workload workload;
+  Overlay overlay;
+  TrafficMeter meter;
+  agg::Hierarchy hierarchy;
+};
+
+NetFilterConfig config() {
+  NetFilterConfig c;
+  c.num_groups = 64;
+  c.num_filters = 3;
+  return c;
+}
+
+class TopKParamTest
+    : public ::testing::TestWithParam<std::tuple<std::uint32_t, double>> {};
+
+TEST_P(TopKParamTest, MatchesBruteForceOracle) {
+  const auto [k, alpha] = GetParam();
+  Rig rig(60, 5000, alpha, 7);
+  const TopK topk(config());
+  const auto res =
+      topk.run(rig.workload, rig.hierarchy, rig.overlay, rig.meter, k);
+  EXPECT_EQ(res.items, rig.oracle(k)) << "k=" << k << " alpha=" << alpha;
+  EXPECT_GE(res.stats.netfilter_runs, 1u);
+  EXPECT_GT(res.stats.total_cost, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Ks, TopKParamTest,
+    ::testing::Combine(::testing::Values(1u, 3u, 10u, 50u, 200u),
+                       ::testing::Values(0.0, 1.0, 2.0)));
+
+TEST(TopKTest, SkewedDataConvergesInFewRuns) {
+  Rig rig(80, 20000, 1.5, 9);
+  const TopK topk(config());
+  const auto res =
+      topk.run(rig.workload, rig.hierarchy, rig.overlay, rig.meter, 10);
+  EXPECT_LE(res.stats.netfilter_runs, 6u);
+  EXPECT_EQ(res.items.size(), 10u);
+}
+
+TEST(TopKTest, KLargerThanUniverseReturnsEverything) {
+  std::vector<LocalItems> locals(4);
+  locals[0].add(ItemId(1), 5);
+  locals[1].add(ItemId(2), 3);
+  const wl::Workload w = wl::Workload::from_local_sets(std::move(locals));
+  Rng rng(1);
+  Overlay overlay(net::random_tree(4, 2, rng));
+  TrafficMeter meter(4);
+  const agg::Hierarchy h = agg::build_bfs_hierarchy(overlay, PeerId(0));
+  const TopK topk(config());
+  const auto res = topk.run(w, h, overlay, meter, 100);
+  ASSERT_EQ(res.items.size(), 2u);
+  EXPECT_EQ(res.items[0].first, ItemId(1));
+  EXPECT_EQ(res.items[1].first, ItemId(2));
+  EXPECT_EQ(res.stats.final_threshold, 1u);
+}
+
+TEST(TopKTest, ResultIsSortedDescending) {
+  Rig rig(40, 3000, 1.0, 11);
+  const TopK topk(config());
+  const auto res =
+      topk.run(rig.workload, rig.hierarchy, rig.overlay, rig.meter, 20);
+  for (std::size_t i = 0; i + 1 < res.items.size(); ++i) {
+    EXPECT_GE(res.items[i].second, res.items[i + 1].second);
+  }
+}
+
+TEST(TopKTest, InvalidKThrows) {
+  Rig rig(10, 100, 1.0, 13);
+  const TopK topk(config());
+  EXPECT_THROW((void)topk.run(rig.workload, rig.hierarchy, rig.overlay,
+                              rig.meter, 0),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace nf::core

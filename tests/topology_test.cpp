@@ -1,0 +1,139 @@
+#include "net/topology.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "common/error.h"
+
+namespace nf::net {
+namespace {
+
+TEST(TopologyTest, AddEdgeIsSymmetric) {
+  Topology t(3);
+  t.add_edge(PeerId(0), PeerId(1));
+  EXPECT_TRUE(t.has_edge(PeerId(0), PeerId(1)));
+  EXPECT_TRUE(t.has_edge(PeerId(1), PeerId(0)));
+  EXPECT_EQ(t.num_edges(), 1u);
+  EXPECT_EQ(t.degree(PeerId(0)), 1u);
+}
+
+TEST(TopologyTest, RejectsSelfLoopsAndDuplicates) {
+  Topology t(3);
+  EXPECT_THROW(t.add_edge(PeerId(1), PeerId(1)), InvalidArgument);
+  t.add_edge(PeerId(0), PeerId(1));
+  EXPECT_THROW(t.add_edge(PeerId(1), PeerId(0)), InvalidArgument);
+  EXPECT_THROW(t.add_edge(PeerId(0), PeerId(7)), InvalidArgument);
+}
+
+TEST(TopologyTest, ConnectedDetection) {
+  Topology t(4);
+  t.add_edge(PeerId(0), PeerId(1));
+  t.add_edge(PeerId(2), PeerId(3));
+  EXPECT_FALSE(t.connected());
+  t.add_edge(PeerId(1), PeerId(2));
+  EXPECT_TRUE(t.connected());
+}
+
+TEST(TopologyTest, SinglePeerIsConnected) {
+  EXPECT_TRUE(Topology(1).connected());
+}
+
+TEST(RandomTreeTest, IsSpanningTree) {
+  Rng rng(1);
+  const Topology t = random_tree(500, 3, rng);
+  EXPECT_EQ(t.num_edges(), 499u);
+  EXPECT_TRUE(t.connected());
+  t.validate();
+}
+
+TEST(RandomTreeTest, RespectsFanoutCap) {
+  Rng rng(2);
+  const std::uint32_t b = 3;
+  const Topology t = random_tree(1000, b, rng);
+  // A node has at most b children plus one parent edge.
+  for (std::uint32_t p = 0; p < 1000; ++p) {
+    EXPECT_LE(t.degree(PeerId(p)), b + 1) << "peer " << p;
+  }
+}
+
+TEST(RandomTreeTest, DeterministicForSeed) {
+  Rng a(3);
+  Rng b(3);
+  const Topology ta = random_tree(100, 3, a);
+  const Topology tb = random_tree(100, 3, b);
+  for (std::uint32_t p = 0; p < 100; ++p) {
+    EXPECT_EQ(ta.neighbors(PeerId(p)), tb.neighbors(PeerId(p)));
+  }
+}
+
+class TopologyGeneratorTest
+    : public ::testing::TestWithParam<std::tuple<std::uint32_t, std::uint64_t>> {};
+
+TEST_P(TopologyGeneratorTest, RandomConnectedIsConnectedAndValid) {
+  const auto [n, seed] = GetParam();
+  Rng rng(seed);
+  const Topology t = random_connected(n, 4.0, rng);
+  EXPECT_TRUE(t.connected());
+  t.validate();
+  const double avg_degree = 2.0 * static_cast<double>(t.num_edges()) / n;
+  EXPECT_GE(avg_degree, 1.9);  // at least the spanning tree
+  EXPECT_LE(avg_degree, 4.5);
+}
+
+TEST_P(TopologyGeneratorTest, WattsStrogatzIsValid) {
+  const auto [n, seed] = GetParam();
+  if (n <= 4) GTEST_SKIP();
+  Rng rng(seed);
+  const Topology t = watts_strogatz(n, 4, 0.2, rng);
+  t.validate();
+  // Rewiring keeps roughly k*n/2 edges (some rewires are skipped).
+  EXPECT_GE(t.num_edges(), static_cast<std::size_t>(1.7 * n));
+  EXPECT_LE(t.num_edges(), static_cast<std::size_t>(2.0 * n) + 1);
+}
+
+TEST_P(TopologyGeneratorTest, BarabasiAlbertIsConnectedAndValid) {
+  const auto [n, seed] = GetParam();
+  if (n <= 3) GTEST_SKIP();
+  Rng rng(seed);
+  const Topology t = barabasi_albert(n, 2, rng);
+  t.validate();
+  EXPECT_TRUE(t.connected());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, TopologyGeneratorTest,
+    ::testing::Combine(::testing::Values(3u, 10u, 100u, 1000u),
+                       ::testing::Values(1u, 99u)));
+
+TEST(BarabasiAlbertTest, HubsEmerge) {
+  Rng rng(5);
+  const Topology t = barabasi_albert(2000, 2, rng);
+  std::size_t max_degree = 0;
+  for (std::uint32_t p = 0; p < 2000; ++p) {
+    max_degree = std::max(max_degree, t.degree(PeerId(p)));
+  }
+  // Preferential attachment should produce hubs far above the mean (~4).
+  EXPECT_GE(max_degree, 30u);
+}
+
+TEST(WattsStrogatzTest, ZeroBetaIsRingLattice) {
+  Rng rng(6);
+  const Topology t = watts_strogatz(20, 4, 0.0, rng);
+  for (std::uint32_t p = 0; p < 20; ++p) {
+    EXPECT_EQ(t.degree(PeerId(p)), 4u);
+  }
+  EXPECT_TRUE(t.connected());
+}
+
+TEST(GeneratorArgsTest, InvalidArgumentsThrow) {
+  Rng rng(7);
+  EXPECT_THROW((void)random_tree(10, 0, rng), InvalidArgument);
+  EXPECT_THROW((void)watts_strogatz(10, 3, 0.1, rng), InvalidArgument);
+  EXPECT_THROW((void)watts_strogatz(4, 4, 0.1, rng), InvalidArgument);
+  EXPECT_THROW((void)barabasi_albert(2, 2, rng), InvalidArgument);
+  EXPECT_THROW(Topology(0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace nf::net

@@ -1,0 +1,106 @@
+#include "workload/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/hashing.h"
+
+#include "common/error.h"
+
+namespace nf::wl {
+namespace {
+
+TEST(TraceTest, IdRoundTripPreservesEverything) {
+  WorkloadConfig cfg;
+  cfg.num_peers = 20;
+  cfg.num_items = 500;
+  cfg.seed = 5;
+  const Workload original = Workload::generate(cfg);
+
+  std::stringstream buffer;
+  save_trace(buffer, original, TraceKeyMode::kIds);
+  const ScenarioOutput loaded = load_trace(buffer);
+
+  ASSERT_EQ(loaded.workload.num_peers(), 20u);
+  EXPECT_EQ(loaded.workload.global(), original.global());
+  for (std::uint32_t p = 0; p < 20; ++p) {
+    EXPECT_EQ(loaded.workload.local_items(PeerId(p)),
+              original.local_items(PeerId(p)));
+  }
+}
+
+TEST(TraceTest, KeyModePreservesNames) {
+  const ScenarioOutput scenario = keyword_queries(10, 100, 20, 1.0, 6);
+  std::stringstream buffer;
+  save_trace(buffer, scenario.workload, TraceKeyMode::kKeys,
+             &scenario.catalog);
+  const ScenarioOutput loaded = load_trace(buffer);
+  EXPECT_EQ(loaded.workload.global(), scenario.workload.global());
+  // Names survive: every loaded item resolves to its original keyword.
+  for (const auto& [id, v] : loaded.workload.global()) {
+    EXPECT_EQ(loaded.catalog.name_of(id), scenario.catalog.name_of(id));
+  }
+}
+
+TEST(TraceTest, HandComposedTrace) {
+  std::stringstream in(
+      "netfilter-trace-v1 keys\n"
+      "# comment line\n"
+      "peer 0\n"
+      "apple 3\n"
+      "pear 1\n"
+      "\n"
+      "peer 2\n"
+      "apple 4\n");
+  const ScenarioOutput loaded = load_trace(in);
+  ASSERT_EQ(loaded.workload.num_peers(), 3u);
+  EXPECT_EQ(loaded.workload.total_value(), 8u);
+  const ItemId apple = ItemId(hash_bytes("apple"));
+  EXPECT_EQ(loaded.workload.global().value_of(apple), 7u);
+  EXPECT_TRUE(loaded.workload.local_items(PeerId(1)).empty());
+}
+
+TEST(TraceTest, RepeatedSectionsAccumulate) {
+  std::stringstream in(
+      "netfilter-trace-v1 ids\n"
+      "peer 0\n"
+      "7 1\n"
+      "peer 0\n"
+      "7 2\n");
+  const ScenarioOutput loaded = load_trace(in);
+  EXPECT_EQ(loaded.workload.global().value_of(ItemId(7)), 3u);
+}
+
+TEST(TraceTest, MalformedInputsThrow) {
+  const auto expect_bad = [](const std::string& text) {
+    std::stringstream in(text);
+    EXPECT_THROW((void)load_trace(in), InvalidArgument) << text;
+  };
+  expect_bad("");
+  expect_bad("wrong-magic ids\npeer 0\n1 1\n");
+  expect_bad("netfilter-trace-v1 hex\npeer 0\n1 1\n");
+  expect_bad("netfilter-trace-v1 ids\n1 1\n");          // item before peer
+  expect_bad("netfilter-trace-v1 ids\npeer 0\n1\n");    // missing value
+  expect_bad("netfilter-trace-v1 ids\npeer 0\n1 1 9\n");  // trailing token
+  expect_bad("netfilter-trace-v1 ids\npeer 0\nxyz 1\n");  // bad id
+  expect_bad("netfilter-trace-v1 ids\npeer x\n");         // bad peer id
+  expect_bad("netfilter-trace-v1 ids\n");                 // no peers
+}
+
+TEST(TraceTest, FileRoundTrip) {
+  WorkloadConfig cfg;
+  cfg.num_peers = 5;
+  cfg.num_items = 50;
+  cfg.seed = 7;
+  const Workload original = Workload::generate(cfg);
+  const std::string path = ::testing::TempDir() + "/nf_trace_test.txt";
+  save_trace_file(path, original, TraceKeyMode::kIds);
+  const ScenarioOutput loaded = load_trace_file(path);
+  EXPECT_EQ(loaded.workload.global(), original.global());
+  EXPECT_THROW((void)load_trace_file("/nonexistent/dir/file"),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace nf::wl

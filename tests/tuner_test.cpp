@@ -1,0 +1,127 @@
+#include "core/tuner.h"
+
+#include <gtest/gtest.h>
+
+#include "core/netfilter.h"
+#include "net/topology.h"
+#include "workload/workload.h"
+
+namespace nf::core {
+namespace {
+
+using net::Overlay;
+using net::TrafficMeter;
+
+struct Rig {
+  Rig(std::uint32_t num_peers, std::uint64_t num_items, std::uint64_t seed)
+      : workload([&] {
+          wl::WorkloadConfig cfg;
+          cfg.num_peers = num_peers;
+          cfg.num_items = num_items;
+          cfg.seed = seed;
+          return wl::Workload::generate(cfg);
+        }()),
+        overlay([&] {
+          Rng rng(seed + 1);
+          return Overlay(net::random_tree(num_peers, 3, rng));
+        }()),
+        meter(num_peers),
+        hierarchy(agg::build_bfs_hierarchy(overlay, PeerId(0))) {}
+
+  wl::Workload workload;
+  Overlay overlay;
+  TrafficMeter meter;
+  agg::Hierarchy hierarchy;
+};
+
+TEST(TunerTest, RecoversVAndThreshold) {
+  Rig rig(100, 10000, 1);
+  const TunedSetting ts =
+      tune(rig.workload, rig.hierarchy, 0.01, TunerConfig{}, &rig.meter);
+  EXPECT_EQ(ts.v_total, rig.workload.total_value());
+  EXPECT_EQ(ts.threshold, rig.workload.threshold_for(0.01));
+}
+
+TEST(TunerTest, ChosenParametersAreReasonable) {
+  Rig rig(200, 50000, 2);
+  TunerConfig cfg;
+  cfg.sampling.num_branches = 10;
+  cfg.sampling.items_per_peer = 100;
+  const TunedSetting ts =
+      tune(rig.workload, rig.hierarchy, 0.01, cfg, &rig.meter);
+  // The paper's analysis (§V-A) puts g_opt near c + v_light/(theta*v_bar)
+  // ~ 100 for theta=0.01 on Zipf(1); accept a generous band.
+  EXPECT_GE(ts.num_groups, 30u);
+  EXPECT_LE(ts.num_groups, 400u);
+  EXPECT_GE(ts.num_filters, 1u);
+  EXPECT_LE(ts.num_filters, 10u);
+}
+
+TEST(TunerTest, TunedRunIsExactAndCheap) {
+  Rig rig(150, 30000, 3);
+  TunerConfig cfg;
+  const TunedSetting ts =
+      tune(rig.workload, rig.hierarchy, 0.01, cfg, &rig.meter);
+  const NetFilter nf(ts.to_config(NetFilterConfig{}));
+  const auto res = nf.run(rig.workload, rig.hierarchy, rig.overlay,
+                          rig.meter, ts.threshold);
+  EXPECT_EQ(res.frequent, rig.workload.frequent_items(ts.threshold));
+
+  // The tuned setting should be within a small factor of the best (g, f)
+  // over a coarse grid — the point of §IV-E.
+  double best = res.stats.total_cost();
+  double tuned = res.stats.total_cost();
+  for (std::uint32_t g : {25u, 50u, 100u, 200u, 400u}) {
+    for (std::uint32_t f : {1u, 2u, 3u, 5u, 8u}) {
+      TrafficMeter m(150);
+      NetFilterConfig c;
+      c.num_groups = g;
+      c.num_filters = f;
+      const NetFilter cand(c);
+      const auto r = cand.run(rig.workload, rig.hierarchy, rig.overlay, m,
+                              ts.threshold);
+      best = std::min(best, r.stats.total_cost());
+    }
+  }
+  EXPECT_LE(tuned, best * 3.0);
+}
+
+TEST(TunerTest, SmallerThetaYieldsLargerG) {
+  Rig rig(100, 20000, 4);
+  const TunedSetting coarse =
+      tune(rig.workload, rig.hierarchy, 0.05, TunerConfig{}, nullptr);
+  const TunedSetting fine =
+      tune(rig.workload, rig.hierarchy, 0.002, TunerConfig{}, nullptr);
+  EXPECT_GT(fine.num_groups, coarse.num_groups);
+}
+
+TEST(TunerTest, RespectsClamps) {
+  Rig rig(50, 5000, 5);
+  TunerConfig cfg;
+  cfg.min_groups = 64;
+  cfg.max_groups = 64;
+  cfg.max_filters = 2;
+  const TunedSetting ts =
+      tune(rig.workload, rig.hierarchy, 0.01, cfg, nullptr);
+  EXPECT_EQ(ts.num_groups, 64u);
+  EXPECT_LE(ts.num_filters, 2u);
+}
+
+TEST(TunerTest, ChargesSamplingTraffic) {
+  Rig rig(60, 5000, 6);
+  (void)tune(rig.workload, rig.hierarchy, 0.01, TunerConfig{}, &rig.meter);
+  EXPECT_GT(rig.meter.total(net::TrafficCategory::kSampling), 0u);
+}
+
+TEST(TunerTest, InvalidThetaThrows) {
+  Rig rig(20, 500, 7);
+  EXPECT_THROW(
+      (void)tune(rig.workload, rig.hierarchy, 0.0, TunerConfig{}, nullptr),
+      InvalidArgument);
+  EXPECT_THROW(
+      (void)tune(rig.workload, rig.hierarchy, 1.5, TunerConfig{}, nullptr),
+      InvalidArgument);
+}
+
+}  // namespace
+}  // namespace nf::core

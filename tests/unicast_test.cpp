@@ -1,0 +1,121 @@
+#include "agg/unicast.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "net/topology.h"
+
+namespace nf::agg {
+namespace {
+
+using net::Engine;
+using net::Overlay;
+using net::Topology;
+using net::TrafficMeter;
+
+struct Fixture {
+  explicit Fixture(Topology topo, PeerId root = PeerId(0))
+      : overlay(std::move(topo)),
+        meter(overlay.num_peers()),
+        hierarchy(build_bfs_hierarchy(overlay, root)) {}
+
+  Overlay overlay;
+  TrafficMeter meter;
+  Hierarchy hierarchy;
+};
+
+Topology line(std::uint32_t n) {
+  Topology t(n);
+  for (std::uint32_t i = 0; i + 1 < n; ++i) {
+    t.add_edge(PeerId(i), PeerId(i + 1));
+  }
+  return t;
+}
+
+TEST(TreeRequestReplyTest, RoundTripsAlongTheLine) {
+  Fixture fx(line(6));
+  TreeRequestReply<int, std::string> rpc(
+      fx.hierarchy, PeerId(5), 42, /*request_bytes=*/4,
+      [](PeerId root, const int& q) {
+        EXPECT_EQ(root, PeerId(0));
+        return "answer-" + std::to_string(q);
+      },
+      [](const std::string& r) { return r.size(); });
+  Engine engine(fx.overlay, fx.meter);
+  engine.run(rpc, 100);
+  ASSERT_TRUE(rpc.complete());
+  EXPECT_EQ(rpc.reply(), "answer-42");
+}
+
+TEST(TreeRequestReplyTest, CompletesInTwiceDepthRounds) {
+  Fixture fx(line(8));
+  TreeRequestReply<int, int> rpc(
+      fx.hierarchy, PeerId(7), 1, 4, [](PeerId, const int& q) { return q; },
+      [](const int&) { return std::uint64_t{4}; });
+  Engine engine(fx.overlay, fx.meter);
+  const std::uint64_t rounds = engine.run(rpc, 100);
+  EXPECT_TRUE(rpc.complete());
+  EXPECT_LE(rounds, 2u * 7u + 2u);
+}
+
+TEST(TreeRequestReplyTest, ChargesPerHopBothWays) {
+  Fixture fx(line(4));  // requester depth 3
+  TreeRequestReply<int, int> rpc(
+      fx.hierarchy, PeerId(3), 1, /*request_bytes=*/10,
+      [](PeerId, const int& q) { return q; },
+      [](const int&) { return std::uint64_t{20}; });
+  Engine engine(fx.overlay, fx.meter);
+  engine.run(rpc, 100);
+  // 3 request hops at 10 bytes + 3 reply hops at 20 bytes.
+  EXPECT_EQ(fx.meter.total(net::TrafficCategory::kControl), 3u * 10 + 3u * 20);
+}
+
+TEST(TreeRequestReplyTest, RootRequesterIsServedLocally) {
+  Fixture fx(line(3));
+  TreeRequestReply<int, int> rpc(
+      fx.hierarchy, PeerId(0), 7, 4, [](PeerId, const int& q) { return q * 2; },
+      [](const int&) { return std::uint64_t{4}; });
+  Engine engine(fx.overlay, fx.meter);
+  engine.run(rpc, 10);
+  ASSERT_TRUE(rpc.complete());
+  EXPECT_EQ(rpc.reply(), 14);
+  EXPECT_EQ(fx.meter.total(), 0u);
+}
+
+TEST(TreeRequestReplyTest, WorksOnRandomTreesFromAnyRequester) {
+  Rng rng(3);
+  Fixture fx(net::random_tree(60, 3, rng));
+  for (std::uint32_t requester : {1u, 17u, 42u, 59u}) {
+    TreeRequestReply<std::uint32_t, std::uint32_t> rpc(
+        fx.hierarchy, PeerId(requester), requester, 4,
+        [](PeerId, const std::uint32_t& q) { return q + 1000; },
+        [](const std::uint32_t&) { return std::uint64_t{4}; });
+    Engine engine(fx.overlay, fx.meter);
+    engine.run(rpc, 200);
+    ASSERT_TRUE(rpc.complete()) << requester;
+    EXPECT_EQ(rpc.reply(), requester + 1000);
+  }
+}
+
+TEST(TreeRequestReplyTest, NonMemberRequesterRejected) {
+  Overlay overlay(line(4));
+  overlay.fail(PeerId(3));
+  TrafficMeter meter(4);
+  const Hierarchy h = build_bfs_hierarchy(overlay, PeerId(0));
+  EXPECT_THROW((TreeRequestReply<int, int>(
+                   h, PeerId(3), 1, 4, [](PeerId, const int& q) { return q; },
+                   [](const int&) { return std::uint64_t{4}; })),
+               InvalidArgument);
+}
+
+TEST(TreeRequestReplyTest, ReplyBeforeCompletionThrows) {
+  Fixture fx(line(3));
+  TreeRequestReply<int, int> rpc(
+      fx.hierarchy, PeerId(2), 1, 4, [](PeerId, const int& q) { return q; },
+      [](const int&) { return std::uint64_t{4}; });
+  EXPECT_THROW((void)rpc.reply(), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace nf::agg

@@ -1,0 +1,162 @@
+#include "common/value_map.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/rng.h"
+
+namespace nf {
+namespace {
+
+using Map = ValueMap<ItemId, std::uint64_t>;
+
+TEST(ValueMapTest, StartsEmpty) {
+  Map m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.size(), 0u);
+  EXPECT_EQ(m.total(), 0u);
+  EXPECT_EQ(m.value_of(ItemId(1)), 0u);
+  EXPECT_FALSE(m.contains(ItemId(1)));
+}
+
+TEST(ValueMapTest, AddInsertsAndAccumulates) {
+  Map m;
+  m.add(ItemId(5), 3);
+  m.add(ItemId(2), 1);
+  m.add(ItemId(5), 4);
+  EXPECT_EQ(m.size(), 2u);
+  EXPECT_EQ(m.value_of(ItemId(5)), 7u);
+  EXPECT_EQ(m.value_of(ItemId(2)), 1u);
+  EXPECT_EQ(m.total(), 8u);
+}
+
+TEST(ValueMapTest, IterationIsSortedById) {
+  Map m;
+  m.add(ItemId(30), 1);
+  m.add(ItemId(10), 1);
+  m.add(ItemId(20), 1);
+  std::vector<std::uint64_t> ids;
+  for (const auto& [id, v] : m) ids.push_back(id.value());
+  EXPECT_EQ(ids, (std::vector<std::uint64_t>{10, 20, 30}));
+}
+
+TEST(ValueMapTest, FromUnsortedDeduplicates) {
+  const Map m = Map::from_unsorted({{ItemId(3), 1},
+                                    {ItemId(1), 2},
+                                    {ItemId(3), 5},
+                                    {ItemId(2), 1},
+                                    {ItemId(1), 1}});
+  EXPECT_EQ(m.size(), 3u);
+  EXPECT_EQ(m.value_of(ItemId(1)), 3u);
+  EXPECT_EQ(m.value_of(ItemId(2)), 1u);
+  EXPECT_EQ(m.value_of(ItemId(3)), 6u);
+}
+
+TEST(ValueMapTest, MergeAddCombines) {
+  Map a = Map::from_unsorted({{ItemId(1), 1}, {ItemId(3), 3}});
+  const Map b = Map::from_unsorted({{ItemId(2), 2}, {ItemId(3), 7}});
+  a.merge_add(b);
+  EXPECT_EQ(a.size(), 3u);
+  EXPECT_EQ(a.value_of(ItemId(1)), 1u);
+  EXPECT_EQ(a.value_of(ItemId(2)), 2u);
+  EXPECT_EQ(a.value_of(ItemId(3)), 10u);
+}
+
+TEST(ValueMapTest, MergeWithEmptyIsIdentity) {
+  Map a = Map::from_unsorted({{ItemId(1), 1}});
+  const Map copy = a;
+  a.merge_add(Map{});
+  EXPECT_EQ(a, copy);
+  Map empty;
+  empty.merge_add(copy);
+  EXPECT_EQ(empty, copy);
+}
+
+TEST(ValueMapTest, RetainFiltersEntries) {
+  Map m = Map::from_unsorted(
+      {{ItemId(1), 10}, {ItemId(2), 5}, {ItemId(3), 20}});
+  m.retain([](ItemId, std::uint64_t v) { return v >= 10; });
+  EXPECT_EQ(m.size(), 2u);
+  EXPECT_TRUE(m.contains(ItemId(1)));
+  EXPECT_FALSE(m.contains(ItemId(2)));
+  EXPECT_TRUE(m.contains(ItemId(3)));
+}
+
+TEST(ValueMapTest, ClearEmpties) {
+  Map m = Map::from_unsorted({{ItemId(1), 1}});
+  m.clear();
+  EXPECT_TRUE(m.empty());
+}
+
+TEST(ValueMapTest, EqualityIsStructural) {
+  const Map a = Map::from_unsorted({{ItemId(1), 1}, {ItemId(2), 2}});
+  Map b;
+  b.add(ItemId(2), 2);
+  b.add(ItemId(1), 1);
+  EXPECT_EQ(a, b);
+  b.add(ItemId(1), 1);
+  EXPECT_NE(a, b);
+}
+
+// Property test: a random sequence of add/merge operations matches a
+// std::map reference model.
+class ValueMapPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ValueMapPropertyTest, AgreesWithReferenceModel) {
+  Rng rng(GetParam());
+  Map subject;
+  std::map<std::uint64_t, std::uint64_t> model;
+  for (int op = 0; op < 2000; ++op) {
+    const std::uint64_t id = rng.below(64);  // small space forces collisions
+    const std::uint64_t v = rng.between(1, 10);
+    if (rng.chance(0.8)) {
+      subject.add(ItemId(id), v);
+      model[id] += v;
+    } else {
+      // Merge a small random batch.
+      std::vector<std::pair<ItemId, std::uint64_t>> batch;
+      for (int i = 0; i < 5; ++i) {
+        const std::uint64_t bid = rng.below(64);
+        batch.emplace_back(ItemId(bid), v);
+        model[bid] += v;
+      }
+      subject.merge_add(Map::from_unsorted(std::move(batch)));
+    }
+  }
+  ASSERT_EQ(subject.size(), model.size());
+  for (const auto& [id, v] : model) {
+    EXPECT_EQ(subject.value_of(ItemId(id)), v);
+  }
+  std::uint64_t model_total = 0;
+  for (const auto& [id, v] : model) model_total += v;
+  EXPECT_EQ(subject.total(), model_total);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ValueMapPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(ValueMapTest, MergeAddIsCommutativeOnRandomInputs) {
+  Rng rng(77);
+  for (int iter = 0; iter < 20; ++iter) {
+    std::vector<std::pair<ItemId, std::uint64_t>> pa;
+    std::vector<std::pair<ItemId, std::uint64_t>> pb;
+    for (int i = 0; i < 50; ++i) {
+      pa.emplace_back(ItemId(rng.below(40)), rng.between(1, 9));
+      pb.emplace_back(ItemId(rng.below(40)), rng.between(1, 9));
+    }
+    Map a1 = Map::from_unsorted(pa);
+    const Map b1 = Map::from_unsorted(pb);
+    Map b2 = Map::from_unsorted(pb);
+    const Map a2 = Map::from_unsorted(pa);
+    a1.merge_add(b1);
+    b2.merge_add(a2);
+    EXPECT_EQ(a1, b2);
+  }
+}
+
+}  // namespace
+}  // namespace nf

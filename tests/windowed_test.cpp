@@ -1,0 +1,143 @@
+#include "workload/windowed.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/monitor.h"
+#include "net/topology.h"
+
+namespace nf::wl {
+namespace {
+
+TEST(WindowedWorkloadTest, SumsOnlyTheWindow) {
+  WindowedWorkload w(2, /*window=*/2);
+  w.add(PeerId(0), ItemId(1), 10);
+  w.roll_epoch();  // epoch 0
+  w.add(PeerId(0), ItemId(1), 5);
+  w.roll_epoch();  // epoch 1
+  EXPECT_EQ(w.local_items(PeerId(0)).value_of(ItemId(1)), 15u);
+  w.roll_epoch();  // epoch 2 (empty) -> epoch 0 scrolls out
+  EXPECT_EQ(w.local_items(PeerId(0)).value_of(ItemId(1)), 5u);
+  w.roll_epoch();  // epoch 3 -> epoch 1 scrolls out too
+  EXPECT_EQ(w.local_items(PeerId(0)).value_of(ItemId(1)), 0u);
+  EXPECT_EQ(w.total_value(), 0u);
+}
+
+TEST(WindowedWorkloadTest, WindowOfOneIsJustLastEpoch) {
+  WindowedWorkload w(1, 1);
+  w.add(PeerId(0), ItemId(3), 7);
+  w.roll_epoch();
+  EXPECT_EQ(w.total_value(), 7u);
+  w.add(PeerId(0), ItemId(3), 2);
+  w.roll_epoch();
+  EXPECT_EQ(w.total_value(), 2u);
+}
+
+TEST(WindowedWorkloadTest, QueryingWithUnrolledActivityThrows) {
+  WindowedWorkload w(1, 2);
+  w.add(PeerId(0), ItemId(1), 1);
+  EXPECT_THROW((void)w.local_items(PeerId(0)), InvalidArgument);
+  EXPECT_THROW((void)w.total_value(), InvalidArgument);
+  w.roll_epoch();
+  EXPECT_NO_THROW((void)w.local_items(PeerId(0)));
+}
+
+TEST(WindowedWorkloadTest, InvalidArgsThrow) {
+  EXPECT_THROW(WindowedWorkload(0, 1), InvalidArgument);
+  EXPECT_THROW(WindowedWorkload(1, 0), InvalidArgument);
+  WindowedWorkload w(1, 1);
+  EXPECT_THROW(w.add(PeerId(1), ItemId(1), 1), InvalidArgument);
+  EXPECT_THROW(w.add(PeerId(0), ItemId(1), 0), InvalidArgument);
+}
+
+TEST(WindowedWorkloadTest, BurstScrollsOutOfTheFrequentSet) {
+  // End-to-end with the monitor: a song bursts in epoch 1, stays frequent
+  // while the burst is inside the 2-epoch window, then drops out — the
+  // paper's "past week" semantics.
+  const std::uint32_t kPeers = 40;
+  WindowedWorkload downloads(kPeers, /*window=*/2);
+  Rng rng(5);
+  const ItemId burst_song(777);
+  const auto organic = [&](Value per_epoch) {
+    for (Value i = 0; i < per_epoch; ++i) {
+      downloads.add(PeerId(static_cast<std::uint32_t>(rng.below(kPeers))),
+                    ItemId(rng.below(500)), 1);
+    }
+  };
+
+  net::Overlay overlay(net::random_tree(kPeers, 3, rng));
+  net::TrafficMeter meter(kPeers);
+  const agg::Hierarchy hierarchy =
+      agg::build_bfs_hierarchy(overlay, PeerId(0));
+  core::NetFilterConfig cfg;
+  cfg.num_groups = 32;
+  cfg.num_filters = 2;
+  core::ContinuousMonitor monitor(cfg, 0.02);
+
+  // Epoch 0: organic only.
+  organic(4000);
+  downloads.roll_epoch();
+  auto r0 = monitor.epoch(downloads, hierarchy, overlay, meter);
+  EXPECT_FALSE(r0.frequent.contains(burst_song));
+
+  // Epoch 1: the burst (spread over most peers).
+  organic(4000);
+  for (std::uint32_t p = 0; p < kPeers; ++p) {
+    downloads.add(PeerId(p), burst_song, 20);
+  }
+  downloads.roll_epoch();
+  auto r1 = monitor.epoch(downloads, hierarchy, overlay, meter);
+  EXPECT_TRUE(r1.frequent.contains(burst_song));
+  EXPECT_EQ(std::count(r1.newly_frequent.begin(), r1.newly_frequent.end(),
+                       burst_song),
+            1);
+
+  // Epoch 2: burst is still inside the window (epochs 1-2).
+  organic(4000);
+  downloads.roll_epoch();
+  auto r2 = monitor.epoch(downloads, hierarchy, overlay, meter);
+  EXPECT_TRUE(r2.frequent.contains(burst_song));
+
+  // Epoch 3: the burst scrolled out; the song drops from the set.
+  organic(4000);
+  downloads.roll_epoch();
+  auto r3 = monitor.epoch(downloads, hierarchy, overlay, meter);
+  EXPECT_FALSE(r3.frequent.contains(burst_song));
+  EXPECT_EQ(std::count(r3.dropped.begin(), r3.dropped.end(), burst_song),
+            1);
+}
+
+TEST(WindowedWorkloadTest, MonitorStaysExactOverWindow) {
+  const std::uint32_t kPeers = 30;
+  WindowedWorkload w(kPeers, 3);
+  Rng rng(9);
+  net::Overlay overlay(net::random_tree(kPeers, 3, rng));
+  net::TrafficMeter meter(kPeers);
+  const agg::Hierarchy hierarchy =
+      agg::build_bfs_hierarchy(overlay, PeerId(0));
+  core::NetFilterConfig cfg;
+  cfg.num_groups = 32;
+  cfg.num_filters = 2;
+  core::ContinuousMonitor monitor(cfg, 0.02);
+
+  for (int e = 0; e < 6; ++e) {
+    for (int i = 0; i < 3000; ++i) {
+      w.add(PeerId(static_cast<std::uint32_t>(rng.below(kPeers))),
+            ItemId(rng.below(300)), rng.between(1, 3));
+    }
+    w.roll_epoch();
+    const auto report = monitor.epoch(w, hierarchy, overlay, meter);
+    // Oracle over the window view.
+    LocalItems truth;
+    for (std::uint32_t p = 0; p < kPeers; ++p) {
+      truth.merge_add(w.local_items(PeerId(p)));
+    }
+    truth.retain(
+        [&](ItemId, Value v) { return v >= report.threshold; });
+    EXPECT_EQ(report.frequent, truth) << "epoch " << e;
+  }
+}
+
+}  // namespace
+}  // namespace nf::wl

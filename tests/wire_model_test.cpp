@@ -1,0 +1,106 @@
+// The kVarintDelta wire model: identical results, different byte pricing.
+#include <gtest/gtest.h>
+
+#include "core/netfilter.h"
+#include "net/topology.h"
+#include "workload/workload.h"
+
+namespace nf::core {
+namespace {
+
+using net::Overlay;
+using net::TrafficMeter;
+
+struct Rig {
+  explicit Rig(std::uint64_t seed)
+      : workload([&] {
+          wl::WorkloadConfig cfg;
+          cfg.num_peers = 80;
+          cfg.num_items = 8000;
+          cfg.seed = seed;
+          return wl::Workload::generate(cfg);
+        }()),
+        overlay([&] {
+          Rng rng(seed + 1);
+          return Overlay(net::random_tree(80, 3, rng));
+        }()),
+        hierarchy(agg::build_bfs_hierarchy(overlay, PeerId(0))) {}
+
+  wl::Workload workload;
+  Overlay overlay;
+  agg::Hierarchy hierarchy;
+};
+
+NetFilterConfig config(WireModel model) {
+  NetFilterConfig c;
+  c.num_groups = 64;
+  c.num_filters = 3;
+  c.wire_model = model;
+  return c;
+}
+
+TEST(WireModelTest, ResultsAreIdenticalAcrossModels) {
+  Rig rig(1);
+  const Value t = rig.workload.threshold_for(0.01);
+  TrafficMeter m1(80);
+  TrafficMeter m2(80);
+  const auto flat = NetFilter(config(WireModel::kFlatFields))
+                        .run(rig.workload, rig.hierarchy, rig.overlay, m1, t);
+  const auto varint = NetFilter(config(WireModel::kVarintDelta))
+                          .run(rig.workload, rig.hierarchy, rig.overlay, m2, t);
+  EXPECT_EQ(flat.frequent, varint.frequent);
+  EXPECT_EQ(flat.stats.num_candidates, varint.stats.num_candidates);
+  EXPECT_EQ(flat.stats.heavy_groups_total, varint.stats.heavy_groups_total);
+}
+
+TEST(WireModelTest, VarintShrinksFilteringAndDissemination) {
+  Rig rig(2);
+  const Value t = rig.workload.threshold_for(0.01);
+  TrafficMeter m1(80);
+  TrafficMeter m2(80);
+  const auto flat = NetFilter(config(WireModel::kFlatFields))
+                        .run(rig.workload, rig.hierarchy, rig.overlay, m1, t);
+  const auto varint = NetFilter(config(WireModel::kVarintDelta))
+                          .run(rig.workload, rig.hierarchy, rig.overlay, m2, t);
+  // Group-aggregate vectors hold many small counts: varint wins clearly.
+  EXPECT_LT(varint.stats.filtering_cost, 0.8 * flat.stats.filtering_cost);
+  // Heavy-group id lists are dense ranges: delta coding wins.
+  EXPECT_LT(varint.stats.dissemination_cost, flat.stats.dissemination_cost);
+}
+
+TEST(WireModelTest, VarintPairsCostMoreWith64BitIds) {
+  // Hashed 64-bit item ids have huge deltas; flat si = 4 undercounts them.
+  Rig rig(3);
+  const Value t = rig.workload.threshold_for(0.01);
+  TrafficMeter m1(80);
+  TrafficMeter m2(80);
+  const auto flat = NetFilter(config(WireModel::kFlatFields))
+                        .run(rig.workload, rig.hierarchy, rig.overlay, m1, t);
+  const auto varint = NetFilter(config(WireModel::kVarintDelta))
+                          .run(rig.workload, rig.hierarchy, rig.overlay, m2, t);
+  EXPECT_GT(varint.stats.aggregation_cost, flat.stats.aggregation_cost);
+}
+
+TEST(WireModelTest, FlatFieldsFilteringIsSparsityIndependent) {
+  // The flat model charges sa*f*g regardless of how many groups are empty;
+  // varint charges by content, so two different workloads should produce
+  // the same flat filtering cost but different varint costs.
+  Rig a(4);
+  Rig b(5);
+  const Value ta = a.workload.threshold_for(0.01);
+  const Value tb = b.workload.threshold_for(0.01);
+  TrafficMeter ma1(80), mb1(80), ma2(80), mb2(80);
+  const auto fa = NetFilter(config(WireModel::kFlatFields))
+                      .run(a.workload, a.hierarchy, a.overlay, ma1, ta);
+  const auto fb = NetFilter(config(WireModel::kFlatFields))
+                      .run(b.workload, b.hierarchy, b.overlay, mb1, tb);
+  EXPECT_DOUBLE_EQ(fa.stats.filtering_cost, fb.stats.filtering_cost);
+  const auto va = NetFilter(config(WireModel::kVarintDelta))
+                      .run(a.workload, a.hierarchy, a.overlay, ma2, ta);
+  const auto vb = NetFilter(config(WireModel::kVarintDelta))
+                      .run(b.workload, b.hierarchy, b.overlay, mb2, tb);
+  EXPECT_NE(va.stats.filtering_cost, vb.stats.filtering_cost);
+}
+
+}  // namespace
+}  // namespace nf::core

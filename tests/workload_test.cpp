@@ -1,0 +1,174 @@
+#include "workload/workload.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "common/error.h"
+
+namespace nf::wl {
+namespace {
+
+WorkloadConfig small_config() {
+  WorkloadConfig cfg;
+  cfg.num_peers = 50;
+  cfg.num_items = 2000;
+  cfg.alpha = 1.0;
+  cfg.seed = 42;
+  return cfg;
+}
+
+TEST(WorkloadTest, TotalInstancesMatchConfig) {
+  const Workload w = Workload::generate(small_config());
+  // 10 instances per item, unit values.
+  EXPECT_EQ(w.total_value(), 20000u);
+  EXPECT_EQ(w.num_peers(), 50u);
+}
+
+TEST(WorkloadTest, GroundTruthEqualsSumOfLocalSets) {
+  const Workload w = Workload::generate(small_config());
+  LocalItems merged;
+  for (std::uint32_t p = 0; p < w.num_peers(); ++p) {
+    merged.merge_add(w.local_items(PeerId(p)));
+  }
+  EXPECT_EQ(merged, w.global());
+}
+
+TEST(WorkloadTest, DeterministicForSeed) {
+  const Workload a = Workload::generate(small_config());
+  const Workload b = Workload::generate(small_config());
+  EXPECT_EQ(a.global(), b.global());
+  for (std::uint32_t p = 0; p < a.num_peers(); ++p) {
+    EXPECT_EQ(a.local_items(PeerId(p)), b.local_items(PeerId(p)));
+  }
+}
+
+TEST(WorkloadTest, DifferentSeedsDiffer) {
+  WorkloadConfig c1 = small_config();
+  WorkloadConfig c2 = small_config();
+  c2.seed = 43;
+  EXPECT_NE(Workload::generate(c1).global(),
+            Workload::generate(c2).global());
+}
+
+TEST(WorkloadTest, ThresholdForRoundsUp) {
+  const Workload w = Workload::generate(small_config());
+  EXPECT_EQ(w.threshold_for(0.01),
+            static_cast<Value>(std::ceil(0.01 * 20000)));
+  EXPECT_EQ(w.threshold_for(1.0), w.total_value());
+  EXPECT_THROW((void)w.threshold_for(0.0), InvalidArgument);
+  EXPECT_THROW((void)w.threshold_for(1.5), InvalidArgument);
+}
+
+TEST(WorkloadTest, FrequentItemsOracleIsExact) {
+  const Workload w = Workload::generate(small_config());
+  const Value t = w.threshold_for(0.01);
+  const auto frequent = w.frequent_items(t);
+  for (const auto& [id, v] : frequent) {
+    EXPECT_GE(v, t);
+    EXPECT_EQ(v, w.global().value_of(id));
+  }
+  // Complement check: nothing above t was missed.
+  std::size_t above = 0;
+  for (const auto& [id, v] : w.global()) {
+    if (v >= t) ++above;
+  }
+  EXPECT_EQ(frequent.size(), above);
+  EXPECT_GT(frequent.size(), 0u);
+}
+
+TEST(WorkloadTest, HigherSkewConcentratesTopItem) {
+  WorkloadConfig flat = small_config();
+  flat.alpha = 0.0;
+  WorkloadConfig steep = small_config();
+  steep.alpha = 2.0;
+  auto top_value = [](const Workload& w) {
+    Value best = 0;
+    for (const auto& [id, v] : w.global()) best = std::max(best, v);
+    return best;
+  };
+  EXPECT_GT(top_value(Workload::generate(steep)),
+            top_value(Workload::generate(flat)) * 10);
+}
+
+TEST(WorkloadTest, AvgLocalDistinctIsPlausible) {
+  const Workload w = Workload::generate(small_config());
+  // 20000 instances over 50 peers = 400 per peer; distinct <= 400.
+  EXPECT_LE(w.avg_local_distinct(), 400.0);
+  EXPECT_GT(w.avg_local_distinct(), 100.0);
+}
+
+TEST(WorkloadTest, AvgValuesAreConsistent) {
+  const Workload w = Workload::generate(small_config());
+  EXPECT_NEAR(w.avg_global_value(),
+              static_cast<double>(w.total_value()) /
+                  static_cast<double>(w.num_distinct()),
+              1e-9);
+  const Value t = w.threshold_for(0.01);
+  EXPECT_LT(w.avg_light_value(t), static_cast<double>(t));
+  EXPECT_GT(w.avg_light_value(t), 0.0);
+}
+
+TEST(WorkloadTest, FromLocalSetsBuildsGroundTruth) {
+  std::vector<LocalItems> locals(2);
+  locals[0].add(ItemId(1), 5);
+  locals[0].add(ItemId(2), 1);
+  locals[1].add(ItemId(1), 3);
+  const Workload w = Workload::from_local_sets(std::move(locals));
+  EXPECT_EQ(w.total_value(), 9u);
+  EXPECT_EQ(w.global().value_of(ItemId(1)), 8u);
+  EXPECT_EQ(w.global().value_of(ItemId(2)), 1u);
+  EXPECT_EQ(w.num_distinct(), 2u);
+}
+
+TEST(WorkloadTest, ItemIdsAreScatteredNotSequential) {
+  const Workload w = Workload::generate(small_config());
+  // Hashed ids should not be tiny integers.
+  std::size_t big = 0;
+  for (const auto& [id, v] : w.global()) {
+    if (id.value() > 0xFFFFFFFFull) ++big;
+  }
+  EXPECT_GT(big, w.num_distinct() / 2);
+}
+
+TEST(WorkloadTest, InvalidConfigThrows) {
+  WorkloadConfig bad = small_config();
+  bad.num_peers = 0;
+  EXPECT_THROW((void)Workload::generate(bad), InvalidArgument);
+  bad = small_config();
+  bad.alpha = -1.0;
+  EXPECT_THROW((void)Workload::generate(bad), InvalidArgument);
+  bad = small_config();
+  bad.instances_per_item = 0.0;
+  EXPECT_THROW((void)Workload::generate(bad), InvalidArgument);
+}
+
+class WorkloadParamTest
+    : public ::testing::TestWithParam<std::tuple<double, std::uint64_t>> {};
+
+TEST_P(WorkloadParamTest, InvariantsHoldAcrossSkewAndSeed) {
+  const auto [alpha, seed] = GetParam();
+  WorkloadConfig cfg = small_config();
+  cfg.alpha = alpha;
+  cfg.seed = seed;
+  const Workload w = Workload::generate(cfg);
+  EXPECT_EQ(w.total_value(), 20000u);
+  EXPECT_LE(w.num_distinct(), 2000u);
+  EXPECT_GT(w.num_distinct(), 0u);
+  // Every local value positive, every item in ground truth.
+  for (std::uint32_t p = 0; p < w.num_peers(); ++p) {
+    for (const auto& [id, v] : w.local_items(PeerId(p))) {
+      EXPECT_GT(v, 0u);
+      EXPECT_GE(w.global().value_of(id), v);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, WorkloadParamTest,
+    ::testing::Combine(::testing::Values(0.0, 0.5, 1.0, 2.0, 4.0),
+                       ::testing::Values(1u, 7u)));
+
+}  // namespace
+}  // namespace nf::wl

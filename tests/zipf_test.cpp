@@ -1,0 +1,124 @@
+#include "common/zipf.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+#include <vector>
+
+namespace nf {
+namespace {
+
+TEST(HarmonicTest, MatchesClosedFormsForAlphaZeroAndOne) {
+  EXPECT_DOUBLE_EQ(generalized_harmonic(10, 0.0), 10.0);
+  // H_5 = 1 + 1/2 + 1/3 + 1/4 + 1/5
+  EXPECT_NEAR(generalized_harmonic(5, 1.0), 2.283333333333333, 1e-12);
+}
+
+TEST(HarmonicTest, LargeNStable) {
+  const double h = generalized_harmonic(1000000, 1.0);
+  // H_n ~ ln(n) + gamma.
+  EXPECT_NEAR(h, std::log(1e6) + 0.5772156649, 1e-6);
+}
+
+TEST(ZipfTest, PmfSumsToOne) {
+  for (double alpha : {0.0, 0.5, 1.0, 2.0, 5.0}) {
+    const ZipfDistribution z(1000, alpha);
+    double sum = 0.0;
+    for (std::uint64_t k = 1; k <= 1000; ++k) sum += z.pmf(k);
+    EXPECT_NEAR(sum, 1.0, 1e-9) << "alpha=" << alpha;
+  }
+}
+
+TEST(ZipfTest, PmfMonotoneDecreasing) {
+  const ZipfDistribution z(100, 1.5);
+  for (std::uint64_t k = 2; k <= 100; ++k) {
+    EXPECT_LE(z.pmf(k), z.pmf(k - 1));
+  }
+}
+
+TEST(ZipfTest, RanksStayInRange) {
+  Rng rng(1);
+  for (double alpha : {0.0, 1.0, 3.0}) {
+    const ZipfDistribution z(50, alpha);
+    for (int i = 0; i < 5000; ++i) {
+      const std::uint64_t k = z(rng);
+      ASSERT_GE(k, 1u);
+      ASSERT_LE(k, 50u);
+    }
+  }
+}
+
+TEST(ZipfTest, SingleRankAlwaysOne) {
+  Rng rng(2);
+  const ZipfDistribution z(1, 1.0);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(z(rng), 1u);
+}
+
+TEST(ZipfTest, AlphaZeroIsUniform) {
+  Rng rng(3);
+  const ZipfDistribution z(10, 0.0);
+  std::vector<int> counts(11, 0);
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) ++counts[z(rng)];
+  for (std::uint64_t k = 1; k <= 10; ++k) {
+    EXPECT_NEAR(counts[k] / static_cast<double>(kDraws), 0.1, 0.01);
+  }
+}
+
+TEST(ZipfTest, InvalidArgumentsThrow) {
+  EXPECT_THROW(ZipfDistribution(0, 1.0), InvalidArgument);
+  EXPECT_THROW(ZipfDistribution(10, -0.5), InvalidArgument);
+  const ZipfDistribution z(10, 1.0);
+  EXPECT_THROW((void)z.pmf(0), InvalidArgument);
+  EXPECT_THROW((void)z.pmf(11), InvalidArgument);
+}
+
+class ZipfEmpiricalTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ZipfEmpiricalTest, EmpiricalFrequenciesMatchPmf) {
+  const double alpha = GetParam();
+  constexpr std::uint64_t kRanks = 200;
+  constexpr int kDraws = 400000;
+  const ZipfDistribution z(kRanks, alpha);
+  Rng rng(static_cast<std::uint64_t>(alpha * 1000) + 5);
+  std::vector<double> counts(kRanks + 1, 0.0);
+  for (int i = 0; i < kDraws; ++i) ++counts[z(rng)];
+  // Compare empirical frequency with pmf on ranks with enough mass.
+  for (std::uint64_t k = 1; k <= kRanks; ++k) {
+    const double expected = z.pmf(k) * kDraws;
+    if (expected < 100) continue;
+    EXPECT_NEAR(counts[k], expected, 5 * std::sqrt(expected) + 1)
+        << "alpha=" << alpha << " rank=" << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Skewness, ZipfEmpiricalTest,
+                         ::testing::Values(0.0, 0.5, 0.8, 1.0, 1.2, 2.0, 3.0,
+                                           5.0));
+
+TEST(ZipfTest, DeterministicForFixedSeed) {
+  const ZipfDistribution z(1000, 1.0);
+  Rng a(99);
+  Rng b(99);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(z(a), z(b));
+}
+
+TEST(ZipfTest, HigherAlphaConcentratesMass) {
+  constexpr int kDraws = 50000;
+  double top_share_prev = 0.0;
+  for (double alpha : {0.5, 1.0, 2.0}) {
+    const ZipfDistribution z(1000, alpha);
+    Rng rng(7);
+    int top = 0;
+    for (int i = 0; i < kDraws; ++i) {
+      if (z(rng) <= 10) ++top;
+    }
+    const double share = top / static_cast<double>(kDraws);
+    EXPECT_GT(share, top_share_prev) << "alpha=" << alpha;
+    top_share_prev = share;
+  }
+}
+
+}  // namespace
+}  // namespace nf
