@@ -6,13 +6,18 @@
 //   b = 3 downstream neighbors, sa = sg = si = 4 bytes.
 //
 // Flags (shared): --quick scales the 10^6-item experiments down 10x for CI
-// runs; --seed=S changes the master seed.
+// runs; --seed=S changes the master seed; --json=PATH writes an
+// obs::ExportBundle document (schema docs/OBSERVABILITY.md) with the sweep
+// rows, traffic breakdown, metrics and protocol trace.
 #pragma once
 
 #include <cstdint>
+#include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "agg/hierarchy.h"
@@ -20,6 +25,9 @@
 #include "core/naive.h"
 #include "core/netfilter.h"
 #include "net/topology.h"
+#include "obs/context.h"
+#include "obs/export.h"
+#include "obs/json.h"
 #include "workload/workload.h"
 
 namespace nf::bench {
@@ -34,8 +42,11 @@ struct Params {
 };
 
 /// Workload + overlay + hierarchy, built once and shared across a sweep.
+/// The meter is a member (reset per run) so a caller can inspect the traffic
+/// breakdown of the most recent run; pass an obs::Context to thread
+/// tracing/metrics through the protocol stack.
 struct Env {
-  explicit Env(const Params& p)
+  explicit Env(const Params& p, obs::Context* obs_ctx = nullptr)
       : params(p),
         workload([&] {
           wl::WorkloadConfig cfg;
@@ -49,7 +60,9 @@ struct Env {
           Rng rng(p.seed + 1);
           return net::Overlay(net::random_tree(p.num_peers, p.fanout, rng));
         }()),
-        hierarchy(agg::build_bfs_hierarchy(overlay, PeerId(0))) {}
+        hierarchy(agg::build_bfs_hierarchy(overlay, PeerId(0))),
+        meter(p.num_peers),
+        obs(obs_ctx) {}
 
   [[nodiscard]] Value threshold() const {
     return workload.threshold_for(params.theta);
@@ -57,16 +70,17 @@ struct Env {
 
   [[nodiscard]] core::NetFilterResult run_netfilter(std::uint32_t g,
                                                     std::uint32_t f) {
-    net::TrafficMeter meter(params.num_peers);
+    meter.reset();
     core::NetFilterConfig cfg;
     cfg.num_groups = g;
     cfg.num_filters = f;
+    cfg.obs = obs;
     const core::NetFilter nf(cfg);
     return nf.run(workload, hierarchy, overlay, meter, threshold());
   }
 
   [[nodiscard]] core::NaiveResult run_naive() {
-    net::TrafficMeter meter(params.num_peers);
+    meter.reset();
     const core::NaiveCollector naive{WireSizes{}};
     return naive.run(workload, hierarchy, overlay, meter, threshold());
   }
@@ -75,11 +89,14 @@ struct Env {
   wl::Workload workload;
   net::Overlay overlay;
   agg::Hierarchy hierarchy;
+  net::TrafficMeter meter;
+  obs::Context* obs = nullptr;
 };
 
 struct Cli {
   bool quick = false;
   std::uint64_t seed = 42;
+  std::string json;  ///< --json=PATH; empty disables the JSON report
 
   static Cli parse(int argc, char** argv) {
     Cli cli;
@@ -89,9 +106,11 @@ struct Cli {
         cli.quick = true;
       } else if (arg.rfind("--seed=", 0) == 0) {
         cli.seed = std::stoull(std::string(arg.substr(7)));
+      } else if (arg.rfind("--json=", 0) == 0) {
+        cli.json = std::string(arg.substr(7));
       } else if (arg == "--help" || arg == "-h") {
         std::cout << "flags: --quick (scale 10^6-item runs down 10x), "
-                     "--seed=S\n";
+                     "--seed=S, --json=PATH (write observability report)\n";
         std::exit(0);
       } else {
         std::cerr << "unknown flag: " << arg << "\n";
@@ -111,5 +130,91 @@ inline void banner(std::string_view title, std::string_view expectation) {
   std::cout << "\n## " << title << "\n#  paper expectation: " << expectation
             << "\n";
 }
+
+/// NetFilterStats as one JSON result row (shared by the fig* benches).
+[[nodiscard]] inline obs::Json to_json(const core::NetFilterStats& s) {
+  obs::Json row = obs::Json::object();
+  row["threshold"] = obs::Json(s.threshold);
+  row["heavy_groups_total"] = obs::Json(s.heavy_groups_total);
+  row["num_candidates"] = obs::Json(s.num_candidates);
+  row["num_frequent"] = obs::Json(s.num_frequent);
+  row["num_false_positives"] = obs::Json(s.num_false_positives);
+  row["candidates_per_peer"] = obs::Json(s.candidates_per_peer);
+  row["rounds_filtering"] = obs::Json(s.rounds_filtering);
+  row["rounds_verification"] = obs::Json(s.rounds_verification);
+  row["filtering_cost"] = obs::Json(s.filtering_cost);
+  row["dissemination_cost"] = obs::Json(s.dissemination_cost);
+  row["aggregation_cost"] = obs::Json(s.aggregation_cost);
+  row["host_report_cost"] = obs::Json(s.host_report_cost);
+  row["total_cost"] = obs::Json(s.total_cost());
+  return row;
+}
+
+/// Accumulates one bench's observability output and writes it on request.
+///
+/// Constructed from the parsed Cli: when --json=PATH was given it owns an
+/// obs::Context (pass `report.obs()` into Env) and write() serializes the
+/// ExportBundle there; without the flag every method is a cheap no-op, so
+/// benches call the same code either way.
+class JsonReport {
+ public:
+  JsonReport(const Cli& cli, std::string bench_name) : path_(cli.json) {
+    bundle_.bench = std::move(bench_name);
+    if (enabled()) {
+      ctx_ = std::make_unique<obs::Context>(/*trace_capacity=*/1 << 14);
+      bundle_.obs = ctx_.get();
+      param("seed", obs::Json(cli.seed));
+      param("quick", obs::Json(cli.quick));
+    }
+  }
+
+  [[nodiscard]] bool enabled() const { return !path_.empty(); }
+
+  /// The context to thread through Env/configs; null when disabled.
+  [[nodiscard]] obs::Context* obs() { return ctx_.get(); }
+
+  void param(const std::string& name, obs::Json value) {
+    if (enabled()) bundle_.params[name] = std::move(value);
+  }
+
+  void params_from(const Params& p) {
+    if (!enabled()) return;
+    param("num_peers", obs::Json(p.num_peers));
+    param("num_items", obs::Json(p.num_items));
+    param("alpha", obs::Json(p.alpha));
+    param("theta", obs::Json(p.theta));
+    param("fanout", obs::Json(p.fanout));
+  }
+
+  void row(obs::Json r) {
+    if (enabled()) bundle_.results.push_back(std::move(r));
+  }
+
+  /// Snapshots the meter's breakdown now (Env meters reset per run, so
+  /// capture after the run whose traffic should land in the report).
+  void capture_traffic(const net::TrafficMeter& meter) {
+    if (enabled()) bundle_.traffic = obs::to_json(meter);
+  }
+
+  /// Serializes the bundle to the --json path. Returns false (with a
+  /// stderr note) if the file cannot be written.
+  bool write() {
+    if (!enabled()) return true;
+    std::ofstream out(path_);
+    if (!out) {
+      std::cerr << "cannot write JSON report to " << path_ << "\n";
+      return false;
+    }
+    obs::to_json(bundle_).dump(out, /*indent=*/2);
+    out << '\n';
+    std::cout << "# JSON report: " << path_ << "\n";
+    return out.good();
+  }
+
+ private:
+  std::string path_;
+  std::unique_ptr<obs::Context> ctx_;
+  obs::ExportBundle bundle_;
+};
 
 }  // namespace nf::bench

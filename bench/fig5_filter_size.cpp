@@ -17,7 +17,10 @@ int main(int argc, char** argv) {
 
   bench::Params params;
   params.seed = cli.seed;
-  bench::Env env(params);
+  bench::JsonReport report(cli, "fig5_filter_size");
+  report.params_from(params);
+  report.param("f", obs::Json(3u));
+  bench::Env env(params, report.obs());
 
   std::cout << "# Figure 5: effect of filter sizes"
             << " (N=" << params.num_peers << ", n=" << params.num_items
@@ -41,9 +44,16 @@ int main(int argc, char** argv) {
               res.stats.total_cost(), res.stats.filtering_cost,
               res.stats.dissemination_cost, res.stats.aggregation_cost,
               res.stats.num_false_positives);
+    obs::Json row = bench::to_json(res.stats);
+    row["g"] = obs::Json(g);
+    report.row(std::move(row));
   }
+  // The meter resets per run; snapshot the last netFilter run's breakdown
+  // before the naive baseline overwrites it.
+  report.capture_traffic(env.meter);
 
   std::cout << "# naive baseline cost/peer for reference: "
             << env.run_naive().stats.cost_per_peer << " bytes\n";
+  report.write();
   return 0;
 }

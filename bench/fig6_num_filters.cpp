@@ -13,7 +13,10 @@ int main(int argc, char** argv) {
 
   bench::Params params;
   params.seed = cli.seed;
-  bench::Env env(params);
+  bench::JsonReport report(cli, "fig6_num_filters");
+  report.params_from(params);
+  report.param("g", obs::Json(100u));
+  bench::Env env(params, report.obs());
 
   std::cout << "# Figure 6: effect of number of filters"
             << " (N=" << params.num_peers << ", n=" << params.num_items
@@ -32,6 +35,11 @@ int main(int argc, char** argv) {
               res.stats.total_cost(), res.stats.filtering_cost,
               res.stats.dissemination_cost, res.stats.aggregation_cost,
               res.stats.num_false_positives);
+    obs::Json row = bench::to_json(res.stats);
+    row["f"] = obs::Json(f);
+    report.row(std::move(row));
   }
+  report.capture_traffic(env.meter);
+  report.write();
   return 0;
 }

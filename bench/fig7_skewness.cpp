@@ -9,7 +9,8 @@
 namespace {
 
 void sweep(std::uint64_t num_items, std::uint32_t g, std::uint32_t f,
-           std::uint64_t seed) {
+           std::uint64_t seed, std::string_view panel,
+           nf::bench::JsonReport& report) {
   using namespace nf;
   TableWriter table({"alpha", "netFilter", "naive", "ratio", "frequent"},
                     std::cout, 14);
@@ -18,13 +19,23 @@ void sweep(std::uint64_t num_items, std::uint32_t g, std::uint32_t f,
     params.num_items = num_items;
     params.alpha = alpha;
     params.seed = seed;
-    bench::Env env(params);
+    bench::Env env(params, report.obs());
     const auto nf_res = env.run_netfilter(g, f);
+    // Snapshot before run_naive resets the shared meter.
+    report.capture_traffic(env.meter);
     const auto naive_res = env.run_naive();
     table.row(alpha, nf_res.stats.total_cost(),
               naive_res.stats.cost_per_peer,
               nf_res.stats.total_cost() / naive_res.stats.cost_per_peer,
               nf_res.stats.num_frequent);
+    obs::Json row = bench::to_json(nf_res.stats);
+    row["panel"] = obs::Json(panel);
+    row["alpha"] = obs::Json(alpha);
+    row["num_items"] = obs::Json(num_items);
+    row["g"] = obs::Json(g);
+    row["f"] = obs::Json(f);
+    row["naive_cost"] = obs::Json(naive_res.stats.cost_per_peer);
+    report.row(std::move(row));
   }
 }
 
@@ -33,19 +44,21 @@ void sweep(std::uint64_t num_items, std::uint32_t g, std::uint32_t f,
 int main(int argc, char** argv) {
   using namespace nf;
   const auto cli = bench::Cli::parse(argc, argv);
+  bench::JsonReport report(cli, "fig7_skewness");
 
   std::cout << "# Figure 7: effect of data skewness (N=1000, theta=0.01)\n";
 
   bench::banner("Figure 7(a): n = 10^5, netFilter at (g=100, f=3)",
                 "netFilter far below naive; both decrease with skewness");
-  sweep(100000, 100, 3, cli.seed);
+  sweep(100000, 100, 3, cli.seed, "7a", report);
 
   bench::banner("Figure 7(b): n = 10^6, netFilter at (g=100, f=5)",
                 "netFilter at 2-5% of naive across the sweep");
-  sweep(cli.large_n(), 100, 5, cli.seed);
+  sweep(cli.large_n(), 100, 5, cli.seed, "7b", report);
   if (cli.quick) {
     std::cout << "# (--quick: n scaled to 10^5; run without --quick for "
                  "the paper's n=10^6)\n";
   }
+  report.write();
   return 0;
 }

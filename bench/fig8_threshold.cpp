@@ -9,6 +9,7 @@
 int main(int argc, char** argv) {
   using namespace nf;
   const auto cli = bench::Cli::parse(argc, argv);
+  bench::JsonReport report(cli, "fig8_threshold");
 
   struct Setting {
     double theta;
@@ -34,12 +35,20 @@ int main(int argc, char** argv) {
     double cost[3] = {0, 0, 0};
     double naive_cost = 0;
     // One workload per alpha, shared across the three thresholds.
-    bench::Env env(params);
+    bench::Env env(params, report.obs());
     for (int i = 0; i < 3; ++i) {
       env.params.theta = settings[i].theta;
-      cost[i] =
-          env.run_netfilter(settings[i].g, settings[i].f).stats.total_cost();
+      const auto res = env.run_netfilter(settings[i].g, settings[i].f);
+      cost[i] = res.stats.total_cost();
+      obs::Json row = bench::to_json(res.stats);
+      row["alpha"] = obs::Json(alpha);
+      row["theta"] = obs::Json(settings[i].theta);
+      row["g"] = obs::Json(settings[i].g);
+      row["f"] = obs::Json(settings[i].f);
+      report.row(std::move(row));
     }
+    // Snapshot the last netFilter run before run_naive resets the meter.
+    report.capture_traffic(env.meter);
     env.params.theta = 0.01;
     naive_cost = env.run_naive().stats.cost_per_peer;
     table.row(alpha, cost[2], cost[1], cost[0], naive_cost);
@@ -48,5 +57,6 @@ int main(int argc, char** argv) {
     std::cout << "# (--quick: n scaled to 10^5; run without --quick for "
                  "the paper's n=10^6)\n";
   }
+  report.write();
   return 0;
 }

@@ -9,6 +9,7 @@
 #include "common/value_map.h"
 #include "common/zipf.h"
 #include "core/netfilter.h"
+#include "obs/context.h"
 #include "workload/workload.h"
 
 namespace nf {
@@ -140,6 +141,78 @@ void BM_WorkloadGenerate(benchmark::State& state) {
 }
 BENCHMARK(BM_WorkloadGenerate)->Arg(10000)->Arg(100000)
     ->Unit(benchmark::kMillisecond);
+
+// --- obs fixtures: the cost of instrumentation on hot paths. ---------------
+// The disabled variants measure the single-branch tax paid by every
+// instrumented site when no obs::Context is attached (the acceptance bar is
+// < 5% on protocol hot paths); the enabled variants document what turning
+// tracing on costs.
+
+void BM_ObsCounterDisabled(benchmark::State& state) {
+  obs::Context* ctx = nullptr;
+  benchmark::DoNotOptimize(ctx);  // the null check must really happen
+  for (auto _ : state) {
+    obs::add_counter(ctx, "bench/counter");
+  }
+}
+BENCHMARK(BM_ObsCounterDisabled);
+
+void BM_ObsCounterEnabled(benchmark::State& state) {
+  obs::Context ctx;
+  obs::Context* p = &ctx;
+  benchmark::DoNotOptimize(p);
+  for (auto _ : state) {
+    obs::add_counter(p, "bench/counter");  // includes the name lookup
+  }
+}
+BENCHMARK(BM_ObsCounterEnabled);
+
+void BM_ObsCounterHandle(benchmark::State& state) {
+  obs::Context ctx;
+  obs::Counter& c = ctx.registry.counter("bench/counter");
+  for (auto _ : state) {
+    c.add(1);  // the cached-handle pattern Engine::set_obs uses
+  }
+}
+BENCHMARK(BM_ObsCounterHandle);
+
+void BM_ObsHistogramEnabled(benchmark::State& state) {
+  obs::Context ctx;
+  obs::Histogram& h = ctx.registry.histogram("bench/bytes");
+  std::uint64_t v = 0;
+  for (auto _ : state) {
+    h.observe(++v);
+  }
+}
+BENCHMARK(BM_ObsHistogramEnabled);
+
+void BM_ObsSpanDisabled(benchmark::State& state) {
+  obs::Context* ctx = nullptr;
+  benchmark::DoNotOptimize(ctx);
+  for (auto _ : state) {
+    obs::ScopedPhase phase(ctx, "bench.phase");
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_ObsSpanDisabled);
+
+void BM_ObsSpanEnabled(benchmark::State& state) {
+  obs::Context ctx;
+  for (auto _ : state) {
+    obs::ScopedPhase phase(&ctx, "bench.phase");
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_ObsSpanEnabled);
+
+void BM_ObsTraceEvent(benchmark::State& state) {
+  obs::Context ctx(/*trace_capacity=*/4096);
+  std::uint64_t v = 0;
+  for (auto _ : state) {
+    ctx.tracer.record(obs::EventKind::kMark, "bench.mark", obs::kNoPeer, ++v);
+  }
+}
+BENCHMARK(BM_ObsTraceEvent);
 
 }  // namespace
 }  // namespace nf

@@ -28,6 +28,7 @@
 #include "common/error.h"
 #include "common/ids.h"
 #include "net/engine.h"
+#include "obs/context.h"
 
 namespace nf::agg {
 
@@ -39,12 +40,14 @@ class Convergecast final : public net::Protocol {
   using WireBytesFn = std::function<std::uint64_t(const T&)>;
 
   Convergecast(const Hierarchy& hierarchy, net::TrafficCategory category,
-               LocalFn local, MergeFn merge, WireBytesFn wire_bytes)
+               LocalFn local, MergeFn merge, WireBytesFn wire_bytes,
+               obs::Context* obs = nullptr)
       : hierarchy_(hierarchy),
         category_(category),
         local_(std::move(local)),
         merge_(std::move(merge)),
         wire_bytes_(std::move(wire_bytes)),
+        obs_(obs),
         state_(hierarchy.num_peers()) {}
 
   void on_round(net::Context& ctx) override {
@@ -65,6 +68,11 @@ class Convergecast final : public net::Protocol {
     ensure(st.pending > 0, "unexpected convergecast message");
     T* payload = std::any_cast<T>(&env.payload);
     ensure(payload != nullptr, "convergecast payload type mismatch");
+    if (obs_ != nullptr) {
+      obs_->registry.counter("convergecast/merges").add(1);
+      obs_->tracer.record(obs::EventKind::kMerge, "convergecast.merge",
+                          ctx.self().value(), env.bytes);
+    }
     merge_(*st.acc, std::move(*payload));
     --st.pending;
     maybe_forward(ctx, st);
@@ -102,6 +110,10 @@ class Convergecast final : public net::Protocol {
     }
     st.sent = true;
     st.sent_bytes = wire_bytes_(*st.acc);
+    if (obs_ != nullptr) {
+      obs_->registry.histogram("convergecast/msg_bytes")
+          .observe(st.sent_bytes);
+    }
     ctx.send(hierarchy_.upstream(p), category_, st.sent_bytes,
              std::any(std::move(*st.acc)));
     st.acc.reset();
@@ -112,6 +124,7 @@ class Convergecast final : public net::Protocol {
   LocalFn local_;
   MergeFn merge_;
   WireBytesFn wire_bytes_;
+  obs::Context* obs_;
   std::vector<State> state_;
   bool complete_ = false;
 };

@@ -28,7 +28,13 @@ PushSumGossip::PushSumGossip(std::vector<std::vector<double>> initial,
 void PushSumGossip::on_round(net::Context& ctx) {
   const PeerId self = ctx.self();
   // Count whole engine rounds by watching the tick counter wrap.
-  if (ticks_this_round_ == 0) ++rounds_done_;
+  if (ticks_this_round_ == 0) {
+    ++rounds_done_;
+    if (config_.obs != nullptr) {
+      config_.obs->tracer.record(obs::EventKind::kGossipRound, "gossip.round",
+                                 obs::kNoPeer, rounds_done_);
+    }
+  }
   ++ticks_this_round_;
   if (ticks_this_round_ >= ctx.overlay().num_alive()) ticks_this_round_ = 0;
 
@@ -58,6 +64,10 @@ void PushSumGossip::on_round(net::Context& ctx) {
       static_cast<std::uint64_t>(dimension_ + 1) *
           config_.bytes_per_coordinate +
       config_.weight_bytes;
+  if (config_.obs != nullptr) {
+    config_.obs->registry.counter("gossip/shares").add(1);
+    config_.obs->registry.histogram("gossip/share_bytes").observe(bytes);
+  }
   ctx.send(to, net::TrafficCategory::kGossip, bytes, std::any(std::move(out)));
 }
 

@@ -22,6 +22,7 @@
 #include "common/ids.h"
 #include "common/rng.h"
 #include "net/engine.h"
+#include "obs/context.h"
 
 namespace nf::agg {
 
@@ -35,6 +36,8 @@ class PushSumGossip final : public net::Protocol {
     /// Stop after this many rounds.
     std::uint32_t rounds = 50;
     std::uint64_t seed = 1;
+    /// Optional observability sink (not owned; may be null).
+    obs::Context* obs = nullptr;
   };
 
   /// `initial[p]` is peer p's local vector. All vectors must have the same

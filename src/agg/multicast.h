@@ -17,6 +17,7 @@
 #include "common/error.h"
 #include "common/ids.h"
 #include "net/engine.h"
+#include "obs/context.h"
 
 namespace nf::agg {
 
@@ -27,12 +28,14 @@ class Multicast final : public net::Protocol {
   using ReceiveFn = std::function<void(PeerId, const T&)>;
 
   Multicast(const Hierarchy& hierarchy, net::TrafficCategory category,
-            T payload, std::uint64_t wire_bytes, ReceiveFn on_receive)
+            T payload, std::uint64_t wire_bytes, ReceiveFn on_receive,
+            obs::Context* obs = nullptr)
       : hierarchy_(hierarchy),
         category_(category),
         payload_(std::move(payload)),
         wire_bytes_(wire_bytes),
         on_receive_(std::move(on_receive)),
+        obs_(obs),
         received_(hierarchy.num_peers(), false) {}
 
   void on_round(net::Context& ctx) override {
@@ -63,7 +66,13 @@ class Multicast final : public net::Protocol {
     received_[p.value()] = true;
     ++num_received_;
     on_receive_(p, payload);
-    for (PeerId child : hierarchy_.downstream(p)) {
+    const auto& downstream = hierarchy_.downstream(p);
+    if (obs_ != nullptr && !downstream.empty()) {
+      obs_->registry.counter("multicast/forwards").add(downstream.size());
+      obs_->tracer.record(obs::EventKind::kFanout, "multicast.fanout",
+                          p.value(), downstream.size());
+    }
+    for (PeerId child : downstream) {
       ctx.send(child, category_, wire_bytes_, std::any(payload));
     }
   }
@@ -73,6 +82,7 @@ class Multicast final : public net::Protocol {
   T payload_;
   std::uint64_t wire_bytes_;
   ReceiveFn on_receive_;
+  obs::Context* obs_;
   std::vector<bool> received_;
   std::uint32_t num_received_{0};
 };

@@ -3,21 +3,46 @@
 // The experiment binaries print their results on stdout; diagnostics go to
 // stderr through this logger so the two streams never mix. Logging is off
 // (kWarn) by default and is cheap when disabled: the level check happens
-// before any argument formatting.
+// before any argument formatting. The initial level can be set from the
+// environment: NF_LOG_LEVEL=debug|info|warn|error (case-insensitive;
+// unknown values are ignored).
 #pragma once
 
+#include <cstdlib>
 #include <iostream>
 #include <mutex>
+#include <optional>
 #include <sstream>
+#include <string>
 #include <string_view>
 
 namespace nf {
 
 enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 
+/// Parses a log level name: debug, info, warn/warning, error
+/// (case-insensitive). Returns nullopt for anything else.
+[[nodiscard]] inline std::optional<LogLevel> parse_log_level(
+    std::string_view name) {
+  std::string lower(name);
+  for (char& c : lower) {
+    if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+  }
+  if (lower == "debug") return LogLevel::kDebug;
+  if (lower == "info") return LogLevel::kInfo;
+  if (lower == "warn" || lower == "warning") return LogLevel::kWarn;
+  if (lower == "error") return LogLevel::kError;
+  return std::nullopt;
+}
+
 namespace detail {
+inline LogLevel log_level_from_env(LogLevel fallback) {
+  const char* env = std::getenv("NF_LOG_LEVEL");
+  if (env == nullptr) return fallback;
+  return parse_log_level(env).value_or(fallback);
+}
 inline LogLevel& log_level_ref() {
-  static LogLevel level = LogLevel::kWarn;
+  static LogLevel level = log_level_from_env(LogLevel::kWarn);
   return level;
 }
 inline std::mutex& log_mutex() {
@@ -28,6 +53,14 @@ inline std::mutex& log_mutex() {
 
 inline void set_log_level(LogLevel level) { detail::log_level_ref() = level; }
 [[nodiscard]] inline LogLevel log_level() { return detail::log_level_ref(); }
+
+/// Re-reads NF_LOG_LEVEL and applies it (keeping the current level when the
+/// variable is unset or unparsable). The static initializer covers normal
+/// startup; this exists for tests and for callers that change the
+/// environment after startup.
+inline void init_log_level_from_env() {
+  detail::log_level_ref() = detail::log_level_from_env(log_level());
+}
 
 /// Logs all streamed arguments on one stderr line if `level` is enabled.
 template <typename... Args>

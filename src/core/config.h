@@ -6,6 +6,7 @@
 #include "common/error.h"
 #include "common/wire.h"
 #include "net/engine.h"
+#include "obs/context.h"
 
 namespace nf::core {
 
@@ -36,6 +37,10 @@ struct NetFilterConfig {
   net::LinkFaultModel fault{};
   /// Engine round budget per protocol phase (safety net, not a tuning knob).
   std::uint64_t max_rounds_per_phase = 100000;
+  /// Optional observability sink (not owned; may be null). When set, the
+  /// run emits phase spans, per-protocol counters and engine traffic
+  /// metrics into it; when null the instrumentation costs one branch.
+  obs::Context* obs = nullptr;
 
   void validate() const {
     require(num_groups >= 1, "need at least one item group");

@@ -7,6 +7,7 @@
 #include "agg/gossip.h"
 #include "common/error.h"
 #include "net/flood.h"
+#include "obs/context.h"
 
 namespace nf::core {
 
@@ -21,9 +22,11 @@ class MapPushSum final : public net::Protocol {
   using Map = ValueMap<ItemId, double>;
 
   MapPushSum(std::vector<Map> initial, PeerId initiator,
-             const WireSizes& wire, std::uint32_t rounds, std::uint64_t seed)
+             const WireSizes& wire, std::uint32_t rounds, std::uint64_t seed,
+             obs::Context* obs = nullptr)
       : x_(std::move(initial)),
         wire_(wire),
+        obs_(obs),
         rounds_(rounds),
         num_peers_(static_cast<std::uint32_t>(x_.size())) {
     count_.assign(num_peers_, 0.0);
@@ -38,7 +41,13 @@ class MapPushSum final : public net::Protocol {
 
   void on_round(net::Context& ctx) override {
     const PeerId self = ctx.self();
-    if (ticks_this_round_ == 0) ++rounds_done_;
+    if (ticks_this_round_ == 0) {
+      ++rounds_done_;
+      if (obs_ != nullptr) {
+        obs_->tracer.record(obs::EventKind::kGossipRound, "gossip.round",
+                            obs::kNoPeer, rounds_done_);
+      }
+    }
     ++ticks_this_round_;
     if (ticks_this_round_ >= ctx.overlay().num_alive()) {
       ticks_this_round_ = 0;
@@ -64,6 +73,10 @@ class MapPushSum final : public net::Protocol {
 
     const std::uint64_t bytes =
         out.x.size() * wire_.item_value_pair() + 2 * wire_.aggregate_bytes;
+    if (obs_ != nullptr) {
+      obs_->registry.counter("gossip/shares").add(1);
+      obs_->registry.histogram("gossip/share_bytes").observe(bytes);
+    }
     ctx.send(to, net::TrafficCategory::kGossip, bytes,
              std::any(std::move(out)));
   }
@@ -104,6 +117,7 @@ class MapPushSum final : public net::Protocol {
   std::vector<double> w_;
   std::vector<Rng> rng_;
   WireSizes wire_;
+  obs::Context* obs_ = nullptr;
   std::uint32_t rounds_;
   std::uint32_t num_peers_;
   std::uint32_t rounds_done_{0};
@@ -156,13 +170,16 @@ GossipNetFilterResult GossipNetFilter::run(
   p1.seed = config_.seed;
   p1.bytes_per_coordinate = config_.wire.aggregate_bytes;
   p1.weight_bytes = config_.wire.aggregate_bytes;
+  p1.obs = config_.obs;
   agg::PushSumGossip phase1(std::move(initial), p1);
   {
     // Each stage gets its own engine: leftover in-flight shares (or, under
     // the fault model, pending retransmissions) must never be delivered
     // into the next stage's protocol.
+    obs::ScopedPhase span(config_.obs, "gossip.phase1");
     net::Engine engine(overlay, meter);
     engine.set_fault_model(config_.fault);
+    engine.set_obs(config_.obs);
     result.stats.rounds +=
         engine.run(phase1, std::uint64_t{p1.rounds} * 4 + 10);
   }
@@ -209,8 +226,10 @@ GossipNetFilterResult GossipNetFilter::run(
         }
       });
   {
+    obs::ScopedPhase span(config_.obs, "gossip.flood");
     net::Engine engine(overlay, meter);
     engine.set_fault_model(config_.fault);
+    engine.set_obs(config_.obs);
     result.stats.rounds +=
         engine.run(flood, std::uint64_t{config_.flood_ttl} * 4 + 10);
   }
@@ -223,10 +242,13 @@ GossipNetFilterResult GossipNetFilter::run(
   const std::uint64_t phase2_before =
       meter.total(net::TrafficCategory::kGossip);
   MapPushSum phase2(std::move(partial), initiator, config_.wire,
-                    config_.phase2_rounds, config_.seed ^ 0xABCDEFull);
+                    config_.phase2_rounds, config_.seed ^ 0xABCDEFull,
+                    config_.obs);
   {
+    obs::ScopedPhase span(config_.obs, "gossip.phase2");
     net::Engine engine(overlay, meter);
     engine.set_fault_model(config_.fault);
+    engine.set_obs(config_.obs);
     result.stats.rounds +=
         engine.run(phase2, std::uint64_t{config_.phase2_rounds} * 4 + 10);
   }

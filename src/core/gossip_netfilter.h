@@ -53,6 +53,9 @@ struct GossipNetFilterConfig {
   /// Link fault model (loss 0 by default); with loss > 0 the engine's
   /// reliability layer keeps push-sum mass conservation intact.
   net::LinkFaultModel fault{};
+  /// Optional observability sink (not owned; may be null). When set, each
+  /// stage emits a phase span and the engines/protocols record metrics.
+  obs::Context* obs = nullptr;
 
   void validate() const {
     require(num_groups >= 1, "need at least one item group");

@@ -8,6 +8,7 @@
 #include "common/error.h"
 #include "core/host_report.h"
 #include "net/codec.h"
+#include "obs/context.h"
 
 namespace nf::core {
 
@@ -70,6 +71,7 @@ HeavyGroupSet NetFilter::filter_candidates(const ItemSource& items,
                                            Value threshold,
                                            NetFilterStats* stats) const {
   require(threshold >= 1, "threshold must be >= 1");
+  obs::ScopedPhase phase(config_.obs, "filtering");
   const std::uint32_t g = config_.num_groups;
   const std::uint32_t f = config_.num_filters;
   const std::uint64_t before = meter.total(net::TrafficCategory::kFiltering);
@@ -95,10 +97,12 @@ HeavyGroupSet NetFilter::filter_candidates(const ItemSource& items,
         return model == WireModel::kFlatFields
                    ? flat_bytes
                    : net::encode_aggregates(v).size();
-      });
+      },
+      config_.obs);
 
   net::Engine engine(overlay, meter);
   engine.set_fault_model(config_.fault);
+  engine.set_obs(config_.obs);
   const std::uint64_t rounds =
       engine.run(cast, config_.max_rounds_per_phase);
   ensure(cast.complete(), "candidate filtering did not complete");
@@ -121,6 +125,7 @@ HeavyGroupSet NetFilter::filter_candidates(const ItemSource& items,
         per_peer(meter.total(net::TrafficCategory::kFiltering) - before,
                  overlay.num_peers());
   }
+  obs::add_counter(config_.obs, "netfilter/heavy_groups", heavy.total());
   return heavy;
 }
 
@@ -161,16 +166,22 @@ NetFilterResult NetFilter::verify_candidates(
   agg::Multicast<HeavyGroupSet> down(
       hierarchy, net::TrafficCategory::kDissemination, heavy,
       dissemination_bytes,
-      /*on_receive=*/[&](PeerId p, const HeavyGroupSet& hg) {
+      /*on_receive=*/
+      [&](PeerId p, const HeavyGroupSet& hg) {
         partial[p.value()] =
             materialize_candidates(items.local_items(p), hg);
         ready[p.value()] = true;
-      });
+      },
+      config_.obs);
 
   net::Engine engine(overlay, meter);
   engine.set_fault_model(config_.fault);
-  const std::uint64_t down_rounds =
-      engine.run(down, config_.max_rounds_per_phase);
+  engine.set_obs(config_.obs);
+  std::uint64_t down_rounds = 0;
+  {
+    obs::ScopedPhase phase(config_.obs, "dissemination");
+    down_rounds = engine.run(down, config_.max_rounds_per_phase);
+  }
   ensure(down.complete(), "dissemination did not complete");
 
   agg::Convergecast<LocalItems> up(
@@ -187,8 +198,13 @@ NetFilterResult NetFilter::verify_candidates(
         return config_.wire_model == WireModel::kFlatFields
                    ? m.size() * config_.wire.item_value_pair()
                    : net::encode_pairs(m).size();
-      });
-  const std::uint64_t up_rounds = engine.run(up, config_.max_rounds_per_phase);
+      },
+      config_.obs);
+  std::uint64_t up_rounds = 0;
+  {
+    obs::ScopedPhase phase(config_.obs, "aggregation");
+    up_rounds = engine.run(up, config_.max_rounds_per_phase);
+  }
   ensure(up.complete(), "candidate aggregation did not complete");
 
   NetFilterResult result;
@@ -200,6 +216,8 @@ NetFilterResult NetFilter::verify_candidates(
   stats.num_frequent = result.frequent.size();
   stats.num_false_positives = stats.num_candidates - stats.num_frequent;
   stats.rounds_verification = down_rounds + up_rounds;
+  obs::add_counter(config_.obs, "netfilter/candidates", stats.num_candidates);
+  obs::add_counter(config_.obs, "netfilter/frequent", stats.num_frequent);
 
   const std::uint64_t aggregation_bytes =
       meter.total(net::TrafficCategory::kAggregation) - aggregation_before;
@@ -222,10 +240,13 @@ NetFilterResult NetFilter::run(const ItemSource& items,
                                Value threshold) const {
   require(items.num_peers() == overlay.num_peers(),
           "item source and overlay disagree on peer count");
+  obs::ScopedPhase whole(config_.obs, "netfilter");
   const std::uint64_t host_before =
       meter.total(net::TrafficCategory::kHostReport);
-  const EffectiveItems effective(items, hierarchy, overlay, config_.wire,
-                                 &meter);
+  const EffectiveItems effective = [&] {
+    obs::ScopedPhase phase(config_.obs, "host-report");
+    return EffectiveItems(items, hierarchy, overlay, config_.wire, &meter);
+  }();
 
   NetFilterStats stats;
   const HeavyGroupSet heavy = filter_candidates(effective, hierarchy, overlay,

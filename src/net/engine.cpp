@@ -49,7 +49,26 @@ void Engine::set_fault_model(const LinkFaultModel& model) {
   fault_rng_.reseed(model.seed);
 }
 
+void Engine::set_obs(obs::Context* obs) {
+  obs_ = obs;
+  if (obs == nullptr) {
+    obs_sent_ = nullptr;
+    obs_delivered_ = nullptr;
+    obs_rounds_ = nullptr;
+    obs_msg_bytes_ = nullptr;
+    return;
+  }
+  obs_sent_ = &obs->registry.counter("engine/sent");
+  obs_delivered_ = &obs->registry.counter("engine/delivered");
+  obs_rounds_ = &obs->registry.counter("engine/rounds");
+  obs_msg_bytes_ = &obs->registry.histogram("engine/msg_bytes");
+}
+
 void Engine::enqueue(std::size_t protocol_index, Envelope&& env) {
+  if (obs_ != nullptr) {
+    obs_sent_->add(1);
+    obs_msg_bytes_->observe(env.bytes);
+  }
   Outgoing out{protocol_index, std::move(env), 0, false, PeerId(0)};
   if (lossy_) {
     // Register for retransmission until acknowledged.
@@ -101,6 +120,7 @@ void Engine::deliver(std::span<Protocol* const> protocols, Outgoing&& out) {
     }
   }
   ensure(out.protocol_index < protocols.size(), "bad protocol index");
+  if (obs_ != nullptr) obs_delivered_->add(1);
   Context ctx(*this, out.envelope.to, out.protocol_index);
   protocols[out.protocol_index]->on_message(ctx, std::move(out.envelope));
 }
@@ -142,6 +162,15 @@ std::uint64_t Engine::run(std::span<Protocol* const> protocols,
   require(!protocols.empty(), "need at least one protocol");
   const std::uint64_t start_round = round_;
   for (std::uint64_t executed = 0; executed < max_rounds; ++executed) {
+    // 0. Stamp the round boundary: advance the tracer's logical clock so
+    // every event recorded during this round carries it.
+    if (obs_ != nullptr) {
+      obs_->tracer.advance_clock();
+      obs_rounds_->add(1);
+      obs_->tracer.record(obs::EventKind::kRound, "engine.round",
+                          obs::kNoPeer, in_flight_.size());
+    }
+
     // 1. Apply churn scheduled for this round.
     if (schedule != nullptr) {
       for (const auto& event : schedule->events_at(round_)) {

@@ -27,6 +27,7 @@
 #include "net/envelope.h"
 #include "net/metrics.h"
 #include "net/overlay.h"
+#include "obs/context.h"
 
 namespace nf::net {
 
@@ -145,6 +146,13 @@ class Engine {
   /// Sets heterogeneous link latencies. Must be called before run().
   void set_latency_model(const LatencyModel& model);
 
+  /// Attaches an observability context (nullptr detaches). The engine then
+  /// counts sends/deliveries/rounds, histograms message sizes and stamps
+  /// the tracer's logical clock at every round boundary. Metric handles
+  /// are cached here so the per-message cost is an increment, not a map
+  /// lookup.
+  void set_obs(obs::Context* obs);
+
   /// Diagnostics for the reliability layer (0 when the model is off).
   [[nodiscard]] std::uint64_t lost_transmissions() const { return lost_; }
   [[nodiscard]] std::uint64_t retransmissions() const {
@@ -177,6 +185,11 @@ class Engine {
 
   Overlay& overlay_;
   TrafficMeter& meter_;
+  obs::Context* obs_ = nullptr;
+  obs::Counter* obs_sent_ = nullptr;
+  obs::Counter* obs_delivered_ = nullptr;
+  obs::Counter* obs_rounds_ = nullptr;
+  obs::Histogram* obs_msg_bytes_ = nullptr;
   std::vector<Outgoing> in_flight_;
   std::vector<Outgoing> outbox_;
   // Messages scheduled for rounds beyond the next one (latency > 1),

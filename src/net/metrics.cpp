@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <numeric>
+#include <ostream>
 
 #include "common/error.h"
 
@@ -47,6 +48,29 @@ std::uint64_t TrafficMeter::max_peer_total() const {
     best = std::max(best, peer_total(PeerId(static_cast<std::uint32_t>(i))));
   }
   return best;
+}
+
+const TrafficMeter::CategoryArray& TrafficMeter::per_peer_breakdown(
+    PeerId p) const {
+  require(p.value() < per_peer_.size(), "peer out of range");
+  return per_peer_[p.value()];
+}
+
+void TrafficMeter::write_csv(std::ostream& os) const {
+  os << "peer";
+  for (std::size_t c = 0; c < kNumTrafficCategories; ++c) {
+    os << ',' << to_string(static_cast<TrafficCategory>(c));
+  }
+  os << ",total\n";
+  for (std::size_t p = 0; p < per_peer_.size(); ++p) {
+    const PeerId id(static_cast<std::uint32_t>(p));
+    os << p;
+    for (const std::uint64_t bytes : per_peer_[p]) os << ',' << bytes;
+    os << ',' << peer_total(id) << '\n';
+  }
+  os << "total";
+  for (const std::uint64_t bytes : totals_) os << ',' << bytes;
+  os << ',' << total() << '\n';
 }
 
 void TrafficMeter::reset() {

@@ -9,6 +9,7 @@
 
 #include <array>
 #include <cstdint>
+#include <iosfwd>
 #include <string_view>
 #include <vector>
 
@@ -46,6 +47,9 @@ inline constexpr std::size_t kNumTrafficCategories = 9;
 
 class TrafficMeter {
  public:
+  /// Per-category byte counts for one peer, indexed by TrafficCategory.
+  using CategoryArray = std::array<std::uint64_t, kNumTrafficCategories>;
+
   explicit TrafficMeter(std::uint32_t num_peers);
 
   void record(PeerId sender, TrafficCategory category, std::uint64_t bytes);
@@ -75,10 +79,18 @@ class TrafficMeter {
   /// Number of messages recorded (diagnostics).
   [[nodiscard]] std::uint64_t num_messages() const { return num_messages_; }
 
+  /// Bytes sent by peer `p`, broken down by category (indexed by
+  /// TrafficCategory).
+  [[nodiscard]] const CategoryArray& per_peer_breakdown(PeerId p) const;
+
+  /// Writes the full breakdown as CSV: a header row of category names,
+  /// then one `peer,<bytes per category>,total` row per peer, then a
+  /// `total,...` footer matching total(category)/total().
+  void write_csv(std::ostream& os) const;
+
   void reset();
 
  private:
-  using CategoryArray = std::array<std::uint64_t, kNumTrafficCategories>;
   std::vector<CategoryArray> per_peer_;
   CategoryArray totals_{};
   std::uint64_t num_messages_{0};

@@ -1,0 +1,180 @@
+#include "obs/export.h"
+
+#include <iterator>
+#include <ostream>
+#include <string_view>
+#include <vector>
+
+namespace nf::obs {
+
+Json to_json(const MetricsRegistry& registry) {
+  auto counters = Json::object();
+  for (const auto& [name, c] : registry.counters()) {
+    counters[name] = c.value();
+  }
+  auto gauges = Json::object();
+  for (const auto& [name, g] : registry.gauges()) {
+    gauges[name] = g.value();
+  }
+  auto histograms = Json::object();
+  for (const auto& [name, h] : registry.histograms()) {
+    auto hist = Json::object();
+    hist["count"] = h.count();
+    hist["sum"] = h.sum();
+    hist["min"] = h.min();
+    hist["max"] = h.max();
+    auto buckets = Json::array();
+    for (std::size_t i = 0; i < Histogram::kNumBuckets; ++i) {
+      if (h.bucket(i) == 0) continue;
+      auto bucket = Json::object();
+      bucket["lo"] = Histogram::bucket_lo(i);
+      bucket["hi"] = Histogram::bucket_hi(i);
+      bucket["count"] = h.bucket(i);
+      buckets.push_back(std::move(bucket));
+    }
+    hist["buckets"] = std::move(buckets);
+    histograms[name] = std::move(hist);
+  }
+  auto out = Json::object();
+  out["counters"] = std::move(counters);
+  out["gauges"] = std::move(gauges);
+  out["histograms"] = std::move(histograms);
+  return out;
+}
+
+Json to_json(const ProtocolTracer& tracer) {
+  auto out = Json::object();
+  out["capacity"] = static_cast<std::uint64_t>(tracer.capacity());
+  out["total_recorded"] = tracer.total_recorded();
+  out["dropped"] = tracer.dropped();
+  out["clock"] = tracer.clock();
+  auto events = Json::array();
+  for (const TraceEvent& e : tracer.snapshot()) {
+    auto event = Json::object();
+    event["seq"] = e.seq;
+    event["clock"] = e.clock;
+    event["kind"] = to_string(e.kind);
+    event["name"] = e.name;
+    event["value"] = e.value;
+    if (e.peer != kNoPeer) event["peer"] = e.peer;
+    events.push_back(std::move(event));
+  }
+  out["events"] = std::move(events);
+  return out;
+}
+
+Json to_json(const net::TrafficMeter& meter) {
+  auto out = Json::object();
+  out["num_peers"] = meter.num_peers();
+  out["num_messages"] = meter.num_messages();
+  out["total_bytes"] = meter.total();
+  out["max_peer_total"] = meter.max_peer_total();
+
+  auto categories = Json::array();
+  auto totals = Json::object();
+  auto per_peer = Json::object();
+  for (std::size_t c = 0; c < net::kNumTrafficCategories; ++c) {
+    const auto category = static_cast<net::TrafficCategory>(c);
+    const std::string name{net::to_string(category)};
+    categories.push_back(name);
+    totals[name] = meter.total(category);
+    per_peer[name] = meter.per_peer(category);
+  }
+  out["categories"] = std::move(categories);
+  out["totals"] = std::move(totals);
+  out["per_peer"] = std::move(per_peer);
+
+  auto matrix = Json::array();
+  for (std::uint32_t p = 0; p < meter.num_peers(); ++p) {
+    const auto& row = meter.per_peer_breakdown(PeerId(p));
+    auto cells = Json::array();
+    for (const std::uint64_t bytes : row) cells.push_back(bytes);
+    matrix.push_back(std::move(cells));
+  }
+  out["peer_category_bytes"] = std::move(matrix);
+  return out;
+}
+
+Json spans_json(const ProtocolTracer& tracer) {
+  auto spans = Json::array();
+  std::vector<TraceEvent> open;
+  for (const TraceEvent& e : tracer.snapshot()) {
+    if (e.kind == EventKind::kPhaseBegin) {
+      open.push_back(e);
+      continue;
+    }
+    if (e.kind != EventKind::kPhaseEnd) continue;
+    // Match the innermost open span with the same name; a begin lost to
+    // ring wraparound leaves this end unpaired.
+    for (auto it = open.rbegin(); it != open.rend(); ++it) {
+      if (std::string_view(it->name) != std::string_view(e.name)) continue;
+      auto span = Json::object();
+      span["name"] = e.name;
+      span["begin_seq"] = it->seq;
+      span["end_seq"] = e.seq;
+      span["begin_clock"] = it->clock;
+      span["end_clock"] = e.clock;
+      span["rounds"] = e.clock - it->clock;
+      span["wall_us"] = e.value;
+      spans.push_back(std::move(span));
+      open.erase(std::next(it).base());
+      break;
+    }
+  }
+  return spans;
+}
+
+Json timings_json(const MetricsRegistry& registry) {
+  constexpr std::string_view kPrefix = "time_us/";
+  auto out = Json::object();
+  for (const auto& [name, c] : registry.counters()) {
+    if (name.size() <= kPrefix.size() ||
+        std::string_view(name).substr(0, kPrefix.size()) != kPrefix) {
+      continue;
+    }
+    out[name.substr(kPrefix.size())] = c.value();
+  }
+  return out;
+}
+
+Json to_json(const ExportBundle& bundle) {
+  auto out = Json::object();
+  out["schema_version"] = kSchemaVersion;
+  out["bench"] = bundle.bench;
+  out["params"] = bundle.params;
+  out["results"] = bundle.results;
+  if (!bundle.traffic.is_null()) out["traffic"] = bundle.traffic;
+  if (bundle.obs != nullptr) {
+    out["metrics"] = to_json(bundle.obs->registry);
+    out["timings"] = timings_json(bundle.obs->registry);
+    out["spans"] = spans_json(bundle.obs->tracer);
+    out["trace"] = to_json(bundle.obs->tracer);
+  }
+  return out;
+}
+
+void write_csv(std::ostream& os, const MetricsRegistry& registry) {
+  os << "type,name,value,count,min,max\n";
+  for (const auto& [name, c] : registry.counters()) {
+    os << "counter," << name << ',' << c.value() << ",,,\n";
+  }
+  for (const auto& [name, g] : registry.gauges()) {
+    os << "gauge," << name << ',' << g.value() << ",,,\n";
+  }
+  for (const auto& [name, h] : registry.histograms()) {
+    os << "histogram," << name << ',' << h.sum() << ',' << h.count() << ','
+       << h.min() << ',' << h.max() << '\n';
+  }
+}
+
+void write_csv(std::ostream& os, const ProtocolTracer& tracer) {
+  os << "seq,clock,kind,name,peer,value\n";
+  for (const TraceEvent& e : tracer.snapshot()) {
+    os << e.seq << ',' << e.clock << ',' << to_string(e.kind) << ','
+       << e.name << ',';
+    if (e.peer != kNoPeer) os << e.peer;
+    os << ',' << e.value << '\n';
+  }
+}
+
+}  // namespace nf::obs

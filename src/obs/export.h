@@ -1,0 +1,64 @@
+// JSON/CSV exporters for the observability layer (docs/OBSERVABILITY.md).
+//
+// Serialize the metrics registry, the trace ring and the TrafficMeter
+// per-peer/per-category breakdown into a stable schema (kSchemaVersion).
+// Every bench binary funnels its --json output through ExportBundle, so
+// all BENCH_*.json artifacts share one shape.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "net/metrics.h"
+#include "obs/context.h"
+#include "obs/json.h"
+
+namespace nf::obs {
+
+/// Bump when the JSON layout changes incompatibly.
+inline constexpr std::uint64_t kSchemaVersion = 1;
+
+/// {"counters": {...}, "gauges": {...}, "histograms": {name:
+///  {"count","sum","min","max","buckets":[{"lo","hi","count"},...]}}}
+[[nodiscard]] Json to_json(const MetricsRegistry& registry);
+
+/// {"capacity","total_recorded","dropped","clock","events":[...]}; each
+/// event is {"seq","clock","kind","name","value"} plus "peer" when set.
+[[nodiscard]] Json to_json(const ProtocolTracer& tracer);
+
+/// {"num_peers","num_messages","total_bytes","max_peer_total",
+///  "totals":{category:bytes}, "per_peer":{category:avg},
+///  "categories":[...], "peer_category_bytes":[[...],...]} — the matrix
+/// columns follow "categories" order.
+[[nodiscard]] Json to_json(const net::TrafficMeter& meter);
+
+/// Phase spans reconstructed from paired kPhaseBegin/kPhaseEnd events:
+/// [{"name","begin_seq","end_seq","begin_clock","end_clock","rounds",
+///   "wall_us"},...]. Begins lost to ring wraparound leave their ends
+/// unpaired (skipped).
+[[nodiscard]] Json spans_json(const ProtocolTracer& tracer);
+
+/// The `time_us/<phase>` counters as {"<phase>": microseconds}.
+[[nodiscard]] Json timings_json(const MetricsRegistry& registry);
+
+/// One bench run's worth of observability output.
+struct ExportBundle {
+  std::string bench;               ///< binary name, e.g. "fig5_filter_size"
+  Json params = Json::object();    ///< experiment parameters
+  Json results = Json::array();    ///< one object per sweep row
+  Json traffic;                    ///< to_json(TrafficMeter); null if absent
+  const Context* obs = nullptr;    ///< registry + trace; may be null
+};
+
+/// Top-level document: {"schema_version","bench","params","results",
+///  "traffic","metrics","timings","spans","trace"} (obs-derived sections
+/// only when `obs` is non-null, "traffic" only when captured).
+[[nodiscard]] Json to_json(const ExportBundle& bundle);
+
+/// `type,name,value,count,min,max` rows (counters, gauges, histograms).
+void write_csv(std::ostream& os, const MetricsRegistry& registry);
+
+/// `seq,clock,kind,name,peer,value` rows, oldest first.
+void write_csv(std::ostream& os, const ProtocolTracer& tracer);
+
+}  // namespace nf::obs

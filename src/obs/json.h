@@ -1,0 +1,110 @@
+// Minimal JSON document model for the observability exporters.
+//
+// The bench binaries must emit machine-readable results (--json) without
+// external dependencies, so this is a small value type: build a tree,
+// dump() it (object keys come out sorted — std::map — so golden tests and
+// diffs are stable), parse() it back for round-trip tests. Integers are
+// kept as int64/uint64, not coerced to double, so counters round-trip
+// exactly; non-finite doubles serialize as null (JSON has no NaN).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+namespace nf::obs {
+
+class Json {
+ public:
+  using Array = std::vector<Json>;
+  using Object = std::map<std::string, Json>;
+
+  Json() : v_(nullptr) {}
+  Json(std::nullptr_t) : v_(nullptr) {}
+  Json(bool b) : v_(b) {}
+  Json(double d) : v_(d) {}
+  Json(int i) : v_(static_cast<std::int64_t>(i)) {}
+  Json(long i) : v_(static_cast<std::int64_t>(i)) {}
+  Json(long long i) : v_(static_cast<std::int64_t>(i)) {}
+  Json(unsigned u) : v_(static_cast<std::uint64_t>(u)) {}
+  Json(unsigned long u) : v_(static_cast<std::uint64_t>(u)) {}
+  Json(unsigned long long u) : v_(static_cast<std::uint64_t>(u)) {}
+  Json(const char* s) : v_(std::string(s)) {}
+  Json(std::string_view s) : v_(std::string(s)) {}
+  Json(std::string s) : v_(std::move(s)) {}
+  Json(Array a) : v_(std::move(a)) {}
+  Json(Object o) : v_(std::move(o)) {}
+
+  [[nodiscard]] static Json object() { return Json(Object{}); }
+  [[nodiscard]] static Json array() { return Json(Array{}); }
+
+  [[nodiscard]] bool is_null() const {
+    return std::holds_alternative<std::nullptr_t>(v_);
+  }
+  [[nodiscard]] bool is_bool() const {
+    return std::holds_alternative<bool>(v_);
+  }
+  [[nodiscard]] bool is_number() const {
+    return std::holds_alternative<std::int64_t>(v_) ||
+           std::holds_alternative<std::uint64_t>(v_) ||
+           std::holds_alternative<double>(v_);
+  }
+  [[nodiscard]] bool is_string() const {
+    return std::holds_alternative<std::string>(v_);
+  }
+  [[nodiscard]] bool is_array() const {
+    return std::holds_alternative<Array>(v_);
+  }
+  [[nodiscard]] bool is_object() const {
+    return std::holds_alternative<Object>(v_);
+  }
+
+  [[nodiscard]] bool as_bool() const;
+  /// Any numeric alternative, widened to double.
+  [[nodiscard]] double as_double() const;
+  /// Numeric value as uint64; throws if negative, fractional or too large.
+  [[nodiscard]] std::uint64_t as_uint64() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const Array& as_array() const;
+  [[nodiscard]] const Object& as_object() const;
+
+  /// Object access, creating the key (and converting null -> object).
+  Json& operator[](const std::string& key);
+  /// Object lookup without creation; nullptr when absent or not an object.
+  [[nodiscard]] const Json* find(std::string_view key) const;
+  /// Object lookup that throws when the key is absent.
+  [[nodiscard]] const Json& at(std::string_view key) const;
+  [[nodiscard]] bool contains(std::string_view key) const {
+    return find(key) != nullptr;
+  }
+
+  /// Array append (converting null -> array).
+  void push_back(Json value);
+  /// Elements for arrays, keys for objects, 0 otherwise.
+  [[nodiscard]] std::size_t size() const;
+
+  /// Serializes; `indent` < 0 is compact, >= 0 pretty-prints with that many
+  /// spaces per level.
+  void dump(std::ostream& os, int indent = -1) const;
+  [[nodiscard]] std::string dump(int indent = -1) const;
+
+  /// Parses standard JSON; throws nf::Error on malformed input.
+  [[nodiscard]] static Json parse(std::string_view text);
+
+  friend bool operator==(const Json&, const Json&) = default;
+
+ private:
+  using Value = std::variant<std::nullptr_t, bool, std::int64_t,
+                             std::uint64_t, double, std::string, Array,
+                             Object>;
+
+  void dump_impl(std::ostream& os, int indent, int depth) const;
+
+  Value v_;
+};
+
+}  // namespace nf::obs

@@ -1,0 +1,132 @@
+// Metrics registry for the observability layer (docs/OBSERVABILITY.md).
+//
+// Named counters, gauges and log2-bucketed histograms. The registry is a
+// plain value owned by obs::Context; instrumentation sites reach it through
+// a nullable Context* so the disabled path is a single pointer test (see
+// obs/context.h and the BM_Obs* fixtures in bench/microbench.cpp).
+//
+// Handles returned by counter()/gauge()/histogram() are stable references
+// (node-based map), so hot paths can look a metric up once and increment
+// through the handle. reset() invalidates all handles.
+//
+// Naming convention: `<subsystem>/<metric>` (e.g. "engine/rounds",
+// "convergecast/msg_bytes"); phase wall times use `time_us/<phase>`.
+#pragma once
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace nf::obs {
+
+class Counter {
+ public:
+  void add(std::uint64_t delta = 1) { value_ += delta; }
+  [[nodiscard]] std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_{0};
+};
+
+class Gauge {
+ public:
+  void set(double v) { value_ = v; }
+  [[nodiscard]] double value() const { return value_; }
+
+ private:
+  double value_{0.0};
+};
+
+/// Log2-bucketed histogram of unsigned values (message sizes, fan-outs,
+/// depths): bucket i counts values of bit width i, so bucket 0 holds exactly
+/// the value 0 and bucket i >= 1 holds [2^(i-1), 2^i - 1]. Fixed storage,
+/// no allocation on observe().
+class Histogram {
+ public:
+  static constexpr std::size_t kNumBuckets = 65;  ///< bit widths 0..64
+
+  void observe(std::uint64_t v) {
+    ++buckets_[static_cast<std::size_t>(std::bit_width(v))];
+    ++count_;
+    sum_ += v;
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] std::uint64_t sum() const { return sum_; }
+  [[nodiscard]] std::uint64_t min() const { return count_ ? min_ : 0; }
+  [[nodiscard]] std::uint64_t max() const { return max_; }
+  [[nodiscard]] std::uint64_t bucket(std::size_t i) const {
+    return buckets_[i];
+  }
+
+  /// Smallest value counted by bucket i.
+  [[nodiscard]] static constexpr std::uint64_t bucket_lo(std::size_t i) {
+    return i == 0 ? 0 : std::uint64_t{1} << (i - 1);
+  }
+  /// Largest value counted by bucket i.
+  [[nodiscard]] static constexpr std::uint64_t bucket_hi(std::size_t i) {
+    if (i == 0) return 0;
+    if (i >= 64) return std::numeric_limits<std::uint64_t>::max();
+    return (std::uint64_t{1} << i) - 1;
+  }
+
+ private:
+  std::uint64_t buckets_[kNumBuckets]{};
+  std::uint64_t count_{0};
+  std::uint64_t sum_{0};
+  std::uint64_t min_{std::numeric_limits<std::uint64_t>::max()};
+  std::uint64_t max_{0};
+};
+
+class MetricsRegistry {
+ public:
+  /// Finds or creates; the reference stays valid until reset().
+  Counter& counter(std::string_view name) { return find_or_create(counters_, name); }
+  Gauge& gauge(std::string_view name) { return find_or_create(gauges_, name); }
+  Histogram& histogram(std::string_view name) {
+    return find_or_create(histograms_, name);
+  }
+
+  // Sorted iteration for the exporters.
+  [[nodiscard]] const std::map<std::string, Counter, std::less<>>& counters()
+      const {
+    return counters_;
+  }
+  [[nodiscard]] const std::map<std::string, Gauge, std::less<>>& gauges()
+      const {
+    return gauges_;
+  }
+  [[nodiscard]] const std::map<std::string, Histogram, std::less<>>&
+  histograms() const {
+    return histograms_;
+  }
+
+  /// Drops every metric. Invalidates all outstanding handles.
+  void reset() {
+    counters_.clear();
+    gauges_.clear();
+    histograms_.clear();
+  }
+
+ private:
+  template <typename M>
+  static typename M::mapped_type& find_or_create(M& map,
+                                                 std::string_view name) {
+    const auto it = map.find(name);
+    if (it != map.end()) return it->second;
+    return map.emplace(std::string(name), typename M::mapped_type{})
+        .first->second;
+  }
+
+  std::map<std::string, Counter, std::less<>> counters_;
+  std::map<std::string, Gauge, std::less<>> gauges_;
+  std::map<std::string, Histogram, std::less<>> histograms_;
+};
+
+}  // namespace nf::obs

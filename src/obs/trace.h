@@ -1,0 +1,111 @@
+// Structured protocol tracer (docs/OBSERVABILITY.md).
+//
+// Records span-style events — phase begin/end, engine round boundaries,
+// per-level convergecast merges, multicast fan-out, gossip rounds — into a
+// bounded in-memory ring. Each event carries a global sequence number
+// (monotonic even after the ring wraps, so consumers can detect gaps) and a
+// logical timestamp: the engine advances the tracer clock once per
+// simulated round, so `clock` orders events across protocol phases the way
+// rounds order messages.
+//
+// Event names must be string literals (or otherwise outlive the tracer);
+// the ring stores the pointer, never a copy.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace nf::obs {
+
+/// Sentinel peer for events not attributable to a single peer.
+inline constexpr std::uint32_t kNoPeer = 0xFFFFFFFFu;
+
+enum class EventKind : std::uint8_t {
+  kPhaseBegin,   ///< protocol phase opened (value unused)
+  kPhaseEnd,     ///< protocol phase closed (value = wall microseconds)
+  kRound,        ///< engine round boundary (value = messages delivered)
+  kMerge,        ///< convergecast child merged (value = message bytes)
+  kFanout,       ///< multicast forward (value = downstream copies)
+  kGossipRound,  ///< one gossip round completed (value = round index)
+  kMark,         ///< free-form point event
+};
+
+[[nodiscard]] constexpr std::string_view to_string(EventKind k) {
+  switch (k) {
+    case EventKind::kPhaseBegin: return "phase_begin";
+    case EventKind::kPhaseEnd: return "phase_end";
+    case EventKind::kRound: return "round";
+    case EventKind::kMerge: return "merge";
+    case EventKind::kFanout: return "fanout";
+    case EventKind::kGossipRound: return "gossip_round";
+    case EventKind::kMark: return "mark";
+  }
+  return "?";
+}
+
+struct TraceEvent {
+  std::uint64_t seq = 0;    ///< global event index, monotonic across wraps
+  std::uint64_t clock = 0;  ///< logical timestamp (engine rounds so far)
+  std::uint64_t value = 0;  ///< kind-specific payload (see EventKind)
+  const char* name = "";    ///< static string; the ring never owns it
+  std::uint32_t peer = kNoPeer;
+  EventKind kind = EventKind::kMark;
+};
+
+class ProtocolTracer {
+ public:
+  explicit ProtocolTracer(std::size_t capacity = 4096)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  void record(EventKind kind, const char* name, std::uint32_t peer = kNoPeer,
+              std::uint64_t value = 0) {
+    const TraceEvent e{total_, clock_, value, name, peer, kind};
+    if (ring_.size() < capacity_) {
+      ring_.push_back(e);
+    } else {
+      // Events fill slots in seq order, so seq % capacity is always the
+      // oldest slot once the ring is full.
+      ring_[static_cast<std::size_t>(total_ % capacity_)] = e;
+    }
+    ++total_;
+  }
+
+  /// Advances the logical clock; the engine calls this once per round.
+  void advance_clock(std::uint64_t delta = 1) { clock_ += delta; }
+  [[nodiscard]] std::uint64_t clock() const { return clock_; }
+
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  /// Events currently held (<= capacity).
+  [[nodiscard]] std::size_t size() const { return ring_.size(); }
+  /// Events ever recorded, including those the ring has since overwritten.
+  [[nodiscard]] std::uint64_t total_recorded() const { return total_; }
+  /// Events lost to wraparound.
+  [[nodiscard]] std::uint64_t dropped() const {
+    return total_ - ring_.size();
+  }
+
+  /// Retained events, oldest first.
+  [[nodiscard]] std::vector<TraceEvent> snapshot() const {
+    std::vector<TraceEvent> out;
+    out.reserve(ring_.size());
+    for (std::uint64_t s = total_ - ring_.size(); s < total_; ++s) {
+      out.push_back(ring_[static_cast<std::size_t>(s % capacity_)]);
+    }
+    return out;
+  }
+
+  void clear() {
+    ring_.clear();
+    total_ = 0;
+    clock_ = 0;
+  }
+
+ private:
+  std::size_t capacity_;
+  std::vector<TraceEvent> ring_;
+  std::uint64_t total_{0};
+  std::uint64_t clock_{0};
+};
+
+}  // namespace nf::obs

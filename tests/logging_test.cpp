@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <optional>
 #include <sstream>
 
 namespace nf {
@@ -56,6 +58,42 @@ TEST_F(LoggingTest, ErrorAlwaysPassesWarnThreshold) {
 TEST_F(LoggingTest, LevelRoundTrips) {
   set_log_level(LogLevel::kInfo);
   EXPECT_EQ(log_level(), LogLevel::kInfo);
+}
+
+TEST_F(LoggingTest, ParseLogLevelAcceptsKnownNames) {
+  EXPECT_EQ(parse_log_level("debug"), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("info"), LogLevel::kInfo);
+  EXPECT_EQ(parse_log_level("warn"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("warning"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("error"), LogLevel::kError);
+  // Case-insensitive.
+  EXPECT_EQ(parse_log_level("DEBUG"), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("Info"), LogLevel::kInfo);
+}
+
+TEST_F(LoggingTest, ParseLogLevelRejectsUnknownNames) {
+  EXPECT_EQ(parse_log_level(""), std::nullopt);
+  EXPECT_EQ(parse_log_level("verbose"), std::nullopt);
+  EXPECT_EQ(parse_log_level("3"), std::nullopt);
+}
+
+TEST_F(LoggingTest, InitFromEnvAppliesVariable) {
+  ASSERT_EQ(setenv("NF_LOG_LEVEL", "debug", /*overwrite=*/1), 0);
+  init_log_level_from_env();
+  EXPECT_EQ(log_level(), LogLevel::kDebug);
+  ASSERT_EQ(unsetenv("NF_LOG_LEVEL"), 0);
+}
+
+TEST_F(LoggingTest, InitFromEnvKeepsLevelWhenUnsetOrInvalid) {
+  ASSERT_EQ(unsetenv("NF_LOG_LEVEL"), 0);
+  set_log_level(LogLevel::kError);
+  init_log_level_from_env();
+  EXPECT_EQ(log_level(), LogLevel::kError);
+
+  ASSERT_EQ(setenv("NF_LOG_LEVEL", "bogus", /*overwrite=*/1), 0);
+  init_log_level_from_env();
+  EXPECT_EQ(log_level(), LogLevel::kError);
+  ASSERT_EQ(unsetenv("NF_LOG_LEVEL"), 0);
 }
 
 }  // namespace

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
+#include <string>
+#include <vector>
+
 #include "common/error.h"
 
 namespace nf::net {
@@ -56,6 +60,41 @@ TEST(TrafficMeterTest, OutOfRangeSenderThrows) {
   TrafficMeter m(2);
   EXPECT_THROW(m.record(PeerId(2), TrafficCategory::kControl, 1),
                InvalidArgument);
+}
+
+TEST(TrafficMeterTest, PerPeerBreakdownIndexesByCategory) {
+  TrafficMeter m(3);
+  m.record(PeerId(1), TrafficCategory::kFiltering, 100);
+  m.record(PeerId(1), TrafficCategory::kGossip, 7);
+  const auto& row = m.per_peer_breakdown(PeerId(1));
+  EXPECT_EQ(row[static_cast<std::size_t>(TrafficCategory::kFiltering)], 100u);
+  EXPECT_EQ(row[static_cast<std::size_t>(TrafficCategory::kGossip)], 7u);
+  EXPECT_EQ(row[static_cast<std::size_t>(TrafficCategory::kNaive)], 0u);
+  // Untouched peers have an all-zero row.
+  for (const std::uint64_t bytes : m.per_peer_breakdown(PeerId(0))) {
+    EXPECT_EQ(bytes, 0u);
+  }
+  EXPECT_THROW(m.per_peer_breakdown(PeerId(3)), InvalidArgument);
+}
+
+TEST(TrafficMeterTest, WriteCsvEmitsPerPeerRowsAndTotals) {
+  TrafficMeter m(2);
+  m.record(PeerId(0), TrafficCategory::kFiltering, 10);
+  m.record(PeerId(1), TrafficCategory::kAggregation, 5);
+  std::ostringstream os;
+  m.write_csv(os);
+
+  std::vector<std::string> lines;
+  std::istringstream is(os.str());
+  for (std::string line; std::getline(is, line);) lines.push_back(line);
+  // Header + one row per peer + totals footer.
+  ASSERT_EQ(lines.size(), 4u);
+  EXPECT_EQ(lines[0],
+            "peer,filtering,dissemination,aggregation,naive,gossip,"
+            "sampling,control,host-report,approx,total");
+  EXPECT_EQ(lines[1], "0,10,0,0,0,0,0,0,0,0,10");
+  EXPECT_EQ(lines[2], "1,0,0,5,0,0,0,0,0,0,5");
+  EXPECT_EQ(lines[3], "total,10,0,5,0,0,0,0,0,0,15");
 }
 
 TEST(TrafficCategoryTest, NamesAreStable) {

@@ -1,0 +1,434 @@
+// Tests for the observability subsystem: metrics registry semantics, tracer
+// ring wraparound, JSON model round-trips, exporter schema, and the --json
+// report produced end-to-end through a netFilter run.
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "bench/bench_util.h"
+#include "common/error.h"
+#include "net/metrics.h"
+#include "obs/context.h"
+#include "obs/export.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace nf::obs {
+namespace {
+
+// ---- MetricsRegistry ------------------------------------------------------
+
+TEST(MetricsRegistryTest, CountersAccumulateAndHandlesAreStable) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("engine/sent");
+  c.add();
+  c.add(41);
+  // Interleave other registrations; the handle must stay valid (node map).
+  for (int i = 0; i < 100; ++i) {
+    reg.counter("other/" + std::to_string(i));
+  }
+  c.add(8);
+  EXPECT_EQ(reg.counter("engine/sent").value(), 50u);
+  EXPECT_EQ(&reg.counter("engine/sent"), &c);
+}
+
+TEST(MetricsRegistryTest, GaugesHoldLastValue) {
+  MetricsRegistry reg;
+  reg.gauge("x").set(2.5);
+  reg.gauge("x").set(-1.0);
+  EXPECT_DOUBLE_EQ(reg.gauge("x").value(), -1.0);
+}
+
+TEST(MetricsRegistryTest, ResetDropsEverything) {
+  MetricsRegistry reg;
+  reg.counter("a").add(3);
+  reg.histogram("h").observe(7);
+  reg.reset();
+  EXPECT_TRUE(reg.counters().empty());
+  EXPECT_TRUE(reg.histograms().empty());
+  EXPECT_EQ(reg.counter("a").value(), 0u);
+}
+
+TEST(HistogramTest, Log2BucketBoundaries) {
+  Histogram h;
+  h.observe(0);
+  h.observe(1);
+  h.observe(2);
+  h.observe(3);
+  h.observe(4);
+  h.observe(1023);
+  h.observe(1024);
+  EXPECT_EQ(h.count(), 7u);
+  EXPECT_EQ(h.sum(), 0u + 1 + 2 + 3 + 4 + 1023 + 1024);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 1024u);
+  EXPECT_EQ(h.bucket(0), 1u);  // exactly the value 0
+  EXPECT_EQ(h.bucket(1), 1u);  // [1, 1]
+  EXPECT_EQ(h.bucket(2), 2u);  // [2, 3]
+  EXPECT_EQ(h.bucket(3), 1u);  // [4, 7]
+  EXPECT_EQ(h.bucket(10), 1u);  // [512, 1023]
+  EXPECT_EQ(h.bucket(11), 1u);  // [1024, 2047]
+  EXPECT_EQ(Histogram::bucket_lo(11), 1024u);
+  EXPECT_EQ(Histogram::bucket_hi(11), 2047u);
+  EXPECT_EQ(Histogram::bucket_lo(0), 0u);
+  EXPECT_EQ(Histogram::bucket_hi(0), 0u);
+}
+
+TEST(HistogramTest, EmptyHistogramReportsZeroMin) {
+  const Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+}
+
+// ---- ProtocolTracer -------------------------------------------------------
+
+TEST(ProtocolTracerTest, RecordsInOrderWithLogicalClock) {
+  ProtocolTracer t(/*capacity=*/16);
+  t.record(EventKind::kPhaseBegin, "p1");
+  t.advance_clock();
+  t.record(EventKind::kMerge, "m", /*peer=*/3, /*value=*/128);
+  t.advance_clock();
+  t.record(EventKind::kPhaseEnd, "p1", kNoPeer, 55);
+
+  const auto events = t.snapshot();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].seq, 0u);
+  EXPECT_EQ(events[0].clock, 0u);
+  EXPECT_EQ(events[1].seq, 1u);
+  EXPECT_EQ(events[1].clock, 1u);
+  EXPECT_EQ(events[1].peer, 3u);
+  EXPECT_EQ(events[1].value, 128u);
+  EXPECT_EQ(events[2].clock, 2u);
+  EXPECT_EQ(t.clock(), 2u);
+  EXPECT_EQ(t.dropped(), 0u);
+}
+
+TEST(ProtocolTracerTest, RingWraparoundKeepsNewestAndGlobalSeq) {
+  ProtocolTracer t(/*capacity=*/4);
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    t.record(EventKind::kMark, "e", kNoPeer, i);
+  }
+  EXPECT_EQ(t.size(), 4u);
+  EXPECT_EQ(t.total_recorded(), 10u);
+  EXPECT_EQ(t.dropped(), 6u);
+  const auto events = t.snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  // Oldest-first, sequence numbers survive the wrap.
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(events[i].seq, 6u + i);
+    EXPECT_EQ(events[i].value, 6u + i);
+  }
+}
+
+TEST(ProtocolTracerTest, ZeroCapacityIsClampedToOne) {
+  ProtocolTracer t(0);
+  EXPECT_EQ(t.capacity(), 1u);
+  t.record(EventKind::kMark, "a");
+  t.record(EventKind::kMark, "b");
+  const auto events = t.snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_STREQ(events[0].name, "b");
+}
+
+TEST(ScopedPhaseTest, EmitsBeginEndAndTiming) {
+  Context ctx;
+  {
+    ScopedPhase phase(&ctx, "unit");
+  }
+  const auto events = ctx.tracer.snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].kind, EventKind::kPhaseBegin);
+  EXPECT_EQ(events[1].kind, EventKind::kPhaseEnd);
+  EXPECT_STREQ(events[1].name, "unit");
+  EXPECT_EQ(ctx.registry.counters().count("time_us/unit"), 1u);
+}
+
+TEST(ScopedPhaseTest, NullContextIsSafe) {
+  ScopedPhase phase(nullptr, "noop");  // must not crash or allocate a ctx
+}
+
+// ---- Json model -----------------------------------------------------------
+
+TEST(JsonTest, DumpIsStableAndSorted) {
+  Json j = Json::object();
+  j["b"] = 2;
+  j["a"] = 1;
+  j["c"] = Json::array();
+  j["c"].push_back("x");
+  j["c"].push_back(true);
+  j["c"].push_back(nullptr);
+  EXPECT_EQ(j.dump(), R"({"a":1,"b":2,"c":["x",true,null]})");
+}
+
+TEST(JsonTest, RoundTripsThroughParse) {
+  Json j = Json::object();
+  j["int"] = -42;
+  j["uint"] = std::uint64_t{18446744073709551615ull};
+  j["pi"] = 3.25;
+  j["s"] = "quote \" backslash \\ newline \n tab \t";
+  j["arr"] = Json::array();
+  j["arr"].push_back(Json::object());
+  j["flag"] = false;
+  const Json back = Json::parse(j.dump());
+  EXPECT_EQ(back, j);
+  // Pretty-printing must parse back to the same document too.
+  EXPECT_EQ(Json::parse(j.dump(/*indent=*/2)), j);
+}
+
+TEST(JsonTest, ParsesEscapesAndUnicode) {
+  const Json j = Json::parse(R"({"s":"aA\né"})");
+  EXPECT_EQ(j.at("s").as_string(), "aA\n\xc3\xa9");
+}
+
+TEST(JsonTest, ParseRejectsMalformedInput) {
+  EXPECT_THROW(Json::parse(""), InvalidArgument);
+  EXPECT_THROW(Json::parse("{"), InvalidArgument);
+  EXPECT_THROW(Json::parse("[1,]"), InvalidArgument);
+  EXPECT_THROW(Json::parse("{\"a\":1} trailing"), InvalidArgument);
+  EXPECT_THROW(Json::parse("nul"), InvalidArgument);
+}
+
+TEST(JsonTest, NonFiniteDoublesSerializeAsNull) {
+  Json j = Json::array();
+  j.push_back(std::numeric_limits<double>::quiet_NaN());
+  j.push_back(std::numeric_limits<double>::infinity());
+  EXPECT_EQ(j.dump(), "[null,null]");
+}
+
+// ---- Exporters ------------------------------------------------------------
+
+TEST(ExportTest, RegistrySchema) {
+  MetricsRegistry reg;
+  reg.counter("engine/sent").add(7);
+  reg.gauge("load").set(0.5);
+  reg.histogram("bytes").observe(5);
+  reg.histogram("bytes").observe(6);
+
+  const Json j = to_json(reg);
+  EXPECT_EQ(j.at("counters").at("engine/sent").as_uint64(), 7u);
+  EXPECT_DOUBLE_EQ(j.at("gauges").at("load").as_double(), 0.5);
+  const Json& h = j.at("histograms").at("bytes");
+  EXPECT_EQ(h.at("count").as_uint64(), 2u);
+  EXPECT_EQ(h.at("sum").as_uint64(), 11u);
+  EXPECT_EQ(h.at("min").as_uint64(), 5u);
+  EXPECT_EQ(h.at("max").as_uint64(), 6u);
+  // 5 and 6 share bit width 3 -> one bucket [4, 7] with count 2.
+  ASSERT_EQ(h.at("buckets").size(), 1u);
+  EXPECT_EQ(h.at("buckets").as_array()[0].at("lo").as_uint64(), 4u);
+  EXPECT_EQ(h.at("buckets").as_array()[0].at("hi").as_uint64(), 7u);
+  EXPECT_EQ(h.at("buckets").as_array()[0].at("count").as_uint64(), 2u);
+}
+
+TEST(ExportTest, SpansPairBeginEndIncludingNesting) {
+  ProtocolTracer t(64);
+  t.record(EventKind::kPhaseBegin, "outer");
+  t.advance_clock();
+  t.record(EventKind::kPhaseBegin, "inner");
+  t.advance_clock(3);
+  t.record(EventKind::kPhaseEnd, "inner", kNoPeer, 10);
+  t.advance_clock();
+  t.record(EventKind::kPhaseEnd, "outer", kNoPeer, 99);
+
+  const Json spans = spans_json(t);
+  ASSERT_EQ(spans.size(), 2u);
+  const Json& inner = spans.as_array()[0];
+  EXPECT_EQ(inner.at("name").as_string(), "inner");
+  EXPECT_EQ(inner.at("rounds").as_uint64(), 3u);
+  EXPECT_EQ(inner.at("wall_us").as_uint64(), 10u);
+  const Json& outer = spans.as_array()[1];
+  EXPECT_EQ(outer.at("name").as_string(), "outer");
+  EXPECT_EQ(outer.at("rounds").as_uint64(), 5u);
+}
+
+TEST(ExportTest, TimingsStripPrefix) {
+  MetricsRegistry reg;
+  reg.counter("time_us/filtering").add(123);
+  reg.counter("engine/sent").add(1);
+  const Json t = timings_json(reg);
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_EQ(t.at("filtering").as_uint64(), 123u);
+}
+
+TEST(ExportTest, TrafficMeterJsonMatchesMeter) {
+  net::TrafficMeter meter(3);
+  meter.record(PeerId(0), net::TrafficCategory::kFiltering, 100);
+  meter.record(PeerId(2), net::TrafficCategory::kAggregation, 44);
+
+  const Json j = to_json(meter);
+  EXPECT_EQ(j.at("num_peers").as_uint64(), 3u);
+  EXPECT_EQ(j.at("total_bytes").as_uint64(), 144u);
+  EXPECT_EQ(j.at("totals").at("filtering").as_uint64(), 100u);
+  EXPECT_EQ(j.at("categories").size(), net::kNumTrafficCategories);
+  ASSERT_EQ(j.at("peer_category_bytes").size(), 3u);
+  const auto& row2 = j.at("peer_category_bytes").as_array()[2];
+  EXPECT_EQ(
+      row2.as_array()[static_cast<std::size_t>(
+                          net::TrafficCategory::kAggregation)]
+          .as_uint64(),
+      44u);
+}
+
+TEST(ExportTest, BundleSchemaAndConditionalSections) {
+  ExportBundle bundle;
+  bundle.bench = "unit";
+  bundle.params["n"] = 5;
+  Json without = to_json(bundle);
+  EXPECT_EQ(without.at("schema_version").as_uint64(), kSchemaVersion);
+  EXPECT_EQ(without.at("bench").as_string(), "unit");
+  EXPECT_FALSE(without.contains("traffic"));
+  EXPECT_FALSE(without.contains("metrics"));
+
+  Context ctx;
+  ctx.registry.counter("c").add(1);
+  net::TrafficMeter meter(1);
+  bundle.obs = &ctx;
+  bundle.traffic = to_json(meter);
+  Json with = to_json(bundle);
+  for (const char* key : {"schema_version", "bench", "params", "results",
+                          "traffic", "metrics", "timings", "spans", "trace"}) {
+    EXPECT_TRUE(with.contains(key)) << key;
+  }
+}
+
+TEST(ExportTest, CsvWritersEmitHeaderedRows) {
+  MetricsRegistry reg;
+  reg.counter("a").add(2);
+  reg.histogram("h").observe(9);
+  std::ostringstream metrics_csv;
+  write_csv(metrics_csv, reg);
+  EXPECT_NE(metrics_csv.str().find("type,name,value,count,min,max"),
+            std::string::npos);
+  EXPECT_NE(metrics_csv.str().find("counter,a,2"), std::string::npos);
+  EXPECT_NE(metrics_csv.str().find("histogram,h,9,1,9,9"), std::string::npos);
+
+  ProtocolTracer t(8);
+  t.record(EventKind::kMerge, "m", 4, 16);
+  std::ostringstream trace_csv;
+  write_csv(trace_csv, t);
+  EXPECT_NE(trace_csv.str().find("seq,clock,kind,name,peer,value"),
+            std::string::npos);
+  EXPECT_NE(trace_csv.str().find("0,0,merge,m,4,16"), std::string::npos);
+}
+
+// ---- End-to-end through a netFilter run -----------------------------------
+
+class ObsEndToEndTest : public ::testing::Test {
+ protected:
+  static bench::Params small_params() {
+    bench::Params p;
+    p.num_peers = 60;
+    p.num_items = 4000;
+    return p;
+  }
+};
+
+TEST_F(ObsEndToEndTest, NetFilterRunEmitsSpansMetricsAndTraffic) {
+  Context ctx;
+  bench::Env env(small_params(), &ctx);
+  const auto res = env.run_netfilter(/*g=*/50, /*f=*/3);
+  ASSERT_GT(res.stats.num_frequent, 0u);
+
+  // One span per phase, with the whole-run span enclosing them.
+  const Json spans = spans_json(ctx.tracer);
+  std::vector<std::string> names;
+  for (const auto& s : spans.as_array()) {
+    names.push_back(s.at("name").as_string());
+  }
+  for (const char* phase :
+       {"host-report", "filtering", "dissemination", "aggregation",
+        "netfilter"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), phase), names.end())
+        << phase;
+  }
+
+  // The engine counted every metered message.
+  EXPECT_EQ(ctx.registry.counter("engine/sent").value(),
+            env.meter.num_messages());
+  EXPECT_GT(ctx.registry.counter("convergecast/merges").value(), 0u);
+  EXPECT_GT(ctx.registry.counter("multicast/forwards").value(), 0u);
+  EXPECT_EQ(ctx.registry.counter("netfilter/frequent").value(),
+            res.stats.num_frequent);
+  EXPECT_GT(ctx.registry.histogram("engine/msg_bytes").count(), 0u);
+
+  // Traffic JSON agrees with the meter it was built from.
+  const Json traffic = to_json(env.meter);
+  EXPECT_EQ(traffic.at("total_bytes").as_uint64(), env.meter.total());
+  std::uint64_t matrix_sum = 0;
+  for (const auto& row : traffic.at("peer_category_bytes").as_array()) {
+    for (const auto& cell : row.as_array()) matrix_sum += cell.as_uint64();
+  }
+  EXPECT_EQ(matrix_sum, env.meter.total());
+}
+
+TEST_F(ObsEndToEndTest, DisabledObsChangesNothing) {
+  bench::Env with(small_params(), nullptr);
+  const auto base = with.run_netfilter(50, 3);
+  Context ctx;
+  bench::Env instrumented(small_params(), &ctx);
+  const auto traced = instrumented.run_netfilter(50, 3);
+  // Instrumentation must not perturb the protocol: identical results/costs.
+  EXPECT_EQ(base.stats.num_frequent, traced.stats.num_frequent);
+  EXPECT_EQ(base.stats.heavy_groups_total, traced.stats.heavy_groups_total);
+  EXPECT_DOUBLE_EQ(base.stats.total_cost(), traced.stats.total_cost());
+  EXPECT_EQ(with.meter.total(), instrumented.meter.total());
+}
+
+TEST_F(ObsEndToEndTest, JsonReportRoundTripsThroughFile) {
+  const std::string path = "obs_test_report.json";
+  {
+    bench::Cli cli;
+    cli.json = path;
+    bench::JsonReport report(cli, "obs_test");
+    report.params_from(small_params());
+    bench::Env env(small_params(), report.obs());
+    const auto res = env.run_netfilter(50, 3);
+    report.capture_traffic(env.meter);
+    Json row = bench::to_json(res.stats);
+    row["g"] = 50;
+    report.row(std::move(row));
+    ASSERT_TRUE(report.write());
+  }
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const Json doc = Json::parse(buffer.str());
+  std::remove(path.c_str());
+
+  EXPECT_EQ(doc.at("schema_version").as_uint64(), kSchemaVersion);
+  EXPECT_EQ(doc.at("bench").as_string(), "obs_test");
+  EXPECT_EQ(doc.at("params").at("num_peers").as_uint64(), 60u);
+  ASSERT_EQ(doc.at("results").size(), 1u);
+  const Json& row = doc.at("results").as_array()[0];
+  EXPECT_EQ(row.at("g").as_uint64(), 50u);
+  EXPECT_TRUE(row.contains("filtering_cost"));
+  // Per-category per-peer costs in the traffic section match the stats row.
+  EXPECT_DOUBLE_EQ(
+      doc.at("traffic").at("per_peer").at("filtering").as_double(),
+      row.at("filtering_cost").as_double());
+  EXPECT_DOUBLE_EQ(
+      doc.at("traffic").at("per_peer").at("aggregation").as_double(),
+      row.at("aggregation_cost").as_double());
+  // At least one span per netFilter phase made it into the report.
+  std::vector<std::string> names;
+  for (const auto& s : doc.at("spans").as_array()) {
+    names.push_back(s.at("name").as_string());
+  }
+  for (const char* phase : {"filtering", "dissemination", "aggregation"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), phase), names.end())
+        << phase;
+  }
+  EXPECT_GT(doc.at("trace").at("events").size(), 0u);
+}
+
+}  // namespace
+}  // namespace nf::obs
