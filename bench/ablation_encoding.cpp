@@ -17,6 +17,7 @@ int main(int argc, char** argv) {
 
   bench::Params params;
   params.seed = cli.seed;
+  params.threads = cli.threads;
   bench::Env env(params);
   const Value t = env.threshold();
   const std::uint32_t g = 100;

@@ -23,6 +23,7 @@ int main(int argc, char** argv) {
   params.num_peers = 500;  // keep gossip rounds affordable
   params.num_items = 20000;
   params.seed = cli.seed;
+  params.threads = cli.threads;
   bench::Env env(params);
   {
     Rng rng(cli.seed + 99);

@@ -18,6 +18,7 @@ int main(int argc, char** argv) {
   params.num_peers = 500;
   params.num_items = 50000;
   params.seed = cli.seed;
+  params.threads = cli.threads;
   bench::Env env(params);
   {
     // Gossip needs a connected, non-tree overlay to mix.

@@ -14,6 +14,7 @@ int main(int argc, char** argv) {
   params.num_peers = 500;  // keep heavy-loss runs quick
   params.num_items = 50000;
   params.seed = cli.seed;
+  params.threads = cli.threads;
   bench::Env env(params);
   const Value t = env.threshold();
   const auto oracle = env.workload.frequent_items(t);

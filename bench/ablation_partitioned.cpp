@@ -16,6 +16,7 @@ int main(int argc, char** argv) {
 
   bench::Params params;
   params.seed = cli.seed;
+  params.threads = cli.threads;
   bench::Env env(params);
   {
     // A connected graph gives the replicas genuinely different trees.

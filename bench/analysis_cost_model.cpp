@@ -19,6 +19,7 @@ int main(int argc, char** argv) {
 
   bench::Params params;
   params.seed = cli.seed;
+  params.threads = cli.threads;
   bench::Env env(params);
   const WireSizes wire;
   const auto r =

@@ -39,6 +39,10 @@ struct Params {
   double theta = 0.01;               ///< threshold ratio
   std::uint32_t fanout = 3;          ///< b
   std::uint64_t seed = 42;
+  /// Engine shards (--threads=K). Results are bit-identical for any value
+  /// (the sharded schedule equals the serial one — DESIGN.md §6c); recorded
+  /// in the JSON report so archived numbers state how they were produced.
+  std::uint32_t threads = 1;
 };
 
 /// Workload + overlay + hierarchy, built once and shared across a sweep.
@@ -74,6 +78,7 @@ struct Env {
     core::NetFilterConfig cfg;
     cfg.num_groups = g;
     cfg.num_filters = f;
+    cfg.threads = params.threads;
     cfg.obs = obs;
     const core::NetFilter nf(cfg);
     return nf.run(workload, hierarchy, overlay, meter, threshold());
@@ -96,6 +101,7 @@ struct Env {
 struct Cli {
   bool quick = false;
   std::uint64_t seed = 42;
+  std::uint32_t threads = 1;  ///< --threads=K engine shards (determinism-safe)
   std::string json;  ///< --json=PATH; empty disables the JSON report
 
   static Cli parse(int argc, char** argv) {
@@ -106,11 +112,20 @@ struct Cli {
         cli.quick = true;
       } else if (arg.rfind("--seed=", 0) == 0) {
         cli.seed = std::stoull(std::string(arg.substr(7)));
+      } else if (arg.rfind("--threads=", 0) == 0) {
+        cli.threads = static_cast<std::uint32_t>(
+            std::stoul(std::string(arg.substr(10))));
+        if (cli.threads == 0) {
+          std::cerr << "--threads must be >= 1\n";
+          std::exit(2);
+        }
       } else if (arg.rfind("--json=", 0) == 0) {
         cli.json = std::string(arg.substr(7));
       } else if (arg == "--help" || arg == "-h") {
         std::cout << "flags: --quick (scale 10^6-item runs down 10x), "
-                     "--seed=S, --json=PATH (write observability report)\n";
+                     "--seed=S, --threads=K (engine shards; results are "
+                     "identical for any K), --json=PATH (write "
+                     "observability report)\n";
         std::exit(0);
       } else {
         std::cerr << "unknown flag: " << arg << "\n";
@@ -184,6 +199,7 @@ class JsonReport {
     param("alpha", obs::Json(p.alpha));
     param("theta", obs::Json(p.theta));
     param("fanout", obs::Json(p.fanout));
+    param("threads", obs::Json(p.threads));  // schema v2: always recorded
   }
 
   void row(obs::Json r) {

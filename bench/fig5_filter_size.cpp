@@ -17,6 +17,7 @@ int main(int argc, char** argv) {
 
   bench::Params params;
   params.seed = cli.seed;
+  params.threads = cli.threads;
   bench::JsonReport report(cli, "fig5_filter_size");
   report.params_from(params);
   report.param("f", obs::Json(3u));

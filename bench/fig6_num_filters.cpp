@@ -13,6 +13,7 @@ int main(int argc, char** argv) {
 
   bench::Params params;
   params.seed = cli.seed;
+  params.threads = cli.threads;
   bench::JsonReport report(cli, "fig6_num_filters");
   report.params_from(params);
   report.param("g", obs::Json(100u));

@@ -9,7 +9,7 @@
 namespace {
 
 void sweep(std::uint64_t num_items, std::uint32_t g, std::uint32_t f,
-           std::uint64_t seed, std::string_view panel,
+           const nf::bench::Cli& cli, std::string_view panel,
            nf::bench::JsonReport& report) {
   using namespace nf;
   TableWriter table({"alpha", "netFilter", "naive", "ratio", "frequent"},
@@ -18,7 +18,8 @@ void sweep(std::uint64_t num_items, std::uint32_t g, std::uint32_t f,
     bench::Params params;
     params.num_items = num_items;
     params.alpha = alpha;
-    params.seed = seed;
+    params.seed = cli.seed;
+    params.threads = cli.threads;
     bench::Env env(params, report.obs());
     const auto nf_res = env.run_netfilter(g, f);
     // Snapshot before run_naive resets the shared meter.
@@ -50,11 +51,11 @@ int main(int argc, char** argv) {
 
   bench::banner("Figure 7(a): n = 10^5, netFilter at (g=100, f=3)",
                 "netFilter far below naive; both decrease with skewness");
-  sweep(100000, 100, 3, cli.seed, "7a", report);
+  sweep(100000, 100, 3, cli, "7a", report);
 
   bench::banner("Figure 7(b): n = 10^6, netFilter at (g=100, f=5)",
                 "netFilter at 2-5% of naive across the sweep");
-  sweep(cli.large_n(), 100, 5, cli.seed, "7b", report);
+  sweep(cli.large_n(), 100, 5, cli, "7b", report);
   if (cli.quick) {
     std::cout << "# (--quick: n scaled to 10^5; run without --quick for "
                  "the paper's n=10^6)\n";

@@ -31,6 +31,7 @@ int main(int argc, char** argv) {
     params.num_items = cli.large_n();
     params.alpha = alpha;
     params.seed = cli.seed;
+    params.threads = cli.threads;
 
     double cost[3] = {0, 0, 0};
     double naive_cost = 0;

@@ -3,7 +3,11 @@
 // given wall-clock budget.
 #include <benchmark/benchmark.h>
 
+#include <map>
+#include <unordered_map>
+
 #include "agg/hll.h"
+#include "common/arena.h"
 #include "common/hashing.h"
 #include "net/codec.h"
 #include "common/value_map.h"
@@ -141,6 +145,61 @@ void BM_WorkloadGenerate(benchmark::State& state) {
 }
 BENCHMARK(BM_WorkloadGenerate)->Arg(10000)->Arg(100000)
     ->Unit(benchmark::kMillisecond);
+
+// --- per-peer state fixtures: PeerArena vs the node-based maps it replaced.
+// Protocols keep per-peer state for every peer in a fixed [0, N) id space;
+// the access pattern that matters is delivery order, which is effectively
+// scattered across peers. Each iteration does one read-modify-write per peer
+// in a hashed (scattered) order, so the three fixtures differ only in the
+// container: dense arena slot vs tree map vs hash map.
+
+void BM_PeerStateArena(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  PeerArena<std::uint64_t> arena(n, 0);
+  for (auto _ : state) {
+    for (std::uint32_t i = 0; i < n; ++i) {
+      const auto p = static_cast<std::uint32_t>(fmix64(i) % n);
+      arena[PeerId(p)] += i;
+    }
+    benchmark::DoNotOptimize(arena.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_PeerStateArena)->Arg(1000)->Arg(10000);
+
+void BM_PeerStateTreeMap(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  std::map<std::uint32_t, std::uint64_t> peers;
+  for (std::uint32_t p = 0; p < n; ++p) peers.emplace(p, 0);
+  for (auto _ : state) {
+    for (std::uint32_t i = 0; i < n; ++i) {
+      const auto p = static_cast<std::uint32_t>(fmix64(i) % n);
+      peers[p] += i;
+    }
+    benchmark::DoNotOptimize(peers);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_PeerStateTreeMap)->Arg(1000)->Arg(10000);
+
+void BM_PeerStateHashMap(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  std::unordered_map<std::uint32_t, std::uint64_t> peers;
+  peers.reserve(n);
+  for (std::uint32_t p = 0; p < n; ++p) peers.emplace(p, 0);
+  for (auto _ : state) {
+    for (std::uint32_t i = 0; i < n; ++i) {
+      const auto p = static_cast<std::uint32_t>(fmix64(i) % n);
+      peers[p] += i;
+    }
+    benchmark::DoNotOptimize(peers);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_PeerStateHashMap)->Arg(1000)->Arg(10000);
 
 // --- obs fixtures: the cost of instrumentation on hot paths. ---------------
 // The disabled variants measure the single-branch tax paid by every

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "agg/hierarchy.h"
+#include "common/arena.h"
 #include "common/error.h"
 #include "common/ids.h"
 #include "net/engine.h"
@@ -32,6 +33,8 @@
 
 namespace nf::agg {
 
+/// Shard-safe: callbacks for peer p touch only state_[p]; `complete_` has a
+/// single writer (the root's shard) and is read at the round barrier.
 template <typename T>
 class Convergecast final : public net::Protocol {
  public:
@@ -125,7 +128,7 @@ class Convergecast final : public net::Protocol {
   MergeFn merge_;
   WireBytesFn wire_bytes_;
   obs::Context* obs_;
-  std::vector<State> state_;
+  PeerArena<State> state_;
   bool complete_ = false;
 };
 

@@ -12,32 +12,33 @@ PushSumGossip::PushSumGossip(std::vector<std::vector<double>> initial,
                              Config config)
     : config_(config), x_(std::move(initial)) {
   require(!x_.empty(), "push-sum needs at least one peer");
-  dimension_ = x_.front().size();
+  dimension_ = x_[0u].size();
   for (const auto& v : x_) {
     require(v.size() == dimension_, "all initial vectors must share one size");
   }
-  num_peers_ = static_cast<std::uint32_t>(x_.size());
+  num_peers_ = x_.size();
   count_.assign(num_peers_, 0.0);
-  count_[0] = 1.0;
+  count_[0u] = 1.0;
   w_.assign(num_peers_, 1.0);
   Rng master(config_.seed);
-  rng_.reserve(num_peers_);
-  for (std::uint32_t p = 0; p < num_peers_; ++p) rng_.push_back(master.fork());
+  std::vector<Rng> streams;
+  streams.reserve(num_peers_);
+  for (std::uint32_t p = 0; p < num_peers_; ++p) {
+    streams.push_back(master.fork());
+  }
+  rng_ = PeerArena<Rng>(std::move(streams));
+}
+
+void PushSumGossip::on_round_begin(std::uint64_t /*round*/) {
+  ++rounds_done_;
+  if (config_.obs != nullptr) {
+    config_.obs->tracer.record(obs::EventKind::kGossipRound, "gossip.round",
+                               obs::kNoPeer, rounds_done_);
+  }
 }
 
 void PushSumGossip::on_round(net::Context& ctx) {
   const PeerId self = ctx.self();
-  // Count whole engine rounds by watching the tick counter wrap.
-  if (ticks_this_round_ == 0) {
-    ++rounds_done_;
-    if (config_.obs != nullptr) {
-      config_.obs->tracer.record(obs::EventKind::kGossipRound, "gossip.round",
-                                 obs::kNoPeer, rounds_done_);
-    }
-  }
-  ++ticks_this_round_;
-  if (ticks_this_round_ >= ctx.overlay().num_alive()) ticks_this_round_ = 0;
-
   if (rounds_done_ > config_.rounds) return;
 
   auto& x = x_[self.value()];

@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/arena.h"
 #include "common/ids.h"
 #include "common/rng.h"
 #include "net/engine.h"
@@ -26,6 +27,9 @@
 
 namespace nf::agg {
 
+/// Shard-safe: each peer's (x, count, w) triple and its private RNG stream
+/// live in dense arenas and are touched only by that peer's callbacks; the
+/// round counter advances in on_round_begin on the engine thread.
 class PushSumGossip final : public net::Protocol {
  public:
   struct Config {
@@ -45,6 +49,7 @@ class PushSumGossip final : public net::Protocol {
   /// estimates 1/N so `estimate_sum` needs no out-of-band peer count.
   PushSumGossip(std::vector<std::vector<double>> initial, Config config);
 
+  void on_round_begin(std::uint64_t round) override;
   void on_round(net::Context& ctx) override;
   void on_message(net::Context& ctx, net::Envelope&& env) override;
   [[nodiscard]] bool active() const override {
@@ -75,12 +80,11 @@ class PushSumGossip final : public net::Protocol {
 
   Config config_;
   std::size_t dimension_;
-  std::vector<std::vector<double>> x_;  // per-peer value vector
-  std::vector<double> count_;           // per-peer "1 at peer 0" coordinate
-  std::vector<double> w_;               // per-peer weight
-  std::vector<Rng> rng_;                // per-peer independent randomness
+  PeerArena<std::vector<double>> x_;  // per-peer value vector
+  PeerArena<double> count_;           // per-peer "1 at peer 0" coordinate
+  PeerArena<double> w_;               // per-peer weight
+  PeerArena<Rng> rng_;                // per-peer independent randomness
   std::uint32_t rounds_done_{0};
-  std::uint64_t ticks_this_round_{0};
   std::uint32_t num_peers_{0};
 };
 

@@ -37,6 +37,7 @@
 #include <vector>
 
 #include "agg/hierarchy.h"
+#include "common/arena.h"
 #include "common/ids.h"
 #include "net/engine.h"
 
@@ -109,7 +110,9 @@ class HierarchyMaintenance final : public net::Protocol {
 
   PeerId root_;
   Config config_;
-  std::vector<PeerState> state_;
+  // Shard-safe by message-passing discipline: a peer's callbacks write only
+  // its own slot; cross-peer effects (ATTACH/DETACH) travel as messages.
+  PeerArena<PeerState> state_;
 };
 
 }  // namespace nf::agg

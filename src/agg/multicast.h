@@ -8,12 +8,14 @@
 #pragma once
 
 #include <any>
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <utility>
 #include <vector>
 
 #include "agg/hierarchy.h"
+#include "common/arena.h"
 #include "common/error.h"
 #include "common/ids.h"
 #include "net/engine.h"
@@ -21,6 +23,8 @@
 
 namespace nf::agg {
 
+/// Shard-safe: per-peer receipt flags live in a byte arena and the reach
+/// count is a commutative atomic.
 template <typename T>
 class Multicast final : public net::Protocol {
  public:
@@ -53,18 +57,20 @@ class Multicast final : public net::Protocol {
   }
 
   [[nodiscard]] bool active() const override {
-    return num_received_ < hierarchy_.num_members();
+    return num_received() < hierarchy_.num_members();
   }
 
   [[nodiscard]] bool complete() const { return !active(); }
 
   /// Number of members that have received the payload so far.
-  [[nodiscard]] std::uint32_t num_received() const { return num_received_; }
+  [[nodiscard]] std::uint32_t num_received() const {
+    return num_received_.load(std::memory_order_relaxed);
+  }
 
  private:
   void deliver(net::Context& ctx, PeerId p, const T& payload) {
     received_[p.value()] = true;
-    ++num_received_;
+    num_received_.fetch_add(1, std::memory_order_relaxed);
     on_receive_(p, payload);
     const auto& downstream = hierarchy_.downstream(p);
     if (obs_ != nullptr && !downstream.empty()) {
@@ -83,8 +89,8 @@ class Multicast final : public net::Protocol {
   std::uint64_t wire_bytes_;
   ReceiveFn on_receive_;
   obs::Context* obs_;
-  std::vector<bool> received_;
-  std::uint32_t num_received_{0};
+  PeerArena<bool> received_;
+  std::atomic<std::uint32_t> num_received_{0};
 };
 
 }  // namespace nf::agg

@@ -36,6 +36,37 @@ namespace nf {
   return fmix64(key ^ fmix64(seed));
 }
 
+/// SplitMix64-style finalizer (one multiply, partial avalanche). Cheaper
+/// than fmix64 where only a few well-mixed bits are consumed afterwards —
+/// per-link latency draws, per-transmission loss draws.
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t h) {
+  h ^= h >> 29;
+  h *= 0xBF58476D1CE4E5B9ull;
+  h ^= h >> 32;
+  return h;
+}
+
+/// Order-independent seeded hash of an unordered peer pair — the canonical
+/// way to derive a deterministic per-link quantity (e.g. a link delay)
+/// from two endpoints.
+[[nodiscard]] constexpr std::uint64_t link_hash(std::uint64_t seed, PeerId a,
+                                                PeerId b) {
+  const std::uint64_t lo =
+      a.value() < b.value() ? a.value() : b.value();
+  const std::uint64_t hi =
+      a.value() < b.value() ? b.value() : a.value();
+  return mix64(seed ^ (lo * 0x9E3779B97F4A7C15ull) ^ (hi << 32));
+}
+
+/// Uniform double in [0, 1) from a seeded counter — a stateless random
+/// stream. Unlike a sequential Rng, draw i is independent of how many other
+/// draws happened before it, which is what makes per-transmission loss
+/// decisions identical between serial and sharded engine runs.
+[[nodiscard]] constexpr double hash_uniform(std::uint64_t counter,
+                                            std::uint64_t seed) {
+  return static_cast<double>(hash64(counter, seed) >> 11) * 0x1.0p-53;
+}
+
 /// FNV-1a over bytes, for hashing application-level string keys (keywords,
 /// byte sequences) into the 64-bit ItemId space.
 [[nodiscard]] inline std::uint64_t hash_bytes(std::string_view bytes,

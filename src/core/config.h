@@ -37,6 +37,9 @@ struct NetFilterConfig {
   net::LinkFaultModel fault{};
   /// Engine round budget per protocol phase (safety net, not a tuning knob).
   std::uint64_t max_rounds_per_phase = 100000;
+  /// Shards/threads for the engines driving each phase (1 = serial). Any
+  /// value yields bit-identical results — see net/engine.h.
+  std::uint32_t threads = 1;
   /// Optional observability sink (not owned; may be null). When set, the
   /// run emits phase spans, per-protocol counters and engine traffic
   /// metrics into it; when null the instrumentation costs one branch.

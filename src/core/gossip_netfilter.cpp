@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "agg/gossip.h"
+#include "common/arena.h"
 #include "common/error.h"
 #include "net/flood.h"
 #include "obs/context.h"
@@ -17,6 +18,8 @@ namespace {
 /// space — halving and adding — which ValueMap<ItemId, double> provides;
 /// the support union emerges as shares mix. The hidden `count` coordinate
 /// (1 at the initiator) turns averages into sums, as in agg::PushSumGossip.
+/// Shard-safe the same way: per-peer arenas, round counting on the engine
+/// thread via on_round_begin.
 class MapPushSum final : public net::Protocol {
  public:
   using Map = ValueMap<ItemId, double>;
@@ -28,30 +31,29 @@ class MapPushSum final : public net::Protocol {
         wire_(wire),
         obs_(obs),
         rounds_(rounds),
-        num_peers_(static_cast<std::uint32_t>(x_.size())) {
+        num_peers_(x_.size()) {
     count_.assign(num_peers_, 0.0);
     count_[initiator.value()] = 1.0;
     w_.assign(num_peers_, 1.0);
     Rng master(seed);
-    rng_.reserve(num_peers_);
+    std::vector<Rng> streams;
+    streams.reserve(num_peers_);
     for (std::uint32_t p = 0; p < num_peers_; ++p) {
-      rng_.push_back(master.fork());
+      streams.push_back(master.fork());
+    }
+    rng_ = PeerArena<Rng>(std::move(streams));
+  }
+
+  void on_round_begin(std::uint64_t /*round*/) override {
+    ++rounds_done_;
+    if (obs_ != nullptr) {
+      obs_->tracer.record(obs::EventKind::kGossipRound, "gossip.round",
+                          obs::kNoPeer, rounds_done_);
     }
   }
 
   void on_round(net::Context& ctx) override {
     const PeerId self = ctx.self();
-    if (ticks_this_round_ == 0) {
-      ++rounds_done_;
-      if (obs_ != nullptr) {
-        obs_->tracer.record(obs::EventKind::kGossipRound, "gossip.round",
-                            obs::kNoPeer, rounds_done_);
-      }
-    }
-    ++ticks_this_round_;
-    if (ticks_this_round_ >= ctx.overlay().num_alive()) {
-      ticks_this_round_ = 0;
-    }
     if (rounds_done_ > rounds_) return;
 
     const auto targets = ctx.overlay().alive_neighbors(self);
@@ -112,16 +114,15 @@ class MapPushSum final : public net::Protocol {
     double w;
   };
 
-  std::vector<Map> x_;
-  std::vector<double> count_;
-  std::vector<double> w_;
-  std::vector<Rng> rng_;
+  PeerArena<Map> x_;
+  PeerArena<double> count_;
+  PeerArena<double> w_;
+  PeerArena<Rng> rng_;
   WireSizes wire_;
   obs::Context* obs_ = nullptr;
   std::uint32_t rounds_;
   std::uint32_t num_peers_;
   std::uint32_t rounds_done_{0};
-  std::uint64_t ticks_this_round_{0};
 };
 
 }  // namespace
@@ -178,6 +179,7 @@ GossipNetFilterResult GossipNetFilter::run(
     // into the next stage's protocol.
     obs::ScopedPhase span(config_.obs, "gossip.phase1");
     net::Engine engine(overlay, meter);
+    engine.set_threads(config_.threads);
     engine.set_fault_model(config_.fault);
     engine.set_obs(config_.obs);
     result.stats.rounds +=
@@ -228,6 +230,7 @@ GossipNetFilterResult GossipNetFilter::run(
   {
     obs::ScopedPhase span(config_.obs, "gossip.flood");
     net::Engine engine(overlay, meter);
+    engine.set_threads(config_.threads);
     engine.set_fault_model(config_.fault);
     engine.set_obs(config_.obs);
     result.stats.rounds +=
@@ -247,6 +250,7 @@ GossipNetFilterResult GossipNetFilter::run(
   {
     obs::ScopedPhase span(config_.obs, "gossip.phase2");
     net::Engine engine(overlay, meter);
+    engine.set_threads(config_.threads);
     engine.set_fault_model(config_.fault);
     engine.set_obs(config_.obs);
     result.stats.rounds +=

@@ -53,6 +53,9 @@ struct GossipNetFilterConfig {
   /// Link fault model (loss 0 by default); with loss > 0 the engine's
   /// reliability layer keeps push-sum mass conservation intact.
   net::LinkFaultModel fault{};
+  /// Shards/threads for the engines driving each stage (1 = serial). Any
+  /// value yields bit-identical results — see net/engine.h.
+  std::uint32_t threads = 1;
   /// Optional observability sink (not owned; may be null). When set, each
   /// stage emits a phase span and the engines/protocols record metrics.
   obs::Context* obs = nullptr;

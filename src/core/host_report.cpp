@@ -7,7 +7,10 @@ EffectiveItems::EffectiveItems(const ItemSource& base,
                                const net::Overlay& overlay,
                                const WireSizes& wire,
                                net::TrafficMeter* meter)
-    : base_(base), hierarchy_(hierarchy) {
+    : base_(base),
+      hierarchy_(hierarchy),
+      merged_(base.num_peers()),
+      has_merged_(base.num_peers(), false) {
   for (std::uint32_t p = 0; p < base.num_peers(); ++p) {
     const PeerId id(p);
     if (hierarchy.is_member(id) || !overlay.is_alive(id)) continue;
@@ -19,16 +22,17 @@ EffectiveItems::EffectiveItems(const ItemSource& base,
       meter->record(id, net::TrafficCategory::kHostReport,
                     items.size() * wire.item_value_pair());
     }
-    auto [it, inserted] = merged_.try_emplace(host);
-    if (inserted) it->second = base.local_items(host);
-    it->second.merge_add(items);
+    if (!has_merged_[host]) {
+      has_merged_[host] = true;
+      merged_[host] = base.local_items(host);
+    }
+    merged_[host].merge_add(items);
   }
 }
 
 const LocalItems& EffectiveItems::local_items(PeerId p) const {
   if (!hierarchy_.is_member(p)) return empty_;
-  const auto it = merged_.find(p);
-  return it != merged_.end() ? it->second : base_.local_items(p);
+  return has_merged_[p] ? merged_[p] : base_.local_items(p);
 }
 
 }  // namespace nf::core

@@ -13,10 +13,10 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "agg/hierarchy.h"
+#include "common/arena.h"
 #include "common/item_source.h"
 #include "common/wire.h"
 #include "net/metrics.h"
@@ -45,8 +45,11 @@ class EffectiveItems final : public ItemSource {
  private:
   const ItemSource& base_;
   const agg::Hierarchy& hierarchy_;
-  // Members that host at least one reporter get a merged copy here.
-  std::unordered_map<PeerId, LocalItems> merged_;
+  // Members that host at least one reporter get a merged copy here. Dense
+  // arenas keep local_items() an O(1) indexed read on the round hot path
+  // (it is called from every shard during candidate filtering).
+  PeerArena<LocalItems> merged_;
+  PeerArena<bool> has_merged_;
   LocalItems empty_;
   std::uint32_t num_reporters_{0};
 };

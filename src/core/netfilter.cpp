@@ -5,6 +5,7 @@
 
 #include "agg/convergecast.h"
 #include "agg/multicast.h"
+#include "common/arena.h"
 #include "common/error.h"
 #include "core/host_report.h"
 #include "net/codec.h"
@@ -101,6 +102,7 @@ HeavyGroupSet NetFilter::filter_candidates(const ItemSource& items,
       config_.obs);
 
   net::Engine engine(overlay, meter);
+  engine.set_threads(config_.threads);
   engine.set_fault_model(config_.fault);
   engine.set_obs(config_.obs);
   const std::uint64_t rounds =
@@ -160,8 +162,10 @@ NetFilterResult NetFilter::verify_candidates(
   // (lines 3-4). The downward wave strictly precedes the upward one — no
   // peer can contribute before it has the heavy list — so the two protocols
   // run back to back.
+  // Per-peer slots written from the receiving peer's shard; the flags are a
+  // byte arena so neighbors never share a written byte.
   std::vector<LocalItems> partial(overlay.num_peers());
-  std::vector<bool> ready(overlay.num_peers(), false);
+  PeerArena<bool> ready(overlay.num_peers(), false);
 
   agg::Multicast<HeavyGroupSet> down(
       hierarchy, net::TrafficCategory::kDissemination, heavy,
@@ -170,11 +174,12 @@ NetFilterResult NetFilter::verify_candidates(
       [&](PeerId p, const HeavyGroupSet& hg) {
         partial[p.value()] =
             materialize_candidates(items.local_items(p), hg);
-        ready[p.value()] = true;
+        ready[p] = true;
       },
       config_.obs);
 
   net::Engine engine(overlay, meter);
+  engine.set_threads(config_.threads);
   engine.set_fault_model(config_.fault);
   engine.set_obs(config_.obs);
   std::uint64_t down_rounds = 0;
@@ -188,7 +193,7 @@ NetFilterResult NetFilter::verify_candidates(
       hierarchy, net::TrafficCategory::kAggregation,
       /*local=*/
       [&](PeerId p) {
-        ensure(ready[p.value()], "peer aggregating before materialization");
+        ensure(ready[p] != 0, "peer aggregating before materialization");
         return std::move(partial[p.value()]);
       },
       /*merge=*/

@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <any>
+#include <atomic>
 #include <cmath>
+#include <cstdint>
 #include <optional>
 
+#include "common/arena.h"
 #include "common/error.h"
 
 namespace nf::core {
@@ -27,15 +30,17 @@ class RequestsUp final : public net::Protocol {
              std::uint64_t request_bytes)
       : hierarchy_(hierarchy),
         requests_(requests),
-        request_bytes_(request_bytes) {}
+        request_bytes_(request_bytes),
+        started_(requests.size(), 0) {}
 
   void on_round(net::Context& ctx) override {
     // The engine calls on_round for every alive peer every round, so each
-    // requester originates its own request(s) in round 0.
-    if (started_.empty()) started_.resize(requests_.size(), false);
+    // requester originates its own request(s) in round 0. One byte per
+    // request (not vector<bool>): only the requester's shard touches its
+    // requests' flags, and bytes keep those writes race-free.
     for (std::size_t i = 0; i < requests_.size(); ++i) {
-      if (started_[i] || requests_[i].requester != ctx.self()) continue;
-      started_[i] = true;
+      if (started_[i] != 0 || requests_[i].requester != ctx.self()) continue;
+      started_[i] = 1;
       forward(ctx,
               Arrived{requests_[i].requester, requests_[i].theta, {}});
     }
@@ -69,7 +74,9 @@ class RequestsUp final : public net::Protocol {
   const agg::Hierarchy& hierarchy_;
   const std::vector<FrequentItemsRequest>& requests_;
   std::uint64_t request_bytes_;
-  std::vector<bool> started_;
+  std::vector<std::uint8_t> started_;
+  // Root-shard only: requests arrive via on_message at the root, so there
+  // is a single writer and the engine barrier publishes it.
   std::vector<Arrived> arrived_;
 };
 
@@ -88,6 +95,10 @@ class RepliesDown final : public net::Protocol {
         pair_bytes_(pair_bytes),
         expected_(outbox_.size()) {}
 
+  void on_run_start(const net::Overlay& overlay) override {
+    if (delivered_.empty()) delivered_.resize(overlay.num_peers());
+  }
+
   void on_round(net::Context& ctx) override {
     if (ctx.self() != hierarchy_.root() || sent_) return;
     sent_ = true;
@@ -104,17 +115,26 @@ class RepliesDown final : public net::Protocol {
   }
 
   [[nodiscard]] bool active() const override {
-    return delivered_.size() < expected_;
+    return delivered_count_.load(std::memory_order_relaxed) < expected_;
   }
+  /// Delivered responses in requester id order (per-requester arrival
+  /// order within a requester); the caller re-sorts by request position.
   [[nodiscard]] std::vector<FrequentItemsResponse> take_delivered() {
-    return std::move(delivered_);
+    std::vector<FrequentItemsResponse> out;
+    for (auto& per_peer : delivered_) {
+      for (auto& response : per_peer) out.push_back(std::move(response));
+    }
+    return out;
   }
 
  private:
   void dispatch(net::Context& ctx, Pending&& pending) {
     if (pending.route.empty()) {
       ensure(ctx.self() == pending.response.requester, "reply misrouted");
-      delivered_.push_back(std::move(pending.response));
+      // Replies land in the requester's own arena slot, so concurrent
+      // arrivals at requesters in different shards never share state.
+      delivered_[ctx.self()].push_back(std::move(pending.response));
+      delivered_count_.fetch_add(1, std::memory_order_relaxed);
       return;
     }
     const PeerId next = pending.route.back();
@@ -130,7 +150,8 @@ class RepliesDown final : public net::Protocol {
   std::uint64_t pair_bytes_;
   std::size_t expected_;
   bool sent_ = false;
-  std::vector<FrequentItemsResponse> delivered_;
+  PeerArena<std::vector<FrequentItemsResponse>> delivered_;
+  std::atomic<std::size_t> delivered_count_{0};
 };
 
 }  // namespace

@@ -1,10 +1,19 @@
 #include "net/engine.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "common/error.h"
+#include "common/hashing.h"
 
 namespace nf::net {
+
+std::uint32_t LatencyModel::delay(PeerId a, PeerId b) const {
+  if (min_delay == max_delay) return min_delay;
+  const std::uint64_t h = link_hash(seed, a, b);
+  return min_delay +
+         static_cast<std::uint32_t>(h % (max_delay - min_delay + 1));
+}
 
 std::uint64_t Context::round() const { return engine_.round(); }
 
@@ -20,23 +29,37 @@ bool Context::is_alive(PeerId p) const {
 
 void Context::send(PeerId to, TrafficCategory category, std::uint64_t bytes,
                    std::any payload) {
-  engine_.meter().record(self_, category, bytes);
-  engine_.enqueue(protocol_index_,
-                  Envelope{self_, to, category, bytes, std::move(payload)});
+  outbox_->push_back(KeyedSend{
+      major_, next_minor_++, /*is_ack=*/0, protocol_index_,
+      /*ack_msg_id=*/0,
+      Envelope{self_, to, category, bytes, std::move(payload)}});
 }
 
 Engine::Engine(Overlay& overlay, TrafficMeter& meter)
     : overlay_(overlay), meter_(meter) {
   require(meter.num_peers() == overlay.num_peers(),
           "meter and overlay disagree on peer count");
+  transit_ring_.resize(2);  // delay-1 traffic: drain bucket r, fill r+1
+}
+
+void Engine::set_threads(std::uint32_t threads) {
+  require(threads >= 1, "threads must be >= 1");
+  if (threads == threads_) return;
+  threads_ = threads;
+  pool_.reset();
+  // The engine thread drives one shard itself, so K shards need K-1 workers.
+  if (threads_ > 1) pool_ = std::make_unique<ShardPool>(threads_ - 1);
 }
 
 void Engine::set_latency_model(const LatencyModel& model) {
   require(model.min_delay >= 1, "latency must be at least one round");
   require(model.max_delay >= model.min_delay,
           "max_delay must be >= min_delay");
+  require(in_transit_ == 0,
+          "cannot change the latency model with messages in transit");
   latency_ = model;
   latency_on_ = model.max_delay > 1;
+  transit_ring_.assign(std::max<std::size_t>(2, model.max_delay + 1), {});
 }
 
 void Engine::set_fault_model(const LinkFaultModel& model) {
@@ -46,7 +69,6 @@ void Engine::set_fault_model(const LinkFaultModel& model) {
   require(model.max_retries >= 1, "max_retries must be >= 1");
   fault_ = model;
   lossy_ = model.loss_probability > 0.0;
-  fault_rng_.reseed(model.seed);
 }
 
 void Engine::set_obs(obs::Context* obs) {
@@ -64,89 +86,201 @@ void Engine::set_obs(obs::Context* obs) {
   obs_msg_bytes_ = &obs->registry.histogram("engine/msg_bytes");
 }
 
-void Engine::enqueue(std::size_t protocol_index, Envelope&& env) {
-  if (obs_ != nullptr) {
-    obs_sent_->add(1);
-    obs_msg_bytes_->observe(env.bytes);
-  }
-  Outgoing out{protocol_index, std::move(env), 0, false, PeerId(0)};
-  if (lossy_) {
-    // Register for retransmission until acknowledged.
-    out.msg_id = next_msg_id_++;
-    pending_.emplace(
-        out.msg_id,
-        Pending{out, round_ + fault_.retransmit_after, /*attempts=*/1});
-  }
-  if (latency_on_) {
-    const std::uint32_t d =
-        latency_.delay(out.envelope.from, out.envelope.to);
-    if (d > 1) {
-      // Sends of round r with delay d arrive at round r + d; the outbox
-      // covers d == 1.
-      delayed_[round_ + d].push_back(std::move(out));
-      return;
-    }
-  }
-  outbox_.push_back(std::move(out));
+void Engine::set_send_probe(std::function<void(const Envelope&)> probe) {
+  send_probe_ = std::move(probe);
 }
 
-void Engine::deliver(std::span<Protocol* const> protocols, Outgoing&& out) {
-  if (!overlay_.is_alive(out.envelope.to)) {
-    ++dropped_;
-    return;
-  }
-  if (lossy_ && fault_rng_.chance(fault_.loss_probability)) {
-    ++lost_;  // the link ate it; the retransmission timer will cover it
-    return;
-  }
-  if (out.is_ack) {
-    pending_.erase(out.msg_id);
-    return;
-  }
-  if (lossy_ && out.msg_id != 0) {
-    // Acknowledge receipt (the ACK itself is lossy too). The ACK travels
-    // outside any protocol: protocol_index is irrelevant for is_ack.
-    meter_.record(out.envelope.to, TrafficCategory::kControl,
-                  fault_.ack_bytes);
-    Outgoing ack{out.protocol_index,
-                 Envelope{out.envelope.to, out.envelope.from,
-                          TrafficCategory::kControl, fault_.ack_bytes, {}},
-                 out.msg_id, true, out.envelope.from};
-    outbox_.push_back(std::move(ack));
-    // Exactly-once delivery: retransmitted duplicates stop here.
-    if (!seen_.insert(out.msg_id).second) {
-      ++duplicates_;
+std::vector<Engine::Outgoing>& Engine::bucket_at(std::uint64_t round) {
+  return transit_ring_[static_cast<std::size_t>(round % transit_ring_.size())];
+}
+
+void Engine::ack_received(PeerId original_sender, std::uint64_t msg_id) {
+  auto& list = pending_by_sender_[original_sender.value()];
+  for (std::size_t i = 0; i < list.size(); ++i) {
+    if (list[i].message.msg_id == msg_id) {
+      list.erase(list.begin() + i);
+      --pending_count_;
       return;
     }
   }
-  ensure(out.protocol_index < protocols.size(), "bad protocol index");
-  if (obs_ != nullptr) obs_delivered_->add(1);
-  Context ctx(*this, out.envelope.to, out.protocol_index);
-  protocols[out.protocol_index]->on_message(ctx, std::move(out.envelope));
+  // Unmatched ACK: a duplicate for a message already acknowledged.
+}
+
+void Engine::predispatch(std::span<Protocol* const> protocols,
+                         std::vector<Outgoing>&& inbox,
+                         const ShardPlan& plan) {
+  engine_sends_.clear();
+  for (auto& sc : shards_) {
+    sc.inq.clear();
+    sc.outbox.clear();
+  }
+  for (std::size_t i = 0; i < inbox.size(); ++i) {
+    Outgoing& out = inbox[i];
+    // Messages to peers that died in transit are dropped (the network does
+    // not buffer for the dead).
+    if (!overlay_.is_alive(out.envelope.to)) {
+      ++dropped_;
+      continue;
+    }
+    if (out.lost) {
+      ++lost_;  // the link ate it; the retransmission timer will cover it
+      continue;
+    }
+    if (out.is_ack) {
+      ack_received(out.envelope.to, out.msg_id);
+      continue;
+    }
+    if (lossy_ && out.msg_id != 0) {
+      // Acknowledge receipt — even for duplicates, so the sender stops
+      // retransmitting. The ACK travels outside any protocol and is itself
+      // lossy; it finalizes at this round's barrier with key (i, 0), ahead
+      // of anything the handler of message i sends.
+      engine_sends_.push_back(Context::KeyedSend{
+          static_cast<std::uint64_t>(i), 0, /*is_ack=*/1, out.protocol_index,
+          out.msg_id,
+          Envelope{out.envelope.to, out.envelope.from,
+                   TrafficCategory::kControl, fault_.ack_bytes, {}}});
+      // Exactly-once delivery: retransmitted duplicates stop here.
+      auto& seen = seen_by_receiver_[out.envelope.to.value()];
+      const auto it = std::lower_bound(seen.begin(), seen.end(), out.msg_id);
+      if (it != seen.end() && *it == out.msg_id) {
+        ++duplicates_;
+        continue;
+      }
+      seen.insert(it, out.msg_id);
+    }
+    ensure(out.protocol_index < protocols.size(), "bad protocol index");
+    shards_[plan.shard_of(out.envelope.to)].inq.push_back(
+        Delivery{static_cast<std::uint64_t>(i), std::move(out)});
+  }
+}
+
+void Engine::run_shard(std::span<Protocol* const> protocols,
+                       std::uint32_t shard, const ShardPlan& plan,
+                       std::uint64_t tick_base) {
+  ShardScratch& sc = shards_[shard];
+  for (Delivery& d : sc.inq) {
+    if (obs_ != nullptr) obs_delivered_->add(1);
+    Context ctx(*this, d.out.envelope.to, d.out.protocol_index, &sc.outbox,
+                /*major=*/d.index, /*first_minor=*/1);
+    protocols[d.out.protocol_index]->on_message(ctx,
+                                                std::move(d.out.envelope));
+  }
+  const std::uint64_t num_peers = overlay_.num_peers();
+  for (std::size_t pi = 0; pi < protocols.size(); ++pi) {
+    for (std::uint32_t peer = plan.begin(shard); peer < plan.end(shard);
+         ++peer) {
+      if (!overlay_.is_alive(PeerId(peer))) continue;
+      Context ctx(*this, PeerId(peer), pi, &sc.outbox,
+                  /*major=*/tick_base + pi * num_peers + peer,
+                  /*first_minor=*/0);
+      protocols[pi]->on_round(ctx);
+    }
+  }
+}
+
+void Engine::admit(Outgoing&& out) {
+  // One loss draw per transmission from a counter-keyed hash stream; the
+  // decision is made at admission (canonical order) and applied at
+  // delivery, so it is independent of the shard count.
+  if (lossy_) {
+    out.lost = hash_uniform(next_transmission_++, fault_.seed) <
+               fault_.loss_probability;
+  }
+  if (send_probe_) send_probe_(out.envelope);
+  std::uint32_t d = 1;
+  if (latency_on_) d = latency_.delay(out.envelope.from, out.envelope.to);
+  bucket_at(round_ + d).push_back(std::move(out));
+  ++in_transit_;
+}
+
+void Engine::merge_and_finalize() {
+  merge_scratch_.clear();
+  std::size_t total = engine_sends_.size();
+  for (const auto& sc : shards_) total += sc.outbox.size();
+  merge_scratch_.reserve(total);
+  for (auto& ks : engine_sends_) merge_scratch_.push_back(std::move(ks));
+  for (auto& sc : shards_) {
+    for (auto& ks : sc.outbox) merge_scratch_.push_back(std::move(ks));
+  }
+  // Canonical order. Keys are unique (ACKs take minor 0 of their delivery
+  // slot, handler sends start at 1), so this is a total order identical to
+  // the serial engine's send order.
+  std::sort(merge_scratch_.begin(), merge_scratch_.end(),
+            [](const Context::KeyedSend& a, const Context::KeyedSend& b) {
+              return a.major != b.major ? a.major < b.major
+                                        : a.minor < b.minor;
+            });
+
+  // Finalize in order: meter charges are batched per (sender, category)
+  // run so a fan-out to many destinations costs one meter update per
+  // batch, not per message.
+  PeerId batch_from{};
+  TrafficCategory batch_cat{};
+  std::uint64_t batch_bytes = 0;
+  std::uint64_t batch_msgs = 0;
+  const auto flush = [&] {
+    if (batch_msgs != 0) {
+      meter_.record_batch(batch_from, batch_cat, batch_bytes, batch_msgs);
+      batch_bytes = 0;
+      batch_msgs = 0;
+    }
+  };
+  for (auto& ks : merge_scratch_) {
+    if (batch_msgs != 0 && (ks.envelope.from != batch_from ||
+                            ks.envelope.category != batch_cat)) {
+      flush();
+    }
+    batch_from = ks.envelope.from;
+    batch_cat = ks.envelope.category;
+    batch_bytes += ks.envelope.bytes;
+    ++batch_msgs;
+    if (obs_ != nullptr) {
+      obs_sent_->add(1);
+      obs_msg_bytes_->observe(ks.envelope.bytes);
+    }
+    Outgoing out{ks.protocol_index, std::move(ks.envelope),
+                 /*msg_id=*/0, ks.is_ack != 0, /*lost=*/false};
+    if (out.is_ack) {
+      out.msg_id = ks.ack_msg_id;
+    } else if (lossy_) {
+      // Register for retransmission until acknowledged. The pending copy
+      // stays pristine (lost is drawn per transmission in admit()).
+      out.msg_id = next_msg_id_++;
+      pending_by_sender_[out.envelope.from.value()].push_back(
+          Pending{out, round_ + fault_.retransmit_after, /*attempts=*/1});
+      ++pending_count_;
+    }
+    admit(std::move(out));
+  }
+  flush();
 }
 
 void Engine::scan_retransmissions() {
-  if (!lossy_ || pending_.empty()) return;
-  // Deterministic order: collect due ids, sort, resend.
-  std::vector<std::uint64_t> due;
-  for (const auto& [id, p] : pending_) {
-    if (p.next_retry <= round_) due.push_back(id);
-  }
-  std::sort(due.begin(), due.end());
-  for (std::uint64_t id : due) {
-    auto it = pending_.find(id);
-    Pending& p = it->second;
-    if (p.attempts > fault_.max_retries) {
-      ++given_up_;
-      pending_.erase(it);
-      continue;
+  if (!lossy_ || pending_count_ == 0) return;
+  // Deterministic order: senders in id order, each sender's unacked
+  // messages in send (= msg id) order.
+  for (auto& list : pending_by_sender_) {
+    for (std::size_t i = 0; i < list.size();) {
+      Pending& p = list[i];
+      if (p.next_retry > round_) {
+        ++i;
+        continue;
+      }
+      if (p.attempts > fault_.max_retries) {
+        ++given_up_;
+        --pending_count_;
+        list.erase(list.begin() + i);
+        continue;
+      }
+      ++p.attempts;
+      ++retransmissions_;
+      p.next_retry = round_ + fault_.retransmit_after;
+      meter_.record(p.message.envelope.from, p.message.envelope.category,
+                    p.message.envelope.bytes);
+      admit(Outgoing{p.message});  // copy; the pending entry keeps the original
+      ++i;
     }
-    ++p.attempts;
-    ++retransmissions_;
-    p.next_retry = round_ + fault_.retransmit_after;
-    meter_.record(p.message.envelope.from, p.message.envelope.category,
-                  p.message.envelope.bytes);
-    outbox_.push_back(p.message);  // copy; pending_ keeps the original
   }
 }
 
@@ -161,6 +295,13 @@ std::uint64_t Engine::run(std::span<Protocol* const> protocols,
                           const ChurnSchedule* schedule) {
   require(!protocols.empty(), "need at least one protocol");
   const std::uint64_t start_round = round_;
+  const ShardPlan plan(overlay_.num_peers(), threads_);
+  shards_.resize(plan.num_shards());
+  if (lossy_) {
+    pending_by_sender_.resize(overlay_.num_peers());
+    seen_by_receiver_.resize(overlay_.num_peers());
+  }
+  for (Protocol* p : protocols) p->on_run_start(overlay_);
   for (std::uint64_t executed = 0; executed < max_rounds; ++executed) {
     // 0. Stamp the round boundary: advance the tracer's logical clock so
     // every event recorded during this round carries it.
@@ -168,7 +309,7 @@ std::uint64_t Engine::run(std::span<Protocol* const> protocols,
       obs_->tracer.advance_clock();
       obs_rounds_->add(1);
       obs_->tracer.record(obs::EventKind::kRound, "engine.round",
-                          obs::kNoPeer, in_flight_.size());
+                          obs::kNoPeer, bucket_at(round_).size());
     }
 
     // 1. Apply churn scheduled for this round.
@@ -181,47 +322,44 @@ std::uint64_t Engine::run(std::span<Protocol* const> protocols,
       }
     }
 
-    // 2. Deliver messages sent last round. Messages to peers that died in
-    // the meantime are dropped (the network does not buffer for the dead).
-    std::vector<Outgoing> inbox;
-    inbox.swap(in_flight_);
-    if (latency_on_) {
-      const auto due = delayed_.find(round_);
-      if (due != delayed_.end()) {
-        for (auto& out : due->second) inbox.push_back(std::move(out));
-        delayed_.erase(due);
+    // 2. Whole-round protocol bookkeeping, engine thread.
+    for (Protocol* p : protocols) p->on_round_begin(round_);
+
+    // 3. Predispatch this round's arrivals: drops, loss, ACK accounting and
+    // duplicate suppression happen here on the engine thread; survivors are
+    // routed to the destination peer's shard tagged with their inbox index.
+    std::vector<Outgoing> inbox = std::move(bucket_at(round_));
+    bucket_at(round_).clear();
+    in_transit_ -= inbox.size();
+    const auto tick_base = static_cast<std::uint64_t>(inbox.size());
+    predispatch(protocols, std::move(inbox), plan);
+
+    // 4. Parallel phase: deliver + tick each shard's peers.
+    if (pool_ != nullptr && plan.num_shards() > 1) {
+      pool_->dispatch(plan.num_shards(), [&](std::uint32_t k) {
+        run_shard(protocols, k, plan, tick_base);
+      });
+    } else {
+      for (std::uint32_t k = 0; k < plan.num_shards(); ++k) {
+        run_shard(protocols, k, plan, tick_base);
       }
     }
-    for (auto& out : inbox) {
-      deliver(protocols, std::move(out));
-    }
 
-    // 3. Reliability layer: resend what was not acknowledged in time.
+    // 5. Barrier merge: order every send canonically, charge the meter,
+    // admit to the network. Sends made during round r travel from r+1 on.
+    merge_and_finalize();
+
+    // 6. Reliability layer: resend what was not acknowledged in time.
     scan_retransmissions();
 
-    // 4. Per-round tick for every alive peer, every protocol.
-    for (std::size_t pi = 0; pi < protocols.size(); ++pi) {
-      for (std::uint32_t peer = 0; peer < overlay_.num_peers(); ++peer) {
-        if (!overlay_.is_alive(PeerId(peer))) continue;
-        Context ctx(*this, PeerId(peer), pi);
-        protocols[pi]->on_round(ctx);
-      }
-    }
-
-    // 5. Sends made during this round travel next round.
-    in_flight_.swap(outbox_);
-    outbox_.clear();
     ++round_;
 
-    // 6. Quiescence check. Under the fault model, unacknowledged messages
+    // 7. Quiescence check. Under the fault model, unacknowledged messages
     // keep the engine alive until they are delivered or given up on.
     const bool any_active =
         std::any_of(protocols.begin(), protocols.end(),
                     [](const Protocol* p) { return p->active(); });
-    if (in_flight_.empty() && !any_active && pending_.empty() &&
-        delayed_.empty()) {
-      break;
-    }
+    if (in_transit_ == 0 && !any_active && pending_count_ == 0) break;
   }
   return round_ - start_round;
 }

@@ -1,24 +1,42 @@
-// Round-based message-passing engine.
+// Round-based message-passing engine with a sharded, parallel-ready core.
 //
 // The simulator advances in synchronous rounds, the standard model for
 // evaluating P2P aggregation protocols: a message sent in round r is
-// delivered at the start of round r+1 if its destination is then alive.
-// Protocols are state machines over peers: the engine calls
-// `on_round(ctx)` once per alive peer per round and `on_message(ctx, env)`
-// for each delivered envelope. Several protocols can run concurrently (e.g.
-// heartbeats alongside an aggregation); envelopes are routed back to the
-// protocol that sent them.
+// delivered at the start of round r+1 (or later under the latency model) if
+// its destination is then alive. Protocols are state machines over peers:
+// the engine calls `on_round(ctx)` once per alive peer per round and
+// `on_message(ctx, env)` for each delivered envelope. Several protocols can
+// run concurrently (e.g. heartbeats alongside an aggregation); envelopes
+// are routed back to the protocol that sent them.
 //
-// Determinism: peers are visited in id order, inboxes are delivered in send
-// order, and churn events fire at fixed rounds, so a run is a pure function
-// of (topology, workload, schedule, seeds).
+// Execution model (serial and sharded runs share one code path):
+//   1. churn + round bookkeeping              (engine thread)
+//   2. predispatch: drops, loss, ACK/dup
+//      bookkeeping; route deliveries to the
+//      destination peer's shard               (engine thread)
+//   3. deliver + tick each shard's peers      (worker pool, K shards)
+//   4. barrier merge: order every send by its
+//      canonical key, then charge the meter
+//      and admit it to the network            (engine thread)
+//
+// Determinism contract: a K-shard run is bit-identical to the serial run —
+// same envelope stream, same meter totals, same protocol results. The
+// engine guarantees its half by (a) sharding peers into contiguous id
+// ranges, (b) tagging every send with a canonical (major, minor) key —
+// delivery index or tick slot, plus per-callback sequence — and merging
+// shard outboxes in key order at the barrier, (c) keeping all shared
+// bookkeeping (meter, reliability, latency, msg ids) on the engine thread,
+// and (d) drawing loss decisions from a stateless counter-keyed hash
+// stream instead of a sequential RNG. Protocols supply the other half; see
+// DESIGN.md "Execution model" for the rules (per-peer state in arenas,
+// commutative shared counters, per-peer RNG streams).
 #pragma once
 
 #include <algorithm>
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <span>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "common/ids.h"
@@ -27,6 +45,7 @@
 #include "net/envelope.h"
 #include "net/metrics.h"
 #include "net/overlay.h"
+#include "net/shard.h"
 #include "obs/context.h"
 
 namespace nf::net {
@@ -42,6 +61,10 @@ namespace nf::net {
 /// exactly-once — so every protocol in the library runs unmodified over
 /// lossy links, paying for the losses in bytes and rounds instead of
 /// correctness. `bench/ablation_loss` measures that price.
+///
+/// Loss draws come from a per-transmission hash stream keyed by (seed,
+/// transmission counter), so they are independent of delivery order and
+/// identical across serial and sharded runs.
 struct LinkFaultModel {
   double loss_probability = 0.0;
   std::uint32_t ack_bytes = 4;
@@ -60,24 +83,14 @@ struct LatencyModel {
   std::uint32_t max_delay = 1;
   std::uint64_t seed = 0x1A7E9C1ull;
 
-  [[nodiscard]] std::uint32_t delay(PeerId a, PeerId b) const {
-    if (min_delay == max_delay) return min_delay;
-    // Order-independent per-link hash.
-    const std::uint64_t lo = std::min(a.value(), b.value());
-    const std::uint64_t hi = std::max(a.value(), b.value());
-    std::uint64_t h = seed ^ (lo * 0x9E3779B97F4A7C15ull) ^ (hi << 32);
-    h ^= h >> 29;
-    h *= 0xBF58476D1CE4E5B9ull;
-    h ^= h >> 32;
-    return min_delay +
-           static_cast<std::uint32_t>(h % (max_delay - min_delay + 1));
-  }
+  [[nodiscard]] std::uint32_t delay(PeerId a, PeerId b) const;
 };
 
 class Engine;
 
-/// Per-peer view handed to protocol callbacks. Sends are charged to the
-/// meter immediately and delivered next round.
+/// Per-peer view handed to protocol callbacks. Sends are buffered in the
+/// executing shard's outbox, then metered and admitted to the network in
+/// canonical order at the round barrier.
 class Context {
  public:
   [[nodiscard]] PeerId self() const { return self_; }
@@ -86,25 +99,65 @@ class Context {
   [[nodiscard]] const std::vector<PeerId>& neighbors() const;
   [[nodiscard]] bool is_alive(PeerId p) const;
 
-  /// Queues a message for delivery at the next round and meters its bytes.
+  /// Queues a message for delivery at the next round (later under the
+  /// latency model); its bytes are metered at the round barrier.
   void send(PeerId to, TrafficCategory category, std::uint64_t bytes,
             std::any payload = {});
 
  private:
   friend class Engine;
-  Context(Engine& engine, PeerId self, std::size_t protocol_index)
-      : engine_(engine), self_(self), protocol_index_(protocol_index) {}
+
+  /// A buffered send tagged with its canonical merge key. `major` is the
+  /// slot of the callback that produced it (delivery index or tick slot),
+  /// `minor` the send's sequence within that callback — together a total
+  /// order identical to the serial engine's send order.
+  struct KeyedSend {
+    std::uint64_t major;
+    std::uint32_t minor;
+    std::uint32_t is_ack;      // engine-generated ACK (predispatch only)
+    std::size_t protocol_index;
+    std::uint64_t ack_msg_id;  // msg id being acknowledged (ACKs only)
+    Envelope envelope;
+  };
+
+  Context(Engine& engine, PeerId self, std::size_t protocol_index,
+          std::vector<KeyedSend>* outbox, std::uint64_t major,
+          std::uint32_t first_minor)
+      : engine_(engine),
+        self_(self),
+        protocol_index_(protocol_index),
+        outbox_(outbox),
+        major_(major),
+        next_minor_(first_minor) {}
 
   Engine& engine_;
   PeerId self_;
   std::size_t protocol_index_;
+  std::vector<KeyedSend>* outbox_;
+  std::uint64_t major_;
+  std::uint32_t next_minor_;
 };
 
 /// A distributed protocol: one instance drives all peers (per-peer state
-/// lives inside the protocol, indexed by PeerId).
+/// lives inside the protocol, indexed by the dense peer id).
+///
+/// Sharded execution: on_round/on_message for peers of different shards run
+/// concurrently. A protocol is shard-safe iff callbacks for peer p touch
+/// only p's slots in dense per-peer arenas (common/arena.h) plus, at most,
+/// commutative atomic accumulators. Every protocol in this library is
+/// shard-safe; the full authoring contract is in DESIGN.md.
 class Protocol {
  public:
   virtual ~Protocol() = default;
+
+  /// Called once per run() on the engine thread before the first round;
+  /// size per-peer arenas here.
+  virtual void on_run_start(const Overlay& /*overlay*/) {}
+
+  /// Called once per round on the engine thread, after churn and before
+  /// any delivery or tick — the place for whole-round bookkeeping that
+  /// must not live in per-peer callbacks (e.g. a gossip round counter).
+  virtual void on_round_begin(std::uint64_t /*round*/) {}
 
   /// Called once per alive peer per round, after message delivery.
   virtual void on_round(Context& /*ctx*/) {}
@@ -140,6 +193,13 @@ class Engine {
   /// Messages dropped because the destination was dead on delivery.
   [[nodiscard]] std::uint64_t dropped_messages() const { return dropped_; }
 
+  /// Runs protocol callbacks on `threads` shards (1 = serial, the default).
+  /// Any K produces bit-identical results; K > 1 spawns K-1 pool workers
+  /// (the engine thread drives the remaining shard). Must be called before
+  /// run().
+  void set_threads(std::uint32_t threads);
+  [[nodiscard]] std::uint32_t threads() const { return threads_; }
+
   /// Enables the lossy-link model. Must be called before run().
   void set_fault_model(const LinkFaultModel& model);
 
@@ -153,6 +213,12 @@ class Engine {
   /// lookup.
   void set_obs(obs::Context* obs);
 
+  /// Observes every transmission the engine admits to the network (data,
+  /// ACKs and retransmissions alike), in canonical order — the hook the
+  /// golden determinism tests record envelope streams through. Pass an
+  /// empty function to detach.
+  void set_send_probe(std::function<void(const Envelope&)> probe);
+
   /// Diagnostics for the reliability layer (0 when the model is off).
   [[nodiscard]] std::uint64_t lost_transmissions() const { return lost_; }
   [[nodiscard]] std::uint64_t retransmissions() const {
@@ -165,23 +231,46 @@ class Engine {
 
  private:
   friend class Context;
+
+  /// A transmission admitted to the network, waiting for its delivery
+  /// round.
   struct Outgoing {
     std::size_t protocol_index;
     Envelope envelope;
-    std::uint64_t msg_id = 0;   // 0 = unreliable (model off) or ACK
+    std::uint64_t msg_id = 0;  // reliability id; 0 = unreliable or unset
     bool is_ack = false;
-    PeerId ack_to{0};           // for ACKs: the original sender
+    bool lost = false;  // loss drawn at admission, applied at delivery
   };
 
+  /// An unacknowledged reliable message, kept per sender for retransmit.
   struct Pending {
-    Outgoing message;           // full copy for retransmission
+    Outgoing message;  // pristine copy (lost flag clear)
     std::uint64_t next_retry;
     std::uint32_t attempts;
   };
 
-  void enqueue(std::size_t protocol_index, Envelope&& env);
-  void deliver(std::span<Protocol* const> protocols, Outgoing&& out);
+  /// A delivery routed to a shard: `index` is the message's position in
+  /// this round's inbox — the major key for sends its handler makes.
+  struct Delivery {
+    std::uint64_t index;
+    Outgoing out;
+  };
+
+  struct ShardScratch {
+    std::vector<Delivery> inq;
+    std::vector<Context::KeyedSend> outbox;
+  };
+
+  void predispatch(std::span<Protocol* const> protocols,
+                   std::vector<Outgoing>&& inbox, const ShardPlan& plan);
+  void run_shard(std::span<Protocol* const> protocols, std::uint32_t shard,
+                 const ShardPlan& plan, std::uint64_t tick_base);
+  void merge_and_finalize();
+  void admit(Outgoing&& out);
   void scan_retransmissions();
+  void ack_received(PeerId original_sender, std::uint64_t msg_id);
+  [[nodiscard]] bool draw_loss();
+  [[nodiscard]] std::vector<Outgoing>& bucket_at(std::uint64_t round);
 
   Overlay& overlay_;
   TrafficMeter& meter_;
@@ -190,23 +279,36 @@ class Engine {
   obs::Counter* obs_delivered_ = nullptr;
   obs::Counter* obs_rounds_ = nullptr;
   obs::Histogram* obs_msg_bytes_ = nullptr;
-  std::vector<Outgoing> in_flight_;
-  std::vector<Outgoing> outbox_;
-  // Messages scheduled for rounds beyond the next one (latency > 1),
-  // keyed by absolute delivery round.
-  std::unordered_map<std::uint64_t, std::vector<Outgoing>> delayed_;
+  std::function<void(const Envelope&)> send_probe_;
+
+  // Sharded execution.
+  std::uint32_t threads_ = 1;
+  std::unique_ptr<ShardPool> pool_;
+  std::vector<ShardScratch> shards_;
+  std::vector<Context::KeyedSend> engine_sends_;  // ACKs, this round
+  std::vector<Context::KeyedSend> merge_scratch_;
+
+  // Transmissions in transit, bucketed by delivery round modulo the ring
+  // size (a dense replacement for a round-keyed hash map; the ring spans
+  // the maximum link delay).
+  std::vector<std::vector<Outgoing>> transit_ring_;
+  std::uint64_t in_transit_ = 0;
+
   LatencyModel latency_{};
   bool latency_on_ = false;
   std::uint64_t round_{0};
   std::uint64_t dropped_{0};
 
-  // Reliability layer (active iff fault_.loss_probability > 0).
+  // Reliability layer (active iff fault_.loss_probability > 0). All state
+  // is dense per-peer-index: unacked messages per sender, seen reliable
+  // msg ids (sorted) per receiver.
   LinkFaultModel fault_{};
   bool lossy_ = false;
-  Rng fault_rng_{0};
   std::uint64_t next_msg_id_ = 1;
-  std::unordered_map<std::uint64_t, Pending> pending_;
-  std::unordered_set<std::uint64_t> seen_;
+  std::uint64_t next_transmission_ = 0;  // loss-stream counter
+  std::vector<std::vector<Pending>> pending_by_sender_;
+  std::uint64_t pending_count_ = 0;
+  std::vector<std::vector<std::uint64_t>> seen_by_receiver_;
   std::uint64_t lost_ = 0;
   std::uint64_t retransmissions_ = 0;
   std::uint64_t duplicates_ = 0;

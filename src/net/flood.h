@@ -10,17 +10,21 @@
 #pragma once
 
 #include <any>
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <utility>
 #include <vector>
 
+#include "common/arena.h"
 #include "common/error.h"
 #include "common/ids.h"
 #include "net/engine.h"
 
 namespace nf::net {
 
+/// Shard-safe: the seen flags are a byte arena written only by the owning
+/// peer's callbacks; the reach/copy tallies are commutative atomics.
 template <typename T>
 class Flood final : public Protocol {
  public:
@@ -39,25 +43,27 @@ class Flood final : public Protocol {
     require(ttl >= 1, "flood needs ttl >= 1");
   }
 
+  void on_run_start(const Overlay& overlay) override {
+    if (seen_.empty()) seen_.assign(overlay.num_peers(), false);
+  }
+
   void on_round(Context& ctx) override {
-    if (seen_.empty()) seen_.assign(ctx.overlay().num_peers(), false);
     const PeerId self = ctx.self();
     if (self != originator_ || seen_[self.value()]) return;
     seen_[self.value()] = true;
-    ++num_reached_;
+    num_reached_.fetch_add(1, std::memory_order_relaxed);
     on_receive_(self, payload_);
     forward(ctx, ttl_, self);
   }
 
   void on_message(Context& ctx, Envelope&& env) override {
     const PeerId self = ctx.self();
-    if (seen_.empty()) seen_.assign(ctx.overlay().num_peers(), false);
     auto* msg = std::any_cast<std::pair<std::uint32_t, T>>(&env.payload);
     ensure(msg != nullptr, "flood payload type mismatch");
-    ++num_copies_;
+    num_copies_.fetch_add(1, std::memory_order_relaxed);
     if (seen_[self.value()]) return;  // duplicate
     seen_[self.value()] = true;
-    ++num_reached_;
+    num_reached_.fetch_add(1, std::memory_order_relaxed);
     on_receive_(self, msg->second);
     if (msg->first > 0) forward(ctx, msg->first, env.from);
   }
@@ -65,14 +71,18 @@ class Flood final : public Protocol {
   [[nodiscard]] bool active() const override {
     // Flood has no natural completion signal a peer could observe; the
     // engine drains in-flight copies and stops.
-    return num_reached_ == 0;
+    return num_reached() == 0;
   }
 
   /// Peers that have processed the payload.
-  [[nodiscard]] std::uint32_t num_reached() const { return num_reached_; }
+  [[nodiscard]] std::uint32_t num_reached() const {
+    return num_reached_.load(std::memory_order_relaxed);
+  }
 
   /// Total copies received, including suppressed duplicates.
-  [[nodiscard]] std::uint64_t num_copies() const { return num_copies_; }
+  [[nodiscard]] std::uint64_t num_copies() const {
+    return num_copies_.load(std::memory_order_relaxed);
+  }
 
   [[nodiscard]] bool reached(PeerId p) const {
     return p.value() < seen_.size() && seen_[p.value()];
@@ -93,9 +103,9 @@ class Flood final : public Protocol {
   TrafficCategory category_;
   std::uint32_t ttl_;
   ReceiveFn on_receive_;
-  std::vector<bool> seen_;
-  std::uint32_t num_reached_{0};
-  std::uint64_t num_copies_{0};
+  PeerArena<bool> seen_;
+  std::atomic<std::uint32_t> num_reached_{0};
+  std::atomic<std::uint64_t> num_copies_{0};
 };
 
 }  // namespace nf::net

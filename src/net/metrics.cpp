@@ -19,6 +19,16 @@ void TrafficMeter::record(PeerId sender, TrafficCategory category,
   ++num_messages_;
 }
 
+void TrafficMeter::record_batch(PeerId sender, TrafficCategory category,
+                                std::uint64_t bytes,
+                                std::uint64_t num_messages) {
+  require(sender.value() < per_peer_.size(), "sender out of range");
+  const auto c = static_cast<std::size_t>(category);
+  per_peer_[sender.value()][c] += bytes;
+  totals_[c] += bytes;
+  num_messages_ += num_messages;
+}
+
 std::uint64_t TrafficMeter::total(TrafficCategory category) const {
   return totals_[static_cast<std::size_t>(category)];
 }

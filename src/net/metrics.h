@@ -54,6 +54,12 @@ class TrafficMeter {
 
   void record(PeerId sender, TrafficCategory category, std::uint64_t bytes);
 
+  /// Charges `num_messages` messages totalling `bytes` in one update — the
+  /// engine's barrier merge coalesces each (sender, category) run of the
+  /// round's send stream into a single call.
+  void record_batch(PeerId sender, TrafficCategory category,
+                    std::uint64_t bytes, std::uint64_t num_messages);
+
   /// Total bytes sent across all peers in one category.
   [[nodiscard]] std::uint64_t total(TrafficCategory category) const;
 

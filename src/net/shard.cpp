@@ -1,0 +1,88 @@
+#include "net/shard.h"
+
+namespace nf::net {
+
+ShardPool::ShardPool(std::uint32_t num_workers) {
+  workers_.reserve(num_workers);
+  for (std::uint32_t i = 0; i < num_workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ShardPool::~ShardPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_ready_.notify_all();
+  for (auto& t : workers_) t.join();
+}
+
+void ShardPool::worker_loop() {
+  std::uint64_t seen_generation = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_ready_.wait(lock, [&] {
+        return stop_ || generation_ != seen_generation;
+      });
+      if (stop_) return;
+      seen_generation = generation_;
+      ++active_workers_;
+    }
+    run_tasks();
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      --active_workers_;
+    }
+    work_done_.notify_one();
+  }
+}
+
+void ShardPool::run_tasks() {
+  for (;;) {
+    std::uint32_t task;
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (next_task_ >= num_tasks_) return;
+      task = next_task_++;
+    }
+    try {
+      (*fn_)(task);
+    } catch (...) {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+  }
+}
+
+void ShardPool::dispatch(std::uint32_t tasks,
+                         const std::function<void(std::uint32_t)>& fn) {
+  if (tasks == 0) return;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    fn_ = &fn;
+    num_tasks_ = tasks;
+    next_task_ = 0;
+    first_error_ = nullptr;
+    ++generation_;
+  }
+  work_ready_.notify_all();
+  // The caller participates: with K workers and K+1 shards nothing idles,
+  // and with 0 workers this degenerates to a plain serial loop.
+  run_tasks();
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    work_done_.wait(lock, [&] {
+      return active_workers_ == 0 && next_task_ >= num_tasks_;
+    });
+    fn_ = nullptr;
+    num_tasks_ = 0;
+    error = first_error_;
+    first_error_ = nullptr;
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+}  // namespace nf::net

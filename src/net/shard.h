@@ -1,0 +1,101 @@
+// Shard partitioning and the worker pool behind the parallel round engine.
+//
+// The engine splits the peer id space into K contiguous ranges ("shards")
+// and runs protocol callbacks for all peers of one shard on one worker.
+// Contiguity is what makes parallel runs bit-identical to serial ones: a
+// serial sweep over peers 0..N-1 visits exactly shard 0's peers, then shard
+// 1's, ..., so concatenating per-shard results in shard order reproduces
+// the serial order with no sorting by construction (see net/engine.h for
+// the full determinism contract).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/error.h"
+#include "common/ids.h"
+
+namespace nf::net {
+
+/// K contiguous, near-equal ranges over peer ids 0..N-1. Shard k owns
+/// [begin(k), end(k)); a peer's shard is recoverable in O(1).
+class ShardPlan {
+ public:
+  ShardPlan(std::uint32_t num_peers, std::uint32_t num_shards)
+      : num_peers_(num_peers),
+        num_shards_(num_shards == 0 ? 1 : num_shards) {
+    if (num_shards_ > num_peers_ && num_peers_ > 0) num_shards_ = num_peers_;
+    if (num_peers_ == 0) num_shards_ = 1;
+  }
+
+  [[nodiscard]] std::uint32_t num_shards() const { return num_shards_; }
+  [[nodiscard]] std::uint32_t num_peers() const { return num_peers_; }
+
+  [[nodiscard]] std::uint32_t begin(std::uint32_t shard) const {
+    return static_cast<std::uint32_t>(
+        (static_cast<std::uint64_t>(num_peers_) * shard) / num_shards_);
+  }
+  [[nodiscard]] std::uint32_t end(std::uint32_t shard) const {
+    return begin(shard + 1);
+  }
+
+  [[nodiscard]] std::uint32_t shard_of(PeerId p) const {
+    // Inverse of begin(): floor((idx * K + K - 1) / N) overshoots on range
+    // boundaries, so compute the candidate and correct by comparison.
+    const std::uint64_t idx = p.value();
+    auto shard = static_cast<std::uint32_t>((idx * num_shards_) / num_peers_);
+    while (shard + 1 < num_shards_ && idx >= begin(shard + 1)) ++shard;
+    while (shard > 0 && idx < begin(shard)) --shard;
+    return shard;
+  }
+
+ private:
+  std::uint32_t num_peers_;
+  std::uint32_t num_shards_;
+};
+
+/// Persistent worker pool: `dispatch(tasks, fn)` runs fn(k) for every
+/// k < tasks across the workers and the calling thread, returning after all
+/// complete (a full barrier). Exceptions thrown by fn are captured and the
+/// first one is rethrown on the calling thread after the barrier.
+///
+/// One pool instance serves one engine; dispatch() is not reentrant.
+class ShardPool {
+ public:
+  /// Spawns `num_workers` threads (may be 0: dispatch then runs inline).
+  explicit ShardPool(std::uint32_t num_workers);
+  ~ShardPool();
+
+  ShardPool(const ShardPool&) = delete;
+  ShardPool& operator=(const ShardPool&) = delete;
+
+  void dispatch(std::uint32_t tasks,
+                const std::function<void(std::uint32_t)>& fn);
+
+  [[nodiscard]] std::uint32_t num_workers() const {
+    return static_cast<std::uint32_t>(workers_.size());
+  }
+
+ private:
+  void worker_loop();
+  void run_tasks();
+
+  std::mutex mutex_;
+  std::condition_variable work_ready_;
+  std::condition_variable work_done_;
+  std::vector<std::thread> workers_;
+  const std::function<void(std::uint32_t)>* fn_ = nullptr;
+  std::uint32_t num_tasks_ = 0;
+  std::uint32_t next_task_ = 0;
+  std::uint32_t active_workers_ = 0;
+  std::uint64_t generation_ = 0;
+  std::exception_ptr first_error_;
+  bool stop_ = false;
+};
+
+}  // namespace nf::net

@@ -16,7 +16,9 @@
 namespace nf::obs {
 
 /// Bump when the JSON layout changes incompatibly.
-inline constexpr std::uint64_t kSchemaVersion = 1;
+/// History (docs/OBSERVABILITY.md "Schema history"): v2 adds the `threads`
+/// shard count to every bench's params object; v1 was the initial schema.
+inline constexpr std::uint64_t kSchemaVersion = 2;
 
 /// {"counters": {...}, "gauges": {...}, "histograms": {name:
 ///  {"count","sum","min","max","buckets":[{"lo","hi","count"},...]}}}

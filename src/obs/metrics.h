@@ -9,15 +9,23 @@
 // (node-based map), so hot paths can look a metric up once and increment
 // through the handle. reset() invalidates all handles.
 //
+// Thread safety: metric updates are lock-free relaxed atomics and
+// find_or_create takes a registry mutex, so protocol callbacks running on
+// the sharded engine's worker pool (net/engine.h) can share one registry.
+// Values are commutative sums/extrema, so totals are identical no matter
+// which shard incremented first. Snapshot accessors (counters(), value())
+// are meant for quiescent reads between runs, not for mid-round tearing.
+//
 // Naming convention: `<subsystem>/<metric>` (e.g. "engine/rounds",
 // "convergecast/msg_bytes"); phase wall times use `time_us/<phase>`.
 #pragma once
 
-#include <algorithm>
+#include <atomic>
 #include <bit>
 #include <cstdint>
 #include <limits>
 #include <map>
+#include <mutex>
 #include <string>
 #include <string_view>
 
@@ -25,20 +33,26 @@ namespace nf::obs {
 
 class Counter {
  public:
-  void add(std::uint64_t delta = 1) { value_ += delta; }
-  [[nodiscard]] std::uint64_t value() const { return value_; }
+  void add(std::uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
 
  private:
-  std::uint64_t value_{0};
+  std::atomic<std::uint64_t> value_{0};
 };
 
 class Gauge {
  public:
-  void set(double v) { value_ = v; }
-  [[nodiscard]] double value() const { return value_; }
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  [[nodiscard]] double value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
 
  private:
-  double value_{0.0};
+  std::atomic<double> value_{0.0};
 };
 
 /// Log2-bucketed histogram of unsigned values (message sizes, fan-outs,
@@ -50,19 +64,28 @@ class Histogram {
   static constexpr std::size_t kNumBuckets = 65;  ///< bit widths 0..64
 
   void observe(std::uint64_t v) {
-    ++buckets_[static_cast<std::size_t>(std::bit_width(v))];
-    ++count_;
-    sum_ += v;
-    min_ = std::min(min_, v);
-    max_ = std::max(max_, v);
+    buckets_[static_cast<std::size_t>(std::bit_width(v))].fetch_add(
+        1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+    update_min(v);
+    update_max(v);
   }
 
-  [[nodiscard]] std::uint64_t count() const { return count_; }
-  [[nodiscard]] std::uint64_t sum() const { return sum_; }
-  [[nodiscard]] std::uint64_t min() const { return count_ ? min_ : 0; }
-  [[nodiscard]] std::uint64_t max() const { return max_; }
+  [[nodiscard]] std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t sum() const {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t min() const {
+    return count() ? min_.load(std::memory_order_relaxed) : 0;
+  }
+  [[nodiscard]] std::uint64_t max() const {
+    return max_.load(std::memory_order_relaxed);
+  }
   [[nodiscard]] std::uint64_t bucket(std::size_t i) const {
-    return buckets_[i];
+    return buckets_[i].load(std::memory_order_relaxed);
   }
 
   /// Smallest value counted by bucket i.
@@ -77,11 +100,25 @@ class Histogram {
   }
 
  private:
-  std::uint64_t buckets_[kNumBuckets]{};
-  std::uint64_t count_{0};
-  std::uint64_t sum_{0};
-  std::uint64_t min_{std::numeric_limits<std::uint64_t>::max()};
-  std::uint64_t max_{0};
+  void update_min(std::uint64_t v) {
+    std::uint64_t cur = min_.load(std::memory_order_relaxed);
+    while (v < cur && !min_.compare_exchange_weak(
+                          cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  void update_max(std::uint64_t v) {
+    std::uint64_t cur = max_.load(std::memory_order_relaxed);
+    while (v > cur && !max_.compare_exchange_weak(
+                          cur, v, std::memory_order_relaxed)) {
+    }
+  }
+
+  std::atomic<std::uint64_t> buckets_[kNumBuckets]{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> min_{
+      std::numeric_limits<std::uint64_t>::max()};
+  std::atomic<std::uint64_t> max_{0};
 };
 
 class MetricsRegistry {
@@ -109,6 +146,7 @@ class MetricsRegistry {
 
   /// Drops every metric. Invalidates all outstanding handles.
   void reset() {
+    const std::lock_guard<std::mutex> lock(mutex_);
     counters_.clear();
     gauges_.clear();
     histograms_.clear();
@@ -116,14 +154,14 @@ class MetricsRegistry {
 
  private:
   template <typename M>
-  static typename M::mapped_type& find_or_create(M& map,
-                                                 std::string_view name) {
+  typename M::mapped_type& find_or_create(M& map, std::string_view name) {
+    const std::lock_guard<std::mutex> lock(mutex_);
     const auto it = map.find(name);
     if (it != map.end()) return it->second;
-    return map.emplace(std::string(name), typename M::mapped_type{})
-        .first->second;
+    return map.try_emplace(std::string(name)).first->second;
   }
 
+  std::mutex mutex_;
   std::map<std::string, Counter, std::less<>> counters_;
   std::map<std::string, Gauge, std::less<>> gauges_;
   std::map<std::string, Histogram, std::less<>> histograms_;

@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstdint>
+#include <mutex>
 #include <string_view>
 #include <vector>
 
@@ -53,6 +54,11 @@ struct TraceEvent {
   EventKind kind = EventKind::kMark;
 };
 
+/// Thread safety: record() may be called concurrently from the sharded
+/// engine's workers; a mutex serializes ring writes, so seq numbers stay
+/// gap-free (events from concurrently executing shards interleave in lock
+/// acquisition order, which can differ run to run — metrics and protocol
+/// results stay deterministic, trace interleaving is diagnostic only).
 class ProtocolTracer {
  public:
   explicit ProtocolTracer(std::size_t capacity = 4096)
@@ -60,6 +66,7 @@ class ProtocolTracer {
 
   void record(EventKind kind, const char* name, std::uint32_t peer = kNoPeer,
               std::uint64_t value = 0) {
+    const std::lock_guard<std::mutex> lock(mutex_);
     const TraceEvent e{total_, clock_, value, name, peer, kind};
     if (ring_.size() < capacity_) {
       ring_.push_back(e);
@@ -72,21 +79,35 @@ class ProtocolTracer {
   }
 
   /// Advances the logical clock; the engine calls this once per round.
-  void advance_clock(std::uint64_t delta = 1) { clock_ += delta; }
-  [[nodiscard]] std::uint64_t clock() const { return clock_; }
+  void advance_clock(std::uint64_t delta = 1) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    clock_ += delta;
+  }
+  [[nodiscard]] std::uint64_t clock() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return clock_;
+  }
 
   [[nodiscard]] std::size_t capacity() const { return capacity_; }
   /// Events currently held (<= capacity).
-  [[nodiscard]] std::size_t size() const { return ring_.size(); }
+  [[nodiscard]] std::size_t size() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return ring_.size();
+  }
   /// Events ever recorded, including those the ring has since overwritten.
-  [[nodiscard]] std::uint64_t total_recorded() const { return total_; }
+  [[nodiscard]] std::uint64_t total_recorded() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return total_;
+  }
   /// Events lost to wraparound.
   [[nodiscard]] std::uint64_t dropped() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
     return total_ - ring_.size();
   }
 
   /// Retained events, oldest first.
   [[nodiscard]] std::vector<TraceEvent> snapshot() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
     std::vector<TraceEvent> out;
     out.reserve(ring_.size());
     for (std::uint64_t s = total_ - ring_.size(); s < total_; ++s) {
@@ -96,12 +117,14 @@ class ProtocolTracer {
   }
 
   void clear() {
+    const std::lock_guard<std::mutex> lock(mutex_);
     ring_.clear();
     total_ = 0;
     clock_ = 0;
   }
 
  private:
+  mutable std::mutex mutex_;
   std::size_t capacity_;
   std::vector<TraceEvent> ring_;
   std::uint64_t total_{0};

@@ -1,0 +1,249 @@
+// Golden determinism suite for the sharded round engine (DESIGN.md §6c).
+//
+// The engine's contract is that the shard count is invisible: a K-shard run
+// must produce the SAME execution as the serial engine, bit for bit — the
+// same envelopes admitted in the same order (observed via set_send_probe),
+// the same meter charges, and the same protocol results. These tests pin
+// that contract for K ∈ {2, 4, 8} against K = 1, for plain runs and under
+// the adversarial engine features (link loss, latency jitter), and for the
+// full netFilter and gossip-netFilter drivers.
+#include <cstdint>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "agg/convergecast.h"
+#include "agg/hierarchy.h"
+#include "core/gossip_netfilter.h"
+#include "core/netfilter.h"
+#include "net/engine.h"
+#include "net/topology.h"
+#include "workload/workload.h"
+
+namespace nf {
+namespace {
+
+using net::Engine;
+using net::Envelope;
+using net::LatencyModel;
+using net::LinkFaultModel;
+using net::Overlay;
+using net::TrafficCategory;
+using net::TrafficMeter;
+
+// 60 peers: not a multiple of 8, so every K in {2,4,8} gets uneven
+// contiguous shards — the case where a sloppy merge would reorder sends.
+constexpr std::uint32_t kPeers = 60;
+constexpr std::uint32_t kShardCounts[] = {2, 4, 8};
+
+struct TestWorld {
+  wl::Workload workload;
+  Overlay overlay;
+  agg::Hierarchy hierarchy;
+
+  static TestWorld make() {
+    wl::WorkloadConfig wc;
+    wc.num_peers = kPeers;
+    wc.num_items = 2000;
+    wc.seed = 11;
+    wl::Workload w = wl::Workload::generate(wc);
+    Rng rng(5);
+    Overlay overlay(net::random_tree(kPeers, 3, rng));
+    agg::Hierarchy h = agg::build_bfs_hierarchy(overlay, PeerId(0));
+    return TestWorld{std::move(w), std::move(overlay), std::move(h)};
+  }
+};
+
+/// One admitted envelope, flattened for exact comparison. The payload is
+/// protocol-internal; identity of (from, to, category, bytes) in identical
+/// order pins the wire-visible execution.
+using SendRecord = std::tuple<std::uint32_t, std::uint32_t, int, std::uint64_t>;
+
+struct RunTrace {
+  std::vector<SendRecord> sends;
+  std::array<std::uint64_t, net::kNumTrafficCategories> totals{};
+  std::uint64_t num_messages = 0;
+  std::uint64_t rounds = 0;
+  std::vector<Value> result;
+};
+
+/// Runs the fig5-style phase-1 convergecast (group aggregates up the
+/// hierarchy) at the given shard count and records everything observable.
+RunTrace run_convergecast(const TestWorld& world, std::uint32_t threads,
+                          const LinkFaultModel* fault,
+                          const LatencyModel* latency) {
+  const core::NetFilter nf(core::NetFilterConfig{});
+  TrafficMeter meter(kPeers);
+  Overlay overlay = world.overlay;  // engines never mutate it, but stay safe
+  Engine engine(overlay, meter);
+  engine.set_threads(threads);
+  if (fault != nullptr) engine.set_fault_model(*fault);
+  if (latency != nullptr) engine.set_latency_model(*latency);
+
+  RunTrace trace;
+  engine.set_send_probe([&trace](const Envelope& env) {
+    trace.sends.emplace_back(env.from.value(), env.to.value(),
+                             static_cast<int>(env.category), env.bytes);
+  });
+
+  agg::Convergecast<std::vector<Value>> cast(
+      world.hierarchy, TrafficCategory::kFiltering,
+      [&](PeerId p) {
+        return nf.local_group_aggregates(world.workload.local_items(p));
+      },
+      [](std::vector<Value>& acc, std::vector<Value>&& child) {
+        for (std::size_t i = 0; i < acc.size(); ++i) acc[i] += child[i];
+      },
+      [](const std::vector<Value>&) { return std::uint64_t{128}; });
+  trace.rounds = engine.run(cast, 5000);
+  EXPECT_TRUE(cast.complete());
+  trace.result = cast.result();
+  for (std::size_t c = 0; c < net::kNumTrafficCategories; ++c) {
+    trace.totals[c] = meter.total(static_cast<TrafficCategory>(c));
+  }
+  trace.num_messages = meter.num_messages();
+  return trace;
+}
+
+void expect_identical(const RunTrace& serial, const RunTrace& sharded,
+                      std::uint32_t threads) {
+  SCOPED_TRACE(::testing::Message() << "threads=" << threads);
+  EXPECT_EQ(serial.rounds, sharded.rounds);
+  EXPECT_EQ(serial.result, sharded.result);
+  EXPECT_EQ(serial.totals, sharded.totals);
+  EXPECT_EQ(serial.num_messages, sharded.num_messages);
+  ASSERT_EQ(serial.sends.size(), sharded.sends.size());
+  // Element-wise (not one big EQ) so a failure names the first divergence.
+  for (std::size_t i = 0; i < serial.sends.size(); ++i) {
+    ASSERT_EQ(serial.sends[i], sharded.sends[i]) << "send index " << i;
+  }
+}
+
+TEST(DeterminismTest, ShardedConvergecastIsBitIdenticalToSerial) {
+  const TestWorld world = TestWorld::make();
+  const RunTrace serial = run_convergecast(world, 1, nullptr, nullptr);
+  ASSERT_FALSE(serial.sends.empty());
+  for (const std::uint32_t k : kShardCounts) {
+    expect_identical(serial, run_convergecast(world, k, nullptr, nullptr), k);
+  }
+}
+
+TEST(DeterminismTest, LossyLinksPreserveTheSendStream) {
+  const TestWorld world = TestWorld::make();
+  LinkFaultModel fault;
+  fault.loss_probability = 0.25;
+  fault.seed = 99;
+  const RunTrace serial = run_convergecast(world, 1, &fault, nullptr);
+  // Loss forces retransmissions and ACK traffic through the probe too.
+  EXPECT_GT(serial.totals[static_cast<std::size_t>(TrafficCategory::kControl)],
+            0u);
+  for (const std::uint32_t k : kShardCounts) {
+    expect_identical(serial, run_convergecast(world, k, &fault, nullptr), k);
+  }
+}
+
+TEST(DeterminismTest, LatencyJitterPreservesTheSendStream) {
+  const TestWorld world = TestWorld::make();
+  LatencyModel latency;
+  latency.min_delay = 1;
+  latency.max_delay = 4;
+  latency.seed = 7;
+  const RunTrace serial = run_convergecast(world, 1, nullptr, &latency);
+  for (const std::uint32_t k : kShardCounts) {
+    expect_identical(serial, run_convergecast(world, k, nullptr, &latency), k);
+  }
+}
+
+TEST(DeterminismTest, LossPlusLatencyPreservesTheSendStream) {
+  const TestWorld world = TestWorld::make();
+  LinkFaultModel fault;
+  fault.loss_probability = 0.15;
+  fault.seed = 3;
+  LatencyModel latency;
+  latency.min_delay = 1;
+  latency.max_delay = 3;
+  latency.seed = 21;
+  const RunTrace serial = run_convergecast(world, 1, &fault, &latency);
+  for (const std::uint32_t k : kShardCounts) {
+    expect_identical(serial, run_convergecast(world, k, &fault, &latency), k);
+  }
+}
+
+TEST(DeterminismTest, NetFilterEndToEndMatchesSerial) {
+  const TestWorld world = TestWorld::make();
+  const Value t = world.workload.threshold_for(0.01);
+
+  const auto run_at = [&](std::uint32_t threads) {
+    core::NetFilterConfig cfg;
+    cfg.num_groups = 40;
+    cfg.num_filters = 2;
+    cfg.threads = threads;
+    const core::NetFilter nf(cfg);
+    TrafficMeter meter(kPeers);
+    Overlay overlay = world.overlay;
+    core::NetFilterResult r =
+        nf.run(world.workload, world.hierarchy, overlay, meter, t);
+    return std::make_tuple(std::move(r), meter.total(), meter.num_messages());
+  };
+
+  const auto [serial, serial_bytes, serial_msgs] = run_at(1);
+  for (const std::uint32_t k : kShardCounts) {
+    SCOPED_TRACE(::testing::Message() << "threads=" << k);
+    const auto [sharded, bytes, msgs] = run_at(k);
+    EXPECT_EQ(serial_bytes, bytes);
+    EXPECT_EQ(serial_msgs, msgs);
+    EXPECT_EQ(serial.stats.heavy_groups_total, sharded.stats.heavy_groups_total);
+    EXPECT_EQ(serial.stats.num_candidates, sharded.stats.num_candidates);
+    EXPECT_EQ(serial.stats.rounds_filtering, sharded.stats.rounds_filtering);
+    EXPECT_EQ(serial.stats.rounds_verification,
+              sharded.stats.rounds_verification);
+    ASSERT_EQ(serial.frequent.size(), sharded.frequent.size());
+    auto it = sharded.frequent.begin();
+    for (const auto& [id, v] : serial.frequent) {
+      EXPECT_EQ(id, it->first);
+      EXPECT_EQ(v, it->second);
+      ++it;
+    }
+  }
+}
+
+TEST(DeterminismTest, GossipNetFilterMatchesSerial) {
+  const TestWorld world = TestWorld::make();
+  const Value t = world.workload.threshold_for(0.02);
+
+  const auto run_at = [&](std::uint32_t threads) {
+    core::GossipNetFilterConfig cfg;
+    cfg.num_groups = 32;
+    cfg.num_filters = 2;
+    cfg.phase1_rounds = 30;
+    cfg.phase2_rounds = 30;
+    cfg.threads = threads;
+    const core::GossipNetFilter gnf(cfg);
+    TrafficMeter meter(kPeers);
+    Overlay overlay = world.overlay;
+    core::GossipNetFilterResult r =
+        gnf.run(world.workload, overlay, PeerId(0), meter, t);
+    return std::make_tuple(std::move(r), meter.total(), meter.num_messages());
+  };
+
+  const auto [serial, serial_bytes, serial_msgs] = run_at(1);
+  for (const std::uint32_t k : kShardCounts) {
+    SCOPED_TRACE(::testing::Message() << "threads=" << k);
+    const auto [sharded, bytes, msgs] = run_at(k);
+    EXPECT_EQ(serial_bytes, bytes);
+    EXPECT_EQ(serial_msgs, msgs);
+    EXPECT_EQ(serial.stats.heavy_groups_total, sharded.stats.heavy_groups_total);
+    EXPECT_EQ(serial.stats.rounds, sharded.stats.rounds);
+    ASSERT_EQ(serial.reported.size(), sharded.reported.size());
+    auto it = sharded.reported.begin();
+    for (const auto& [id, v] : serial.reported) {
+      EXPECT_EQ(id, it->first);
+      EXPECT_EQ(v, it->second);
+      ++it;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace nf
