@@ -8,10 +8,14 @@
 // Flags (shared): --quick scales the 10^6-item experiments down 10x for CI
 // runs; --seed=S changes the master seed; --json=PATH writes an
 // obs::ExportBundle document (schema docs/OBSERVABILITY.md) with the sweep
-// rows, traffic breakdown, metrics and protocol trace.
+// rows, traffic breakdown, metrics, protocol trace, per-round series and
+// cost-model conformance; --trace-out=PATH writes a Chrome/Perfetto
+// trace-event file of the same run; --trace-cap=N (or the NF_TRACE_CAP env
+// var) sizes the tracer ring.
 #pragma once
 
 #include <cstdint>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -22,12 +26,14 @@
 
 #include "agg/hierarchy.h"
 #include "common/table.h"
+#include "core/cost_model.h"
 #include "core/naive.h"
 #include "core/netfilter.h"
 #include "net/topology.h"
 #include "obs/context.h"
 #include "obs/export.h"
 #include "obs/json.h"
+#include "obs/trace_event.h"
 #include "workload/workload.h"
 
 namespace nf::bench {
@@ -81,7 +87,35 @@ struct Env {
     cfg.threads = params.threads;
     cfg.obs = obs;
     const core::NetFilter nf(cfg);
-    return nf.run(workload, hierarchy, overlay, meter, threshold());
+    core::NetFilterResult result =
+        nf.run(workload, hierarchy, overlay, meter, threshold());
+    annotate_conformance(result.stats, cfg, g, f);
+    return result;
+  }
+
+  /// Extends the Formula-1 conformance run NetFilter::run just recorded
+  /// with the workload-dependent annotations core cannot compute: the
+  /// Formula 4 false-positive prediction (advisory — it is an expectation
+  /// over filter seeds, one run is one draw) and the Formula 3/6 optimal
+  /// g and f for these parameters.
+  void annotate_conformance(const core::NetFilterStats& s,
+                            const core::NetFilterConfig& cfg, std::uint32_t g,
+                            std::uint32_t f) {
+    namespace cm = core::cost_model;
+    if (obs == nullptr || obs->conformance.num_runs() == 0) return;
+    const auto n_items = static_cast<double>(workload.num_distinct());
+    const auto r = static_cast<double>(s.num_frequent);
+    obs->conformance.add_check(
+        "F4.fp2", cm::expected_fp2(n_items, r, g, f),
+        static_cast<double>(s.num_false_positives), /*gated=*/false);
+    obs->conformance.set_param(
+        "g_opt",
+        cm::optimal_num_groups(workload.avg_light_value(s.threshold),
+                               params.theta, workload.avg_global_value()));
+    if (g >= 2) {
+      obs->conformance.set_param(
+          "f_opt", cm::optimal_num_filters(cfg.wire, n_items, r, g));
+    }
   }
 
   [[nodiscard]] core::NaiveResult run_naive() {
@@ -102,7 +136,9 @@ struct Cli {
   bool quick = false;
   std::uint64_t seed = 42;
   std::uint32_t threads = 1;  ///< --threads=K engine shards (determinism-safe)
-  std::string json;  ///< --json=PATH; empty disables the JSON report
+  std::string json;       ///< --json=PATH; empty disables the JSON report
+  std::string trace_out;  ///< --trace-out=PATH; Chrome trace-event file
+  std::uint64_t trace_cap = 0;  ///< --trace-cap=N; 0 = unset (env/default)
 
   static Cli parse(int argc, char** argv) {
     Cli cli;
@@ -121,11 +157,22 @@ struct Cli {
         }
       } else if (arg.rfind("--json=", 0) == 0) {
         cli.json = std::string(arg.substr(7));
+      } else if (arg.rfind("--trace-out=", 0) == 0) {
+        cli.trace_out = std::string(arg.substr(12));
+      } else if (arg.rfind("--trace-cap=", 0) == 0) {
+        cli.trace_cap = std::stoull(std::string(arg.substr(12)));
+        if (cli.trace_cap == 0) {
+          std::cerr << "--trace-cap must be >= 1\n";
+          std::exit(2);
+        }
       } else if (arg == "--help" || arg == "-h") {
         std::cout << "flags: --quick (scale 10^6-item runs down 10x), "
                      "--seed=S, --threads=K (engine shards; results are "
                      "identical for any K), --json=PATH (write "
-                     "observability report)\n";
+                     "observability report), --trace-out=PATH (write "
+                     "Chrome/Perfetto trace-event JSON), --trace-cap=N "
+                     "(tracer ring capacity; NF_TRACE_CAP env is the "
+                     "fallback, default 16384)\n";
         std::exit(0);
       } else {
         std::cerr << "unknown flag: " << arg << "\n";
@@ -138,6 +185,18 @@ struct Cli {
   /// n for the paper's 10^6-item experiments, honoring --quick.
   [[nodiscard]] std::uint64_t large_n() const {
     return quick ? 100000ull : 1000000ull;
+  }
+
+  /// Tracer ring capacity: --trace-cap beats NF_TRACE_CAP beats 16384.
+  [[nodiscard]] std::uint64_t resolved_trace_cap() const {
+    if (trace_cap != 0) return trace_cap;
+    if (const char* env = std::getenv("NF_TRACE_CAP")) {
+      char* end = nullptr;
+      const unsigned long long v = std::strtoull(env, &end, 10);
+      if (end != env && *end == '\0' && v >= 1) return v;
+      std::cerr << "ignoring malformed NF_TRACE_CAP=" << env << "\n";
+    }
+    return 1ull << 14;
   }
 };
 
@@ -167,23 +226,28 @@ inline void banner(std::string_view title, std::string_view expectation) {
 
 /// Accumulates one bench's observability output and writes it on request.
 ///
-/// Constructed from the parsed Cli: when --json=PATH was given it owns an
-/// obs::Context (pass `report.obs()` into Env) and write() serializes the
-/// ExportBundle there; without the flag every method is a cheap no-op, so
-/// benches call the same code either way.
+/// Constructed from the parsed Cli: when --json=PATH or --trace-out=PATH was
+/// given it owns an obs::Context (pass `report.obs()` into Env) and write()
+/// serializes the ExportBundle and/or the trace-event file; without either
+/// flag every method is a cheap no-op, so benches call the same code either
+/// way.
 class JsonReport {
  public:
-  JsonReport(const Cli& cli, std::string bench_name) : path_(cli.json) {
+  JsonReport(const Cli& cli, std::string bench_name)
+      : path_(cli.json), trace_path_(cli.trace_out) {
     bundle_.bench = std::move(bench_name);
     if (enabled()) {
-      ctx_ = std::make_unique<obs::Context>(/*trace_capacity=*/1 << 14);
+      ctx_ = std::make_unique<obs::Context>(
+          /*trace_capacity=*/cli.resolved_trace_cap());
       bundle_.obs = ctx_.get();
       param("seed", obs::Json(cli.seed));
       param("quick", obs::Json(cli.quick));
     }
   }
 
-  [[nodiscard]] bool enabled() const { return !path_.empty(); }
+  [[nodiscard]] bool enabled() const {
+    return !path_.empty() || !trace_path_.empty();
+  }
 
   /// The context to thread through Env/configs; null when disabled.
   [[nodiscard]] obs::Context* obs() { return ctx_.get(); }
@@ -212,23 +276,36 @@ class JsonReport {
     if (enabled()) bundle_.traffic = obs::to_json(meter);
   }
 
-  /// Serializes the bundle to the --json path. Returns false (with a
-  /// stderr note) if the file cannot be written.
+  /// Serializes the bundle to the --json path and, when --trace-out was
+  /// given, the Chrome trace-event file. Returns false (with a stderr note)
+  /// if either file cannot be written.
   bool write() {
-    if (!enabled()) return true;
-    std::ofstream out(path_);
-    if (!out) {
-      std::cerr << "cannot write JSON report to " << path_ << "\n";
-      return false;
+    bool ok = true;
+    if (!path_.empty()) {
+      std::ofstream out(path_);
+      if (!out) {
+        std::cerr << "cannot write JSON report to " << path_ << "\n";
+        ok = false;
+      } else {
+        obs::to_json(bundle_).dump(out, /*indent=*/2);
+        out << '\n';
+        std::cout << "# JSON report: " << path_ << "\n";
+        ok = out.good() && ok;
+      }
     }
-    obs::to_json(bundle_).dump(out, /*indent=*/2);
-    out << '\n';
-    std::cout << "# JSON report: " << path_ << "\n";
-    return out.good();
+    if (!trace_path_.empty() && ctx_ != nullptr) {
+      if (obs::write_trace_event_file(trace_path_, *ctx_)) {
+        std::cout << "# trace-event file: " << trace_path_ << "\n";
+      } else {
+        ok = false;
+      }
+    }
+    return ok;
   }
 
  private:
   std::string path_;
+  std::string trace_path_;
   std::unique_ptr<obs::Context> ctx_;
   obs::ExportBundle bundle_;
 };

@@ -7,13 +7,28 @@
 
 namespace nf::core::cost_model {
 
+double filtering_term(const WireSizes& wire, double num_filters,
+                      double num_groups) {
+  return wire.aggregate_bytes * num_filters * num_groups;
+}
+
+double dissemination_term(const WireSizes& wire, double num_filters,
+                          double heavy_groups_per_filter) {
+  return wire.group_id_bytes * num_filters * heavy_groups_per_filter;
+}
+
+double aggregation_term(const WireSizes& wire, double heavy_items,
+                        double false_positives) {
+  return static_cast<double>(wire.item_value_pair()) *
+         (heavy_items + false_positives);
+}
+
 double netfilter_cost(const WireSizes& wire, double num_filters,
                       double num_groups, double heavy_groups_per_filter,
                       double heavy_items, double false_positives) {
-  return wire.aggregate_bytes * num_filters * num_groups +
-         wire.group_id_bytes * num_filters * heavy_groups_per_filter +
-         static_cast<double>(wire.item_value_pair()) *
-             (heavy_items + false_positives);
+  return filtering_term(wire, num_filters, num_groups) +
+         dissemination_term(wire, num_filters, heavy_groups_per_filter) +
+         aggregation_term(wire, heavy_items, false_positives);
 }
 
 double naive_cost_lower(const WireSizes& wire, double items_per_peer) {

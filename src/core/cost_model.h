@@ -12,6 +12,26 @@
 
 namespace nf::core::cost_model {
 
+/// Formula 1 per-phase components — netfilter_cost() is their sum, and the
+/// conformance report (docs/OBSERVABILITY.md "Cost-model conformance")
+/// compares each term against the matching phase's measured per-peer bytes.
+///
+/// Filtering: sa·f·g — every peer pushes f filters of g aggregates up the
+/// tree.
+[[nodiscard]] double filtering_term(const WireSizes& wire, double num_filters,
+                                    double num_groups);
+/// Dissemination: sg·f·w — the root multicasts the w heavy group ids per
+/// filter back down.
+[[nodiscard]] double dissemination_term(const WireSizes& wire,
+                                        double num_filters,
+                                        double heavy_groups_per_filter);
+/// Aggregation: (sa+si)·(r+fp) — candidate (item, value) pairs converge
+/// back to the root. The paper treats this as an upper bound: a pair
+/// travels once per tree edge on its path, not once per peer.
+[[nodiscard]] double aggregation_term(const WireSizes& wire,
+                                      double heavy_items,
+                                      double false_positives);
+
 /// Formula 1: C_filter = sa·f·g + sg·f·w + (sa+si)·(r+fp).
 /// `heavy_groups_per_filter` is the paper's w; `false_positives` its fp.
 [[nodiscard]] double netfilter_cost(const WireSizes& wire, double num_filters,

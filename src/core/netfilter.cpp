@@ -7,6 +7,7 @@
 #include "agg/multicast.h"
 #include "common/arena.h"
 #include "common/error.h"
+#include "core/cost_model.h"
 #include "core/host_report.h"
 #include "net/codec.h"
 #include "obs/context.h"
@@ -17,6 +18,64 @@ namespace {
 
 double per_peer(std::uint64_t bytes, std::uint32_t num_peers) {
   return static_cast<double>(bytes) / static_cast<double>(num_peers);
+}
+
+// Records one Formula-1 conformance run: predicted per-peer phase costs from
+// the analytic model vs what the TrafficMeter actually charged. Only the
+// configuration the closed-form model prices is judged — flat wire fields on
+// a loss-free network; varint or lossy runs are skipped (their bytes are
+// legitimately different from the formula).
+//
+// Gated vs advisory: filtering and dissemination are exact by construction
+// (modulo the root, which receives but never sends — hence the (n-1)/n
+// factor), so they gate. Aggregation is the paper's upper bound — a
+// candidate pair travels once per tree edge on its path, not once total —
+// so it and the lumped F1 total are advisory.
+void record_conformance(const NetFilterConfig& config,
+                        const NetFilterStats& s, std::uint32_t num_peers) {
+  obs::Context* obs = config.obs;
+  if (obs == nullptr) return;
+  if (config.wire_model != WireModel::kFlatFields) return;
+  if (config.fault.loss_probability > 0.0) return;
+
+  const double n = num_peers;
+  const double non_root = (n - 1.0) / n;
+  const double f = config.num_filters;
+  const double g = config.num_groups;
+  const double w_total = static_cast<double>(s.heavy_groups_total);
+  const double r = static_cast<double>(s.num_frequent);
+  const double fp = static_cast<double>(s.num_false_positives);
+
+  obs::ConformanceReport& report = obs->conformance;
+  report.begin_run();
+  report.set_param("num_peers", n);
+  report.set_param("num_filters", f);
+  report.set_param("num_groups", g);
+  report.set_param("threshold", static_cast<double>(s.threshold));
+  report.set_param("heavy_groups_total", w_total);
+  report.set_param("num_candidates", static_cast<double>(s.num_candidates));
+  report.set_param("num_frequent", r);
+  report.set_param("num_false_positives", fp);
+
+  report.add_check("F1.filtering",
+                   cost_model::filtering_term(config.wire, f, g) * non_root,
+                   s.filtering_cost, /*gated=*/true);
+  // dissemination_term is sg·f·w with w per filter; Σ_f w_f is already the
+  // total, so f drops out.
+  report.add_check(
+      "F1.dissemination",
+      cost_model::dissemination_term(config.wire, 1.0, w_total) * non_root,
+      s.dissemination_cost, /*gated=*/true);
+  report.add_check(
+      "F1.aggregation_ub",
+      cost_model::aggregation_term(config.wire, r, fp) * non_root,
+      s.aggregation_cost, /*gated=*/false);
+  report.add_check("F1.total",
+                   cost_model::netfilter_cost(config.wire, f, g,
+                                              f > 0.0 ? w_total / f : 0.0, r,
+                                              fp) *
+                       non_root,
+                   s.total_cost(), /*gated=*/false);
 }
 
 }  // namespace
@@ -259,8 +318,10 @@ NetFilterResult NetFilter::run(const ItemSource& items,
   stats.host_report_cost =
       per_peer(meter.total(net::TrafficCategory::kHostReport) - host_before,
                overlay.num_peers());
-  return verify_candidates(effective, hierarchy, overlay, meter, threshold,
-                           heavy, stats);
+  NetFilterResult result = verify_candidates(effective, hierarchy, overlay,
+                                             meter, threshold, heavy, stats);
+  record_conformance(config_, result.stats, overlay.num_peers());
+  return result;
 }
 
 }  // namespace nf::core

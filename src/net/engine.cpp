@@ -1,6 +1,8 @@
 #include "net/engine.h"
 
 #include <algorithm>
+#include <chrono>
+#include <string>
 #include <utility>
 
 #include "common/error.h"
@@ -73,17 +75,29 @@ void Engine::set_fault_model(const LinkFaultModel& model) {
 
 void Engine::set_obs(obs::Context* obs) {
   obs_ = obs;
+  obs_shard_busy_.clear();
+  obs_shard_idle_.clear();
   if (obs == nullptr) {
     obs_sent_ = nullptr;
     obs_delivered_ = nullptr;
     obs_rounds_ = nullptr;
+    obs_sent_bytes_ = nullptr;
     obs_msg_bytes_ = nullptr;
+    obs_in_flight_ = nullptr;
     return;
   }
   obs_sent_ = &obs->registry.counter("engine/sent");
   obs_delivered_ = &obs->registry.counter("engine/delivered");
   obs_rounds_ = &obs->registry.counter("engine/rounds");
+  obs_sent_bytes_ = &obs->registry.counter("engine/sent_bytes");
   obs_msg_bytes_ = &obs->registry.histogram("engine/msg_bytes");
+  obs_in_flight_ = &obs->registry.gauge("engine/in_flight");
+  // Built-in engine series. Successive engines sharing one context rebind
+  // these columns (re-baselining the counters), so deltas keep flowing.
+  obs->series.track_counter("engine/sent", obs_sent_);
+  obs->series.track_counter("engine/delivered", obs_delivered_);
+  obs->series.track_counter("engine/sent_bytes", obs_sent_bytes_);
+  obs->series.track_gauge("engine/in_flight", obs_in_flight_);
 }
 
 void Engine::set_send_probe(std::function<void(const Envelope&)> probe) {
@@ -155,9 +169,23 @@ void Engine::predispatch(std::span<Protocol* const> protocols,
   }
 }
 
+namespace {
+std::uint64_t elapsed_us(std::chrono::steady_clock::time_point since) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - since)
+          .count());
+}
+}  // namespace
+
 void Engine::run_shard(std::span<Protocol* const> protocols,
                        std::uint32_t shard, const ShardPlan& plan,
                        std::uint64_t tick_base) {
+  // Busy wall time is written only to this shard's own slot, so workers
+  // never race; the engine thread folds the slots into gauges after the
+  // dispatch barrier.
+  std::chrono::steady_clock::time_point t0;
+  if (obs_ != nullptr) t0 = std::chrono::steady_clock::now();
   ShardScratch& sc = shards_[shard];
   for (Delivery& d : sc.inq) {
     if (obs_ != nullptr) obs_delivered_->add(1);
@@ -177,6 +205,7 @@ void Engine::run_shard(std::span<Protocol* const> protocols,
       protocols[pi]->on_round(ctx);
     }
   }
+  if (obs_ != nullptr) shard_busy_us_[shard] += elapsed_us(t0);
 }
 
 void Engine::admit(Outgoing&& out) {
@@ -237,6 +266,7 @@ void Engine::merge_and_finalize() {
     ++batch_msgs;
     if (obs_ != nullptr) {
       obs_sent_->add(1);
+      obs_sent_bytes_->add(ks.envelope.bytes);
       obs_msg_bytes_->observe(ks.envelope.bytes);
     }
     Outgoing out{ks.protocol_index, std::move(ks.envelope),
@@ -297,6 +327,21 @@ std::uint64_t Engine::run(std::span<Protocol* const> protocols,
   const std::uint64_t start_round = round_;
   const ShardPlan plan(overlay_.num_peers(), threads_);
   shards_.resize(plan.num_shards());
+  if (obs_ != nullptr) {
+    // Cumulative busy/idle wall-time gauges, one pair per shard. Only the
+    // busy series is sampled per round (idle follows from the round wall
+    // time); handles are looked up once per run, never per round.
+    obs_shard_busy_.clear();
+    obs_shard_idle_.clear();
+    for (std::uint32_t k = 0; k < plan.num_shards(); ++k) {
+      const std::string base = "engine/shard" + std::to_string(k) + "/";
+      obs::Gauge* busy = &obs_->registry.gauge(base + "busy_us");
+      obs_->series.track_gauge(base + "busy_us", busy);
+      obs_shard_busy_.push_back(busy);
+      obs_shard_idle_.push_back(&obs_->registry.gauge(base + "idle_us"));
+    }
+    shard_busy_us_.assign(plan.num_shards(), 0);
+  }
   if (lossy_) {
     pending_by_sender_.resize(overlay_.num_peers());
     seen_by_receiver_.resize(overlay_.num_peers());
@@ -335,6 +380,11 @@ std::uint64_t Engine::run(std::span<Protocol* const> protocols,
     predispatch(protocols, std::move(inbox), plan);
 
     // 4. Parallel phase: deliver + tick each shard's peers.
+    std::chrono::steady_clock::time_point par_start;
+    if (obs_ != nullptr) {
+      std::fill(shard_busy_us_.begin(), shard_busy_us_.end(), 0);
+      par_start = std::chrono::steady_clock::now();
+    }
     if (pool_ != nullptr && plan.num_shards() > 1) {
       pool_->dispatch(plan.num_shards(), [&](std::uint32_t k) {
         run_shard(protocols, k, plan, tick_base);
@@ -344,6 +394,19 @@ std::uint64_t Engine::run(std::span<Protocol* const> protocols,
         run_shard(protocols, k, plan, tick_base);
       }
     }
+    if (obs_ != nullptr) {
+      // Idle is this round's parallel-phase wall time minus the shard's own
+      // busy time — on the serial path it measures head-of-line waiting.
+      const std::uint64_t wall = elapsed_us(par_start);
+      for (std::uint32_t k = 0; k < plan.num_shards(); ++k) {
+        const std::uint64_t busy = shard_busy_us_[k];
+        obs_shard_busy_[k]->set(obs_shard_busy_[k]->value() +
+                                static_cast<double>(busy));
+        obs_shard_idle_[k]->set(obs_shard_idle_[k]->value() +
+                                static_cast<double>(wall > busy ? wall - busy
+                                                                : 0));
+      }
+    }
 
     // 5. Barrier merge: order every send canonically, charge the meter,
     // admit to the network. Sends made during round r travel from r+1 on.
@@ -351,6 +414,14 @@ std::uint64_t Engine::run(std::span<Protocol* const> protocols,
 
     // 6. Reliability layer: resend what was not acknowledged in time.
     scan_retransmissions();
+
+    // 6b. Close the round's series row. The stamp is the tracer's logical
+    // clock (context-global), so series from the several engines a
+    // netFilter run creates stay strictly increasing.
+    if (obs_ != nullptr) {
+      obs_in_flight_->set(static_cast<double>(in_transit_));
+      obs_->series.sample(obs_->tracer.clock());
+    }
 
     ++round_;
 

@@ -207,10 +207,15 @@ class Engine {
   void set_latency_model(const LatencyModel& model);
 
   /// Attaches an observability context (nullptr detaches). The engine then
-  /// counts sends/deliveries/rounds, histograms message sizes and stamps
-  /// the tracer's logical clock at every round boundary. Metric handles
-  /// are cached here so the per-message cost is an increment, not a map
-  /// lookup.
+  /// counts sends/deliveries/rounds/bytes, histograms message sizes, stamps
+  /// the tracer's logical clock at every round boundary, and drives the
+  /// context's TimeSeries once per round (per-round deliveries, sends,
+  /// bytes, in-flight messages, and per-shard busy wall time — stamped with
+  /// the tracer clock so series from successive engines sharing one context
+  /// stay strictly ordered). Per-shard busy/idle wall time accumulates into
+  /// `engine/shard<k>/busy_us` / `idle_us` gauges so `--threads=K`
+  /// imbalance is visible in reports. Metric handles are cached here so the
+  /// per-message cost is an increment, not a map lookup.
   void set_obs(obs::Context* obs);
 
   /// Observes every transmission the engine admits to the network (data,
@@ -278,7 +283,15 @@ class Engine {
   obs::Counter* obs_sent_ = nullptr;
   obs::Counter* obs_delivered_ = nullptr;
   obs::Counter* obs_rounds_ = nullptr;
+  obs::Counter* obs_sent_bytes_ = nullptr;
   obs::Histogram* obs_msg_bytes_ = nullptr;
+  obs::Gauge* obs_in_flight_ = nullptr;
+  // Per-shard wall-time accounting (obs-only). Each worker writes its own
+  // shard's slot during the parallel phase; the engine thread folds the
+  // slots into the cumulative busy/idle gauges at the barrier.
+  std::vector<obs::Gauge*> obs_shard_busy_;
+  std::vector<obs::Gauge*> obs_shard_idle_;
+  std::vector<std::uint64_t> shard_busy_us_;
   std::function<void(const Envelope&)> send_probe_;
 
   // Sharded execution.

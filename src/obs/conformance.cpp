@@ -1,0 +1,79 @@
+#include "obs/conformance.h"
+
+#include <algorithm>
+
+namespace nf::obs {
+
+void ConformanceReport::begin_run() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  runs_.emplace_back();
+}
+
+void ConformanceReport::set_param(std::string_view name, double value) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (runs_.empty()) runs_.emplace_back();
+  runs_.back().params[std::string(name)] = value;
+}
+
+void ConformanceReport::add_check(std::string_view name, double predicted,
+                                  double observed, bool gated) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (runs_.empty()) runs_.emplace_back();
+  runs_.back().checks.push_back(
+      ConformanceCheck{std::string(name), predicted, observed, gated});
+}
+
+std::size_t ConformanceReport::num_runs() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return runs_.size();
+}
+
+std::vector<ConformanceRun> ConformanceReport::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return runs_;
+}
+
+double ConformanceReport::max_gated_residual() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  double worst = 0.0;
+  for (const ConformanceRun& run : runs_) {
+    for (const ConformanceCheck& check : run.checks) {
+      if (!check.gated) continue;
+      worst = std::max(worst, std::abs(check.residual()));
+    }
+  }
+  return worst;
+}
+
+void ConformanceReport::clear() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  runs_.clear();
+}
+
+Json to_json(const ConformanceReport& report) {
+  auto runs = Json::array();
+  for (const ConformanceRun& run : report.snapshot()) {
+    auto params = Json::object();
+    for (const auto& [name, value] : run.params) params[name] = value;
+    auto checks = Json::array();
+    for (const ConformanceCheck& check : run.checks) {
+      auto c = Json::object();
+      c["name"] = check.name;
+      c["predicted"] = check.predicted;
+      c["observed"] = check.observed;
+      c["residual"] = check.residual();
+      c["gated"] = check.gated;
+      checks.push_back(std::move(c));
+    }
+    auto r = Json::object();
+    r["params"] = std::move(params);
+    r["checks"] = std::move(checks);
+    runs.push_back(std::move(r));
+  }
+  auto out = Json::object();
+  out["runs"] = std::move(runs);
+  out["max_gated_residual"] = report.max_gated_residual();
+  return out;
+}
+
+}  // namespace nf::obs

@@ -1,0 +1,94 @@
+// Cost-model conformance: predicted-vs-observed residuals per phase
+// (docs/OBSERVABILITY.md "Cost-model conformance").
+//
+// The paper's central claim is analytic — netFilter's per-peer byte cost
+// obeys Formulae 1–4 (src/core/cost_model.*). This report makes every
+// instrumented run self-checking against that claim: the protocol driver
+// appends one ConformanceRun per NetFilter::run() holding the run's actual
+// parameters (f, g, w, r, fp, ...) and a list of checks, each pairing a
+// formula's prediction with the measured value.
+//
+// A check is *gated* when the model is exact by construction (filtering and
+// dissemination under the flat wire model), so its residual participates in
+// within() — the tolerance gate ctest and `nf-inspect` assert. Advisory
+// checks (aggregation, which Formula 1 upper-bounds; expected false
+// positives, which Formula 4 gives in expectation) are reported with their
+// residuals but never fail the gate.
+//
+// This type deliberately knows nothing about the cost model itself — the
+// hook in src/core/netfilter.cpp computes predictions and feeds plain
+// numbers — so obs/ stays below core/ in the layer order.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace nf::obs {
+
+struct ConformanceCheck {
+  std::string name;        ///< e.g. "F1.filtering"
+  double predicted = 0.0;  ///< model value (per-peer bytes, or a count)
+  double observed = 0.0;   ///< measured value from the run
+  bool gated = true;       ///< participates in within()/max_gated_residual()
+
+  /// Signed relative error (observed - predicted) / |predicted|; an exact
+  /// match is 0. predicted == 0 yields 0 when observed is also 0, else +-1
+  /// per unit observed is treated as a full-scale miss (inf would poison
+  /// JSON, so the magnitude is clamped to |observed|).
+  [[nodiscard]] double residual() const {
+    if (predicted == 0.0) return observed == 0.0 ? 0.0 : observed;
+    return (observed - predicted) / std::abs(predicted);
+  }
+};
+
+struct ConformanceRun {
+  /// The run's actual model inputs (f, g, threshold, heavy_groups, r, fp,
+  /// num_peers, ...) so a consumer can re-derive every prediction.
+  std::map<std::string, double> params;
+  std::vector<ConformanceCheck> checks;
+};
+
+/// Thread safety: mutations come from the engine thread at run boundaries;
+/// a mutex keeps concurrent protocol drivers sharing one obs::Context safe.
+class ConformanceReport {
+ public:
+  /// Opens a new run; subsequent set_param()/add_check() target it.
+  void begin_run();
+
+  /// Sets a model input on the latest run (opens one if none exists).
+  void set_param(std::string_view name, double value);
+
+  /// Appends a predicted-vs-observed check to the latest run.
+  void add_check(std::string_view name, double predicted, double observed,
+                 bool gated);
+
+  [[nodiscard]] std::size_t num_runs() const;
+  [[nodiscard]] std::vector<ConformanceRun> snapshot() const;
+
+  /// Largest |residual| over gated checks of every run (0 when none).
+  [[nodiscard]] double max_gated_residual() const;
+
+  /// True iff every gated check's |residual| <= tol.
+  [[nodiscard]] bool within(double tol) const {
+    return max_gated_residual() <= tol;
+  }
+
+  void clear();
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<ConformanceRun> runs_;
+};
+
+/// {"runs":[{"params":{...},"checks":[{"name","predicted","observed",
+///  "residual","gated"},...]},...],"max_gated_residual":x}
+[[nodiscard]] Json to_json(const ConformanceReport& report);
+
+}  // namespace nf::obs

@@ -1,5 +1,6 @@
-// Observability context: one metrics registry + one protocol tracer,
-// threaded through the protocol layers as a nullable pointer.
+// Observability context: metrics registry, protocol tracer, round-sampled
+// time series and cost-model conformance report, threaded through the
+// protocol layers as a nullable pointer.
 //
 // A null Context* means observability is off; every helper below reduces to
 // a single branch in that case, so instrumentation can sit on hot paths
@@ -13,7 +14,9 @@
 #include <string>
 #include <string_view>
 
+#include "obs/conformance.h"
 #include "obs/metrics.h"
+#include "obs/timeseries.h"
 #include "obs/trace.h"
 
 namespace nf::obs {
@@ -21,9 +24,14 @@ namespace nf::obs {
 struct Context {
   MetricsRegistry registry;
   ProtocolTracer tracer;
+  /// Engine-driven per-round recorder; its sources are registry handles, so
+  /// registry.reset() requires a series.clear() first.
+  TimeSeries series;
+  ConformanceReport conformance;
 
-  explicit Context(std::size_t trace_capacity = 4096)
-      : tracer(trace_capacity) {}
+  explicit Context(std::size_t trace_capacity = 4096,
+                   std::size_t series_capacity = 4096)
+      : tracer(trace_capacity), series(series_capacity) {}
 };
 
 // Null-safe instrumentation helpers. Sites that fire per message should

@@ -63,6 +63,33 @@ Json to_json(const ProtocolTracer& tracer) {
   return out;
 }
 
+Json to_json(const TimeSeries& series) {
+  auto out = Json::object();
+  out["capacity"] = static_cast<std::uint64_t>(series.capacity());
+  out["total_samples"] = series.total_samples();
+  out["dropped"] = series.dropped();
+  auto stamps = Json::array();
+  for (const std::uint64_t s : series.stamps()) stamps.push_back(s);
+  out["stamps"] = std::move(stamps);
+  auto counters = Json::object();
+  for (const std::string& name : series.counter_names()) {
+    auto column = Json::array();
+    for (const std::uint64_t v : series.counter_series(name)) {
+      column.push_back(v);
+    }
+    counters[name] = std::move(column);
+  }
+  out["counters"] = std::move(counters);
+  auto gauges = Json::object();
+  for (const std::string& name : series.gauge_names()) {
+    auto column = Json::array();
+    for (const double v : series.gauge_series(name)) column.push_back(v);
+    gauges[name] = std::move(column);
+  }
+  out["gauges"] = std::move(gauges);
+  return out;
+}
+
 Json to_json(const net::TrafficMeter& meter) {
   auto out = Json::object();
   out["num_peers"] = meter.num_peers();
@@ -149,6 +176,8 @@ Json to_json(const ExportBundle& bundle) {
     out["timings"] = timings_json(bundle.obs->registry);
     out["spans"] = spans_json(bundle.obs->tracer);
     out["trace"] = to_json(bundle.obs->tracer);
+    out["series"] = to_json(bundle.obs->series);
+    out["conformance"] = to_json(bundle.obs->conformance);
   }
   return out;
 }

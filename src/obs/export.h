@@ -16,9 +16,11 @@
 namespace nf::obs {
 
 /// Bump when the JSON layout changes incompatibly.
-/// History (docs/OBSERVABILITY.md "Schema history"): v2 adds the `threads`
-/// shard count to every bench's params object; v1 was the initial schema.
-inline constexpr std::uint64_t kSchemaVersion = 2;
+/// History (docs/OBSERVABILITY.md "Schema history"): v3 adds the `series`
+/// (round-sampled time series) and `conformance` (cost-model residuals)
+/// sections; v2 added the `threads` shard count to every bench's params
+/// object; v1 was the initial schema.
+inline constexpr std::uint64_t kSchemaVersion = 3;
 
 /// {"counters": {...}, "gauges": {...}, "histograms": {name:
 ///  {"count","sum","min","max","buckets":[{"lo","hi","count"},...]}}}
@@ -27,6 +29,11 @@ inline constexpr std::uint64_t kSchemaVersion = 2;
 /// {"capacity","total_recorded","dropped","clock","events":[...]}; each
 /// event is {"seq","clock","kind","name","value"} plus "peer" when set.
 [[nodiscard]] Json to_json(const ProtocolTracer& tracer);
+
+/// {"capacity","total_samples","dropped","stamps":[...],
+///  "counters":{name:[per-round deltas]},"gauges":{name:[values]}} — the
+/// columns are aligned with "stamps" (oldest retained row first).
+[[nodiscard]] Json to_json(const TimeSeries& series);
 
 /// {"num_peers","num_messages","total_bytes","max_peer_total",
 ///  "totals":{category:bytes}, "per_peer":{category:avg},
@@ -53,8 +60,9 @@ struct ExportBundle {
 };
 
 /// Top-level document: {"schema_version","bench","params","results",
-///  "traffic","metrics","timings","spans","trace"} (obs-derived sections
-/// only when `obs` is non-null, "traffic" only when captured).
+///  "traffic","metrics","timings","spans","trace","series","conformance"}
+/// (obs-derived sections only when `obs` is non-null, "traffic" only when
+/// captured).
 [[nodiscard]] Json to_json(const ExportBundle& bundle);
 
 /// `type,name,value,count,min,max` rows (counters, gauges, histograms).

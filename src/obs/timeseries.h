@@ -1,0 +1,200 @@
+// Round-sampled time series for the observability layer
+// (docs/OBSERVABILITY.md "Time series").
+//
+// The engine drives one sample per simulated round: registered counters are
+// recorded as per-round deltas (so a column is "how much happened this
+// round"), registered gauges as their current value. Storage is columnar —
+// one fixed-capacity ring per column plus a shared stamp column — so the
+// sample path writes one slot per column and never allocates. When more
+// rounds are sampled than the ring holds, the oldest rows are overwritten;
+// `total_samples()` stays monotonic across the wrap so consumers can detect
+// the gap, exactly like ProtocolTracer::seq.
+//
+// Stamps are the tracer's logical clock (engine rounds so far across every
+// engine sharing the obs::Context), so a multi-phase run — netFilter spins
+// up one engine per phase — produces one strictly increasing series per
+// metric spanning all phases.
+//
+// Sources are raw Counter*/Gauge* handles into the owning context's
+// MetricsRegistry; registry.reset() invalidates them, so clear() the series
+// (or drop the context) before resetting the registry.
+//
+// Header-only, like obs/metrics.h and obs/trace.h: the engine (nf_net)
+// samples the series but nf_obs links against nf_net, so the engine-facing
+// obs types must not need the nf_obs archive.
+//
+// Thread safety: track_*() and sample() take a mutex but are intended for
+// the engine thread (once per round — not a hot path); snapshot accessors
+// are for quiescent reads between runs.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace nf::obs {
+
+class TimeSeries {
+ public:
+  explicit TimeSeries(std::size_t capacity = 4096)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  /// Registers `src` under `name`, sampled as a per-round delta. The delta
+  /// baseline is the counter's value at registration. Re-registering an
+  /// existing name rebinds its source (and re-baselines); rows sampled
+  /// before registration read as 0.
+  void track_counter(std::string_view name, const Counter* src) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (CounterColumn& col : counters_) {
+      if (col.name == name) {
+        col.src = src;
+        col.last = src->value();
+        return;
+      }
+    }
+    counters_.push_back(CounterColumn{
+        std::string(name), src, src->value(),
+        std::vector<std::uint64_t>(capacity_, 0)});
+  }
+
+  /// Registers `src` under `name`, sampled as its current value.
+  void track_gauge(std::string_view name, const Gauge* src) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (GaugeColumn& col : gauges_) {
+      if (col.name == name) {
+        col.src = src;
+        return;
+      }
+    }
+    gauges_.push_back(GaugeColumn{std::string(name), src,
+                                  std::vector<double>(capacity_, 0.0)});
+  }
+
+  /// Records one row stamped `stamp` (the engine passes the tracer clock).
+  /// Zero allocation: writes one ring slot per registered column.
+  void sample(std::uint64_t stamp) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (stamp_ring_.empty()) stamp_ring_.assign(capacity_, 0);
+    const auto slot = static_cast<std::size_t>(total_ % capacity_);
+    stamp_ring_[slot] = stamp;
+    for (CounterColumn& col : counters_) {
+      const std::uint64_t now = col.src->value();
+      col.ring[slot] = now - col.last;
+      col.last = now;
+    }
+    for (GaugeColumn& col : gauges_) {
+      col.ring[slot] = col.src->value();
+    }
+    ++total_;
+  }
+
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+  /// Rows currently held (<= capacity).
+  [[nodiscard]] std::size_t size() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return static_cast<std::size_t>(
+        std::min<std::uint64_t>(total_, capacity_));
+  }
+
+  /// Rows ever sampled, including those the ring has since overwritten.
+  [[nodiscard]] std::uint64_t total_samples() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return total_;
+  }
+
+  /// Rows lost to wraparound.
+  [[nodiscard]] std::uint64_t dropped() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return total_ < capacity_ ? 0 : total_ - capacity_;
+  }
+
+  [[nodiscard]] std::vector<std::string> counter_names() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<std::string> names;
+    names.reserve(counters_.size());
+    for (const CounterColumn& col : counters_) names.push_back(col.name);
+    return names;
+  }
+
+  [[nodiscard]] std::vector<std::string> gauge_names() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<std::string> names;
+    names.reserve(gauges_.size());
+    for (const GaugeColumn& col : gauges_) names.push_back(col.name);
+    return names;
+  }
+
+  /// Retained rows oldest first; empty vector for an unknown name.
+  [[nodiscard]] std::vector<std::uint64_t> stamps() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (stamp_ring_.empty()) return {};
+    return unwrap(stamp_ring_);
+  }
+
+  [[nodiscard]] std::vector<std::uint64_t> counter_series(
+      std::string_view name) const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (const CounterColumn& col : counters_) {
+      if (col.name == name) return unwrap(col.ring);
+    }
+    return {};
+  }
+
+  [[nodiscard]] std::vector<double> gauge_series(std::string_view name) const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (const GaugeColumn& col : gauges_) {
+      if (col.name == name) return unwrap(col.ring);
+    }
+    return {};
+  }
+
+  /// Drops every row and every registered column.
+  void clear() {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stamp_ring_.clear();
+    counters_.clear();
+    gauges_.clear();
+    total_ = 0;
+  }
+
+ private:
+  struct CounterColumn {
+    std::string name;
+    const Counter* src;
+    std::uint64_t last;  ///< value at the previous sample (delta baseline)
+    std::vector<std::uint64_t> ring;
+  };
+  struct GaugeColumn {
+    std::string name;
+    const Gauge* src;
+    std::vector<double> ring;
+  };
+
+  /// Copies the retained slots of `ring` into a fresh vector, oldest first.
+  template <typename T>
+  [[nodiscard]] std::vector<T> unwrap(const std::vector<T>& ring) const {
+    std::vector<T> out;
+    const std::size_t rows =
+        static_cast<std::size_t>(total_ < capacity_ ? total_ : capacity_);
+    out.reserve(rows);
+    for (std::uint64_t s = total_ - rows; s < total_; ++s) {
+      out.push_back(ring[static_cast<std::size_t>(s % capacity_)]);
+    }
+    return out;
+  }
+
+  mutable std::mutex mutex_;
+  std::size_t capacity_;
+  std::vector<std::uint64_t> stamp_ring_;
+  std::vector<CounterColumn> counters_;
+  std::vector<GaugeColumn> gauges_;
+  std::uint64_t total_{0};
+};
+
+}  // namespace nf::obs

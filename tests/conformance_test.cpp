@@ -1,0 +1,161 @@
+// Cost-model conformance: residual math, the gated-tolerance gate, JSON
+// shape, hand-computed Formula 1/3/4 values, and the end-to-end guarantee
+// that a real netFilter run records gated residuals within 10%.
+#include "obs/conformance.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/cost_model.h"
+#include "core/netfilter.h"
+#include "net/topology.h"
+#include "obs/context.h"
+#include "workload/workload.h"
+
+namespace nf {
+namespace {
+
+using core::cost_model::aggregation_term;
+using core::cost_model::dissemination_term;
+using core::cost_model::expected_fp2;
+using core::cost_model::filtering_term;
+using core::cost_model::netfilter_cost;
+using core::cost_model::optimal_num_groups;
+using obs::ConformanceCheck;
+using obs::ConformanceReport;
+
+TEST(ConformanceCheckTest, ResidualIsSignedRelativeError) {
+  EXPECT_DOUBLE_EQ((ConformanceCheck{"x", 100.0, 100.0, true}).residual(),
+                   0.0);
+  EXPECT_DOUBLE_EQ((ConformanceCheck{"x", 100.0, 110.0, true}).residual(),
+                   0.1);
+  EXPECT_DOUBLE_EQ((ConformanceCheck{"x", 100.0, 90.0, true}).residual(),
+                   -0.1);
+  // predicted == 0: exact when observed is too, finite (not inf) otherwise.
+  EXPECT_DOUBLE_EQ((ConformanceCheck{"x", 0.0, 0.0, true}).residual(), 0.0);
+  EXPECT_DOUBLE_EQ((ConformanceCheck{"x", 0.0, 5.0, true}).residual(), 5.0);
+}
+
+TEST(ConformanceReportTest, GateCoversOnlyGatedChecks) {
+  ConformanceReport report;
+  report.begin_run();
+  report.set_param("num_peers", 60.0);
+  report.add_check("exact", 100.0, 100.5, /*gated=*/true);
+  report.add_check("bound", 100.0, 250.0, /*gated=*/false);
+  EXPECT_EQ(report.num_runs(), 1u);
+  EXPECT_DOUBLE_EQ(report.max_gated_residual(), 0.005);
+  EXPECT_TRUE(report.within(0.01));
+  EXPECT_FALSE(report.within(0.001));
+  report.begin_run();
+  report.add_check("exact", 100.0, 120.0, /*gated=*/true);
+  EXPECT_DOUBLE_EQ(report.max_gated_residual(), 0.2);  // worst across runs
+  report.clear();
+  EXPECT_EQ(report.num_runs(), 0u);
+  EXPECT_TRUE(report.within(0.0));
+}
+
+TEST(ConformanceReportTest, JsonShape) {
+  ConformanceReport report;
+  report.begin_run();
+  report.set_param("num_groups", 50.0);
+  report.add_check("F1.filtering", 400.0, 400.0, true);
+  const obs::Json doc = to_json(report);
+  ASSERT_EQ(doc.at("runs").size(), 1u);
+  const obs::Json& run = doc.at("runs").as_array()[0];
+  EXPECT_DOUBLE_EQ(run.at("params").at("num_groups").as_double(), 50.0);
+  const obs::Json& check = run.at("checks").as_array()[0];
+  EXPECT_EQ(check.at("name").as_string(), "F1.filtering");
+  EXPECT_DOUBLE_EQ(check.at("residual").as_double(), 0.0);
+  EXPECT_TRUE(check.at("gated").as_bool());
+  EXPECT_DOUBLE_EQ(doc.at("max_gated_residual").as_double(), 0.0);
+  EXPECT_EQ(obs::Json::parse(doc.dump()), doc);
+}
+
+TEST(ConformanceFormulaTest, HandComputedFormula1Components) {
+  const WireSizes wire{};  // sa = sg = 4, pair = 8
+  // Formula 1 with f=2, g=50, w=3 per filter, r=3, fp=2:
+  //   filtering sa*f*g = 4*2*50 = 400, dissemination sg*f*w = 4*2*3 = 24,
+  //   aggregation (sa+si)*(r+fp) = 8*5 = 40.
+  EXPECT_DOUBLE_EQ(filtering_term(wire, 2, 50), 400.0);
+  EXPECT_DOUBLE_EQ(dissemination_term(wire, 2, 3), 24.0);
+  EXPECT_DOUBLE_EQ(aggregation_term(wire, 3, 2), 40.0);
+  EXPECT_DOUBLE_EQ(netfilter_cost(wire, 2, 50, 3, 3, 2), 464.0);
+}
+
+TEST(ConformanceFormulaTest, HandComputedFormula3And4) {
+  // F3: g_opt = c + v_light / (theta * v_bar) = 20 + 50/(0.01*100) = 70.
+  EXPECT_DOUBLE_EQ(optimal_num_groups(50.0, 0.01, 100.0), 70.0);
+  // F4: fp2 = (n-r)*(1-(1-1/g)^r)^f with n=100, r=10, g=20, f=2.
+  const double p = 1.0 - std::pow(1.0 - 1.0 / 20.0, 10.0);
+  EXPECT_NEAR(expected_fp2(100.0, 10.0, 20.0, 2.0), 90.0 * p * p, 1e-9);
+}
+
+TEST(ConformanceIntegrationTest, NetFilterRunStaysWithinTenPercent) {
+  constexpr std::uint32_t kPeers = 60;
+  wl::WorkloadConfig wc;
+  wc.num_peers = kPeers;
+  wc.num_items = 2000;
+  wc.seed = 11;
+  const wl::Workload w = wl::Workload::generate(wc);
+  Rng rng(5);
+  net::Overlay overlay(net::random_tree(kPeers, 3, rng));
+  const agg::Hierarchy h = agg::build_bfs_hierarchy(overlay, PeerId(0));
+  net::TrafficMeter meter(kPeers);
+
+  obs::Context ctx;
+  core::NetFilterConfig cfg;
+  cfg.num_groups = 40;
+  cfg.num_filters = 2;
+  cfg.obs = &ctx;
+  const core::NetFilter nf(cfg);
+  const core::NetFilterResult result =
+      nf.run(w, h, overlay, meter, w.threshold_for(0.01));
+  ASSERT_GT(result.frequent.size(), 0u);
+
+  ASSERT_EQ(ctx.conformance.num_runs(), 1u);
+  EXPECT_TRUE(ctx.conformance.within(0.10))
+      << "max gated residual " << ctx.conformance.max_gated_residual();
+  const auto runs = ctx.conformance.snapshot();
+  ASSERT_EQ(runs[0].checks.size(), 4u);
+  EXPECT_EQ(runs[0].checks[0].name, "F1.filtering");
+  EXPECT_TRUE(runs[0].checks[0].gated);
+  EXPECT_EQ(runs[0].checks[1].name, "F1.dissemination");
+  EXPECT_TRUE(runs[0].checks[1].gated);
+  EXPECT_EQ(runs[0].checks[2].name, "F1.aggregation_ub");
+  EXPECT_FALSE(runs[0].checks[2].gated);
+  EXPECT_EQ(runs[0].checks[3].name, "F1.total");
+  EXPECT_DOUBLE_EQ(runs[0].params.at("num_peers"),
+                   static_cast<double>(kPeers));
+  // The aggregation bound really is a bound: observed <= predicted.
+  EXPECT_LE(runs[0].checks[2].observed,
+            runs[0].checks[2].predicted * (1.0 + 1e-9));
+}
+
+TEST(ConformanceIntegrationTest, VarintAndLossyRunsAreNotJudged) {
+  constexpr std::uint32_t kPeers = 30;
+  wl::WorkloadConfig wc;
+  wc.num_peers = kPeers;
+  wc.num_items = 500;
+  wc.seed = 7;
+  const wl::Workload w = wl::Workload::generate(wc);
+  Rng rng(3);
+  net::Overlay overlay(net::random_tree(kPeers, 3, rng));
+  const agg::Hierarchy h = agg::build_bfs_hierarchy(overlay, PeerId(0));
+  net::TrafficMeter meter(kPeers);
+
+  obs::Context ctx;
+  core::NetFilterConfig cfg;
+  cfg.num_groups = 20;
+  cfg.num_filters = 2;
+  cfg.obs = &ctx;
+  cfg.wire_model = core::WireModel::kVarintDelta;
+  const core::NetFilter nf(cfg);
+  const auto result =
+      nf.run(w, h, overlay, meter, w.threshold_for(0.01));
+  (void)result;
+  EXPECT_EQ(ctx.conformance.num_runs(), 0u);
+}
+
+}  // namespace
+}  // namespace nf

@@ -17,6 +17,16 @@ TEST(CostModelTest, Formula1Arithmetic) {
                    1200.0 + 120.0 + 560.0);
 }
 
+TEST(CostModelTest, ComponentTermsSumToFormula1) {
+  EXPECT_DOUBLE_EQ(filtering_term(kWire, 3, 100), 1200.0);
+  EXPECT_DOUBLE_EQ(dissemination_term(kWire, 3, 10), 120.0);
+  EXPECT_DOUBLE_EQ(aggregation_term(kWire, 50, 20), 560.0);
+  EXPECT_DOUBLE_EQ(filtering_term(kWire, 3, 100) +
+                       dissemination_term(kWire, 3, 10) +
+                       aggregation_term(kWire, 50, 20),
+                   netfilter_cost(kWire, 3, 100, 10, 50, 20));
+}
+
 TEST(CostModelTest, Formula2Bounds) {
   EXPECT_DOUBLE_EQ(naive_cost_lower(kWire, 1000), 8000.0);
   EXPECT_DOUBLE_EQ(naive_cost_upper(kWire, 1000, 7), 48000.0);

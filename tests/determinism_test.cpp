@@ -8,6 +8,7 @@
 // the adversarial engine features (link loss, latency jitter), and for the
 // full netFilter and gossip-netFilter drivers.
 #include <cstdint>
+#include <memory>
 #include <tuple>
 #include <vector>
 
@@ -19,6 +20,8 @@
 #include "core/netfilter.h"
 #include "net/engine.h"
 #include "net/topology.h"
+#include "obs/context.h"
+#include "obs/export.h"
 #include "workload/workload.h"
 
 namespace nf {
@@ -205,6 +208,52 @@ TEST(DeterminismTest, NetFilterEndToEndMatchesSerial) {
       EXPECT_EQ(v, it->second);
       ++it;
     }
+  }
+}
+
+TEST(DeterminismTest, ObsMetricsAndSeriesMatchSerial) {
+  const TestWorld world = TestWorld::make();
+  const Value t = world.workload.threshold_for(0.01);
+
+  const auto run_at = [&](std::uint32_t threads) {
+    auto ctx = std::make_unique<obs::Context>();
+    core::NetFilterConfig cfg;
+    cfg.num_groups = 40;
+    cfg.num_filters = 2;
+    cfg.threads = threads;
+    cfg.obs = ctx.get();
+    const core::NetFilter nf(cfg);
+    TrafficMeter meter(kPeers);
+    Overlay overlay = world.overlay;
+    (void)nf.run(world.workload, world.hierarchy, overlay, meter, t);
+    return ctx;
+  };
+
+  const auto serial = run_at(1);
+  for (const std::uint32_t k : kShardCounts) {
+    SCOPED_TRACE(::testing::Message() << "threads=" << k);
+    const auto sharded = run_at(k);
+    // Every counter except the wall-clock timings must be bit-identical.
+    for (const auto& [name, c] : serial->registry.counters()) {
+      if (name.rfind("time_us/", 0) == 0) continue;
+      EXPECT_EQ(c.value(), sharded->registry.counter(name).value()) << name;
+    }
+    // Deterministic series columns: same rows, same stamps, same deltas.
+    // Busy/idle shard gauges are real time and excluded by construction
+    // (they are gauge columns compared by explicit name below).
+    EXPECT_EQ(serial->series.stamps(), sharded->series.stamps());
+    for (const char* col :
+         {"engine/sent", "engine/delivered", "engine/sent_bytes"}) {
+      EXPECT_EQ(serial->series.counter_series(col),
+                sharded->series.counter_series(col))
+          << col;
+    }
+    EXPECT_EQ(serial->series.gauge_series("engine/in_flight"),
+              sharded->series.gauge_series("engine/in_flight"));
+    // Conformance runs are derived from deterministic stats, so the whole
+    // report must agree too.
+    EXPECT_EQ(obs::to_json(serial->conformance).dump(),
+              obs::to_json(sharded->conformance).dump());
   }
 }
 

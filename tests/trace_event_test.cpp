@@ -1,0 +1,128 @@
+// Chrome/Perfetto trace-event export: golden output for a tiny trace,
+// structural invariants (balanced B/E, orphan ends dropped), counter tracks
+// from the time series, and the file writer.
+#include "obs/trace_event.h"
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "obs/context.h"
+#include "obs/json.h"
+
+namespace nf::obs {
+namespace {
+
+/// Counts events with the given "ph" in a trace document.
+int count_ph(const Json& doc, const std::string& ph) {
+  int n = 0;
+  for (const Json& e : doc.at("traceEvents").as_array()) {
+    if (e.at("ph").as_string() == ph) ++n;
+  }
+  return n;
+}
+
+TEST(TraceEventTest, GoldenMinimalTrace) {
+  Context ctx(/*trace_capacity=*/16, /*series_capacity=*/4);
+  ctx.tracer.advance_clock();
+  ctx.tracer.record(EventKind::kPhaseBegin, "filtering");
+  ctx.tracer.record(EventKind::kMerge, "cast.merge", /*peer=*/3,
+                    /*value=*/64);
+  ctx.tracer.advance_clock();
+  ctx.tracer.record(EventKind::kPhaseEnd, "filtering", kNoPeer,
+                    /*value=*/1000);
+
+  const std::string expected =
+      "{\"displayTimeUnit\":\"ms\",\"traceEvents\":["
+      "{\"args\":{\"name\":\"netfilter\"},\"name\":\"process_name\","
+      "\"ph\":\"M\",\"pid\":0,\"tid\":0},"
+      "{\"args\":{\"name\":\"filtering\"},\"name\":\"thread_name\","
+      "\"ph\":\"M\",\"pid\":0,\"tid\":1},"
+      "{\"args\":{\"name\":\"merges\"},\"name\":\"thread_name\","
+      "\"ph\":\"M\",\"pid\":0,\"tid\":100},"
+      "{\"name\":\"filtering\",\"ph\":\"B\",\"pid\":0,\"tid\":1,\"ts\":1},"
+      "{\"args\":{\"bytes\":64,\"peer\":3},\"name\":\"cast.merge\","
+      "\"ph\":\"i\",\"pid\":0,\"s\":\"t\",\"tid\":100,\"ts\":1},"
+      "{\"args\":{\"wall_us\":1000},\"name\":\"filtering\",\"ph\":\"E\","
+      "\"pid\":0,\"tid\":1,\"ts\":2}"
+      "]}";
+  EXPECT_EQ(trace_event_json(ctx).dump(), expected);
+}
+
+TEST(TraceEventTest, OrphanEndIsDroppedOpenBeginTolerated) {
+  Context ctx(16, 4);
+  ctx.tracer.record(EventKind::kPhaseEnd, "lost-begin", kNoPeer, 5);
+  ctx.tracer.record(EventKind::kPhaseBegin, "still-open");
+  const Json doc = trace_event_json(ctx);
+  EXPECT_EQ(count_ph(doc, "E"), 0);
+  EXPECT_EQ(count_ph(doc, "B"), 1);
+}
+
+TEST(TraceEventTest, NestedAndRepeatedPhasesStayBalanced) {
+  Context ctx(64, 4);
+  for (int i = 0; i < 3; ++i) {
+    ctx.tracer.advance_clock();
+    ctx.tracer.record(EventKind::kPhaseBegin, "outer");
+    ctx.tracer.record(EventKind::kPhaseBegin, "inner");
+    ctx.tracer.record(EventKind::kPhaseEnd, "inner", kNoPeer, 1);
+    ctx.tracer.record(EventKind::kPhaseEnd, "outer", kNoPeer, 2);
+  }
+  const Json doc = trace_event_json(ctx);
+  EXPECT_EQ(count_ph(doc, "B"), 6);
+  EXPECT_EQ(count_ph(doc, "E"), 6);
+  // Same phase name -> same track, every time.
+  std::map<std::string, std::uint64_t> tids;
+  for (const Json& e : doc.at("traceEvents").as_array()) {
+    const std::string& ph = e.at("ph").as_string();
+    if (ph != "B" && ph != "E") continue;
+    const std::string& name = e.at("name").as_string();
+    const std::uint64_t tid = e.at("tid").as_uint64();
+    if (tids.count(name) != 0) {
+      EXPECT_EQ(tids[name], tid) << name;
+    }
+    tids[name] = tid;
+  }
+  EXPECT_EQ(tids.size(), 2u);
+}
+
+TEST(TraceEventTest, SeriesColumnsBecomeCounterTracks) {
+  Context ctx(16, 8);
+  Counter& sent = ctx.registry.counter("engine/sent");
+  ctx.series.track_counter("engine/sent", &sent);
+  for (std::uint64_t round = 1; round <= 3; ++round) {
+    ctx.tracer.advance_clock();
+    sent.add(round);
+    ctx.series.sample(ctx.tracer.clock());
+  }
+  const Json doc = trace_event_json(ctx);
+  int counters = 0;
+  for (const Json& e : doc.at("traceEvents").as_array()) {
+    if (e.at("ph").as_string() != "C") continue;
+    if (e.at("name").as_string() != "engine/sent") continue;
+    ++counters;
+    EXPECT_EQ(e.at("args").at("value").as_uint64(), e.at("ts").as_uint64());
+  }
+  EXPECT_EQ(counters, 3);
+}
+
+TEST(TraceEventTest, WriteFileProducesParseableDocument) {
+  Context ctx(16, 4);
+  ctx.tracer.record(EventKind::kPhaseBegin, "p");
+  ctx.tracer.record(EventKind::kPhaseEnd, "p", kNoPeer, 1);
+  const std::string path = "trace_event_test_out.json";
+  ASSERT_TRUE(write_trace_event_file(path, ctx));
+  std::ifstream in(path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const Json doc = Json::parse(buf.str());
+  EXPECT_TRUE(doc.contains("traceEvents"));
+  EXPECT_EQ(doc.at("displayTimeUnit").as_string(), "ms");
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace nf::obs

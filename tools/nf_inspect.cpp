@@ -1,0 +1,297 @@
+// nf-inspect — terminal inspector for bench --json reports
+// (docs/OBSERVABILITY.md schema, version 3).
+//
+// One report: prints the bench/params header, per-row results, phase spans,
+// the per-peer traffic split, a per-round series summary and the cost-model
+// conformance table. Exits non-zero when any *gated* conformance residual
+// exceeds the tolerance, so CI can assert "the simulator still matches
+// Formula 1" with one command:
+//
+//   nf-inspect [--tol=0.10] fig5.json
+//
+// Two reports: an A-vs-B regression diff. Result rows are compared by
+// index; deterministic per-peer cost columns (`*_cost`) gate on relative
+// increase beyond the tolerance, wall-clock fields are ignored (they never
+// compare across machines):
+//
+//   nf-inspect [--tol=0.10] fig5.json BENCH_baseline.json
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/table.h"
+#include "obs/json.h"
+
+namespace {
+
+using nf::TableWriter;
+using nf::obs::Json;
+
+Json load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "nf-inspect: cannot open " << path << "\n";
+    std::exit(2);
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  try {
+    return Json::parse(buf.str());
+  } catch (const std::exception& e) {
+    std::cerr << "nf-inspect: " << path << ": " << e.what() << "\n";
+    std::exit(2);
+  }
+}
+
+double num(const Json& j, std::string_view key, double fallback = 0.0) {
+  const Json* v = j.find(key);
+  return v != nullptr && v->is_number() ? v->as_double() : fallback;
+}
+
+std::string fmt(double v) {
+  std::ostringstream os;
+  if (v == std::floor(v) && std::abs(v) < 1e15) {
+    os.setf(std::ios::fixed);
+    os.precision(0);
+  } else {
+    os.precision(6);
+  }
+  os << v;
+  return os.str();
+}
+
+void print_header(const Json& doc, const std::string& path) {
+  std::cout << "# " << path << "\n";
+  const Json* bench = doc.find("bench");
+  std::cout << "bench: " << (bench != nullptr ? bench->as_string() : "?")
+            << "   schema_version: "
+            << static_cast<std::uint64_t>(num(doc, "schema_version")) << "\n";
+  if (const Json* params = doc.find("params"); params != nullptr) {
+    std::cout << "params:";
+    for (const auto& [k, v] : params->as_object()) {
+      std::cout << ' ' << k << '=' << v.dump();
+    }
+    std::cout << "\n";
+  }
+}
+
+void print_results(const Json& doc) {
+  const Json* results = doc.find("results");
+  if (results == nullptr || !results->is_array() || results->size() == 0) {
+    return;
+  }
+  std::cout << "\n== results (" << results->size() << " rows) ==\n";
+  TableWriter t({"row", "frequent", "false_pos", "filter_cost", "dissem_cost",
+                 "agg_cost", "total_cost"},
+                std::cout, 14);
+  std::size_t i = 0;
+  for (const Json& r : results->as_array()) {
+    t.row(i++, num(r, "num_frequent"), num(r, "num_false_positives"),
+          num(r, "filtering_cost"), num(r, "dissemination_cost"),
+          num(r, "aggregation_cost"), num(r, "total_cost"));
+  }
+}
+
+void print_spans(const Json& doc) {
+  const Json* spans = doc.find("spans");
+  if (spans == nullptr || !spans->is_array() || spans->size() == 0) return;
+  std::cout << "\n== phase spans ==\n";
+  TableWriter t({"phase", "rounds", "wall_us"}, std::cout, 16);
+  for (const Json& s : spans->as_array()) {
+    t.row(s.at("name").as_string(), num(s, "rounds"), num(s, "wall_us"));
+  }
+}
+
+void print_traffic(const Json& doc) {
+  const Json* traffic = doc.find("traffic");
+  if (traffic == nullptr || !traffic->is_object()) return;
+  std::cout << "\n== traffic (bytes/peer, most recent captured run) ==\n";
+  if (const Json* per_peer = traffic->find("per_peer"); per_peer != nullptr) {
+    TableWriter t({"category", "bytes/peer"}, std::cout, 16);
+    for (const auto& [k, v] : per_peer->as_object()) t.row(k, v.as_double());
+  }
+  std::cout << "total: " << fmt(num(*traffic, "total_bytes")) << " bytes, "
+            << fmt(num(*traffic, "num_messages")) << " messages\n";
+}
+
+void print_series(const Json& doc) {
+  const Json* series = doc.find("series");
+  if (series == nullptr || !series->is_object()) return;
+  const Json* stamps = series->find("stamps");
+  const std::size_t rows = stamps != nullptr ? stamps->size() : 0;
+  std::cout << "\n== series (" << rows << " rounds retained, "
+            << fmt(num(*series, "dropped")) << " dropped) ==\n";
+  TableWriter t({"column", "kind", "sum", "max"}, std::cout, 22);
+  if (const Json* counters = series->find("counters"); counters != nullptr) {
+    for (const auto& [name, col] : counters->as_object()) {
+      double sum = 0.0;
+      double mx = 0.0;
+      for (const Json& v : col.as_array()) {
+        sum += v.as_double();
+        mx = std::max(mx, v.as_double());
+      }
+      t.row(name, "counter", sum, mx);
+    }
+  }
+  if (const Json* gauges = series->find("gauges"); gauges != nullptr) {
+    for (const auto& [name, col] : gauges->as_object()) {
+      double last = 0.0;
+      double mx = 0.0;
+      for (const Json& v : col.as_array()) {
+        last = v.as_double();
+        mx = std::max(mx, v.as_double());
+      }
+      t.row(name, "gauge", last, mx);
+    }
+  }
+}
+
+/// Prints the conformance table; returns the number of gated checks whose
+/// |residual| exceeds `tol`.
+int print_conformance(const Json& doc, double tol) {
+  const Json* conf = doc.find("conformance");
+  if (conf == nullptr || !conf->is_object()) return 0;
+  const Json* runs = conf->find("runs");
+  if (runs == nullptr || runs->size() == 0) {
+    std::cout << "\n== conformance: no runs recorded ==\n";
+    return 0;
+  }
+  std::cout << "\n== cost-model conformance (" << runs->size()
+            << " runs, tol " << tol * 100 << "% on gated checks) ==\n";
+  int breaches = 0;
+  std::size_t i = 0;
+  for (const Json& run : runs->as_array()) {
+    std::cout << "run " << i++;
+    if (const Json* params = run.find("params"); params != nullptr) {
+      for (const std::string key :
+           {"num_filters", "num_groups", "num_frequent",
+            "num_false_positives"}) {
+        if (const Json* v = params->find(key); v != nullptr) {
+          std::cout << "  " << key << '=' << fmt(v->as_double());
+        }
+      }
+    }
+    std::cout << "\n";
+    TableWriter t({"check", "predicted", "observed", "residual%", "status"},
+                  std::cout, 16);
+    for (const Json& c : run.at("checks").as_array()) {
+      const double residual = num(c, "residual");
+      const bool gated = c.at("gated").as_bool();
+      std::string status = gated ? "ok" : "advisory";
+      if (gated && std::abs(residual) > tol) {
+        status = "BREACH";
+        ++breaches;
+      }
+      t.row(c.at("name").as_string(), num(c, "predicted"),
+            num(c, "observed"), residual * 100.0, status);
+    }
+  }
+  return breaches;
+}
+
+int inspect_one(const Json& doc, const std::string& path, double tol) {
+  print_header(doc, path);
+  print_results(doc);
+  print_spans(doc);
+  print_traffic(doc);
+  print_series(doc);
+  const int breaches = print_conformance(doc, tol);
+  if (breaches != 0) {
+    std::cout << "\nFAIL: " << breaches
+              << " gated conformance check(s) exceed tolerance\n";
+    return 1;
+  }
+  std::cout << "\nOK\n";
+  return 0;
+}
+
+bool ends_with(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
+/// A-vs-B regression diff over the results rows. Only the deterministic
+/// per-peer `*_cost` columns gate (wall-clock never compares across
+/// machines); a relative increase beyond `tol` is a breach.
+int diff_reports(const Json& a, const Json& b, const std::string& path_a,
+                 const std::string& path_b, double tol) {
+  std::cout << "# A: " << path_a << "\n# B (baseline): " << path_b << "\n";
+  const Json* ra = a.find("results");
+  const Json* rb = b.find("results");
+  if (ra == nullptr || rb == nullptr || !ra->is_array() || !rb->is_array()) {
+    std::cerr << "nf-inspect: both reports need a results array\n";
+    return 2;
+  }
+  if (ra->size() != rb->size()) {
+    std::cout << "note: row count differs (" << ra->size() << " vs "
+              << rb->size() << "); comparing the common prefix\n";
+  }
+  const std::size_t rows = std::min(ra->size(), rb->size());
+  int breaches = 0;
+  TableWriter t({"row", "column", "A", "B", "delta%", "status"}, std::cout,
+                16);
+  for (std::size_t i = 0; i < rows; ++i) {
+    const Json& row_a = ra->as_array()[i];
+    const Json& row_b = rb->as_array()[i];
+    if (!row_a.is_object() || !row_b.is_object()) continue;
+    for (const auto& [key, va] : row_a.as_object()) {
+      if (!ends_with(key, "_cost") || !va.is_number()) continue;
+      const Json* vb = row_b.find(key);
+      if (vb == nullptr || !vb->is_number()) continue;
+      const double x = va.as_double();
+      const double y = vb->as_double();
+      const double delta =
+          y != 0.0 ? (x - y) / std::abs(y) : (x == 0.0 ? 0.0 : 1.0);
+      const bool breach = delta > tol;
+      if (breach || std::abs(delta) > 1e-12) {
+        t.row(i, key, x, y, delta * 100.0, breach ? "BREACH" : "ok");
+      }
+      if (breach) ++breaches;
+    }
+  }
+  if (breaches != 0) {
+    std::cout << "\nFAIL: " << breaches << " cost column(s) regressed more "
+              << "than " << tol * 100 << "% vs baseline\n";
+    return 1;
+  }
+  std::cout << "\nOK: no cost regressions vs baseline\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double tol = 0.10;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg.rfind("--tol=", 0) == 0) {
+      tol = std::stod(std::string(arg.substr(6)));
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: nf-inspect [--tol=0.10] REPORT.json "
+                   "[BASELINE.json]\n"
+                   "  one file: summarize + gate cost-model conformance\n"
+                   "  two files: regression-diff A against baseline B\n";
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "nf-inspect: unknown flag " << arg << "\n";
+      return 2;
+    } else {
+      paths.emplace_back(arg);
+    }
+  }
+  if (paths.empty() || paths.size() > 2) {
+    std::cerr << "usage: nf-inspect [--tol=0.10] REPORT.json "
+                 "[BASELINE.json]\n";
+    return 2;
+  }
+  const Json a = load(paths[0]);
+  if (paths.size() == 1) return inspect_one(a, paths[0], tol);
+  const Json b = load(paths[1]);
+  return diff_reports(a, b, paths[0], paths[1], tol);
+}

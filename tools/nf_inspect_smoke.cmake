@@ -1,0 +1,23 @@
+# ctest driver for nf_inspect_smoke: run fig5 --quick with a JSON report and
+# a trace-event file, then require nf-inspect to pass its gated conformance
+# checks at the default tolerance.
+execute_process(
+  COMMAND ${FIG5} --quick --json=fig5_inspect_smoke.json
+          --trace-out=fig5_inspect_smoke.trace.json
+  RESULT_VARIABLE bench_rc
+  OUTPUT_QUIET)
+if(NOT bench_rc EQUAL 0)
+  message(FATAL_ERROR "fig5_filter_size failed: ${bench_rc}")
+endif()
+
+execute_process(
+  COMMAND ${INSPECT} fig5_inspect_smoke.json
+  RESULT_VARIABLE inspect_rc)
+if(NOT inspect_rc EQUAL 0)
+  message(FATAL_ERROR "nf-inspect gated a conformance breach: ${inspect_rc}")
+endif()
+
+file(READ fig5_inspect_smoke.trace.json trace_text LIMIT 256)
+if(NOT trace_text MATCHES "traceEvents")
+  message(FATAL_ERROR "--trace-out did not produce a trace-event document")
+endif()
