@@ -1,0 +1,104 @@
+// Ablation — multiplexed concurrent queries (session runtime, DESIGN.md §6d).
+//
+// N independent IFI queries — distinct thresholds, one with its own filter
+// bank — run as concurrent sessions over ONE engine run via
+// QueryService::serve_concurrent, then the same queries back to back. Both
+// orchestrations return bit-identical answers; the multiplexed run finishes
+// in far fewer total rounds because sessions overlap, and the per-session
+// traffic tallies attribute every byte to its query (the "sessions" section
+// of the JSON report, surfaced by nf-inspect).
+#include "bench/bench_util.h"
+
+#include "core/query_service.h"
+
+int main(int argc, char** argv) {
+  using namespace nf;
+  const auto cli = bench::Cli::parse(argc, argv);
+
+  bench::Params params;
+  params.seed = cli.seed;
+  params.threads = cli.threads;
+  bench::JsonReport report(cli, "ablation_multiquery");
+  report.params_from(params);
+  bench::Env env(params, report.obs());
+
+  // Five queries: a spread of thetas plus one with a private filter bank.
+  const std::vector<core::ConcurrentRequest> requests{
+      {PeerId(7), 0.005, 0, 0, 0},
+      {PeerId(123), 0.01, 0, 0, 0},
+      {PeerId(256), 0.02, 0, 0, 0},
+      {PeerId(400), 0.01, 4, 150, 1234},
+      {PeerId(512), 0.05, 0, 0, 0},
+  };
+  report.param("num_queries", obs::Json(requests.size()));
+
+  core::NetFilterConfig cfg;
+  cfg.num_groups = 100;
+  cfg.num_filters = 3;
+  cfg.threads = params.threads;
+  cfg.obs = report.obs();
+  const core::QueryService svc(cfg);
+
+  std::cout << "# Ablation: " << requests.size()
+            << " concurrent IFI sessions over one engine run"
+            << " (N=" << params.num_peers << ", n=" << params.num_items
+            << ", g=100, f=3)\n";
+
+  bench::banner("Multiplexed sessions vs back-to-back runs",
+                "identical answers; multiplexed rounds ~= the slowest "
+                "single query instead of the sum");
+  env.meter.reset();
+  core::ConcurrentQueryStats stats;
+  const auto responses =
+      svc.serve_concurrent(requests, env.workload, env.hierarchy, env.overlay,
+                           env.meter, &stats);
+
+  TableWriter table({"session", "theta", "threshold", "frequent",
+                     "candidates", "total_cost", "bytes"},
+                    std::cout, 14);
+  for (std::size_t i = 0; i < responses.size(); ++i) {
+    const auto& ss = stats.sessions[i];
+    table.row(ss.name, requests[i].theta, ss.threshold,
+              responses[i].frequent.size(), ss.netfilter.num_candidates,
+              ss.netfilter.total_cost(), ss.traffic.total_bytes());
+    obs::Json row = bench::to_json(ss.netfilter);
+    row["session"] = obs::Json(ss.name);
+    row["theta"] = obs::Json(requests[i].theta);
+    row["num_frequent_reported"] = obs::Json(responses[i].frequent.size());
+    report.row(std::move(row));
+  }
+  report.capture_traffic(env.meter);
+  report.capture_sessions(stats.sessions);
+
+  // Back-to-back baseline: each query on its own engine run; the answers
+  // must match and the rounds add up instead of overlapping.
+  std::uint64_t serial_rounds = 0;
+  bool identical = true;
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    core::NetFilterConfig solo_cfg = cfg;
+    solo_cfg.obs = nullptr;
+    if (requests[i].num_filters != 0) {
+      solo_cfg.num_filters = requests[i].num_filters;
+    }
+    if (requests[i].num_groups != 0) {
+      solo_cfg.num_groups = requests[i].num_groups;
+    }
+    if (requests[i].filter_seed != 0) {
+      solo_cfg.filter_seed = requests[i].filter_seed;
+    }
+    const core::NetFilter nf(solo_cfg);
+    net::TrafficMeter scratch(params.num_peers);
+    const auto solo = nf.run(env.workload, env.hierarchy, env.overlay,
+                             scratch, responses[i].threshold);
+    serial_rounds += solo.stats.rounds_total;
+    identical = identical && solo.frequent == responses[i].frequent;
+  }
+  std::cout << "# multiplexed rounds_total = " << stats.rounds_total
+            << ", back-to-back sum = " << serial_rounds
+            << ", answers identical = " << (identical ? "yes" : "NO") << "\n";
+  report.param("rounds_total_multiplexed", obs::Json(stats.rounds_total));
+  report.param("rounds_total_back_to_back", obs::Json(serial_rounds));
+
+  report.write();
+  return identical && stats.rounds_total < serial_rounds ? 0 : 1;
+}

@@ -29,6 +29,7 @@
 #include "core/cost_model.h"
 #include "core/naive.h"
 #include "core/netfilter.h"
+#include "core/query_service.h"
 #include "net/topology.h"
 #include "obs/context.h"
 #include "obs/export.h"
@@ -116,6 +117,22 @@ struct Env {
       obs->conformance.set_param(
           "f_opt", cm::optimal_num_filters(cfg.wire, n_items, r, g));
     }
+  }
+
+  /// The classic three-run orchestration (global barriers between phases),
+  /// kept as the A/B baseline for the pipelined session runtime. Runs on a
+  /// scratch meter without obs so it never disturbs the report of the
+  /// pipelined run it is compared against; only the round counts differ.
+  [[nodiscard]] core::NetFilterStats run_netfilter_barriered(
+      std::uint32_t g, std::uint32_t f) {
+    net::TrafficMeter scratch(params.num_peers);
+    core::NetFilterConfig cfg;
+    cfg.num_groups = g;
+    cfg.num_filters = f;
+    cfg.threads = params.threads;
+    cfg.barriered = true;
+    const core::NetFilter nf(cfg);
+    return nf.run(workload, hierarchy, overlay, scratch, threshold()).stats;
   }
 
   [[nodiscard]] core::NaiveResult run_naive() {
@@ -216,6 +233,7 @@ inline void banner(std::string_view title, std::string_view expectation) {
   row["candidates_per_peer"] = obs::Json(s.candidates_per_peer);
   row["rounds_filtering"] = obs::Json(s.rounds_filtering);
   row["rounds_verification"] = obs::Json(s.rounds_verification);
+  row["rounds_total"] = obs::Json(s.rounds_total);  // schema v4
   row["filtering_cost"] = obs::Json(s.filtering_cost);
   row["dissemination_cost"] = obs::Json(s.dissemination_cost);
   row["aggregation_cost"] = obs::Json(s.aggregation_cost);
@@ -274,6 +292,34 @@ class JsonReport {
   /// capture after the run whose traffic should land in the report).
   void capture_traffic(const net::TrafficMeter& meter) {
     if (enabled()) bundle_.traffic = obs::to_json(meter);
+  }
+
+  /// Per-session traffic attribution of a multiplexed run (schema v4
+  /// "sessions"). Pass QueryService's ConcurrentQueryStats sessions.
+  void capture_sessions(
+      const std::vector<core::ConcurrentSessionStats>& sessions) {
+    if (!enabled()) return;
+    auto arr = obs::Json::array();
+    for (const auto& ss : sessions) {
+      auto row = obs::Json::object();
+      row["name"] = obs::Json(ss.name);
+      row["threshold"] = obs::Json(ss.threshold);
+      row["netfilter"] = to_json(ss.netfilter);
+      auto bytes = obs::Json::object();
+      auto msgs = obs::Json::object();
+      for (std::size_t c = 0; c < net::kNumTrafficCategories; ++c) {
+        if (ss.traffic.msgs[c] == 0) continue;
+        const std::string cat(
+            net::to_string(static_cast<net::TrafficCategory>(c)));
+        bytes[cat] = obs::Json(ss.traffic.bytes[c]);
+        msgs[cat] = obs::Json(ss.traffic.msgs[c]);
+      }
+      row["bytes"] = std::move(bytes);
+      row["msgs"] = std::move(msgs);
+      row["total_bytes"] = obs::Json(ss.traffic.total_bytes());
+      arr.push_back(std::move(row));
+    }
+    bundle_.sessions = std::move(arr);
   }
 
   /// Serializes the bundle to the --json path and, when --trace-out was

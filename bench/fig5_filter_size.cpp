@@ -35,18 +35,24 @@ int main(int argc, char** argv) {
                 "U-shaped total cost, minimum near g=100; candidates drop "
                 "sharply once g >= ~75");
   TableWriter table({"g", "cand/peer", "heavy_groups", "total_cost",
-                     "filter_cost", "dissem_cost", "agg_cost", "fp"},
+                     "filter_cost", "dissem_cost", "agg_cost", "fp",
+                     "rounds", "rounds_barrier"},
                     std::cout, 14);
   for (std::uint32_t g :
        {25u, 50u, 75u, 100u, 150u, 200u, 250u, 300u, 350u, 400u, 450u,
         500u}) {
     const auto res = env.run_netfilter(g, 3);
+    // A/B the orchestrations: same query, barriered phases — the pipelined
+    // session overlaps verification with filtering and saves whole rounds.
+    const auto barriered = env.run_netfilter_barriered(g, 3);
     table.row(g, res.stats.candidates_per_peer, res.stats.heavy_groups_total,
               res.stats.total_cost(), res.stats.filtering_cost,
               res.stats.dissemination_cost, res.stats.aggregation_cost,
-              res.stats.num_false_positives);
+              res.stats.num_false_positives, res.stats.rounds_total,
+              barriered.rounds_total);
     obs::Json row = bench::to_json(res.stats);
     row["g"] = obs::Json(g);
+    row["rounds_total_barriered"] = obs::Json(barriered.rounds_total);
     report.row(std::move(row));
   }
   // The meter resets per run; snapshot the last netFilter run's breakdown

@@ -15,9 +15,16 @@
 // Used with T = std::vector<Value> for item-group aggregates (phase 1),
 // T = ValueMap<ItemId> for candidate aggregation (phase 2), and scalar
 // pairs for the v / N bootstrap aggregates.
+//
+// ConvergecastPhase is the session-runtime component (net/session.h): it
+// initializes a peer when its phase opens there — so a convergecast can
+// start per peer, pipelined behind whatever triggers it — and reports
+// done() once the root has merged every child. Convergecast is the classic
+// standalone protocol, now a thin shim wrapping one phase in a
+// single-session mux.
 #pragma once
 
-#include <any>
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <optional>
@@ -28,23 +35,28 @@
 #include "common/arena.h"
 #include "common/error.h"
 #include "common/ids.h"
-#include "net/engine.h"
+#include "net/session.h"
 #include "obs/context.h"
 
 namespace nf::agg {
 
 /// Shard-safe: callbacks for peer p touch only state_[p]; `complete_` has a
 /// single writer (the root's shard) and is read at the round barrier.
+/// Messages are typed (net::TypedPhase<T>): a payload type error in caller
+/// code fails at compile time.
 template <typename T>
-class Convergecast final : public net::Protocol {
+class ConvergecastPhase final : public net::TypedPhase<T> {
  public:
   using LocalFn = std::function<T(PeerId)>;
   using MergeFn = std::function<void(T&, T&&)>;
   using WireBytesFn = std::function<std::uint64_t(const T&)>;
+  /// Fires at the root, inside the run, the moment the global aggregate is
+  /// complete — the hook a downstream phase transition chains from.
+  using CompleteFn = std::function<void(net::PhaseContext&, const T&)>;
 
-  Convergecast(const Hierarchy& hierarchy, net::TrafficCategory category,
-               LocalFn local, MergeFn merge, WireBytesFn wire_bytes,
-               obs::Context* obs = nullptr)
+  ConvergecastPhase(const Hierarchy& hierarchy, net::TrafficCategory category,
+                    LocalFn local, MergeFn merge, WireBytesFn wire_bytes,
+                    obs::Context* obs = nullptr)
       : hierarchy_(hierarchy),
         category_(category),
         local_(std::move(local)),
@@ -53,47 +65,55 @@ class Convergecast final : public net::Protocol {
         obs_(obs),
         state_(hierarchy.num_peers()) {}
 
-  void on_round(net::Context& ctx) override {
+  void set_on_complete(CompleteFn on_complete) {
+    on_complete_ = std::move(on_complete);
+  }
+
+  void on_start(net::PhaseContext& ctx) override {
     const PeerId p = ctx.self();
     if (!hierarchy_.is_member(p)) return;
     State& st = state_[p.value()];
-    if (!st.acc.has_value()) {
-      st.acc.emplace(local_(p));
-      st.pending = static_cast<std::uint32_t>(
-          hierarchy_.downstream(p).size());
-      maybe_forward(ctx, st);
-    }
-  }
-
-  void on_message(net::Context& ctx, net::Envelope&& env) override {
-    State& st = state_[ctx.self().value()];
-    ensure(st.acc.has_value(), "convergecast message before initialization");
-    ensure(st.pending > 0, "unexpected convergecast message");
-    T* payload = std::any_cast<T>(&env.payload);
-    ensure(payload != nullptr, "convergecast payload type mismatch");
-    if (obs_ != nullptr) {
-      obs_->registry.counter("convergecast/merges").add(1);
-      obs_->tracer.record(obs::EventKind::kMerge, "convergecast.merge",
-                          ctx.self().value(), env.bytes);
-    }
-    merge_(*st.acc, std::move(*payload));
-    --st.pending;
+    st.acc.emplace(local_(p));
+    st.pending =
+        static_cast<std::uint32_t>(hierarchy_.downstream(p).size());
     maybe_forward(ctx, st);
   }
 
-  [[nodiscard]] bool active() const override { return !complete_; }
+  // Atomic (single writer: the root's shard; many readers: the mux's
+  // per-peer round gating runs on every shard). Relaxed is enough — a stale
+  // false only costs one no-op tick, and the round barrier publishes the
+  // flag before anyone acts on downstream state.
+  [[nodiscard]] bool done() const override {
+    return complete_.load(std::memory_order_relaxed);
+  }
 
-  [[nodiscard]] bool complete() const { return complete_; }
+  [[nodiscard]] bool complete() const { return done(); }
 
   /// The global aggregate; valid once complete().
   [[nodiscard]] const T& result() const {
-    require(complete_, "convergecast not complete");
+    require(complete(), "convergecast not complete");
     return *state_[hierarchy_.root().value()].acc;
   }
 
   /// Bytes this peer propagated upward (0 for the root). Valid after run.
   [[nodiscard]] std::uint64_t sent_bytes(PeerId p) const {
     return state_[p.value()].sent_bytes;
+  }
+
+ protected:
+  void on_payload(net::PhaseContext& ctx, T&& child,
+                  PeerId /*from*/) override {
+    State& st = state_[ctx.self().value()];
+    ensure(st.acc.has_value(), "convergecast message before initialization");
+    ensure(st.pending > 0, "unexpected convergecast message");
+    if (obs_ != nullptr) {
+      obs_->registry.counter("convergecast/merges").add(1);
+      obs_->tracer.record(obs::EventKind::kMerge, "convergecast.merge",
+                          ctx.self().value(), st.sent_bytes);
+    }
+    merge_(*st.acc, std::move(child));
+    --st.pending;
+    maybe_forward(ctx, st);
   }
 
  private:
@@ -104,11 +124,12 @@ class Convergecast final : public net::Protocol {
     std::optional<T> acc;
   };
 
-  void maybe_forward(net::Context& ctx, State& st) {
+  void maybe_forward(net::PhaseContext& ctx, State& st) {
     if (st.pending != 0 || st.sent) return;
     const PeerId p = ctx.self();
     if (p == hierarchy_.root()) {
-      complete_ = true;
+      complete_.store(true, std::memory_order_relaxed);
+      if (on_complete_) on_complete_(ctx, *st.acc);
       return;
     }
     st.sent = true;
@@ -117,8 +138,8 @@ class Convergecast final : public net::Protocol {
       obs_->registry.histogram("convergecast/msg_bytes")
           .observe(st.sent_bytes);
     }
-    ctx.send(hierarchy_.upstream(p), category_, st.sent_bytes,
-             std::any(std::move(*st.acc)));
+    this->send(ctx, hierarchy_.upstream(p), category_, st.sent_bytes,
+               std::move(*st.acc));
     st.acc.reset();
   }
 
@@ -128,8 +149,56 @@ class Convergecast final : public net::Protocol {
   MergeFn merge_;
   WireBytesFn wire_bytes_;
   obs::Context* obs_;
+  CompleteFn on_complete_;
   PeerArena<State> state_;
-  bool complete_ = false;
+  std::atomic<bool> complete_{false};
+};
+
+/// Standalone run-to-completion convergecast: one phase, one anonymous
+/// session, opened at every member on the first tick. Existing callers
+/// (bootstrap aggregates, tests) keep compiling unchanged.
+template <typename T>
+class Convergecast final : public net::Protocol {
+ public:
+  using LocalFn = typename ConvergecastPhase<T>::LocalFn;
+  using MergeFn = typename ConvergecastPhase<T>::MergeFn;
+  using WireBytesFn = typename ConvergecastPhase<T>::WireBytesFn;
+
+  Convergecast(const Hierarchy& hierarchy, net::TrafficCategory category,
+               LocalFn local, MergeFn merge, WireBytesFn wire_bytes,
+               obs::Context* obs = nullptr)
+      : phase_(hierarchy, category, std::move(local), std::move(merge),
+               std::move(wire_bytes), obs),
+        mux_(obs) {
+    const net::SessionId sid = mux_.add_session();
+    net::PhaseOptions opts;
+    opts.start = net::PhaseStart::kAllPeers;
+    opts.open_on_message = false;
+    mux_.add_phase(sid, phase_, opts);
+  }
+
+  void on_run_start(const net::Overlay& overlay) override {
+    mux_.on_run_start(overlay);
+  }
+  void on_round_begin(std::uint64_t round) override {
+    mux_.on_round_begin(round);
+  }
+  void on_round(net::Context& ctx) override { mux_.on_round(ctx); }
+  void on_message(net::Context& ctx, net::Envelope&& env) override {
+    mux_.on_message(ctx, std::move(env));
+  }
+  void on_run_end() override { mux_.on_run_end(); }
+  [[nodiscard]] bool active() const override { return mux_.active(); }
+
+  [[nodiscard]] bool complete() const { return phase_.complete(); }
+  [[nodiscard]] const T& result() const { return phase_.result(); }
+  [[nodiscard]] std::uint64_t sent_bytes(PeerId p) const {
+    return phase_.sent_bytes(p);
+  }
+
+ private:
+  ConvergecastPhase<T> phase_;
+  net::SessionMux mux_;
 };
 
 }  // namespace nf::agg

@@ -20,13 +20,7 @@ PushSumGossip::PushSumGossip(std::vector<std::vector<double>> initial,
   count_.assign(num_peers_, 0.0);
   count_[0u] = 1.0;
   w_.assign(num_peers_, 1.0);
-  Rng master(config_.seed);
-  std::vector<Rng> streams;
-  streams.reserve(num_peers_);
-  for (std::uint32_t p = 0; p < num_peers_; ++p) {
-    streams.push_back(master.fork());
-  }
-  rng_ = PeerArena<Rng>(std::move(streams));
+  rng_ = fork_streams(config_.seed, num_peers_);
 }
 
 void PushSumGossip::on_round_begin(std::uint64_t /*round*/) {

@@ -5,9 +5,15 @@
 // disseminate the heavy item-group identifiers before candidate
 // verification; the charged size is the modelled wire size of the payload
 // (sg bytes per heavy group id), not the in-memory size.
+//
+// MulticastPhase is the session-runtime component (net/session.h). Its
+// payload may be set mid-run — the pipelined netFilter only knows the heavy
+// set when the filtering convergecast completes at the root — and each
+// peer's handler fires the moment the copy reaches it, which is exactly the
+// per-peer trigger that lets the next phase start there without a global
+// barrier. Multicast is the classic standalone protocol, now a thin shim.
 #pragma once
 
-#include <any>
 #include <atomic>
 #include <cstdint>
 #include <functional>
@@ -18,13 +24,91 @@
 #include "common/arena.h"
 #include "common/error.h"
 #include "common/ids.h"
-#include "net/engine.h"
+#include "net/session.h"
 #include "obs/context.h"
 
 namespace nf::agg {
 
 /// Shard-safe: per-peer receipt flags live in a byte arena and the reach
-/// count is a commutative atomic.
+/// count is a commutative atomic. Typed messages (net::TypedPhase<T>): a
+/// payload type error fails at compile time.
+template <typename T>
+class MulticastPhase final : public net::TypedPhase<T> {
+ public:
+  /// Runs at every member (including the root) exactly once, when the
+  /// payload reaches that peer.
+  using ReceiveFn = std::function<void(net::PhaseContext&, const T&)>;
+
+  MulticastPhase(const Hierarchy& hierarchy, net::TrafficCategory category,
+                 ReceiveFn on_receive, obs::Context* obs = nullptr)
+      : hierarchy_(hierarchy),
+        category_(category),
+        on_receive_(std::move(on_receive)),
+        obs_(obs),
+        received_(hierarchy.num_peers(), false) {}
+
+  /// Installs the payload and its modelled wire size. Must happen before
+  /// the phase opens at the root — either up front, or from an earlier
+  /// phase's callback (the root's shard) right before open_phase().
+  void set_payload(T payload, std::uint64_t wire_bytes) {
+    payload_ = std::move(payload);
+    wire_bytes_ = wire_bytes;
+    has_payload_ = true;
+  }
+
+  void on_start(net::PhaseContext& ctx) override {
+    if (ctx.self() != hierarchy_.root()) return;
+    ensure(has_payload_, "multicast opened at root without a payload");
+    deliver(ctx, payload_);
+  }
+
+  [[nodiscard]] bool done() const override {
+    return num_received() >= hierarchy_.num_members();
+  }
+
+  [[nodiscard]] bool complete() const { return done(); }
+
+  /// Number of members that have received the payload so far.
+  [[nodiscard]] std::uint32_t num_received() const {
+    return num_received_.load(std::memory_order_relaxed);
+  }
+
+ protected:
+  void on_payload(net::PhaseContext& ctx, T&& msg, PeerId /*from*/) override {
+    ensure(!received_[ctx.self().value()], "duplicate multicast delivery");
+    deliver(ctx, msg);
+  }
+
+ private:
+  void deliver(net::PhaseContext& ctx, const T& payload) {
+    const PeerId p = ctx.self();
+    received_[p.value()] = true;
+    num_received_.fetch_add(1, std::memory_order_relaxed);
+    on_receive_(ctx, payload);
+    const auto& downstream = hierarchy_.downstream(p);
+    if (obs_ != nullptr && !downstream.empty()) {
+      obs_->registry.counter("multicast/forwards").add(downstream.size());
+      obs_->tracer.record(obs::EventKind::kFanout, "multicast.fanout",
+                          p.value(), downstream.size());
+    }
+    for (PeerId child : downstream) {
+      this->send(ctx, child, category_, wire_bytes_, T(payload));
+    }
+  }
+
+  const Hierarchy& hierarchy_;
+  net::TrafficCategory category_;
+  ReceiveFn on_receive_;
+  obs::Context* obs_;
+  T payload_{};
+  std::uint64_t wire_bytes_ = 0;
+  bool has_payload_ = false;
+  PeerArena<bool> received_;
+  std::atomic<std::uint32_t> num_received_{0};
+};
+
+/// Standalone run-to-completion multicast with the classic callback shape;
+/// wraps one MulticastPhase in a single anonymous session.
 template <typename T>
 class Multicast final : public net::Protocol {
  public:
@@ -34,63 +118,42 @@ class Multicast final : public net::Protocol {
   Multicast(const Hierarchy& hierarchy, net::TrafficCategory category,
             T payload, std::uint64_t wire_bytes, ReceiveFn on_receive,
             obs::Context* obs = nullptr)
-      : hierarchy_(hierarchy),
-        category_(category),
-        payload_(std::move(payload)),
-        wire_bytes_(wire_bytes),
-        on_receive_(std::move(on_receive)),
-        obs_(obs),
-        received_(hierarchy.num_peers(), false) {}
-
-  void on_round(net::Context& ctx) override {
-    const PeerId p = ctx.self();
-    if (p != hierarchy_.root() || received_[p.value()]) return;
-    deliver(ctx, p, payload_);
+      : phase_(
+            hierarchy, category,
+            [fn = std::move(on_receive)](net::PhaseContext& ctx,
+                                         const T& value) {
+              fn(ctx.self(), value);
+            },
+            obs),
+        mux_(obs) {
+    phase_.set_payload(std::move(payload), wire_bytes);
+    const net::SessionId sid = mux_.add_session();
+    net::PhaseOptions opts;
+    opts.start = net::PhaseStart::kAllPeers;
+    mux_.add_phase(sid, phase_, opts);
   }
 
+  void on_run_start(const net::Overlay& overlay) override {
+    mux_.on_run_start(overlay);
+  }
+  void on_round_begin(std::uint64_t round) override {
+    mux_.on_round_begin(round);
+  }
+  void on_round(net::Context& ctx) override { mux_.on_round(ctx); }
   void on_message(net::Context& ctx, net::Envelope&& env) override {
-    const PeerId p = ctx.self();
-    ensure(!received_[p.value()], "duplicate multicast delivery");
-    const T* payload = std::any_cast<T>(&env.payload);
-    ensure(payload != nullptr, "multicast payload type mismatch");
-    deliver(ctx, p, *payload);
+    mux_.on_message(ctx, std::move(env));
   }
+  void on_run_end() override { mux_.on_run_end(); }
+  [[nodiscard]] bool active() const override { return mux_.active(); }
 
-  [[nodiscard]] bool active() const override {
-    return num_received() < hierarchy_.num_members();
-  }
-
-  [[nodiscard]] bool complete() const { return !active(); }
-
-  /// Number of members that have received the payload so far.
+  [[nodiscard]] bool complete() const { return phase_.complete(); }
   [[nodiscard]] std::uint32_t num_received() const {
-    return num_received_.load(std::memory_order_relaxed);
+    return phase_.num_received();
   }
 
  private:
-  void deliver(net::Context& ctx, PeerId p, const T& payload) {
-    received_[p.value()] = true;
-    num_received_.fetch_add(1, std::memory_order_relaxed);
-    on_receive_(p, payload);
-    const auto& downstream = hierarchy_.downstream(p);
-    if (obs_ != nullptr && !downstream.empty()) {
-      obs_->registry.counter("multicast/forwards").add(downstream.size());
-      obs_->tracer.record(obs::EventKind::kFanout, "multicast.fanout",
-                          p.value(), downstream.size());
-    }
-    for (PeerId child : downstream) {
-      ctx.send(child, category_, wire_bytes_, std::any(payload));
-    }
-  }
-
-  const Hierarchy& hierarchy_;
-  net::TrafficCategory category_;
-  T payload_;
-  std::uint64_t wire_bytes_;
-  ReceiveFn on_receive_;
-  obs::Context* obs_;
-  PeerArena<bool> received_;
-  std::atomic<std::uint32_t> num_received_{0};
+  MulticastPhase<T> phase_;
+  net::SessionMux mux_;
 };
 
 }  // namespace nf::agg

@@ -35,13 +35,7 @@ class MapPushSum final : public net::Protocol {
     count_.assign(num_peers_, 0.0);
     count_[initiator.value()] = 1.0;
     w_.assign(num_peers_, 1.0);
-    Rng master(seed);
-    std::vector<Rng> streams;
-    streams.reserve(num_peers_);
-    for (std::uint32_t p = 0; p < num_peers_; ++p) {
-      streams.push_back(master.fork());
-    }
-    rng_ = PeerArena<Rng>(std::move(streams));
+    rng_ = fork_streams(seed, num_peers_);
   }
 
   void on_round_begin(std::uint64_t /*round*/) override {

@@ -1,0 +1,175 @@
+#include "core/ifi_session.h"
+
+#include <utility>
+
+#include "common/error.h"
+#include "net/codec.h"
+#include "obs/context.h"
+
+namespace nf::core {
+
+IfiSessionPhases::IfiSessionPhases(const NetFilter& netfilter,
+                                   const ItemSource& items,
+                                   const agg::Hierarchy& hierarchy,
+                                   Value threshold)
+    : netfilter_(netfilter),
+      items_(items),
+      hierarchy_(hierarchy),
+      threshold_(threshold),
+      obs_(netfilter.config().obs),
+      filtering_(
+          hierarchy, net::TrafficCategory::kFiltering,
+          /*local=*/
+          [this](PeerId p) {
+            return netfilter_.local_group_aggregates(items_.local_items(p));
+          },
+          /*merge=*/
+          [](std::vector<Value>& acc, std::vector<Value>&& child) {
+            ensure(acc.size() == child.size(), "group vector size mismatch");
+            for (std::size_t i = 0; i < acc.size(); ++i) acc[i] += child[i];
+          },
+          /*wire_bytes=*/
+          [this](const std::vector<Value>& v) -> std::uint64_t {
+            const NetFilterConfig& cfg = netfilter_.config();
+            // The paper's model charges sa bytes per item group per filter
+            // (§IV-A) regardless of sparsity; kVarintDelta prices the
+            // actual varint encoding.
+            return cfg.wire_model == WireModel::kFlatFields
+                       ? std::uint64_t{cfg.wire.aggregate_bytes} *
+                             cfg.num_filters * cfg.num_groups
+                       : net::encode_aggregates(v).size();
+          },
+          netfilter.config().obs),
+      dissemination_(
+          hierarchy, net::TrafficCategory::kDissemination,
+          /*on_receive=*/
+          [this](net::PhaseContext& ctx, const HeavyGroupSet& hg) {
+            on_heavy_received(ctx, hg);
+          },
+          netfilter.config().obs),
+      aggregation_(
+          hierarchy, net::TrafficCategory::kAggregation,
+          /*local=*/
+          [this](PeerId p) {
+            ensure(ready_[p] != 0, "peer aggregating before materialization");
+            return std::move(partial_[p.value()]);
+          },
+          /*merge=*/
+          [](LocalItems& acc, LocalItems&& child) { acc.merge_add(child); },
+          /*wire_bytes=*/
+          [this](const LocalItems& m) -> std::uint64_t {
+            const NetFilterConfig& cfg = netfilter_.config();
+            return cfg.wire_model == WireModel::kFlatFields
+                       ? m.size() * cfg.wire.item_value_pair()
+                       : net::encode_pairs(m).size();
+          },
+          netfilter.config().obs),
+      partial_(hierarchy.num_peers()),
+      ready_(hierarchy.num_peers(), false) {
+  require(threshold >= 1, "threshold must be >= 1");
+  filtering_.set_on_complete(
+      [this](net::PhaseContext& ctx, const std::vector<Value>& global) {
+        finish_filtering(ctx, global);
+      });
+  aggregation_.set_on_complete(
+      [this](net::PhaseContext& ctx, const LocalItems& candidates) {
+        finish_aggregation(ctx, candidates);
+      });
+}
+
+net::PhaseId IfiSessionPhases::register_phases(
+    net::SessionMux& mux, net::SessionId session,
+    net::PhaseStart filtering_start) {
+  net::PhaseOptions fopts;
+  fopts.start = filtering_start;
+  // Children's aggregates must merge into an initialized accumulator;
+  // buffering is the safety net (on a tree a parent always starts before
+  // its children can reach it).
+  fopts.open_on_message = false;
+  fopts.name = "filtering";
+  const net::PhaseId fid = mux.add_phase(session, filtering_, fopts);
+
+  net::PhaseOptions dopts;  // receipt of the heavy set IS the trigger
+  dopts.name = "dissemination";
+  dissemination_pid_ = mux.add_phase(session, dissemination_, dopts);
+
+  net::PhaseOptions aopts;
+  aopts.open_on_message = false;  // materialize before merging children
+  aopts.name = "aggregation";
+  aggregation_pid_ = mux.add_phase(session, aggregation_, aopts);
+  return fid;
+}
+
+// Runs at the root, inside the delivery that completed the global group
+// aggregates: threshold the groups, hand the heavy set to the multicast and
+// open it here — the per-peer phase-2 wave starts this very round.
+void IfiSessionPhases::finish_filtering(net::PhaseContext& ctx,
+                                        const std::vector<Value>& global) {
+  const NetFilterConfig& cfg = netfilter_.config();
+  const std::uint32_t f = cfg.num_filters;
+  const std::uint32_t g = cfg.num_groups;
+  heavy_.heavy.assign(f, std::vector<bool>(g, false));
+  for (std::uint32_t i = 0; i < f; ++i) {
+    for (std::uint32_t j = 0; j < g; ++j) {
+      heavy_.heavy[i][j] =
+          global[static_cast<std::size_t>(i) * g + j] >= threshold_;
+    }
+  }
+  filtering_rounds_ = ctx.round() + 1;
+  obs::add_counter(obs_, "netfilter/heavy_groups", heavy_.total());
+
+  // Each dissemination message costs sg per heavy group id under the flat
+  // model, or a delta-coded id list under kVarintDelta (Algorithm 2, line 1).
+  std::uint64_t dissemination_bytes =
+      heavy_.total() * cfg.wire.group_id_bytes;
+  if (cfg.wire_model == WireModel::kVarintDelta) {
+    std::vector<std::uint64_t> heavy_ids;
+    for (std::size_t i = 0; i < heavy_.heavy.size(); ++i) {
+      for (std::size_t j = 0; j < heavy_.heavy[i].size(); ++j) {
+        if (heavy_.heavy[i][j]) {
+          heavy_ids.push_back(i * heavy_.heavy[i].size() + j);
+        }
+      }
+    }
+    dissemination_bytes = net::encode_sorted_ids(heavy_ids).size();
+  }
+  dissemination_.set_payload(heavy_, dissemination_bytes);
+  ctx.open_phase(dissemination_pid_);
+}
+
+// Runs at every member when the heavy set reaches it: materialize the local
+// candidates (Algorithm 2, line 2) and enter aggregation immediately — this
+// peer's subtree proceeds without waiting for the multicast to finish
+// elsewhere.
+void IfiSessionPhases::on_heavy_received(net::PhaseContext& ctx,
+                                         const HeavyGroupSet& hg) {
+  const PeerId p = ctx.self();
+  partial_[p.value()] =
+      netfilter_.materialize_candidates(items_.local_items(p), hg);
+  ready_[p] = true;
+  ctx.open_phase(aggregation_pid_);
+}
+
+void IfiSessionPhases::finish_aggregation(net::PhaseContext& ctx,
+                                          const LocalItems& candidates) {
+  NetFilterStats& s = result_.stats;
+  s.threshold = threshold_;
+  s.heavy_groups_total = heavy_.total();
+  s.num_candidates = candidates.size();
+  result_.frequent = candidates;
+  result_.frequent.retain(
+      [&](ItemId, Value v) { return v >= threshold_; });
+  s.num_frequent = result_.frequent.size();
+  s.num_false_positives = s.num_candidates - s.num_frequent;
+  obs::add_counter(obs_, "netfilter/candidates", s.num_candidates);
+  obs::add_counter(obs_, "netfilter/frequent", s.num_frequent);
+  result_ready_.store(true, std::memory_order_relaxed);
+  if (on_complete_) on_complete_(ctx);
+}
+
+NetFilterResult IfiSessionPhases::take_result() {
+  require(complete(), "IFI session not complete");
+  return std::move(result_);
+}
+
+}  // namespace nf::core

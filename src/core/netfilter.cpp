@@ -9,7 +9,9 @@
 #include "common/error.h"
 #include "core/cost_model.h"
 #include "core/host_report.h"
+#include "core/ifi_session.h"
 #include "net/codec.h"
+#include "net/session.h"
 #include "obs/context.h"
 
 namespace nf::core {
@@ -20,19 +22,20 @@ double per_peer(std::uint64_t bytes, std::uint32_t num_peers) {
   return static_cast<double>(bytes) / static_cast<double>(num_peers);
 }
 
-// Records one Formula-1 conformance run: predicted per-peer phase costs from
-// the analytic model vs what the TrafficMeter actually charged. Only the
-// configuration the closed-form model prices is judged — flat wire fields on
-// a loss-free network; varint or lossy runs are skipped (their bytes are
-// legitimately different from the formula).
+}  // namespace
+
+// Predicted per-peer phase costs from the analytic model vs what the
+// TrafficMeter (or a session tally) actually charged; varint or lossy runs
+// are skipped (their bytes are legitimately different from the formula).
 //
 // Gated vs advisory: filtering and dissemination are exact by construction
 // (modulo the root, which receives but never sends — hence the (n-1)/n
 // factor), so they gate. Aggregation is the paper's upper bound — a
 // candidate pair travels once per tree edge on its path, not once total —
 // so it and the lumped F1 total are advisory.
-void record_conformance(const NetFilterConfig& config,
-                        const NetFilterStats& s, std::uint32_t num_peers) {
+void record_netfilter_conformance(const NetFilterConfig& config,
+                                  const NetFilterStats& s,
+                                  std::uint32_t num_peers) {
   obs::Context* obs = config.obs;
   if (obs == nullptr) return;
   if (config.wire_model != WireModel::kFlatFields) return;
@@ -77,8 +80,6 @@ void record_conformance(const NetFilterConfig& config,
                        non_root,
                    s.total_cost(), /*gated=*/false);
 }
-
-}  // namespace
 
 std::uint64_t HeavyGroupSet::total() const {
   std::uint64_t t = 0;
@@ -298,6 +299,71 @@ NetFilterResult NetFilter::verify_candidates(
   return result;
 }
 
+NetFilterResult NetFilter::run_barriered(const ItemSource& items,
+                                         const agg::Hierarchy& hierarchy,
+                                         net::Overlay& overlay,
+                                         net::TrafficMeter& meter,
+                                         Value threshold) const {
+  NetFilterStats stats;
+  const HeavyGroupSet heavy = filter_candidates(items, hierarchy, overlay,
+                                                meter, threshold, &stats);
+  NetFilterResult result = verify_candidates(items, hierarchy, overlay, meter,
+                                             threshold, heavy, stats);
+  result.stats.rounds_total =
+      result.stats.rounds_filtering + result.stats.rounds_verification;
+  return result;
+}
+
+NetFilterResult NetFilter::run_pipelined(const ItemSource& items,
+                                         const agg::Hierarchy& hierarchy,
+                                         net::Overlay& overlay,
+                                         net::TrafficMeter& meter,
+                                         Value threshold) const {
+  require(threshold >= 1, "threshold must be >= 1");
+  const std::uint32_t n = overlay.num_peers();
+  const std::uint64_t filtering_before =
+      meter.total(net::TrafficCategory::kFiltering);
+  const std::uint64_t dissemination_before =
+      meter.total(net::TrafficCategory::kDissemination);
+  const std::uint64_t aggregation_before =
+      meter.total(net::TrafficCategory::kAggregation);
+
+  net::SessionMux mux(config_.obs);
+  // Unnamed single session: phase spans keep the classic bare names
+  // ("filtering", ...), so trace consumers see the same span set as the
+  // barriered path.
+  const net::SessionId sid = mux.add_session();
+  IfiSessionPhases ifi(*this, items, hierarchy, threshold);
+  (void)ifi.register_phases(mux, sid, net::PhaseStart::kAllPeers);
+
+  net::Engine engine(overlay, meter);
+  engine.set_threads(config_.threads);
+  engine.set_fault_model(config_.fault);
+  engine.set_obs(config_.obs);
+  const std::uint64_t rounds_total =
+      engine.run(mux, config_.max_rounds_per_phase);
+  ensure(ifi.complete(), "pipelined netfilter did not complete");
+
+  NetFilterResult result = ifi.take_result();
+  NetFilterStats& s = result.stats;
+  s.rounds_total = rounds_total;
+  s.rounds_filtering = ifi.filtering_rounds();
+  s.rounds_verification = rounds_total - s.rounds_filtering;
+  const std::uint64_t aggregation_bytes =
+      meter.total(net::TrafficCategory::kAggregation) - aggregation_before;
+  s.filtering_cost = per_peer(
+      meter.total(net::TrafficCategory::kFiltering) - filtering_before, n);
+  s.dissemination_cost = per_peer(
+      meter.total(net::TrafficCategory::kDissemination) - dissemination_before,
+      n);
+  s.aggregation_cost = per_peer(aggregation_bytes, n);
+  s.candidates_per_peer =
+      static_cast<double>(aggregation_bytes) /
+      static_cast<double>(config_.wire.item_value_pair()) /
+      static_cast<double>(n);
+  return result;
+}
+
 NetFilterResult NetFilter::run(const ItemSource& items,
                                const agg::Hierarchy& hierarchy,
                                net::Overlay& overlay, net::TrafficMeter& meter,
@@ -311,16 +377,16 @@ NetFilterResult NetFilter::run(const ItemSource& items,
     obs::ScopedPhase phase(config_.obs, "host-report");
     return EffectiveItems(items, hierarchy, overlay, config_.wire, &meter);
   }();
-
-  NetFilterStats stats;
-  const HeavyGroupSet heavy = filter_candidates(effective, hierarchy, overlay,
-                                                meter, threshold, &stats);
-  stats.host_report_cost =
+  const double host_report_cost =
       per_peer(meter.total(net::TrafficCategory::kHostReport) - host_before,
                overlay.num_peers());
-  NetFilterResult result = verify_candidates(effective, hierarchy, overlay,
-                                             meter, threshold, heavy, stats);
-  record_conformance(config_, result.stats, overlay.num_peers());
+
+  NetFilterResult result =
+      config_.barriered
+          ? run_barriered(effective, hierarchy, overlay, meter, threshold)
+          : run_pipelined(effective, hierarchy, overlay, meter, threshold);
+  result.stats.host_report_cost = host_report_cost;
+  record_netfilter_conformance(config_, result.stats, overlay.num_peers());
   return result;
 }
 

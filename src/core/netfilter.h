@@ -45,6 +45,13 @@ struct NetFilterStats {
   double candidates_per_peer = 0.0;        ///< avg <id,value> pairs sent/peer
   std::uint64_t rounds_filtering = 0;
   std::uint64_t rounds_verification = 0;
+  /// Engine rounds for the whole query. Barriered orchestration pays the
+  /// phases back to back (filtering + verification); the pipelined session
+  /// overlaps them, so rounds_total is strictly smaller there — the win the
+  /// fig5 bench reports. In pipelined runs rounds_filtering counts until
+  /// the root completed filtering and rounds_verification is the remainder
+  /// (phase 2 already ran at the leaves during it).
+  std::uint64_t rounds_total = 0;
 
   // Per-peer average communication cost in bytes (the paper's metric),
   // split the way Figures 5(b)/6(b) plot it.
@@ -108,8 +115,35 @@ class NetFilter {
   [[nodiscard]] const NetFilterConfig& config() const { return config_; }
 
  private:
+  /// The classic orchestration: three engine runs with global barriers
+  /// between the phases (config.barriered). `items` is the effective
+  /// (host-report-folded) source.
+  [[nodiscard]] NetFilterResult run_barriered(const ItemSource& items,
+                                              const agg::Hierarchy& hierarchy,
+                                              net::Overlay& overlay,
+                                              net::TrafficMeter& meter,
+                                              Value threshold) const;
+
+  /// One session on one engine run (the default): a peer enters phase 2 the
+  /// moment the heavy multicast reaches it — identical result, strictly
+  /// fewer engine rounds (see core/ifi_session.h).
+  [[nodiscard]] NetFilterResult run_pipelined(const ItemSource& items,
+                                              const agg::Hierarchy& hierarchy,
+                                              net::Overlay& overlay,
+                                              net::TrafficMeter& meter,
+                                              Value threshold) const;
+
   NetFilterConfig config_;
   FilterBank bank_;
 };
+
+/// Records one Formula-1 conformance run into config.obs (no-op when null):
+/// predicted per-peer phase costs from the analytic model vs the costs in
+/// `stats`. Only configurations the closed-form model prices are judged —
+/// flat wire fields on a loss-free network. Public so QueryService can
+/// record one run per multiplexed session from per-session traffic tallies.
+void record_netfilter_conformance(const NetFilterConfig& config,
+                                  const NetFilterStats& stats,
+                                  std::uint32_t num_peers);
 
 }  // namespace nf::core

@@ -5,10 +5,18 @@
 #include <atomic>
 #include <cmath>
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <optional>
+#include <string>
+#include <utility>
 
+#include "agg/multicast.h"
 #include "common/arena.h"
 #include "common/error.h"
+#include "core/host_report.h"
+#include "core/ifi_session.h"
+#include "obs/context.h"
 
 namespace nf::core {
 
@@ -154,7 +162,323 @@ class RepliesDown final : public net::Protocol {
   std::atomic<std::size_t> delivered_count_{0};
 };
 
+// ---- serve_concurrent: per-query session phases (net/session.h) ----
+
+/// Wire shape of a request walking up the parent chain. The route is what
+/// the reply retraces; the query parameters themselves are registered at
+/// the root per session, so the message body is just the theta the byte
+/// charge models.
+struct QueryRequestMsg {
+  std::vector<PeerId> route;  ///< hops walked so far, excluding the root
+};
+
+/// Query parameters the root announces down the tree: enough for a peer to
+/// derive the session's filter bank and threshold.
+struct QueryAnnounceMsg {
+  std::uint64_t filter_seed = 0;
+  std::uint32_t num_filters = 0;
+  std::uint32_t num_groups = 0;
+  Value threshold = 0;
+};
+
+/// Reply retracing the recorded route back to the requester.
+struct QueryReplyMsg {
+  std::vector<PeerId> route;  ///< remaining hops; requester first
+  ValueMap<ItemId, Value> frequent;
+};
+
+/// Session entry phase: the requester originates when the phase opens
+/// (kAllPeers, round 0) and each hop forwards upstream, recording the
+/// route. done() once the root has it.
+class RequestPhase final : public net::TypedPhase<QueryRequestMsg> {
+ public:
+  using ArrivedFn =
+      std::function<void(net::PhaseContext&, QueryRequestMsg&&)>;
+
+  RequestPhase(const agg::Hierarchy& hierarchy, PeerId requester,
+               std::uint64_t request_bytes, ArrivedFn on_arrived)
+      : hierarchy_(hierarchy),
+        requester_(requester),
+        request_bytes_(request_bytes),
+        on_arrived_(std::move(on_arrived)) {}
+
+  void on_start(net::PhaseContext& ctx) override {
+    if (ctx.self() != requester_) return;
+    forward(ctx, QueryRequestMsg{});
+  }
+
+  [[nodiscard]] bool done() const override {
+    return arrived_.load(std::memory_order_relaxed);
+  }
+
+ protected:
+  void on_payload(net::PhaseContext& ctx, QueryRequestMsg&& msg,
+                  PeerId /*from*/) override {
+    forward(ctx, std::move(msg));
+  }
+
+ private:
+  void forward(net::PhaseContext& ctx, QueryRequestMsg&& msg) {
+    const PeerId self = ctx.self();
+    if (self == hierarchy_.root()) {
+      arrived_.store(true, std::memory_order_relaxed);
+      on_arrived_(ctx, std::move(msg));
+      return;
+    }
+    msg.route.push_back(self);
+    this->send(ctx, hierarchy_.upstream(self), net::TrafficCategory::kControl,
+               request_bytes_, std::move(msg));
+  }
+
+  const agg::Hierarchy& hierarchy_;
+  PeerId requester_;
+  std::uint64_t request_bytes_;
+  ArrivedFn on_arrived_;
+  std::atomic<bool> arrived_{false};
+};
+
+/// Session exit phase: the root dispatches the finished answer along the
+/// recorded route; done() when it lands at the requester.
+class ReplyPhase final : public net::TypedPhase<QueryReplyMsg> {
+ public:
+  using DeliveredFn =
+      std::function<void(net::PhaseContext&, QueryReplyMsg&&)>;
+
+  ReplyPhase(PeerId requester, std::uint64_t pair_bytes,
+             DeliveredFn on_delivered)
+      : requester_(requester),
+        pair_bytes_(pair_bytes),
+        on_delivered_(std::move(on_delivered)) {}
+
+  /// Installed at the root (its shard) right before open_phase().
+  void set_payload(QueryReplyMsg msg) {
+    outbox_ = std::move(msg);
+    has_payload_ = true;
+  }
+
+  void on_start(net::PhaseContext& ctx) override {
+    // Opened at the root by the IFI completion hook (payload installed) or
+    // at a relay/requester by message arrival (nothing to originate).
+    if (!has_payload_) return;
+    has_payload_ = false;
+    dispatch(ctx, std::move(outbox_));
+  }
+
+  [[nodiscard]] bool done() const override {
+    return delivered_.load(std::memory_order_relaxed);
+  }
+
+ protected:
+  void on_payload(net::PhaseContext& ctx, QueryReplyMsg&& msg,
+                  PeerId /*from*/) override {
+    dispatch(ctx, std::move(msg));
+  }
+
+ private:
+  void dispatch(net::PhaseContext& ctx, QueryReplyMsg&& msg) {
+    if (msg.route.empty()) {
+      ensure(ctx.self() == requester_, "reply misrouted");
+      delivered_.store(true, std::memory_order_relaxed);
+      on_delivered_(ctx, std::move(msg));
+      return;
+    }
+    const PeerId next = msg.route.back();
+    msg.route.pop_back();
+    const std::uint64_t bytes = msg.frequent.size() * pair_bytes_;
+    this->send(ctx, next, net::TrafficCategory::kControl, bytes,
+               std::move(msg));
+  }
+
+  PeerId requester_;
+  std::uint64_t pair_bytes_;
+  DeliveredFn on_delivered_;
+  QueryReplyMsg outbox_;
+  bool has_payload_ = false;
+  std::atomic<bool> delivered_{false};
+};
+
+/// Everything one multiplexed query owns: its six phases (request ->
+/// announce -> filtering -> dissemination -> aggregation -> reply), its own
+/// NetFilter (per-query filter bank), route and response slots.
+struct QuerySession {
+  net::SessionId sid = 0;
+  PeerId requester;
+  Value threshold = 0;
+  NetFilterConfig config;
+  std::unique_ptr<NetFilter> netfilter;
+  std::unique_ptr<IfiSessionPhases> ifi;
+  std::unique_ptr<RequestPhase> request;
+  std::unique_ptr<agg::MulticastPhase<QueryAnnounceMsg>> announce;
+  std::unique_ptr<ReplyPhase> reply;
+  net::PhaseId announce_pid = 0;
+  net::PhaseId filtering_pid = 0;
+  net::PhaseId reply_pid = 0;
+  std::vector<PeerId> route;       // root shard: recorded at request arrival
+  FrequentItemsResponse response;  // requester shard write; read post-run
+};
+
 }  // namespace
+
+std::vector<FrequentItemsResponse> QueryService::serve_concurrent(
+    const std::vector<ConcurrentRequest>& requests, const ItemSource& items,
+    const agg::Hierarchy& hierarchy, net::Overlay& overlay,
+    net::TrafficMeter& meter, ConcurrentQueryStats* stats,
+    const net::ChurnSchedule* churn) const {
+  require(!requests.empty(), "no requests");
+  require(items.num_peers() == overlay.num_peers(),
+          "item source and overlay disagree on peer count");
+  for (const auto& req : requests) {
+    require(req.theta > 0.0 && req.theta <= 1.0, "theta must be in (0,1]");
+    require(hierarchy.is_member(req.requester),
+            "requester must be a hierarchy member");
+  }
+  obs::Context* obs = config_.obs;
+  obs::ScopedPhase whole(obs, "query-service");
+
+  Value v_total = 0;
+  for (std::uint32_t p = 0; p < items.num_peers(); ++p) {
+    if (hierarchy.is_member(PeerId(p))) {
+      v_total += items.local_items(PeerId(p)).total();
+    }
+  }
+  require(v_total > 0, "system holds no items");
+
+  // The host report runs once; every session queries the same effective
+  // (member-folded) item view.
+  const std::uint64_t host_before =
+      meter.total(net::TrafficCategory::kHostReport);
+  const EffectiveItems effective = [&] {
+    obs::ScopedPhase phase(obs, "host-report");
+    return EffectiveItems(items, hierarchy, overlay, config_.wire, &meter);
+  }();
+
+  // Announced query parameters: f, g, seed and t — four flat fields.
+  const std::uint64_t announce_bytes =
+      std::uint64_t{4} * config_.wire.aggregate_bytes;
+
+  net::SessionMux mux(obs);
+  std::vector<std::unique_ptr<QuerySession>> sessions;
+  sessions.reserve(requests.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const ConcurrentRequest& req = requests[i];
+    auto owned = std::make_unique<QuerySession>();
+    QuerySession* q = owned.get();
+    q->requester = req.requester;
+    q->threshold = static_cast<Value>(
+        std::ceil(req.theta * static_cast<double>(v_total)));
+    q->config = config_;
+    if (req.num_filters != 0) q->config.num_filters = req.num_filters;
+    if (req.num_groups != 0) q->config.num_groups = req.num_groups;
+    if (req.filter_seed != 0) q->config.filter_seed = req.filter_seed;
+    q->sid = mux.add_session("q" + std::to_string(i));
+    q->netfilter = std::make_unique<NetFilter>(q->config);
+    q->ifi = std::make_unique<IfiSessionPhases>(*q->netfilter, effective,
+                                                hierarchy, q->threshold);
+
+    q->request = std::make_unique<RequestPhase>(
+        hierarchy, req.requester, config_.wire.aggregate_bytes,
+        [q, announce_bytes](net::PhaseContext& ctx, QueryRequestMsg&& msg) {
+          q->route = std::move(msg.route);
+          q->announce->set_payload(
+              QueryAnnounceMsg{q->config.filter_seed, q->config.num_filters,
+                               q->config.num_groups, q->threshold},
+              announce_bytes);
+          ctx.open_phase(q->announce_pid);
+        });
+    net::PhaseOptions ropts;
+    ropts.start = net::PhaseStart::kAllPeers;
+    ropts.name = "request";
+    (void)mux.add_phase(q->sid, *q->request, ropts);
+
+    q->announce = std::make_unique<agg::MulticastPhase<QueryAnnounceMsg>>(
+        hierarchy, net::TrafficCategory::kControl,
+        [q](net::PhaseContext& ctx, const QueryAnnounceMsg& /*msg*/) {
+          // In deployment the peer derives the session's filter bank from
+          // the announced (f, g, seed); here the session's NetFilter holds
+          // it already, so receipt just starts filtering at this peer.
+          ctx.open_phase(q->filtering_pid);
+        },
+        obs);
+    net::PhaseOptions aopts;
+    aopts.name = "announce";
+    q->announce_pid = mux.add_phase(q->sid, *q->announce, aopts);
+
+    q->filtering_pid =
+        q->ifi->register_phases(mux, q->sid, net::PhaseStart::kOnDemand);
+
+    q->reply = std::make_unique<ReplyPhase>(
+        req.requester, config_.wire.item_value_pair(),
+        [q](net::PhaseContext& ctx, QueryReplyMsg&& msg) {
+          q->response.requester = ctx.self();
+          q->response.threshold = q->threshold;
+          q->response.frequent = std::move(msg.frequent);
+        });
+    net::PhaseOptions popts;
+    popts.name = "reply";
+    q->reply_pid = mux.add_phase(q->sid, *q->reply, popts);
+
+    q->ifi->set_on_complete([q](net::PhaseContext& ctx) {
+      QueryReplyMsg msg;
+      msg.route = q->route;
+      msg.frequent = q->ifi->result().frequent;
+      q->reply->set_payload(std::move(msg));
+      ctx.open_phase(q->reply_pid);
+    });
+    sessions.push_back(std::move(owned));
+  }
+
+  net::Engine engine(overlay, meter);
+  engine.set_threads(config_.threads);
+  engine.set_fault_model(config_.fault);
+  engine.set_obs(obs);
+  const std::uint64_t rounds =
+      engine.run(mux, config_.max_rounds_per_phase, churn);
+
+  std::vector<FrequentItemsResponse> responses;
+  responses.reserve(sessions.size());
+  for (const auto& q : sessions) {
+    ensure(mux.session_done(q->sid), "query session did not complete");
+    responses.push_back(std::move(q->response));
+  }
+
+  mux.flush_obs_counters();
+  if (stats != nullptr) {
+    stats->rounds_total = rounds;
+    const double n = static_cast<double>(overlay.num_peers());
+    stats->host_report_cost =
+        static_cast<double>(meter.total(net::TrafficCategory::kHostReport) -
+                            host_before) /
+        n;
+    const std::vector<net::SessionTraffic> traffic = mux.traffic();
+    for (auto& q : sessions) {
+      ConcurrentSessionStats ss;
+      ss.traffic = traffic[q->sid];
+      ss.name = ss.traffic.name;
+      ss.threshold = q->threshold;
+      ss.netfilter = q->ifi->take_result().stats;
+      ss.netfilter.rounds_total = rounds;
+      const auto category_cost = [&](net::TrafficCategory c) {
+        return static_cast<double>(
+                   ss.traffic.bytes[static_cast<std::size_t>(c)]) /
+               n;
+      };
+      ss.netfilter.filtering_cost =
+          category_cost(net::TrafficCategory::kFiltering);
+      ss.netfilter.dissemination_cost =
+          category_cost(net::TrafficCategory::kDissemination);
+      ss.netfilter.aggregation_cost =
+          category_cost(net::TrafficCategory::kAggregation);
+      ss.netfilter.candidates_per_peer =
+          static_cast<double>(ss.traffic.bytes[static_cast<std::size_t>(
+              net::TrafficCategory::kAggregation)]) /
+          static_cast<double>(q->config.wire.item_value_pair()) / n;
+      record_netfilter_conformance(q->config, ss.netfilter,
+                                   overlay.num_peers());
+      stats->sessions.push_back(std::move(ss));
+    }
+  }
+  return responses;
+}
 
 std::vector<FrequentItemsResponse> QueryService::serve(
     const std::vector<FrequentItemsRequest>& requests,

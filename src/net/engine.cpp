@@ -37,6 +37,16 @@ void Context::send(PeerId to, TrafficCategory category, std::uint64_t bytes,
       Envelope{self_, to, category, bytes, std::move(payload)}});
 }
 
+void Context::send_tagged(PeerId to, TrafficCategory category,
+                          std::uint64_t bytes, std::any payload,
+                          SessionId session, PhaseId phase) {
+  outbox_->push_back(KeyedSend{
+      major_, next_minor_++, /*is_ack=*/0, protocol_index_,
+      /*ack_msg_id=*/0,
+      Envelope{self_, to, category, bytes, std::move(payload), session,
+               phase}});
+}
+
 Engine::Engine(Overlay& overlay, TrafficMeter& meter)
     : overlay_(overlay), meter_(meter) {
   require(meter.num_peers() == overlay.num_peers(),
@@ -432,6 +442,7 @@ std::uint64_t Engine::run(std::span<Protocol* const> protocols,
                     [](const Protocol* p) { return p->active(); });
     if (in_transit_ == 0 && !any_active && pending_count_ == 0) break;
   }
+  for (Protocol* p : protocols) p->on_run_end();
   return round_ - start_round;
 }
 

@@ -104,6 +104,11 @@ class Context {
   void send(PeerId to, TrafficCategory category, std::uint64_t bytes,
             std::any payload = {});
 
+  /// As send(), tagging the envelope with a (session, phase) pair so a
+  /// SessionMux (net/session.h) can route it to the right Phase component.
+  void send_tagged(PeerId to, TrafficCategory category, std::uint64_t bytes,
+                   std::any payload, SessionId session, PhaseId phase);
+
  private:
   friend class Engine;
 
@@ -164,6 +169,12 @@ class Protocol {
 
   /// Called for each envelope delivered to an alive peer.
   virtual void on_message(Context& /*ctx*/, Envelope&& /*env*/) {}
+
+  /// Called once per run() on the engine thread after the final round —
+  /// quiescence or max_rounds. Close out bookkeeping that would otherwise
+  /// need one more round boundary (e.g. trace spans for work that finished
+  /// in the very last round).
+  virtual void on_run_end() {}
 
   /// Engine stops when no messages are in flight and no protocol is active.
   [[nodiscard]] virtual bool active() const { return false; }

@@ -5,6 +5,14 @@
 // wire size of the payload under the configured WireSizes — the simulator
 // charges exactly what the protocol specification says the message costs,
 // independent of the in-memory representation.
+//
+// Session tags: traffic produced through the session runtime (net/session.h)
+// additionally carries the (session, phase) pair that routes it to the right
+// Phase component inside a SessionMux. Untagged traffic — plain protocols,
+// engine-internal ACKs — keeps `session == kNoSession`. The tags ride the
+// envelope itself (not a nested payload wrapper) so the reliability layer
+// retransmits them untouched and send probes can attribute every
+// transmission to its session.
 #pragma once
 
 #include <any>
@@ -15,12 +23,22 @@
 
 namespace nf::net {
 
+/// Identifies one protocol session multiplexed over an engine run.
+using SessionId = std::uint32_t;
+/// Index of a phase within its session's phase list.
+using PhaseId = std::uint32_t;
+
+/// Envelope tag for traffic outside any session.
+inline constexpr SessionId kNoSession = 0xFFFFFFFFu;
+
 struct Envelope {
   PeerId from;
   PeerId to;
   TrafficCategory category{TrafficCategory::kControl};
   std::uint64_t bytes{0};
   std::any payload;
+  SessionId session{kNoSession};
+  PhaseId phase{0};
 };
 
 }  // namespace nf::net

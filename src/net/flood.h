@@ -7,9 +7,13 @@
 // Duplicate suppression is by a per-peer seen flag, so each peer processes
 // the payload exactly once while each overlay edge carries it at most
 // twice (once per direction, worst case).
+//
+// FloodPhase is the session-runtime component (net/session.h): the flood
+// can ride one phase of a multiplexed session (e.g. a query announcement)
+// while other sessions run concurrently. Flood is the classic standalone
+// protocol, now a thin shim wrapping one phase in an anonymous session.
 #pragma once
 
-#include <any>
 #include <atomic>
 #include <cstdint>
 #include <functional>
@@ -19,21 +23,24 @@
 #include "common/arena.h"
 #include "common/error.h"
 #include "common/ids.h"
-#include "net/engine.h"
+#include "net/session.h"
 
 namespace nf::net {
 
 /// Shard-safe: the seen flags are a byte arena written only by the owning
-/// peer's callbacks; the reach/copy tallies are commutative atomics.
+/// peer's callbacks; the reach/copy tallies are commutative atomics. Wire
+/// messages carry (remaining ttl, payload) and are typed — a payload type
+/// error fails at compile time.
 template <typename T>
-class Flood final : public Protocol {
+class FloodPhase final : public TypedPhase<std::pair<std::uint32_t, T>> {
  public:
-  using ReceiveFn = std::function<void(PeerId, const T&)>;
+  using ReceiveFn = std::function<void(PhaseContext&, const T&)>;
 
   /// `ttl` bounds propagation depth (hops from the originator); use a value
   /// at least the overlay diameter for full coverage.
-  Flood(PeerId originator, T payload, std::uint64_t wire_bytes,
-        TrafficCategory category, std::uint32_t ttl, ReceiveFn on_receive)
+  FloodPhase(PeerId originator, T payload, std::uint64_t wire_bytes,
+             TrafficCategory category, std::uint32_t ttl,
+             ReceiveFn on_receive)
       : originator_(originator),
         payload_(std::move(payload)),
         wire_bytes_(wire_bytes),
@@ -47,31 +54,19 @@ class Flood final : public Protocol {
     if (seen_.empty()) seen_.assign(overlay.num_peers(), false);
   }
 
-  void on_round(Context& ctx) override {
+  void on_start(PhaseContext& ctx) override {
     const PeerId self = ctx.self();
     if (self != originator_ || seen_[self.value()]) return;
     seen_[self.value()] = true;
     num_reached_.fetch_add(1, std::memory_order_relaxed);
-    on_receive_(self, payload_);
+    on_receive_(ctx, payload_);
     forward(ctx, ttl_, self);
   }
 
-  void on_message(Context& ctx, Envelope&& env) override {
-    const PeerId self = ctx.self();
-    auto* msg = std::any_cast<std::pair<std::uint32_t, T>>(&env.payload);
-    ensure(msg != nullptr, "flood payload type mismatch");
-    num_copies_.fetch_add(1, std::memory_order_relaxed);
-    if (seen_[self.value()]) return;  // duplicate
-    seen_[self.value()] = true;
-    num_reached_.fetch_add(1, std::memory_order_relaxed);
-    on_receive_(self, msg->second);
-    if (msg->first > 0) forward(ctx, msg->first, env.from);
-  }
-
-  [[nodiscard]] bool active() const override {
-    // Flood has no natural completion signal a peer could observe; the
-    // engine drains in-flight copies and stops.
-    return num_reached() == 0;
+  [[nodiscard]] bool done() const override {
+    // Flood has no natural completion signal a peer could observe; once the
+    // originator has fired, the engine drains in-flight copies and stops.
+    return num_reached() > 0;
   }
 
   /// Peers that have processed the payload.
@@ -88,12 +83,24 @@ class Flood final : public Protocol {
     return p.value() < seen_.size() && seen_[p.value()];
   }
 
+ protected:
+  void on_payload(PhaseContext& ctx, std::pair<std::uint32_t, T>&& msg,
+                  PeerId from) override {
+    const PeerId self = ctx.self();
+    num_copies_.fetch_add(1, std::memory_order_relaxed);
+    if (seen_[self.value()]) return;  // duplicate
+    seen_[self.value()] = true;
+    num_reached_.fetch_add(1, std::memory_order_relaxed);
+    on_receive_(ctx, msg.second);
+    if (msg.first > 0) forward(ctx, msg.first, from);
+  }
+
  private:
-  void forward(Context& ctx, std::uint32_t ttl, PeerId except) {
+  void forward(PhaseContext& ctx, std::uint32_t ttl, PeerId except) {
     for (PeerId q : ctx.neighbors()) {
       if (q == except) continue;
-      ctx.send(q, category_, wire_bytes_,
-               std::any(std::pair<std::uint32_t, T>(ttl - 1, payload_)));
+      this->send(ctx, q, category_, wire_bytes_,
+                 std::pair<std::uint32_t, T>(ttl - 1, payload_));
     }
   }
 
@@ -106,6 +113,51 @@ class Flood final : public Protocol {
   PeerArena<bool> seen_;
   std::atomic<std::uint32_t> num_reached_{0};
   std::atomic<std::uint64_t> num_copies_{0};
+};
+
+/// Standalone run-to-completion flood with the classic callback shape.
+template <typename T>
+class Flood final : public Protocol {
+ public:
+  using ReceiveFn = std::function<void(PeerId, const T&)>;
+
+  Flood(PeerId originator, T payload, std::uint64_t wire_bytes,
+        TrafficCategory category, std::uint32_t ttl, ReceiveFn on_receive)
+      : phase_(originator, std::move(payload), wire_bytes, category, ttl,
+               [fn = std::move(on_receive)](PhaseContext& ctx,
+                                            const T& value) {
+                 fn(ctx.self(), value);
+               }) {
+    const SessionId sid = mux_.add_session();
+    PhaseOptions opts;
+    opts.start = PhaseStart::kAllPeers;
+    mux_.add_phase(sid, phase_, opts);
+  }
+
+  void on_run_start(const Overlay& overlay) override {
+    mux_.on_run_start(overlay);
+  }
+  void on_round_begin(std::uint64_t round) override {
+    mux_.on_round_begin(round);
+  }
+  void on_round(Context& ctx) override { mux_.on_round(ctx); }
+  void on_message(Context& ctx, Envelope&& env) override {
+    mux_.on_message(ctx, std::move(env));
+  }
+  void on_run_end() override { mux_.on_run_end(); }
+  [[nodiscard]] bool active() const override { return mux_.active(); }
+
+  [[nodiscard]] std::uint32_t num_reached() const {
+    return phase_.num_reached();
+  }
+  [[nodiscard]] std::uint64_t num_copies() const {
+    return phase_.num_copies();
+  }
+  [[nodiscard]] bool reached(PeerId p) const { return phase_.reached(p); }
+
+ private:
+  FloodPhase<T> phase_;
+  SessionMux mux_;
 };
 
 }  // namespace nf::net

@@ -1,0 +1,258 @@
+// Protocol session runtime: composable phases multiplexed over one engine
+// run (DESIGN.md §6d).
+//
+// A *session* is one logical protocol execution — e.g. one IFI query — made
+// of an ordered list of *phases* (convergecast up, multicast down, ...).
+// Classic orchestration runs each phase as its own Protocol on its own
+// Engine::run, which inserts a global barrier between phases: no peer may
+// enter phase k+1 until every peer finished phase k. The SessionMux removes
+// that barrier. It is a single net::Protocol that routes envelopes by their
+// (session, phase) tags to Phase components, and phases open *per peer*: a
+// peer transitions the moment its own trigger arrives (a completed subtree,
+// a multicast reaching it), so independent subtrees pipeline freely and N
+// sessions share one engine run.
+//
+// Phase lifecycle at one peer: closed -> open (on_start fires exactly once)
+// -> handling on_message/on_round callbacks. Opening happens through one of
+//   - PhaseStart::kAllPeers: the mux opens the phase at every alive peer on
+//     its first tick (entry phases);
+//   - an earlier phase calling PhaseContext::open_phase() from a callback
+//     (the per-peer transition edge);
+//   - a tagged message arriving for a closed phase with open_on_message
+//     (multicast-style phases where receipt *is* the trigger); with
+//     open_on_message off the envelope is buffered and replayed in arrival
+//     order when the phase opens (safety net for convergecast-style phases
+//     that must initialize local state before merging children).
+// done() is a session-global predicate (e.g. "root merged all children");
+// the mux keeps the engine alive until every phase of every session is
+// done.
+//
+// Shard safety: the per-peer open flags and buffers live in byte/slot
+// arenas touched only by the owning peer's callbacks; per-session traffic
+// tallies are commutative atomics; phase done() flags follow the
+// single-writer-read-at-barrier rule. The mux itself adds no cross-peer
+// state, so a mux run is bit-identical for any --threads=K.
+#pragma once
+
+#include <any>
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/arena.h"
+#include "common/error.h"
+#include "common/ids.h"
+#include "net/engine.h"
+#include "obs/context.h"
+
+namespace nf::net {
+
+class SessionMux;
+class Phase;
+
+/// How a phase opens at a peer when nothing opened it explicitly.
+enum class PhaseStart : std::uint8_t {
+  /// Opened at every alive peer by the mux's first on_round tick.
+  kAllPeers,
+  /// Stays closed until open_phase() or (with open_on_message) a message.
+  kOnDemand,
+};
+
+struct PhaseOptions {
+  PhaseStart start = PhaseStart::kOnDemand;
+  /// A message for a closed phase opens it (true) or is buffered until the
+  /// phase opens (false). Buffering is the right choice when on_start must
+  /// initialize per-peer state that on_payload merges into.
+  bool open_on_message = true;
+  /// Phase name for trace spans; must be a string literal. Empty disables
+  /// span events for this phase.
+  const char* name = "";
+};
+
+/// Per-session traffic attribution: bytes/messages this session's phases
+/// sent, by category. Counts protocol sends as admitted; the reliability
+/// layer's retransmissions and ACKs are engine-level and appear only in the
+/// global TrafficMeter.
+struct SessionTraffic {
+  std::string name;
+  std::array<std::uint64_t, kNumTrafficCategories> bytes{};
+  std::array<std::uint64_t, kNumTrafficCategories> msgs{};
+
+  [[nodiscard]] std::uint64_t total_bytes() const {
+    std::uint64_t t = 0;
+    for (const std::uint64_t b : bytes) t += b;
+    return t;
+  }
+  [[nodiscard]] std::uint64_t total_msgs() const {
+    std::uint64_t t = 0;
+    for (const std::uint64_t m : msgs) t += m;
+    return t;
+  }
+};
+
+/// Per-peer view handed to Phase callbacks: the engine context plus the
+/// (session, phase) identity, so sends are tagged automatically and the
+/// phase can open later phases of its own session at this peer.
+class PhaseContext {
+ public:
+  [[nodiscard]] PeerId self() const { return ctx_.self(); }
+  [[nodiscard]] std::uint64_t round() const { return ctx_.round(); }
+  [[nodiscard]] const Overlay& overlay() const { return ctx_.overlay(); }
+  [[nodiscard]] const std::vector<PeerId>& neighbors() const {
+    return ctx_.neighbors();
+  }
+  [[nodiscard]] bool is_alive(PeerId p) const { return ctx_.is_alive(p); }
+  [[nodiscard]] SessionId session() const { return session_; }
+  [[nodiscard]] PhaseId phase() const { return phase_; }
+
+  /// Sends `payload` tagged with this phase's (session, phase) and charges
+  /// it to the session's traffic tally. Prefer TypedPhase::send, which
+  /// type-checks the payload at compile time.
+  void send_raw(PeerId to, TrafficCategory category, std::uint64_t bytes,
+                std::any payload);
+
+  /// Opens `phase` of this session at this peer (idempotent): fires its
+  /// on_start now and replays any buffered messages. This is the per-peer
+  /// phase-transition edge — each peer advances on its own trigger, no
+  /// global barrier.
+  void open_phase(PhaseId phase);
+
+ private:
+  friend class SessionMux;
+  PhaseContext(SessionMux& mux, Context& ctx, SessionId session,
+               PhaseId phase)
+      : mux_(mux), ctx_(ctx), session_(session), phase_(phase) {}
+
+  SessionMux& mux_;
+  Context& ctx_;
+  SessionId session_;
+  PhaseId phase_;
+};
+
+/// One phase of a session. Implementations follow the same shard-safety
+/// contract as net::Protocol; callbacks run on the owning peer's shard
+/// except on_run_start (engine thread, before the first round).
+class Phase {
+ public:
+  virtual ~Phase() = default;
+
+  /// Size per-peer arenas here; called once per engine run.
+  virtual void on_run_start(const Overlay& /*overlay*/) {}
+
+  /// Fires exactly once per peer, when the phase opens there.
+  virtual void on_start(PhaseContext& /*ctx*/) {}
+
+  /// Called once per alive peer per round while the phase is open at that
+  /// peer and not done. Most event-driven phases need no tick.
+  virtual void on_round(PhaseContext& /*ctx*/) {}
+
+  /// Called for each envelope tagged with this phase.
+  virtual void on_message(PhaseContext& ctx, Envelope&& env) = 0;
+
+  /// Session-global completion. The engine stays alive until every phase of
+  /// every session is done.
+  [[nodiscard]] virtual bool done() const = 0;
+};
+
+/// CRTP-free typed phase base: performs the single std::any_cast at the
+/// dispatch boundary so concrete phases exchange `M` values directly —
+/// payload type mismatches in phase code fail at compile time, not as a
+/// null any_cast at runtime.
+template <typename M>
+class TypedPhase : public Phase {
+ public:
+  using Message = M;
+
+  void on_message(PhaseContext& ctx, Envelope&& env) final {
+    M* msg = std::any_cast<M>(&env.payload);
+    ensure(msg != nullptr, "session phase payload type mismatch");
+    on_payload(ctx, std::move(*msg), env.from);
+  }
+
+ protected:
+  /// Typed delivery hook; `from` is the sending peer.
+  virtual void on_payload(PhaseContext& ctx, M&& msg, PeerId from) = 0;
+
+  /// Typed send: only this phase's message type compiles.
+  void send(PhaseContext& ctx, PeerId to, TrafficCategory category,
+            std::uint64_t bytes, M msg) const {
+    ctx.send_raw(to, category, bytes, std::any(std::move(msg)));
+  }
+};
+
+/// Routes tagged envelopes to per-session Phase components and drives their
+/// lifecycle. Register sessions and phases before Engine::run; the mux does
+/// not own the phases (they usually hold callbacks into caller state).
+class SessionMux final : public Protocol {
+ public:
+  explicit SessionMux(obs::Context* obs = nullptr) : obs_(obs) {}
+
+  /// Opens a new session; `name` prefixes trace spans and obs counters
+  /// ("<name>/<phase>"). An empty name keeps bare phase names (single
+  /// session runs) and reports as "s<index>" in traffic summaries.
+  [[nodiscard]] SessionId add_session(std::string name = {});
+
+  /// Appends `phase` to `session`'s phase list and returns its PhaseId
+  /// (list position). The phase must outlive the mux's last run.
+  PhaseId add_phase(SessionId session, Phase& phase, PhaseOptions options);
+
+  // net::Protocol — the engine-facing half.
+  void on_run_start(const Overlay& overlay) override;
+  void on_round_begin(std::uint64_t round) override;
+  void on_round(Context& ctx) override;
+  void on_message(Context& ctx, Envelope&& env) override;
+  void on_run_end() override;
+  [[nodiscard]] bool active() const override;
+
+  /// True iff every phase of `session` is done.
+  [[nodiscard]] bool session_done(SessionId session) const;
+  /// True iff every phase of every session is done.
+  [[nodiscard]] bool all_done() const { return !active(); }
+
+  [[nodiscard]] std::size_t num_sessions() const { return sessions_.size(); }
+
+  /// Per-session traffic attribution snapshot (read after the run).
+  [[nodiscard]] std::vector<SessionTraffic> traffic() const;
+
+  /// Publishes each session's nonzero per-category tallies as
+  /// "session/<name>/<category>_bytes" (+ "_msgs") registry counters, so
+  /// JSON reports and nf-inspect can break traffic down per query. No-op
+  /// without an obs context. Call once, after the run.
+  void flush_obs_counters();
+
+ private:
+  struct PhaseSlot {
+    Phase* phase = nullptr;
+    PhaseOptions options;
+    const char* span_name = "";  // literal or tracer-interned; "" = no span
+    PeerArena<bool> opened;
+    // Sized only when !open_on_message; arrival-order replay queues.
+    PeerArena<std::vector<Envelope>> buffered;
+    std::atomic<bool> span_begun{false};
+    bool span_ended = false;  // engine thread only (on_round_begin)
+  };
+
+  struct SessionSlot {
+    std::string name;
+    std::vector<std::unique_ptr<PhaseSlot>> phases;
+    std::array<std::atomic<std::uint64_t>, kNumTrafficCategories> bytes{};
+    std::array<std::atomic<std::uint64_t>, kNumTrafficCategories> msgs{};
+  };
+
+  friend class PhaseContext;
+
+  [[nodiscard]] PhaseSlot& slot(SessionId s, PhaseId p) const;
+  [[nodiscard]] std::string display_name(SessionId s) const;
+  void open_at(Context& ctx, SessionId s, PhaseId p);
+  void charge(SessionId s, TrafficCategory category, std::uint64_t bytes);
+  void maybe_begin_span(PhaseSlot& slot);
+
+  obs::Context* obs_;
+  std::vector<std::unique_ptr<SessionSlot>> sessions_;
+};
+
+}  // namespace nf::net

@@ -171,6 +171,7 @@ Json to_json(const ExportBundle& bundle) {
   out["params"] = bundle.params;
   out["results"] = bundle.results;
   if (!bundle.traffic.is_null()) out["traffic"] = bundle.traffic;
+  if (!bundle.sessions.is_null()) out["sessions"] = bundle.sessions;
   if (bundle.obs != nullptr) {
     out["metrics"] = to_json(bundle.obs->registry);
     out["timings"] = timings_json(bundle.obs->registry);

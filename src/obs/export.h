@@ -16,11 +16,13 @@
 namespace nf::obs {
 
 /// Bump when the JSON layout changes incompatibly.
-/// History (docs/OBSERVABILITY.md "Schema history"): v3 adds the `series`
+/// History (docs/OBSERVABILITY.md "Schema history"): v4 adds the optional
+/// `sessions` section (per-session traffic attribution from a SessionMux
+/// run) and `rounds_total` to netFilter result rows; v3 adds the `series`
 /// (round-sampled time series) and `conformance` (cost-model residuals)
 /// sections; v2 added the `threads` shard count to every bench's params
 /// object; v1 was the initial schema.
-inline constexpr std::uint64_t kSchemaVersion = 3;
+inline constexpr std::uint64_t kSchemaVersion = 4;
 
 /// {"counters": {...}, "gauges": {...}, "histograms": {name:
 ///  {"count","sum","min","max","buckets":[{"lo","hi","count"},...]}}}
@@ -56,13 +58,17 @@ struct ExportBundle {
   Json params = Json::object();    ///< experiment parameters
   Json results = Json::array();    ///< one object per sweep row
   Json traffic;                    ///< to_json(TrafficMeter); null if absent
+  /// Per-session traffic attribution of a multiplexed run (one object per
+  /// session: {"name","threshold?","bytes":{cat:n},"msgs":{cat:n}});
+  /// null when the bench ran no SessionMux.
+  Json sessions;
   const Context* obs = nullptr;    ///< registry + trace; may be null
 };
 
 /// Top-level document: {"schema_version","bench","params","results",
-///  "traffic","metrics","timings","spans","trace","series","conformance"}
-/// (obs-derived sections only when `obs` is non-null, "traffic" only when
-/// captured).
+///  "traffic","sessions","metrics","timings","spans","trace","series",
+///  "conformance"} (obs-derived sections only when `obs` is non-null,
+/// "traffic"/"sessions" only when captured).
 [[nodiscard]] Json to_json(const ExportBundle& bundle);
 
 /// `type,name,value,count,min,max` rows (counters, gauges, histograms).

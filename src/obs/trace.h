@@ -9,11 +9,16 @@
 // rounds order messages.
 //
 // Event names must be string literals (or otherwise outlive the tracer);
-// the ring stores the pointer, never a copy.
+// the ring stores the pointer, never a copy. Dynamically built names (e.g.
+// per-session trace tracks like "q3/filtering") go through intern(), which
+// copies the string into tracer-owned storage and hands back a pointer with
+// tracer lifetime.
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <mutex>
+#include <string>
 #include <string_view>
 #include <vector>
 
@@ -78,6 +83,19 @@ class ProtocolTracer {
     ++total_;
   }
 
+  /// Copies `name` into tracer-owned storage and returns a pointer that
+  /// stays valid for the tracer's lifetime — the way runtime-built event
+  /// names (per-session trace tracks) satisfy the static-name contract.
+  /// Interned strings survive clear(): a snapshot taken before the clear
+  /// may still reference them.
+  [[nodiscard]] const char* intern(std::string_view name) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (const std::string& s : interned_) {
+      if (s == name) return s.c_str();
+    }
+    return interned_.emplace_back(name).c_str();
+  }
+
   /// Advances the logical clock; the engine calls this once per round.
   void advance_clock(std::uint64_t delta = 1) {
     const std::lock_guard<std::mutex> lock(mutex_);
@@ -126,6 +144,9 @@ class ProtocolTracer {
  private:
   mutable std::mutex mutex_;
   std::size_t capacity_;
+  // Deque: growth never moves existing strings, so interned pointers stay
+  // stable.
+  std::deque<std::string> interned_;
   std::vector<TraceEvent> ring_;
   std::uint64_t total_{0};
   std::uint64_t clock_{0};

@@ -18,6 +18,7 @@
 #include "agg/hierarchy.h"
 #include "core/gossip_netfilter.h"
 #include "core/netfilter.h"
+#include "core/query_service.h"
 #include "net/engine.h"
 #include "net/topology.h"
 #include "obs/context.h"
@@ -254,6 +255,127 @@ TEST(DeterminismTest, ObsMetricsAndSeriesMatchSerial) {
     // report must agree too.
     EXPECT_EQ(obs::to_json(serial->conformance).dump(),
               obs::to_json(sharded->conformance).dump());
+  }
+}
+
+// The pipelined session runtime must be a pure orchestration change: byte
+// for byte the same answer and phase costs as the barriered three-run
+// netFilter, in strictly fewer engine rounds — serial and sharded alike.
+TEST(DeterminismTest, PipelinedNetFilterMatchesBarrieredInFewerRounds) {
+  const TestWorld world = TestWorld::make();
+  const Value t = world.workload.threshold_for(0.01);
+
+  const auto run_at = [&](std::uint32_t threads, bool barriered) {
+    core::NetFilterConfig cfg;
+    cfg.num_groups = 40;
+    cfg.num_filters = 2;
+    cfg.threads = threads;
+    cfg.barriered = barriered;
+    const core::NetFilter nf(cfg);
+    TrafficMeter meter(kPeers);
+    Overlay overlay = world.overlay;
+    core::NetFilterResult r =
+        nf.run(world.workload, world.hierarchy, overlay, meter, t);
+    return std::make_tuple(std::move(r), meter.total(), meter.num_messages());
+  };
+
+  const auto [barriered, b_bytes, b_msgs] = run_at(1, true);
+  for (const std::uint32_t threads : {1u, 2u, 4u, 8u}) {
+    SCOPED_TRACE(::testing::Message() << "threads=" << threads);
+    const auto [pipelined, p_bytes, p_msgs] = run_at(threads, false);
+    // Loss-free, the message set is identical — only the schedule differs.
+    EXPECT_EQ(b_bytes, p_bytes);
+    EXPECT_EQ(b_msgs, p_msgs);
+    EXPECT_EQ(barriered.stats.heavy_groups_total,
+              pipelined.stats.heavy_groups_total);
+    EXPECT_EQ(barriered.stats.num_candidates, pipelined.stats.num_candidates);
+    EXPECT_EQ(barriered.stats.num_frequent, pipelined.stats.num_frequent);
+    EXPECT_EQ(barriered.stats.filtering_cost, pipelined.stats.filtering_cost);
+    EXPECT_EQ(barriered.stats.dissemination_cost,
+              pipelined.stats.dissemination_cost);
+    EXPECT_EQ(barriered.stats.aggregation_cost,
+              pipelined.stats.aggregation_cost);
+    ASSERT_EQ(barriered.frequent.size(), pipelined.frequent.size());
+    auto it = pipelined.frequent.begin();
+    for (const auto& [id, v] : barriered.frequent) {
+      EXPECT_EQ(id, it->first);
+      EXPECT_EQ(v, it->second);
+      ++it;
+    }
+    // The pipelining win itself: phase overlap saves whole rounds.
+    EXPECT_GT(barriered.stats.rounds_total, 0u);
+    EXPECT_LT(pipelined.stats.rounds_total, barriered.stats.rounds_total);
+  }
+}
+
+// N queries multiplexed over one engine run must return bit-identical
+// answers to the same queries run back to back, at every shard count.
+TEST(DeterminismTest, ConcurrentSessionsMatchBackToBackRuns) {
+  const TestWorld world = TestWorld::make();
+  const std::vector<core::ConcurrentRequest> requests{
+      {PeerId(3), 0.01, 0, 0, 0},
+      {PeerId(20), 0.03, 3, 64, 77},  // its own filter bank
+      {PeerId(41), 0.005, 0, 0, 0},
+      {PeerId(9), 0.08, 2, 24, 5},
+  };
+
+  const auto serve_at = [&](std::uint32_t threads) {
+    core::NetFilterConfig cfg;
+    cfg.num_groups = 40;
+    cfg.num_filters = 2;
+    cfg.threads = threads;
+    const core::QueryService svc(cfg);
+    TrafficMeter meter(kPeers);
+    Overlay overlay = world.overlay;
+    core::ConcurrentQueryStats stats;
+    auto responses = svc.serve_concurrent(requests, world.workload,
+                                          world.hierarchy, overlay, meter,
+                                          &stats);
+    return std::make_tuple(std::move(responses), std::move(stats),
+                           meter.total(), meter.num_messages());
+  };
+
+  const auto [serial, serial_stats, serial_bytes, serial_msgs] = serve_at(1);
+  ASSERT_EQ(serial.size(), requests.size());
+
+  // Back-to-back baseline: each request as its own netFilter run with the
+  // same effective config and threshold.
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    core::NetFilterConfig cfg;
+    cfg.num_groups =
+        requests[i].num_groups != 0 ? requests[i].num_groups : 40;
+    cfg.num_filters =
+        requests[i].num_filters != 0 ? requests[i].num_filters : 2;
+    if (requests[i].filter_seed != 0) cfg.filter_seed = requests[i].filter_seed;
+    const core::NetFilter nf(cfg);
+    TrafficMeter meter(kPeers);
+    Overlay overlay = world.overlay;
+    const core::NetFilterResult solo = nf.run(
+        world.workload, world.hierarchy, overlay, meter, serial[i].threshold);
+    SCOPED_TRACE(::testing::Message() << "request " << i);
+    EXPECT_EQ(solo.frequent, serial[i].frequent);
+    EXPECT_EQ(solo.stats.heavy_groups_total,
+              serial_stats.sessions[i].netfilter.heavy_groups_total);
+    EXPECT_EQ(solo.stats.num_candidates,
+              serial_stats.sessions[i].netfilter.num_candidates);
+  }
+
+  for (const std::uint32_t k : kShardCounts) {
+    SCOPED_TRACE(::testing::Message() << "threads=" << k);
+    const auto [sharded, sharded_stats, bytes, msgs] = serve_at(k);
+    EXPECT_EQ(serial_bytes, bytes);
+    EXPECT_EQ(serial_msgs, msgs);
+    EXPECT_EQ(serial_stats.rounds_total, sharded_stats.rounds_total);
+    ASSERT_EQ(serial.size(), sharded.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      EXPECT_EQ(serial[i].requester, sharded[i].requester);
+      EXPECT_EQ(serial[i].threshold, sharded[i].threshold);
+      EXPECT_EQ(serial[i].frequent, sharded[i].frequent) << "request " << i;
+      EXPECT_EQ(serial_stats.sessions[i].traffic.total_bytes(),
+                sharded_stats.sessions[i].traffic.total_bytes());
+      EXPECT_EQ(serial_stats.sessions[i].traffic.total_msgs(),
+                sharded_stats.sessions[i].traffic.total_msgs());
+    }
   }
 }
 

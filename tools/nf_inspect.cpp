@@ -1,8 +1,9 @@
 // nf-inspect — terminal inspector for bench --json reports
-// (docs/OBSERVABILITY.md schema, version 3).
+// (docs/OBSERVABILITY.md schema, version 4).
 //
 // One report: prints the bench/params header, per-row results, phase spans,
-// the per-peer traffic split, a per-round series summary and the cost-model
+// the per-peer traffic split, the per-session traffic breakdown of
+// multiplexed runs, a per-round series summary and the cost-model
 // conformance table. Exits non-zero when any *gated* conformance residual
 // exceeds the tolerance, so CI can assert "the simulator still matches
 // Formula 1" with one command:
@@ -119,6 +120,30 @@ void print_traffic(const Json& doc) {
             << fmt(num(*traffic, "num_messages")) << " messages\n";
 }
 
+/// Schema v4 "sessions": per-query traffic attribution of a multiplexed
+/// (SessionMux) run — which session moved how many bytes, by category.
+void print_sessions(const Json& doc) {
+  const Json* sessions = doc.find("sessions");
+  if (sessions == nullptr || !sessions->is_array() || sessions->size() == 0) {
+    return;
+  }
+  std::cout << "\n== sessions (" << sessions->size()
+            << " multiplexed over one run) ==\n";
+  TableWriter t({"session", "threshold", "filtering", "dissemination",
+                 "aggregation", "control", "total_bytes"},
+                std::cout, 14);
+  for (const Json& s : sessions->as_array()) {
+    const Json* bytes = s.find("bytes");
+    const auto cat = [&](std::string_view name) {
+      return bytes != nullptr ? num(*bytes, name) : 0.0;
+    };
+    const Json* name = s.find("name");
+    t.row(name != nullptr ? name->as_string() : "?", num(s, "threshold"),
+          cat("filtering"), cat("dissemination"), cat("aggregation"),
+          cat("control"), num(s, "total_bytes"));
+  }
+}
+
 void print_series(const Json& doc) {
   const Json* series = doc.find("series");
   if (series == nullptr || !series->is_object()) return;
@@ -199,6 +224,7 @@ int inspect_one(const Json& doc, const std::string& path, double tol) {
   print_results(doc);
   print_spans(doc);
   print_traffic(doc);
+  print_sessions(doc);
   print_series(doc);
   const int breaches = print_conformance(doc, tol);
   if (breaches != 0) {

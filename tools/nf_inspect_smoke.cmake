@@ -21,3 +21,27 @@ file(READ fig5_inspect_smoke.trace.json trace_text LIMIT 256)
 if(NOT trace_text MATCHES "traceEvents")
   message(FATAL_ERROR "--trace-out did not produce a trace-event document")
 endif()
+
+# Multiplexed-query report: the schema v4 "sessions" section must round-trip
+# through nf-inspect as a per-session traffic breakdown.
+execute_process(
+  COMMAND ${MULTIQUERY} --quick --json=multiquery_inspect_smoke.json
+  RESULT_VARIABLE mq_rc
+  OUTPUT_QUIET)
+if(NOT mq_rc EQUAL 0)
+  message(FATAL_ERROR "ablation_multiquery failed: ${mq_rc}")
+endif()
+
+execute_process(
+  COMMAND ${INSPECT} multiquery_inspect_smoke.json
+  RESULT_VARIABLE mq_inspect_rc
+  OUTPUT_VARIABLE mq_inspect_out)
+if(NOT mq_inspect_rc EQUAL 0)
+  message(FATAL_ERROR "nf-inspect failed on multiquery report: ${mq_inspect_rc}")
+endif()
+if(NOT mq_inspect_out MATCHES "== sessions \\(")
+  message(FATAL_ERROR "nf-inspect printed no per-session traffic breakdown")
+endif()
+if(NOT mq_inspect_out MATCHES "q0")
+  message(FATAL_ERROR "per-session breakdown names no session")
+endif()
