@@ -1,6 +1,6 @@
 #include "agg/multi_hierarchy.h"
 
-#include <unordered_set>
+#include <algorithm>
 
 #include "common/error.h"
 
@@ -9,11 +9,13 @@ namespace nf::agg {
 MultiHierarchy MultiHierarchy::build(const net::Overlay& overlay,
                                      const std::vector<PeerId>& roots) {
   require(!roots.empty(), "need at least one root");
-  std::unordered_set<PeerId> seen;
+  std::vector<PeerId> sorted = roots;
+  std::sort(sorted.begin(), sorted.end());
+  require(std::adjacent_find(sorted.begin(), sorted.end()) == sorted.end(),
+          "duplicate root");
   MultiHierarchy out;
   out.hierarchies_.reserve(roots.size());
   for (PeerId root : roots) {
-    require(seen.insert(root).second, "duplicate root");
     out.hierarchies_.push_back(build_bfs_hierarchy(overlay, root));
   }
   return out;
@@ -24,12 +26,16 @@ MultiHierarchy MultiHierarchy::build_random(const net::Overlay& overlay,
                                             Rng& rng) {
   require(replicas >= 1 && replicas <= overlay.num_alive(),
           "replica count out of range");
-  std::unordered_set<PeerId> chosen;
+  // Membership via linear scan of the (small) root list: same accept/reject
+  // sequence as a set-based check, so existing seeds reproduce.
   std::vector<PeerId> roots;
   while (roots.size() < replicas) {
     const PeerId cand(static_cast<std::uint32_t>(
         rng.below(overlay.num_peers())));
-    if (!overlay.is_alive(cand) || !chosen.insert(cand).second) continue;
+    if (!overlay.is_alive(cand) ||
+        std::find(roots.begin(), roots.end(), cand) != roots.end()) {
+      continue;
+    }
     roots.push_back(cand);
   }
   return build(overlay, roots);

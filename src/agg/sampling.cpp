@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <unordered_set>
 #include <vector>
 
 #include "agg/hll.h"
@@ -22,44 +21,56 @@ SampleEstimates sample_estimates(const Hierarchy& hierarchy,
   Rng rng(config.seed);
 
   // 1. Walk `num_branches` random root-to-leaf branches; the sampled peer
-  // set is the union of the peers on them.
-  std::unordered_set<PeerId> sampled_set;
+  // set is the union of the peers on them. Collected with duplicates, then
+  // sort+unique: branch walks never consult the set, so the draw sequence
+  // is unchanged and the result is order-deterministic.
+  std::vector<PeerId> sampled;
   for (std::uint32_t b = 0; b < config.num_branches; ++b) {
     PeerId cur = hierarchy.root();
-    sampled_set.insert(cur);
+    sampled.push_back(cur);
     while (!hierarchy.downstream(cur).empty()) {
       const auto& kids = hierarchy.downstream(cur);
       cur = kids[rng.below(kids.size())];
-      sampled_set.insert(cur);
+      sampled.push_back(cur);
     }
   }
-  std::vector<PeerId> sampled(sampled_set.begin(), sampled_set.end());
-  std::sort(sampled.begin(), sampled.end());  // determinism
+  std::sort(sampled.begin(), sampled.end());
+  sampled.erase(std::unique(sampled.begin(), sampled.end()), sampled.end());
 
   // 2. Each sampled peer picks `items_per_peer` random distinct local items.
-  std::unordered_set<ItemId> picked;
+  // Duplicates across peers are allowed here; step 3 sorts and uniques.
+  std::vector<ItemId> picked;
   double mean_local_distinct = 0.0;
+  std::vector<std::size_t> idx;
   for (PeerId p : sampled) {
     const auto& local = items.local_items(p);
     mean_local_distinct += static_cast<double>(local.size());
     if (local.size() <= config.items_per_peer) {
-      for (const auto& [id, v] : local) picked.insert(id);
+      for (const auto& [id, v] : local) picked.push_back(id);
       continue;
     }
-    // Floyd's algorithm over indices keeps the pick O(k).
-    std::unordered_set<std::size_t> idx;
+    // Floyd's algorithm over indices keeps the pick O(k); membership is a
+    // linear scan of at most items_per_peer entries. On collision j is not
+    // yet present (j grows monotonically), so the k picks stay distinct.
+    idx.clear();
     const std::size_t n = local.size();
     for (std::size_t j = n - config.items_per_peer; j < n; ++j) {
       std::size_t t = rng.below(j + 1);
-      if (!idx.insert(t).second) idx.insert(j);
+      if (std::find(idx.begin(), idx.end(), t) != idx.end()) t = j;
+      idx.push_back(t);
     }
-    for (std::size_t i : idx) picked.insert((local.begin() + static_cast<std::ptrdiff_t>(i))->first);
+    for (std::size_t i : idx) {
+      picked.push_back((local.begin() + static_cast<std::ptrdiff_t>(i))->first);
+    }
   }
   mean_local_distinct /= static_cast<double>(sampled.size());
 
   // 3. Aggregate the picked items over the sampled peers only: ṽᵢ.
-  std::vector<ItemId> picked_sorted(picked.begin(), picked.end());
+  std::vector<ItemId> picked_sorted = std::move(picked);
   std::sort(picked_sorted.begin(), picked_sorted.end());
+  picked_sorted.erase(
+      std::unique(picked_sorted.begin(), picked_sorted.end()),
+      picked_sorted.end());
   std::vector<double> tilde(picked_sorted.size(), 0.0);
   for (PeerId p : sampled) {
     const auto& local = items.local_items(p);

@@ -63,6 +63,8 @@ PartitionedResult PartitionedNetFilter::run(
         /*wire_bytes=*/
         [wire_bytes](const std::vector<Value>&) { return wire_bytes; });
     net::Engine engine(overlay, meter);
+    engine.set_threads(config_.threads);
+    engine.set_obs(config_.obs);
     result.stats.rounds += engine.run(cast, config_.max_rounds_per_phase);
     ensure(cast.complete(), "partitioned filtering did not complete");
     const auto& sums = cast.result();
@@ -98,6 +100,8 @@ PartitionedResult PartitionedNetFilter::run(
         slice_heavy * config_.wire.group_id_bytes,
         [](PeerId, const std::uint32_t&) {});
     net::Engine engine(overlay, meter);
+    engine.set_threads(config_.threads);
+    engine.set_obs(config_.obs);
     result.stats.rounds += engine.run(mc, config_.max_rounds_per_phase);
     ensure(mc.complete(), "slice dissemination did not complete");
   }
@@ -130,6 +134,8 @@ PartitionedResult PartitionedNetFilter::run(
           return m.size() * config_.wire.item_value_pair();
         });
     net::Engine engine(overlay, meter);
+    engine.set_threads(config_.threads);
+    engine.set_obs(config_.obs);
     result.stats.rounds += engine.run(cast, config_.max_rounds_per_phase);
     ensure(cast.complete(), "partitioned verification did not complete");
     result.stats.num_candidates += cast.result().size();

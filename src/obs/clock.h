@@ -1,0 +1,32 @@
+// Wall-clock readings for the observability layer.
+//
+// Protocol code must never consult ambient time: the determinism contract
+// (DESIGN.md §6c) allows only seeded nf::Rng draws and counter-keyed hash
+// streams, and nf-lint's nf-determinism-banned-entropy check enforces the
+// ban mechanically. Wall time is an obs concern — timing gauges, span
+// stamps — so the one place the monotonic clock may be spelled is this
+// header, inside the exempt src/obs tree. Runtime code that needs to time
+// itself for metrics takes readings through these helpers; the values feed
+// gauges and traces only and never influence protocol behaviour.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace nf::obs {
+
+/// An opaque monotonic timestamp. Comparable and subtractable; obtain one
+/// only via wall_now().
+using WallTime = std::chrono::steady_clock::time_point;
+
+inline WallTime wall_now() { return std::chrono::steady_clock::now(); }
+
+/// Microseconds elapsed since `since` (a wall_now() reading).
+inline std::uint64_t elapsed_us(WallTime since) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(wall_now() -
+                                                            since)
+          .count());
+}
+
+}  // namespace nf::obs

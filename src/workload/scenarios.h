@@ -8,8 +8,8 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "common/ids.h"
@@ -28,7 +28,10 @@ class Catalog {
   [[nodiscard]] std::size_t size() const { return names_.size(); }
 
  private:
-  std::unordered_map<ItemId, std::string> names_;
+  // Ordered map: catalog dumps and any future iteration emit in ItemId
+  // order, keeping workload generation deterministic (nf-lint:
+  // nf-determinism-unordered-iteration).
+  std::map<ItemId, std::string> names_;
 };
 
 struct ScenarioOutput {

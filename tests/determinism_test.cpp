@@ -16,9 +16,12 @@
 
 #include "agg/convergecast.h"
 #include "agg/hierarchy.h"
+#include "agg/multi_hierarchy.h"
 #include "core/gossip_netfilter.h"
 #include "core/netfilter.h"
+#include "core/partitioned.h"
 #include "core/query_service.h"
+#include "core/tuner.h"
 #include "net/engine.h"
 #include "net/topology.h"
 #include "obs/context.h"
@@ -376,6 +379,85 @@ TEST(DeterminismTest, ConcurrentSessionsMatchBackToBackRuns) {
       EXPECT_EQ(serial_stats.sessions[i].traffic.total_msgs(),
                 sharded_stats.sessions[i].traffic.total_msgs());
     }
+  }
+}
+
+// The multi-hierarchy (partitioned) and sampling (tuner) paths compose the
+// containers nf-lint polices hardest: random root draws, branch walks,
+// Floyd index picks, and per-slice convergecasts. Tuning from branch
+// samples and then running the partitioned filter over randomly replicated
+// hierarchies must give byte-identical results AND byte-identical obs
+// output, serial vs sharded.
+TEST(DeterminismTest, PartitionedMultiHierarchyAndSamplingMatchSerial) {
+  const TestWorld world = TestWorld::make();
+
+  const auto run_at = [&](std::uint32_t threads) {
+    auto ctx = std::make_unique<obs::Context>();
+    TrafficMeter meter(kPeers);
+    Overlay overlay = world.overlay;
+
+    // Sampling path: g, f, and t all come from random-branch estimates.
+    core::TunerConfig tc;
+    tc.sampling.num_branches = 6;
+    tc.sampling.items_per_peer = 8;
+    tc.sampling.seed = 23;
+    const core::TunedSetting tuned =
+        core::tune(world.workload, world.hierarchy, 0.01, tc, &meter);
+
+    core::NetFilterConfig base;
+    base.threads = threads;
+    base.obs = ctx.get();
+    const core::PartitionedNetFilter pnf(tuned.to_config(base));
+
+    // Multi-hierarchy path: three replicated roots drawn from a fresh RNG.
+    Rng roots_rng(31);
+    const agg::MultiHierarchy hierarchies =
+        agg::MultiHierarchy::build_random(overlay, 3, roots_rng);
+    core::PartitionedResult r =
+        pnf.run(world.workload, hierarchies, overlay, meter, tuned.threshold);
+    return std::make_tuple(std::move(r), tuned, std::move(ctx),
+                           meter.total(), meter.num_messages());
+  };
+
+  const auto [serial, serial_tuned, serial_ctx, serial_bytes, serial_msgs] =
+      run_at(1);
+  ASSERT_GT(serial.frequent.size(), 0u);
+  for (const std::uint32_t k : {2u, 4u}) {
+    SCOPED_TRACE(::testing::Message() << "threads=" << k);
+    const auto [sharded, tuned, ctx, bytes, msgs] = run_at(k);
+    // The tuner never touches the engine; its estimates must not depend on
+    // the shard count at all.
+    EXPECT_EQ(serial_tuned.num_groups, tuned.num_groups);
+    EXPECT_EQ(serial_tuned.num_filters, tuned.num_filters);
+    EXPECT_EQ(serial_tuned.threshold, tuned.threshold);
+    EXPECT_EQ(serial_tuned.estimates.v_bar, tuned.estimates.v_bar);
+    EXPECT_EQ(serial_tuned.estimates.r_hat, tuned.estimates.r_hat);
+    EXPECT_EQ(serial_bytes, bytes);
+    EXPECT_EQ(serial_msgs, msgs);
+    EXPECT_EQ(serial.stats.rounds, sharded.stats.rounds);
+    EXPECT_EQ(serial.stats.heavy_groups_total, sharded.stats.heavy_groups_total);
+    EXPECT_EQ(serial.stats.num_candidates, sharded.stats.num_candidates);
+    ASSERT_EQ(serial.frequent.size(), sharded.frequent.size());
+    auto it = sharded.frequent.begin();
+    for (const auto& [id, v] : serial.frequent) {
+      EXPECT_EQ(id, it->first);
+      EXPECT_EQ(v, it->second);
+      ++it;
+    }
+    // Byte-identical obs output, wall-clock readings aside.
+    for (const auto& [name, c] : serial_ctx->registry.counters()) {
+      if (name.rfind("time_us/", 0) == 0) continue;
+      EXPECT_EQ(c.value(), ctx->registry.counter(name).value()) << name;
+    }
+    EXPECT_EQ(serial_ctx->series.stamps(), ctx->series.stamps());
+    for (const char* col :
+         {"engine/sent", "engine/delivered", "engine/sent_bytes"}) {
+      EXPECT_EQ(serial_ctx->series.counter_series(col),
+                ctx->series.counter_series(col))
+          << col;
+    }
+    EXPECT_EQ(serial_ctx->series.gauge_series("engine/in_flight"),
+              ctx->series.gauge_series("engine/in_flight"));
   }
 }
 

@@ -1,0 +1,28 @@
+// nf-lint fixture: the same node-keyed maps as arena_map_pos.cpp with both
+// sites suppressed (pretend the key space is sparse — say, only hierarchy
+// roots — so a dense arena would waste memory). nf-lint must report nothing
+// for nf-arena-map.
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+namespace fixture {
+
+struct PeerId {
+  std::uint32_t v = 0;
+  bool operator<(PeerId o) const { return v < o.v; }
+};
+using NodeId = PeerId;
+
+class RootReports {
+ public:
+  void record(PeerId p, std::uint64_t bytes) { pending_[p] += bytes; }
+
+ private:
+  std::map<PeerId, std::uint64_t> pending_;  // nf-lint: nf-arena-map-ok
+  // nf-lint: nf-arena-map-ok (sparse key space: hierarchy roots only)
+  std::unordered_map<NodeId, std::vector<std::uint64_t>> history_;
+};
+
+}  // namespace fixture

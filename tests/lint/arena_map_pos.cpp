@@ -1,0 +1,26 @@
+// nf-lint fixture: nf-arena-map must fire on each node-keyed map below —
+// peers are dense 0..N-1, so per-peer state belongs in PeerArena<T>
+// (common/arena.h). Never compiled; lexed by tools/nf-lint only.
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+namespace fixture {
+
+struct PeerId {
+  std::uint32_t v = 0;
+  bool operator<(PeerId o) const { return v < o.v; }
+};
+using NodeId = PeerId;
+
+class HostReports {
+ public:
+  void record(PeerId p, std::uint64_t bytes) { pending_[p] += bytes; }
+
+ private:
+  std::map<PeerId, std::uint64_t> pending_;
+  std::unordered_map<NodeId, std::vector<std::uint64_t>> history_;
+};
+
+}  // namespace fixture

@@ -1,0 +1,27 @@
+// nf-lint fixture: the same entropy sources as banned_entropy_pos.cpp with
+// every site suppressed. nf-lint must report nothing for
+// nf-determinism-banned-entropy.
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace fixture {
+
+std::uint64_t jittered_backoff() {
+  // Pretend this is a one-shot seed captured before any protocol round.
+  std::random_device rd;  // nf-lint: nf-determinism-banned-entropy-ok
+  // nf-lint: nf-determinism-banned-entropy-ok
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto wall = std::chrono::system_clock::now();  // nf-lint: nf-determinism-banned-entropy-ok
+  std::srand(42);  // nf-lint: nf-determinism-banned-entropy-ok
+  // nf-lint: nf-determinism-banned-entropy-ok
+  std::uint64_t x = static_cast<std::uint64_t>(std::rand());
+  x += static_cast<std::uint64_t>(time(nullptr));  // nf-lint: nf-determinism-banned-entropy-ok
+  (void)t0;
+  (void)wall;
+  return x + rd();  // nf-lint: nf-determinism-banned-entropy-ok
+}
+
+}  // namespace fixture

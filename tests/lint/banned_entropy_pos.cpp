@@ -1,0 +1,24 @@
+// nf-lint fixture: nf-determinism-banned-entropy must fire on every ambient
+// entropy source below (this path is outside the exempt src/obs and bench/
+// trees). Never compiled; lexed by tools/nf-lint only.
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace fixture {
+
+std::uint64_t jittered_backoff() {
+  std::random_device rd;
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto wall = std::chrono::system_clock::now();
+  std::srand(42);
+  std::uint64_t x = static_cast<std::uint64_t>(std::rand());
+  x += static_cast<std::uint64_t>(time(nullptr));
+  (void)t0;
+  (void)wall;
+  return x + rd();
+}
+
+}  // namespace fixture

@@ -1,0 +1,38 @@
+// nf-lint fixture: the same obs sites as obs_context_pos.cpp with both
+// suppressed (pretend the pointer is set unconditionally in the ctor and
+// the loop is cold teardown code). nf-lint must report nothing for
+// nf-obs-context.
+#include <cstdint>
+#include <string>
+
+namespace fixture {
+
+struct Counter {
+  void add(std::uint64_t) {}
+};
+struct Registry {
+  Counter& counter(const std::string&) {
+    static Counter c;
+    return c;
+  }
+};
+struct ObsContext {
+  Registry registry;
+};
+
+class Aggregator {
+ public:
+  void finish(int rounds) {
+    obs_->registry.counter("agg/done").add(1);  // nf-lint: nf-obs-context-ok
+    for (int r = 0; r < rounds; ++r) {
+      // nf-lint: nf-obs-context-ok (cold teardown path, runs once per run)
+      registry.counter("agg/rounds").add(1);
+    }
+  }
+
+ private:
+  ObsContext* obs_ = nullptr;
+  Registry registry;
+};
+
+}  // namespace fixture

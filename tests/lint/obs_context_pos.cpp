@@ -1,0 +1,36 @@
+// nf-lint fixture: nf-obs-context must fire twice — an obs::Context
+// dereference with no null guard in sight, and a string-keyed metric-handle
+// lookup inside a loop. Never compiled; lexed by tools/nf-lint only.
+#include <cstdint>
+#include <string>
+
+namespace fixture {
+
+struct Counter {
+  void add(std::uint64_t) {}
+};
+struct Registry {
+  Counter& counter(const std::string&) {
+    static Counter c;
+    return c;
+  }
+};
+struct ObsContext {
+  Registry registry;
+};
+
+class Aggregator {
+ public:
+  void finish(int rounds) {
+    obs_->registry.counter("agg/done").add(1);  // obs_ is nullable!
+    for (int r = 0; r < rounds; ++r) {
+      registry.counter("agg/rounds").add(1);  // lookup per iteration
+    }
+  }
+
+ private:
+  ObsContext* obs_ = nullptr;
+  Registry registry;
+};
+
+}  // namespace fixture

@@ -1,0 +1,27 @@
+// nf-lint fixture: the same nondeterministic iteration as
+// unordered_iteration_pos.cpp, with every site suppressed. nf-lint must
+// report nothing for nf-determinism-unordered-iteration.
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace fixture {
+
+std::uint64_t emit_group_sums() {
+  // Pretend a profile showed the hash map matters and order was proven
+  // irrelevant downstream; the suppression carries that claim.
+  std::unordered_map<std::uint32_t, std::uint64_t> sums;  // nf-lint: nf-determinism-unordered-iteration-ok
+  sums[3] = 7;
+  std::uint64_t total = 0;
+  // nf-lint: nf-determinism-unordered-iteration-ok (order folded into a sum)
+  for (const auto& [id, v] : sums) {
+    total += id + v;
+  }
+  std::unordered_set<std::uint32_t> members{1, 2, 3};  // nf-lint: nf-determinism-unordered-iteration-ok
+  // nf-lint: nf-determinism-unordered-iteration-ok
+  std::vector<std::uint32_t> out(members.begin(), members.end());
+  return total + out.size();
+}
+
+}  // namespace fixture

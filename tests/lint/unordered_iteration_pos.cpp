@@ -1,0 +1,23 @@
+// nf-lint fixture: nf-determinism-unordered-iteration must fire on the
+// declaration, the range-for, and the iterator pair below. Never compiled;
+// lexed by tools/nf-lint only (see tests/lint/nf_lint_fixture.cmake).
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace fixture {
+
+std::uint64_t emit_group_sums() {
+  std::unordered_map<std::uint32_t, std::uint64_t> sums;
+  sums[3] = 7;
+  std::uint64_t total = 0;
+  for (const auto& [id, v] : sums) {
+    total += id + v;  // emission order depends on the hash seed
+  }
+  std::unordered_set<std::uint32_t> members{1, 2, 3};
+  std::vector<std::uint32_t> out(members.begin(), members.end());
+  return total + out.size();
+}
+
+}  // namespace fixture

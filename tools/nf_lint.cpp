@@ -1,0 +1,946 @@
+// nf-lint driver + dependency-free token-level engine (nf_lint.h).
+//
+// The token engine deliberately over-approximates: it cannot track aliasing
+// or types across translation units, so it flags the *pattern* (an
+// unordered container declared in protocol code, a wall-clock token outside
+// obs/, a registry lookup under a loop) and relies on `// nf-lint:
+// <check>-ok` suppressions where a human has proven the site safe. The
+// Clang engine (nf_lint_clang.cpp, optional) resolves types instead of
+// guessing from spelling. Both feed the same suppression/baseline pipeline
+// below, so CI behaves identically whichever engine a machine can build.
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "nf_lint.h"
+
+namespace nf::lint {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Source loading and sanitizing.
+
+struct SourceFile {
+  std::string path;               // display path, '/'-separated
+  std::vector<std::string> raw;   // as on disk (comments intact)
+  std::vector<std::string> code;  // comments and literals blanked out
+};
+
+std::string normalize_path(std::string p) {
+  for (char& c : p) {
+    if (c == '\\') c = '/';
+  }
+  return p;
+}
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::string cur;
+  for (const char c : text) {
+    if (c == '\n') {
+      lines.push_back(cur);
+      cur.clear();
+    } else if (c != '\r') {
+      cur.push_back(c);
+    }
+  }
+  if (!cur.empty()) lines.push_back(cur);
+  return lines;
+}
+
+/// Blanks comments, string literals and char literals (newlines kept), so
+/// the token scan never trips on prose or quoted code.
+std::string sanitize(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  enum class St { kCode, kLine, kBlock, kStr, kChar, kRaw };
+  St st = St::kCode;
+  std::string raw_delim;  // for R"delim( ... )delim"
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    const char n = i + 1 < text.size() ? text[i + 1] : '\0';
+    switch (st) {
+      case St::kCode:
+        if (c == '/' && n == '/') {
+          st = St::kLine;
+          out += "  ";
+          ++i;
+        } else if (c == '/' && n == '*') {
+          st = St::kBlock;
+          out += "  ";
+          ++i;
+        } else if (c == 'R' && n == '"' &&
+                   (out.empty() || !(std::isalnum(out.back()) != 0 ||
+                                     out.back() == '_'))) {
+          st = St::kRaw;
+          raw_delim.clear();
+          std::size_t j = i + 2;
+          while (j < text.size() && text[j] != '(') raw_delim += text[j++];
+          out += "  ";
+          out.append(raw_delim.size() + 1, ' ');
+          i = j;
+        } else if (c == '"') {
+          st = St::kStr;
+          out += ' ';
+        } else if (c == '\'') {
+          st = St::kChar;
+          out += ' ';
+        } else {
+          out += c;
+        }
+        break;
+      case St::kLine:
+        if (c == '\n') {
+          st = St::kCode;
+          out += '\n';
+        } else {
+          out += ' ';
+        }
+        break;
+      case St::kBlock:
+        if (c == '*' && n == '/') {
+          st = St::kCode;
+          out += "  ";
+          ++i;
+        } else {
+          out += c == '\n' ? '\n' : ' ';
+        }
+        break;
+      case St::kStr:
+        if (c == '\\') {
+          out += "  ";
+          ++i;
+        } else if (c == '"') {
+          st = St::kCode;
+          out += ' ';
+        } else {
+          out += c == '\n' ? '\n' : ' ';
+        }
+        break;
+      case St::kChar:
+        if (c == '\\') {
+          out += "  ";
+          ++i;
+        } else if (c == '\'') {
+          st = St::kCode;
+          out += ' ';
+        } else {
+          out += c == '\n' ? '\n' : ' ';
+        }
+        break;
+      case St::kRaw: {
+        const std::string close = ")" + raw_delim + "\"";
+        if (text.compare(i, close.size(), close) == 0) {
+          st = St::kCode;
+          out.append(close.size(), ' ');
+          i += close.size() - 1;
+        } else {
+          out += c == '\n' ? '\n' : ' ';
+        }
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+bool load_file(const std::string& path, SourceFile& file) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string text = ss.str();
+  file.path = normalize_path(path);
+  file.raw = split_lines(text);
+  file.code = split_lines(sanitize(text));
+  file.code.resize(file.raw.size());
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Tokenizing.
+
+struct Tok {
+  std::string text;
+  int line = 0;  // 1-based
+};
+
+bool ident_start(char c) { return std::isalpha(c) != 0 || c == '_'; }
+bool ident_char(char c) { return std::isalnum(c) != 0 || c == '_'; }
+
+std::vector<Tok> lex(const SourceFile& file) {
+  std::vector<Tok> toks;
+  for (std::size_t li = 0; li < file.code.size(); ++li) {
+    const std::string& s = file.code[li];
+    const int line = static_cast<int>(li) + 1;
+    for (std::size_t i = 0; i < s.size();) {
+      const char c = s[i];
+      if (std::isspace(c) != 0) {
+        ++i;
+      } else if (ident_start(c)) {
+        std::size_t j = i + 1;
+        while (j < s.size() && ident_char(s[j])) ++j;
+        toks.push_back({s.substr(i, j - i), line});
+        i = j;
+      } else if (std::isdigit(c) != 0) {
+        std::size_t j = i + 1;
+        while (j < s.size() && (ident_char(s[j]) || s[j] == '.')) ++j;
+        toks.push_back({s.substr(i, j - i), line});
+        i = j;
+      } else if (c == ':' && i + 1 < s.size() && s[i + 1] == ':') {
+        toks.push_back({"::", line});
+        i += 2;
+      } else if (c == '-' && i + 1 < s.size() && s[i + 1] == '>') {
+        toks.push_back({"->", line});
+        i += 2;
+      } else {
+        toks.push_back({std::string(1, c), line});
+        ++i;
+      }
+    }
+  }
+  return toks;
+}
+
+// ---------------------------------------------------------------------------
+// Small token-stream helpers.
+
+const std::string& tok_at(const std::vector<Tok>& t, std::size_t i) {
+  static const std::string empty;
+  return i < t.size() ? t[i].text : empty;
+}
+
+/// Receiver chain (identifiers joined by '.'/'::') ending just before
+/// token `end` — e.g. for `config_.obs->` returns "config_.obs".
+std::string chain_before(const std::vector<Tok>& t, std::size_t end) {
+  std::string chain;
+  std::size_t i = end;
+  while (i > 0) {
+    const std::string& s = t[i - 1].text;
+    if (s == "." || s == "::" || ident_start(s[0])) {
+      chain.insert(0, s);
+      --i;
+    } else {
+      break;
+    }
+  }
+  return chain;
+}
+
+/// Index of the matching ')' for the '(' at `open`, or t.size().
+std::size_t match_paren(const std::vector<Tok>& t, std::size_t open) {
+  int depth = 0;
+  for (std::size_t i = open; i < t.size(); ++i) {
+    if (t[i].text == "(") ++depth;
+    if (t[i].text == ")" && --depth == 0) return i;
+  }
+  return t.size();
+}
+
+std::string collapse_ws(const std::string& s) {
+  std::string out;
+  bool space = false;
+  for (const char c : s) {
+    if (std::isspace(c) != 0) {
+      space = !out.empty();
+    } else {
+      if (space) out += ' ';
+      out += c;
+      space = false;
+    }
+  }
+  return out;
+}
+
+std::string strip_ws(const std::string& s) {
+  std::string out;
+  for (const char c : s) {
+    if (std::isspace(c) == 0) out += c;
+  }
+  return out;
+}
+
+/// True when `path` has `dir` as one of its directory components.
+bool in_dir(const std::string& path, const std::string& dir) {
+  const std::string p = "/" + path;
+  return p.find("/" + dir + "/") != std::string::npos;
+}
+
+bool path_ends_with(const std::string& path, const std::string& tail) {
+  return path.size() >= tail.size() &&
+         path.compare(path.size() - tail.size(), tail.size(), tail) == 0;
+}
+
+void add_finding(std::vector<Finding>& out, const SourceFile& file, Check c,
+                 int line, std::string message) {
+  // One diagnostic per (check, line): `v.begin(), v.end()` is one problem.
+  for (const Finding& f : out) {
+    if (f.check == c && f.line == line && f.path == file.path) return;
+  }
+  const std::string& src =
+      line >= 1 && line <= static_cast<int>(file.raw.size())
+          ? file.raw[static_cast<std::size_t>(line) - 1]
+          : std::string();
+  out.push_back({c, file.path, line, std::move(message), collapse_ws(src)});
+}
+
+/// Per-token loop-body depth: >0 when the token sits inside a for/while
+/// body (brace-delimited or single-statement).
+std::vector<int> loop_depths(const std::vector<Tok>& t) {
+  std::vector<int> depth(t.size(), 0);
+  std::vector<bool> brace_is_loop;       // one entry per open '{'
+  std::vector<std::size_t> single_at;    // brace depth of single-stmt loops
+  std::set<std::size_t> loop_brace_idx;  // '{' indices that open loop bodies
+  int cur = 0;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    const std::string& s = t[i].text;
+    if ((s == "for" || s == "while") && tok_at(t, i + 1) == "(") {
+      const std::size_t close = match_paren(t, i + 1);
+      if (close < t.size()) {
+        if (tok_at(t, close + 1) == "{") {
+          loop_brace_idx.insert(close + 1);
+        } else if (tok_at(t, close + 1) != ";") {  // `do {} while ();` tail
+          single_at.push_back(brace_is_loop.size());
+          ++cur;
+        }
+      }
+    }
+    if (s == "{") {
+      const bool is_loop = loop_brace_idx.count(i) > 0;
+      brace_is_loop.push_back(is_loop);
+      if (is_loop) ++cur;
+    } else if (s == "}") {
+      if (!brace_is_loop.empty()) {
+        if (brace_is_loop.back()) --cur;
+        brace_is_loop.pop_back();
+      }
+    } else if (s == ";") {
+      while (!single_at.empty() && single_at.back() >= brace_is_loop.size()) {
+        single_at.pop_back();
+        --cur;
+      }
+    }
+    depth[i] = cur;
+  }
+  return depth;
+}
+
+// ---------------------------------------------------------------------------
+// Check 1: nf-determinism-unordered-iteration.
+//
+// Protocol emission order must be deterministic, and iterating a
+// std::unordered_{map,set} is the classic way to lose that silently
+// (PAPER.md §III's exactness claim survives only if every peer emits group
+// sums in one canonical order). The token engine cannot prove a container
+// is never iterated, so it flags the declaration too — membership-only
+// containers either become sorted vectors (the usual fix) or carry an
+// inline suppression stating the proof.
+
+void check_unordered(const SourceFile& file, const std::vector<Tok>& t,
+                     std::vector<Finding>& out) {
+  std::set<std::string> unordered_vars;
+  for (std::size_t i = 0; i + 2 < t.size(); ++i) {
+    if (t[i].text != "std" || t[i + 1].text != "::") continue;
+    const std::string& kind = t[i + 2].text;
+    if (kind != "unordered_map" && kind != "unordered_set" &&
+        kind != "unordered_multimap" && kind != "unordered_multiset") {
+      continue;
+    }
+    add_finding(out, file, Check::kUnorderedIteration, t[i].line,
+                "std::" + kind +
+                    " in deterministic protocol code: iteration order is "
+                    "unspecified; use a sorted vector / std::map, or "
+                    "suppress with proof it is never iterated");
+    // Track the declared name so iteration sites get their own finding.
+    if (tok_at(t, i + 3) != "<") continue;
+    int angle = 0;
+    std::size_t j = i + 3;
+    for (; j < t.size(); ++j) {
+      if (t[j].text == "<") ++angle;
+      if (t[j].text == ">" && --angle == 0) break;
+    }
+    ++j;
+    while (j < t.size() &&
+           (t[j].text == "&" || t[j].text == "*" || t[j].text == "const")) {
+      ++j;
+    }
+    if (j < t.size() && ident_start(t[j].text[0]) &&
+        tok_at(t, j + 1) != "(") {
+      unordered_vars.insert(t[j].text);
+    }
+  }
+  if (unordered_vars.empty()) return;
+
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    // Range-for over a tracked container.
+    if (t[i].text == "for" && tok_at(t, i + 1) == "(") {
+      const std::size_t close = match_paren(t, i + 1);
+      std::size_t colon = 0;
+      bool classic = false;
+      int depth = 0;
+      for (std::size_t j = i + 1; j < close; ++j) {
+        if (t[j].text == "(") ++depth;
+        if (t[j].text == ")") --depth;
+        if (depth == 1 && t[j].text == ";") classic = true;
+        if (depth == 1 && t[j].text == ":") colon = j;
+      }
+      if (!classic && colon != 0) {
+        for (std::size_t j = colon + 1; j < close; ++j) {
+          if (unordered_vars.count(t[j].text) > 0) {
+            add_finding(out, file, Check::kUnorderedIteration, t[j].line,
+                        "range-for over unordered container '" + t[j].text +
+                            "': emission order is nondeterministic; "
+                            "materialize into a sorted vector first");
+            break;
+          }
+        }
+      }
+    }
+    // Iterator access on a tracked container (incl. vector(v.begin(), ...)).
+    if (t[i].text == "." && i > 0 && unordered_vars.count(t[i - 1].text) > 0) {
+      const std::string& m = tok_at(t, i + 1);
+      if ((m == "begin" || m == "end" || m == "cbegin" || m == "cend" ||
+           m == "rbegin" || m == "rend") &&
+          tok_at(t, i + 2) == "(") {
+        add_finding(out, file, Check::kUnorderedIteration, t[i].line,
+                    "iterator over unordered container '" + t[i - 1].text +
+                        "': traversal order is nondeterministic; "
+                        "materialize into a sorted vector first");
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Check 2: nf-determinism-banned-entropy.
+//
+// Every random draw must come from a seeded nf::Rng or a counter-keyed
+// hash stream, and every timestamp from the obs layer — ambient entropy
+// (wall clocks, std::rand) makes runs unreproducible and breaks the
+// serial-vs-sharded bit-identity contract. src/obs and bench/ are exempt:
+// wall-clock time is their job.
+
+void check_entropy(const SourceFile& file, const std::vector<Tok>& t,
+                   std::vector<Finding>& out) {
+  if (in_dir(file.path, "obs") || in_dir(file.path, "bench")) return;
+  static const std::set<std::string> banned_idents = {
+      "random_device",  "system_clock", "steady_clock",
+      "high_resolution_clock", "clock_gettime", "gettimeofday",
+      "timespec_get"};
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    const std::string& s = t[i].text;
+    if (banned_idents.count(s) > 0) {
+      add_finding(out, file, Check::kBannedEntropy, t[i].line,
+                  "'" + s +
+                      "' is ambient entropy: protocol code must draw from "
+                      "seeded nf::Rng / counter-keyed hash streams and take "
+                      "wall time from the obs layer only");
+      continue;
+    }
+    if ((s == "rand" || s == "srand") && i >= 2 &&
+        t[i - 1].text == "::" && t[i - 2].text == "std") {
+      add_finding(out, file, Check::kBannedEntropy, t[i].line,
+                  "std::" + s + " is unseeded global state; use nf::Rng");
+      continue;
+    }
+    if (s == "time" && tok_at(t, i + 1) == "(") {
+      const std::string prev = i > 0 ? t[i - 1].text : std::string();
+      const bool member = prev == "." || prev == "->";
+      const bool qualified_other =
+          prev == "::" && i >= 2 && t[i - 2].text != "std";
+      if (!member && !qualified_other) {
+        add_finding(out, file, Check::kBannedEntropy, t[i].line,
+                    "time() reads the wall clock; protocol code must be "
+                    "reproducible from its seeds");
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Check 3: nf-envelope-discipline.
+//
+// Inside a Phase component every send must go through PhaseContext::
+// send_raw / TypedPhase::send, which thread the (session, phase) tags from
+// net/envelope.h. Hand-rolled tagging (send_tagged, raw Envelope
+// construction, kNoSession) bypasses the SessionMux's routing and traffic
+// attribution; only the session runtime itself (net/session.*, net/engine.*)
+// may touch those primitives.
+
+void check_envelope(const SourceFile& file, const std::vector<Tok>& t,
+                    std::vector<Finding>& out) {
+  if (path_ends_with(file.path, "net/session.h") ||
+      path_ends_with(file.path, "net/session.cpp") ||
+      path_ends_with(file.path, "net/engine.h") ||
+      path_ends_with(file.path, "net/engine.cpp") ||
+      path_ends_with(file.path, "net/envelope.h")) {
+    return;
+  }
+  bool has_phase = false;
+  for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+    if (t[i].text != "public") continue;
+    std::size_t j = i + 1;
+    if (tok_at(t, j) == "net" && tok_at(t, j + 1) == "::") j += 2;
+    const std::string& base = tok_at(t, j);
+    if (base == "Phase" || base == "TypedPhase") {
+      has_phase = true;
+      break;
+    }
+  }
+  if (!has_phase) return;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    const std::string& s = t[i].text;
+    if (s == "send_tagged") {
+      add_finding(out, file, Check::kEnvelopeDiscipline, t[i].line,
+                  "Phase component calls send_tagged directly: session and "
+                  "phase ids must come from the PhaseContext (send_raw / "
+                  "TypedPhase::send), not be hand-threaded");
+    } else if (s == "Envelope" && tok_at(t, i + 1) == "{") {
+      add_finding(out, file, Check::kEnvelopeDiscipline, t[i].line,
+                  "Phase component constructs a raw Envelope: tags bypass "
+                  "the SessionMux; send through the PhaseContext");
+    } else if (s == "kNoSession") {
+      add_finding(out, file, Check::kEnvelopeDiscipline, t[i].line,
+                  "Phase component references kNoSession: phase traffic "
+                  "must stay attributed to its session");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Check 4: nf-arena-map.
+//
+// Peers are dense 0..N-1 (common/ids.h), so node-keyed std::map /
+// unordered_map per-peer state wastes cache, allocates per node, and (for
+// the unordered flavour) iterates nondeterministically. PeerArena<T>
+// (common/arena.h) is the project container: dense, shard-safe, and
+// mechanically iterable in id order.
+
+void check_arena_map(const SourceFile& file, const std::vector<Tok>& t,
+                     std::vector<Finding>& out) {
+  for (std::size_t i = 0; i + 3 < t.size(); ++i) {
+    if (t[i].text != "std" || t[i + 1].text != "::") continue;
+    const std::string& kind = t[i + 2].text;
+    if (kind != "map" && kind != "unordered_map" && kind != "multimap") {
+      continue;
+    }
+    if (tok_at(t, i + 3) != "<") continue;
+    // Scan the first template argument (up to a top-level comma).
+    int angle = 0;
+    for (std::size_t j = i + 3; j < t.size(); ++j) {
+      if (t[j].text == "<") ++angle;
+      if (t[j].text == ">" && --angle == 0) break;
+      if (t[j].text == "," && angle == 1) break;
+      if (angle == 1 && (t[j].text == "PeerId" || t[j].text == "NodeId")) {
+        add_finding(out, file, Check::kArenaMap, t[i].line,
+                    "std::" + kind + "<" + t[j].text +
+                        ", T> for per-peer state: peers are dense 0..N-1, "
+                        "use PeerArena<T> (common/arena.h)");
+        break;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Check 5: nf-obs-context.
+//
+// obs::Context rides protocol hot paths as a nullable pointer, so (a) every
+// dereference needs a null guard in sight, and (b) string-keyed registry
+// lookups (registry.counter("...")) may not sit inside loops — cache the
+// handle once (see Engine::set_obs) and bump it. src/obs itself is exempt:
+// it implements the registry.
+
+void check_obs_context(const SourceFile& file, const std::vector<Tok>& t,
+                       const std::vector<int>& loop_depth,
+                       std::vector<Finding>& out) {
+  if (in_dir(file.path, "obs")) return;
+  static const std::set<std::string> members = {"registry", "tracer",
+                                                "series", "conformance"};
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    // (a) unguarded `x->registry` etc.
+    if (t[i].text == "->" && members.count(tok_at(t, i + 1)) > 0) {
+      const std::string chain = chain_before(t, i);
+      bool guarded = false;
+      if (!chain.empty()) {
+        const int line = t[i].line;
+        const int first = std::max(1, line - 40);
+        for (int li = first; li <= line && !guarded; ++li) {
+          const std::string flat =
+              strip_ws(file.code[static_cast<std::size_t>(li) - 1]);
+          for (const std::string& pat :
+               {chain + "!=nullptr", chain + "==nullptr", "if(" + chain + ")",
+                "!" + chain, chain + "&&", "&&" + chain, chain + "?"}) {
+            if (flat.find(pat) != std::string::npos) {
+              guarded = true;
+              break;
+            }
+          }
+        }
+      }
+      if (!guarded) {
+        add_finding(out, file, Check::kObsContext, t[i].line,
+                    "dereference of obs::Context '" + chain +
+                        "' with no null guard in sight: obs is nullable by "
+                        "contract (obs/context.h)");
+      }
+    }
+    // (b) string-keyed handle lookup inside a loop.
+    if (t[i].text == "registry" && tok_at(t, i + 1) == "." &&
+        loop_depth[i] > 0) {
+      const std::string& m = tok_at(t, i + 2);
+      if ((m == "counter" || m == "gauge" || m == "histogram") &&
+          tok_at(t, i + 3) == "(") {
+        add_finding(out, file, Check::kObsContext, t[i].line,
+                    "registry." + m +
+                        "(...) inside a loop does a string-keyed lookup per "
+                        "iteration; hoist the handle (see Engine::set_obs)");
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<Finding> run_token_engine(const std::vector<std::string>& paths,
+                                      const std::vector<Check>& checks) {
+  std::vector<Finding> out;
+  const auto enabled = [&checks](Check c) {
+    return std::find(checks.begin(), checks.end(), c) != checks.end();
+  };
+  for (const std::string& path : paths) {
+    SourceFile file;
+    if (!load_file(path, file)) {
+      std::fprintf(stderr, "nf-lint: cannot read %s\n", path.c_str());
+      continue;
+    }
+    const std::vector<Tok> toks = lex(file);
+    const std::vector<int> depth = loop_depths(toks);
+    if (enabled(Check::kUnorderedIteration)) {
+      check_unordered(file, toks, out);
+    }
+    if (enabled(Check::kBannedEntropy)) check_entropy(file, toks, out);
+    if (enabled(Check::kEnvelopeDiscipline)) check_envelope(file, toks, out);
+    if (enabled(Check::kArenaMap)) check_arena_map(file, toks, out);
+    if (enabled(Check::kObsContext)) {
+      check_obs_context(file, toks, depth, out);
+    }
+  }
+  sort_findings(out);
+  return out;
+}
+
+#ifndef NF_LINT_HAVE_CLANG
+bool clang_engine_available() { return false; }
+bool run_clang_engine(const std::vector<std::string>&,
+                      const std::vector<Check>&, const std::string&,
+                      std::vector<Finding>&, std::string& error) {
+  error = "built without Clang LibTooling support (find_package(Clang) "
+          "failed at configure time); use --engine=tokens";
+  return false;
+}
+#endif
+
+}  // namespace nf::lint
+
+// ---------------------------------------------------------------------------
+// Driver.
+
+namespace {
+
+using nf::lint::Check;
+using nf::lint::Finding;
+
+struct Options {
+  std::vector<std::string> paths;
+  std::vector<Check> checks{std::begin(nf::lint::kAllChecks),
+                            std::end(nf::lint::kAllChecks)};
+  std::string baseline;
+  std::string write_baseline;
+  std::string report;
+  std::string engine = "auto";  // auto | tokens | clang
+  std::string compdb = "build";
+  bool quiet = false;
+};
+
+int usage(const char* argv0) {
+  std::printf(
+      "usage: %s [options] [paths...]\n"
+      "Scans C++ sources for netfilter invariant violations "
+      "(docs/STATIC_ANALYSIS.md).\n\n"
+      "  paths                  files or directories (default: src)\n"
+      "  --check NAME           run only NAME (repeatable)\n"
+      "  --baseline FILE        fail only on findings not in FILE\n"
+      "  --write-baseline FILE  write current findings as the new baseline\n"
+      "  --report FILE          also write the findings report to FILE\n"
+      "  --engine E             auto|tokens|clang (default auto)\n"
+      "  --compdb DIR           compile_commands.json dir for the clang "
+      "engine (default build)\n"
+      "  --list-checks          print the check catalog and exit\n"
+      "  -q, --quiet            summary only\n\n"
+      "Suppress a finding inline with `// nf-lint: <check>-ok` on the "
+      "flagged line or the line above.\n"
+      "Exit: 0 clean (or no new findings vs baseline), 1 findings, 2 usage "
+      "error.\n",
+      argv0);
+  return 2;
+}
+
+std::vector<std::string> collect_files(const std::vector<std::string>& paths) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> files;
+  const auto is_source = [](const fs::path& p) {
+    const std::string ext = p.extension().string();
+    return ext == ".h" || ext == ".hpp" || ext == ".cpp" || ext == ".cc" ||
+           ext == ".cxx";
+  };
+  for (const std::string& path : paths) {
+    std::error_code ec;
+    if (fs::is_directory(path, ec)) {
+      for (fs::recursive_directory_iterator it(path, ec), end;
+           it != end && !ec; it.increment(ec)) {
+        const std::string name = it->path().filename().string();
+        if (it->is_directory() &&
+            (name == ".git" || name.rfind("build", 0) == 0)) {
+          it.disable_recursion_pending();
+          continue;
+        }
+        if (it->is_regular_file() && is_source(it->path())) {
+          files.push_back(it->path().generic_string());
+        }
+      }
+    } else {
+      files.push_back(path);
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+/// Drops findings suppressed by `// nf-lint: <check>-ok` on the finding's
+/// line or the line above it.
+void apply_suppressions(std::vector<Finding>& findings) {
+  std::map<std::string, std::vector<std::string>> lines_by_file;
+  std::vector<Finding> kept;
+  for (Finding& f : findings) {
+    auto it = lines_by_file.find(f.path);
+    if (it == lines_by_file.end()) {
+      std::ifstream in(f.path, std::ios::binary);
+      std::stringstream ss;
+      ss << in.rdbuf();
+      std::vector<std::string> lines;
+      std::string cur;
+      for (const char c : ss.str()) {
+        if (c == '\n') {
+          lines.push_back(cur);
+          cur.clear();
+        } else if (c != '\r') {
+          cur.push_back(c);
+        }
+      }
+      lines.push_back(cur);
+      it = lines_by_file.emplace(f.path, std::move(lines)).first;
+    }
+    const std::vector<std::string>& lines = it->second;
+    const std::string want = std::string(check_name(f.check)) + "-ok";
+    bool suppressed = false;
+    for (int li = f.line - 1; li <= f.line && !suppressed; ++li) {
+      if (li < 1 || li > static_cast<int>(lines.size())) continue;
+      const std::string& raw = lines[static_cast<std::size_t>(li) - 1];
+      if (raw.find("nf-lint:") != std::string::npos &&
+          raw.find(want) != std::string::npos) {
+        suppressed = true;
+      }
+    }
+    if (!suppressed) kept.push_back(std::move(f));
+  }
+  findings = std::move(kept);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  std::vector<Check> only;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    // Accept both `--flag value` and `--flag=value`.
+    std::string inline_value;
+    bool has_inline = false;
+    if (arg.rfind("--", 0) == 0) {
+      const std::size_t eq = arg.find('=');
+      if (eq != std::string::npos) {
+        inline_value = arg.substr(eq + 1);
+        arg.resize(eq);
+        has_inline = true;
+      }
+    }
+    const auto next = [&]() -> const char* {
+      if (has_inline) return inline_value.c_str();
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else if (arg == "--list-checks") {
+      for (const Check c : nf::lint::kAllChecks) {
+        std::printf("%-40s %s\n", check_name(c),
+                    nf::lint::check_description(c));
+      }
+      return 0;
+    } else if (arg == "--check") {
+      const char* name = next();
+      if (name == nullptr) return usage(argv[0]);
+      bool found = false;
+      for (const Check c : nf::lint::kAllChecks) {
+        if (std::string(check_name(c)) == name) {
+          only.push_back(c);
+          found = true;
+        }
+      }
+      if (!found) {
+        std::fprintf(stderr, "nf-lint: unknown check '%s'\n", name);
+        return 2;
+      }
+    } else if (arg == "--baseline") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      opt.baseline = v;
+    } else if (arg == "--write-baseline") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      opt.write_baseline = v;
+    } else if (arg == "--report") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      opt.report = v;
+    } else if (arg == "--engine") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      opt.engine = v;
+    } else if (arg == "--compdb") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      opt.compdb = v;
+    } else if (arg == "-q" || arg == "--quiet") {
+      opt.quiet = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage(argv[0]);
+    } else {
+      opt.paths.push_back(arg);
+    }
+  }
+  if (!only.empty()) opt.checks = only;
+  if (opt.paths.empty()) opt.paths.push_back("src");
+
+  const std::vector<std::string> files = collect_files(opt.paths);
+  if (files.empty()) {
+    std::fprintf(stderr, "nf-lint: no source files under given paths\n");
+    return 2;
+  }
+
+  std::vector<Finding> findings;
+  std::string engine_used = "tokens";
+  if (opt.engine == "clang" ||
+      (opt.engine == "auto" && nf::lint::clang_engine_available())) {
+    std::string error;
+    if (nf::lint::run_clang_engine(files, opt.checks, opt.compdb, findings,
+                                   error)) {
+      engine_used = "clang";
+    } else if (opt.engine == "clang") {
+      std::fprintf(stderr, "nf-lint: %s\n", error.c_str());
+      return 2;
+    } else {
+      if (!opt.quiet) {
+        std::fprintf(stderr, "nf-lint: clang engine unavailable (%s); "
+                             "falling back to token engine\n",
+                     error.c_str());
+      }
+      findings = nf::lint::run_token_engine(files, opt.checks);
+    }
+  } else if (opt.engine == "tokens" || opt.engine == "auto") {
+    findings = nf::lint::run_token_engine(files, opt.checks);
+  } else {
+    return usage(argv[0]);
+  }
+
+  apply_suppressions(findings);
+  nf::lint::sort_findings(findings);
+
+  if (!opt.write_baseline.empty()) {
+    std::ofstream out(opt.write_baseline, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "nf-lint: cannot write %s\n",
+                   opt.write_baseline.c_str());
+      return 2;
+    }
+    out << "# nf-lint baseline: one `check|path|snippet` key per accepted\n"
+           "# finding. CI fails only on findings NOT listed here; burn this\n"
+           "# file down to empty. Regenerate: nf-lint --write-baseline "
+           "tools/nf_lint_baseline.txt src\n";
+    std::vector<std::string> keys;
+    keys.reserve(findings.size());
+    for (const Finding& f : findings) keys.push_back(finding_key(f));
+    std::sort(keys.begin(), keys.end());
+    for (const std::string& k : keys) out << k << "\n";
+    std::printf("nf-lint: wrote %zu baseline entr%s to %s\n", keys.size(),
+                keys.size() == 1 ? "y" : "ies", opt.write_baseline.c_str());
+    return 0;
+  }
+
+  std::multiset<std::string> baseline;
+  if (!opt.baseline.empty()) {
+    std::ifstream in(opt.baseline, std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "nf-lint: cannot read baseline %s\n",
+                   opt.baseline.c_str());
+      return 2;
+    }
+    std::string line;
+    while (std::getline(in, line)) {
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (line.empty() || line[0] == '#') continue;
+      baseline.insert(line);
+    }
+  }
+
+  std::size_t new_count = 0;
+  std::ostringstream report;
+  for (const Finding& f : findings) {
+    const std::string key = finding_key(f);
+    const auto it = baseline.find(key);
+    const bool known = it != baseline.end();
+    if (known) {
+      baseline.erase(it);
+    } else {
+      ++new_count;
+    }
+    report << f.path << ":" << f.line << ": [" << check_name(f.check) << "]"
+           << (known ? " (baseline)" : "") << " " << f.message << "\n";
+    if (!f.snippet.empty()) report << "    " << f.snippet << "\n";
+  }
+  std::ostringstream summary;
+  summary << "nf-lint (" << engine_used << "): " << findings.size()
+          << " finding" << (findings.size() == 1 ? "" : "s");
+  if (!opt.baseline.empty()) {
+    summary << " (" << new_count << " new vs " << opt.baseline << ")";
+  }
+  summary << " across " << files.size() << " files\n";
+
+  if (!opt.quiet) std::fputs(report.str().c_str(), stdout);
+  std::fputs(summary.str().c_str(), stdout);
+  if (!opt.report.empty()) {
+    std::ofstream out(opt.report, std::ios::binary);
+    out << report.str() << summary.str();
+  }
+
+  const bool fail =
+      opt.baseline.empty() ? !findings.empty() : new_count > 0;
+  return fail ? 1 : 0;
+}

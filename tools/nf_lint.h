@@ -1,0 +1,115 @@
+// nf-lint: project-specific invariant linter (docs/STATIC_ANALYSIS.md).
+//
+// The stack's correctness rests on conventions the compiler never checks:
+// bit-identical sharded execution requires deterministic emission order and
+// counter-keyed entropy, the session runtime requires every Phase send to
+// carry its (session, phase) envelope tags, and the obs layer requires
+// null-guarded contexts plus cached metric handles on hot paths. nf-lint
+// turns those conventions into diagnostics.
+//
+// Two engines share this header and the driver in nf_lint.cpp:
+//   * a dependency-free token-level analyzer (always built, what CI runs),
+//   * a Clang LibTooling pass over compile_commands.json (nf_lint_clang.cpp,
+//     compiled only when find_package(Clang) succeeds; sharper on types).
+// Both emit `Finding`s; suppression, baseline and report handling are
+// engine-independent.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace nf::lint {
+
+enum class Check : std::uint8_t {
+  kUnorderedIteration,  // nf-determinism-unordered-iteration
+  kBannedEntropy,       // nf-determinism-banned-entropy
+  kEnvelopeDiscipline,  // nf-envelope-discipline
+  kArenaMap,            // nf-arena-map
+  kObsContext,          // nf-obs-context
+};
+
+inline constexpr Check kAllChecks[] = {
+    Check::kUnorderedIteration, Check::kBannedEntropy,
+    Check::kEnvelopeDiscipline, Check::kArenaMap, Check::kObsContext};
+
+inline const char* check_name(Check c) {
+  switch (c) {
+    case Check::kUnorderedIteration:
+      return "nf-determinism-unordered-iteration";
+    case Check::kBannedEntropy:
+      return "nf-determinism-banned-entropy";
+    case Check::kEnvelopeDiscipline:
+      return "nf-envelope-discipline";
+    case Check::kArenaMap:
+      return "nf-arena-map";
+    case Check::kObsContext:
+      return "nf-obs-context";
+  }
+  return "?";
+}
+
+inline const char* check_description(Check c) {
+  switch (c) {
+    case Check::kUnorderedIteration:
+      return "unordered_map/set in protocol code: iteration order is "
+             "nondeterministic; materialize into a sorted vector before "
+             "emission or use a deterministic container";
+    case Check::kBannedEntropy:
+      return "ambient entropy (std::rand, std::random_device, wall clocks) "
+             "outside src/obs and bench/: draw from seeded nf::Rng or "
+             "counter-keyed hash streams instead";
+    case Check::kEnvelopeDiscipline:
+      return "Phase components must send through PhaseContext::send_raw / "
+             "TypedPhase::send so (session, phase) envelope tags are "
+             "threaded; raw tagging belongs to the session runtime";
+    case Check::kArenaMap:
+      return "node-keyed std::map for per-peer state: peers are dense "
+             "0..N-1, use PeerArena<T> (common/arena.h)";
+    case Check::kObsContext:
+      return "obs::Context hygiene: null-guard dereferences and hoist "
+             "string-keyed metric-handle lookups out of loops";
+  }
+  return "?";
+}
+
+struct Finding {
+  Check check;
+  std::string path;     ///< as passed on the command line, '/'-separated
+  int line = 0;         ///< 1-based
+  std::string message;  ///< site-specific detail
+  std::string snippet;  ///< trimmed source line, whitespace-collapsed
+};
+
+/// Stable, line-number-free identity used by the baseline file, so findings
+/// survive unrelated edits that shift lines.
+inline std::string finding_key(const Finding& f) {
+  return std::string(check_name(f.check)) + "|" + f.path + "|" + f.snippet;
+}
+
+inline void sort_findings(std::vector<Finding>& findings) {
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.path != b.path) return a.path < b.path;
+              if (a.line != b.line) return a.line < b.line;
+              return static_cast<int>(a.check) < static_cast<int>(b.check);
+            });
+}
+
+/// Token-level engine (nf_lint.cpp). `paths` are files, not directories.
+std::vector<Finding> run_token_engine(const std::vector<std::string>& paths,
+                                      const std::vector<Check>& checks);
+
+/// Clang LibTooling engine. Returns false (with `error` set) when the
+/// binary was built without Clang support or the compilation database at
+/// `compdb_dir` cannot be loaded.
+bool run_clang_engine(const std::vector<std::string>& paths,
+                      const std::vector<Check>& checks,
+                      const std::string& compdb_dir,
+                      std::vector<Finding>& findings, std::string& error);
+
+/// True when this binary was compiled with the LibTooling engine.
+bool clang_engine_available();
+
+}  // namespace nf::lint

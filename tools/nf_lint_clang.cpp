@@ -1,0 +1,412 @@
+// nf-lint Clang LibTooling engine (optional; see nf_lint.h).
+//
+// Compiled only when the build found a Clang CMake package
+// (NF_LINT_HAVE_CLANG); machines without libclang dev headers build the
+// token engine alone and `--engine=auto` falls back transparently. This
+// engine resolves real types over an exported compile_commands.json, so it
+// has none of the token engine's spelling heuristics: an unordered_map
+// hidden behind a typedef still matches, and a std::map keyed by an alias
+// of PeerId still trips nf-arena-map.
+//
+// Parity note: the null-guard half of nf-obs-context stays textual (a
+// backward window scan identical to the token engine's) because "is there a
+// guard in sight" is a convention about code shape, not something the AST
+// answers better — and both engines must agree on what src/ counts as
+// clean.
+#ifdef NF_LINT_HAVE_CLANG
+
+#include <cctype>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "clang/AST/ASTContext.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+#include "clang/ASTMatchers/ASTMatchers.h"
+#include "clang/Basic/SourceManager.h"
+#include "clang/Tooling/JSONCompilationDatabase.h"
+#include "clang/Tooling/Tooling.h"
+#include "llvm/Support/Path.h"
+
+#include "nf_lint.h"
+
+namespace nf::lint {
+namespace {
+
+using namespace clang;
+using namespace clang::ast_matchers;
+
+std::string collapse(const std::string& s) {
+  std::string out;
+  bool space = false;
+  for (const char c : s) {
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      space = !out.empty();
+    } else {
+      if (space) out += ' ';
+      out += c;
+      space = false;
+    }
+  }
+  return out;
+}
+
+std::string strip_spaces(const std::string& s) {
+  std::string out;
+  for (const char c : s) {
+    if (std::isspace(static_cast<unsigned char>(c)) == 0) out += c;
+  }
+  return out;
+}
+
+bool in_dir(const std::string& path, const std::string& dir) {
+  const std::string p = "/" + path;
+  return p.find("/" + dir + "/") != std::string::npos;
+}
+
+bool ends_with(const std::string& s, const std::string& tail) {
+  return s.size() >= tail.size() &&
+         s.compare(s.size() - tail.size(), tail.size(), tail) == 0;
+}
+
+/// Shared state for all matcher callbacks of one tool run.
+struct Sink {
+  std::vector<Finding>* findings = nullptr;
+  /// Absolute-path -> display-path for the files the driver asked about;
+  /// matches landing anywhere else (system headers, generated code) drop.
+  std::set<std::string> wanted;
+  std::string cwd;
+
+  /// Maps an absolute path back to the repo-relative spelling the baseline
+  /// uses; returns empty when the location is out of scope.
+  std::string display_path(llvm::StringRef abs) const {
+    std::string p = abs.str();
+    for (char& c : p) {
+      if (c == '\\') c = '/';
+    }
+    if (wanted.count(p) == 0) return {};
+    if (!cwd.empty() && p.rfind(cwd + "/", 0) == 0) {
+      return p.substr(cwd.size() + 1);
+    }
+    return p;
+  }
+
+  void add(Check check, const SourceManager& sm, SourceLocation loc,
+           std::string message) {
+    const SourceLocation spell = sm.getExpansionLoc(loc);
+    if (spell.isInvalid() || sm.isInSystemHeader(spell)) return;
+    const auto* entry = sm.getFileEntryForID(sm.getFileID(spell));
+    if (entry == nullptr) return;
+    llvm::SmallString<256> abs(entry->tryGetRealPathName());
+    if (abs.empty()) abs = entry->getName();
+    const std::string path = display_path(abs.str());
+    if (path.empty()) return;
+    const unsigned line = sm.getSpellingLineNumber(spell);
+    Finding f;
+    f.check = check;
+    f.path = path;
+    f.line = static_cast<int>(line);
+    f.message = std::move(message);
+    const llvm::StringRef buf = sm.getBufferData(sm.getFileID(spell));
+    std::size_t start = 0, seen = 1;
+    for (std::size_t i = 0; i < buf.size() && seen < line; ++i) {
+      if (buf[i] == '\n') {
+        ++seen;
+        start = i + 1;
+      }
+    }
+    const std::size_t eol = buf.find('\n', start);
+    f.snippet = collapse(buf.substr(start, eol - start).str());
+    // One diagnostic per (check, path, line), across TUs re-including the
+    // same header.
+    for (const Finding& g : *findings) {
+      if (g.check == f.check && g.line == f.line && g.path == f.path) return;
+    }
+    findings->push_back(std::move(f));
+  }
+
+  /// The token engine's backward guard-window scan, on the raw buffer.
+  bool guarded(const SourceManager& sm, SourceLocation loc,
+               const std::string& chain) const {
+    if (chain.empty()) return false;
+    const SourceLocation spell = sm.getExpansionLoc(loc);
+    const llvm::StringRef buf = sm.getBufferData(sm.getFileID(spell));
+    const unsigned line = sm.getSpellingLineNumber(spell);
+    std::vector<std::string> lines;
+    std::string cur;
+    for (const char c : buf) {
+      if (c == '\n') {
+        lines.push_back(cur);
+        cur.clear();
+      } else {
+        cur += c;
+      }
+    }
+    lines.push_back(cur);
+    const unsigned first = line > 40 ? line - 40 : 1;
+    for (unsigned li = first; li <= line && li <= lines.size(); ++li) {
+      const std::string flat = strip_spaces(lines[li - 1]);
+      for (const std::string& pat :
+           {chain + "!=nullptr", chain + "==nullptr", "if(" + chain + ")",
+            "!" + chain, chain + "&&", "&&" + chain, chain + "?"}) {
+        if (flat.find(pat) != std::string::npos) return true;
+      }
+    }
+    return false;
+  }
+};
+
+class Callback : public MatchFinder::MatchCallback {
+ public:
+  explicit Callback(Sink& sink) : sink_(sink) {}
+
+  void run(const MatchFinder::MatchResult& result) override {
+    const SourceManager& sm = *result.SourceManager;
+    if (const auto* s = result.Nodes.getNodeAs<CXXForRangeStmt>("ufor")) {
+      sink_.add(Check::kUnorderedIteration, sm, s->getBeginLoc(),
+                "range-for over an unordered container: emission order is "
+                "nondeterministic; materialize into a sorted vector first");
+    }
+    if (const auto* e = result.Nodes.getNodeAs<CXXMemberCallExpr>("ubegin")) {
+      sink_.add(Check::kUnorderedIteration, sm, e->getBeginLoc(),
+                "iterator over an unordered container: traversal order is "
+                "nondeterministic; materialize into a sorted vector first");
+    }
+    if (const auto* d = result.Nodes.getNodeAs<DeclRefExpr>("entropy")) {
+      const std::string path = current_path(sm, d->getBeginLoc());
+      if (!exempt_entropy(path)) {
+        sink_.add(Check::kBannedEntropy, sm, d->getBeginLoc(),
+                  "'" + d->getNameInfo().getAsString() +
+                      "' is ambient entropy: draw from seeded nf::Rng / "
+                      "counter-keyed streams; wall time lives in obs");
+      }
+    }
+    if (const auto* tl = result.Nodes.getNodeAs<TypeLoc>("entropyType")) {
+      const std::string path = current_path(sm, tl->getBeginLoc());
+      if (!exempt_entropy(path)) {
+        sink_.add(Check::kBannedEntropy, sm, tl->getBeginLoc(),
+                  "wall-clock / random_device type in protocol code: "
+                  "reproducibility requires seeded entropy only");
+      }
+    }
+    if (const auto* c =
+            result.Nodes.getNodeAs<CXXMemberCallExpr>("sendtagged")) {
+      if (!exempt_runtime(current_path(sm, c->getBeginLoc()))) {
+        sink_.add(Check::kEnvelopeDiscipline, sm, c->getBeginLoc(),
+                  "Phase component calls send_tagged directly: use "
+                  "PhaseContext::send_raw / TypedPhase::send");
+      }
+    }
+    if (const auto* c = result.Nodes.getNodeAs<CXXConstructExpr>("rawenv")) {
+      if (!exempt_runtime(current_path(sm, c->getBeginLoc()))) {
+        sink_.add(Check::kEnvelopeDiscipline, sm, c->getBeginLoc(),
+                  "Phase component constructs a raw Envelope: tags bypass "
+                  "the SessionMux; send through the PhaseContext");
+      }
+    }
+    if (const auto* d = result.Nodes.getNodeAs<DeclRefExpr>("nosession")) {
+      if (!exempt_runtime(current_path(sm, d->getBeginLoc()))) {
+        sink_.add(Check::kEnvelopeDiscipline, sm, d->getBeginLoc(),
+                  "Phase component references kNoSession: phase traffic "
+                  "must stay attributed to its session");
+      }
+    }
+    if (const auto* v = result.Nodes.getNodeAs<ValueDecl>("nodemap")) {
+      sink_.add(Check::kArenaMap, sm, v->getBeginLoc(),
+                "node-keyed std::map for per-peer state: peers are dense "
+                "0..N-1, use PeerArena<T> (common/arena.h)");
+    }
+    if (const auto* m = result.Nodes.getNodeAs<MemberExpr>("obsderef")) {
+      const std::string path = current_path(sm, m->getBeginLoc());
+      if (!path.empty() && !in_dir(path, "obs")) {
+        std::string chain;
+        const Expr* base = m->getBase()->IgnoreParenImpCasts();
+        if (const auto* dre = dyn_cast<DeclRefExpr>(base)) {
+          chain = dre->getNameInfo().getAsString();
+        } else if (const auto* me = dyn_cast<MemberExpr>(base)) {
+          chain = me->getMemberNameInfo().getAsString();
+        }
+        if (!sink_.guarded(sm, m->getBeginLoc(), chain)) {
+          sink_.add(Check::kObsContext, sm, m->getBeginLoc(),
+                    "dereference of obs::Context '" + chain +
+                        "' with no null guard in sight: obs is nullable by "
+                        "contract (obs/context.h)");
+        }
+      }
+    }
+    if (const auto* c = result.Nodes.getNodeAs<CXXMemberCallExpr>("obsloop")) {
+      const std::string path = current_path(sm, c->getBeginLoc());
+      if (!path.empty() && !in_dir(path, "obs")) {
+        sink_.add(Check::kObsContext, sm, c->getBeginLoc(),
+                  "string-keyed registry handle lookup inside a loop; hoist "
+                  "the handle (see Engine::set_obs)");
+      }
+    }
+  }
+
+ private:
+  std::string current_path(const SourceManager& sm, SourceLocation loc) {
+    const SourceLocation spell = sm.getExpansionLoc(loc);
+    const auto* entry = sm.getFileEntryForID(sm.getFileID(spell));
+    if (entry == nullptr) return {};
+    llvm::SmallString<256> abs(entry->tryGetRealPathName());
+    if (abs.empty()) abs = entry->getName();
+    return sink_.display_path(abs.str());
+  }
+
+  static bool exempt_entropy(const std::string& path) {
+    return path.empty() || in_dir(path, "obs") || in_dir(path, "bench");
+  }
+
+  static bool exempt_runtime(const std::string& path) {
+    return path.empty() || ends_with(path, "net/session.h") ||
+           ends_with(path, "net/session.cpp") ||
+           ends_with(path, "net/engine.h") ||
+           ends_with(path, "net/engine.cpp") ||
+           ends_with(path, "net/envelope.h");
+  }
+
+  Sink& sink_;
+};
+
+auto unordered_type() {
+  return qualType(hasUnqualifiedDesugaredType(recordType(hasDeclaration(
+      namedDecl(hasAnyName("::std::unordered_map", "::std::unordered_set",
+                           "::std::unordered_multimap",
+                           "::std::unordered_multiset"))))));
+}
+
+auto phase_member() {
+  return hasAncestor(cxxRecordDecl(
+      isDerivedFrom(cxxRecordDecl(hasName("::nf::net::Phase")))));
+}
+
+}  // namespace
+
+bool clang_engine_available() { return true; }
+
+bool run_clang_engine(const std::vector<std::string>& paths,
+                      const std::vector<Check>& checks,
+                      const std::string& compdb_dir,
+                      std::vector<Finding>& findings, std::string& error) {
+  std::string db_error;
+  std::unique_ptr<tooling::CompilationDatabase> db =
+      tooling::CompilationDatabase::loadFromDirectory(compdb_dir, db_error);
+  if (db == nullptr) {
+    error = "cannot load compile_commands.json from '" + compdb_dir +
+            "': " + db_error;
+    return false;
+  }
+
+  Sink sink;
+  sink.findings = &findings;
+  llvm::SmallString<256> cwd;
+  if (!llvm::sys::fs::current_path(cwd)) sink.cwd = cwd.str().str();
+  std::vector<std::string> sources;
+  for (const std::string& p : paths) {
+    llvm::SmallString<256> abs(p);
+    llvm::sys::fs::make_absolute(abs);
+    llvm::sys::path::remove_dots(abs, /*remove_dot_dot=*/true);
+    sink.wanted.insert(abs.str().str());
+    if (ends_with(p, ".cpp") || ends_with(p, ".cc") || ends_with(p, ".cxx")) {
+      sources.push_back(abs.str().str());
+    }
+  }
+  if (sources.empty()) {
+    error = "no translation units among the given paths";
+    return false;
+  }
+
+  const auto enabled = [&checks](Check c) {
+    return std::find(checks.begin(), checks.end(), c) != checks.end();
+  };
+  MatchFinder finder;
+  Callback cb(sink);
+  if (enabled(Check::kUnorderedIteration)) {
+    finder.addMatcher(
+        cxxForRangeStmt(hasRangeInit(expr(hasType(unordered_type()))))
+            .bind("ufor"),
+        &cb);
+    finder.addMatcher(
+        cxxMemberCallExpr(callee(cxxMethodDecl(hasAnyName(
+                              "begin", "end", "cbegin", "cend"))),
+                          on(expr(hasType(unordered_type()))))
+            .bind("ubegin"),
+        &cb);
+  }
+  if (enabled(Check::kBannedEntropy)) {
+    finder.addMatcher(
+        declRefExpr(to(functionDecl(hasAnyName(
+                        "::rand", "::srand", "::time", "::clock_gettime",
+                        "::gettimeofday", "::timespec_get", "::std::rand",
+                        "::std::srand", "::std::time"))))
+            .bind("entropy"),
+        &cb);
+    finder.addMatcher(
+        typeLoc(loc(qualType(hasDeclaration(namedDecl(hasAnyName(
+                    "::std::random_device", "::std::chrono::system_clock",
+                    "::std::chrono::steady_clock",
+                    "::std::chrono::high_resolution_clock"))))))
+            .bind("entropyType"),
+        &cb);
+  }
+  if (enabled(Check::kEnvelopeDiscipline)) {
+    finder.addMatcher(
+        cxxMemberCallExpr(callee(cxxMethodDecl(hasName("send_tagged"))),
+                          phase_member())
+            .bind("sendtagged"),
+        &cb);
+    finder.addMatcher(
+        cxxConstructExpr(
+            hasType(cxxRecordDecl(hasName("::nf::net::Envelope"))),
+            phase_member())
+            .bind("rawenv"),
+        &cb);
+    finder.addMatcher(
+        declRefExpr(to(varDecl(hasName("kNoSession"))), phase_member())
+            .bind("nosession"),
+        &cb);
+  }
+  if (enabled(Check::kArenaMap)) {
+    finder.addMatcher(
+        valueDecl(hasType(qualType(hasDeclaration(
+                      classTemplateSpecializationDecl(
+                          hasAnyName("::std::map", "::std::unordered_map",
+                                     "::std::multimap"),
+                          hasTemplateArgument(
+                              0, refersToType(hasDeclaration(namedDecl(
+                                     hasAnyName("::nf::PeerId",
+                                                "::nf::NodeId")))))))))
+                  .bind("nodemap"),
+        &cb);
+  }
+  if (enabled(Check::kObsContext)) {
+    finder.addMatcher(
+        memberExpr(member(hasAnyName("registry", "tracer", "series",
+                                     "conformance")),
+                   hasObjectExpression(expr(hasType(pointsTo(
+                       cxxRecordDecl(hasName("::nf::obs::Context")))))))
+            .bind("obsderef"),
+        &cb);
+    finder.addMatcher(
+        cxxMemberCallExpr(
+            callee(cxxMethodDecl(
+                hasAnyName("counter", "gauge", "histogram"),
+                ofClass(hasName("::nf::obs::MetricsRegistry")))),
+            hasAncestor(stmt(anyOf(forStmt(), whileStmt(), doStmt(),
+                                   cxxForRangeStmt()))))
+            .bind("obsloop"),
+        &cb);
+  }
+
+  tooling::ClangTool tool(*db, sources);
+  tool.setPrintErrorMessage(false);
+  tool.run(tooling::newFrontendActionFactory(&finder).get());
+  sort_findings(findings);
+  return true;
+}
+
+}  // namespace nf::lint
+
+#endif  // NF_LINT_HAVE_CLANG
