@@ -11,7 +11,8 @@
 // rows, traffic breakdown, metrics, protocol trace, per-round series and
 // cost-model conformance; --trace-out=PATH writes a Chrome/Perfetto
 // trace-event file of the same run; --trace-cap=N (or the NF_TRACE_CAP env
-// var) sizes the tracer ring.
+// var) sizes the tracer ring; --lineage-cap=N (or NF_LINEAGE_CAP) sizes
+// the causal lineage ring (schema v5 "lineage" section).
 #pragma once
 
 #include <cstdint>
@@ -156,6 +157,7 @@ struct Cli {
   std::string json;       ///< --json=PATH; empty disables the JSON report
   std::string trace_out;  ///< --trace-out=PATH; Chrome trace-event file
   std::uint64_t trace_cap = 0;  ///< --trace-cap=N; 0 = unset (env/default)
+  std::uint64_t lineage_cap = 0;  ///< --lineage-cap=N; 0 = unset
 
   static Cli parse(int argc, char** argv) {
     Cli cli;
@@ -182,6 +184,12 @@ struct Cli {
           std::cerr << "--trace-cap must be >= 1\n";
           std::exit(2);
         }
+      } else if (arg.rfind("--lineage-cap=", 0) == 0) {
+        cli.lineage_cap = std::stoull(std::string(arg.substr(14)));
+        if (cli.lineage_cap == 0) {
+          std::cerr << "--lineage-cap must be >= 1\n";
+          std::exit(2);
+        }
       } else if (arg == "--help" || arg == "-h") {
         std::cout << "flags: --quick (scale 10^6-item runs down 10x), "
                      "--seed=S, --threads=K (engine shards; results are "
@@ -189,7 +197,9 @@ struct Cli {
                      "observability report), --trace-out=PATH (write "
                      "Chrome/Perfetto trace-event JSON), --trace-cap=N "
                      "(tracer ring capacity; NF_TRACE_CAP env is the "
-                     "fallback, default 16384)\n";
+                     "fallback, default 16384), --lineage-cap=N (lineage "
+                     "ring capacity; NF_LINEAGE_CAP env is the fallback, "
+                     "default 65536)\n";
         std::exit(0);
       } else {
         std::cerr << "unknown flag: " << arg << "\n";
@@ -214,6 +224,18 @@ struct Cli {
       std::cerr << "ignoring malformed NF_TRACE_CAP=" << env << "\n";
     }
     return 1ull << 14;
+  }
+
+  /// Lineage ring capacity: --lineage-cap beats NF_LINEAGE_CAP beats 65536.
+  [[nodiscard]] std::uint64_t resolved_lineage_cap() const {
+    if (lineage_cap != 0) return lineage_cap;
+    if (const char* env = std::getenv("NF_LINEAGE_CAP")) {
+      char* end = nullptr;
+      const unsigned long long v = std::strtoull(env, &end, 10);
+      if (end != env && *end == '\0' && v >= 1) return v;
+      std::cerr << "ignoring malformed NF_LINEAGE_CAP=" << env << "\n";
+    }
+    return obs::LineageRecorder::kDefaultCapacity;
   }
 };
 
@@ -256,7 +278,9 @@ class JsonReport {
     bundle_.bench = std::move(bench_name);
     if (enabled()) {
       ctx_ = std::make_unique<obs::Context>(
-          /*trace_capacity=*/cli.resolved_trace_cap());
+          /*trace_capacity=*/cli.resolved_trace_cap(),
+          /*series_capacity=*/4096,
+          /*lineage_capacity=*/cli.resolved_lineage_cap());
       bundle_.obs = ctx_.get();
       param("seed", obs::Json(cli.seed));
       param("quick", obs::Json(cli.quick));
@@ -327,6 +351,12 @@ class JsonReport {
   /// if either file cannot be written.
   bool write() {
     bool ok = true;
+    if (ctx_ != nullptr) {
+      // Make ring truncation visible in the report: nf-inspect warns when
+      // this is nonzero instead of readers silently seeing a gap.
+      ctx_->registry.counter("trace/dropped_events")
+          .add(ctx_->tracer.dropped());  // nf-lint: nf-obs-context-ok
+    }
     if (!path_.empty()) {
       std::ofstream out(path_);
       if (!out) {

@@ -1,23 +1,28 @@
 #!/usr/bin/env bash
-# Captures BENCH_baseline.json — the committed fig5 --quick reference that
-# CI diffs against via `nf-inspect fig5.json BENCH_baseline.json`.
+# Captures the committed --quick references CI diffs against via nf-inspect:
+#   BENCH_baseline.json      — fig5_filter_size (filtering-heavy)
+#   BENCH_fig7_baseline.json — fig7_skewness (convergecast-heavy)
 #
 # The per-peer *_cost columns are deterministic (fixed seed, flat wire
 # model), so any diff is a real behavior change. Re-run this script and
-# commit the result whenever such a change is intentional.
+# commit the results whenever such a change is intentional.
 #
-# --trace-cap=16 keeps the committed trace section tiny; it does not affect
-# the results rows.
+# --trace-cap=16 / --lineage-cap=16 keep the committed trace and lineage
+# sections tiny; they do not affect the results rows.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 build_dir=${BUILD_DIR:-build}
-bench="$build_dir/bench/fig5_filter_size"
 
-if [ ! -x "$bench" ]; then
-  echo "error: $bench not built (cmake -B $build_dir -S . && cmake --build $build_dir)" >&2
-  exit 1
-fi
+capture() {
+  local bench="$build_dir/bench/$1" out="$2"
+  if [ ! -x "$bench" ]; then
+    echo "error: $bench not built (cmake -B $build_dir -S . && cmake --build $build_dir)" >&2
+    exit 1
+  fi
+  "$bench" --quick --trace-cap=16 --lineage-cap=16 --json="$out"
+  echo "captured $out"
+}
 
-"$bench" --quick --trace-cap=16 --json=BENCH_baseline.json
-echo "captured BENCH_baseline.json"
+capture fig5_filter_size BENCH_baseline.json
+capture fig7_skewness BENCH_fig7_baseline.json

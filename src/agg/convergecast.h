@@ -28,6 +28,7 @@
 #include <cstdint>
 #include <functional>
 #include <optional>
+#include <span>
 #include <utility>
 #include <vector>
 
@@ -76,6 +77,9 @@ class ConvergecastPhase final : public net::TypedPhase<T> {
     st.acc.emplace(local_(p));
     st.pending =
         static_cast<std::uint32_t>(hierarchy_.downstream(p).size());
+    // Whatever opened this phase here (a dissemination arrival, a replayed
+    // envelope) is a causal parent of the merged message sent upward.
+    st.parents.push_back(ctx.cause());
     maybe_forward(ctx, st);
   }
 
@@ -113,6 +117,7 @@ class ConvergecastPhase final : public net::TypedPhase<T> {
     }
     merge_(*st.acc, std::move(child));
     --st.pending;
+    st.parents.push_back(ctx.cause());
     maybe_forward(ctx, st);
   }
 
@@ -122,6 +127,9 @@ class ConvergecastPhase final : public net::TypedPhase<T> {
     std::uint32_t pending = 0;
     std::uint64_t sent_bytes = 0;
     std::optional<T> acc;
+    /// Causal parents of the merged upward message: the arrival that opened
+    /// the phase plus every child aggregate merged in.
+    std::vector<obs::LineageId> parents;
   };
 
   void maybe_forward(net::PhaseContext& ctx, State& st) {
@@ -138,9 +146,13 @@ class ConvergecastPhase final : public net::TypedPhase<T> {
       obs_->registry.histogram("convergecast/msg_bytes")
           .observe(st.sent_bytes);
     }
+    // The merged message descends from every contribution it carries.
     this->send(ctx, hierarchy_.upstream(p), category_, st.sent_bytes,
-               std::move(*st.acc));
+               std::move(*st.acc),
+               std::span<const obs::LineageId>(st.parents));
     st.acc.reset();
+    st.parents.clear();
+    st.parents.shrink_to_fit();
   }
 
   const Hierarchy& hierarchy_;

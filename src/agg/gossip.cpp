@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <span>
 
 #include "common/error.h"
 
@@ -21,6 +22,7 @@ PushSumGossip::PushSumGossip(std::vector<std::vector<double>> initial,
   count_[0u] = 1.0;
   w_.assign(num_peers_, 1.0);
   rng_ = fork_streams(config_.seed, num_peers_);
+  pending_parents_.assign(num_peers_, {});
 }
 
 void PushSumGossip::on_round_begin(std::uint64_t /*round*/) {
@@ -63,13 +65,19 @@ void PushSumGossip::on_round(net::Context& ctx) {
     config_.obs->registry.counter("gossip/shares").add(1);
     config_.obs->registry.histogram("gossip/share_bytes").observe(bytes);
   }
-  ctx.send(to, net::TrafficCategory::kGossip, bytes, std::any(std::move(out)));
+  // The outgoing share carries half of everything merged so far; every
+  // share received since the last send is a causal parent.
+  std::vector<obs::LineageId>& parents = pending_parents_[self.value()];
+  ctx.send(to, net::TrafficCategory::kGossip, bytes, std::any(std::move(out)),
+           std::span<const obs::LineageId>(parents));
+  parents.clear();
 }
 
 void PushSumGossip::on_message(net::Context& ctx, net::Envelope&& env) {
   const Share* share = std::any_cast<Share>(&env.payload);
   ensure(share != nullptr, "gossip payload type mismatch");
   const PeerId self = ctx.self();
+  pending_parents_[self.value()].push_back(ctx.cause());
   auto& x = x_[self.value()];
   for (std::size_t i = 0; i < dimension_; ++i) x[i] += share->x[i];
   count_[self.value()] += share->count;

@@ -84,6 +84,9 @@ class PushSumGossip final : public net::Protocol {
   PeerArena<double> count_;           // per-peer "1 at peer 0" coordinate
   PeerArena<double> w_;               // per-peer weight
   PeerArena<Rng> rng_;                // per-peer independent randomness
+  // Lineage ids of shares merged since this peer's last send; attached as
+  // causal parents of the next outgoing share.
+  PeerArena<std::vector<obs::LineageId>> pending_parents_;
   std::uint32_t rounds_done_{0};
   std::uint32_t num_peers_{0};
 };

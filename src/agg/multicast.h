@@ -17,6 +17,7 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <span>
 #include <utility>
 #include <vector>
 
@@ -91,8 +92,12 @@ class MulticastPhase final : public net::TypedPhase<T> {
       obs_->tracer.record(obs::EventKind::kFanout, "multicast.fanout",
                           p.value(), downstream.size());
     }
+    // Each forwarded copy descends from the arrival (or root trigger) that
+    // reached this peer; ctx.cause() is that lineage id.
+    const obs::LineageId parent = ctx.cause();
     for (PeerId child : downstream) {
-      this->send(ctx, child, category_, wire_bytes_, T(payload));
+      this->send(ctx, child, category_, wire_bytes_, T(payload),
+                 std::span<const obs::LineageId>(&parent, 1));
     }
   }
 

@@ -1,6 +1,7 @@
 #include "core/gossip_netfilter.h"
 
 #include <cmath>
+#include <span>
 #include <utility>
 #include <vector>
 
@@ -36,6 +37,7 @@ class MapPushSum final : public net::Protocol {
     count_[initiator.value()] = 1.0;
     w_.assign(num_peers_, 1.0);
     rng_ = fork_streams(seed, num_peers_);
+    pending_parents_.assign(num_peers_, {});
   }
 
   void on_round_begin(std::uint64_t /*round*/) override {
@@ -73,14 +75,19 @@ class MapPushSum final : public net::Protocol {
       obs_->registry.counter("gossip/shares").add(1);
       obs_->registry.histogram("gossip/share_bytes").observe(bytes);
     }
+    // Shares merged since the last send are causal parents of this one.
+    std::vector<obs::LineageId>& parents = pending_parents_[self.value()];
     ctx.send(to, net::TrafficCategory::kGossip, bytes,
-             std::any(std::move(out)));
+             std::any(std::move(out)),
+             std::span<const obs::LineageId>(parents));
+    parents.clear();
   }
 
   void on_message(net::Context& ctx, net::Envelope&& env) override {
     auto* share = std::any_cast<Share>(&env.payload);
     ensure(share != nullptr, "map push-sum payload type mismatch");
     const PeerId self = ctx.self();
+    pending_parents_[self.value()].push_back(ctx.cause());
     x_[self.value()].merge_add(share->x);
     count_[self.value()] += share->count;
     w_[self.value()] += share->w;
@@ -112,6 +119,7 @@ class MapPushSum final : public net::Protocol {
   PeerArena<double> count_;
   PeerArena<double> w_;
   PeerArena<Rng> rng_;
+  PeerArena<std::vector<obs::LineageId>> pending_parents_;
   WireSizes wire_;
   obs::Context* obs_ = nullptr;
   std::uint32_t rounds_;

@@ -456,7 +456,9 @@ std::vector<FrequentItemsResponse> QueryService::serve_concurrent(
       ss.name = ss.traffic.name;
       ss.threshold = q->threshold;
       ss.netfilter = q->ifi->take_result().stats;
-      ss.netfilter.rounds_total = rounds;
+      // Per-session completion round (the round of the gating delivery, as
+      // the lineage critical path reports it), not the shared run length.
+      ss.netfilter.rounds_total = mux.done_round(q->sid);
       const auto category_cost = [&](net::TrafficCategory c) {
         return static_cast<double>(
                    ss.traffic.bytes[static_cast<std::size_t>(c)]) /

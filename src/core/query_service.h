@@ -67,8 +67,10 @@ struct ConcurrentSessionStats {
   Value threshold = 0;
   /// Counting fields from the session's own run; phase costs are computed
   /// from the session's traffic tally (not the shared meter), so concurrent
-  /// sessions don't bleed into each other's numbers. rounds_total is the
-  /// shared engine run's; per-session round splits live in the trace spans.
+  /// sessions don't bleed into each other's numbers. rounds_total is this
+  /// session's completion round (SessionMux::done_round — the round of the
+  /// gating delivery, matching the lineage critical path's final hop);
+  /// per-phase round splits live in the trace spans.
   NetFilterStats netfilter;
   net::SessionTraffic traffic;  ///< per-category bytes/messages
 };

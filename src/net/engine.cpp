@@ -29,22 +29,55 @@ bool Context::is_alive(PeerId p) const {
   return engine_.overlay().is_alive(p);
 }
 
+void Context::push_send(PeerId to, TrafficCategory category,
+                        std::uint64_t bytes, std::any payload,
+                        SessionId session, PhaseId phase,
+                        std::span<const obs::LineageId> parents) {
+  KeyedSend ks{major_,
+               next_minor_++,
+               /*is_ack=*/0,
+               protocol_index_,
+               /*ack_msg_id=*/0,
+               Envelope{self_, to, category, bytes, std::move(payload),
+                        session, phase}};
+  // First nonzero parent becomes the primary; the rest go to the sampled
+  // extra-edge store. Zero ids (round-originated causes) are skipped so
+  // callers can push causes unconditionally.
+  for (const obs::LineageId p : parents) {
+    if (p == obs::kNoLineage) continue;
+    if (ks.parent == obs::kNoLineage) {
+      ks.parent = p;
+    } else if (p != ks.parent) {
+      ks.extra_parents.push_back(p);
+    }
+  }
+  outbox_->push_back(std::move(ks));
+}
+
 void Context::send(PeerId to, TrafficCategory category, std::uint64_t bytes,
                    std::any payload) {
-  outbox_->push_back(KeyedSend{
-      major_, next_minor_++, /*is_ack=*/0, protocol_index_,
-      /*ack_msg_id=*/0,
-      Envelope{self_, to, category, bytes, std::move(payload)}});
+  push_send(to, category, bytes, std::move(payload), kNoSession, 0,
+            std::span<const obs::LineageId>(&cause_, 1));
+}
+
+void Context::send(PeerId to, TrafficCategory category, std::uint64_t bytes,
+                   std::any payload,
+                   std::span<const obs::LineageId> parents) {
+  push_send(to, category, bytes, std::move(payload), kNoSession, 0, parents);
 }
 
 void Context::send_tagged(PeerId to, TrafficCategory category,
                           std::uint64_t bytes, std::any payload,
                           SessionId session, PhaseId phase) {
-  outbox_->push_back(KeyedSend{
-      major_, next_minor_++, /*is_ack=*/0, protocol_index_,
-      /*ack_msg_id=*/0,
-      Envelope{self_, to, category, bytes, std::move(payload), session,
-               phase}});
+  push_send(to, category, bytes, std::move(payload), session, phase,
+            std::span<const obs::LineageId>(&cause_, 1));
+}
+
+void Context::send_tagged(PeerId to, TrafficCategory category,
+                          std::uint64_t bytes, std::any payload,
+                          SessionId session, PhaseId phase,
+                          std::span<const obs::LineageId> parents) {
+  push_send(to, category, bytes, std::move(payload), session, phase, parents);
 }
 
 Engine::Engine(Overlay& overlay, TrafficMeter& meter)
@@ -85,6 +118,7 @@ void Engine::set_fault_model(const LinkFaultModel& model) {
 
 void Engine::set_obs(obs::Context* obs) {
   obs_ = obs;
+  lineage_ = obs != nullptr ? &obs->lineage : nullptr;
   obs_shard_busy_.clear();
   obs_shard_idle_.clear();
   if (obs == nullptr) {
@@ -174,6 +208,13 @@ void Engine::predispatch(std::span<Protocol* const> protocols,
       seen.insert(it, out.msg_id);
     }
     ensure(out.protocol_index < protocols.size(), "bad protocol index");
+    // The message will reach its handler this round: mark the delivery in
+    // the lineage DAG. Dead-destination drops, link losses and suppressed
+    // duplicates return above, so their nodes stay undelivered and never
+    // enter critical paths or flow arrows.
+    if (lineage_ != nullptr && out.envelope.lineage != obs::kNoLineage) {
+      lineage_->delivered(out.envelope.lineage, lineage_clock_);
+    }
     shards_[plan.shard_of(out.envelope.to)].inq.push_back(
         Delivery{static_cast<std::uint64_t>(i), std::move(out)});
   }
@@ -191,7 +232,8 @@ void Engine::run_shard(std::span<Protocol* const> protocols,
   for (Delivery& d : sc.inq) {
     if (obs_ != nullptr) obs_delivered_->add(1);
     Context ctx(*this, d.out.envelope.to, d.out.protocol_index, &sc.outbox,
-                /*major=*/d.index, /*first_minor=*/1);
+                /*major=*/d.index, /*first_minor=*/1,
+                /*cause=*/d.out.envelope.lineage);
     protocols[d.out.protocol_index]->on_message(ctx,
                                                 std::move(d.out.envelope));
   }
@@ -202,7 +244,7 @@ void Engine::run_shard(std::span<Protocol* const> protocols,
       if (!overlay_.is_alive(PeerId(peer))) continue;
       Context ctx(*this, PeerId(peer), pi, &sc.outbox,
                   /*major=*/tick_base + pi * num_peers + peer,
-                  /*first_minor=*/0);
+                  /*first_minor=*/0, /*cause=*/obs::kNoLineage);
       protocols[pi]->on_round(ctx);
     }
   }
@@ -269,6 +311,17 @@ void Engine::merge_and_finalize() {
       obs_sent_->add(1);
       obs_sent_bytes_->add(ks.envelope.bytes);
       obs_msg_bytes_->observe(ks.envelope.bytes);
+    }
+    // Stamp the lineage id here, in canonical order, so ids are identical
+    // for any shard count. ACKs are engine bookkeeping and stay unstamped;
+    // retransmissions re-admit the pristine Pending copy, which keeps the
+    // id assigned at first admission.
+    if (lineage_ != nullptr && ks.is_ack == 0) {
+      const obs::LineageId id = lineage_->admit(
+          ks.parent, ks.envelope.from, ks.envelope.to, ks.envelope.session,
+          ks.envelope.phase, ks.envelope.bytes, lineage_clock_);
+      ks.envelope.lineage = id;
+      for (const obs::LineageId p : ks.extra_parents) lineage_->link(id, p);
     }
     Outgoing out{ks.protocol_index, std::move(ks.envelope),
                  /*msg_id=*/0, ks.is_ack != 0, /*lost=*/false};
@@ -348,6 +401,12 @@ std::uint64_t Engine::run(std::span<Protocol* const> protocols,
     pending_by_sender_.resize(overlay_.num_peers());
     seen_by_receiver_.resize(overlay_.num_peers());
   }
+  if (lineage_ != nullptr) {
+    // Window the lineage analysis on this run: record the pre-run clock
+    // (deliveries during round r carry clock base + r + 1, so relative
+    // rounds start at 1) and the first node id this run will admit.
+    lineage_->mark_run_start(obs_->tracer.clock());
+  }
   for (Protocol* p : protocols) p->on_run_start(overlay_);
   for (std::uint64_t executed = 0; executed < max_rounds; ++executed) {
     // 0. Stamp the round boundary: advance the tracer's logical clock so
@@ -357,6 +416,7 @@ std::uint64_t Engine::run(std::span<Protocol* const> protocols,
       obs_rounds_->add(1);
       obs_->tracer.record(obs::EventKind::kRound, "engine.round",
                           obs::kNoPeer, bucket_at(round_).size());
+      lineage_clock_ = obs_->tracer.clock();
     }
 
     // 1. Apply churn scheduled for this round.

@@ -99,15 +99,35 @@ class Context {
   [[nodiscard]] const std::vector<PeerId>& neighbors() const;
   [[nodiscard]] bool is_alive(PeerId p) const;
 
+  /// Lineage id of the delivered message this callback is handling, or
+  /// kNoLineage for round ticks (and runs without an obs context). Sends
+  /// made from this context inherit it as their causal parent.
+  [[nodiscard]] obs::LineageId cause() const { return cause_; }
+
   /// Queues a message for delivery at the next round (later under the
   /// latency model); its bytes are metered at the round barrier.
   void send(PeerId to, TrafficCategory category, std::uint64_t bytes,
             std::any payload = {});
 
+  /// As send(), with an explicit causal parent set replacing the implicit
+  /// cause() — for components whose sends merge several arrivals (e.g. a
+  /// convergecast forward, a gossip share). parents[0] becomes the primary
+  /// parent; the rest are recorded as sampled extra edges. Zero ids are
+  /// ignored, so callers push causes unconditionally.
+  void send(PeerId to, TrafficCategory category, std::uint64_t bytes,
+            std::any payload, std::span<const obs::LineageId> parents);
+
   /// As send(), tagging the envelope with a (session, phase) pair so a
   /// SessionMux (net/session.h) can route it to the right Phase component.
   void send_tagged(PeerId to, TrafficCategory category, std::uint64_t bytes,
                    std::any payload, SessionId session, PhaseId phase);
+
+  /// Tagged send with an explicit causal parent set (see the untagged
+  /// overload). The session runtime uses this to thread the replayed
+  /// envelope's own lineage through buffered-phase replays.
+  void send_tagged(PeerId to, TrafficCategory category, std::uint64_t bytes,
+                   std::any payload, SessionId session, PhaseId phase,
+                   std::span<const obs::LineageId> parents);
 
  private:
   friend class Engine;
@@ -123,17 +143,27 @@ class Context {
     std::size_t protocol_index;
     std::uint64_t ack_msg_id;  // msg id being acknowledged (ACKs only)
     Envelope envelope;
+    /// Primary causal parent; the envelope's own lineage id is assigned at
+    /// the merge barrier, in canonical order.
+    obs::LineageId parent = obs::kNoLineage;
+    /// Parents beyond the first (multi-parent merges); usually empty.
+    std::vector<obs::LineageId> extra_parents;
   };
 
   Context(Engine& engine, PeerId self, std::size_t protocol_index,
           std::vector<KeyedSend>* outbox, std::uint64_t major,
-          std::uint32_t first_minor)
+          std::uint32_t first_minor, obs::LineageId cause)
       : engine_(engine),
         self_(self),
         protocol_index_(protocol_index),
         outbox_(outbox),
         major_(major),
-        next_minor_(first_minor) {}
+        next_minor_(first_minor),
+        cause_(cause) {}
+
+  void push_send(PeerId to, TrafficCategory category, std::uint64_t bytes,
+                 std::any payload, SessionId session, PhaseId phase,
+                 std::span<const obs::LineageId> parents);
 
   Engine& engine_;
   PeerId self_;
@@ -141,6 +171,7 @@ class Context {
   std::vector<KeyedSend>* outbox_;
   std::uint64_t major_;
   std::uint32_t next_minor_;
+  obs::LineageId cause_ = obs::kNoLineage;
 };
 
 /// A distributed protocol: one instance drives all peers (per-peer state
@@ -297,6 +328,11 @@ class Engine {
   obs::Counter* obs_sent_bytes_ = nullptr;
   obs::Histogram* obs_msg_bytes_ = nullptr;
   obs::Gauge* obs_in_flight_ = nullptr;
+  /// Lineage hooks (nullptr when obs is detached). All recorder writes
+  /// happen on the engine thread: id assignment at the merge barrier,
+  /// delivery marks in predispatch.
+  obs::LineageRecorder* lineage_ = nullptr;
+  std::uint64_t lineage_clock_ = 0;  // tracer clock, cached once per round
   // Per-shard wall-time accounting (obs-only). Each worker writes its own
   // shard's slot during the parallel phase; the engine thread folds the
   // slots into the cumulative busy/idle gauges at the barrier.

@@ -20,6 +20,7 @@
 
 #include "common/ids.h"
 #include "net/metrics.h"
+#include "obs/lineage.h"
 
 namespace nf::net {
 
@@ -39,6 +40,11 @@ struct Envelope {
   std::any payload;
   SessionId session{kNoSession};
   PhaseId phase{0};
+  /// Happened-before node id, stamped by the engine at admission in
+  /// canonical merge order (obs/lineage.h). Protocol code reads it via
+  /// Context::cause() / PhaseContext::cause(); only the engine writes it.
+  /// Stays kNoLineage for ACKs and runs without an obs context.
+  obs::LineageId lineage{obs::kNoLineage};
 };
 
 }  // namespace nf::net

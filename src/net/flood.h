@@ -17,6 +17,7 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <span>
 #include <utility>
 #include <vector>
 
@@ -97,10 +98,14 @@ class FloodPhase final : public TypedPhase<std::pair<std::uint32_t, T>> {
 
  private:
   void forward(PhaseContext& ctx, std::uint32_t ttl, PeerId except) {
+    // Every forwarded copy descends from the copy that reached this peer;
+    // at the originator the cause is empty (round-originated flood).
+    const obs::LineageId parent = ctx.cause();
     for (PeerId q : ctx.neighbors()) {
       if (q == except) continue;
       this->send(ctx, q, category_, wire_bytes_,
-                 std::pair<std::uint32_t, T>(ttl - 1, payload_));
+                 std::pair<std::uint32_t, T>(ttl - 1, payload_),
+                 std::span<const obs::LineageId>(&parent, 1));
     }
   }
 

@@ -7,18 +7,33 @@ namespace nf::net {
 void PhaseContext::send_raw(PeerId to, TrafficCategory category,
                             std::uint64_t bytes, std::any payload) {
   mux_.charge(session_, category, bytes);
-  ctx_.send_tagged(to, category, bytes, std::move(payload), session_, phase_);
+  // Explicitly thread this context's cause: during buffered replay it is
+  // the replayed envelope's lineage, which the engine Context cannot know.
+  ctx_.send_tagged(to, category, bytes, std::move(payload), session_, phase_,
+                   std::span<const obs::LineageId>(&cause_, 1));
+}
+
+void PhaseContext::send_raw(PeerId to, TrafficCategory category,
+                            std::uint64_t bytes, std::any payload,
+                            std::span<const obs::LineageId> parents) {
+  mux_.charge(session_, category, bytes);
+  ctx_.send_tagged(to, category, bytes, std::move(payload), session_, phase_,
+                   parents);
 }
 
 void PhaseContext::open_phase(PhaseId phase) {
-  mux_.open_at(ctx_, session_, phase);
+  mux_.open_at(ctx_, session_, phase, cause_);
 }
 
 SessionId SessionMux::add_session(std::string name) {
   auto slot = std::make_unique<SessionSlot>();
   slot->name = std::move(name);
   sessions_.push_back(std::move(slot));
-  return static_cast<SessionId>(sessions_.size() - 1);
+  const auto sid = static_cast<SessionId>(sessions_.size() - 1);
+  if (obs_ != nullptr) {
+    obs_->lineage.set_session_name(sid, sessions_.back()->name);
+  }
+  return sid;
 }
 
 PhaseId SessionMux::add_phase(SessionId session, Phase& phase,
@@ -36,7 +51,11 @@ PhaseId SessionMux::add_phase(SessionId session, Phase& phase,
                         : obs_->tracer.intern(s.name + "/" + options.name);
   }
   s.phases.push_back(std::move(ps));
-  return static_cast<PhaseId>(s.phases.size() - 1);
+  const auto pid = static_cast<PhaseId>(s.phases.size() - 1);
+  if (obs_ != nullptr) {
+    obs_->lineage.set_phase_name(session, pid, options.name);
+  }
+  return pid;
 }
 
 SessionMux::PhaseSlot& SessionMux::slot(SessionId s, PhaseId p) const {
@@ -52,7 +71,9 @@ std::string SessionMux::display_name(SessionId s) const {
 }
 
 void SessionMux::on_run_start(const Overlay& overlay) {
+  rounds_seen_ = 0;
   for (const auto& session : sessions_) {
+    session->done_round = obs::LineageRecorder::kNoRound;
     for (const auto& ps : session->phases) {
       if (ps->opened.empty()) ps->opened.assign(overlay.num_peers(), false);
       if (!ps->options.open_on_message && ps->buffered.empty()) {
@@ -63,7 +84,26 @@ void SessionMux::on_run_start(const Overlay& overlay) {
   }
 }
 
+// Completion detection runs on the engine thread: done() flips inside a
+// shard callback during round r, is published by the round barrier, and is
+// observed at the next round boundary (or at on_run_end when round r was
+// the run's last). rounds_seen_ has been incremented r+1 times by then, so
+// the recorded done round is r+1 — the run-relative round of the gating
+// delivery, matching the lineage clock convention (first round's
+// deliveries are round 1).
+void SessionMux::record_done_rounds() {
+  for (SessionId s = 0; s < sessions_.size(); ++s) {
+    SessionSlot& session = *sessions_[s];
+    if (session.done_round != obs::LineageRecorder::kNoRound) continue;
+    if (!session_done(s)) continue;
+    session.done_round = rounds_seen_;
+    if (obs_ != nullptr) obs_->lineage.set_session_done(s, rounds_seen_);
+  }
+}
+
 void SessionMux::on_round_begin(std::uint64_t /*round*/) {
+  record_done_rounds();
+  ++rounds_seen_;
   // Span-end detection runs on the engine thread: done() flips inside a
   // shard callback, is published by the round barrier, and the span closes
   // at the next round boundary (value 0 — spans measure rounds, not wall
@@ -82,6 +122,7 @@ void SessionMux::on_round_begin(std::uint64_t /*round*/) {
 }
 
 void SessionMux::on_run_end() {
+  record_done_rounds();
   // A phase that completed in the run's final round never sees another
   // round boundary, so close any span still open here.
   if (obs_ == nullptr) return;
@@ -103,20 +144,24 @@ void SessionMux::maybe_begin_span(PhaseSlot& ps) {
   }
 }
 
-void SessionMux::open_at(Context& ctx, SessionId s, PhaseId p) {
+void SessionMux::open_at(Context& ctx, SessionId s, PhaseId p,
+                         obs::LineageId cause) {
   PhaseSlot& ps = slot(s, p);
   const PeerId self = ctx.self();
   if (ps.opened[self]) return;
   ps.opened[self] = true;
   maybe_begin_span(ps);
-  PhaseContext pctx(*this, ctx, s, p);
+  PhaseContext pctx(*this, ctx, s, p, cause);
   ps.phase->on_start(pctx);
   if (!ps.buffered.empty()) {
     // Replay early arrivals in arrival order (deterministic: predispatch
-    // buffered them in canonical delivery order).
+    // buffered them in canonical delivery order). Each replayed envelope
+    // keeps its own lineage as the cause, not the delivery that opened the
+    // phase — sends it triggers point at the true causal parent.
     std::vector<Envelope>& queue = ps.buffered[self];
     for (Envelope& env : queue) {
-      ps.phase->on_message(pctx, std::move(env));
+      PhaseContext rctx(*this, ctx, s, p, env.lineage);
+      ps.phase->on_message(rctx, std::move(env));
     }
     queue.clear();
     queue.shrink_to_fit();
@@ -130,10 +175,10 @@ void SessionMux::on_round(Context& ctx) {
       PhaseSlot& ps = *session.phases[p];
       if (ps.options.start == PhaseStart::kAllPeers &&
           !ps.opened[ctx.self()]) {
-        open_at(ctx, s, p);
+        open_at(ctx, s, p, ctx.cause());
       }
       if (ps.opened[ctx.self()] && !ps.phase->done()) {
-        PhaseContext pctx(*this, ctx, s, p);
+        PhaseContext pctx(*this, ctx, s, p, ctx.cause());
         ps.phase->on_round(pctx);
       }
     }
@@ -151,9 +196,9 @@ void SessionMux::on_message(Context& ctx, Envelope&& env) {
       ps.buffered[self].push_back(std::move(env));
       return;
     }
-    open_at(ctx, s, p);
+    open_at(ctx, s, p, env.lineage);
   }
-  PhaseContext pctx(*this, ctx, s, p);
+  PhaseContext pctx(*this, ctx, s, p, env.lineage);
   ps.phase->on_message(pctx, std::move(env));
 }
 
@@ -172,6 +217,12 @@ bool SessionMux::session_done(SessionId session) const {
     if (!ps->phase->done()) return false;
   }
   return true;
+}
+
+std::uint64_t SessionMux::done_round(SessionId session) const {
+  require(session < sessions_.size(), "unknown session");
+  const std::uint64_t r = sessions_[session]->done_round;
+  return r != obs::LineageRecorder::kNoRound ? r : rounds_seen_;
 }
 
 void SessionMux::charge(SessionId s, TrafficCategory category,

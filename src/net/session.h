@@ -39,6 +39,7 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
 #include <utility>
 #include <vector>
@@ -109,11 +110,23 @@ class PhaseContext {
   [[nodiscard]] SessionId session() const { return session_; }
   [[nodiscard]] PhaseId phase() const { return phase_; }
 
+  /// Lineage id of the message whose arrival triggered this callback, or
+  /// kNoLineage for round-originated work. During buffered replay this is
+  /// the replayed envelope's own id, not the delivery that opened the
+  /// phase — so causality survives the buffering detour.
+  [[nodiscard]] obs::LineageId cause() const { return cause_; }
+
   /// Sends `payload` tagged with this phase's (session, phase) and charges
   /// it to the session's traffic tally. Prefer TypedPhase::send, which
-  /// type-checks the payload at compile time.
+  /// type-checks the payload at compile time. The send inherits cause() as
+  /// its causal parent.
   void send_raw(PeerId to, TrafficCategory category, std::uint64_t bytes,
                 std::any payload);
+
+  /// As send_raw(), with an explicit causal parent set — for sends that
+  /// merge several arrivals (convergecast forwards). Zero ids are ignored.
+  void send_raw(PeerId to, TrafficCategory category, std::uint64_t bytes,
+                std::any payload, std::span<const obs::LineageId> parents);
 
   /// Opens `phase` of this session at this peer (idempotent): fires its
   /// on_start now and replays any buffered messages. This is the per-peer
@@ -124,13 +137,15 @@ class PhaseContext {
  private:
   friend class SessionMux;
   PhaseContext(SessionMux& mux, Context& ctx, SessionId session,
-               PhaseId phase)
-      : mux_(mux), ctx_(ctx), session_(session), phase_(phase) {}
+               PhaseId phase, obs::LineageId cause)
+      : mux_(mux), ctx_(ctx), session_(session), phase_(phase),
+        cause_(cause) {}
 
   SessionMux& mux_;
   Context& ctx_;
   SessionId session_;
   PhaseId phase_;
+  obs::LineageId cause_;
 };
 
 /// One phase of a session. Implementations follow the same shard-safety
@@ -182,6 +197,13 @@ class TypedPhase : public Phase {
             std::uint64_t bytes, M msg) const {
     ctx.send_raw(to, category, bytes, std::any(std::move(msg)));
   }
+
+  /// Typed send with an explicit causal parent set (multi-parent merges).
+  void send(PhaseContext& ctx, PeerId to, TrafficCategory category,
+            std::uint64_t bytes, M msg,
+            std::span<const obs::LineageId> parents) const {
+    ctx.send_raw(to, category, bytes, std::any(std::move(msg)), parents);
+  }
 };
 
 /// Routes tagged envelopes to per-session Phase components and drives their
@@ -213,6 +235,13 @@ class SessionMux final : public Protocol {
   /// True iff every phase of every session is done.
   [[nodiscard]] bool all_done() const { return !active(); }
 
+  /// Run-relative round at which `session` completed (its gating delivery's
+  /// round: completion is detected at the next round boundary and
+  /// attributed to the round that flipped the last done() flag). Falls back
+  /// to the rounds the run executed when the session never completed. Read
+  /// after the run.
+  [[nodiscard]] std::uint64_t done_round(SessionId session) const;
+
   [[nodiscard]] std::size_t num_sessions() const { return sessions_.size(); }
 
   /// Per-session traffic attribution snapshot (read after the run).
@@ -241,18 +270,23 @@ class SessionMux final : public Protocol {
     std::vector<std::unique_ptr<PhaseSlot>> phases;
     std::array<std::atomic<std::uint64_t>, kNumTrafficCategories> bytes{};
     std::array<std::atomic<std::uint64_t>, kNumTrafficCategories> msgs{};
+    // Engine thread only (on_round_begin / on_run_end); kNoRound until the
+    // session's last done() flag is observed flipped.
+    std::uint64_t done_round = obs::LineageRecorder::kNoRound;
   };
 
   friend class PhaseContext;
 
   [[nodiscard]] PhaseSlot& slot(SessionId s, PhaseId p) const;
   [[nodiscard]] std::string display_name(SessionId s) const;
-  void open_at(Context& ctx, SessionId s, PhaseId p);
+  void open_at(Context& ctx, SessionId s, PhaseId p, obs::LineageId cause);
   void charge(SessionId s, TrafficCategory category, std::uint64_t bytes);
   void maybe_begin_span(PhaseSlot& slot);
+  void record_done_rounds();
 
   obs::Context* obs_;
   std::vector<std::unique_ptr<SessionSlot>> sessions_;
+  std::uint64_t rounds_seen_ = 0;  ///< on_round_begin calls this run
 };
 
 }  // namespace nf::net

@@ -15,6 +15,7 @@
 #include <string_view>
 
 #include "obs/conformance.h"
+#include "obs/lineage.h"
 #include "obs/metrics.h"
 #include "obs/timeseries.h"
 #include "obs/trace.h"
@@ -28,10 +29,16 @@ struct Context {
   /// registry.reset() requires a series.clear() first.
   TimeSeries series;
   ConformanceReport conformance;
+  /// Happened-before DAG of engine messages (engine-thread writes only).
+  LineageRecorder lineage;
 
   explicit Context(std::size_t trace_capacity = 4096,
-                   std::size_t series_capacity = 4096)
-      : tracer(trace_capacity), series(series_capacity) {}
+                   std::size_t series_capacity = 4096,
+                   std::size_t lineage_capacity =
+                       LineageRecorder::kDefaultCapacity)
+      : tracer(trace_capacity),
+        series(series_capacity),
+        lineage(lineage_capacity) {}
 };
 
 // Null-safe instrumentation helpers. Sites that fire per message should

@@ -179,6 +179,7 @@ Json to_json(const ExportBundle& bundle) {
     out["trace"] = to_json(bundle.obs->tracer);
     out["series"] = to_json(bundle.obs->series);
     out["conformance"] = to_json(bundle.obs->conformance);
+    out["lineage"] = to_json(bundle.obs->lineage);
   }
   return out;
 }

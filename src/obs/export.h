@@ -16,13 +16,15 @@
 namespace nf::obs {
 
 /// Bump when the JSON layout changes incompatibly.
-/// History (docs/OBSERVABILITY.md "Schema history"): v4 adds the optional
-/// `sessions` section (per-session traffic attribution from a SessionMux
-/// run) and `rounds_total` to netFilter result rows; v3 adds the `series`
-/// (round-sampled time series) and `conformance` (cost-model residuals)
-/// sections; v2 added the `threads` shard count to every bench's params
-/// object; v1 was the initial schema.
-inline constexpr std::uint64_t kSchemaVersion = 4;
+/// History (docs/OBSERVABILITY.md "Schema history"): v5 adds the `lineage`
+/// section (happened-before DAG of the most recent run, extracted critical
+/// paths and per-phase slack) and the `trace/dropped_events` counter; v4
+/// adds the optional `sessions` section (per-session traffic attribution
+/// from a SessionMux run) and `rounds_total` to netFilter result rows; v3
+/// adds the `series` (round-sampled time series) and `conformance`
+/// (cost-model residuals) sections; v2 added the `threads` shard count to
+/// every bench's params object; v1 was the initial schema.
+inline constexpr std::uint64_t kSchemaVersion = 5;
 
 /// {"counters": {...}, "gauges": {...}, "histograms": {name:
 ///  {"count","sum","min","max","buckets":[{"lo","hi","count"},...]}}}
@@ -42,6 +44,11 @@ inline constexpr std::uint64_t kSchemaVersion = 4;
 ///  "categories":[...], "peer_category_bytes":[[...],...]} — the matrix
 /// columns follow "categories" order.
 [[nodiscard]] Json to_json(const net::TrafficMeter& meter);
+
+/// {"capacity","total","dropped_nodes","runs","sessions","nodes" (columnar,
+///  most recent run), "extra_edges","critical_paths"} — the happened-before
+/// DAG plus its extracted gating chains (obs/lineage.h).
+[[nodiscard]] Json to_json(const LineageRecorder& recorder);
 
 /// Phase spans reconstructed from paired kPhaseBegin/kPhaseEnd events:
 /// [{"name","begin_seq","end_seq","begin_clock","end_clock","rounds",

@@ -1,0 +1,292 @@
+// Lineage analysis: critical-path extraction, per-phase slack and the
+// schema v5 `lineage` JSON section (docs/OBSERVABILITY.md "Causal
+// lineage"). Kept out of lineage.h so the net layer can use the recorder
+// header-only without linking nf_obs.
+#include "obs/lineage.h"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+#include "obs/export.h"
+#include "obs/json.h"
+
+namespace nf::obs {
+
+namespace {
+
+/// Display name for a hop, mirroring SessionMux::add_phase span naming:
+/// bare phase names for unnamed (single) sessions, "<session>/<phase>"
+/// otherwise; empty for untagged traffic or unregistered phases.
+std::string compose_phase_name(const LineageRecorder& rec,
+                               std::uint32_t session, std::uint32_t phase) {
+  if (session == LineageRecorder::kNoSessionTag) return {};
+  const std::string_view pname = rec.phase_name(session, phase);
+  if (pname.empty()) return {};
+  const std::string_view sname = rec.session_name(session);
+  if (sname.empty()) return std::string(pname);
+  return std::string(sname) + "/" + std::string(pname);
+}
+
+}  // namespace
+
+std::vector<CriticalPath> critical_paths(const LineageRecorder& rec) {
+  std::vector<CriticalPath> out;
+  if (rec.total() == 0 || rec.runs().empty()) return out;
+  const LineageRecorder::RunMark run = rec.runs().back();
+  const LineageId lo = std::max(run.first_id, rec.first_retained_id());
+  const LineageId hi = rec.total();
+  if (lo > hi) return out;
+  const auto n = static_cast<std::size_t>(hi - lo + 1);
+
+  // Extra parents restricted to the window, sorted by (child, parent) so
+  // the candidate scan below is deterministic.
+  std::vector<LineageEdge> extra;
+  for (const LineageEdge& e : rec.extra_edges()) {
+    if (e.child >= lo && e.child <= hi && e.parent >= lo) extra.push_back(e);
+  }
+  std::sort(extra.begin(), extra.end(),
+            [](const LineageEdge& a, const LineageEdge& b) {
+              return a.child != b.child ? a.child < b.child
+                                        : a.parent < b.parent;
+            });
+
+  // Longest-chain DP in id order, which is topological: a parent is always
+  // admitted (and delivered) before any send it triggers. Chain weight is
+  // the sum of hop rounds (deliver - send); ties break by bytes, then by
+  // keeping the first candidate scanned (the primary parent).
+  std::vector<std::uint64_t> chain_rounds(n, 0);
+  std::vector<std::uint64_t> chain_bytes(n, 0);
+  std::vector<LineageId> best_parent(n, kNoLineage);
+  std::size_t ei = 0;
+  for (LineageId id = lo; id <= hi; ++id) {
+    while (ei < extra.size() && extra[ei].child < id) ++ei;
+    std::size_t ej = ei;
+    while (ej < extra.size() && extra[ej].child == id) ++ej;
+    if (!rec.was_delivered(id)) {
+      ei = ej;
+      continue;
+    }
+    const LineageRecorder::NodeView node = rec.node(id);
+    const std::size_t idx = static_cast<std::size_t>(id - lo);
+    std::uint64_t best_r = 0;
+    std::uint64_t best_b = 0;
+    LineageId best_p = kNoLineage;
+    const auto consider = [&](LineageId p) {
+      if (p < lo || p > hi || !rec.was_delivered(p)) return;
+      const std::size_t pidx = static_cast<std::size_t>(p - lo);
+      if (best_p == kNoLineage || chain_rounds[pidx] > best_r ||
+          (chain_rounds[pidx] == best_r && chain_bytes[pidx] > best_b)) {
+        best_r = chain_rounds[pidx];
+        best_b = chain_bytes[pidx];
+        best_p = p;
+      }
+    };
+    consider(node.parent);
+    for (; ei < ej; ++ei) consider(extra[ei].parent);
+    ei = ej;
+    chain_rounds[idx] = best_r + (node.deliver_clock - node.send_clock);
+    chain_bytes[idx] = best_b + node.bytes;
+    best_parent[idx] = best_p;
+  }
+
+  // One sink per session: the latest delivery at or before the session's
+  // recorded done() round (every delivery when no done round is known).
+  // std::map keys keep sessions in id order.
+  std::map<std::uint32_t, LineageId> sinks;
+  std::map<std::pair<std::uint32_t, std::uint32_t>, std::uint64_t>
+      last_phase_deliver;
+  for (LineageId id = lo; id <= hi; ++id) {
+    if (!rec.was_delivered(id)) continue;
+    const LineageRecorder::NodeView node = rec.node(id);
+    if (node.session == LineageRecorder::kNoSessionTag) continue;
+    const std::uint64_t deliver_round = node.deliver_clock - run.clock;
+    auto [it, inserted] = last_phase_deliver.try_emplace(
+        std::make_pair(node.session, node.phase), deliver_round);
+    if (!inserted) it->second = std::max(it->second, deliver_round);
+    const std::uint64_t done = rec.done_round(node.session);
+    if (done != LineageRecorder::kNoRound && deliver_round > done) continue;
+    auto [sit, fresh] = sinks.try_emplace(node.session, id);
+    if (fresh) continue;
+    const LineageRecorder::NodeView cur = rec.node(sit->second);
+    const std::size_t a = static_cast<std::size_t>(id - lo);
+    const std::size_t b = static_cast<std::size_t>(sit->second - lo);
+    if (node.deliver_clock > cur.deliver_clock ||
+        (node.deliver_clock == cur.deliver_clock &&
+         (chain_rounds[a] > chain_rounds[b] ||
+          (chain_rounds[a] == chain_rounds[b] &&
+           chain_bytes[a] > chain_bytes[b])))) {
+      sit->second = id;
+    }
+  }
+
+  for (const auto& [session, sink] : sinks) {
+    CriticalPath path;
+    path.session = session;
+    path.session_name = std::string(rec.session_name(session));
+    const std::uint64_t sink_round =
+        rec.node(sink).deliver_clock - run.clock;
+    const std::uint64_t done = rec.done_round(session);
+    path.done_round = done != LineageRecorder::kNoRound ? done : sink_round;
+    const std::size_t sidx = static_cast<std::size_t>(sink - lo);
+    path.rounds = chain_rounds[sidx];
+    path.bytes = chain_bytes[sidx];
+    for (LineageId id = sink; id != kNoLineage;
+         id = best_parent[static_cast<std::size_t>(id - lo)]) {
+      const LineageRecorder::NodeView node = rec.node(id);
+      CriticalHop hop;
+      hop.id = id;
+      hop.from = node.from;
+      hop.to = node.to;
+      hop.session = node.session;
+      hop.phase = node.phase;
+      hop.phase_name = compose_phase_name(rec, node.session, node.phase);
+      hop.bytes = node.bytes;
+      hop.send_round = node.send_clock - run.clock;
+      hop.deliver_round = node.deliver_clock - run.clock;
+      path.hops.push_back(std::move(hop));
+    }
+    std::reverse(path.hops.begin(), path.hops.end());
+    for (const auto& [key, last] : last_phase_deliver) {
+      if (key.first != session) continue;
+      PhaseSlack slack;
+      slack.phase = key.second;
+      slack.name = compose_phase_name(rec, session, key.second);
+      slack.last_deliver_round = last;
+      slack.slack_rounds = path.done_round > last ? path.done_round - last : 0;
+      path.slack.push_back(std::move(slack));
+    }
+    out.push_back(std::move(path));
+  }
+  return out;
+}
+
+Json to_json(const LineageRecorder& rec) {
+  Json out = Json::object();
+  out["capacity"] = static_cast<std::uint64_t>(rec.capacity());
+  out["total"] = rec.total();
+  out["dropped_nodes"] = rec.dropped_nodes();
+  out["edge_capacity"] = static_cast<std::uint64_t>(rec.edge_capacity());
+  out["edges_seen"] = rec.edges_seen();
+
+  Json runs = Json::array();
+  for (const LineageRecorder::RunMark& r : rec.runs()) {
+    Json j = Json::object();
+    j["clock"] = r.clock;
+    j["first_id"] = r.first_id;
+    runs.push_back(std::move(j));
+  }
+  out["runs"] = std::move(runs);
+
+  Json sessions = Json::array();
+  for (std::uint32_t s = 0; s < rec.num_named_sessions(); ++s) {
+    Json j = Json::object();
+    j["id"] = s;
+    j["name"] = std::string(rec.session_name(s));
+    if (rec.done_round(s) != LineageRecorder::kNoRound) {
+      j["done_round"] = rec.done_round(s);
+    }
+    Json phases = Json::array();
+    for (std::uint32_t p = 0; p < rec.num_named_phases(s); ++p) {
+      phases.push_back(std::string(rec.phase_name(s, p)));
+    }
+    j["phases"] = std::move(phases);
+    sessions.push_back(std::move(j));
+  }
+  out["sessions"] = std::move(sessions);
+
+  // Node columns for the most recent run's retained window, rounds relative
+  // to the run's start clock (deliver_round 0 = never delivered).
+  Json nodes = Json::object();
+  Json ids = Json::array();
+  Json parent = Json::array();
+  Json from = Json::array();
+  Json to = Json::array();
+  Json session = Json::array();
+  Json phase = Json::array();
+  Json bytes = Json::array();
+  Json send_round = Json::array();
+  Json deliver_round = Json::array();
+  LineageId lo = 1;
+  LineageId hi = 0;
+  if (!rec.runs().empty() && rec.total() != 0) {
+    lo = std::max(rec.runs().back().first_id, rec.first_retained_id());
+    hi = rec.total();
+  }
+  const std::uint64_t base = rec.runs().empty() ? 0 : rec.runs().back().clock;
+  for (LineageId id = lo; id <= hi; ++id) {
+    const LineageRecorder::NodeView n = rec.node(id);
+    ids.push_back(id);
+    parent.push_back(n.parent);
+    from.push_back(n.from);
+    to.push_back(n.to);
+    session.push_back(n.session);
+    phase.push_back(n.phase);
+    bytes.push_back(n.bytes);
+    send_round.push_back(n.send_clock - base);
+    deliver_round.push_back(
+        n.deliver_clock == 0 ? std::uint64_t{0} : n.deliver_clock - base);
+  }
+  nodes["id"] = std::move(ids);
+  nodes["parent"] = std::move(parent);
+  nodes["from"] = std::move(from);
+  nodes["to"] = std::move(to);
+  nodes["session"] = std::move(session);
+  nodes["phase"] = std::move(phase);
+  nodes["bytes"] = std::move(bytes);
+  nodes["send_round"] = std::move(send_round);
+  nodes["deliver_round"] = std::move(deliver_round);
+  out["nodes"] = std::move(nodes);
+
+  Json edges = Json::array();
+  for (const LineageEdge& e : rec.extra_edges()) {
+    if (e.child < lo || e.child > hi || e.parent < lo) continue;
+    Json pair = Json::array();
+    pair.push_back(e.parent);
+    pair.push_back(e.child);
+    edges.push_back(std::move(pair));
+  }
+  out["extra_edges"] = std::move(edges);
+
+  Json paths = Json::array();
+  for (const CriticalPath& cp : critical_paths(rec)) {
+    Json j = Json::object();
+    j["session"] = cp.session;
+    j["name"] = cp.session_name;
+    j["done_round"] = cp.done_round;
+    j["rounds"] = cp.rounds;
+    j["bytes"] = cp.bytes;
+    Json hops = Json::array();
+    for (const CriticalHop& h : cp.hops) {
+      Json hop = Json::object();
+      hop["id"] = h.id;
+      hop["from"] = h.from;
+      hop["to"] = h.to;
+      hop["phase"] = h.phase_name;
+      hop["bytes"] = h.bytes;
+      hop["send_round"] = h.send_round;
+      hop["deliver_round"] = h.deliver_round;
+      hops.push_back(std::move(hop));
+    }
+    j["hops"] = std::move(hops);
+    Json slack = Json::array();
+    for (const PhaseSlack& s : cp.slack) {
+      Json row = Json::object();
+      std::string label = s.name;
+      if (label.empty()) {
+        label = "p";
+        label += std::to_string(s.phase);
+      }
+      row["phase"] = std::move(label);
+      row["last_deliver_round"] = s.last_deliver_round;
+      row["slack_rounds"] = s.slack_rounds;
+      slack.push_back(std::move(row));
+    }
+    j["slack"] = std::move(slack);
+    paths.push_back(std::move(j));
+  }
+  out["critical_paths"] = std::move(paths);
+  return out;
+}
+
+}  // namespace nf::obs

@@ -147,6 +147,45 @@ Json trace_event_json(const Context& ctx) {
     }
   }
 
+  // Flow arrows along each session's critical path: one flow per session,
+  // stepping from the gating chain's first send to the delivery that gates
+  // done(). Emitted only when lineage analysis yields paths, so traces
+  // from runs without lineage tagging are unchanged.
+  const std::vector<CriticalPath> paths = critical_paths(ctx.lineage);
+  if (!paths.empty() && !ctx.lineage.runs().empty()) {
+    const std::uint64_t base = ctx.lineage.runs().back().clock;
+    const auto known_tid = [&](std::string_view name) -> std::uint64_t {
+      for (const auto& [n, tid] : phase_tids) {
+        if (n == name) return tid;
+      }
+      return 0;  // phase never produced a span; no track to bind to
+    };
+    const auto flow = [&](const char* ph, std::uint64_t id, std::uint64_t ts,
+                          std::uint64_t tid) {
+      Json f = event(ph, "critical-path", ts, tid);
+      f["cat"] = "lineage";
+      f["id"] = id;
+      f["bp"] = "e";
+      events.push_back(std::move(f));
+    };
+    std::uint64_t flow_id = 0;
+    for (const CriticalPath& cp : paths) {
+      ++flow_id;
+      std::vector<std::pair<const CriticalHop*, std::uint64_t>> bound;
+      for (const CriticalHop& h : cp.hops) {
+        const std::uint64_t tid = known_tid(h.phase_name);
+        if (tid != 0) bound.emplace_back(&h, tid);
+      }
+      if (bound.empty()) continue;
+      flow("s", flow_id, bound.front().first->send_round + base,
+           bound.front().second);
+      for (std::size_t k = 0; k < bound.size(); ++k) {
+        flow(k + 1 == bound.size() ? "f" : "t", flow_id,
+             bound[k].first->deliver_round + base, bound[k].second);
+      }
+    }
+  }
+
   // Counter tracks: one per TimeSeries column, sampled once per round.
   const std::vector<std::uint64_t> stamps = ctx.series.stamps();
   const auto counter_events = [&](std::string_view name, const auto& values) {

@@ -9,6 +9,7 @@
 // full netFilter and gossip-netFilter drivers.
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <tuple>
 #include <vector>
 
@@ -458,6 +459,112 @@ TEST(DeterminismTest, PartitionedMultiHierarchyAndSamplingMatchSerial) {
     }
     EXPECT_EQ(serial_ctx->series.gauge_series("engine/in_flight"),
               ctx->series.gauge_series("engine/in_flight"));
+  }
+}
+
+// Lineage ids are stamped by the engine in canonical merge order — the
+// same total order that makes K-shard runs bit-identical — so the whole
+// schema v5 lineage section (ids, parents, sampled extra edges, extracted
+// critical paths and slack) must serialize byte-identically at every shard
+// count.
+TEST(DeterminismTest, LineageAndCriticalPathsMatchSerial) {
+  const TestWorld world = TestWorld::make();
+  const Value t = world.workload.threshold_for(0.01);
+
+  const auto run_at = [&](std::uint32_t threads) {
+    auto ctx = std::make_unique<obs::Context>();
+    core::NetFilterConfig cfg;
+    cfg.num_groups = 40;
+    cfg.num_filters = 2;
+    cfg.threads = threads;
+    cfg.obs = ctx.get();
+    const core::NetFilter nf(cfg);
+    TrafficMeter meter(kPeers);
+    Overlay overlay = world.overlay;
+    (void)nf.run(world.workload, world.hierarchy, overlay, meter, t);
+    return ctx;
+  };
+
+  const auto serial = run_at(1);
+  EXPECT_GT(serial->lineage.total(), 0u);
+  const std::vector<obs::CriticalPath> paths =
+      obs::critical_paths(serial->lineage);
+  ASSERT_FALSE(paths.empty());
+  for (const obs::CriticalPath& p : paths) {
+    ASSERT_FALSE(p.hops.empty());
+    // Chains are causally ordered: each hop departs no earlier than the
+    // previous hop's delivery round.
+    for (std::size_t i = 1; i < p.hops.size(); ++i) {
+      EXPECT_GE(p.hops[i].send_round, p.hops[i - 1].deliver_round);
+    }
+    EXPECT_EQ(p.hops.back().deliver_round, p.done_round);
+  }
+  const std::string serial_json = obs::to_json(serial->lineage).dump();
+  for (const std::uint32_t k : kShardCounts) {
+    SCOPED_TRACE(::testing::Message() << "threads=" << k);
+    const auto sharded = run_at(k);
+    EXPECT_EQ(serial_json, obs::to_json(sharded->lineage).dump());
+  }
+}
+
+// Every multiplexed session's gating chain must end at the round the
+// session recorded as done: the critical path's final delivery round IS
+// the per-session rounds_total that serve_concurrent reports (and that
+// `nf-inspect critical-path` cross-checks).
+TEST(DeterminismTest, CriticalPathsTerminateAtSessionDone) {
+  const TestWorld world = TestWorld::make();
+  const std::vector<core::ConcurrentRequest> requests{
+      {PeerId(3), 0.01, 0, 0, 0},
+      {PeerId(20), 0.03, 3, 64, 77},
+      {PeerId(41), 0.005, 0, 0, 0},
+  };
+
+  const auto serve_at = [&](std::uint32_t threads) {
+    auto ctx = std::make_unique<obs::Context>();
+    core::NetFilterConfig cfg;
+    cfg.num_groups = 40;
+    cfg.num_filters = 2;
+    cfg.threads = threads;
+    cfg.obs = ctx.get();
+    const core::QueryService svc(cfg);
+    TrafficMeter meter(kPeers);
+    Overlay overlay = world.overlay;
+    core::ConcurrentQueryStats stats;
+    (void)svc.serve_concurrent(requests, world.workload, world.hierarchy,
+                               overlay, meter, &stats);
+    return std::make_tuple(std::move(ctx), std::move(stats));
+  };
+
+  const auto [serial_ctx, serial_stats] = serve_at(1);
+  const std::vector<obs::CriticalPath> paths =
+      obs::critical_paths(serial_ctx->lineage);
+  ASSERT_EQ(paths.size(), requests.size());
+  ASSERT_EQ(serial_stats.sessions.size(), requests.size());
+  for (const obs::CriticalPath& p : paths) {
+    ASSERT_FALSE(p.hops.empty());
+    const core::ConcurrentSessionStats& ss = serial_stats.sessions[p.session];
+    EXPECT_EQ(p.session_name, ss.name);
+    EXPECT_EQ(p.done_round, ss.netfilter.rounds_total) << ss.name;
+    EXPECT_EQ(p.hops.back().deliver_round, ss.netfilter.rounds_total)
+        << ss.name;
+    // Slack rows never report a delivery later than the session's done
+    // round feeding its completion.
+    for (const obs::PhaseSlack& s : p.slack) {
+      EXPECT_EQ(s.slack_rounds,
+                p.done_round > s.last_deliver_round
+                    ? p.done_round - s.last_deliver_round
+                    : 0u);
+    }
+  }
+  const std::string serial_json = obs::to_json(serial_ctx->lineage).dump();
+  for (const std::uint32_t k : kShardCounts) {
+    SCOPED_TRACE(::testing::Message() << "threads=" << k);
+    const auto [ctx, stats] = serve_at(k);
+    EXPECT_EQ(serial_json, obs::to_json(ctx->lineage).dump());
+    for (std::size_t i = 0; i < stats.sessions.size(); ++i) {
+      EXPECT_EQ(serial_stats.sessions[i].netfilter.rounds_total,
+                stats.sessions[i].netfilter.rounds_total);
+    }
   }
 }
 

@@ -154,7 +154,10 @@ TEST(QueryServiceTest, ConcurrentSessionsEachGetExactAnswers) {
     SCOPED_TRACE(::testing::Message() << "session " << i);
     const ConcurrentSessionStats& ss = stats.sessions[i];
     EXPECT_EQ(ss.name, "q" + std::to_string(i));
-    EXPECT_EQ(ss.netfilter.rounds_total, stats.rounds_total);
+    // Per-session completion round (the gating delivery the lineage
+    // critical path reports), bounded by the shared run length.
+    EXPECT_GT(ss.netfilter.rounds_total, 0u);
+    EXPECT_LE(ss.netfilter.rounds_total, stats.rounds_total);
     EXPECT_EQ(ss.threshold, responses[i].threshold);
     // Per-session traffic attribution: every phase of every session moved
     // its own bytes (request/announce/reply ride kControl).

@@ -1,5 +1,5 @@
 // nf-inspect — terminal inspector for bench --json reports
-// (docs/OBSERVABILITY.md schema, version 4).
+// (docs/OBSERVABILITY.md schema, version 5).
 //
 // One report: prints the bench/params header, per-row results, phase spans,
 // the per-peer traffic split, the per-session traffic breakdown of
@@ -16,6 +16,13 @@
 // compare across machines):
 //
 //   nf-inspect [--tol=0.10] fig5.json BENCH_baseline.json
+//
+// Critical path: prints each session's gating chain (the lineage critical
+// path — peer, phase, round and bytes per hop) and per-phase slack from
+// the schema v5 `lineage` section, cross-checking the chain's final round
+// against the session's recorded rounds_total:
+//
+//   nf-inspect critical-path multiquery.json
 #include <cmath>
 #include <cstdlib>
 #include <fstream>
@@ -219,8 +226,22 @@ int print_conformance(const Json& doc, double tol) {
   return breaches;
 }
 
+/// Satellite of the lineage work: ring truncation must be loud. A wrapped
+/// tracer ring used to surface only as a silent gap in the span/trace
+/// tables; now the report carries trace/dropped_events and this warning.
+void warn_trace_truncation(const Json& doc) {
+  const Json* trace = doc.find("trace");
+  if (trace == nullptr || !trace->is_object()) return;
+  const double dropped = num(*trace, "dropped");
+  if (dropped <= 0.0) return;
+  std::cout << "\nWARNING: trace ring wrapped; " << fmt(dropped)
+            << " event(s) dropped (oldest first) — spans and flows may be "
+               "incomplete; raise --trace-cap / NF_TRACE_CAP\n";
+}
+
 int inspect_one(const Json& doc, const std::string& path, double tol) {
   print_header(doc, path);
+  warn_trace_truncation(doc);
   print_results(doc);
   print_spans(doc);
   print_traffic(doc);
@@ -289,6 +310,111 @@ int diff_reports(const Json& a, const Json& b, const std::string& path_a,
   return 0;
 }
 
+/// `nf-inspect critical-path REPORT.json` — the gating chain and per-phase
+/// slack of every session, from the schema v5 lineage section. The chain's
+/// final deliver round is cross-checked against the session's recorded
+/// rounds_total (sessions section, matched by name): a disagreement means
+/// the lineage DAG and the session accounting have diverged, exit 1.
+/// Exit 2 when the report predates schema v5 / has no lineage section.
+int critical_path_cmd(const Json& doc, const std::string& path) {
+  print_header(doc, path);
+  warn_trace_truncation(doc);
+  const Json* lineage = doc.find("lineage");
+  if (lineage == nullptr || !lineage->is_object()) {
+    std::cerr << "nf-inspect: " << path
+              << " has no lineage section (needs a schema v5 report from a "
+                 "bench run with --json)\n";
+    return 2;
+  }
+  const double dropped_nodes = num(*lineage, "dropped_nodes");
+  if (dropped_nodes > 0.0) {
+    std::cout << "\nWARNING: lineage ring wrapped; " << fmt(dropped_nodes)
+              << " node(s) dropped — chains may start mid-run; raise "
+                 "--lineage-cap / NF_LINEAGE_CAP\n";
+  }
+  const Json* paths = lineage->find("critical_paths");
+  if (paths == nullptr || !paths->is_array() || paths->size() == 0) {
+    std::cout << "\nno critical paths (no session-tagged deliveries were "
+                 "recorded)\n";
+    return 0;
+  }
+
+  // rounds_total per session name, for the cross-check.
+  const Json* sessions = doc.find("sessions");
+  const auto recorded_rounds = [&](std::string_view name) -> double {
+    if (sessions == nullptr || !sessions->is_array()) return -1.0;
+    for (const Json& s : sessions->as_array()) {
+      const Json* n = s.find("name");
+      if (n == nullptr || n->as_string() != name) continue;
+      const Json* nfj = s.find("netfilter");
+      if (nfj == nullptr) return -1.0;
+      return num(*nfj, "rounds_total", -1.0);
+    }
+    return -1.0;
+  };
+
+  int mismatches = 0;
+  for (const Json& cp : paths->as_array()) {
+    const Json* name_j = cp.find("name");
+    std::string name = fmt(num(cp, "session"));
+    name.insert(0, "s");
+    if (name_j != nullptr && !name_j->as_string().empty()) {
+      name = name_j->as_string();
+    }
+    std::cout << "\n== critical path: " << name << " (done round "
+              << fmt(num(cp, "done_round")) << ", chain "
+              << fmt(num(cp, "rounds")) << " rounds, "
+              << fmt(num(cp, "bytes")) << " bytes) ==\n";
+    double final_round = -1.0;
+    const Json* hops = cp.find("hops");
+    if (hops != nullptr && hops->is_array() && hops->size() != 0) {
+      TableWriter t({"hop", "from", "to", "phase", "bytes", "send_round",
+                     "deliver_round"},
+                    std::cout, 17);
+      std::size_t i = 0;
+      for (const Json& h : hops->as_array()) {
+        const Json* phase = h.find("phase");
+        t.row(i++, fmt(num(h, "from")), fmt(num(h, "to")),
+              phase != nullptr && !phase->as_string().empty()
+                  ? phase->as_string()
+                  : "-",
+              fmt(num(h, "bytes")), fmt(num(h, "send_round")),
+              fmt(num(h, "deliver_round")));
+        final_round = num(h, "deliver_round");
+      }
+    }
+    const double recorded = recorded_rounds(name);
+    if (recorded >= 0.0 && final_round >= 0.0) {
+      if (final_round == recorded) {
+        std::cout << "gating delivery at round " << fmt(final_round)
+                  << " == recorded rounds_total\n";
+      } else {
+        std::cout << "MISMATCH: gating chain ends at round "
+                  << fmt(final_round) << " but the session recorded "
+                  << "rounds_total=" << fmt(recorded) << "\n";
+        ++mismatches;
+      }
+    }
+    const Json* slack = cp.find("slack");
+    if (slack != nullptr && slack->is_array() && slack->size() != 0) {
+      TableWriter t({"phase", "last_deliver_round", "slack_rounds"},
+                    std::cout, 20);
+      for (const Json& s : slack->as_array()) {
+        const Json* phase = s.find("phase");
+        t.row(phase != nullptr ? phase->as_string() : "?",
+              fmt(num(s, "last_deliver_round")), fmt(num(s, "slack_rounds")));
+      }
+    }
+  }
+  if (mismatches != 0) {
+    std::cout << "\nFAIL: " << mismatches << " gating chain(s) disagree "
+              << "with the recorded session rounds\n";
+    return 1;
+  }
+  std::cout << "\nOK\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -301,8 +427,11 @@ int main(int argc, char** argv) {
     } else if (arg == "--help" || arg == "-h") {
       std::cout << "usage: nf-inspect [--tol=0.10] REPORT.json "
                    "[BASELINE.json]\n"
+                   "       nf-inspect critical-path REPORT.json\n"
                    "  one file: summarize + gate cost-model conformance\n"
-                   "  two files: regression-diff A against baseline B\n";
+                   "  two files: regression-diff A against baseline B\n"
+                   "  critical-path: per-session gating chain + per-phase "
+                   "slack (schema v5 lineage)\n";
       return 0;
     } else if (!arg.empty() && arg[0] == '-') {
       std::cerr << "nf-inspect: unknown flag " << arg << "\n";
@@ -311,9 +440,16 @@ int main(int argc, char** argv) {
       paths.emplace_back(arg);
     }
   }
+  if (!paths.empty() && paths[0] == "critical-path") {
+    if (paths.size() != 2) {
+      std::cerr << "usage: nf-inspect critical-path REPORT.json\n";
+      return 2;
+    }
+    return critical_path_cmd(load(paths[1]), paths[1]);
+  }
   if (paths.empty() || paths.size() > 2) {
     std::cerr << "usage: nf-inspect [--tol=0.10] REPORT.json "
-                 "[BASELINE.json]\n";
+                 "[BASELINE.json] | nf-inspect critical-path REPORT.json\n";
     return 2;
   }
   const Json a = load(paths[0]);

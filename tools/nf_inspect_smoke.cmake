@@ -45,3 +45,22 @@ endif()
 if(NOT mq_inspect_out MATCHES "q0")
   message(FATAL_ERROR "per-session breakdown names no session")
 endif()
+
+# Schema v5 lineage: the critical-path subcommand must print a gating chain
+# per session and agree with each session's recorded rounds_total.
+execute_process(
+  COMMAND ${INSPECT} critical-path multiquery_inspect_smoke.json
+  RESULT_VARIABLE cp_rc
+  OUTPUT_VARIABLE cp_out)
+if(NOT cp_rc EQUAL 0)
+  message(FATAL_ERROR "nf-inspect critical-path failed: ${cp_rc}")
+endif()
+if(NOT cp_out MATCHES "== critical path: q0")
+  message(FATAL_ERROR "critical-path printed no gating chain for q0")
+endif()
+if(NOT cp_out MATCHES "== recorded rounds_total")
+  message(FATAL_ERROR "critical-path did not cross-check rounds_total")
+endif()
+if(cp_out MATCHES "MISMATCH")
+  message(FATAL_ERROR "a gating chain disagrees with recorded rounds_total")
+endif()

@@ -471,7 +471,10 @@ void check_entropy(const SourceFile& file, const std::vector<Tok>& t,
 // net/envelope.h. Hand-rolled tagging (send_tagged, raw Envelope
 // construction, kNoSession) bypasses the SessionMux's routing and traffic
 // attribution; only the session runtime itself (net/session.*, net/engine.*)
-// may touch those primitives.
+// may touch those primitives. The same discipline covers causal lineage:
+// parents come from ctx.cause() or an explicit parents span — referencing
+// kNoLineage or writing an envelope's lineage field by hand hides the send
+// from critical-path analysis (obs/lineage.h).
 
 void check_envelope(const SourceFile& file, const std::vector<Tok>& t,
                     std::vector<Finding>& out) {
@@ -509,6 +512,19 @@ void check_envelope(const SourceFile& file, const std::vector<Tok>& t,
       add_finding(out, file, Check::kEnvelopeDiscipline, t[i].line,
                   "Phase component references kNoSession: phase traffic "
                   "must stay attributed to its session");
+    } else if (s == "kNoLineage") {
+      add_finding(out, file, Check::kEnvelopeDiscipline, t[i].line,
+                  "Phase component references kNoLineage: causal parents "
+                  "come from ctx.cause() or an explicit parents span; "
+                  "hand-rolling an empty lineage hides the send from "
+                  "critical-path analysis");
+    } else if (s == "lineage" && i > 0 &&
+               (t[i - 1].text == "." || t[i - 1].text == "->") &&
+               tok_at(t, i + 1) == "=" && tok_at(t, i + 2) != "=") {
+      add_finding(out, file, Check::kEnvelopeDiscipline, t[i].line,
+                  "Phase component writes an envelope's lineage id: ids are "
+                  "stamped by the engine in canonical merge order; pass "
+                  "causal parents through send(..., parents) instead");
     }
   }
 }

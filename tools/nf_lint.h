@@ -62,8 +62,9 @@ inline const char* check_description(Check c) {
              "counter-keyed hash streams instead";
     case Check::kEnvelopeDiscipline:
       return "Phase components must send through PhaseContext::send_raw / "
-             "TypedPhase::send so (session, phase) envelope tags are "
-             "threaded; raw tagging belongs to the session runtime";
+             "TypedPhase::send so (session, phase) envelope tags and causal "
+             "lineage parents are threaded; raw tagging and hand-stamped "
+             "lineage ids belong to the session runtime";
     case Check::kArenaMap:
       return "node-keyed std::map for per-peer state: peers are dense "
              "0..N-1, use PeerArena<T> (common/arena.h)";
