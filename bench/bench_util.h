@@ -43,6 +43,7 @@ namespace nf::bench {
 struct Params {
   std::uint32_t num_peers = 1000;    ///< N
   std::uint64_t num_items = 100000;  ///< n
+  double instances_per_item = 10.0;  ///< total instances = this * n
   double alpha = 1.0;                ///< Zipf skewness
   double theta = 0.01;               ///< threshold ratio
   std::uint32_t fanout = 3;          ///< b
@@ -64,6 +65,7 @@ struct Env {
           wl::WorkloadConfig cfg;
           cfg.num_peers = p.num_peers;
           cfg.num_items = p.num_items;
+          cfg.instances_per_item = p.instances_per_item;
           cfg.alpha = p.alpha;
           cfg.seed = p.seed;
           return wl::Workload::generate(cfg);
@@ -302,6 +304,7 @@ class JsonReport {
     if (!enabled()) return;
     param("num_peers", obs::Json(p.num_peers));
     param("num_items", obs::Json(p.num_items));
+    param("instances_per_item", obs::Json(p.instances_per_item));
     param("alpha", obs::Json(p.alpha));
     param("theta", obs::Json(p.theta));
     param("fanout", obs::Json(p.fanout));
@@ -314,8 +317,12 @@ class JsonReport {
 
   /// Snapshots the meter's breakdown now (Env meters reset per run, so
   /// capture after the run whose traffic should land in the report).
-  void capture_traffic(const net::TrafficMeter& meter) {
-    if (enabled()) bundle_.traffic = obs::to_json(meter);
+  /// per_peer_matrix=false drops the N×category byte matrix from the
+  /// report — at bench scales of 10^5+ peers it dominates the file while
+  /// nf-inspect and the baseline diffs only read the summary sections.
+  void capture_traffic(const net::TrafficMeter& meter,
+                       bool per_peer_matrix = true) {
+    if (enabled()) bundle_.traffic = obs::to_json(meter, per_peer_matrix);
   }
 
   /// Per-session traffic attribution of a multiplexed run (schema v4

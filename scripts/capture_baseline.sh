@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # Captures the committed --quick references CI diffs against via nf-inspect:
-#   BENCH_baseline.json      — fig5_filter_size (filtering-heavy)
-#   BENCH_fig7_baseline.json — fig7_skewness (convergecast-heavy)
+#   BENCH_baseline.json         — fig5_filter_size (filtering-heavy)
+#   BENCH_fig7_baseline.json    — fig7_skewness (convergecast-heavy)
+#   BENCH_million_baseline.json — fig7_million_peers (flat payloads at
+#                                 N=10^5 peers; full 10^6 without --quick)
 #
 # The per-peer *_cost columns are deterministic (fixed seed, flat wire
 # model), so any diff is a real behavior change. Re-run this script and
@@ -26,3 +28,4 @@ capture() {
 
 capture fig5_filter_size BENCH_baseline.json
 capture fig7_skewness BENCH_fig7_baseline.json
+capture fig7_million_peers BENCH_million_baseline.json

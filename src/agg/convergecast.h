@@ -46,7 +46,9 @@ namespace nf::agg {
 /// Messages are typed (net::TypedPhase<T>): a payload type error in caller
 /// code fails at compile time.
 template <typename T>
-class ConvergecastPhase final : public net::TypedPhase<T> {
+// Legacy object-payload path; flat counterpart: FlatAggregateConvergecast /
+// FlatPairsConvergecast (agg/flat_phases.h).
+class ConvergecastPhase final : public net::TypedPhase<T> {  // nf-lint: nf-flat-payload-ok
  public:
   using LocalFn = std::function<T(PeerId)>;
   using MergeFn = std::function<void(T&, T&&)>;

@@ -1,0 +1,577 @@
+// Flat slab-backed counterparts of the generic hierarchy protocols
+// (convergecast / multicast) — the million-peer hot path.
+//
+// Where the typed phases (agg/convergecast.h, agg/multicast.h) ship owning
+// C++ objects through `std::any` envelopes, these phases encode every
+// message into the engine's slab arenas with the varint/delta codecs
+// (net/codec.h) and ship a PayloadRef. Receivers decode straight from the
+// delivered span; forwards are span copies. Combined with the
+// structure-of-arrays state below, a warmed loss-free run performs zero
+// heap allocations inside the round loop (tests/steady_alloc_test.cpp).
+//
+// State layout (DESIGN.md §6f): FlatAggregateConvergecastPhase keeps the
+// per-peer f×g group sums in one contiguous PeerRowArena<u64> — peer-major
+// rows, so a merge is a contiguous column add into the parent's row — and
+// decomposes the per-peer bookkeeping (pending counts, sent flags, causal
+// parents) into dense parallel arenas instead of a per-peer struct with
+// owning members.
+//
+// Wire-size charging: pass `flat_bytes != 0` to charge the paper's flat
+// field model (WireModel::kFlatFields) while still shipping the encoded
+// bytes, or 0 to charge the actual encoded length (kVarintDelta). Both
+// models therefore exercise the same payload path.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "agg/hierarchy.h"
+#include "common/arena.h"
+#include "common/error.h"
+#include "common/ids.h"
+#include "common/item_source.h"
+#include "net/codec.h"
+#include "net/session.h"
+#include "obs/context.h"
+
+namespace nf::agg {
+
+/// Bottom-up sum of fixed-width aggregate vectors (paper §III-A.2, the f×g
+/// group sums of netFilter phase 1), flat on the wire and SoA in memory.
+/// Shard-safe: callbacks for peer p touch only p's row/slots; `complete_`
+/// has a single writer (the root's shard) and is read at the barrier.
+class FlatAggregateConvergecastPhase final : public net::FlatPhase {
+ public:
+  /// Fills peer p's zeroed row with its local contribution.
+  using LocalFn = std::function<void(PeerId, std::span<std::uint64_t>)>;
+  /// Fires at the root, inside the run, the moment the global sums are
+  /// complete — the hook a downstream phase transition chains from.
+  using CompleteFn =
+      std::function<void(net::PhaseContext&, std::span<const std::uint64_t>)>;
+
+  FlatAggregateConvergecastPhase(const Hierarchy& hierarchy,
+                                 net::TrafficCategory category,
+                                 std::uint32_t width, LocalFn local,
+                                 std::uint64_t flat_bytes,
+                                 obs::Context* obs = nullptr)
+      : hierarchy_(hierarchy),
+        category_(category),
+        width_(width),
+        local_(std::move(local)),
+        flat_bytes_(flat_bytes),
+        obs_(obs) {
+    if (obs != nullptr) {
+      obs_merges_ = &obs->registry.counter("convergecast/merges");
+      obs_msg_bytes_ = &obs->registry.histogram("convergecast/msg_bytes");
+    }
+  }
+
+  void set_on_complete(CompleteFn on_complete) {
+    on_complete_ = std::move(on_complete);
+  }
+
+  void on_run_start(const net::Overlay& overlay) override {
+    const auto n = overlay.num_peers();
+    complete_.store(false, std::memory_order_relaxed);
+    sums_.assign(n, width_, 0);
+    pending_.assign(n, 0);
+    init_.assign(n, false);
+    sent_.assign(n, false);
+    sent_bytes_.assign(n, 0);
+    // Causal-parent slots, one contiguous store with per-peer offsets:
+    // each peer records at most 1 (phase-open cause) + |downstream| ids.
+    parent_count_.assign(n, 0);
+    parent_offset_.assign(n + 1, 0);
+    std::uint32_t off = 0;
+    for (std::uint32_t p = 0; p < n; ++p) {
+      parent_offset_[p] = off;
+      if (!hierarchy_.is_member(PeerId(p))) continue;  // no slots needed
+      off += 1 + static_cast<std::uint32_t>(
+                     hierarchy_.downstream(PeerId(p)).size());
+    }
+    parent_offset_[n] = off;
+    parents_.assign(off, obs::kNoLineage);
+  }
+
+  void on_start(net::PhaseContext& ctx) override {
+    const PeerId p = ctx.self();
+    if (!hierarchy_.is_member(p)) return;
+    local_(p, sums_.row(p));
+    pending_[p] =
+        static_cast<std::uint32_t>(hierarchy_.downstream(p).size());
+    init_[p] = true;
+    push_parent(p, ctx.cause());
+    maybe_forward(ctx);
+  }
+
+  [[nodiscard]] bool done() const override {
+    return complete_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool complete() const { return done(); }
+
+  /// The global sums; valid once complete().
+  [[nodiscard]] std::span<const std::uint64_t> result() const {
+    require(complete(), "convergecast not complete");
+    return sums_.row(hierarchy_.root());
+  }
+
+  /// Bytes this peer propagated upward (0 for the root). Valid after run.
+  [[nodiscard]] std::uint64_t sent_bytes(PeerId p) const {
+    return sent_bytes_[p];
+  }
+
+ protected:
+  void on_flat(net::PhaseContext& ctx, std::span<const std::uint8_t> bytes,
+               PeerId /*from*/) override {
+    const PeerId p = ctx.self();
+    ensure(init_[p] != 0, "convergecast message before initialization");
+    ensure(pending_[p] > 0, "unexpected convergecast message");
+    if (obs_ != nullptr) {
+      obs_merges_->add(1);
+      obs_->tracer.record(obs::EventKind::kMerge, "convergecast.merge",
+                          p.value(), sent_bytes_[p]);
+    }
+    // The merge: decode-accumulate into this peer's row, no intermediate
+    // vector. Column adds stay contiguous because rows are peer-major.
+    net::add_aggregates_from(bytes, sums_.row(p));
+    --pending_[p];
+    push_parent(p, ctx.cause());
+    maybe_forward(ctx);
+  }
+
+ private:
+  void push_parent(PeerId p, obs::LineageId id) {
+    const std::uint32_t slot = parent_offset_[p.value()] +
+                               parent_count_[p]++;
+    ensure(slot < parent_offset_[p.value() + 1], "parent slots exhausted");
+    parents_[slot] = id;
+  }
+
+  void maybe_forward(net::PhaseContext& ctx) {
+    const PeerId p = ctx.self();
+    if (pending_[p] != 0 || sent_[p] != 0) return;
+    if (p == hierarchy_.root()) {
+      complete_.store(true, std::memory_order_relaxed);
+      if (on_complete_) on_complete_(ctx, sums_.row(p));
+      return;
+    }
+    sent_[p] = true;
+    net::PayloadWriter w = ctx.flat_payload();
+    net::encode_aggregates_to(w, sums_.row(p));
+    const net::PayloadRef ref = w.finish();
+    const std::uint64_t bytes = flat_bytes_ != 0 ? flat_bytes_ : ref.length;
+    sent_bytes_[p] = bytes;
+    if (obs_ != nullptr) obs_msg_bytes_->observe(bytes);
+    const std::span<const obs::LineageId> parents(
+        parents_.data() + parent_offset_[p.value()], parent_count_[p]);
+    ctx.send_flat(hierarchy_.upstream(p), category_, bytes, ref, parents);
+  }
+
+  const Hierarchy& hierarchy_;
+  net::TrafficCategory category_;
+  std::uint32_t width_;
+  LocalFn local_;
+  std::uint64_t flat_bytes_;
+  obs::Context* obs_;
+  obs::Counter* obs_merges_ = nullptr;
+  obs::Histogram* obs_msg_bytes_ = nullptr;
+  CompleteFn on_complete_;
+
+  // SoA per-peer state (see header comment).
+  PeerRowArena<std::uint64_t> sums_;
+  PeerArena<std::uint32_t> pending_;
+  PeerArena<bool> init_;
+  PeerArena<bool> sent_;
+  PeerArena<std::uint64_t> sent_bytes_;
+  PeerArena<std::uint32_t> parent_count_;
+  std::vector<std::uint32_t> parent_offset_;
+  std::vector<obs::LineageId> parents_;
+  std::atomic<bool> complete_{false};
+};
+
+/// Bottom-up merge of sorted <item, value> maps (netFilter phase 2), flat
+/// pairs on the wire. Accumulators are ValueMaps — merging sorted runs
+/// allocates, so this phase is outside the zero-alloc guarantee (DESIGN.md
+/// §6f) — but no payload object ever crosses the wire.
+class FlatPairsConvergecastPhase final : public net::FlatPhase {
+ public:
+  using Pairs = ValueMap<ItemId, Value>;
+  using LocalFn = std::function<Pairs(PeerId)>;
+  /// Modelled wire size of one message; pass {} to charge the encoded
+  /// length (WireModel::kVarintDelta).
+  using WireBytesFn = std::function<std::uint64_t(const Pairs&)>;
+  using CompleteFn = std::function<void(net::PhaseContext&, const Pairs&)>;
+
+  FlatPairsConvergecastPhase(const Hierarchy& hierarchy,
+                             net::TrafficCategory category, LocalFn local,
+                             WireBytesFn wire_bytes,
+                             obs::Context* obs = nullptr)
+      : hierarchy_(hierarchy),
+        category_(category),
+        local_(std::move(local)),
+        wire_bytes_(std::move(wire_bytes)),
+        obs_(obs) {
+    if (obs != nullptr) {
+      obs_merges_ = &obs->registry.counter("convergecast/merges");
+      obs_msg_bytes_ = &obs->registry.histogram("convergecast/msg_bytes");
+    }
+  }
+
+  void set_on_complete(CompleteFn on_complete) {
+    on_complete_ = std::move(on_complete);
+  }
+
+  void on_run_start(const net::Overlay& overlay) override {
+    const auto n = overlay.num_peers();
+    complete_.store(false, std::memory_order_relaxed);
+    acc_.assign(n, Pairs{});
+    pending_.assign(n, 0);
+    init_.assign(n, false);
+    sent_.assign(n, false);
+    sent_bytes_.assign(n, 0);
+    parent_count_.assign(n, 0);
+    parent_offset_.assign(n + 1, 0);
+    std::uint32_t off = 0;
+    for (std::uint32_t p = 0; p < n; ++p) {
+      parent_offset_[p] = off;
+      if (!hierarchy_.is_member(PeerId(p))) continue;  // no slots needed
+      off += 1 + static_cast<std::uint32_t>(
+                     hierarchy_.downstream(PeerId(p)).size());
+    }
+    parent_offset_[n] = off;
+    parents_.assign(off, obs::kNoLineage);
+  }
+
+  void on_start(net::PhaseContext& ctx) override {
+    const PeerId p = ctx.self();
+    if (!hierarchy_.is_member(p)) return;
+    acc_[p] = local_(p);
+    pending_[p] =
+        static_cast<std::uint32_t>(hierarchy_.downstream(p).size());
+    init_[p] = true;
+    push_parent(p, ctx.cause());
+    maybe_forward(ctx);
+  }
+
+  [[nodiscard]] bool done() const override {
+    return complete_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool complete() const { return done(); }
+
+  [[nodiscard]] const Pairs& result() const {
+    require(complete(), "convergecast not complete");
+    return acc_[hierarchy_.root()];
+  }
+
+  [[nodiscard]] std::uint64_t sent_bytes(PeerId p) const {
+    return sent_bytes_[p];
+  }
+
+ protected:
+  void on_flat(net::PhaseContext& ctx, std::span<const std::uint8_t> bytes,
+               PeerId /*from*/) override {
+    const PeerId p = ctx.self();
+    ensure(init_[p] != 0, "convergecast message before initialization");
+    ensure(pending_[p] > 0, "unexpected convergecast message");
+    if (obs_ != nullptr) {
+      obs_merges_->add(1);
+      obs_->tracer.record(obs::EventKind::kMerge, "convergecast.merge",
+                          p.value(), sent_bytes_[p]);
+    }
+    acc_[p].merge_add(net::decode_pairs(bytes));
+    --pending_[p];
+    push_parent(p, ctx.cause());
+    maybe_forward(ctx);
+  }
+
+ private:
+  void push_parent(PeerId p, obs::LineageId id) {
+    const std::uint32_t slot = parent_offset_[p.value()] +
+                               parent_count_[p]++;
+    ensure(slot < parent_offset_[p.value() + 1], "parent slots exhausted");
+    parents_[slot] = id;
+  }
+
+  void maybe_forward(net::PhaseContext& ctx) {
+    const PeerId p = ctx.self();
+    if (pending_[p] != 0 || sent_[p] != 0) return;
+    if (p == hierarchy_.root()) {
+      complete_.store(true, std::memory_order_relaxed);
+      if (on_complete_) on_complete_(ctx, acc_[p]);
+      return;
+    }
+    sent_[p] = true;
+    net::PayloadWriter w = ctx.flat_payload();
+    net::encode_pairs_to(w, acc_[p]);
+    const net::PayloadRef ref = w.finish();
+    const std::uint64_t bytes =
+        wire_bytes_ ? wire_bytes_(acc_[p]) : ref.length;
+    sent_bytes_[p] = bytes;
+    if (obs_ != nullptr) obs_msg_bytes_->observe(bytes);
+    const std::span<const obs::LineageId> parents(
+        parents_.data() + parent_offset_[p.value()], parent_count_[p]);
+    ctx.send_flat(hierarchy_.upstream(p), category_, bytes, ref, parents);
+    acc_[p] = Pairs{};  // the merged map moved up the tree; free the slot
+  }
+
+  const Hierarchy& hierarchy_;
+  net::TrafficCategory category_;
+  LocalFn local_;
+  WireBytesFn wire_bytes_;
+  obs::Context* obs_;
+  obs::Counter* obs_merges_ = nullptr;
+  obs::Histogram* obs_msg_bytes_ = nullptr;
+  CompleteFn on_complete_;
+
+  PeerArena<Pairs> acc_;
+  PeerArena<std::uint32_t> pending_;
+  PeerArena<bool> init_;
+  PeerArena<bool> sent_;
+  PeerArena<std::uint64_t> sent_bytes_;
+  PeerArena<std::uint32_t> parent_count_;
+  std::vector<std::uint32_t> parent_offset_;
+  std::vector<obs::LineageId> parents_;
+  std::atomic<bool> complete_{false};
+};
+
+/// Top-down dissemination of one pre-encoded payload (paper Algorithm 2,
+/// line 1). The root installs encoded bytes once; every forward is a span
+/// copy into the shard slab — the payload object is never reconstructed in
+/// flight. Receivers get the raw span and decode as they see fit.
+class FlatMulticastPhase final : public net::FlatPhase {
+ public:
+  /// Runs at every member (including the root) exactly once, when the
+  /// payload reaches that peer.
+  using ReceiveFn =
+      std::function<void(net::PhaseContext&, std::span<const std::uint8_t>)>;
+
+  FlatMulticastPhase(const Hierarchy& hierarchy, net::TrafficCategory category,
+                     ReceiveFn on_receive, obs::Context* obs = nullptr)
+      : hierarchy_(hierarchy),
+        category_(category),
+        on_receive_(std::move(on_receive)),
+        obs_(obs) {
+    if (obs != nullptr) {
+      obs_forwards_ = &obs->registry.counter("multicast/forwards");
+    }
+  }
+
+  /// Installs the encoded payload (copied) and its modelled wire size. Must
+  /// happen before the phase opens at the root — either up front, or from
+  /// an earlier phase's callback (the root's shard) right before
+  /// open_phase().
+  void set_payload(std::span<const std::uint8_t> encoded,
+                   std::uint64_t wire_bytes) {
+    payload_.assign(encoded.begin(), encoded.end());
+    wire_bytes_ = wire_bytes;
+    has_payload_ = true;
+  }
+
+  void on_run_start(const net::Overlay& overlay) override {
+    received_.assign(overlay.num_peers(), false);
+    num_received_.store(0, std::memory_order_relaxed);
+  }
+
+  void on_start(net::PhaseContext& ctx) override {
+    if (ctx.self() != hierarchy_.root()) return;
+    ensure(has_payload_, "multicast opened at root without a payload");
+    deliver(ctx, payload_);
+  }
+
+  [[nodiscard]] bool done() const override {
+    return num_received() >= hierarchy_.num_members();
+  }
+  [[nodiscard]] bool complete() const { return done(); }
+
+  [[nodiscard]] std::uint32_t num_received() const {
+    return num_received_.load(std::memory_order_relaxed);
+  }
+
+ protected:
+  void on_flat(net::PhaseContext& ctx, std::span<const std::uint8_t> bytes,
+               PeerId /*from*/) override {
+    ensure(received_[ctx.self()] == 0, "duplicate multicast delivery");
+    deliver(ctx, bytes);
+  }
+
+ private:
+  void deliver(net::PhaseContext& ctx, std::span<const std::uint8_t> bytes) {
+    const PeerId p = ctx.self();
+    received_[p] = true;
+    num_received_.fetch_add(1, std::memory_order_relaxed);
+    on_receive_(ctx, bytes);
+    const auto& downstream = hierarchy_.downstream(p);
+    if (downstream.empty()) return;
+    if (obs_ != nullptr) {
+      obs_forwards_->add(downstream.size());
+      obs_->tracer.record(obs::EventKind::kFanout, "multicast.fanout",
+                          p.value(), downstream.size());
+    }
+    // One span copy into the shard slab serves every child: the engine
+    // re-copies per destination slot at the barrier anyway.
+    net::PayloadWriter w = ctx.flat_payload();
+    w.put_bytes(bytes);
+    const net::PayloadRef ref = w.finish();
+    const obs::LineageId parent = ctx.cause();
+    for (PeerId child : downstream) {
+      ctx.send_flat(child, category_, wire_bytes_, ref,
+                    std::span<const obs::LineageId>(&parent, 1));
+    }
+  }
+
+  const Hierarchy& hierarchy_;
+  net::TrafficCategory category_;
+  ReceiveFn on_receive_;
+  obs::Context* obs_;
+  obs::Counter* obs_forwards_ = nullptr;
+  std::vector<std::uint8_t> payload_;
+  std::uint64_t wire_bytes_ = 0;
+  bool has_payload_ = false;
+  PeerArena<bool> received_;
+  std::atomic<std::uint32_t> num_received_{0};
+};
+
+/// Standalone run-to-completion wrapper: one flat phase, one anonymous
+/// session, opened at every member on the first tick — the drop-in flat
+/// replacement for Convergecast<std::vector<Value>>.
+class FlatAggregateConvergecast final : public net::Protocol {
+ public:
+  using LocalFn = FlatAggregateConvergecastPhase::LocalFn;
+
+  FlatAggregateConvergecast(const Hierarchy& hierarchy,
+                            net::TrafficCategory category, std::uint32_t width,
+                            LocalFn local, std::uint64_t flat_bytes,
+                            obs::Context* obs = nullptr)
+      : phase_(hierarchy, category, width, std::move(local), flat_bytes, obs),
+        mux_(obs) {
+    const net::SessionId sid = mux_.add_session();
+    net::PhaseOptions opts;
+    opts.start = net::PhaseStart::kAllPeers;
+    opts.open_on_message = false;
+    mux_.add_phase(sid, phase_, opts);
+  }
+
+  void on_run_start(const net::Overlay& overlay) override {
+    mux_.on_run_start(overlay);
+  }
+  void on_round_begin(std::uint64_t round) override {
+    mux_.on_round_begin(round);
+  }
+  void on_round(net::Context& ctx) override { mux_.on_round(ctx); }
+  void on_message(net::Context& ctx, net::Envelope&& env) override {
+    mux_.on_message(ctx, std::move(env));
+  }
+  void on_run_end() override { mux_.on_run_end(); }
+  [[nodiscard]] bool active() const override { return mux_.active(); }
+
+  [[nodiscard]] bool complete() const { return phase_.complete(); }
+  [[nodiscard]] std::span<const std::uint64_t> result() const {
+    return phase_.result();
+  }
+  [[nodiscard]] std::uint64_t sent_bytes(PeerId p) const {
+    return phase_.sent_bytes(p);
+  }
+
+ private:
+  FlatAggregateConvergecastPhase phase_;
+  net::SessionMux mux_;
+};
+
+/// Standalone flat pairs convergecast (candidate aggregation, naive sums).
+class FlatPairsConvergecast final : public net::Protocol {
+ public:
+  using Pairs = FlatPairsConvergecastPhase::Pairs;
+  using LocalFn = FlatPairsConvergecastPhase::LocalFn;
+  using WireBytesFn = FlatPairsConvergecastPhase::WireBytesFn;
+
+  FlatPairsConvergecast(const Hierarchy& hierarchy,
+                        net::TrafficCategory category, LocalFn local,
+                        WireBytesFn wire_bytes, obs::Context* obs = nullptr)
+      : phase_(hierarchy, category, std::move(local), std::move(wire_bytes),
+               obs),
+        mux_(obs) {
+    const net::SessionId sid = mux_.add_session();
+    net::PhaseOptions opts;
+    opts.start = net::PhaseStart::kAllPeers;
+    opts.open_on_message = false;
+    mux_.add_phase(sid, phase_, opts);
+  }
+
+  void on_run_start(const net::Overlay& overlay) override {
+    mux_.on_run_start(overlay);
+  }
+  void on_round_begin(std::uint64_t round) override {
+    mux_.on_round_begin(round);
+  }
+  void on_round(net::Context& ctx) override { mux_.on_round(ctx); }
+  void on_message(net::Context& ctx, net::Envelope&& env) override {
+    mux_.on_message(ctx, std::move(env));
+  }
+  void on_run_end() override { mux_.on_run_end(); }
+  [[nodiscard]] bool active() const override { return mux_.active(); }
+
+  [[nodiscard]] bool complete() const { return phase_.complete(); }
+  [[nodiscard]] const Pairs& result() const { return phase_.result(); }
+  [[nodiscard]] std::uint64_t sent_bytes(PeerId p) const {
+    return phase_.sent_bytes(p);
+  }
+
+ private:
+  FlatPairsConvergecastPhase phase_;
+  net::SessionMux mux_;
+};
+
+/// Standalone flat multicast with the classic callback shape.
+class FlatMulticast final : public net::Protocol {
+ public:
+  /// `on_receive` runs at every member (including the root) exactly once.
+  using ReceiveFn =
+      std::function<void(PeerId, std::span<const std::uint8_t>)>;
+
+  FlatMulticast(const Hierarchy& hierarchy, net::TrafficCategory category,
+                std::span<const std::uint8_t> encoded,
+                std::uint64_t wire_bytes, ReceiveFn on_receive,
+                obs::Context* obs = nullptr)
+      : phase_(
+            hierarchy, category,
+            [fn = std::move(on_receive)](net::PhaseContext& ctx,
+                                         std::span<const std::uint8_t> b) {
+              fn(ctx.self(), b);
+            },
+            obs),
+        mux_(obs) {
+    phase_.set_payload(encoded, wire_bytes);
+    const net::SessionId sid = mux_.add_session();
+    net::PhaseOptions opts;
+    opts.start = net::PhaseStart::kAllPeers;
+    mux_.add_phase(sid, phase_, opts);
+  }
+
+  void on_run_start(const net::Overlay& overlay) override {
+    mux_.on_run_start(overlay);
+  }
+  void on_round_begin(std::uint64_t round) override {
+    mux_.on_round_begin(round);
+  }
+  void on_round(net::Context& ctx) override { mux_.on_round(ctx); }
+  void on_message(net::Context& ctx, net::Envelope&& env) override {
+    mux_.on_message(ctx, std::move(env));
+  }
+  void on_run_end() override { mux_.on_run_end(); }
+  [[nodiscard]] bool active() const override { return mux_.active(); }
+
+  [[nodiscard]] bool complete() const { return phase_.complete(); }
+  [[nodiscard]] std::uint32_t num_received() const {
+    return phase_.num_received();
+  }
+
+ private:
+  FlatMulticastPhase phase_;
+  net::SessionMux mux_;
+};
+
+}  // namespace nf::agg

@@ -34,7 +34,9 @@ namespace nf::agg {
 /// count is a commutative atomic. Typed messages (net::TypedPhase<T>): a
 /// payload type error fails at compile time.
 template <typename T>
-class MulticastPhase final : public net::TypedPhase<T> {
+// Legacy object-payload path; flat counterpart: FlatMulticast
+// (agg/flat_phases.h).
+class MulticastPhase final : public net::TypedPhase<T> {  // nf-lint: nf-flat-payload-ok
  public:
   /// Runs at every member (including the root) exactly once, when the
   /// payload reaches that peer.

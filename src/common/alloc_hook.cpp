@@ -1,0 +1,22 @@
+#include "common/alloc_hook.h"
+
+#include <atomic>
+
+namespace nf::alloc_hook {
+
+namespace {
+std::atomic<std::uint64_t> g_count{0};
+std::atomic<bool> g_armed{false};
+}  // namespace
+
+std::uint64_t count() noexcept {
+  return g_count.load(std::memory_order_relaxed);
+}
+
+bool armed() noexcept { return g_armed.load(std::memory_order_relaxed); }
+
+void bump() noexcept { g_count.fetch_add(1, std::memory_order_relaxed); }
+
+void mark_armed() noexcept { g_armed.store(true, std::memory_order_relaxed); }
+
+}  // namespace nf::alloc_hook

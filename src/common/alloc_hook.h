@@ -1,0 +1,35 @@
+// Heap-allocation counting for zero-alloc steady-state checks.
+//
+// The counter state lives in nf_common so the engine can always read it,
+// but allocations are only *observed* when the `nf_alloc_hook` library —
+// a translation unit overriding global operator new — is linked into the
+// final binary. Tests and benches that assert allocation behavior link it;
+// everything else pays nothing.
+//
+// Engine integration: Engine::begin_steady_state() marks the warm-up as
+// done; from then on each round's allocation delta is accumulated into
+// Engine::steady_allocs() and the `engine/steady_allocs` obs counter.
+// tests/steady_alloc_test.cpp asserts the total is zero for a loss-free
+// flat-payload run.
+#pragma once
+
+#include <cstdint>
+
+namespace nf::alloc_hook {
+
+/// Number of heap allocations observed so far (process-wide, all threads).
+/// Always 0 when the override TU is not linked.
+[[nodiscard]] std::uint64_t count() noexcept;
+
+/// True when the `nf_alloc_hook` override TU is linked into this binary.
+/// Tests assert this so a missing link line cannot silently pass.
+[[nodiscard]] bool armed() noexcept;
+
+/// Called by the operator-new override for every allocation. Not for
+/// protocol code.
+void bump() noexcept;
+
+/// Called once from the override TU's static initializer.
+void mark_armed() noexcept;
+
+}  // namespace nf::alloc_hook

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <type_traits>
 #include <vector>
 
@@ -78,6 +79,55 @@ class PeerArena {
   }
 
   std::vector<Slot> slots_;
+};
+
+/// Dense per-peer rows of a fixed width in one contiguous buffer — the
+/// structure-of-arrays layout for per-peer vectors (e.g. the f×g group sums
+/// of a netFilter filtering pass). Rows are peer-major: a convergecast
+/// merge is a contiguous, SIMD-friendly column add into the parent's row,
+/// and the sharding contract holds because distinct peers own disjoint
+/// row spans (DESIGN.md §6f).
+template <typename T>
+class PeerRowArena {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "rows are raw spans; slot types must be trivially copyable");
+
+ public:
+  PeerRowArena() = default;
+
+  /// (Re)shape to num_peers × width, filling every slot with `init`.
+  /// Capacity is kept across assigns, so re-running a warmed phase does not
+  /// reallocate.
+  void assign(std::uint32_t num_peers, std::uint32_t width, const T& init) {
+    width_ = width;
+    slots_.assign(std::size_t{num_peers} * width, init);
+  }
+
+  [[nodiscard]] std::uint32_t width() const { return width_; }
+  [[nodiscard]] std::uint32_t num_rows() const {
+    return width_ == 0 ? 0
+                       : static_cast<std::uint32_t>(slots_.size() / width_);
+  }
+  [[nodiscard]] bool empty() const { return slots_.empty(); }
+
+  [[nodiscard]] std::span<T> row(PeerId p) { return row(p.value()); }
+  [[nodiscard]] std::span<const T> row(PeerId p) const {
+    return row(p.value());
+  }
+  [[nodiscard]] std::span<T> row(std::uint32_t i) {
+    ensure(std::size_t{i} * width_ + width_ <= slots_.size(),
+           "peer index out of row-arena range");
+    return {slots_.data() + std::size_t{i} * width_, width_};
+  }
+  [[nodiscard]] std::span<const T> row(std::uint32_t i) const {
+    ensure(std::size_t{i} * width_ + width_ <= slots_.size(),
+           "peer index out of row-arena range");
+    return {slots_.data() + std::size_t{i} * width_, width_};
+  }
+
+ private:
+  std::vector<T> slots_;
+  std::uint32_t width_ = 0;
 };
 
 }  // namespace nf

@@ -46,8 +46,15 @@ template <typename... Args>
 /// Precondition check for public API boundaries. Unlike `assert`, this is
 /// always on: a simulator that silently continues after a bad configuration
 /// produces plausible-looking garbage, which is worse than stopping.
+///
+/// Takes `const char*` so a passing check is allocation-free: the message
+/// string only materializes on the throw path. This is load-bearing for the
+/// zero-alloc steady state — checks like PeerRowArena::row() run hundreds of
+/// times per message, and a `const std::string&` parameter would heap-
+/// allocate on every call (tests/steady_alloc_test.cpp is the gate). Callers
+/// with dynamic messages use the std::string overload (cold paths only).
 inline void require(
-    bool condition, const std::string& what,
+    bool condition, const char* what,
     std::source_location loc = std::source_location::current()) {
   if (!condition) {
     throw InvalidArgument(
@@ -55,14 +62,27 @@ inline void require(
   }
 }
 
-/// Internal invariant check; throws ProtocolError with location info.
-inline void ensure(
+inline void require(
     bool condition, const std::string& what,
+    std::source_location loc = std::source_location::current()) {
+  require(condition, what.c_str(), loc);
+}
+
+/// Internal invariant check; throws ProtocolError with location info.
+/// `const char*` for the same zero-alloc reason as require().
+inline void ensure(
+    bool condition, const char* what,
     std::source_location loc = std::source_location::current()) {
   if (!condition) {
     throw ProtocolError(concat("invariant violated: ", what, " (",
                                loc.file_name(), ":", loc.line(), ")"));
   }
+}
+
+inline void ensure(
+    bool condition, const std::string& what,
+    std::source_location loc = std::source_location::current()) {
+  ensure(condition, what.c_str(), loc);
 }
 
 }  // namespace nf

@@ -19,32 +19,29 @@ IfiSessionPhases::IfiSessionPhases(const NetFilter& netfilter,
       obs_(netfilter.config().obs),
       filtering_(
           hierarchy, net::TrafficCategory::kFiltering,
+          /*width=*/netfilter.config().num_filters *
+              netfilter.config().num_groups,
           /*local=*/
-          [this](PeerId p) {
-            return netfilter_.local_group_aggregates(items_.local_items(p));
+          [this](PeerId p, std::span<std::uint64_t> out) {
+            netfilter_.local_group_aggregates_into(items_.local_items(p),
+                                                   out);
           },
-          /*merge=*/
-          [](std::vector<Value>& acc, std::vector<Value>&& child) {
-            ensure(acc.size() == child.size(), "group vector size mismatch");
-            for (std::size_t i = 0; i < acc.size(); ++i) acc[i] += child[i];
-          },
-          /*wire_bytes=*/
-          [this](const std::vector<Value>& v) -> std::uint64_t {
-            const NetFilterConfig& cfg = netfilter_.config();
-            // The paper's model charges sa bytes per item group per filter
-            // (§IV-A) regardless of sparsity; kVarintDelta prices the
-            // actual varint encoding.
-            return cfg.wire_model == WireModel::kFlatFields
-                       ? std::uint64_t{cfg.wire.aggregate_bytes} *
-                             cfg.num_filters * cfg.num_groups
-                       : net::encode_aggregates(v).size();
-          },
+          // The paper's model charges sa bytes per item group per filter
+          // (§IV-A) regardless of sparsity; kVarintDelta prices the actual
+          // varint encoding — the slab length, i.e. flat_bytes = 0.
+          /*flat_bytes=*/
+          netfilter.config().wire_model == WireModel::kFlatFields
+              ? std::uint64_t{netfilter.config().wire.aggregate_bytes} *
+                    netfilter.config().num_filters *
+                    netfilter.config().num_groups
+              : 0,
           netfilter.config().obs),
       dissemination_(
           hierarchy, net::TrafficCategory::kDissemination,
           /*on_receive=*/
-          [this](net::PhaseContext& ctx, const HeavyGroupSet& hg) {
-            on_heavy_received(ctx, hg);
+          [this](net::PhaseContext& ctx,
+                 std::span<const std::uint8_t> encoded) {
+            on_heavy_received(ctx, encoded);
           },
           netfilter.config().obs),
       aggregation_(
@@ -54,21 +51,20 @@ IfiSessionPhases::IfiSessionPhases(const NetFilter& netfilter,
             ensure(ready_[p] != 0, "peer aggregating before materialization");
             return std::move(partial_[p.value()]);
           },
-          /*merge=*/
-          [](LocalItems& acc, LocalItems&& child) { acc.merge_add(child); },
           /*wire_bytes=*/
-          [this](const LocalItems& m) -> std::uint64_t {
-            const NetFilterConfig& cfg = netfilter_.config();
-            return cfg.wire_model == WireModel::kFlatFields
-                       ? m.size() * cfg.wire.item_value_pair()
-                       : net::encode_pairs(m).size();
-          },
+          netfilter.config().wire_model == WireModel::kFlatFields
+              ? agg::FlatPairsConvergecastPhase::WireBytesFn(
+                    [this](const LocalItems& m) -> std::uint64_t {
+                      return m.size() *
+                             netfilter_.config().wire.item_value_pair();
+                    })
+              : agg::FlatPairsConvergecastPhase::WireBytesFn(),
           netfilter.config().obs),
       partial_(hierarchy.num_peers()),
       ready_(hierarchy.num_peers(), false) {
   require(threshold >= 1, "threshold must be >= 1");
   filtering_.set_on_complete(
-      [this](net::PhaseContext& ctx, const std::vector<Value>& global) {
+      [this](net::PhaseContext& ctx, std::span<const Value> global) {
         finish_filtering(ctx, global);
       });
   aggregation_.set_on_complete(
@@ -104,7 +100,7 @@ net::PhaseId IfiSessionPhases::register_phases(
 // aggregates: threshold the groups, hand the heavy set to the multicast and
 // open it here — the per-peer phase-2 wave starts this very round.
 void IfiSessionPhases::finish_filtering(net::PhaseContext& ctx,
-                                        const std::vector<Value>& global) {
+                                        std::span<const Value> global) {
   const NetFilterConfig& cfg = netfilter_.config();
   const std::uint32_t f = cfg.num_filters;
   const std::uint32_t g = cfg.num_groups;
@@ -118,22 +114,16 @@ void IfiSessionPhases::finish_filtering(net::PhaseContext& ctx,
   filtering_rounds_ = ctx.round() + 1;
   obs::add_counter(obs_, "netfilter/heavy_groups", heavy_.total());
 
-  // Each dissemination message costs sg per heavy group id under the flat
-  // model, or a delta-coded id list under kVarintDelta (Algorithm 2, line 1).
-  std::uint64_t dissemination_bytes =
-      heavy_.total() * cfg.wire.group_id_bytes;
-  if (cfg.wire_model == WireModel::kVarintDelta) {
-    std::vector<std::uint64_t> heavy_ids;
-    for (std::size_t i = 0; i < heavy_.heavy.size(); ++i) {
-      for (std::size_t j = 0; j < heavy_.heavy[i].size(); ++j) {
-        if (heavy_.heavy[i][j]) {
-          heavy_ids.push_back(i * heavy_.heavy[i].size() + j);
-        }
-      }
-    }
-    dissemination_bytes = net::encode_sorted_ids(heavy_ids).size();
-  }
-  dissemination_.set_payload(heavy_, dissemination_bytes);
+  // The wire always carries the delta-coded heavy id list; the flat model
+  // charges sg per heavy group id, kVarintDelta the encoded length itself
+  // (Algorithm 2, line 1). Encoded once here at the root — every forward
+  // down the tree is a span copy.
+  const net::Bytes encoded = encode_heavy_groups(heavy_);
+  const std::uint64_t dissemination_bytes =
+      cfg.wire_model == WireModel::kFlatFields
+          ? heavy_.total() * cfg.wire.group_id_bytes
+          : encoded.size();
+  dissemination_.set_payload(encoded, dissemination_bytes);
   ctx.open_phase(dissemination_pid_);
 }
 
@@ -141,8 +131,11 @@ void IfiSessionPhases::finish_filtering(net::PhaseContext& ctx,
 // candidates (Algorithm 2, line 2) and enter aggregation immediately — this
 // peer's subtree proceeds without waiting for the multicast to finish
 // elsewhere.
-void IfiSessionPhases::on_heavy_received(net::PhaseContext& ctx,
-                                         const HeavyGroupSet& hg) {
+void IfiSessionPhases::on_heavy_received(
+    net::PhaseContext& ctx, std::span<const std::uint8_t> encoded) {
+  const NetFilterConfig& cfg = netfilter_.config();
+  const HeavyGroupSet hg =
+      decode_heavy_groups(encoded, cfg.num_filters, cfg.num_groups);
   const PeerId p = ctx.self();
   partial_[p.value()] =
       netfilter_.materialize_candidates(items_.local_items(p), hg);

@@ -20,11 +20,11 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <span>
 #include <vector>
 
-#include "agg/convergecast.h"
+#include "agg/flat_phases.h"
 #include "agg/hierarchy.h"
-#include "agg/multicast.h"
 #include "common/item_source.h"
 #include "core/netfilter.h"
 #include "net/session.h"
@@ -78,8 +78,9 @@ class IfiSessionPhases {
 
  private:
   void finish_filtering(net::PhaseContext& ctx,
-                        const std::vector<Value>& global);
-  void on_heavy_received(net::PhaseContext& ctx, const HeavyGroupSet& hg);
+                        std::span<const Value> global);
+  void on_heavy_received(net::PhaseContext& ctx,
+                         std::span<const std::uint8_t> encoded);
   void finish_aggregation(net::PhaseContext& ctx, const LocalItems& candidates);
 
   const NetFilter& netfilter_;
@@ -88,9 +89,12 @@ class IfiSessionPhases {
   Value threshold_;
   obs::Context* obs_;
 
-  agg::ConvergecastPhase<std::vector<Value>> filtering_;
-  agg::MulticastPhase<HeavyGroupSet> dissemination_;
-  agg::ConvergecastPhase<LocalItems> aggregation_;
+  // Flat slab-backed phases (agg/flat_phases.h): group sums ride the wire
+  // as varint vectors merged by column adds into a SoA arena; the heavy set
+  // travels as one delta-coded id list, decoded per peer on receipt.
+  agg::FlatAggregateConvergecastPhase filtering_;
+  agg::FlatMulticastPhase dissemination_;
+  agg::FlatPairsConvergecastPhase aggregation_;
   net::PhaseId dissemination_pid_ = 0;
   net::PhaseId aggregation_pid_ = 0;
 

@@ -3,8 +3,7 @@
 #include <algorithm>
 #include <utility>
 
-#include "agg/convergecast.h"
-#include "agg/multicast.h"
+#include "agg/flat_phases.h"
 #include "common/arena.h"
 #include "common/error.h"
 #include "core/cost_model.h"
@@ -98,6 +97,32 @@ bool HeavyGroupSet::passes(ItemId item, const FilterBank& bank) const {
   return true;
 }
 
+net::Bytes encode_heavy_groups(const HeavyGroupSet& heavy) {
+  std::vector<std::uint64_t> ids;
+  ids.reserve(heavy.total());
+  for (std::size_t i = 0; i < heavy.heavy.size(); ++i) {
+    const std::vector<bool>& bitmap = heavy.heavy[i];
+    for (std::size_t j = 0; j < bitmap.size(); ++j) {
+      if (bitmap[j]) ids.push_back(i * bitmap.size() + j);
+    }
+  }
+  return net::encode_sorted_ids(ids);
+}
+
+HeavyGroupSet decode_heavy_groups(std::span<const std::uint8_t> in,
+                                  std::uint32_t num_filters,
+                                  std::uint32_t num_groups) {
+  HeavyGroupSet out;
+  out.heavy.assign(num_filters, std::vector<bool>(num_groups, false));
+  for (const std::uint64_t id : net::decode_sorted_ids(in)) {
+    const std::uint64_t i = id / num_groups;
+    const std::uint64_t j = id % num_groups;
+    ensure(i < num_filters, "heavy group id out of filter range");
+    out.heavy[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] = true;
+  }
+  return out;
+}
+
 NetFilter::NetFilter(NetFilterConfig config)
     : config_(config),
       bank_(config.filter_seed, config.num_filters, config.num_groups) {
@@ -106,16 +131,25 @@ NetFilter::NetFilter(NetFilterConfig config)
 
 std::vector<Value> NetFilter::local_group_aggregates(
     const LocalItems& items) const {
+  std::vector<Value> agg(
+      static_cast<std::size_t>(config_.num_filters) * config_.num_groups, 0);
+  local_group_aggregates_into(items, agg);
+  return agg;
+}
+
+void NetFilter::local_group_aggregates_into(const LocalItems& items,
+                                            std::span<Value> out) const {
   const std::uint32_t g = config_.num_groups;
   const std::uint32_t f = config_.num_filters;
-  std::vector<Value> agg(static_cast<std::size_t>(f) * g, 0);
+  ensure(out.size() == static_cast<std::size_t>(f) * g,
+         "aggregate span size mismatch");
+  std::fill(out.begin(), out.end(), 0);
   for (const auto& [id, value] : items) {
     for (std::uint32_t i = 0; i < f; ++i) {
       const GroupId group = bank_.filter(i).group_of(id);
-      agg[static_cast<std::size_t>(i) * g + group.value()] += value;
+      out[static_cast<std::size_t>(i) * g + group.value()] += value;
     }
   }
-  return agg;
 }
 
 LocalItems NetFilter::materialize_candidates(const LocalItems& items,
@@ -139,27 +173,21 @@ HeavyGroupSet NetFilter::filter_candidates(const ItemSource& items,
 
   // Under the paper's model every peer propagates sa bytes per item group
   // per filter (§IV-A: candidate filtering cost = sa·f·g), regardless of
-  // sparsity; under kVarintDelta the actual varint encoding is priced.
+  // sparsity; under kVarintDelta the actual varint encoding is priced —
+  // which is exactly the encoded slab length, so flat_bytes=0 (charge the
+  // wire length) reproduces the legacy byte tallies bit for bit.
   const std::uint64_t flat_bytes =
-      std::uint64_t{config_.wire.aggregate_bytes} * f * g;
-  const WireModel model = config_.wire_model;
+      config_.wire_model == WireModel::kFlatFields
+          ? std::uint64_t{config_.wire.aggregate_bytes} * f * g
+          : 0;
 
-  agg::Convergecast<std::vector<Value>> cast(
-      hierarchy, net::TrafficCategory::kFiltering,
+  agg::FlatAggregateConvergecast cast(
+      hierarchy, net::TrafficCategory::kFiltering, /*width=*/f * g,
       /*local=*/
-      [&](PeerId p) { return local_group_aggregates(items.local_items(p)); },
-      /*merge=*/
-      [](std::vector<Value>& acc, std::vector<Value>&& child) {
-        ensure(acc.size() == child.size(), "group vector size mismatch");
-        for (std::size_t i = 0; i < acc.size(); ++i) acc[i] += child[i];
+      [&](PeerId p, std::span<std::uint64_t> out) {
+        local_group_aggregates_into(items.local_items(p), out);
       },
-      /*wire_bytes=*/
-      [flat_bytes, model](const std::vector<Value>& v) {
-        return model == WireModel::kFlatFields
-                   ? flat_bytes
-                   : net::encode_aggregates(v).size();
-      },
-      config_.obs);
+      flat_bytes, config_.obs);
 
   net::Engine engine(overlay, meter);
   engine.set_threads(config_.threads);
@@ -169,7 +197,7 @@ HeavyGroupSet NetFilter::filter_candidates(const ItemSource& items,
       engine.run(cast, config_.max_rounds_per_phase);
   ensure(cast.complete(), "candidate filtering did not complete");
 
-  const std::vector<Value>& global = cast.result();
+  const std::span<const Value> global = cast.result();
   HeavyGroupSet heavy;
   heavy.heavy.assign(f, std::vector<bool>(g, false));
   for (std::uint32_t i = 0; i < f; ++i) {
@@ -201,21 +229,14 @@ NetFilterResult NetFilter::verify_candidates(
       meter.total(net::TrafficCategory::kAggregation);
 
   // Phase 2a: the root propagates the heavy group identifiers downwards
-  // (Algorithm 2, line 1); each message costs sg per heavy group id under
-  // the flat model, or a delta-coded id list under kVarintDelta.
-  std::uint64_t dissemination_bytes =
-      heavy.total() * config_.wire.group_id_bytes;
-  if (config_.wire_model == WireModel::kVarintDelta) {
-    std::vector<std::uint64_t> heavy_ids;
-    for (std::size_t i = 0; i < heavy.heavy.size(); ++i) {
-      for (std::size_t j = 0; j < heavy.heavy[i].size(); ++j) {
-        if (heavy.heavy[i][j]) {
-          heavy_ids.push_back(i * heavy.heavy[i].size() + j);
-        }
-      }
-    }
-    dissemination_bytes = net::encode_sorted_ids(heavy_ids).size();
-  }
+  // (Algorithm 2, line 1). The wire always carries the delta-coded id list;
+  // the flat model charges sg per heavy group id, kVarintDelta charges the
+  // encoded length itself.
+  const net::Bytes heavy_encoded = encode_heavy_groups(heavy);
+  const std::uint64_t dissemination_bytes =
+      config_.wire_model == WireModel::kFlatFields
+          ? heavy.total() * config_.wire.group_id_bytes
+          : heavy_encoded.size();
 
   // Phase 2b: peers materialize their partial candidate sets on receipt
   // (Algorithm 2, line 2) and the <id, value> pairs merge bottom-up
@@ -227,11 +248,13 @@ NetFilterResult NetFilter::verify_candidates(
   std::vector<LocalItems> partial(overlay.num_peers());
   PeerArena<bool> ready(overlay.num_peers(), false);
 
-  agg::Multicast<HeavyGroupSet> down(
-      hierarchy, net::TrafficCategory::kDissemination, heavy,
+  agg::FlatMulticast down(
+      hierarchy, net::TrafficCategory::kDissemination, heavy_encoded,
       dissemination_bytes,
       /*on_receive=*/
-      [&](PeerId p, const HeavyGroupSet& hg) {
+      [&](PeerId p, std::span<const std::uint8_t> body) {
+        const HeavyGroupSet hg = decode_heavy_groups(
+            body, config_.num_filters, config_.num_groups);
         partial[p.value()] =
             materialize_candidates(items.local_items(p), hg);
         ready[p] = true;
@@ -249,22 +272,22 @@ NetFilterResult NetFilter::verify_candidates(
   }
   ensure(down.complete(), "dissemination did not complete");
 
-  agg::Convergecast<LocalItems> up(
+  // kVarintDelta charges the encoded pair list — the slab bytes themselves —
+  // so an empty WireBytesFn (charge the wire length) is the exact model.
+  agg::FlatPairsConvergecast::WireBytesFn pair_bytes;
+  if (config_.wire_model == WireModel::kFlatFields) {
+    pair_bytes = [this](const LocalItems& m) {
+      return m.size() * config_.wire.item_value_pair();
+    };
+  }
+  agg::FlatPairsConvergecast up(
       hierarchy, net::TrafficCategory::kAggregation,
       /*local=*/
       [&](PeerId p) {
         ensure(ready[p] != 0, "peer aggregating before materialization");
         return std::move(partial[p.value()]);
       },
-      /*merge=*/
-      [](LocalItems& acc, LocalItems&& child) { acc.merge_add(child); },
-      /*wire_bytes=*/
-      [this](const LocalItems& m) {
-        return config_.wire_model == WireModel::kFlatFields
-                   ? m.size() * config_.wire.item_value_pair()
-                   : net::encode_pairs(m).size();
-      },
-      config_.obs);
+      std::move(pair_bytes), config_.obs);
   std::uint64_t up_rounds = 0;
   {
     obs::ScopedPhase phase(config_.obs, "aggregation");

@@ -15,12 +15,14 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "agg/hierarchy.h"
 #include "common/hashing.h"
 #include "common/item_source.h"
 #include "core/config.h"
+#include "net/codec.h"
 #include "net/engine.h"
 
 namespace nf::core {
@@ -106,6 +108,12 @@ class NetFilter {
   [[nodiscard]] std::vector<Value> local_group_aggregates(
       const LocalItems& items) const;
 
+  /// Zero-allocation variant: accumulates the aggregates into `out`
+  /// (zero-filled first), which must have size f*g. This is what the flat
+  /// filtering convergecast folds straight into its SoA row.
+  void local_group_aggregates_into(const LocalItems& items,
+                                   std::span<Value> out) const;
+
   /// The candidates visible in one local item set given the heavy bitmap —
   /// what each peer materializes in phase 2 (Algorithm 2, line 2).
   [[nodiscard]] LocalItems materialize_candidates(
@@ -136,6 +144,15 @@ class NetFilter {
   NetFilterConfig config_;
   FilterBank bank_;
 };
+
+/// Wire form of a heavy-group bitmap: the set bits flattened to sorted ids
+/// (filter-major, i*g + group) and delta-coded (net::encode_sorted_ids).
+/// This is what the flat dissemination multicast ships; the flat-field cost
+/// model still charges total() * group_id_bytes per message.
+[[nodiscard]] net::Bytes encode_heavy_groups(const HeavyGroupSet& heavy);
+[[nodiscard]] HeavyGroupSet decode_heavy_groups(
+    std::span<const std::uint8_t> in, std::uint32_t num_filters,
+    std::uint32_t num_groups);
 
 /// Records one Formula-1 conformance run into config.obs (no-op when null):
 /// predicted per-peer phase costs from the analytic model vs the costs in

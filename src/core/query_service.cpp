@@ -75,8 +75,10 @@ class RequestsUp final : public net::Protocol {
       return;
     }
     msg.route.push_back(self);
+    // Control-plane hop: one tiny routed message per query, off the
+    // zero-alloc hot path.
     ctx.send(hierarchy_.upstream(self), net::TrafficCategory::kControl,
-             request_bytes_, std::any(std::move(msg)));
+             request_bytes_, std::any(std::move(msg)));  // nf-lint: nf-flat-payload-ok
   }
 
   const agg::Hierarchy& hierarchy_;
@@ -150,7 +152,7 @@ class RepliesDown final : public net::Protocol {
     const std::uint64_t bytes =
         pending.response.frequent.size() * pair_bytes_;
     ctx.send(next, net::TrafficCategory::kControl, bytes,
-             std::any(std::move(pending)));
+             std::any(std::move(pending)));  // nf-lint: nf-flat-payload-ok
   }
 
   const agg::Hierarchy& hierarchy_;
@@ -190,7 +192,8 @@ struct QueryReplyMsg {
 /// Session entry phase: the requester originates when the phase opens
 /// (kAllPeers, round 0) and each hop forwards upstream, recording the
 /// route. done() once the root has it.
-class RequestPhase final : public net::TypedPhase<QueryRequestMsg> {
+class RequestPhase final  // control plane, not hot path
+    : public net::TypedPhase<QueryRequestMsg> {  // nf-lint: nf-flat-payload-ok
  public:
   using ArrivedFn =
       std::function<void(net::PhaseContext&, QueryRequestMsg&&)>;
@@ -239,7 +242,8 @@ class RequestPhase final : public net::TypedPhase<QueryRequestMsg> {
 
 /// Session exit phase: the root dispatches the finished answer along the
 /// recorded route; done() when it lands at the requester.
-class ReplyPhase final : public net::TypedPhase<QueryReplyMsg> {
+class ReplyPhase final  // control plane, not hot path
+    : public net::TypedPhase<QueryReplyMsg> {  // nf-lint: nf-flat-payload-ok
  public:
   using DeliveredFn =
       std::function<void(net::PhaseContext&, QueryReplyMsg&&)>;

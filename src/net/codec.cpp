@@ -124,6 +124,45 @@ Bytes encode_aggregates_fixed32(std::span<const std::uint64_t> values) {
   return out;
 }
 
+void encode_sorted_ids_to(PayloadWriter& w,
+                          std::span<const std::uint64_t> ids) {
+  w.put_varint(ids.size());
+  std::uint64_t prev = 0;
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    require(i == 0 || ids[i] >= prev, "ids must be sorted ascending");
+    w.put_varint(ids[i] - prev);
+    prev = ids[i];
+  }
+}
+
+void encode_pairs_to(PayloadWriter& w,
+                     const ValueMap<ItemId, std::uint64_t>& map) {
+  w.put_varint(map.size());
+  std::uint64_t prev = 0;
+  for (const auto& [id, value] : map) {
+    w.put_varint(id.value() - prev);
+    w.put_varint(value);
+    prev = id.value();
+  }
+}
+
+void encode_aggregates_to(PayloadWriter& w,
+                          std::span<const std::uint64_t> values) {
+  w.put_varint(values.size());
+  for (std::uint64_t v : values) w.put_varint(v);
+}
+
+void add_aggregates_from(std::span<const std::uint8_t> in,
+                         std::span<std::uint64_t> acc) {
+  std::size_t offset = 0;
+  const std::uint64_t count = get_varint(in, offset);
+  ensure(count == acc.size(), "aggregate vector width mismatch");
+  for (std::uint64_t i = 0; i < count; ++i) {
+    acc[i] += get_varint(in, offset);
+  }
+  ensure(offset == in.size(), "trailing bytes after aggregate vector");
+}
+
 std::vector<std::uint64_t> decode_aggregates_fixed32(
     std::span<const std::uint8_t> in) {
   std::size_t offset = 0;

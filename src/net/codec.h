@@ -24,6 +24,7 @@
 #include "common/error.h"
 #include "common/ids.h"
 #include "common/value_map.h"
+#include "net/payload.h"
 
 namespace nf::net {
 
@@ -62,5 +63,28 @@ void put_varint(Bytes& out, std::uint64_t value);
     std::span<const std::uint64_t> values);
 [[nodiscard]] std::vector<std::uint64_t> decode_aggregates_fixed32(
     std::span<const std::uint8_t> in);
+
+// --- Slab-writer variants (net/payload.h) ---------------------------------
+//
+// Byte-for-byte identical to the Bytes-returning encoders above, but append
+// straight into a slab arena through a PayloadWriter: zero intermediate
+// allocation on the hot path. tests/codec_test.cpp pins the equivalence.
+
+/// Sorted id list -> count + delta-coded varints, into `w`.
+void encode_sorted_ids_to(PayloadWriter& w, std::span<const std::uint64_t> ids);
+
+/// <item, value> map -> count + delta ids + interleaved values, into `w`.
+void encode_pairs_to(PayloadWriter& w,
+                     const ValueMap<ItemId, std::uint64_t>& map);
+
+/// Dense aggregate vector -> count + varint per slot, into `w`.
+void encode_aggregates_to(PayloadWriter& w,
+                          std::span<const std::uint64_t> values);
+
+/// Decodes an aggregate vector and adds it slot-wise into `acc` without
+/// allocating. Throws ProtocolError if the encoded count differs from
+/// `acc.size()` or the input is truncated/overlong.
+void add_aggregates_from(std::span<const std::uint8_t> in,
+                         std::span<std::uint64_t> acc);
 
 }  // namespace nf::net

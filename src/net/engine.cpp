@@ -4,6 +4,7 @@
 #include <string>
 #include <utility>
 
+#include "common/alloc_hook.h"
 #include "common/error.h"
 #include "common/hashing.h"
 #include "obs/clock.h"
@@ -29,8 +30,18 @@ bool Context::is_alive(PeerId p) const {
   return engine_.overlay().is_alive(p);
 }
 
+PayloadWriter Context::flat_payload() {
+  ensure(slab_ != nullptr, "no slab bound to this context");
+  return PayloadWriter(*slab_, slab_id_);
+}
+
+std::span<const std::uint8_t> Context::payload_bytes(
+    const Envelope& env) const {
+  return engine_.resolve(env.flat);
+}
+
 void Context::push_send(PeerId to, TrafficCategory category,
-                        std::uint64_t bytes, std::any payload,
+                        std::uint64_t bytes, std::any payload, PayloadRef flat,
                         SessionId session, PhaseId phase,
                         std::span<const obs::LineageId> parents) {
   KeyedSend ks{major_,
@@ -38,7 +49,7 @@ void Context::push_send(PeerId to, TrafficCategory category,
                /*is_ack=*/0,
                protocol_index_,
                /*ack_msg_id=*/0,
-               Envelope{self_, to, category, bytes, std::move(payload),
+               Envelope{self_, to, category, bytes, std::move(payload), flat,
                         session, phase}};
   // First nonzero parent becomes the primary; the rest go to the sampled
   // extra-edge store. Zero ids (round-originated causes) are skipped so
@@ -56,28 +67,49 @@ void Context::push_send(PeerId to, TrafficCategory category,
 
 void Context::send(PeerId to, TrafficCategory category, std::uint64_t bytes,
                    std::any payload) {
-  push_send(to, category, bytes, std::move(payload), kNoSession, 0,
-            std::span<const obs::LineageId>(&cause_, 1));
+  push_send(to, category, bytes, std::move(payload), PayloadRef{}, kNoSession,
+            0, std::span<const obs::LineageId>(&cause_, 1));
 }
 
 void Context::send(PeerId to, TrafficCategory category, std::uint64_t bytes,
                    std::any payload,
                    std::span<const obs::LineageId> parents) {
-  push_send(to, category, bytes, std::move(payload), kNoSession, 0, parents);
+  push_send(to, category, bytes, std::move(payload), PayloadRef{}, kNoSession,
+            0, parents);
 }
 
 void Context::send_tagged(PeerId to, TrafficCategory category,
                           std::uint64_t bytes, std::any payload,
                           SessionId session, PhaseId phase) {
-  push_send(to, category, bytes, std::move(payload), session, phase,
-            std::span<const obs::LineageId>(&cause_, 1));
+  push_send(to, category, bytes, std::move(payload), PayloadRef{}, session,
+            phase, std::span<const obs::LineageId>(&cause_, 1));
 }
 
 void Context::send_tagged(PeerId to, TrafficCategory category,
                           std::uint64_t bytes, std::any payload,
                           SessionId session, PhaseId phase,
                           std::span<const obs::LineageId> parents) {
-  push_send(to, category, bytes, std::move(payload), session, phase, parents);
+  push_send(to, category, bytes, std::move(payload), PayloadRef{}, session,
+            phase, parents);
+}
+
+void Context::send_flat(PeerId to, TrafficCategory category,
+                        std::uint64_t bytes, PayloadRef flat) {
+  push_send(to, category, bytes, {}, flat, kNoSession, 0,
+            std::span<const obs::LineageId>(&cause_, 1));
+}
+
+void Context::send_flat(PeerId to, TrafficCategory category,
+                        std::uint64_t bytes, PayloadRef flat,
+                        std::span<const obs::LineageId> parents) {
+  push_send(to, category, bytes, {}, flat, kNoSession, 0, parents);
+}
+
+void Context::send_flat_tagged(PeerId to, TrafficCategory category,
+                               std::uint64_t bytes, PayloadRef flat,
+                               SessionId session, PhaseId phase,
+                               std::span<const obs::LineageId> parents) {
+  push_send(to, category, bytes, {}, flat, session, phase, parents);
 }
 
 Engine::Engine(Overlay& overlay, TrafficMeter& meter)
@@ -85,6 +117,7 @@ Engine::Engine(Overlay& overlay, TrafficMeter& meter)
   require(meter.num_peers() == overlay.num_peers(),
           "meter and overlay disagree on peer count");
   transit_ring_.resize(2);  // delay-1 traffic: drain bucket r, fill r+1
+  ring_slabs_.resize(2);
 }
 
 void Engine::set_threads(std::uint32_t threads) {
@@ -105,6 +138,7 @@ void Engine::set_latency_model(const LatencyModel& model) {
   latency_ = model;
   latency_on_ = model.max_delay > 1;
   transit_ring_.assign(std::max<std::size_t>(2, model.max_delay + 1), {});
+  ring_slabs_.assign(transit_ring_.size(), {});
 }
 
 void Engine::set_fault_model(const LinkFaultModel& model) {
@@ -128,8 +162,10 @@ void Engine::set_obs(obs::Context* obs) {
     obs_sent_bytes_ = nullptr;
     obs_msg_bytes_ = nullptr;
     obs_in_flight_ = nullptr;
+    obs_steady_allocs_ = nullptr;
     return;
   }
+  obs_steady_allocs_ = &obs->registry.counter("engine/steady_allocs");
   obs_sent_ = &obs->registry.counter("engine/sent");
   obs_delivered_ = &obs->registry.counter("engine/delivered");
   obs_rounds_ = &obs->registry.counter("engine/rounds");
@@ -152,6 +188,21 @@ std::vector<Engine::Outgoing>& Engine::bucket_at(std::uint64_t round) {
   return transit_ring_[static_cast<std::size_t>(round % transit_ring_.size())];
 }
 
+SlabArena& Engine::ring_slab_at(std::uint64_t round) {
+  return ring_slabs_[static_cast<std::size_t>(round % ring_slabs_.size())];
+}
+
+std::span<const std::uint8_t> Engine::resolve(const PayloadRef& ref) const {
+  if (!ref.valid()) return {};
+  if (ref.slab >= kRingSlabBase) {
+    const std::size_t slot = ref.slab - kRingSlabBase;
+    ensure(slot < ring_slabs_.size(), "bad ring slab id");
+    return ring_slabs_[slot].view(ref.offset, ref.length);
+  }
+  ensure(ref.slab < shard_slabs_.size(), "bad shard slab id");
+  return shard_slabs_[ref.slab].view(ref.offset, ref.length);
+}
+
 void Engine::ack_received(PeerId original_sender, std::uint64_t msg_id) {
   auto& list = pending_by_sender_[original_sender.value()];
   for (std::size_t i = 0; i < list.size(); ++i) {
@@ -165,13 +216,15 @@ void Engine::ack_received(PeerId original_sender, std::uint64_t msg_id) {
 }
 
 void Engine::predispatch(std::span<Protocol* const> protocols,
-                         std::vector<Outgoing>&& inbox,
-                         const ShardPlan& plan) {
+                         std::vector<Outgoing>& inbox, const ShardPlan& plan) {
   engine_sends_.clear();
   for (auto& sc : shards_) {
     sc.inq.clear();
     sc.outbox.clear();
   }
+  // Shard outbox slabs from the previous round were drained into ring-slot
+  // slabs at the merge barrier; reclaim them (capacity kept).
+  for (auto& slab : shard_slabs_) slab.reset();
   for (std::size_t i = 0; i < inbox.size(); ++i) {
     Outgoing& out = inbox[i];
     // Messages to peers that died in transit are dropped (the network does
@@ -232,6 +285,7 @@ void Engine::run_shard(std::span<Protocol* const> protocols,
   for (Delivery& d : sc.inq) {
     if (obs_ != nullptr) obs_delivered_->add(1);
     Context ctx(*this, d.out.envelope.to, d.out.protocol_index, &sc.outbox,
+                &shard_slabs_[shard], shard,
                 /*major=*/d.index, /*first_minor=*/1,
                 /*cause=*/d.out.envelope.lineage);
     protocols[d.out.protocol_index]->on_message(ctx,
@@ -242,7 +296,8 @@ void Engine::run_shard(std::span<Protocol* const> protocols,
     for (std::uint32_t peer = plan.begin(shard); peer < plan.end(shard);
          ++peer) {
       if (!overlay_.is_alive(PeerId(peer))) continue;
-      Context ctx(*this, PeerId(peer), pi, &sc.outbox,
+      Context ctx(*this, PeerId(peer), pi, &sc.outbox, &shard_slabs_[shard],
+                  shard,
                   /*major=*/tick_base + pi * num_peers + peer,
                   /*first_minor=*/0, /*cause=*/obs::kNoLineage);
       protocols[pi]->on_round(ctx);
@@ -251,7 +306,7 @@ void Engine::run_shard(std::span<Protocol* const> protocols,
   if (obs_ != nullptr) shard_busy_us_[shard] += obs::elapsed_us(t0);
 }
 
-void Engine::admit(Outgoing&& out) {
+void Engine::admit(Outgoing&& out, std::span<const std::uint8_t> flat_bytes) {
   // One loss draw per transmission from a counter-keyed hash stream; the
   // decision is made at admission (canonical order) and applied at
   // delivery, so it is independent of the shard count.
@@ -259,11 +314,40 @@ void Engine::admit(Outgoing&& out) {
     out.lost = hash_uniform(next_transmission_++, fault_.seed) <
                fault_.loss_probability;
   }
-  if (send_probe_) send_probe_(out.envelope);
   std::uint32_t d = 1;
   if (latency_on_) d = latency_.delay(out.envelope.from, out.envelope.to);
+  // Park the payload span in the delivery slot's slab and rewrite the ref.
+  // Admissions happen in canonical order on the engine thread, so slot-slab
+  // offsets are identical for any shard count.
+  if (out.envelope.flat.valid()) {
+    const std::uint64_t slot = (round_ + d) % ring_slabs_.size();
+    out.envelope.flat =
+        copy_to_slab(ring_slabs_[static_cast<std::size_t>(slot)],
+                     kRingSlabBase + static_cast<std::uint32_t>(slot),
+                     flat_bytes);
+  }
+  if (send_probe_) send_probe_(out.envelope);
   bucket_at(round_ + d).push_back(std::move(out));
   ++in_transit_;
+}
+
+void Engine::begin_steady_state() {
+  steady_ = true;
+  // Snap every ring slot to the ring-wide high-water mark. Warm-up runs
+  // only grow the slots their round parities happened to use; without this,
+  // the first steady run whose heavy round lands on a colder slot would
+  // regrow it and show up as a spurious steady-state allocation.
+  // inbox_scratch_ joins the pool: delivery swaps its storage with the
+  // drained bucket's, so capacities rotate through buckets AND scratch.
+  std::size_t slab_cap = 0;
+  std::size_t bucket_cap = inbox_scratch_.capacity();
+  for (const auto& s : ring_slabs_) slab_cap = std::max(slab_cap, s.capacity());
+  for (const auto& b : transit_ring_) {
+    bucket_cap = std::max(bucket_cap, b.capacity());
+  }
+  for (auto& s : ring_slabs_) s.reserve(slab_cap);
+  for (auto& b : transit_ring_) b.reserve(bucket_cap);
+  inbox_scratch_.reserve(bucket_cap);
 }
 
 void Engine::merge_and_finalize() {
@@ -325,17 +409,23 @@ void Engine::merge_and_finalize() {
     }
     Outgoing out{ks.protocol_index, std::move(ks.envelope),
                  /*msg_id=*/0, ks.is_ack != 0, /*lost=*/false};
+    // The producing shard's slab holds the payload until this barrier;
+    // admit() copies the span into the delivery slot's slab.
+    const std::span<const std::uint8_t> flat_bytes = resolve(out.envelope.flat);
     if (out.is_ack) {
       out.msg_id = ks.ack_msg_id;
     } else if (lossy_) {
       // Register for retransmission until acknowledged. The pending copy
-      // stays pristine (lost is drawn per transmission in admit()).
+      // stays pristine (lost is drawn per transmission in admit()) and owns
+      // its payload bytes — slab refs don't survive the round.
       out.msg_id = next_msg_id_++;
-      pending_by_sender_[out.envelope.from.value()].push_back(
+      auto& plist = pending_by_sender_[out.envelope.from.value()];
+      plist.push_back(
           Pending{out, round_ + fault_.retransmit_after, /*attempts=*/1});
+      plist.back().flat_bytes.assign(flat_bytes.begin(), flat_bytes.end());
       ++pending_count_;
     }
-    admit(std::move(out));
+    admit(std::move(out), flat_bytes);
   }
   flush();
 }
@@ -362,7 +452,9 @@ void Engine::scan_retransmissions() {
       p.next_retry = round_ + fault_.retransmit_after;
       meter_.record(p.message.envelope.from, p.message.envelope.category,
                     p.message.envelope.bytes);
-      admit(Outgoing{p.message});  // copy; the pending entry keeps the original
+      // Copy; the pending entry keeps the original. The payload travels as
+      // the pending entry's owned span, never as a reconstructed object.
+      admit(Outgoing{p.message}, std::span<const std::uint8_t>(p.flat_bytes));
       ++i;
     }
   }
@@ -381,6 +473,15 @@ std::uint64_t Engine::run(std::span<Protocol* const> protocols,
   const std::uint64_t start_round = round_;
   const ShardPlan plan(overlay_.num_peers(), threads_);
   shards_.resize(plan.num_shards());
+  shard_slabs_.resize(plan.num_shards());
+  // Built once per run (not per round): a per-round std::function conversion
+  // can heap-allocate, which the steady-state gate would count.
+  std::function<void(std::uint32_t)> shard_task;
+  if (pool_ != nullptr && plan.num_shards() > 1) {
+    shard_task = [this, protocols, &plan](std::uint32_t k) {
+      run_shard(protocols, k, plan, tick_base_);
+    };
+  }
   if (obs_ != nullptr) {
     // Cumulative busy/idle wall-time gauges, one pair per shard. Only the
     // busy series is sampled per round (idle follows from the round wall
@@ -409,6 +510,7 @@ std::uint64_t Engine::run(std::span<Protocol* const> protocols,
   }
   for (Protocol* p : protocols) p->on_run_start(overlay_);
   for (std::uint64_t executed = 0; executed < max_rounds; ++executed) {
+    const std::uint64_t allocs_at_round_start = alloc_hook::count();
     // 0. Stamp the round boundary: advance the tracer's logical clock so
     // every event recorded during this round carries it.
     if (obs_ != nullptr) {
@@ -435,11 +537,14 @@ std::uint64_t Engine::run(std::span<Protocol* const> protocols,
     // 3. Predispatch this round's arrivals: drops, loss, ACK accounting and
     // duplicate suppression happen here on the engine thread; survivors are
     // routed to the destination peer's shard tagged with their inbox index.
-    std::vector<Outgoing> inbox = std::move(bucket_at(round_));
-    bucket_at(round_).clear();
-    in_transit_ -= inbox.size();
-    const auto tick_base = static_cast<std::uint64_t>(inbox.size());
-    predispatch(protocols, std::move(inbox), plan);
+    // Swap (not move) the bucket with a reusable scratch vector so neither
+    // side loses its capacity — a move would steal it and force the bucket
+    // to regrow every ring lap.
+    inbox_scratch_.clear();
+    std::swap(inbox_scratch_, bucket_at(round_));
+    in_transit_ -= inbox_scratch_.size();
+    tick_base_ = static_cast<std::uint64_t>(inbox_scratch_.size());
+    predispatch(protocols, inbox_scratch_, plan);
 
     // 4. Parallel phase: deliver + tick each shard's peers.
     obs::WallTime par_start;
@@ -447,13 +552,11 @@ std::uint64_t Engine::run(std::span<Protocol* const> protocols,
       std::fill(shard_busy_us_.begin(), shard_busy_us_.end(), 0);
       par_start = obs::wall_now();
     }
-    if (pool_ != nullptr && plan.num_shards() > 1) {
-      pool_->dispatch(plan.num_shards(), [&](std::uint32_t k) {
-        run_shard(protocols, k, plan, tick_base);
-      });
+    if (shard_task) {
+      pool_->dispatch(plan.num_shards(), shard_task);
     } else {
       for (std::uint32_t k = 0; k < plan.num_shards(); ++k) {
-        run_shard(protocols, k, plan, tick_base);
+        run_shard(protocols, k, plan, tick_base_);
       }
     }
     if (obs_ != nullptr) {
@@ -477,12 +580,28 @@ std::uint64_t Engine::run(std::span<Protocol* const> protocols,
     // 6. Reliability layer: resend what was not acknowledged in time.
     scan_retransmissions();
 
+    // 6a. This round's delivery slot is fully consumed (handlers ran, the
+    // merge only filled future slots), so its payload slab can be reclaimed.
+    // High-water-mark reset: capacity survives for the slot's next lap.
+    ring_slab_at(round_).reset();
+
     // 6b. Close the round's series row. The stamp is the tracer's logical
     // clock (context-global), so series from the several engines a
     // netFilter run creates stay strictly increasing.
     if (obs_ != nullptr) {
       obs_in_flight_->set(static_cast<double>(in_transit_));
       obs_->series.sample(obs_->tracer.clock());
+    }
+
+    // 6c. Steady-state allocation accounting (begin_steady_state()). Zero
+    // for a warmed loss-free flat-payload run; any regression shows up in
+    // steady_allocs() and the obs counter.
+    if (steady_) {
+      const std::uint64_t delta = alloc_hook::count() - allocs_at_round_start;
+      steady_allocs_ += delta;
+      if (obs_steady_allocs_ != nullptr && delta != 0) {
+        obs_steady_allocs_->add(delta);
+      }
     }
 
     ++round_;

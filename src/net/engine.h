@@ -104,6 +104,30 @@ class Context {
   /// made from this context inherit it as their causal parent.
   [[nodiscard]] obs::LineageId cause() const { return cause_; }
 
+  /// A writer into the executing shard's outbox slab. Encode the payload,
+  /// finish() for the PayloadRef, and pass it to send_flat(). Refs are only
+  /// valid to send from this same callback (the slab resets next round).
+  [[nodiscard]] PayloadWriter flat_payload();
+
+  /// Resolves a delivered envelope's flat payload to bytes. Empty span when
+  /// the envelope carries none.
+  [[nodiscard]] std::span<const std::uint8_t> payload_bytes(
+      const Envelope& env) const;
+
+  /// Queues a message whose payload is a flat slab ref (net/payload.h). The
+  /// engine copies the referenced span into the destination transit-ring
+  /// slot at the barrier — no owning object is ever constructed.
+  void send_flat(PeerId to, TrafficCategory category, std::uint64_t bytes,
+                 PayloadRef flat);
+  void send_flat(PeerId to, TrafficCategory category, std::uint64_t bytes,
+                 PayloadRef flat, std::span<const obs::LineageId> parents);
+
+  /// Flat send tagged with a (session, phase) pair (see send_tagged()).
+  void send_flat_tagged(PeerId to, TrafficCategory category,
+                        std::uint64_t bytes, PayloadRef flat,
+                        SessionId session, PhaseId phase,
+                        std::span<const obs::LineageId> parents);
+
   /// Queues a message for delivery at the next round (later under the
   /// latency model); its bytes are metered at the round barrier.
   void send(PeerId to, TrafficCategory category, std::uint64_t bytes,
@@ -151,24 +175,29 @@ class Context {
   };
 
   Context(Engine& engine, PeerId self, std::size_t protocol_index,
-          std::vector<KeyedSend>* outbox, std::uint64_t major,
-          std::uint32_t first_minor, obs::LineageId cause)
+          std::vector<KeyedSend>* outbox, SlabArena* slab,
+          std::uint32_t slab_id, std::uint64_t major, std::uint32_t first_minor,
+          obs::LineageId cause)
       : engine_(engine),
         self_(self),
         protocol_index_(protocol_index),
         outbox_(outbox),
+        slab_(slab),
+        slab_id_(slab_id),
         major_(major),
         next_minor_(first_minor),
         cause_(cause) {}
 
   void push_send(PeerId to, TrafficCategory category, std::uint64_t bytes,
-                 std::any payload, SessionId session, PhaseId phase,
-                 std::span<const obs::LineageId> parents);
+                 std::any payload, PayloadRef flat, SessionId session,
+                 PhaseId phase, std::span<const obs::LineageId> parents);
 
   Engine& engine_;
   PeerId self_;
   std::size_t protocol_index_;
   std::vector<KeyedSend>* outbox_;
+  SlabArena* slab_;
+  std::uint32_t slab_id_;
   std::uint64_t major_;
   std::uint32_t next_minor_;
   obs::LineageId cause_ = obs::kNoLineage;
@@ -266,6 +295,23 @@ class Engine {
   /// empty function to detach.
   void set_send_probe(std::function<void(const Envelope&)> probe);
 
+  /// Resolves a flat payload ref against the engine's slab table. Valid for
+  /// shard-slab refs during the round that produced them and for ring-slab
+  /// refs until their delivery round completes. Empty span for kNoSlab.
+  [[nodiscard]] std::span<const std::uint8_t> resolve(
+      const PayloadRef& ref) const;
+
+  /// Marks warm-up as finished: from the next round on, heap allocations
+  /// made inside the round loop (observed via common/alloc_hook.h when the
+  /// nf_alloc_hook override is linked) accumulate into steady_allocs() and
+  /// the `engine/steady_allocs` obs counter. A loss-free flat-payload run
+  /// on a warmed engine performs none — tests/steady_alloc_test.cpp is the
+  /// gate. Also equalizes transit-ring capacities: a run's heaviest round
+  /// warms only the ring slot its parity happens to land on, and the next
+  /// run may land it on another.
+  void begin_steady_state();
+  [[nodiscard]] std::uint64_t steady_allocs() const { return steady_allocs_; }
+
   /// Diagnostics for the reliability layer (0 when the model is off).
   [[nodiscard]] std::uint64_t lost_transmissions() const { return lost_; }
   [[nodiscard]] std::uint64_t retransmissions() const {
@@ -294,6 +340,9 @@ class Engine {
     Outgoing message;  // pristine copy (lost flag clear)
     std::uint64_t next_retry;
     std::uint32_t attempts;
+    /// Owning copy of the flat payload span (slab refs don't outlive their
+    /// round); retransmissions copy it into a fresh ring-slot ref.
+    std::vector<std::uint8_t> flat_bytes;
   };
 
   /// A delivery routed to a shard: `index` is the message's position in
@@ -309,15 +358,18 @@ class Engine {
   };
 
   void predispatch(std::span<Protocol* const> protocols,
-                   std::vector<Outgoing>&& inbox, const ShardPlan& plan);
+                   std::vector<Outgoing>& inbox, const ShardPlan& plan);
   void run_shard(std::span<Protocol* const> protocols, std::uint32_t shard,
                  const ShardPlan& plan, std::uint64_t tick_base);
   void merge_and_finalize();
-  void admit(Outgoing&& out);
+  /// `flat_bytes` is the payload span to copy into the destination ring
+  /// slot (empty unless out.envelope.flat is valid).
+  void admit(Outgoing&& out, std::span<const std::uint8_t> flat_bytes);
   void scan_retransmissions();
   void ack_received(PeerId original_sender, std::uint64_t msg_id);
   [[nodiscard]] bool draw_loss();
   [[nodiscard]] std::vector<Outgoing>& bucket_at(std::uint64_t round);
+  [[nodiscard]] SlabArena& ring_slab_at(std::uint64_t round);
 
   Overlay& overlay_;
   TrafficMeter& meter_;
@@ -347,12 +399,29 @@ class Engine {
   std::vector<ShardScratch> shards_;
   std::vector<Context::KeyedSend> engine_sends_;  // ACKs, this round
   std::vector<Context::KeyedSend> merge_scratch_;
+  std::uint64_t tick_base_ = 0;  // this round's inbox size, for tick majors
+
+  // Flat-payload slabs (net/payload.h), all high-water-mark reset so the
+  // steady state never reallocates. Shard slabs hold payloads written
+  // during the parallel phase (id = shard index, reset each predispatch);
+  // ring-slot slabs hold in-transit payload spans copied at the merge
+  // barrier in canonical order — so slab offsets, like everything else, are
+  // bit-identical for any shard count (id = kRingSlabBase + slot, reset
+  // when the slot's delivery round completes).
+  std::vector<SlabArena> shard_slabs_;
+  std::vector<SlabArena> ring_slabs_;
 
   // Transmissions in transit, bucketed by delivery round modulo the ring
   // size (a dense replacement for a round-keyed hash map; the ring spans
   // the maximum link delay).
   std::vector<std::vector<Outgoing>> transit_ring_;
+  std::vector<Outgoing> inbox_scratch_;  // swapped with the drained bucket
   std::uint64_t in_transit_ = 0;
+
+  // Steady-state allocation accounting (begin_steady_state()).
+  bool steady_ = false;
+  std::uint64_t steady_allocs_ = 0;
+  obs::Counter* obs_steady_allocs_ = nullptr;
 
   LatencyModel latency_{};
   bool latency_on_ = false;

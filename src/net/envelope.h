@@ -1,10 +1,13 @@
 // Message envelope carried by the round engine.
 //
-// Payloads are protocol-defined (`std::any`); the envelope carries the
-// routing and accounting fields the engine needs. `bytes` is the *modelled*
-// wire size of the payload under the configured WireSizes — the simulator
-// charges exactly what the protocol specification says the message costs,
-// independent of the in-memory representation.
+// Payloads travel one of two ways. Hot-path protocols encode into a slab
+// arena and attach a flat `PayloadRef` (net/payload.h) — a non-owning
+// (slab, offset, length) view the engine copies as a span across slab
+// lifetimes; receivers resolve it to bytes via Context::payload_bytes().
+// Legacy protocols may still ship an owning `std::any` payload. `bytes` is
+// the *modelled* wire size of the payload under the configured WireSizes —
+// the simulator charges exactly what the protocol specification says the
+// message costs, independent of the in-memory representation.
 //
 // Session tags: traffic produced through the session runtime (net/session.h)
 // additionally carries the (session, phase) pair that routes it to the right
@@ -20,6 +23,7 @@
 
 #include "common/ids.h"
 #include "net/metrics.h"
+#include "net/payload.h"
 #include "obs/lineage.h"
 
 namespace nf::net {
@@ -38,6 +42,10 @@ struct Envelope {
   TrafficCategory category{TrafficCategory::kControl};
   std::uint64_t bytes{0};
   std::any payload;
+  /// Flat slab-backed payload (kNoSlab when the message has none). The
+  /// engine rewrites this ref at the merge barrier when it copies the span
+  /// into the destination transit-ring slot's slab.
+  PayloadRef flat;
   SessionId session{kNoSession};
   PhaseId phase{0};
   /// Happened-before node id, stamped by the engine at admission in

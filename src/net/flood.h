@@ -24,6 +24,7 @@
 #include "common/arena.h"
 #include "common/error.h"
 #include "common/ids.h"
+#include "net/codec.h"
 #include "net/session.h"
 
 namespace nf::net {
@@ -31,9 +32,11 @@ namespace nf::net {
 /// Shard-safe: the seen flags are a byte arena written only by the owning
 /// peer's callbacks; the reach/copy tallies are commutative atomics. Wire
 /// messages carry (remaining ttl, payload) and are typed — a payload type
-/// error fails at compile time.
+/// error fails at compile time. Legacy object-payload path; prefer
+/// FlatFloodPhase on hot paths.
 template <typename T>
-class FloodPhase final : public TypedPhase<std::pair<std::uint32_t, T>> {
+class FloodPhase final  // nf-lint: nf-flat-payload-ok
+    : public TypedPhase<std::pair<std::uint32_t, T>> {
  public:
   using ReceiveFn = std::function<void(PhaseContext&, const T&)>;
 
@@ -162,6 +165,147 @@ class Flood final : public Protocol {
 
  private:
   FloodPhase<T> phase_;
+  SessionMux mux_;
+};
+
+/// Flat slab-backed flood: the wire format is varint(remaining ttl)
+/// followed by the opaque payload bytes. The originator installs the
+/// encoded payload once; every forward is a varint prepend plus a span copy
+/// into the shard slab — no payload object is ever reconstructed in flight.
+class FlatFloodPhase final : public FlatPhase {
+ public:
+  /// Receives the payload body (ttl stripped); valid for the callback only.
+  using ReceiveFn =
+      std::function<void(PhaseContext&, std::span<const std::uint8_t>)>;
+
+  FlatFloodPhase(PeerId originator, Bytes payload, std::uint64_t wire_bytes,
+                 TrafficCategory category, std::uint32_t ttl,
+                 ReceiveFn on_receive)
+      : originator_(originator),
+        payload_(std::move(payload)),
+        wire_bytes_(wire_bytes),
+        category_(category),
+        ttl_(ttl),
+        on_receive_(std::move(on_receive)) {
+    require(ttl >= 1, "flood needs ttl >= 1");
+  }
+
+  void on_run_start(const Overlay& overlay) override {
+    seen_.assign(overlay.num_peers(), false);
+    num_reached_.store(0, std::memory_order_relaxed);
+    num_copies_.store(0, std::memory_order_relaxed);
+  }
+
+  void on_start(PhaseContext& ctx) override {
+    const PeerId self = ctx.self();
+    if (self != originator_ || seen_[self.value()] != 0) return;
+    seen_[self.value()] = true;
+    num_reached_.fetch_add(1, std::memory_order_relaxed);
+    on_receive_(ctx, payload_);
+    forward(ctx, ttl_, payload_, self);
+  }
+
+  [[nodiscard]] bool done() const override {
+    // Flood has no natural completion signal a peer could observe; once the
+    // originator has fired, the engine drains in-flight copies and stops.
+    return num_reached() > 0;
+  }
+
+  [[nodiscard]] std::uint32_t num_reached() const {
+    return num_reached_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t num_copies() const {
+    return num_copies_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool reached(PeerId p) const {
+    return p.value() < seen_.size() && seen_[p.value()] != 0;
+  }
+
+ protected:
+  void on_flat(PhaseContext& ctx, std::span<const std::uint8_t> bytes,
+               PeerId from) override {
+    const PeerId self = ctx.self();
+    num_copies_.fetch_add(1, std::memory_order_relaxed);
+    if (seen_[self.value()] != 0) return;  // duplicate
+    seen_[self.value()] = true;
+    num_reached_.fetch_add(1, std::memory_order_relaxed);
+    std::size_t offset = 0;
+    const std::uint64_t ttl = get_varint(bytes, offset);
+    const std::span<const std::uint8_t> body = bytes.subspan(offset);
+    on_receive_(ctx, body);
+    if (ttl > 0) forward(ctx, static_cast<std::uint32_t>(ttl), body, from);
+  }
+
+ private:
+  void forward(PhaseContext& ctx, std::uint32_t ttl,
+               std::span<const std::uint8_t> body, PeerId except) {
+    // One slab write serves every neighbor: the engine re-copies the span
+    // per destination slot at the barrier.
+    PayloadWriter w = ctx.flat_payload();
+    w.put_varint(ttl - 1);
+    w.put_bytes(body);
+    const PayloadRef ref = w.finish();
+    const obs::LineageId parent = ctx.cause();
+    for (PeerId q : ctx.neighbors()) {
+      if (q == except) continue;
+      ctx.send_flat(q, category_, wire_bytes_, ref,
+                    std::span<const obs::LineageId>(&parent, 1));
+    }
+  }
+
+  PeerId originator_;
+  Bytes payload_;
+  std::uint64_t wire_bytes_;
+  TrafficCategory category_;
+  std::uint32_t ttl_;
+  ReceiveFn on_receive_;
+  PeerArena<bool> seen_;
+  std::atomic<std::uint32_t> num_reached_{0};
+  std::atomic<std::uint64_t> num_copies_{0};
+};
+
+/// Standalone run-to-completion flat flood.
+class FlatFlood final : public Protocol {
+ public:
+  using ReceiveFn =
+      std::function<void(PeerId, std::span<const std::uint8_t>)>;
+
+  FlatFlood(PeerId originator, Bytes payload, std::uint64_t wire_bytes,
+            TrafficCategory category, std::uint32_t ttl, ReceiveFn on_receive)
+      : phase_(originator, std::move(payload), wire_bytes, category, ttl,
+               [fn = std::move(on_receive)](
+                   PhaseContext& ctx, std::span<const std::uint8_t> body) {
+                 fn(ctx.self(), body);
+               }) {
+    const SessionId sid = mux_.add_session();
+    PhaseOptions opts;
+    opts.start = PhaseStart::kAllPeers;
+    mux_.add_phase(sid, phase_, opts);
+  }
+
+  void on_run_start(const Overlay& overlay) override {
+    mux_.on_run_start(overlay);
+  }
+  void on_round_begin(std::uint64_t round) override {
+    mux_.on_round_begin(round);
+  }
+  void on_round(Context& ctx) override { mux_.on_round(ctx); }
+  void on_message(Context& ctx, Envelope&& env) override {
+    mux_.on_message(ctx, std::move(env));
+  }
+  void on_run_end() override { mux_.on_run_end(); }
+  [[nodiscard]] bool active() const override { return mux_.active(); }
+
+  [[nodiscard]] std::uint32_t num_reached() const {
+    return phase_.num_reached();
+  }
+  [[nodiscard]] std::uint64_t num_copies() const {
+    return phase_.num_copies();
+  }
+  [[nodiscard]] bool reached(PeerId p) const { return phase_.reached(p); }
+
+ private:
+  FlatFloodPhase phase_;
   SessionMux mux_;
 };
 

@@ -21,6 +21,20 @@ void PhaseContext::send_raw(PeerId to, TrafficCategory category,
                    parents);
 }
 
+void PhaseContext::send_flat(PeerId to, TrafficCategory category,
+                             std::uint64_t bytes, PayloadRef flat) {
+  mux_.charge(session_, category, bytes);
+  ctx_.send_flat_tagged(to, category, bytes, flat, session_, phase_,
+                        std::span<const obs::LineageId>(&cause_, 1));
+}
+
+void PhaseContext::send_flat(PeerId to, TrafficCategory category,
+                             std::uint64_t bytes, PayloadRef flat,
+                             std::span<const obs::LineageId> parents) {
+  mux_.charge(session_, category, bytes);
+  ctx_.send_flat_tagged(to, category, bytes, flat, session_, phase_, parents);
+}
+
 void PhaseContext::open_phase(PhaseId phase) {
   mux_.open_at(ctx_, session_, phase, cause_);
 }
@@ -158,10 +172,16 @@ void SessionMux::open_at(Context& ctx, SessionId s, PhaseId p,
     // buffered them in canonical delivery order). Each replayed envelope
     // keeps its own lineage as the cause, not the delivery that opened the
     // phase — sends it triggers point at the true causal parent.
-    std::vector<Envelope>& queue = ps.buffered[self];
-    for (Envelope& env : queue) {
-      PhaseContext rctx(*this, ctx, s, p, env.lineage);
-      ps.phase->on_message(rctx, std::move(env));
+    std::vector<BufferedEnvelope>& queue = ps.buffered[self];
+    for (BufferedEnvelope& buf : queue) {
+      PhaseContext rctx(*this, ctx, s, p, buf.env.lineage);
+      // The slab slot the ref pointed into has been reclaimed; serve the
+      // payload from the copy taken at buffering time.
+      if (buf.env.flat.valid()) {
+        rctx.replay_payload_ = buf.flat_bytes;
+        rctx.replay_payload_active_ = true;
+      }
+      ps.phase->on_message(rctx, std::move(buf.env));
     }
     queue.clear();
     queue.shrink_to_fit();
@@ -193,7 +213,9 @@ void SessionMux::on_message(Context& ctx, Envelope&& env) {
   const PeerId self = ctx.self();
   if (!ps.opened[self]) {
     if (!ps.options.open_on_message) {
-      ps.buffered[self].push_back(std::move(env));
+      const std::span<const std::uint8_t> flat = ctx.payload_bytes(env);
+      ps.buffered[self].push_back(BufferedEnvelope{
+          std::move(env), {flat.begin(), flat.end()}});
       return;
     }
     open_at(ctx, s, p, env.lineage);

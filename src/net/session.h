@@ -128,6 +128,26 @@ class PhaseContext {
   void send_raw(PeerId to, TrafficCategory category, std::uint64_t bytes,
                 std::any payload, std::span<const obs::LineageId> parents);
 
+  /// A writer into the executing shard's outbox slab (Context::
+  /// flat_payload()); pair with send_flat() from the same callback.
+  [[nodiscard]] PayloadWriter flat_payload() { return ctx_.flat_payload(); }
+
+  /// Resolves a delivered envelope's flat payload. During buffered replay
+  /// the mux substitutes its owned copy of the bytes (the originating slab
+  /// slot has been reclaimed by then), so phases read payloads only through
+  /// this accessor, never through the raw ref.
+  [[nodiscard]] std::span<const std::uint8_t> payload_bytes(
+      const Envelope& env) const {
+    return replay_payload_active_ ? replay_payload_ : ctx_.payload_bytes(env);
+  }
+
+  /// Flat tagged send, charged to the session's traffic tally. The hot-path
+  /// counterpart of send_raw(): ships a slab span, never an owning object.
+  void send_flat(PeerId to, TrafficCategory category, std::uint64_t bytes,
+                 PayloadRef flat);
+  void send_flat(PeerId to, TrafficCategory category, std::uint64_t bytes,
+                 PayloadRef flat, std::span<const obs::LineageId> parents);
+
   /// Opens `phase` of this session at this peer (idempotent): fires its
   /// on_start now and replays any buffered messages. This is the per-peer
   /// phase-transition edge — each peer advances on its own trigger, no
@@ -146,6 +166,10 @@ class PhaseContext {
   SessionId session_;
   PhaseId phase_;
   obs::LineageId cause_;
+  // Set by the mux while replaying a buffered envelope: payload_bytes()
+  // returns this owned copy instead of resolving the (stale) slab ref.
+  std::span<const std::uint8_t> replay_payload_;
+  bool replay_payload_active_ = false;
 };
 
 /// One phase of a session. Implementations follow the same shard-safety
@@ -206,6 +230,22 @@ class TypedPhase : public Phase {
   }
 };
 
+/// Base for hot-path phases whose messages are flat slab spans
+/// (net/payload.h): the dispatch boundary resolves the envelope's ref (or
+/// the mux's buffered copy) to bytes once, and concrete phases decode with
+/// the codecs in net/codec.h. No owning payload object exists at any point.
+class FlatPhase : public Phase {
+ public:
+  void on_message(PhaseContext& ctx, Envelope&& env) final {
+    on_flat(ctx, ctx.payload_bytes(env), env.from);
+  }
+
+ protected:
+  /// Flat delivery hook; `bytes` is valid for this callback only.
+  virtual void on_flat(PhaseContext& ctx, std::span<const std::uint8_t> bytes,
+                       PeerId from) = 0;
+};
+
 /// Routes tagged envelopes to per-session Phase components and drives their
 /// lifecycle. Register sessions and phases before Engine::run; the mux does
 /// not own the phases (they usually hold callbacks into caller state).
@@ -254,13 +294,21 @@ class SessionMux final : public Protocol {
   void flush_obs_counters();
 
  private:
+  /// A buffered early arrival. The envelope's flat payload (if any) is
+  /// copied out of its slab at buffering time — the slot slab is reclaimed
+  /// when its delivery round ends, but the replay happens rounds later.
+  struct BufferedEnvelope {
+    Envelope env;
+    std::vector<std::uint8_t> flat_bytes;
+  };
+
   struct PhaseSlot {
     Phase* phase = nullptr;
     PhaseOptions options;
     const char* span_name = "";  // literal or tracer-interned; "" = no span
     PeerArena<bool> opened;
     // Sized only when !open_on_message; arrival-order replay queues.
-    PeerArena<std::vector<Envelope>> buffered;
+    PeerArena<std::vector<BufferedEnvelope>> buffered;
     std::atomic<bool> span_begun{false};
     bool span_ended = false;  // engine thread only (on_round_begin)
   };

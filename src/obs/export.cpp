@@ -90,7 +90,7 @@ Json to_json(const TimeSeries& series) {
   return out;
 }
 
-Json to_json(const net::TrafficMeter& meter) {
+Json to_json(const net::TrafficMeter& meter, bool include_peer_matrix) {
   auto out = Json::object();
   out["num_peers"] = meter.num_peers();
   out["num_messages"] = meter.num_messages();
@@ -111,6 +111,7 @@ Json to_json(const net::TrafficMeter& meter) {
   out["totals"] = std::move(totals);
   out["per_peer"] = std::move(per_peer);
 
+  if (!include_peer_matrix) return out;
   auto matrix = Json::array();
   for (std::uint32_t p = 0; p < meter.num_peers(); ++p) {
     const auto& row = meter.per_peer_breakdown(PeerId(p));

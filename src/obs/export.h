@@ -42,8 +42,11 @@ inline constexpr std::uint64_t kSchemaVersion = 5;
 /// {"num_peers","num_messages","total_bytes","max_peer_total",
 ///  "totals":{category:bytes}, "per_peer":{category:avg},
 ///  "categories":[...], "peer_category_bytes":[[...],...]} — the matrix
-/// columns follow "categories" order.
-[[nodiscard]] Json to_json(const net::TrafficMeter& meter);
+/// columns follow "categories" order. Pass include_peer_matrix=false to
+/// omit the N×category matrix (it dominates the document at large N; the
+/// summary sections are what nf-inspect and the baseline diffs read).
+[[nodiscard]] Json to_json(const net::TrafficMeter& meter,
+                           bool include_peer_matrix = true);
 
 /// {"capacity","total","dropped_nodes","runs","sessions","nodes" (columnar,
 ///  most recent run), "extra_edges","critical_paths"} — the happened-before

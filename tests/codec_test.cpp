@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "common/hashing.h"
 #include "common/rng.h"
 
@@ -134,6 +136,122 @@ TEST(AggregatesTest, Fixed32LengthMismatchThrows) {
   Bytes b = encode_aggregates_fixed32(values);
   b.pop_back();
   EXPECT_THROW((void)decode_aggregates_fixed32(b), ProtocolError);
+}
+
+// --- Slab-writer variants (net/payload.h) ----------------------------------
+//
+// The flat payload path encodes through a PayloadWriter into a slab arena;
+// the wire bytes must be identical to the Bytes-returning encoders or the
+// kVarintDelta charged sizes (and the pipelined-vs-barriered byte-equality
+// invariant) silently drift.
+
+Bytes slab_bytes(const SlabArena& slab, PayloadRef ref) {
+  const std::span<const std::uint8_t> view = slab.view(ref.offset, ref.length);
+  return Bytes(view.begin(), view.end());
+}
+
+TEST(SlabWriterTest, SortedIdsMatchLegacyEncoderBytes) {
+  Rng rng(3);
+  SlabArena slab;
+  for (int iter = 0; iter < 100; ++iter) {
+    // Random sorted id lists across magnitudes, including adversarial
+    // varint boundaries (2^7k ± 1) where the LEB128 width flips.
+    std::vector<std::uint64_t> ids;
+    const std::uint64_t n = rng.below(100);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      std::uint64_t v = rng() >> rng.below(64);
+      if (rng.below(4) == 0) {
+        const std::uint64_t boundary = std::uint64_t{1}
+                                       << (7 * (1 + rng.below(9)));
+        v = rng.below(2) == 0 ? boundary - 1 : boundary;
+      }
+      ids.push_back(v);
+    }
+    std::sort(ids.begin(), ids.end());
+    ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+
+    PayloadWriter w(slab, 0);
+    encode_sorted_ids_to(w, ids);
+    const PayloadRef ref = w.finish();
+    EXPECT_EQ(slab_bytes(slab, ref), encode_sorted_ids(ids)) << iter;
+  }
+}
+
+TEST(SlabWriterTest, PairsMatchLegacyEncoderBytes) {
+  Rng rng(4);
+  SlabArena slab;
+  for (int iter = 0; iter < 50; ++iter) {
+    ValueMap<ItemId, std::uint64_t> map;
+    const std::uint64_t n = rng.below(200);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      map.add(ItemId(hash64(i, static_cast<std::uint64_t>(iter))),
+              rng() >> rng.below(64));
+    }
+    PayloadWriter w(slab, 0);
+    encode_pairs_to(w, map);
+    const PayloadRef ref = w.finish();
+    EXPECT_EQ(slab_bytes(slab, ref), encode_pairs(map)) << iter;
+  }
+}
+
+TEST(SlabWriterTest, AggregatesMatchLegacyEncoderBytes) {
+  Rng rng(5);
+  SlabArena slab;
+  for (int iter = 0; iter < 50; ++iter) {
+    std::vector<std::uint64_t> values(rng.below(400), 0);
+    for (std::uint64_t& v : values) {
+      if (rng.below(3) == 0) v = rng() >> rng.below(64);
+    }
+    PayloadWriter w(slab, 0);
+    encode_aggregates_to(w, values);
+    const PayloadRef ref = w.finish();
+    EXPECT_EQ(slab_bytes(slab, ref), encode_aggregates(values)) << iter;
+  }
+}
+
+TEST(SlabWriterTest, ConsecutiveWritesShareOneSlab) {
+  SlabArena slab;
+  PayloadWriter a(slab, 7);
+  encode_sorted_ids_to(a, std::vector<std::uint64_t>{1, 2, 3});
+  const PayloadRef ra = a.finish();
+  PayloadWriter b(slab, 7);
+  encode_sorted_ids_to(b, std::vector<std::uint64_t>{100, 200});
+  const PayloadRef rb = b.finish();
+  EXPECT_EQ(ra.slab, 7u);
+  EXPECT_EQ(rb.offset, ra.offset + ra.length);  // back to back, no gaps
+  EXPECT_EQ(slab_bytes(slab, ra),
+            encode_sorted_ids(std::vector<std::uint64_t>{1, 2, 3}));
+  EXPECT_EQ(slab_bytes(slab, rb),
+            encode_sorted_ids(std::vector<std::uint64_t>{100, 200}));
+}
+
+TEST(AddAggregatesTest, AccumulatesWithoutIntermediateVector) {
+  const std::vector<std::uint64_t> a{1, 0, 1ull << 40, 7};
+  std::vector<std::uint64_t> acc{10, 20, 30, 40};
+  add_aggregates_from(encode_aggregates(a), acc);
+  EXPECT_EQ(acc, (std::vector<std::uint64_t>{11, 20, (1ull << 40) + 30, 47}));
+}
+
+TEST(AddAggregatesTest, WidthMismatchThrows) {
+  const std::vector<std::uint64_t> a{1, 2, 3};
+  std::vector<std::uint64_t> acc(4, 0);
+  EXPECT_THROW(add_aggregates_from(encode_aggregates(a), acc), ProtocolError);
+}
+
+TEST(AddAggregatesTest, TruncatedInputThrows) {
+  const std::vector<std::uint64_t> a{1, 1ull << 40};
+  Bytes b = encode_aggregates(a);
+  b.pop_back();
+  std::vector<std::uint64_t> acc(2, 0);
+  EXPECT_THROW(add_aggregates_from(b, acc), ProtocolError);
+}
+
+TEST(AddAggregatesTest, TrailingGarbageThrows) {
+  const std::vector<std::uint64_t> a{1, 2};
+  Bytes b = encode_aggregates(a);
+  b.push_back(0x00);
+  std::vector<std::uint64_t> acc(2, 0);
+  EXPECT_THROW(add_aggregates_from(b, acc), ProtocolError);
 }
 
 }  // namespace

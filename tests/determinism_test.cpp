@@ -16,6 +16,7 @@
 #include <gtest/gtest.h>
 
 #include "agg/convergecast.h"
+#include "agg/flat_phases.h"
 #include "agg/hierarchy.h"
 #include "agg/multi_hierarchy.h"
 #include "core/gossip_netfilter.h"
@@ -175,6 +176,71 @@ TEST(DeterminismTest, LossPlusLatencyPreservesTheSendStream) {
   const RunTrace serial = run_convergecast(world, 1, &fault, &latency);
   for (const std::uint32_t k : kShardCounts) {
     expect_identical(serial, run_convergecast(world, k, &fault, &latency), k);
+  }
+}
+
+// Flat payloads raise the determinism bar from "same envelope stream" to
+// "same wire bytes": slab-backed payload spans — written into per-shard
+// outbox slabs and copied to transit-ring slots at the canonical-order
+// merge barrier — must resolve to byte-identical content at every shard
+// count, not just the same (from, to, category, bytes) metadata.
+TEST(DeterminismTest, FlatPayloadBytesAreBitIdenticalAcrossShardCounts) {
+  const TestWorld world = TestWorld::make();
+  constexpr std::uint32_t kWidth = 80;  // f=2 banks of g=40 group sums
+
+  struct FlatTrace {
+    std::vector<SendRecord> sends;
+    std::vector<net::Bytes> payloads;
+    std::vector<Value> result;
+  };
+
+  const auto run_at = [&](std::uint32_t threads) {
+    core::NetFilterConfig cfg;
+    cfg.num_groups = 40;
+    cfg.num_filters = 2;
+    const core::NetFilter nf(cfg);
+    TrafficMeter meter(kPeers);
+    Overlay overlay = world.overlay;
+    Engine engine(overlay, meter);
+    engine.set_threads(threads);
+
+    FlatTrace trace;
+    // The probe fires at admission, after the engine parked the payload in
+    // the delivery slot's slab — resolve() here reads the actual wire span.
+    engine.set_send_probe([&trace, &engine](const Envelope& env) {
+      trace.sends.emplace_back(env.from.value(), env.to.value(),
+                               static_cast<int>(env.category), env.bytes);
+      const std::span<const std::uint8_t> bytes = engine.resolve(env.flat);
+      trace.payloads.emplace_back(bytes.begin(), bytes.end());
+    });
+
+    agg::FlatAggregateConvergecast cast(
+        world.hierarchy, TrafficCategory::kFiltering, kWidth,
+        [&](PeerId p, std::span<Value> out) {
+          nf.local_group_aggregates_into(world.workload.local_items(p), out);
+        },
+        /*flat_bytes=*/0);
+    engine.run(cast, 5000);
+    EXPECT_TRUE(cast.complete());
+    const std::span<const Value> result = cast.result();
+    trace.result.assign(result.begin(), result.end());
+    return trace;
+  };
+
+  const FlatTrace serial = run_at(1);
+  ASSERT_FALSE(serial.sends.empty());
+  // Every upward merge ships a real encoded payload, not an empty ref.
+  for (const net::Bytes& p : serial.payloads) ASSERT_FALSE(p.empty());
+  for (const std::uint32_t k : kShardCounts) {
+    SCOPED_TRACE(::testing::Message() << "threads=" << k);
+    const FlatTrace sharded = run_at(k);
+    EXPECT_EQ(serial.result, sharded.result);
+    ASSERT_EQ(serial.sends.size(), sharded.sends.size());
+    for (std::size_t i = 0; i < serial.sends.size(); ++i) {
+      ASSERT_EQ(serial.sends[i], sharded.sends[i]) << "send index " << i;
+      ASSERT_EQ(serial.payloads[i], sharded.payloads[i])
+          << "payload bytes diverge at send index " << i;
+    }
   }
 }
 

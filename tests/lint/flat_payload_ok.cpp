@@ -1,0 +1,36 @@
+// nf-lint fixture: the same Phase component as flat_payload_pos.cpp with
+// every site suppressed (pretend this is a control-plane phase whose one
+// tiny message per run legitimately rides the legacy object pipeline).
+// nf-lint must report nothing for nf-flat-payload.
+#include <any>
+#include <cstdint>
+#include <utility>
+
+namespace net {
+template <typename M>
+struct TypedPhase {};
+struct Ctx {
+  // nf-lint: nf-flat-payload-ok (declaration, not a hot-path send)
+  void send_raw(std::uint32_t, std::uint64_t, std::any) {}
+};
+}  // namespace net
+
+namespace fixture {
+
+struct HeavySet {
+  std::uint64_t bits = 0;
+};
+
+class ControlMulticast final  // control plane, not hot path
+    : public net::TypedPhase<HeavySet> {  // nf-lint: nf-flat-payload-ok
+ public:
+  void on_round(net::Ctx& ctx) {
+    // nf-lint: nf-flat-payload-ok (one message per run, off the hot path)
+    ctx.send_raw(1, 64, std::any(HeavySet{payload_}));
+  }
+
+ private:
+  std::uint64_t payload_ = 0;
+};
+
+}  // namespace fixture

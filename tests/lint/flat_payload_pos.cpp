@@ -1,0 +1,35 @@
+// nf-lint fixture: nf-flat-payload must fire three times — the TypedPhase
+// base declaration, the std::any payload, and the send_raw call — because
+// this file declares a Phase component shipping object payloads. Never
+// compiled; lexed by tools/nf-lint only.
+#include <any>
+#include <cstdint>
+#include <utility>
+
+namespace net {
+template <typename M>
+struct TypedPhase {};
+struct Ctx {
+  void send_raw(std::uint32_t, std::uint64_t, std::any) {}
+};
+}  // namespace net
+
+namespace fixture {
+
+struct HeavySet {
+  std::uint64_t bits = 0;
+};
+
+class ObjectMulticast final : public net::TypedPhase<HeavySet> {
+ public:
+  void on_round(net::Ctx& ctx) {
+    // Reconstructs an owning payload object per message: allocates on the
+    // hot path and breaks the zero-alloc steady state.
+    ctx.send_raw(1, 64, std::any(HeavySet{payload_}));
+  }
+
+ private:
+  std::uint64_t payload_ = 0;
+};
+
+}  // namespace fixture

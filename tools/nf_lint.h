@@ -28,11 +28,13 @@ enum class Check : std::uint8_t {
   kEnvelopeDiscipline,  // nf-envelope-discipline
   kArenaMap,            // nf-arena-map
   kObsContext,          // nf-obs-context
+  kFlatPayload,         // nf-flat-payload
 };
 
 inline constexpr Check kAllChecks[] = {
     Check::kUnorderedIteration, Check::kBannedEntropy,
-    Check::kEnvelopeDiscipline, Check::kArenaMap, Check::kObsContext};
+    Check::kEnvelopeDiscipline, Check::kArenaMap, Check::kObsContext,
+    Check::kFlatPayload};
 
 inline const char* check_name(Check c) {
   switch (c) {
@@ -46,6 +48,8 @@ inline const char* check_name(Check c) {
       return "nf-arena-map";
     case Check::kObsContext:
       return "nf-obs-context";
+    case Check::kFlatPayload:
+      return "nf-flat-payload";
   }
   return "?";
 }
@@ -71,6 +75,11 @@ inline const char* check_description(Check c) {
     case Check::kObsContext:
       return "obs::Context hygiene: null-guard dereferences and hoist "
              "string-keyed metric-handle lookups out of loops";
+    case Check::kFlatPayload:
+      return "Phase components on the hot path must ship flat slab-backed "
+             "payloads (net::FlatPhase + PayloadRef, net/payload.h), not "
+             "std::any objects via TypedPhase/send_raw: object payloads "
+             "allocate per message and break the zero-alloc steady state";
   }
   return "?";
 }
