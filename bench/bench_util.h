@@ -12,7 +12,11 @@
 // cost-model conformance; --trace-out=PATH writes a Chrome/Perfetto
 // trace-event file of the same run; --trace-cap=N (or the NF_TRACE_CAP env
 // var) sizes the tracer ring; --lineage-cap=N (or NF_LINEAGE_CAP) sizes
-// the causal lineage ring (schema v5 "lineage" section).
+// the causal lineage ring (schema v5 "lineage" section); --series-cap=N
+// (or NF_SERIES_CAP) sizes the per-round TimeSeries ring; --link-cap=N (or
+// NF_LINK_CAP) sizes the heavy-hitter link summary (schema v6 "link_stats"
+// section — exact while it covers the overlay's directed links, a sketch
+// beyond).
 #pragma once
 
 #include <cstdint>
@@ -160,6 +164,8 @@ struct Cli {
   std::string trace_out;  ///< --trace-out=PATH; Chrome trace-event file
   std::uint64_t trace_cap = 0;  ///< --trace-cap=N; 0 = unset (env/default)
   std::uint64_t lineage_cap = 0;  ///< --lineage-cap=N; 0 = unset
+  std::uint64_t series_cap = 0;   ///< --series-cap=N; 0 = unset
+  std::uint64_t link_cap = 0;     ///< --link-cap=N; 0 = unset
 
   static Cli parse(int argc, char** argv) {
     Cli cli;
@@ -192,6 +198,18 @@ struct Cli {
           std::cerr << "--lineage-cap must be >= 1\n";
           std::exit(2);
         }
+      } else if (arg.rfind("--series-cap=", 0) == 0) {
+        cli.series_cap = std::stoull(std::string(arg.substr(13)));
+        if (cli.series_cap == 0) {
+          std::cerr << "--series-cap must be >= 1\n";
+          std::exit(2);
+        }
+      } else if (arg.rfind("--link-cap=", 0) == 0) {
+        cli.link_cap = std::stoull(std::string(arg.substr(11)));
+        if (cli.link_cap == 0) {
+          std::cerr << "--link-cap must be >= 1\n";
+          std::exit(2);
+        }
       } else if (arg == "--help" || arg == "-h") {
         std::cout << "flags: --quick (scale 10^6-item runs down 10x), "
                      "--seed=S, --threads=K (engine shards; results are "
@@ -201,7 +219,10 @@ struct Cli {
                      "(tracer ring capacity; NF_TRACE_CAP env is the "
                      "fallback, default 16384), --lineage-cap=N (lineage "
                      "ring capacity; NF_LINEAGE_CAP env is the fallback, "
-                     "default 65536)\n";
+                     "default 65536), --series-cap=N (per-round series "
+                     "ring; NF_SERIES_CAP fallback, default 4096), "
+                     "--link-cap=N (heavy-hitter link summary capacity; "
+                     "NF_LINK_CAP fallback, default 4096)\n";
         std::exit(0);
       } else {
         std::cerr << "unknown flag: " << arg << "\n";
@@ -238,6 +259,30 @@ struct Cli {
       std::cerr << "ignoring malformed NF_LINEAGE_CAP=" << env << "\n";
     }
     return obs::LineageRecorder::kDefaultCapacity;
+  }
+
+  /// Series ring capacity: --series-cap beats NF_SERIES_CAP beats 4096.
+  [[nodiscard]] std::uint64_t resolved_series_cap() const {
+    if (series_cap != 0) return series_cap;
+    if (const char* env = std::getenv("NF_SERIES_CAP")) {
+      char* end = nullptr;
+      const unsigned long long v = std::strtoull(env, &end, 10);
+      if (end != env && *end == '\0' && v >= 1) return v;
+      std::cerr << "ignoring malformed NF_SERIES_CAP=" << env << "\n";
+    }
+    return 4096;
+  }
+
+  /// Link summary capacity: --link-cap beats NF_LINK_CAP beats the default.
+  [[nodiscard]] std::uint64_t resolved_link_cap() const {
+    if (link_cap != 0) return link_cap;
+    if (const char* env = std::getenv("NF_LINK_CAP")) {
+      char* end = nullptr;
+      const unsigned long long v = std::strtoull(env, &end, 10);
+      if (end != env && *end == '\0' && v >= 1) return v;
+      std::cerr << "ignoring malformed NF_LINK_CAP=" << env << "\n";
+    }
+    return obs::LinkStats::kDefaultLinkCapacity;
   }
 };
 
@@ -281,8 +326,9 @@ class JsonReport {
     if (enabled()) {
       ctx_ = std::make_unique<obs::Context>(
           /*trace_capacity=*/cli.resolved_trace_cap(),
-          /*series_capacity=*/4096,
+          /*series_capacity=*/cli.resolved_series_cap(),
           /*lineage_capacity=*/cli.resolved_lineage_cap());
+      ctx_->link_stats.set_link_capacity(cli.resolved_link_cap());
       bundle_.obs = ctx_.get();
       param("seed", obs::Json(cli.seed));
       param("quick", obs::Json(cli.quick));
@@ -360,9 +406,11 @@ class JsonReport {
     bool ok = true;
     if (ctx_ != nullptr) {
       // Make ring truncation visible in the report: nf-inspect warns when
-      // this is nonzero instead of readers silently seeing a gap.
+      // these are nonzero instead of readers silently seeing a gap.
       ctx_->registry.counter("trace/dropped_events")
           .add(ctx_->tracer.dropped());  // nf-lint: nf-obs-context-ok
+      ctx_->registry.counter("obs/timeseries_dropped_rounds")
+          .add(ctx_->series.dropped());  // nf-lint: nf-obs-context-ok
     }
     if (!path_.empty()) {
       std::ofstream out(path_);

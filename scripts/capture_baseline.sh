@@ -16,6 +16,11 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 build_dir=${BUILD_DIR:-build}
 
+# Keep in sync with obs::kSchemaVersion (src/obs/export.h): a baseline
+# captured from a stale build would make every CI diff nonsense, so fail
+# loudly instead of committing it.
+expected_schema=6
+
 capture() {
   local bench="$build_dir/bench/$1" out="$2"
   if [ ! -x "$bench" ]; then
@@ -23,7 +28,15 @@ capture() {
     exit 1
   fi
   "$bench" --quick --trace-cap=16 --lineage-cap=16 --json="$out"
-  echo "captured $out"
+  python3 - "$out" "$expected_schema" <<'EOF'
+import json, sys
+path, expected = sys.argv[1], int(sys.argv[2])
+got = json.load(open(path)).get('schema_version')
+if got != expected:
+    sys.exit(f'error: {path} has schema_version {got}, expected {expected} '
+             '(stale build? rebuild before capturing)')
+EOF
+  echo "captured $out (schema_version $expected_schema)"
 }
 
 capture fig5_filter_size BENCH_baseline.json

@@ -23,6 +23,19 @@ double aggregation_term(const WireSizes& wire, double heavy_items,
          (heavy_items + false_positives);
 }
 
+double filtering_level_bytes(const WireSizes& wire, double num_filters,
+                             double num_groups, double members_at_level) {
+  return filtering_term(wire, num_filters, num_groups) * members_at_level;
+}
+
+double dissemination_level_bytes(const WireSizes& wire,
+                                 double heavy_groups_total,
+                                 double members_at_level) {
+  // One copy of the full heavy-id list per member; Σ_f w_f is already the
+  // total, so the per-filter factor drops out (cf. F1.dissemination).
+  return dissemination_term(wire, 1.0, heavy_groups_total) * members_at_level;
+}
+
 double netfilter_cost(const WireSizes& wire, double num_filters,
                       double num_groups, double heavy_groups_per_filter,
                       double heavy_items, double false_positives) {

@@ -32,6 +32,23 @@ namespace nf::core::cost_model {
                                       double heavy_items,
                                       double false_positives);
 
+/// Per-hierarchy-level splits of the exact Formula-1 terms, for the schema
+/// v6 `link_stats` reconciliation (`nf-inspect levels`). Under the BFS
+/// hierarchy a level-d link joins a depth-(d-1) parent to a depth-d child,
+/// so the traffic crossing level d is driven by the member count at depth
+/// d: each of those members pushes one sa·f·g filtering message up its
+/// level-d link and receives one sg·W dissemination copy (W = Σ_f w_f, the
+/// heavy-group total) over the same link. Summing the level terms over
+/// d >= 1 recovers the global formulas times (N-1)/N — the root neither
+/// pushes nor receives.
+[[nodiscard]] double filtering_level_bytes(const WireSizes& wire,
+                                           double num_filters,
+                                           double num_groups,
+                                           double members_at_level);
+[[nodiscard]] double dissemination_level_bytes(const WireSizes& wire,
+                                               double heavy_groups_total,
+                                               double members_at_level);
+
 /// Formula 1: C_filter = sa·f·g + sg·f·w + (sa+si)·(r+fp).
 /// `heavy_groups_per_filter` is the paper's w; `false_positives` its fp.
 [[nodiscard]] double netfilter_cost(const WireSizes& wire, double num_filters,

@@ -78,6 +78,25 @@ void record_netfilter_conformance(const NetFilterConfig& config,
                                               fp) *
                        non_root,
                    s.total_cost(), /*gated=*/false);
+
+  // Per-level split of the two exact terms, accumulated into the link_stats
+  // predictions (schema v6): each member at depth d pushes one sa·f·g
+  // filtering message up its level-d link and receives one sg·W
+  // dissemination copy over it, so the level terms are member counts times
+  // the per-peer terms — `nf-inspect levels` reconciles the charged
+  // per-level bytes against these to <1%. Accumulating (+=) per run keeps
+  // predictions in lockstep with the observed matrix across a sweep.
+  // nf-lint: nf-obs-context-ok (null-checked at function entry)
+  obs::LinkStats& ls = obs->link_stats;
+  for (std::uint32_t d = 1; d < ls.num_levels(); ++d) {
+    const auto members = static_cast<double>(ls.level_peers(d));
+    ls.add_prediction(
+        d, static_cast<std::size_t>(net::TrafficCategory::kFiltering),
+        cost_model::filtering_level_bytes(config.wire, f, g, members));
+    ls.add_prediction(
+        d, static_cast<std::size_t>(net::TrafficCategory::kDissemination),
+        cost_model::dissemination_level_bytes(config.wire, w_total, members));
+  }
 }
 
 std::uint64_t HeavyGroupSet::total() const {
@@ -394,6 +413,24 @@ NetFilterResult NetFilter::run(const ItemSource& items,
   require(items.num_peers() == overlay.num_peers(),
           "item source and overlay disagree on peer count");
   obs::ScopedPhase whole(config_.obs, "netfilter");
+  // Install the level geometry for the topology telemetry plane before any
+  // engine runs: every envelope the phases below admit is charged per level
+  // at the merge barrier. configure_levels is a no-op when the geometry is
+  // unchanged, so an alpha sweep over one shared context keeps its matrix
+  // accumulating; bind_series re-binds (and re-baselines) the per-level
+  // series columns, like the engine's own columns.
+  if (config_.obs != nullptr) {
+    obs::LinkStats& ls = config_.obs->link_stats;
+    std::vector<std::uint32_t> depths(overlay.num_peers(),
+                                      obs::LinkStats::kNoLevel);
+    for (std::uint32_t p = 0; p < overlay.num_peers(); ++p) {
+      if (hierarchy.is_member(PeerId(p))) {
+        depths[p] = hierarchy.depth(PeerId(p));
+      }
+    }
+    ls.configure_levels(depths, hierarchy.height());
+    ls.bind_series(config_.obs->registry, config_.obs->series);
+  }
   const std::uint64_t host_before =
       meter.total(net::TrafficCategory::kHostReport);
   const EffectiveItems effective = [&] {

@@ -11,6 +11,11 @@
 
 namespace nf::net {
 
+// LinkStats sizes its category axis without including net headers; make
+// sure every TrafficCategory fits it.
+static_assert(kNumTrafficCategories <= obs::LinkStats::kMaxCategories,
+              "obs::LinkStats::kMaxCategories too small for TrafficCategory");
+
 std::uint32_t LatencyModel::delay(PeerId a, PeerId b) const {
   if (min_delay == max_delay) return min_delay;
   const std::uint64_t h = link_hash(seed, a, b);
@@ -155,6 +160,14 @@ void Engine::set_obs(obs::Context* obs) {
   lineage_ = obs != nullptr ? &obs->lineage : nullptr;
   obs_shard_busy_.clear();
   obs_shard_idle_.clear();
+  // Overhead bookkeeping is per-attachment: the counters live in the
+  // context, the ns accumulators here, so a stale reported watermark from a
+  // previous context would make the first delta wrap.
+  round_obs_ns_ = 0;
+  overhead_ns_total_ = 0;
+  overhead_us_reported_ = 0;
+  round_ns_total_ = 0;
+  round_us_reported_ = 0;
   if (obs == nullptr) {
     obs_sent_ = nullptr;
     obs_delivered_ = nullptr;
@@ -163,6 +176,9 @@ void Engine::set_obs(obs::Context* obs) {
     obs_msg_bytes_ = nullptr;
     obs_in_flight_ = nullptr;
     obs_steady_allocs_ = nullptr;
+    link_stats_ = nullptr;
+    obs_overhead_us_ = nullptr;
+    obs_round_us_ = nullptr;
     return;
   }
   obs_steady_allocs_ = &obs->registry.counter("engine/steady_allocs");
@@ -172,12 +188,17 @@ void Engine::set_obs(obs::Context* obs) {
   obs_sent_bytes_ = &obs->registry.counter("engine/sent_bytes");
   obs_msg_bytes_ = &obs->registry.histogram("engine/msg_bytes");
   obs_in_flight_ = &obs->registry.gauge("engine/in_flight");
+  link_stats_ = &obs->link_stats;
+  obs_overhead_us_ = &obs->registry.counter("obs/overhead_us");
+  obs_round_us_ = &obs->registry.counter("engine/round_us");
   // Built-in engine series. Successive engines sharing one context rebind
   // these columns (re-baselining the counters), so deltas keep flowing.
   obs->series.track_counter("engine/sent", obs_sent_);
   obs->series.track_counter("engine/delivered", obs_delivered_);
   obs->series.track_counter("engine/sent_bytes", obs_sent_bytes_);
   obs->series.track_gauge("engine/in_flight", obs_in_flight_);
+  obs->series.track_counter("obs/overhead_us", obs_overhead_us_);
+  obs->series.track_counter("engine/round_us", obs_round_us_);
 }
 
 void Engine::set_send_probe(std::function<void(const Envelope&)> probe) {
@@ -368,6 +389,23 @@ void Engine::merge_and_finalize() {
                                         : a.minor < b.minor;
             });
 
+  // Topology telemetry: charge every send of this round — per-level byte/
+  // message matrix, per-level series counters and the heavy-hitter link
+  // summary — in the canonical order just established, before finalize
+  // moves the envelopes. Feeding ONE summary here on the engine thread is
+  // what keeps the Misra-Gries state bit-identical for any shard count
+  // (a per-shard fold would be merge-order sensitive). Timed: this pass is
+  // the telemetry plane's marginal cost, so it bills to the overhead meter.
+  if (link_stats_ != nullptr) {
+    const obs::WallTime t0 = obs::wall_now();
+    for (const Context::KeyedSend& ks : merge_scratch_) {
+      link_stats_->charge(ks.envelope.from.value(), ks.envelope.to.value(),
+                          static_cast<std::size_t>(ks.envelope.category),
+                          ks.envelope.bytes);
+    }
+    round_obs_ns_ += obs::elapsed_ns(t0);
+  }
+
   // Finalize in order: meter charges are batched per (sender, category)
   // run so a fan-out to many destinations costs one meter update per
   // batch, not per message.
@@ -452,6 +490,14 @@ void Engine::scan_retransmissions() {
       p.next_retry = round_ + fault_.retransmit_after;
       meter_.record(p.message.envelope.from, p.message.envelope.category,
                     p.message.envelope.bytes);
+      // Retransmissions re-cross the link: charge them like the meter does.
+      // This loop is already deterministic (sender id, then msg id order).
+      if (link_stats_ != nullptr) {
+        link_stats_->charge(
+            p.message.envelope.from.value(), p.message.envelope.to.value(),
+            static_cast<std::size_t>(p.message.envelope.category),
+            p.message.envelope.bytes);
+      }
       // Copy; the pending entry keeps the original. The payload travels as
       // the pending entry's owned span, never as a reconstructed object.
       admit(Outgoing{p.message}, std::span<const std::uint8_t>(p.flat_bytes));
@@ -512,13 +558,18 @@ std::uint64_t Engine::run(std::span<Protocol* const> protocols,
   for (std::uint64_t executed = 0; executed < max_rounds; ++executed) {
     const std::uint64_t allocs_at_round_start = alloc_hook::count();
     // 0. Stamp the round boundary: advance the tracer's logical clock so
-    // every event recorded during this round carries it.
+    // every event recorded during this round carries it. round_t0 doubles
+    // as the whole-round wall anchor for the self-overhead meter.
+    obs::WallTime round_t0{};
     if (obs_ != nullptr) {
+      round_t0 = obs::wall_now();
+      round_obs_ns_ = 0;
       obs_->tracer.advance_clock();
       obs_rounds_->add(1);
       obs_->tracer.record(obs::EventKind::kRound, "engine.round",
                           obs::kNoPeer, bucket_at(round_).size());
       lineage_clock_ = obs_->tracer.clock();
+      round_obs_ns_ += obs::elapsed_ns(round_t0);
     }
 
     // 1. Apply churn scheduled for this round.
@@ -562,6 +613,7 @@ std::uint64_t Engine::run(std::span<Protocol* const> protocols,
     if (obs_ != nullptr) {
       // Idle is this round's parallel-phase wall time minus the shard's own
       // busy time — on the serial path it measures head-of-line waiting.
+      const obs::WallTime fold_t0 = obs::wall_now();
       const std::uint64_t wall = obs::elapsed_us(par_start);
       for (std::uint32_t k = 0; k < plan.num_shards(); ++k) {
         const std::uint64_t busy = shard_busy_us_[k];
@@ -571,6 +623,7 @@ std::uint64_t Engine::run(std::span<Protocol* const> protocols,
                                 static_cast<double>(wall > busy ? wall - busy
                                                                 : 0));
       }
+      round_obs_ns_ += obs::elapsed_ns(fold_t0);
     }
 
     // 5. Barrier merge: order every send canonically, charge the meter,
@@ -589,8 +642,23 @@ std::uint64_t Engine::run(std::span<Protocol* const> protocols,
     // clock (context-global), so series from the several engines a
     // netFilter run creates stay strictly increasing.
     if (obs_ != nullptr) {
+      const obs::WallTime t0 = obs::wall_now();
       obs_in_flight_->set(static_cast<double>(in_transit_));
       obs_->series.sample(obs_->tracer.clock());
+      round_obs_ns_ += obs::elapsed_ns(t0);
+      // Self-overhead meter: block times accumulate as nanoseconds (any
+      // single block is well under 1µs) and the counters advance by whole
+      // microseconds with the remainder carried, so nothing is lost to
+      // per-round rounding. `obs/overhead_us` / `engine/round_us` is the
+      // fraction nf-inspect's overhead budget gates.
+      overhead_ns_total_ += round_obs_ns_;
+      const std::uint64_t oh_us = overhead_ns_total_ / 1000;
+      obs_overhead_us_->add(oh_us - overhead_us_reported_);
+      overhead_us_reported_ = oh_us;
+      round_ns_total_ += obs::elapsed_ns(round_t0);
+      const std::uint64_t rd_us = round_ns_total_ / 1000;
+      obs_round_us_->add(rd_us - round_us_reported_);
+      round_us_reported_ = rd_us;
     }
 
     // 6c. Steady-state allocation accounting (begin_steady_state()). Zero

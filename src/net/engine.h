@@ -385,6 +385,23 @@ class Engine {
   /// delivery marks in predispatch.
   obs::LineageRecorder* lineage_ = nullptr;
   std::uint64_t lineage_clock_ = 0;  // tracer clock, cached once per round
+  /// Topology telemetry (nullptr when obs is detached): the per-level
+  /// matrix and heavy-hitter link summary are charged on the engine thread
+  /// in canonical merge order only — merge_and_finalize() and
+  /// scan_retransmissions(); nf-lint flags charges anywhere else.
+  obs::LinkStats* link_stats_ = nullptr;
+  /// Obs self-overhead meter: wall time spent inside the engine's obs-only
+  /// blocks (round stamping, shard-gauge fold, link charging, series
+  /// sampling), accumulated in nanoseconds and reported as whole
+  /// microseconds into `obs/overhead_us`; `engine/round_us` carries the
+  /// whole-round wall time as the denominator for the CI overhead budget.
+  obs::Counter* obs_overhead_us_ = nullptr;
+  obs::Counter* obs_round_us_ = nullptr;
+  std::uint64_t round_obs_ns_ = 0;  // this round's obs-block nanoseconds
+  std::uint64_t overhead_ns_total_ = 0;
+  std::uint64_t overhead_us_reported_ = 0;
+  std::uint64_t round_ns_total_ = 0;
+  std::uint64_t round_us_reported_ = 0;
   // Per-shard wall-time accounting (obs-only). Each worker writes its own
   // shard's slot during the parallel phase; the engine thread folds the
   // slots into the cumulative busy/idle gauges at the barrier.

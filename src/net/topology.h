@@ -32,6 +32,13 @@ class Topology {
     return static_cast<std::uint32_t>(adjacency_.size());
   }
   [[nodiscard]] std::size_t num_edges() const { return num_edges_; }
+  /// Directed links (each undirected edge carries traffic both ways) — the
+  /// exact-regime capacity bound for the per-link telemetry summary
+  /// (obs::LinkSummary tracks every link exactly while its capacity covers
+  /// this count; beyond it the summary degrades to a heavy-hitter sketch).
+  [[nodiscard]] std::size_t num_directed_links() const {
+    return 2 * num_edges_;
+  }
   [[nodiscard]] const std::vector<PeerId>& neighbors(PeerId p) const;
   [[nodiscard]] std::size_t degree(PeerId p) const {
     return neighbors(p).size();

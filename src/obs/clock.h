@@ -29,4 +29,13 @@ inline std::uint64_t elapsed_us(WallTime since) {
           .count());
 }
 
+/// Nanoseconds elapsed since `since` — for accumulating many short
+/// intervals (the obs self-overhead meter times blocks well under 1µs;
+/// rounding each to microseconds would systematically drop them).
+inline std::uint64_t elapsed_ns(WallTime since) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(wall_now() - since)
+          .count());
+}
+
 }  // namespace nf::obs

@@ -16,6 +16,7 @@
 
 #include "obs/conformance.h"
 #include "obs/lineage.h"
+#include "obs/link_stats.h"
 #include "obs/metrics.h"
 #include "obs/timeseries.h"
 #include "obs/trace.h"
@@ -31,6 +32,10 @@ struct Context {
   ConformanceReport conformance;
   /// Happened-before DAG of engine messages (engine-thread writes only).
   LineageRecorder lineage;
+  /// Per-hierarchy-level traffic matrix + heavy-hitter link summary,
+  /// charged by the engine at the canonical-order merge barrier (schema v6
+  /// `link_stats` section).
+  LinkStats link_stats;
 
   explicit Context(std::size_t trace_capacity = 4096,
                    std::size_t series_capacity = 4096,

@@ -123,6 +123,74 @@ Json to_json(const net::TrafficMeter& meter, bool include_peer_matrix) {
   return out;
 }
 
+namespace {
+
+/// One link_stats matrix row. Categories follow net::TrafficCategory;
+/// zero cells are omitted (most levels see 3-4 of the 9 categories).
+Json link_level_row(const LinkStats& ls, std::size_t row) {
+  auto out = Json::object();
+  auto bytes = Json::object();
+  auto msgs = Json::object();
+  auto predicted = Json::object();
+  for (std::size_t c = 0; c < net::kNumTrafficCategories; ++c) {
+    const std::string name{
+        net::to_string(static_cast<net::TrafficCategory>(c))};
+    if (ls.level_msgs(row, c) != 0) {
+      bytes[name] = ls.level_bytes(row, c);
+      msgs[name] = ls.level_msgs(row, c);
+    }
+    if (ls.level_predicted(row, c) > 0.0) {
+      predicted[name] = ls.level_predicted(row, c);
+    }
+  }
+  out["bytes"] = std::move(bytes);
+  out["msgs"] = std::move(msgs);
+  out["predicted"] = std::move(predicted);
+  out["total_bytes"] = ls.level_total_bytes(row);
+  out["total_msgs"] = ls.level_total_msgs(row);
+  return out;
+}
+
+}  // namespace
+
+Json to_json(const LinkStats& stats) {
+  auto out = Json::object();
+  out["num_levels"] = static_cast<std::uint64_t>(stats.num_levels());
+  auto levels = Json::array();
+  for (std::uint32_t d = 0; d < stats.num_levels(); ++d) {
+    Json row = link_level_row(stats, d);
+    row["level"] = static_cast<std::uint64_t>(d);
+    row["peers"] = stats.level_peers(d);
+    levels.push_back(std::move(row));
+  }
+  out["levels"] = std::move(levels);
+  const std::size_t bucket = stats.num_levels();
+  if (stats.level_total_msgs(bucket) != 0) {
+    out["off_hierarchy"] = link_level_row(stats, bucket);
+  }
+
+  const LinkSummary& links = stats.links();
+  out["link_capacity"] = static_cast<std::uint64_t>(links.capacity());
+  out["links_tracked"] = static_cast<std::uint64_t>(links.size());
+  out["links_error_bound"] = links.error_bound();
+  out["links_total_bytes"] = links.total_weight();
+  auto hot = Json::array();
+  constexpr std::size_t kMaxHot = 64;
+  for (const LinkSummary::Entry& e : links.ranked()) {
+    if (hot.size() >= kMaxHot) break;
+    auto link = Json::object();
+    const std::uint32_t from = link_src(e.key);
+    const std::uint32_t to = link_dst(e.key);
+    link["from"] = static_cast<std::uint64_t>(from);
+    link["to"] = static_cast<std::uint64_t>(to);
+    link["level"] = static_cast<std::uint64_t>(stats.level_of_link(from, to));
+    link["bytes"] = e.weight;
+    hot.push_back(std::move(link));
+  }
+  out["hot"] = std::move(hot);
+  return out;
+}
+
 Json spans_json(const ProtocolTracer& tracer) {
   auto spans = Json::array();
   std::vector<TraceEvent> open;
@@ -181,6 +249,7 @@ Json to_json(const ExportBundle& bundle) {
     out["series"] = to_json(bundle.obs->series);
     out["conformance"] = to_json(bundle.obs->conformance);
     out["lineage"] = to_json(bundle.obs->lineage);
+    out["link_stats"] = to_json(bundle.obs->link_stats);  // schema v6
   }
   return out;
 }

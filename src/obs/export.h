@@ -16,15 +16,19 @@
 namespace nf::obs {
 
 /// Bump when the JSON layout changes incompatibly.
-/// History (docs/OBSERVABILITY.md "Schema history"): v5 adds the `lineage`
-/// section (happened-before DAG of the most recent run, extracted critical
-/// paths and per-phase slack) and the `trace/dropped_events` counter; v4
-/// adds the optional `sessions` section (per-session traffic attribution
-/// from a SessionMux run) and `rounds_total` to netFilter result rows; v3
-/// adds the `series` (round-sampled time series) and `conformance`
-/// (cost-model residuals) sections; v2 added the `threads` shard count to
-/// every bench's params object; v1 was the initial schema.
-inline constexpr std::uint64_t kSchemaVersion = 5;
+/// History (docs/OBSERVABILITY.md "Schema history"): v6 adds the
+/// `link_stats` section (per-hierarchy-level byte/message accounting with
+/// cost-model level predictions, plus the Misra-Gries heavy-hitter link
+/// table), the `obs/overhead_us` / `engine/round_us` self-overhead
+/// counters and the `obs/timeseries_dropped_rounds` counter; v5 adds the
+/// `lineage` section (happened-before DAG of the most recent run, extracted
+/// critical paths and per-phase slack) and the `trace/dropped_events`
+/// counter; v4 adds the optional `sessions` section (per-session traffic
+/// attribution from a SessionMux run) and `rounds_total` to netFilter
+/// result rows; v3 adds the `series` (round-sampled time series) and
+/// `conformance` (cost-model residuals) sections; v2 added the `threads`
+/// shard count to every bench's params object; v1 was the initial schema.
+inline constexpr std::uint64_t kSchemaVersion = 6;
 
 /// {"counters": {...}, "gauges": {...}, "histograms": {name:
 ///  {"count","sum","min","max","buckets":[{"lo","hi","count"},...]}}}
@@ -47,6 +51,15 @@ inline constexpr std::uint64_t kSchemaVersion = 5;
 /// summary sections are what nf-inspect and the baseline diffs read).
 [[nodiscard]] Json to_json(const net::TrafficMeter& meter,
                            bool include_peer_matrix = true);
+
+/// {"num_levels","link_capacity","links_tracked","links_error_bound",
+///  "links_total_bytes","levels":[{"level","peers","total_bytes","bytes":
+///  {category:n},"msgs":{category:n},"predicted":{category:x}},...],
+///  "off_hierarchy" (same row shape, only when traffic landed there),
+///  "hot":[{"from","to","level","bytes"},...]} — hot links in (bytes desc,
+/// key asc) order, capped at 64 rows; estimates are lower bounds within
+/// links_error_bound (schema v6).
+[[nodiscard]] Json to_json(const LinkStats& stats);
 
 /// {"capacity","total","dropped_nodes","runs","sessions","nodes" (columnar,
 ///  most recent run), "extra_edges","critical_paths"} — the happened-before

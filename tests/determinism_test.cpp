@@ -307,6 +307,7 @@ TEST(DeterminismTest, ObsMetricsAndSeriesMatchSerial) {
     // Every counter except the wall-clock timings must be bit-identical.
     for (const auto& [name, c] : serial->registry.counters()) {
       if (name.rfind("time_us/", 0) == 0) continue;
+      if (name == "obs/overhead_us" || name == "engine/round_us") continue;
       EXPECT_EQ(c.value(), sharded->registry.counter(name).value()) << name;
     }
     // Deterministic series columns: same rows, same stamps, same deltas.
@@ -325,6 +326,20 @@ TEST(DeterminismTest, ObsMetricsAndSeriesMatchSerial) {
     // report must agree too.
     EXPECT_EQ(obs::to_json(serial->conformance).dump(),
               obs::to_json(sharded->conformance).dump());
+    // The topology telemetry plane is charged once, on the engine thread,
+    // in canonical merge order — so the whole link_stats export (per-level
+    // matrix, Misra-Gries hot list, predictions) must be byte-identical,
+    // and so must the per-level series columns it binds.
+    EXPECT_EQ(obs::to_json(serial->link_stats).dump(),
+              obs::to_json(sharded->link_stats).dump());
+    ASSERT_TRUE(serial->link_stats.configured());
+    EXPECT_FALSE(serial->link_stats.links().ranked().empty());
+    for (std::uint32_t d = 0; d < serial->link_stats.num_levels(); ++d) {
+      const std::string col = "link/level" + std::to_string(d) + "/bytes";
+      EXPECT_EQ(serial->series.counter_series(col),
+                sharded->series.counter_series(col))
+          << col;
+    }
   }
 }
 
@@ -514,6 +529,7 @@ TEST(DeterminismTest, PartitionedMultiHierarchyAndSamplingMatchSerial) {
     // Byte-identical obs output, wall-clock readings aside.
     for (const auto& [name, c] : serial_ctx->registry.counters()) {
       if (name.rfind("time_us/", 0) == 0) continue;
+      if (name == "obs/overhead_us" || name == "engine/round_us") continue;
       EXPECT_EQ(c.value(), ctx->registry.counter(name).value()) << name;
     }
     EXPECT_EQ(serial_ctx->series.stamps(), ctx->series.stamps());
@@ -525,6 +541,8 @@ TEST(DeterminismTest, PartitionedMultiHierarchyAndSamplingMatchSerial) {
     }
     EXPECT_EQ(serial_ctx->series.gauge_series("engine/in_flight"),
               ctx->series.gauge_series("engine/in_flight"));
+    EXPECT_EQ(obs::to_json(serial_ctx->link_stats).dump(),
+              obs::to_json(ctx->link_stats).dump());
   }
 }
 

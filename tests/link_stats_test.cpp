@@ -1,0 +1,254 @@
+// obs/link_stats.h — the Misra-Gries link summary and the per-level
+// traffic matrix (schema v6 `link_stats`).
+//
+// The summary's contract is the classic heavy-hitter sandwich: for every
+// key, estimate <= true weight <= estimate + error_bound(), with equality
+// (error_bound 0) while the distinct-key count stays within capacity. The
+// matrix's contract is the level geometry: a link is charged to the deeper
+// endpoint's BFS depth, off-hierarchy endpoints land in the bucket row,
+// and re-configuring with identical geometry preserves accumulated counts
+// (alpha sweeps re-run over one shared context).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/rng.h"
+#include "obs/export.h"
+#include "obs/link_stats.h"
+#include "obs/metrics.h"
+#include "obs/timeseries.h"
+
+namespace nf::obs {
+namespace {
+
+TEST(LinkSummaryTest, ExactWhileDistinctKeysWithinCapacity) {
+  LinkSummary s(16);
+  for (std::uint64_t k = 0; k < 16; ++k) {
+    s.add(k, 10 * (k + 1));
+    s.add(k, 1);
+  }
+  EXPECT_EQ(s.error_bound(), 0u);
+  EXPECT_EQ(s.size(), 16u);
+  EXPECT_EQ(s.total_weight(), [] {
+    std::uint64_t sum = 0;
+    for (std::uint64_t k = 0; k < 16; ++k) sum += 10 * (k + 1) + 1;
+    return sum;
+  }());
+  for (std::uint64_t k = 0; k < 16; ++k) {
+    EXPECT_EQ(s.estimate(k), 10 * (k + 1) + 1) << k;
+  }
+  EXPECT_EQ(s.estimate(999), 0u);
+}
+
+TEST(LinkSummaryTest, RankedOrdersByWeightDescThenKeyAsc) {
+  LinkSummary s(8);
+  s.add(5, 100);
+  s.add(2, 300);
+  s.add(9, 100);
+  s.add(7, 200);
+  const std::vector<LinkSummary::Entry> r = s.ranked();
+  ASSERT_EQ(r.size(), 4u);
+  EXPECT_EQ(r[0].key, 2u);
+  EXPECT_EQ(r[1].key, 7u);
+  EXPECT_EQ(r[2].key, 5u);  // ties at 100 break toward the smaller key
+  EXPECT_EQ(r[3].key, 9u);
+}
+
+TEST(LinkSummaryTest, SandwichBoundHoldsUnderOverflow) {
+  // Many more distinct keys than capacity, skewed weights: every estimate
+  // must stay a lower bound within error_bound() of the true count, and
+  // total_weight() must stay exact.
+  constexpr std::size_t kCapacity = 8;
+  constexpr std::uint64_t kDomain = 64;
+  LinkSummary s(kCapacity);
+  std::map<std::uint64_t, std::uint64_t> truth;
+  Rng rng(42);
+  std::uint64_t total = 0;
+  for (int i = 0; i < 5000; ++i) {
+    // Zipf-ish skew: low keys dominate, so some keys are genuinely heavy.
+    const std::uint64_t key = rng.below(rng.below(kDomain) + 1);
+    const std::uint64_t w = 1 + rng.below(16);
+    truth[key] += w;
+    total += w;
+    s.add(key, w);
+  }
+  EXPECT_EQ(s.total_weight(), total);
+  EXPECT_GT(s.error_bound(), 0u);  // overflow definitely decremented
+  for (const auto& [key, true_w] : truth) {
+    const std::uint64_t est = s.estimate(key);
+    EXPECT_LE(est, true_w) << key;
+    EXPECT_LE(true_w, est + s.error_bound()) << key;
+  }
+  // Live entries never exceed capacity.
+  EXPECT_LE(s.size(), kCapacity);
+  EXPECT_LE(s.ranked().size(), kCapacity);
+}
+
+TEST(LinkSummaryTest, ReviveAfterDecayRestartsFromOffset) {
+  LinkSummary s(1);
+  s.add(1, 10);
+  s.add(2, 10);  // full, no dead slot -> decrement-all, key 2 not admitted
+  EXPECT_EQ(s.estimate(1), 0u);  // decayed to zero
+  EXPECT_EQ(s.error_bound(), 10u);
+  s.add(1, 5);  // revive: estimate restarts from the offset
+  EXPECT_EQ(s.estimate(1), 5u);
+  EXPECT_LE(5u + 10u, 15u + s.error_bound());  // bound still covers truth
+  EXPECT_EQ(s.total_weight(), 25u);
+}
+
+TEST(LinkSummaryTest, MergeIsDeterministicAndKeepsTheBound) {
+  // Split one stream across two summaries, merge, and require (a) the
+  // sandwich bound against the combined truth and (b) bit-identical ranked
+  // output when the merge is repeated — merge() replays entries in
+  // ranked() order, a total order, so there is nothing ambient about it.
+  constexpr std::size_t kCapacity = 8;
+  constexpr std::uint64_t kDomain = 48;
+  LinkSummary a(kCapacity);
+  LinkSummary b(kCapacity);
+  std::map<std::uint64_t, std::uint64_t> truth;
+  Rng rng(7);
+  std::uint64_t total = 0;
+  for (int i = 0; i < 4000; ++i) {
+    const std::uint64_t key = rng.below(rng.below(kDomain) + 1);
+    const std::uint64_t w = 1 + rng.below(8);
+    truth[key] += w;
+    total += w;
+    (i % 2 == 0 ? a : b).add(key, w);
+  }
+  LinkSummary merged(kCapacity);
+  merged.merge(a);
+  merged.merge(b);
+  EXPECT_EQ(merged.total_weight(), total);
+  for (const auto& [key, true_w] : truth) {
+    const std::uint64_t est = merged.estimate(key);
+    EXPECT_LE(est, true_w) << key;
+    EXPECT_LE(true_w, est + merged.error_bound()) << key;
+  }
+  LinkSummary again(kCapacity);
+  again.merge(a);
+  again.merge(b);
+  const auto r1 = merged.ranked();
+  const auto r2 = again.ranked();
+  ASSERT_EQ(r1.size(), r2.size());
+  for (std::size_t i = 0; i < r1.size(); ++i) {
+    EXPECT_EQ(r1[i].key, r2[i].key);
+    EXPECT_EQ(r1[i].weight, r2[i].weight);
+  }
+}
+
+TEST(LinkKeyTest, PackingRoundTrips) {
+  EXPECT_EQ(link_src(link_key(0xABCD1234u, 0x5678EF01u)), 0xABCD1234u);
+  EXPECT_EQ(link_dst(link_key(0xABCD1234u, 0x5678EF01u)), 0x5678EF01u);
+  EXPECT_NE(link_key(1, 2), link_key(2, 1));  // directed
+}
+
+// Depths: peer 0 = root, 1..2 at depth 1, 3 at depth 2, 4 off-hierarchy.
+std::vector<std::uint32_t> tiny_depths() {
+  return {0, 1, 1, 2, LinkStats::kNoLevel};
+}
+
+TEST(LinkStatsTest, ChargesTheDeeperEndpointsLevel) {
+  LinkStats ls;
+  ls.configure_levels(tiny_depths(), 3);
+  ASSERT_TRUE(ls.configured());
+  EXPECT_EQ(ls.num_levels(), 3u);
+  EXPECT_EQ(ls.level_peers(0), 1u);
+  EXPECT_EQ(ls.level_peers(1), 2u);
+  EXPECT_EQ(ls.level_peers(2), 1u);
+
+  ls.charge(1, 0, 0, 100);  // child -> root: level 1
+  ls.charge(0, 1, 0, 40);   // root -> child: same level
+  ls.charge(3, 1, 1, 70);   // depth 2 -> depth 1: level 2
+  EXPECT_EQ(ls.level_bytes(1, 0), 140u);
+  EXPECT_EQ(ls.level_msgs(1, 0), 2u);
+  EXPECT_EQ(ls.level_bytes(2, 1), 70u);
+  EXPECT_EQ(ls.level_total_bytes(1), 140u);
+  EXPECT_EQ(ls.level_total_msgs(2), 1u);
+  EXPECT_EQ(ls.links().estimate(link_key(1, 0)), 100u);
+  EXPECT_EQ(ls.links().total_weight(), 210u);
+}
+
+TEST(LinkStatsTest, OffHierarchyAndUnknownPeersLandInTheBucket) {
+  LinkStats ls;
+  ls.configure_levels(tiny_depths(), 3);
+  const std::size_t bucket = ls.num_levels();
+  ls.charge(4, 0, 2, 30);   // kNoLevel endpoint
+  ls.charge(99, 1, 2, 20);  // id beyond the depth vector
+  EXPECT_EQ(ls.level_bytes(bucket, 2), 50u);
+  EXPECT_EQ(ls.level_total_msgs(bucket), 2u);
+  EXPECT_EQ(ls.level_total_bytes(1), 0u);
+}
+
+TEST(LinkStatsTest, UnconfiguredChargeGoesToTheBucketRow) {
+  // Regression: engines attach obs without a hierarchy (raw engine tests,
+  // naive flood); charge() must hit preallocated storage, not an empty
+  // matrix. Row 0 *is* the bucket while num_levels() == 0.
+  LinkStats ls;
+  ASSERT_FALSE(ls.configured());
+  ls.charge(7, 8, 1, 64);
+  EXPECT_EQ(ls.level_of_link(7, 8), 0u);
+  EXPECT_EQ(ls.level_bytes(0, 1), 64u);
+  EXPECT_EQ(ls.level_total_msgs(0), 1u);
+}
+
+TEST(LinkStatsTest, ReconfigureSameGeometryKeepsCountsChangedResets) {
+  LinkStats ls;
+  ls.configure_levels(tiny_depths(), 3);
+  ls.charge(1, 0, 0, 100);
+  ls.configure_levels(tiny_depths(), 3);  // identical: accumulate across runs
+  EXPECT_EQ(ls.level_bytes(1, 0), 100u);
+  ls.configure_levels({0, 1}, 2);  // new geometry: stale matrix resets
+  EXPECT_EQ(ls.level_bytes(1, 0), 0u);
+  EXPECT_EQ(ls.num_levels(), 2u);
+}
+
+TEST(LinkStatsTest, PredictionsAccumulateAcrossRuns) {
+  LinkStats ls;
+  ls.configure_levels(tiny_depths(), 3);
+  ls.add_prediction(1, 0, 120.0);
+  ls.add_prediction(1, 0, 80.0);
+  EXPECT_DOUBLE_EQ(ls.level_predicted(1, 0), 200.0);
+  EXPECT_DOUBLE_EQ(ls.level_predicted(2, 0), 0.0);
+}
+
+TEST(LinkStatsTest, BindSeriesTracksPerLevelByteColumns) {
+  LinkStats ls;
+  ls.configure_levels(tiny_depths(), 3);
+  MetricsRegistry registry;
+  TimeSeries series(16);
+  ls.bind_series(registry, series);
+  ls.charge(1, 0, 0, 100);
+  ls.charge(3, 1, 1, 70);
+  series.sample(0);
+  EXPECT_EQ(registry.counter("link/level1/bytes").value(), 100u);
+  EXPECT_EQ(registry.counter("link/level2/bytes").value(), 70u);
+  const auto col1 = series.counter_series("link/level1/bytes");
+  ASSERT_EQ(col1.size(), 1u);
+  EXPECT_EQ(col1[0], 100u);
+}
+
+TEST(LinkStatsTest, JsonExportShapesLevelsAndHotLinks) {
+  LinkStats ls;
+  ls.configure_levels(tiny_depths(), 3);
+  ls.charge(1, 0, 0, 100);
+  ls.charge(3, 1, 1, 70);
+  ls.charge(4, 0, 2, 30);  // off-hierarchy
+  ls.add_prediction(1, 0, 100.0);
+  const Json j = to_json(ls);
+  EXPECT_EQ(j.at("num_levels").as_double(), 3.0);
+  ASSERT_EQ(j.at("levels").size(), 3u);
+  const Json& l1 = j.at("levels").as_array()[1];
+  EXPECT_EQ(l1.at("total_bytes").as_double(), 100.0);
+  EXPECT_NE(j.find("off_hierarchy"), nullptr);
+  const Json& hot = j.at("hot");
+  ASSERT_GE(hot.size(), 1u);
+  EXPECT_EQ(hot.as_array()[0].at("bytes").as_double(), 100.0);
+  EXPECT_EQ(hot.as_array()[0].at("from").as_double(), 1.0);
+  EXPECT_EQ(hot.as_array()[0].at("to").as_double(), 0.0);
+  EXPECT_EQ(j.at("links_error_bound").as_double(), 0.0);
+}
+
+}  // namespace
+}  // namespace nf::obs

@@ -428,6 +428,48 @@ TEST_F(ObsEndToEndTest, JsonReportRoundTripsThroughFile) {
         << phase;
   }
   EXPECT_GT(doc.at("trace").at("events").size(), 0u);
+  // Schema v6: link telemetry rode along — levels configured from the run's
+  // hierarchy, per-level bytes recorded, and the hottest links ranked.
+  const Json& ls = doc.at("link_stats");
+  EXPECT_GT(ls.at("num_levels").as_uint64(), 0u);
+  EXPECT_GT(ls.at("links_tracked").as_uint64(), 0u);
+  EXPECT_GT(ls.at("hot").size(), 0u);
+  std::uint64_t level_bytes = 0;
+  for (const auto& level : ls.at("levels").as_array()) {
+    level_bytes += level.at("total_bytes").as_uint64();
+  }
+  EXPECT_GT(level_bytes, 0u);
+}
+
+TEST_F(ObsEndToEndTest, TinySeriesCapSurfacesDroppedRoundsCounter) {
+  // Satellite of the link-telemetry work: a wrapped TimeSeries ring must be
+  // loud, like trace/dropped_events — the report carries the drop count as
+  // obs/timeseries_dropped_rounds and nf-inspect warns on it.
+  const std::string path = "obs_test_series_wrap.json";
+  {
+    bench::Cli cli;
+    cli.json = path;
+    cli.series_cap = 4;  // a run takes far more rounds than 4
+    bench::JsonReport report(cli, "obs_test");
+    bench::Env env(small_params(), report.obs());
+    (void)env.run_netfilter(50, 3);
+    ASSERT_TRUE(report.write());
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const Json doc = Json::parse(buffer.str());
+  std::remove(path.c_str());
+
+  EXPECT_EQ(doc.at("series").at("capacity").as_uint64(), 4u);
+  const std::uint64_t dropped = doc.at("series").at("dropped").as_uint64();
+  EXPECT_GT(dropped, 0u);
+  EXPECT_EQ(doc.at("metrics")
+                .at("counters")
+                .at("obs/timeseries_dropped_rounds")
+                .as_uint64(),
+            dropped);
 }
 
 }  // namespace

@@ -81,6 +81,31 @@ TEST(SteadyAllocTest, WarmedFlatRunAllocatesNothing) {
       << "flat hot path allocated on a warmed engine";
 }
 
+TEST(SteadyAllocTest, WarmedLinkStatsChargePathAllocatesNothing) {
+  // The telemetry plane's own contract: after the warm-up calls
+  // (set_link_capacity / configure_levels / bind_series), charge() touches
+  // only preallocated storage — including the Misra-Gries overflow path,
+  // which this stream forces by feeding far more distinct links than the
+  // summary's capacity.
+  ASSERT_TRUE(alloc_hook::armed());
+  obs::Context obs;
+  obs::LinkStats& ls = obs.link_stats;
+  std::vector<std::uint32_t> depths(kPeers);
+  for (std::uint32_t p = 0; p < kPeers; ++p) {
+    depths[p] = p == 0 ? 0 : 1 + p % 3;
+  }
+  ls.set_link_capacity(64);
+  ls.configure_levels(depths, 4);
+  ls.bind_series(obs.registry, obs.series);
+
+  const std::uint64_t before = alloc_hook::count();
+  for (std::uint32_t i = 0; i < 20000; ++i) {
+    ls.charge(i % kPeers, (i * 7 + 1) % kPeers, i % 9, 64);
+  }
+  EXPECT_EQ(alloc_hook::count(), before)
+      << "LinkStats::charge allocated on a warmed telemetry plane";
+}
+
 TEST(SteadyAllocTest, SteadyAllocsMirroredIntoObsCounter) {
   // With an obs context attached the per-round delta also feeds the
   // `engine/steady_allocs` counter. Obs itself allocates (tracer events,

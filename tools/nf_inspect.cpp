@@ -1,5 +1,5 @@
 // nf-inspect — terminal inspector for bench --json reports
-// (docs/OBSERVABILITY.md schema, version 5).
+// (docs/OBSERVABILITY.md schema, version 6).
 //
 // One report: prints the bench/params header, per-row results, phase spans,
 // the per-peer traffic split, the per-session traffic breakdown of
@@ -23,6 +23,25 @@
 // against the session's recorded rounds_total:
 //
 //   nf-inspect critical-path multiquery.json
+//
+// Hotspots: ranks the heaviest directed links from the schema v6
+// `link_stats` section (Misra-Gries estimates, lower bounds within
+// links_error_bound). --expect-root-adjacent gates on the topology-locality
+// property: the hottest link must touch the hierarchy root (level <= 1):
+//
+//   nf-inspect hotspots [--top=20] [--expect-root-adjacent] fig7.json
+//
+// Levels: reconciles observed per-hierarchy-level bytes against the
+// cost-model per-level terms (link_stats levels[].predicted); a gated
+// residual beyond the tolerance exits 1:
+//
+//   nf-inspect levels [--tol=0.01] fig7.json
+//
+// Overhead: the obs self-overhead budget — obs/overhead_us as a fraction
+// of engine/round_us (whole-run wall inside the engine loop); exceeding
+// --budget exits 1 so CI can cap what telemetry itself costs:
+//
+//   nf-inspect overhead --budget=0.35 fig7.json
 #include <cmath>
 #include <cstdlib>
 #include <fstream>
@@ -239,9 +258,35 @@ void warn_trace_truncation(const Json& doc) {
                "incomplete; raise --trace-cap / NF_TRACE_CAP\n";
 }
 
+/// Same treatment for the per-round series ring: a wrap means the oldest
+/// rounds fell off every column and per-round analyses silently start
+/// mid-run, so say so. Reads the series section and (reports written
+/// before sampling stopped) the obs/timeseries_dropped_rounds counter.
+void warn_series_truncation(const Json& doc) {
+  double dropped = 0.0;
+  if (const Json* series = doc.find("series");
+      series != nullptr && series->is_object()) {
+    dropped = num(*series, "dropped");
+  }
+  if (dropped <= 0.0) {
+    if (const Json* metrics = doc.find("metrics");
+        metrics != nullptr && metrics->is_object()) {
+      if (const Json* counters = metrics->find("counters");
+          counters != nullptr) {
+        dropped = num(*counters, "obs/timeseries_dropped_rounds");
+      }
+    }
+  }
+  if (dropped <= 0.0) return;
+  std::cout << "\nWARNING: time-series ring wrapped; " << fmt(dropped)
+            << " round(s) dropped (oldest first) — per-round columns start "
+               "mid-run; raise --series-cap / NF_SERIES_CAP\n";
+}
+
 int inspect_one(const Json& doc, const std::string& path, double tol) {
   print_header(doc, path);
   warn_trace_truncation(doc);
+  warn_series_truncation(doc);
   print_results(doc);
   print_spans(doc);
   print_traffic(doc);
@@ -415,23 +460,207 @@ int critical_path_cmd(const Json& doc, const std::string& path) {
   return 0;
 }
 
+/// Fetch the schema v6 link_stats section or exit 2 with a pointer at the
+/// likely cause (pre-v6 report, or a bench run without --json/obs).
+const Json& link_stats_or_die(const Json& doc, const std::string& path) {
+  const Json* ls = doc.find("link_stats");
+  if (ls == nullptr || !ls->is_object()) {
+    std::cerr << "nf-inspect: " << path
+              << " has no link_stats section (needs a schema v6 report "
+                 "from a bench run with --json)\n";
+    std::exit(2);
+  }
+  return *ls;
+}
+
+/// `nf-inspect hotspots [--top=N] [--expect-root-adjacent] REPORT.json` —
+/// the heaviest directed links plus per-level utilization. Estimates are
+/// Misra-Gries lower bounds; when links_error_bound is 0 the summary never
+/// decremented and every count is exact. With --expect-root-adjacent the
+/// hottest link must touch the root (level <= 1) — the paper's hierarchy
+/// concentrates filtering/aggregation traffic at the root, so a top link
+/// elsewhere means the accounting (or the topology) is wrong; exit 1.
+int hotspots_cmd(const Json& doc, const std::string& path, std::size_t top,
+                 bool expect_root_adjacent) {
+  print_header(doc, path);
+  warn_series_truncation(doc);
+  const Json& ls = link_stats_or_die(doc, path);
+  const double error_bound = num(ls, "links_error_bound");
+  std::cout << "links tracked: " << fmt(num(ls, "links_tracked")) << " / "
+            << fmt(num(ls, "link_capacity")) << " capacity, "
+            << fmt(num(ls, "links_total_bytes")) << " bytes total, "
+            << "error bound " << fmt(error_bound)
+            << (error_bound == 0.0 ? " (exact)" : " (sketch)") << "\n";
+
+  const Json* levels = ls.find("levels");
+  if (levels != nullptr && levels->is_array() && levels->size() != 0) {
+    std::cout << "\n== per-level utilization ==\n";
+    TableWriter t({"level", "peers", "total_bytes", "total_msgs"}, std::cout,
+                  14);
+    for (const Json& row : levels->as_array()) {
+      t.row(fmt(num(row, "level")), fmt(num(row, "peers")),
+            fmt(num(row, "total_bytes")), fmt(num(row, "total_msgs")));
+    }
+    if (const Json* off = ls.find("off_hierarchy"); off != nullptr) {
+      std::cout << "off-hierarchy: " << fmt(num(*off, "total_bytes"))
+                << " bytes, " << fmt(num(*off, "total_msgs")) << " msgs\n";
+    }
+  }
+
+  const Json* hot = ls.find("hot");
+  if (hot == nullptr || !hot->is_array() || hot->size() == 0) {
+    std::cout << "\nno links recorded\n";
+    return expect_root_adjacent ? 1 : 0;
+  }
+  std::cout << "\n== hottest links (top " << top << " of "
+            << fmt(num(ls, "links_tracked")) << ") ==\n";
+  TableWriter t({"rank", "from", "to", "level", "bytes"}, std::cout, 12);
+  std::size_t rank = 0;
+  for (const Json& link : hot->as_array()) {
+    if (rank >= top) break;
+    t.row(rank++, fmt(num(link, "from")), fmt(num(link, "to")),
+          fmt(num(link, "level")), fmt(num(link, "bytes")));
+  }
+  if (expect_root_adjacent) {
+    const Json& first = hot->as_array()[0];
+    const double level = num(first, "level");
+    if (level > 1.0) {
+      std::cout << "\nFAIL: hottest link " << fmt(num(first, "from"))
+                << " -> " << fmt(num(first, "to")) << " is at level "
+                << fmt(level) << "; expected a root-adjacent link "
+                << "(level <= 1)\n";
+      return 1;
+    }
+    std::cout << "\nOK: hottest link is root-adjacent (level "
+              << fmt(level) << ")\n";
+    return 0;
+  }
+  std::cout << "\nOK\n";
+  return 0;
+}
+
+/// `nf-inspect levels [--tol=0.01] REPORT.json` — per-level observed bytes
+/// against the cost-model level terms. Only categories with a recorded
+/// prediction gate (the per-level split is only exact for flat wire sizes
+/// and loss-free runs — the same gating as the F1 conformance checks);
+/// |residual| > tol on any gated cell exits 1.
+int levels_cmd(const Json& doc, const std::string& path, double tol) {
+  print_header(doc, path);
+  warn_series_truncation(doc);
+  const Json& ls = link_stats_or_die(doc, path);
+  const Json* levels = ls.find("levels");
+  if (levels == nullptr || !levels->is_array() || levels->size() == 0) {
+    std::cout << "\nno levels recorded\n";
+    return 0;
+  }
+  std::cout << "\n== per-level cost-model reconciliation (tol " << tol * 100
+            << "%) ==\n";
+  TableWriter t({"level", "category", "predicted", "observed", "residual%",
+                 "status"},
+                std::cout, 14);
+  int breaches = 0;
+  int gated = 0;
+  for (const Json& row : levels->as_array()) {
+    const Json* predicted = row.find("predicted");
+    if (predicted == nullptr || !predicted->is_object()) continue;
+    const Json* bytes = row.find("bytes");
+    for (const auto& [cat, pv] : predicted->as_object()) {
+      const double pred = pv.as_double();
+      if (pred <= 0.0) continue;
+      const double obs = bytes != nullptr ? num(*bytes, cat) : 0.0;
+      const double residual = (obs - pred) / pred;
+      ++gated;
+      const bool breach = std::abs(residual) > tol;
+      if (breach) ++breaches;
+      t.row(fmt(num(row, "level")), cat, pred, obs, residual * 100.0,
+            breach ? "BREACH" : "ok");
+    }
+  }
+  if (gated == 0) {
+    std::cout << "no per-level predictions recorded (non-flat wire sizes or "
+                 "lossy run)\n";
+    return 0;
+  }
+  if (breaches != 0) {
+    std::cout << "\nFAIL: " << breaches << " per-level check(s) exceed "
+              << tol * 100 << "% tolerance\n";
+    return 1;
+  }
+  std::cout << "\nOK: " << gated << " per-level check(s) within tolerance\n";
+  return 0;
+}
+
+/// `nf-inspect overhead [--budget=X] REPORT.json` — what telemetry itself
+/// costs. obs/overhead_us accumulates the wall time the engine spends in
+/// obs-only work (round stamping, shard-gauge folds, link charging, series
+/// sampling); engine/round_us is the whole engine loop. Their ratio beyond
+/// --budget exits 1. Exit 2 when the counters are absent (pre-v6 report or
+/// a run without obs attached).
+int overhead_cmd(const Json& doc, const std::string& path, double budget) {
+  print_header(doc, path);
+  const Json* metrics = doc.find("metrics");
+  const Json* counters =
+      metrics != nullptr && metrics->is_object() ? metrics->find("counters")
+                                                 : nullptr;
+  if (counters == nullptr || counters->find("obs/overhead_us") == nullptr ||
+      counters->find("engine/round_us") == nullptr) {
+    std::cerr << "nf-inspect: " << path
+              << " has no obs/overhead_us + engine/round_us counters (needs "
+                 "a schema v6 report from a bench run with --json)\n";
+    return 2;
+  }
+  const double overhead_us = num(*counters, "obs/overhead_us");
+  const double round_us = num(*counters, "engine/round_us");
+  const double frac = round_us > 0.0 ? overhead_us / round_us : 0.0;
+  std::cout << "obs overhead: " << fmt(overhead_us) << " us of "
+            << fmt(round_us) << " us engine-loop wall = "
+            << fmt(frac * 100.0) << "% (budget " << fmt(budget * 100.0)
+            << "%)\n";
+  if (frac > budget) {
+    std::cout << "\nFAIL: obs self-overhead exceeds budget\n";
+    return 1;
+  }
+  std::cout << "\nOK\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   double tol = 0.10;
+  bool tol_set = false;
+  std::size_t top = 20;
+  bool expect_root_adjacent = false;
+  double budget = 0.35;
   std::vector<std::string> paths;
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
     if (arg.rfind("--tol=", 0) == 0) {
       tol = std::stod(std::string(arg.substr(6)));
+      tol_set = true;
+    } else if (arg.rfind("--top=", 0) == 0) {
+      top = std::stoull(std::string(arg.substr(6)));
+    } else if (arg == "--expect-root-adjacent") {
+      expect_root_adjacent = true;
+    } else if (arg.rfind("--budget=", 0) == 0) {
+      budget = std::stod(std::string(arg.substr(9)));
     } else if (arg == "--help" || arg == "-h") {
       std::cout << "usage: nf-inspect [--tol=0.10] REPORT.json "
                    "[BASELINE.json]\n"
                    "       nf-inspect critical-path REPORT.json\n"
+                   "       nf-inspect hotspots [--top=20] "
+                   "[--expect-root-adjacent] REPORT.json\n"
+                   "       nf-inspect levels [--tol=0.01] REPORT.json\n"
+                   "       nf-inspect overhead [--budget=0.35] REPORT.json\n"
                    "  one file: summarize + gate cost-model conformance\n"
                    "  two files: regression-diff A against baseline B\n"
                    "  critical-path: per-session gating chain + per-phase "
-                   "slack (schema v5 lineage)\n";
+                   "slack (schema v5 lineage)\n"
+                   "  hotspots: heaviest links + per-level utilization "
+                   "(schema v6 link_stats)\n"
+                   "  levels: per-level bytes vs cost-model level terms\n"
+                   "  overhead: gate obs self-overhead against a budget "
+                   "fraction of engine wall\n";
       return 0;
     } else if (!arg.empty() && arg[0] == '-') {
       std::cerr << "nf-inspect: unknown flag " << arg << "\n";
@@ -447,9 +676,35 @@ int main(int argc, char** argv) {
     }
     return critical_path_cmd(load(paths[1]), paths[1]);
   }
+  if (!paths.empty() && paths[0] == "hotspots") {
+    if (paths.size() != 2) {
+      std::cerr << "usage: nf-inspect hotspots [--top=20] "
+                   "[--expect-root-adjacent] REPORT.json\n";
+      return 2;
+    }
+    return hotspots_cmd(load(paths[1]), paths[1], top, expect_root_adjacent);
+  }
+  if (!paths.empty() && paths[0] == "levels") {
+    if (paths.size() != 2) {
+      std::cerr << "usage: nf-inspect levels [--tol=0.01] REPORT.json\n";
+      return 2;
+    }
+    // Per-level reconciliation is exact by construction for gated cells,
+    // so default much tighter than the conformance gate.
+    return levels_cmd(load(paths[1]), paths[1], tol_set ? tol : 0.01);
+  }
+  if (!paths.empty() && paths[0] == "overhead") {
+    if (paths.size() != 2) {
+      std::cerr << "usage: nf-inspect overhead [--budget=0.35] "
+                   "REPORT.json\n";
+      return 2;
+    }
+    return overhead_cmd(load(paths[1]), paths[1], budget);
+  }
   if (paths.empty() || paths.size() > 2) {
     std::cerr << "usage: nf-inspect [--tol=0.10] REPORT.json "
-                 "[BASELINE.json] | nf-inspect critical-path REPORT.json\n";
+                 "[BASELINE.json] | nf-inspect "
+                 "critical-path|hotspots|levels|overhead REPORT.json\n";
     return 2;
   }
   const Json a = load(paths[0]);

@@ -570,15 +570,19 @@ void check_arena_map(const SourceFile& file, const std::vector<Tok>& t,
 // obs::Context rides protocol hot paths as a nullable pointer, so (a) every
 // dereference needs a null guard in sight, and (b) string-keyed registry
 // lookups (registry.counter("...")) may not sit inside loops — cache the
-// handle once (see Engine::set_obs) and bump it. src/obs itself is exempt:
-// it implements the registry.
+// handle once (see Engine::set_obs) and bump it. (c) LinkStats::charge is
+// engine-only: the Misra-Gries link summary is merge-order sensitive, so
+// charging anywhere but the canonical (major, minor)-ordered barrier merge
+// in net/engine.cpp silently breaks the bit-identical-across---threads
+// contract (obs/link_stats.h). src/obs itself is exempt: it implements the
+// registry.
 
 void check_obs_context(const SourceFile& file, const std::vector<Tok>& t,
                        const std::vector<int>& loop_depth,
                        std::vector<Finding>& out) {
   if (in_dir(file.path, "obs")) return;
-  static const std::set<std::string> members = {"registry", "tracer",
-                                                "series", "conformance"};
+  static const std::set<std::string> members = {
+      "registry", "tracer", "series", "conformance", "link_stats"};
   for (std::size_t i = 0; i < t.size(); ++i) {
     // (a) unguarded `x->registry` etc.
     if (t[i].text == "->" && members.count(tok_at(t, i + 1)) > 0) {
@@ -618,6 +622,17 @@ void check_obs_context(const SourceFile& file, const std::vector<Tok>& t,
                         "(...) inside a loop does a string-keyed lookup per "
                         "iteration; hoist the handle (see Engine::set_obs)");
       }
+    }
+    // (c) LinkStats::charge outside the engine's canonical merge path.
+    if ((t[i].text == "link_stats" || t[i].text == "link_stats_") &&
+        (tok_at(t, i + 1) == "." || tok_at(t, i + 1) == "->") &&
+        tok_at(t, i + 2) == "charge" && tok_at(t, i + 3) == "(" &&
+        !path_ends_with(file.path, "net/engine.cpp")) {
+      add_finding(out, file, Check::kObsContext, t[i].line,
+                  "LinkStats::charge outside net/engine.cpp: the link "
+                  "summary is merge-order sensitive; only the engine's "
+                  "canonical barrier merge may charge it "
+                  "(obs/link_stats.h)");
     }
   }
 }
