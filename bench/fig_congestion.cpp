@@ -1,0 +1,130 @@
+// fig_congestion — the link-capacity engine under contention (schema v7).
+//
+// The paper's synchronous network delivers every message in one round no
+// matter its size. The LinkModel makes bandwidth first-class: each link
+// drains capacity bytes per round and excess spills into a bounded
+// backlog. This bench sweeps four link models over the same pipelined
+// netfilter query (its dissemination multicast and aggregation
+// convergecast overlap in one engine run, contending for the same links):
+//
+//   infinite      — the paper's network; the A/B baseline rows
+//   uniform       — every link tightly capped; all levels queue alike
+//   mixed         — modem/DSL/fiber peers (heterogeneous-bandwidth
+//                   ablation); only the narrow-class links queue
+//   root-narrow   — a level-1 override; queueing concentrates on the
+//                   root-adjacent links that gate every wave
+//
+// Expectation: per-peer byte costs are IDENTICAL in every row (capacity
+// delays delivery, it never changes what is sent) while round counts
+// stretch by the queueing delay. `nf-inspect congestion` on the --json
+// report shows which levels saturated and the spill hot-link table; note
+// the report's link_stats section accumulates over the whole sweep, so
+// its per-level capacities are the last (root-narrow) configuration's.
+#include "bench/bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace nf;
+  const auto cli = bench::Cli::parse(argc, argv);
+
+  bench::Params params;
+  params.num_peers = cli.quick ? 300 : 600;
+  params.num_items = cli.quick ? 20000 : 50000;
+  params.seed = cli.seed;
+  params.threads = cli.threads;
+
+  bench::JsonReport report(cli, "fig_congestion");
+  report.params_from(params);
+  bench::Env env(params, report.obs());
+  const Value t = env.threshold();
+  const auto oracle = env.workload.frequent_items(t);
+
+  // g sized so the filtering message (sa·f·g = 9600 bytes) exceeds the
+  // modem class (7000 B/round) — the mixed row queues on modem links only.
+  const std::uint32_t g = 800;
+  const std::uint32_t f = 3;
+  report.param("num_groups", obs::Json(g));
+  report.param("num_filters", obs::Json(f));
+
+  struct Sweep {
+    const char* name;
+    net::LinkModel link;
+  };
+  std::vector<Sweep> sweeps;
+  sweeps.push_back({"infinite", net::LinkModel{}});
+  {
+    net::LinkModel m;
+    m.classes = net::LinkClassModel::uniform(1200);
+    sweeps.push_back({"uniform-1200B", m});
+  }
+  {
+    net::LinkModel m;
+    m.classes = net::LinkClassModel::mixed(/*modem=*/0.25, /*dsl=*/0.5,
+                                           cli.seed + 7);
+    sweeps.push_back({"mixed-classes", m});
+  }
+  {
+    // Root-adjacent bottleneck: every level-1 link capped below even the
+    // dissemination multicast, so both waves queue at the root.
+    std::vector<std::uint32_t> depths(params.num_peers, ~0u);
+    for (std::uint32_t p = 0; p < params.num_peers; ++p) {
+      if (env.hierarchy.is_member(PeerId(p))) {
+        depths[p] = env.hierarchy.depth(PeerId(p));
+      }
+    }
+    net::LinkModel m;
+    m.classes.set_level_override(depths, /*level=*/1, /*bytes=*/512);
+    sweeps.push_back({"root-narrow-512B", m});
+  }
+
+  // Engine queueing counters accumulate across the sweep in the shared obs
+  // registry; per-row deltas come from sampling before/after each run.
+  const auto counter = [&](const char* name) -> double {
+    if (report.obs() == nullptr) return 0.0;
+    return static_cast<double>(
+        report.obs()->registry.counter(name).value());
+  };
+
+  std::cout << "# fig_congestion: flow-contended links (N="
+            << params.num_peers << ", n=" << params.num_items << ", g=" << g
+            << ", f=" << f << ")\n";
+  bench::banner(
+      "round counts vs link model, pipelined netfilter",
+      "bytes/peer identical across rows; rounds stretch with queueing, "
+      "concentrated at the root under the level-1 override");
+  TableWriter table({"config", "rounds", "r_filter", "r_verify", "queued",
+                     "delay_rounds", "bytes/peer", "exact"},
+                    std::cout, 15);
+  for (const Sweep& sweep : sweeps) {
+    const double queued_before = counter("engine/congestion/queued_msgs");
+    const double delay_before =
+        counter("engine/congestion/queue_delay_rounds");
+    env.meter.reset();
+    core::NetFilterConfig cfg;
+    cfg.num_groups = g;
+    cfg.num_filters = f;
+    cfg.threads = params.threads;
+    cfg.link = sweep.link;
+    cfg.obs = report.obs();
+    const core::NetFilter nf(cfg);
+    const core::NetFilterResult result =
+        nf.run(env.workload, env.hierarchy, env.overlay, env.meter, t);
+    const core::NetFilterStats& s = result.stats;
+    const double queued = counter("engine/congestion/queued_msgs") -
+                          queued_before;
+    const double delay = counter("engine/congestion/queue_delay_rounds") -
+                         delay_before;
+    const bool exact = result.frequent == oracle;
+    table.row(sweep.name, s.rounds_total, s.rounds_filtering,
+              s.rounds_verification, queued, delay, env.meter.per_peer(),
+              exact ? "yes" : "NO");
+    obs::Json row = bench::to_json(s);
+    row["config"] = obs::Json(std::string(sweep.name));
+    row["queued_msgs"] = obs::Json(queued);
+    row["queue_delay_rounds"] = obs::Json(delay);
+    row["exact"] = obs::Json(exact);
+    report.row(std::move(row));
+  }
+  report.capture_traffic(env.meter, /*per_peer_matrix=*/false);
+  if (!report.write()) return 1;
+  return 0;
+}

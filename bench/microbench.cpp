@@ -106,6 +106,49 @@ void BM_VarintEncodeAggregates(benchmark::State& state) {
 }
 BENCHMARK(BM_VarintEncodeAggregates)->Arg(300)->Arg(3000);
 
+// The convergecast merge kernel: child's encoded aggregate vector folded
+// into the parent's SoA row. Second arg caps the values — < 128 keeps every
+// varint at one byte (the SWAR fast path in add_aggregates_from), large
+// values force the scalar get_varint loop, so the pair bounds the win.
+void BM_VarintAddAggregates(benchmark::State& state) {
+  Rng rng(9);
+  std::vector<Value> values(static_cast<std::size_t>(state.range(0)));
+  for (auto& v : values) {
+    v = rng.below(static_cast<std::uint64_t>(state.range(1)));
+  }
+  const net::Bytes encoded = net::encode_aggregates(values);
+  std::vector<std::uint64_t> acc(values.size(), 0);
+  for (auto _ : state) {
+    net::add_aggregates_from(encoded, acc);
+    benchmark::DoNotOptimize(acc.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_VarintAddAggregates)
+    ->Args({300, 100})
+    ->Args({300, 1000000})
+    ->Args({3000, 100})
+    ->Args({3000, 1000000});
+
+// Raw column add over disjoint rows — what nf::add_columns turns into once
+// the restrict qualification licenses vectorization (partitioned merge,
+// decoded fixed32 rows).
+void BM_ColumnAdd(benchmark::State& state) {
+  Rng rng(11);
+  const auto width = static_cast<std::size_t>(state.range(0));
+  std::vector<std::uint64_t> acc(width, 0);
+  std::vector<std::uint64_t> src(width);
+  for (auto& v : src) v = rng.below(10000);
+  for (auto _ : state) {
+    add_columns(acc.data(), src.data(), width);
+    benchmark::DoNotOptimize(acc.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_ColumnAdd)->Arg(300)->Arg(3000);
+
 void BM_DeltaEncodePairs(benchmark::State& state) {
   std::vector<std::pair<ItemId, Value>> pairs;
   for (std::int64_t i = 0; i < state.range(0); ++i) {

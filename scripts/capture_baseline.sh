@@ -4,6 +4,9 @@
 #   BENCH_fig7_baseline.json    — fig7_skewness (convergecast-heavy)
 #   BENCH_million_baseline.json — fig7_million_peers (flat payloads at
 #                                 N=10^5 peers; full 10^6 without --quick)
+#   BENCH_congestion_baseline.json — fig_congestion (link-capacity sweep;
+#                                 `nf-inspect congestion` diffs its
+#                                 queueing scalars in CI)
 #
 # The per-peer *_cost columns are deterministic (fixed seed, flat wire
 # model), so any diff is a real behavior change. Re-run this script and
@@ -19,7 +22,7 @@ build_dir=${BUILD_DIR:-build}
 # Keep in sync with obs::kSchemaVersion (src/obs/export.h): a baseline
 # captured from a stale build would make every CI diff nonsense, so fail
 # loudly instead of committing it.
-expected_schema=6
+expected_schema=7
 
 capture() {
   local bench="$build_dir/bench/$1" out="$2"
@@ -42,3 +45,4 @@ EOF
 capture fig5_filter_size BENCH_baseline.json
 capture fig7_skewness BENCH_fig7_baseline.json
 capture fig7_million_peers BENCH_million_baseline.json
+capture fig_congestion BENCH_congestion_baseline.json

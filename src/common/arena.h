@@ -10,6 +10,7 @@
 // shards flipping neighboring bits is a data race.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <span>
 #include <type_traits>
@@ -129,5 +130,16 @@ class PeerRowArena {
   std::vector<T> slots_;
   std::uint32_t width_ = 0;
 };
+
+/// Contiguous column add: acc[i] += src[i] for i < n. The restrict
+/// qualification promises the compiler the two columns never alias —
+/// true for PeerRowArena rows, which are disjoint by construction — so
+/// it can emit wide vector adds instead of scalar load/add/store chains.
+/// This is the merge kernel of every aggregate convergecast.
+inline void add_columns(std::uint64_t* __restrict acc,
+                        const std::uint64_t* __restrict src,
+                        std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) acc[i] += src[i];
+}
 
 }  // namespace nf

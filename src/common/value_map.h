@@ -10,6 +10,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <span>
 #include <utility>
 #include <vector>
 
@@ -40,6 +41,20 @@ class ValueMap {
         out.entries_.emplace_back(id, v);
       }
     }
+    return out;
+  }
+
+  /// Builds from pairs already sorted by id with no duplicates — e.g. the
+  /// arena-backed Phase-2 candidate rows, which are written in the sorted
+  /// order of the source map they filter. Skips the sort entirely.
+  static ValueMap from_sorted(std::span<const value_type> pairs) {
+    ValueMap out;
+    out.entries_.assign(pairs.begin(), pairs.end());
+    ensure(std::is_sorted(out.entries_.begin(), out.entries_.end(),
+                          [](const value_type& a, const value_type& b) {
+                            return a.first < b.first;
+                          }),
+           "from_sorted input must be sorted by id");
     return out;
   }
 

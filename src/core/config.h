@@ -35,6 +35,11 @@ struct NetFilterConfig {
   /// loss-free simulation. With loss > 0 the engine's reliability layer
   /// keeps the result exact and the meter shows the price.
   net::LinkFaultModel fault{};
+  /// Link delay/capacity model. The default (delay 1, infinite capacity)
+  /// reproduces the paper's synchronous network bit-for-bit; a
+  /// capacity-limited model makes heavy phases queue on narrow links and
+  /// the per-phase round counts grow accordingly (net/link_model.h).
+  net::LinkModel link{};
   /// Engine round budget per protocol phase (safety net, not a tuning knob).
   std::uint64_t max_rounds_per_phase = 100000;
   /// Run the classic three-engine-run orchestration (one global barrier

@@ -92,4 +92,14 @@ std::uint32_t optimal_num_filters(const WireSizes& wire, double num_items,
   return std::max(1u, static_cast<std::uint32_t>(std::ceil(f)));
 }
 
+double transfer_rounds(double message_bytes, double link_capacity) {
+  if (!(link_capacity > 0.0) || std::isinf(link_capacity)) return 1.0;
+  return std::max(1.0, std::ceil(message_bytes / link_capacity));
+}
+
+double phase_rounds(double message_bytes, double depth,
+                    double link_capacity) {
+  return depth * transfer_rounds(message_bytes, link_capacity) + 1.0;
+}
+
 }  // namespace nf::core::cost_model

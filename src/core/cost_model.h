@@ -82,4 +82,19 @@ namespace nf::core::cost_model {
                                                 double heavy_items,
                                                 double num_groups);
 
+/// Queueing extension (link-capacity engine, net/link_model.h): rounds one
+/// hop needs to push `message_bytes` through a link draining
+/// `link_capacity` bytes/round — ceil(bytes / capacity), floored at 1.
+/// Infinite (or non-positive) capacity collapses to the paper's one
+/// round/hop synchronous model.
+[[nodiscard]] double transfer_rounds(double message_bytes,
+                                     double link_capacity);
+
+/// Rounds a depth-`depth` wave (convergecast or multicast) needs when every
+/// hop moves `message_bytes` over a level-bottleneck link of
+/// `link_capacity`: the wave front crosses one level per transfer, plus one
+/// round for the engine to observe quiescence. depth * transfer + 1.
+[[nodiscard]] double phase_rounds(double message_bytes, double depth,
+                                  double link_capacity);
+
 }  // namespace nf::core::cost_model

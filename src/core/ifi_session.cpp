@@ -49,7 +49,7 @@ IfiSessionPhases::IfiSessionPhases(const NetFilter& netfilter,
           /*local=*/
           [this](PeerId p) {
             ensure(ready_[p] != 0, "peer aggregating before materialization");
-            return std::move(partial_[p.value()]);
+            return partial_.take(p);
           },
           /*wire_bytes=*/
           netfilter.config().wire_model == WireModel::kFlatFields
@@ -60,9 +60,9 @@ IfiSessionPhases::IfiSessionPhases(const NetFilter& netfilter,
                     })
               : agg::FlatPairsConvergecastPhase::WireBytesFn(),
           netfilter.config().obs),
-      partial_(hierarchy.num_peers()),
       ready_(hierarchy.num_peers(), false) {
   require(threshold >= 1, "threshold must be >= 1");
+  partial_.configure(items);
   filtering_.set_on_complete(
       [this](net::PhaseContext& ctx, std::span<const Value> global) {
         finish_filtering(ctx, global);
@@ -137,8 +137,7 @@ void IfiSessionPhases::on_heavy_received(
   const HeavyGroupSet hg =
       decode_heavy_groups(encoded, cfg.num_filters, cfg.num_groups);
   const PeerId p = ctx.self();
-  partial_[p.value()] =
-      netfilter_.materialize_candidates(items_.local_items(p), hg);
+  partial_.materialize(p, items_.local_items(p), hg, netfilter_.bank());
   ready_[p] = true;
   ctx.open_phase(aggregation_pid_);
 }

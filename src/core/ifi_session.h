@@ -98,10 +98,10 @@ class IfiSessionPhases {
   net::PhaseId dissemination_pid_ = 0;
   net::PhaseId aggregation_pid_ = 0;
 
-  // Per-peer candidate materialization slots: written from the receiving
-  // peer's shard on heavy receipt, moved out by the same peer's aggregation
+  // Per-peer candidate rows in one flat slab: written from the receiving
+  // peer's shard on heavy receipt, adopted by the same peer's aggregation
   // on_start. The flags are a byte arena so neighbors never share a byte.
-  std::vector<LocalItems> partial_;
+  CandidateRows partial_;
   PeerArena<bool> ready_;
 
   // Root-shard writes, published by the round barrier / read after the run.

@@ -34,7 +34,8 @@ double per_peer(std::uint64_t bytes, std::uint32_t num_peers) {
 // so it and the lumped F1 total are advisory.
 void record_netfilter_conformance(const NetFilterConfig& config,
                                   const NetFilterStats& s,
-                                  std::uint32_t num_peers) {
+                                  std::uint32_t num_peers,
+                                  const agg::Hierarchy* hierarchy) {
   obs::Context* obs = config.obs;
   if (obs == nullptr) return;
   if (config.wire_model != WireModel::kFlatFields) return;
@@ -78,6 +79,52 @@ void record_netfilter_conformance(const NetFilterConfig& config,
                                               fp) *
                        non_root,
                    s.total_cost(), /*gated=*/false);
+
+  // Advisory round-count checks (the queueing cost model): each phase is a
+  // depth-D wave whose front needs transfer_rounds(message, capacity)
+  // rounds per level, gated by the narrowest link of that level. Only the
+  // barriered orchestration pays the phases back to back, so only there is
+  // the per-phase wave model the right predictor; the aggregation message
+  // uses the paper's upper bound, so these stay advisory like F1.total.
+  if (hierarchy != nullptr && config.barriered) {
+    const std::uint32_t height = hierarchy->height();
+    const double depth = height > 0 ? height - 1.0 : 0.0;
+    // Per-level bottleneck: min capacity among the level-d parent links.
+    std::vector<double> min_cap(
+        height, static_cast<double>(net::kInfiniteCapacity));
+    for (std::uint32_t p = 0; p < num_peers; ++p) {
+      const PeerId id(p);
+      if (!hierarchy->is_member(id) || id == hierarchy->root()) continue;
+      const std::uint32_t d = hierarchy->depth(id);
+      const auto cap = static_cast<double>(
+          config.link.capacity(id, hierarchy->upstream(id)));
+      if (cap < min_cap[d]) min_cap[d] = cap;
+    }
+    const auto wave = [&](double message_bytes) {
+      // Σ_d transfer_rounds at the level bottleneck, plus the quiescence
+      // round — phase_rounds specialized to heterogeneous levels.
+      double rounds = 1.0;
+      for (std::uint32_t d = 1; d < height; ++d) {
+        rounds += cost_model::transfer_rounds(message_bytes, min_cap[d]);
+      }
+      return rounds;
+    };
+    const double filt_rounds =
+        wave(config.wire.aggregate_bytes * f * g);
+    const double veri_rounds =
+        wave(config.wire.group_id_bytes * w_total) +
+        wave(static_cast<double>(config.wire.item_value_pair()) * (r + fp));
+    report.set_param("tree_depth", depth);
+    report.add_check("rounds.filtering", filt_rounds,
+                     static_cast<double>(s.rounds_filtering),
+                     /*gated=*/false);
+    report.add_check("rounds.verification", veri_rounds,
+                     static_cast<double>(s.rounds_verification),
+                     /*gated=*/false);
+    report.add_check("rounds.total", filt_rounds + veri_rounds,
+                     static_cast<double>(s.rounds_total),
+                     /*gated=*/false);
+  }
 
   // Per-level split of the two exact terms, accumulated into the link_stats
   // predictions (schema v6): each member at depth d pushes one sa·f·g
@@ -211,6 +258,7 @@ HeavyGroupSet NetFilter::filter_candidates(const ItemSource& items,
   net::Engine engine(overlay, meter);
   engine.set_threads(config_.threads);
   engine.set_fault_model(config_.fault);
+  engine.set_link_model(config_.link);
   engine.set_obs(config_.obs);
   const std::uint64_t rounds =
       engine.run(cast, config_.max_rounds_per_phase);
@@ -262,9 +310,11 @@ NetFilterResult NetFilter::verify_candidates(
   // (lines 3-4). The downward wave strictly precedes the upward one — no
   // peer can contribute before it has the heavy list — so the two protocols
   // run back to back.
-  // Per-peer slots written from the receiving peer's shard; the flags are a
-  // byte arena so neighbors never share a written byte.
-  std::vector<LocalItems> partial(overlay.num_peers());
+  // Candidate rows live in one flat slab (disjoint spans per peer, written
+  // from the receiving peer's shard); the flags are a byte arena so
+  // neighbors never share a written byte.
+  CandidateRows partial;
+  partial.configure(items);
   PeerArena<bool> ready(overlay.num_peers(), false);
 
   agg::FlatMulticast down(
@@ -274,8 +324,7 @@ NetFilterResult NetFilter::verify_candidates(
       [&](PeerId p, std::span<const std::uint8_t> body) {
         const HeavyGroupSet hg = decode_heavy_groups(
             body, config_.num_filters, config_.num_groups);
-        partial[p.value()] =
-            materialize_candidates(items.local_items(p), hg);
+        partial.materialize(p, items.local_items(p), hg, bank_);
         ready[p] = true;
       },
       config_.obs);
@@ -283,6 +332,7 @@ NetFilterResult NetFilter::verify_candidates(
   net::Engine engine(overlay, meter);
   engine.set_threads(config_.threads);
   engine.set_fault_model(config_.fault);
+  engine.set_link_model(config_.link);
   engine.set_obs(config_.obs);
   std::uint64_t down_rounds = 0;
   {
@@ -304,7 +354,7 @@ NetFilterResult NetFilter::verify_candidates(
       /*local=*/
       [&](PeerId p) {
         ensure(ready[p] != 0, "peer aggregating before materialization");
-        return std::move(partial[p.value()]);
+        return partial.take(p);
       },
       std::move(pair_bytes), config_.obs);
   std::uint64_t up_rounds = 0;
@@ -381,6 +431,7 @@ NetFilterResult NetFilter::run_pipelined(const ItemSource& items,
   net::Engine engine(overlay, meter);
   engine.set_threads(config_.threads);
   engine.set_fault_model(config_.fault);
+  engine.set_link_model(config_.link);
   engine.set_obs(config_.obs);
   const std::uint64_t rounds_total =
       engine.run(mux, config_.max_rounds_per_phase);
@@ -430,6 +481,26 @@ NetFilterResult NetFilter::run(const ItemSource& items,
     }
     ls.configure_levels(depths, hierarchy.height());
     ls.bind_series(config_.obs->registry, config_.obs->series);
+    // Static level capacities — the utilization denominator for
+    // `nf-inspect congestion`. A level's directed capacity is the sum over
+    // its parent links of both directions (up-convergecast and
+    // down-multicast cross the same edge).
+    if (config_.link.capacity_limited()) {
+      std::vector<std::uint64_t> level_cap(hierarchy.height(), 0);
+      for (std::uint32_t p = 0; p < overlay.num_peers(); ++p) {
+        const PeerId id(p);
+        if (!hierarchy.is_member(id) || id == hierarchy.root()) continue;
+        const std::uint64_t cap =
+            config_.link.capacity(id, hierarchy.upstream(id));
+        // Uncapped links (possible under partial level overrides) never
+        // queue; leave them out of the finite denominator.
+        if (cap == net::kInfiniteCapacity) continue;
+        level_cap[hierarchy.depth(id)] += 2 * cap;
+      }
+      for (std::uint32_t d = 0; d < hierarchy.height(); ++d) {
+        ls.set_level_capacity(d, level_cap[d]);
+      }
+    }
   }
   const std::uint64_t host_before =
       meter.total(net::TrafficCategory::kHostReport);
@@ -446,7 +517,8 @@ NetFilterResult NetFilter::run(const ItemSource& items,
           ? run_barriered(effective, hierarchy, overlay, meter, threshold)
           : run_pipelined(effective, hierarchy, overlay, meter, threshold);
   result.stats.host_report_cost = host_report_cost;
-  record_netfilter_conformance(config_, result.stats, overlay.num_peers());
+  record_netfilter_conformance(config_, result.stats, overlay.num_peers(),
+                               &hierarchy);
   return result;
 }
 

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "agg/hierarchy.h"
+#include "common/arena.h"
 #include "common/hashing.h"
 #include "common/item_source.h"
 #include "core/config.h"
@@ -36,6 +37,51 @@ struct HeavyGroupSet {
 
   /// True iff every one of the item's f groups is heavy.
   [[nodiscard]] bool passes(ItemId item, const FilterBank& bank) const;
+};
+
+/// Arena-backed Phase-2 candidate rows: peer p's materialized candidates
+/// occupy one contiguous span of a shared pair slab instead of N little
+/// maps. Rows are written in place on the dissemination receive — sorted
+/// order is inherited from the peer's local item map, so adopting a row
+/// into a LocalItems skips the sort — and distinct peers own disjoint
+/// spans, which preserves the sharded engine's disjoint-writer contract
+/// (common/arena.h). Capacity is bounded by the local item counts, so a
+/// warmed instance never reallocates across runs.
+class CandidateRows {
+ public:
+  /// Sizes every row to its upper bound (the peer's local item count).
+  void configure(const ItemSource& items) {
+    const std::uint32_t n = items.num_peers();
+    offsets_.assign(std::size_t{n} + 1, 0);
+    for (std::uint32_t p = 0; p < n; ++p) {
+      offsets_[p + 1] = offsets_[p] + items.local_items(PeerId(p)).size();
+    }
+    slab_.resize(offsets_[n]);
+    counts_.assign(n, 0);
+  }
+
+  /// Writes the entries of `local` that pass `heavy` under `bank` into
+  /// p's row (runs on the shard that owns p).
+  void materialize(PeerId p, const LocalItems& local,
+                   const HeavyGroupSet& heavy, const FilterBank& bank) {
+    std::size_t w = offsets_[p.value()];
+    for (const auto& [id, value] : local) {
+      if (heavy.passes(id, bank)) slab_[w++] = {id, value};
+    }
+    counts_[p] = static_cast<std::uint32_t>(w - offsets_[p.value()]);
+  }
+
+  /// The row as a ready-to-merge map (sorted adoption, no re-sort).
+  [[nodiscard]] LocalItems take(PeerId p) const {
+    return LocalItems::from_sorted(
+        std::span<const LocalItems::value_type>(slab_).subspan(
+            offsets_[p.value()], counts_[p]));
+  }
+
+ private:
+  std::vector<std::size_t> offsets_;  ///< per-peer row starts, [n]+1
+  std::vector<LocalItems::value_type> slab_;
+  PeerArena<std::uint32_t> counts_;
 };
 
 struct NetFilterStats {
@@ -159,8 +205,16 @@ class NetFilter {
 /// `stats`. Only configurations the closed-form model prices are judged —
 /// flat wire fields on a loss-free network. Public so QueryService can
 /// record one run per multiplexed session from per-session traffic tallies.
+///
+/// When `hierarchy` is given and the run was barriered, the report also
+/// carries advisory `rounds.*` checks: predicted round counts from the
+/// queueing cost model (cost_model::phase_rounds over the per-level
+/// bottleneck link capacities of config.link) vs the measured
+/// rounds_filtering / rounds_verification / rounds_total. Pipelined runs
+/// overlap phases, so the per-phase wave model does not apply there.
 void record_netfilter_conformance(const NetFilterConfig& config,
                                   const NetFilterStats& stats,
-                                  std::uint32_t num_peers);
+                                  std::uint32_t num_peers,
+                                  const agg::Hierarchy* hierarchy = nullptr);
 
 }  // namespace nf::core

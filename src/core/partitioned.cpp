@@ -5,6 +5,7 @@
 
 #include "agg/convergecast.h"
 #include "agg/multicast.h"
+#include "common/arena.h"
 #include "common/error.h"
 
 namespace nf::core {
@@ -58,7 +59,7 @@ PartitionedResult PartitionedNetFilter::run(
         },
         /*merge=*/
         [](std::vector<Value>& a, std::vector<Value>&& b) {
-          for (std::size_t i = 0; i < a.size(); ++i) a[i] += b[i];
+          add_columns(a.data(), b.data(), a.size());
         },
         /*wire_bytes=*/
         [wire_bytes](const std::vector<Value>&) { return wire_bytes; });

@@ -21,6 +21,12 @@ struct TunedSetting {
   Value threshold = 0;            ///< t = θ·v
   Value v_total = 0;              ///< v, from the bootstrap aggregate
   agg::SampleEstimates estimates;
+  /// Cost-model predictions for the chosen (g, f) under config.link:
+  /// barriered round count (phase waves over the bottleneck link) and
+  /// per-peer bytes (Formula 1 with the fp2 estimate). Under infinite
+  /// capacity predicted_rounds is the pure 3-wave depth term.
+  double predicted_rounds = 0.0;
+  double predicted_bytes = 0.0;
 
   /// A ready-to-run config carrying the tuned g and f.
   [[nodiscard]] NetFilterConfig to_config(const NetFilterConfig& base) const {
@@ -40,6 +46,13 @@ struct TunerConfig {
   std::uint32_t min_groups = 2;
   std::uint32_t max_groups = 1u << 20;
   std::uint32_t max_filters = 16;
+  /// Link model the tuned run will execute under. The default (infinite
+  /// capacity) keeps the paper's closed-form Formulae 3/6; a
+  /// capacity-limited model switches the tuner to a grid search that
+  /// minimizes (predicted rounds, predicted bytes) lexicographically —
+  /// under congestion a slightly larger filter that fits the bottleneck
+  /// link beats the pure byte optimum that queues for extra rounds.
+  net::LinkModel link{};
 };
 
 /// Computes v by a scalar aggregate over the hierarchy (charged sa bytes per

@@ -1,5 +1,6 @@
 #include "net/codec.h"
 
+#include <cstring>
 #include <limits>
 
 namespace nf::net {
@@ -157,8 +158,26 @@ void add_aggregates_from(std::span<const std::uint8_t> in,
   std::size_t offset = 0;
   const std::uint64_t count = get_varint(in, offset);
   ensure(count == acc.size(), "aggregate vector width mismatch");
-  for (std::uint64_t i = 0; i < count; ++i) {
-    acc[i] += get_varint(in, offset);
+  const std::uint8_t* __restrict bytes = in.data();
+  std::uint64_t* __restrict out = acc.data();
+  std::uint64_t i = 0;
+  while (i < count) {
+    // SWAR fast path: one 8-byte load tests the continuation bits of the
+    // next 8 lanes at once. Group aggregates are mostly small (sparse item
+    // sets, values < 128), so runs of single-byte varints dominate and the
+    // widening add below autovectorizes — the scalar get_varint loop only
+    // runs where a multi-byte value breaks the run.
+    if (i + 8 <= count && offset + 8 <= in.size()) {
+      std::uint64_t word;
+      std::memcpy(&word, bytes + offset, sizeof(word));
+      if ((word & 0x8080808080808080ull) == 0) {
+        for (std::size_t k = 0; k < 8; ++k) out[i + k] += bytes[offset + k];
+        offset += 8;
+        i += 8;
+        continue;
+      }
+    }
+    out[i++] += get_varint(in, offset);
   }
   ensure(offset == in.size(), "trailing bytes after aggregate vector");
 }

@@ -135,15 +135,41 @@ void Engine::set_threads(std::uint32_t threads) {
 }
 
 void Engine::set_latency_model(const LatencyModel& model) {
+  // The infinite-capacity special case of the link model: same delays,
+  // same seeded per-link draw, no scheduler.
+  LinkModel link;
+  link.min_delay = model.min_delay;
+  link.max_delay = model.max_delay;
+  link.seed = model.seed;
+  set_link_model(link);
+}
+
+void Engine::set_link_model(const LinkModel& model) {
   require(model.min_delay >= 1, "latency must be at least one round");
   require(model.max_delay >= model.min_delay,
           "max_delay must be >= min_delay");
+  require(model.max_backlog_rounds >= 1, "max_backlog_rounds must be >= 1");
   require(in_transit_ == 0,
-          "cannot change the latency model with messages in transit");
-  latency_ = model;
-  latency_on_ = model.max_delay > 1;
-  transit_ring_.assign(std::max<std::size_t>(2, model.max_delay + 1), {});
+          "cannot change the link model with messages in transit");
+  link_ = model;
+  link_delay_on_ = model.max_delay > 1;
+  link_capacity_on_ = model.capacity_limited();
+  // The transit ring must span the farthest admissible delivery offset:
+  // max_delay alone for the infinite-capacity path (identical ring
+  // geometry to the historical engine — slab offsets and reports stay
+  // bit-for-bit), plus the backlog horizon when links can queue.
+  const std::size_t span =
+      link_capacity_on_
+          ? static_cast<std::size_t>(model.max_delay) +
+                model.max_backlog_rounds
+          : static_cast<std::size_t>(model.max_delay) + 1;
+  transit_ring_.assign(std::max<std::size_t>(2, span), {});
   ring_slabs_.assign(transit_ring_.size(), {});
+  if (link_capacity_on_) {
+    link_queues_.configure(overlay_.num_peers());
+  } else {
+    link_queues_ = LinkQueueTable{};
+  }
 }
 
 void Engine::set_fault_model(const LinkFaultModel& model) {
@@ -179,6 +205,10 @@ void Engine::set_obs(obs::Context* obs) {
     link_stats_ = nullptr;
     obs_overhead_us_ = nullptr;
     obs_round_us_ = nullptr;
+    obs_queued_msgs_ = nullptr;
+    obs_queue_delay_ = nullptr;
+    obs_clamped_bytes_ = nullptr;
+    obs_backlog_bytes_ = nullptr;
     return;
   }
   obs_steady_allocs_ = &obs->registry.counter("engine/steady_allocs");
@@ -191,6 +221,13 @@ void Engine::set_obs(obs::Context* obs) {
   link_stats_ = &obs->link_stats;
   obs_overhead_us_ = &obs->registry.counter("obs/overhead_us");
   obs_round_us_ = &obs->registry.counter("engine/round_us");
+  // Link-scheduler telemetry (all zero under infinite capacity).
+  obs_queued_msgs_ = &obs->registry.counter("engine/congestion/queued_msgs");
+  obs_queue_delay_ =
+      &obs->registry.counter("engine/congestion/queue_delay_rounds");
+  obs_clamped_bytes_ =
+      &obs->registry.counter("engine/congestion/clamped_bytes");
+  obs_backlog_bytes_ = &obs->registry.gauge("engine/backlog_bytes");
   // Built-in engine series. Successive engines sharing one context rebind
   // these columns (re-baselining the counters), so deltas keep flowing.
   obs->series.track_counter("engine/sent", obs_sent_);
@@ -198,7 +235,13 @@ void Engine::set_obs(obs::Context* obs) {
   obs->series.track_counter("engine/sent_bytes", obs_sent_bytes_);
   obs->series.track_gauge("engine/in_flight", obs_in_flight_);
   obs->series.track_counter("obs/overhead_us", obs_overhead_us_);
+  // nf-lint: nf-obs-context-ok (guarded by the early return at the top)
   obs->series.track_counter("engine/round_us", obs_round_us_);
+  // nf-lint: nf-obs-context-ok (guarded by the early return at the top)
+  obs->series.track_gauge("engine/backlog_bytes", obs_backlog_bytes_);
+  // nf-lint: nf-obs-context-ok (guarded by the early return at the top)
+  obs->series.track_counter("engine/congestion/queue_delay_rounds",
+                            obs_queue_delay_);
 }
 
 void Engine::set_send_probe(std::function<void(const Envelope&)> probe) {
@@ -336,7 +379,46 @@ void Engine::admit(Outgoing&& out, std::span<const std::uint8_t> flat_bytes) {
                fault_.loss_probability;
   }
   std::uint32_t d = 1;
-  if (latency_on_) d = latency_.delay(out.envelope.from, out.envelope.to);
+  if (link_delay_on_) d = link_.delay(out.envelope.from, out.envelope.to);
+  // Link scheduler: behind a backlog, the message spends extra transfer
+  // rounds beyond its propagation delay. Admissions run on the engine
+  // thread in canonical (major, minor) order, so the per-link queue state
+  // — and with it every delivery round — is identical for any shard count.
+  if (link_capacity_on_) {
+    const std::uint64_t cap =
+        link_.capacity(out.envelope.from, out.envelope.to);
+    if (cap != kInfiniteCapacity) {
+      const std::uint32_t level =
+          link_stats_ != nullptr
+              ? static_cast<std::uint32_t>(link_stats_->level_of_link(
+                    out.envelope.from.value(), out.envelope.to.value()))
+              : ~0u;
+      const LinkQueueTable::Scheduled sched = link_queues_.schedule(
+          out.envelope.from, out.envelope.to, cap, out.envelope.bytes,
+          link_.max_backlog_rounds, level);
+      if (sched.queue_rounds > 1) {
+        ++queued_msgs_;
+        queue_delay_rounds_ += sched.queue_rounds - 1;
+        if (obs_ != nullptr) {
+          obs_queued_msgs_->add(1);
+          obs_queue_delay_->add(sched.queue_rounds - 1);
+        }
+        // The whole message waited behind the backlog: charge it to the
+        // congestion spill summary so `nf-inspect congestion` can rank the
+        // links the queueing gates on.
+        if (link_stats_ != nullptr) {
+          link_stats_->charge_spill(out.envelope.from.value(),
+                                    out.envelope.to.value(),
+                                    out.envelope.bytes);
+        }
+        d += static_cast<std::uint32_t>(sched.queue_rounds - 1);
+      }
+      if (sched.clamped_bytes != 0) {
+        clamped_bytes_ += sched.clamped_bytes;
+        if (obs_ != nullptr) obs_clamped_bytes_->add(sched.clamped_bytes);
+      }
+    }
+  }
   // Park the payload span in the delivery slot's slab and rewrite the ref.
   // Admissions happen in canonical order on the engine thread, so slot-slab
   // offsets are identical for any shard count.
@@ -350,6 +432,34 @@ void Engine::admit(Outgoing&& out, std::span<const std::uint8_t> flat_bytes) {
   if (send_probe_) send_probe_(out.envelope);
   bucket_at(round_ + d).push_back(std::move(out));
   ++in_transit_;
+}
+
+void Engine::drain_link_queues() {
+  // Round barrier: every backlogged link clears up to its capacity. The
+  // walk is engine-thread sequential over state built in canonical
+  // admission order, so backlog trajectories — and the gauges fed from
+  // them — are identical for any shard count.
+  if (link_stats_ != nullptr) {
+    const std::size_t rows =
+        static_cast<std::size_t>(link_stats_->num_levels()) + 1;
+    backlog_by_level_.assign(rows, 0);
+    backlog_bytes_ = link_queues_.drain_round(
+        [this, rows](std::uint32_t level, std::uint64_t bytes) {
+          const std::size_t row = level < rows ? level : rows - 1;
+          backlog_by_level_[row] += bytes;
+        });
+    // Publish every level every round (a cleared level must fall back to
+    // 0, not hold its peak).
+    for (std::size_t row = 0; row + 1 < rows; ++row) {
+      link_stats_->set_backlog(row, backlog_by_level_[row]);
+    }
+  } else {
+    backlog_bytes_ =
+        link_queues_.drain_round([](std::uint32_t, std::uint64_t) {});
+  }
+  if (obs_ != nullptr) {
+    obs_backlog_bytes_->set(static_cast<double>(backlog_bytes_));
+  }
 }
 
 void Engine::begin_steady_state() {
@@ -632,6 +742,11 @@ std::uint64_t Engine::run(std::span<Protocol* const> protocols,
 
     // 6. Reliability layer: resend what was not acknowledged in time.
     scan_retransmissions();
+
+    // 6a-pre. Link scheduler: every backlogged link drains one round of
+    // capacity; per-level backlog gauges are published before the series
+    // sample below closes the round.
+    if (link_capacity_on_) drain_link_queues();
 
     // 6a. This round's delivery slot is fully consumed (handlers ran, the
     // merge only filled future slots), so its payload slab can be reclaimed.

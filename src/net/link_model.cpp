@@ -1,0 +1,124 @@
+#include "net/link_model.h"
+
+#include <algorithm>
+
+namespace nf::net {
+
+LinkClassModel LinkClassModel::uniform(std::uint64_t bytes_per_round) {
+  require(bytes_per_round > 0, "link capacity must be positive");
+  LinkClassModel m;
+  if (bytes_per_round != kInfiniteCapacity) {
+    m.mode_ = Mode::kUniform;
+    m.uniform_bytes_ = bytes_per_round;
+  }
+  return m;
+}
+
+LinkClassModel LinkClassModel::uniform_class(LinkClass c) {
+  return uniform(link_class_capacity(c));
+}
+
+LinkClassModel LinkClassModel::mixed(double modem_fraction,
+                                     double dsl_fraction,
+                                     std::uint64_t seed) {
+  require(modem_fraction >= 0.0 && dsl_fraction >= 0.0 &&
+              modem_fraction + dsl_fraction <= 1.0,
+          "class fractions must be non-negative and sum to <= 1");
+  LinkClassModel m;
+  m.mode_ = Mode::kMixed;
+  m.modem_fraction_ = modem_fraction;
+  m.dsl_fraction_ = dsl_fraction;
+  m.seed_ = seed;
+  return m;
+}
+
+void LinkClassModel::set_level_override(std::span<const std::uint32_t> depths,
+                                        std::uint32_t level,
+                                        std::uint64_t bytes_per_round) {
+  require(bytes_per_round > 0, "link capacity must be positive");
+  // First override installs the depth vector; later ones must agree so the
+  // model stays a single consistent view of the hierarchy.
+  if (depths_.empty()) {
+    depths_.assign(depths.begin(), depths.end());
+  } else {
+    require(depths_.size() == depths.size() &&
+                std::equal(depths_.begin(), depths_.end(), depths.begin()),
+            "level overrides must share one depth vector");
+  }
+  if (level_caps_.size() <= level) level_caps_.resize(level + 1, 0);
+  level_caps_[level] = bytes_per_round;
+}
+
+void LinkQueueTable::configure(std::uint64_t num_peers) {
+  // Trees and near-tree overlays carry ~2N directed links; keep the table
+  // under 50% load. Power-of-two size for mask probing.
+  std::size_t want = 64;
+  while (want < num_peers * 4) want <<= 1;
+  slots_.assign(want, Slot{});
+  active_.clear();
+  active_.reserve(256);
+  used_ = 0;
+}
+
+std::size_t LinkQueueTable::slot_of(std::uint64_t key) {
+  if (slots_.empty()) configure(16);
+  const std::size_t mask = slots_.size() - 1;
+  std::size_t i = static_cast<std::size_t>(mix64(key)) & mask;
+  while (slots_[i].key != kEmptyKey && slots_[i].key != key) {
+    i = (i + 1) & mask;
+  }
+  return i;
+}
+
+void LinkQueueTable::grow() {
+  std::vector<Slot> old;
+  old.swap(slots_);
+  slots_.assign(old.size() * 2, Slot{});
+  active_.clear();
+  used_ = 0;
+  for (const Slot& s : old) {
+    if (s.key == kEmptyKey) continue;
+    const std::size_t i = slot_of(s.key);
+    slots_[i] = s;
+    ++used_;
+    if (s.backlog != 0) {
+      active_.push_back(static_cast<std::uint32_t>(i));
+    }
+  }
+}
+
+LinkQueueTable::Scheduled LinkQueueTable::schedule(
+    PeerId from, PeerId to, std::uint64_t capacity, std::uint64_t bytes,
+    std::uint32_t max_backlog_rounds, std::uint32_t level) {
+  std::size_t i = slot_of(key_of(from, to));
+  if (slots_[i].key == kEmptyKey) {
+    if ((used_ + 1) * 2 > slots_.size()) {
+      grow();
+      i = slot_of(key_of(from, to));
+    }
+    slots_[i].key = key_of(from, to);
+    ++used_;
+  }
+  Slot& s = slots_[i];
+  s.capacity = capacity;
+  s.level = level;
+  // Transfer rounds behind the existing backlog: the message's last byte
+  // clears the link after ceil((q + s) / c) rounds of draining.
+  const std::uint64_t depth = s.backlog + bytes;
+  std::uint64_t rounds = (depth + capacity - 1) / capacity;
+  if (rounds < 1) rounds = 1;
+  if (rounds > max_backlog_rounds) rounds = max_backlog_rounds;
+  const std::uint64_t horizon =
+      capacity * static_cast<std::uint64_t>(max_backlog_rounds);
+  std::uint64_t clamped = 0;
+  if (depth > horizon) {
+    clamped = depth - horizon;
+  }
+  if (s.backlog == 0 && depth > clamped) {
+    active_.push_back(static_cast<std::uint32_t>(i));
+  }
+  s.backlog = depth - clamped;
+  return Scheduled{rounds, clamped};
+}
+
+}  // namespace nf::net

@@ -161,6 +161,12 @@ Json to_json(const LinkStats& stats) {
     Json row = link_level_row(stats, d);
     row["level"] = static_cast<std::uint64_t>(d);
     row["peers"] = stats.level_peers(d);
+    // Static directed link capacity of the level (bytes/round) — the
+    // utilization denominator for nf-inspect congestion. Only present when
+    // the run installed a capacity-limited link model.
+    if (stats.level_capacity(d) != 0) {
+      row["capacity"] = stats.level_capacity(d);
+    }
     levels.push_back(std::move(row));
   }
   out["levels"] = std::move(levels);
@@ -188,6 +194,31 @@ Json to_json(const LinkStats& stats) {
     hot.push_back(std::move(link));
   }
   out["hot"] = std::move(hot);
+
+  // Congestion spill: which links the queueing gated on, by queued bytes.
+  // Present only when the run actually queued, so infinite-capacity
+  // reports keep their previous shape.
+  const LinkSummary& spill = stats.spill();
+  if (spill.total_weight() != 0) {
+    auto congestion = Json::object();
+    congestion["spilled_bytes"] = spill.total_weight();
+    congestion["spill_error_bound"] = spill.error_bound();
+    auto spill_hot = Json::array();
+    for (const LinkSummary::Entry& e : spill.ranked()) {
+      if (spill_hot.size() >= kMaxHot) break;
+      auto link = Json::object();
+      const std::uint32_t from = link_src(e.key);
+      const std::uint32_t to = link_dst(e.key);
+      link["from"] = static_cast<std::uint64_t>(from);
+      link["to"] = static_cast<std::uint64_t>(to);
+      link["level"] =
+          static_cast<std::uint64_t>(stats.level_of_link(from, to));
+      link["bytes"] = e.weight;
+      spill_hot.push_back(std::move(link));
+    }
+    congestion["hot"] = std::move(spill_hot);
+    out["congestion"] = std::move(congestion);
+  }
   return out;
 }
 
@@ -249,7 +280,7 @@ Json to_json(const ExportBundle& bundle) {
     out["series"] = to_json(bundle.obs->series);
     out["conformance"] = to_json(bundle.obs->conformance);
     out["lineage"] = to_json(bundle.obs->lineage);
-    out["link_stats"] = to_json(bundle.obs->link_stats);  // schema v6
+    out["link_stats"] = to_json(bundle.obs->link_stats);  // schema v6+v7
   }
   return out;
 }

@@ -16,7 +16,12 @@
 namespace nf::obs {
 
 /// Bump when the JSON layout changes incompatibly.
-/// History (docs/OBSERVABILITY.md "Schema history"): v6 adds the
+/// History (docs/OBSERVABILITY.md "Schema history"): v7 adds the
+/// congestion telemetry — per-level link `capacity` (bytes/round) in
+/// `link_stats.levels` rows, the `link_stats.congestion` sub-object
+/// (queued-bytes spill summary with its hot-link table), the
+/// `engine/congestion/*` counters, the `engine/backlog_bytes` gauge and
+/// the per-level `link/level<d>/backlog_bytes` gauge series; v6 adds the
 /// `link_stats` section (per-hierarchy-level byte/message accounting with
 /// cost-model level predictions, plus the Misra-Gries heavy-hitter link
 /// table), the `obs/overhead_us` / `engine/round_us` self-overhead
@@ -28,7 +33,7 @@ namespace nf::obs {
 /// result rows; v3 adds the `series` (round-sampled time series) and
 /// `conformance` (cost-model residuals) sections; v2 added the `threads`
 /// shard count to every bench's params object; v1 was the initial schema.
-inline constexpr std::uint64_t kSchemaVersion = 6;
+inline constexpr std::uint64_t kSchemaVersion = 7;
 
 /// {"counters": {...}, "gauges": {...}, "histograms": {name:
 ///  {"count","sum","min","max","buckets":[{"lo","hi","count"},...]}}}
@@ -54,11 +59,14 @@ inline constexpr std::uint64_t kSchemaVersion = 6;
 
 /// {"num_levels","link_capacity","links_tracked","links_error_bound",
 ///  "links_total_bytes","levels":[{"level","peers","total_bytes","bytes":
-///  {category:n},"msgs":{category:n},"predicted":{category:x}},...],
+///  {category:n},"msgs":{category:n},"predicted":{category:x},
+///  "capacity" (bytes/round, only when the run set one)},...],
 ///  "off_hierarchy" (same row shape, only when traffic landed there),
-///  "hot":[{"from","to","level","bytes"},...]} — hot links in (bytes desc,
-/// key asc) order, capped at 64 rows; estimates are lower bounds within
-/// links_error_bound (schema v6).
+///  "hot":[{"from","to","level","bytes"},...],
+///  "congestion" (only when links queued): {"spilled_bytes",
+///  "spill_error_bound","hot":[{"from","to","level","bytes"},...]}} — hot
+/// links in (bytes desc, key asc) order, capped at 64 rows; estimates are
+/// lower bounds within the error bound (schema v7).
 [[nodiscard]] Json to_json(const LinkStats& stats);
 
 /// {"capacity","total","dropped_nodes","runs","sessions","nodes" (columnar,

@@ -1,6 +1,8 @@
-// Topology-resolved telemetry: per-hierarchy-level traffic accounting and
-// bounded heavy-hitter link tracking (docs/OBSERVABILITY.md "Link stats",
-// schema v6 `link_stats` section).
+// Topology-resolved telemetry: per-hierarchy-level traffic accounting,
+// bounded heavy-hitter link tracking, and congestion telemetry — level
+// capacities, per-level backlog gauges, and a spill summary over queued
+// bytes (docs/OBSERVABILITY.md "Link stats", schema v7 `link_stats`
+// section).
 //
 // The TrafficMeter answers "how many bytes, per category"; nothing below it
 // answers *where* those bytes flow. LinkStats adds the spatial axis: every
@@ -331,18 +333,43 @@ class LinkStats {
     level_counters_.assign(num_levels_, nullptr);
   }
 
-  /// Creates (or rebinds) one `link/level<d>/bytes` counter per level in
-  /// `registry` and tracks it as a series column, so per-level utilization
-  /// lands in the TimeSeries ring and — via the trace-event exporter — as a
-  /// Perfetto counter track per level. Call after configure_levels();
-  /// allocation happens here, never in charge().
+  /// Creates (or rebinds) one `link/level<d>/bytes` counter and one
+  /// `link/level<d>/backlog_bytes` gauge per level in `registry` and tracks
+  /// them as series columns, so per-level utilization and queue depth land
+  /// in the TimeSeries ring and — via the trace-event exporter — as Perfetto
+  /// counter tracks per level. Call after configure_levels(); allocation
+  /// happens here, never in charge()/set_backlog().
   void bind_series(MetricsRegistry& registry, TimeSeries& series) {
+    backlog_gauges_.assign(num_levels_, nullptr);
     for (std::uint32_t d = 0; d < num_levels_; ++d) {
       const std::string name = "link/level" + std::to_string(d) + "/bytes";
       Counter* c = &registry.counter(name);
       series.track_counter(name, c);
       level_counters_[d] = c;
+      const std::string backlog =
+          "link/level" + std::to_string(d) + "/backlog_bytes";
+      Gauge* g = &registry.gauge(backlog);
+      series.track_gauge(backlog, g);
+      backlog_gauges_[d] = g;
     }
+  }
+
+  /// Installs the static directed link capacity (bytes/round) of one level
+  /// — the utilization denominator `nf-inspect congestion` divides observed
+  /// level bytes by. Computed by the run harness from the hierarchy and the
+  /// LinkClassModel (sum over both directions of every parent<->child link
+  /// at the level); purely observational. Warm-up only.
+  void set_level_capacity(std::uint32_t level, std::uint64_t bytes_per_round) {
+    if (level_capacity_.size() < num_levels_) {
+      level_capacity_.assign(num_levels_, 0);
+    }
+    if (level < level_capacity_.size()) {
+      level_capacity_[level] = bytes_per_round;
+    }
+  }
+
+  [[nodiscard]] std::uint64_t level_capacity(std::uint32_t level) const {
+    return level < level_capacity_.size() ? level_capacity_[level] : 0;
   }
 
   /// Charges one admitted envelope. Engine thread only, canonical merge
@@ -358,6 +385,27 @@ class LinkStats {
       level_counters_[row]->add(bytes);
     }
     links_.add(link_key(from, to), bytes);
+  }
+
+  /// Charges one queued admission to the congestion summary: `bytes` of a
+  /// message that could not clear link (from, to) in its propagation-delay
+  /// round and spilled into the per-link backlog. Same discipline as
+  /// charge(): engine thread only, canonical admission order only (nf-lint's
+  /// nf-link-model check flags calls outside net/engine.cpp). Zero
+  /// allocation after warm-up.
+  void charge_spill(std::uint32_t from, std::uint32_t to,
+                    std::uint64_t bytes) {
+    spill_.add(link_key(from, to), bytes);
+  }
+
+  /// Publishes one level's end-of-round backlog depth (bytes still queued
+  /// on the level's links after the round's capacity drained). Engine
+  /// thread only; no-op for rows without a bound gauge (off-hierarchy,
+  /// detached series).
+  void set_backlog(std::size_t row, std::uint64_t bytes) {
+    if (row < backlog_gauges_.size() && backlog_gauges_[row] != nullptr) {
+      backlog_gauges_[row]->set(static_cast<double>(bytes));
+    }
   }
 
   /// Accumulates a cost-model prediction for (level, category) — called
@@ -424,6 +472,12 @@ class LinkStats {
   [[nodiscard]] const LinkSummary& links() const { return links_; }
   [[nodiscard]] LinkSummary& links() { return links_; }
 
+  /// Heavy-hitter summary over *spilled* (queued) bytes per directed link —
+  /// which links the congestion actually gates on. Same Misra-Gries bounds
+  /// as links().
+  [[nodiscard]] const LinkSummary& spill() const { return spill_; }
+  [[nodiscard]] LinkSummary& spill() { return spill_; }
+
  private:
   template <typename V>
   [[nodiscard]] static typename V::value_type cell(const V& m,
@@ -440,7 +494,10 @@ class LinkStats {
   std::vector<double> predicted_;
   std::vector<std::uint64_t> level_peers_;
   std::vector<Counter*> level_counters_;  ///< one per level; bind_series()
+  std::vector<Gauge*> backlog_gauges_;    ///< one per level; bind_series()
+  std::vector<std::uint64_t> level_capacity_;  ///< bytes/round per level
   LinkSummary links_;
+  LinkSummary spill_;  ///< queued bytes per link (congestion hot list)
 };
 
 }  // namespace nf::obs

@@ -343,6 +343,114 @@ TEST(DeterminismTest, ObsMetricsAndSeriesMatchSerial) {
   }
 }
 
+// The link scheduler runs at the canonical-order merge barrier on the
+// engine thread, so saturating congestion must not cost a single bit of
+// determinism: under narrow links with a clamping backlog horizon, the
+// full netFilter run — results, congestion counters, the backlog gauge
+// series, and the link_stats congestion export — must be byte-identical
+// serial vs sharded.
+TEST(DeterminismTest, SaturatedCongestionMatchesSerial) {
+  const TestWorld world = TestWorld::make();
+  const Value t = world.workload.threshold_for(0.01);
+
+  const auto run_at = [&](std::uint32_t threads) {
+    auto ctx = std::make_unique<obs::Context>();
+    core::NetFilterConfig cfg;
+    cfg.num_groups = 40;
+    cfg.num_filters = 2;
+    cfg.threads = threads;
+    cfg.obs = ctx.get();
+    // Saturating: every message (f*g encoded group sums, ~100+ bytes)
+    // overflows a 64-byte link, the root-adjacent links get an even
+    // narrower override, and the tight horizon forces clamping.
+    cfg.link.classes = net::LinkClassModel::uniform(64);
+    std::vector<std::uint32_t> depths(kPeers);
+    for (std::uint32_t p = 0; p < kPeers; ++p) {
+      depths[p] = world.hierarchy.depth(PeerId(p));
+    }
+    cfg.link.classes.set_level_override(depths, 1, 24);
+    cfg.link.max_backlog_rounds = 6;
+    const core::NetFilter nf(cfg);
+    TrafficMeter meter(kPeers);
+    Overlay overlay = world.overlay;
+    core::NetFilterResult r =
+        nf.run(world.workload, world.hierarchy, overlay, meter, t);
+    return std::make_tuple(std::move(r), std::move(ctx), meter.total(),
+                           meter.num_messages());
+  };
+
+  const auto [serial, serial_ctx, serial_bytes, serial_msgs] = run_at(1);
+  // The scenario actually saturates: messages queued, rounds stretched.
+  EXPECT_GT(serial_ctx->registry.counter("engine/congestion/queued_msgs")
+                .value(),
+            0u);
+  EXPECT_GT(
+      serial_ctx->registry.counter("engine/congestion/queue_delay_rounds")
+          .value(),
+      0u);
+  for (const std::uint32_t k : kShardCounts) {
+    SCOPED_TRACE(::testing::Message() << "threads=" << k);
+    const auto [sharded, ctx, bytes, msgs] = run_at(k);
+    EXPECT_EQ(serial_bytes, bytes);  // contention costs rounds, not bytes
+    EXPECT_EQ(serial_msgs, msgs);
+    EXPECT_EQ(serial.stats.rounds_total, sharded.stats.rounds_total);
+    EXPECT_EQ(serial.frequent, sharded.frequent);
+    for (const auto& [name, c] : serial_ctx->registry.counters()) {
+      if (name.rfind("time_us/", 0) == 0) continue;
+      if (name == "obs/overhead_us" || name == "engine/round_us") continue;
+      EXPECT_EQ(c.value(), ctx->registry.counter(name).value()) << name;
+    }
+    // The congestion telemetry columns specifically: same stamps, same
+    // backlog trajectory per level, same utilization inputs.
+    EXPECT_EQ(serial_ctx->series.stamps(), ctx->series.stamps());
+    EXPECT_EQ(serial_ctx->series.gauge_series("engine/backlog_bytes"),
+              ctx->series.gauge_series("engine/backlog_bytes"));
+    ASSERT_TRUE(serial_ctx->link_stats.configured());
+    for (std::uint32_t d = 0; d < serial_ctx->link_stats.num_levels(); ++d) {
+      const std::string bytes_col =
+          "link/level" + std::to_string(d) + "/bytes";
+      EXPECT_EQ(serial_ctx->series.counter_series(bytes_col),
+                ctx->series.counter_series(bytes_col))
+          << bytes_col;
+      const std::string backlog_col =
+          "link/level" + std::to_string(d) + "/backlog_bytes";
+      EXPECT_EQ(serial_ctx->series.gauge_series(backlog_col),
+                ctx->series.gauge_series(backlog_col))
+          << backlog_col;
+    }
+    // The whole export — per-level capacity rows, the congestion
+    // sub-object, hot spill links — byte for byte.
+    EXPECT_EQ(obs::to_json(serial_ctx->link_stats).dump(),
+              obs::to_json(ctx->link_stats).dump());
+  }
+}
+
+// The infinite-capacity LinkModel must be invisible: explicitly setting the
+// default model on a netFilter run reproduces the no-model run bit for bit
+// (same sends, bytes, rounds, results) — the committed-baseline guarantee.
+TEST(DeterminismTest, InfiniteCapacityLinkModelIsInvisible) {
+  const TestWorld world = TestWorld::make();
+  const Value t = world.workload.threshold_for(0.01);
+
+  const auto run_at = [&](bool explicit_model) {
+    core::NetFilterConfig cfg;
+    cfg.num_groups = 40;
+    cfg.num_filters = 2;
+    if (explicit_model) {
+      cfg.link.classes = net::LinkClassModel::uniform(net::kInfiniteCapacity);
+    }
+    const core::NetFilter nf(cfg);
+    TrafficMeter meter(kPeers);
+    Overlay overlay = world.overlay;
+    core::NetFilterResult r =
+        nf.run(world.workload, world.hierarchy, overlay, meter, t);
+    return std::make_tuple(r.frequent, r.stats.rounds_total, meter.total(),
+                           meter.num_messages());
+  };
+
+  EXPECT_EQ(run_at(false), run_at(true));
+}
+
 // The pipelined session runtime must be a pure orchestration change: byte
 // for byte the same answer and phase costs as the barriered three-run
 // netFilter, in strictly fewer engine rounds — serial and sharded alike.

@@ -1,0 +1,56 @@
+// nf-lint fixture: the same sites as link_model_pos.cpp with the findings
+// suppressed (pretend this is an offline trace-replay tool that re-runs
+// the canonical admission stream single-threaded). nf-lint must report
+// nothing for nf-link-model.
+#include <cstddef>
+#include <cstdint>
+
+namespace fixture {
+
+struct Scheduled {
+  std::uint64_t queue_rounds;
+  std::uint64_t clamped_bytes;
+};
+
+struct LinkQueueTable {
+  Scheduled schedule(std::uint32_t, std::uint32_t, std::uint64_t,
+                     std::uint64_t, std::uint32_t, std::uint32_t) {
+    return {};
+  }
+  template <typename Cb>
+  std::uint64_t drain_round(Cb&&) {
+    return 0;
+  }
+};
+
+struct LinkStats {
+  void charge_spill(std::uint32_t, std::uint32_t, std::uint64_t) {}
+  void set_backlog(std::size_t, std::uint64_t) {}
+};
+
+inline void noop_level(std::uint32_t, std::uint64_t) {}
+
+class GreedyPhase {
+ public:
+  void on_send(std::uint32_t from, std::uint32_t to, std::uint64_t bytes) {
+    // nf-lint: nf-link-model-ok (offline replay, canonical order)
+    const Scheduled s = link_queues_.schedule(from, to, 900, bytes, 64, 0);
+    if (s.clamped_bytes != 0) {
+      // nf-lint: nf-link-model-ok (offline replay, canonical order)
+      link_stats_->charge_spill(from, to, s.clamped_bytes);
+    }
+  }
+
+  void on_round_end() {
+    // nf-lint: nf-link-model-ok (offline replay, canonical order)
+    const std::uint64_t left = link_queues_.drain_round(noop_level);
+    // nf-lint: nf-link-model-ok (offline replay, canonical order)
+    link_stats_->set_backlog(0, left);
+  }
+
+ private:
+  LinkQueueTable link_queues_;
+  LinkStats* link_stats_ = nullptr;
+};
+
+}  // namespace fixture

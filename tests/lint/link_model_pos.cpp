@@ -1,0 +1,54 @@
+// nf-lint fixture: nf-link-model must fire — LinkQueueTable mutation and
+// congestion-telemetry writes from a protocol component. The backlog
+// ledger is admission-order sensitive; only net/engine.cpp's canonical
+// scheduler may touch it. Never compiled; lexed by tools/nf-lint only.
+#include <cstddef>
+#include <cstdint>
+
+namespace fixture {
+
+struct Scheduled {
+  std::uint64_t queue_rounds;
+  std::uint64_t clamped_bytes;
+};
+
+struct LinkQueueTable {
+  Scheduled schedule(std::uint32_t, std::uint32_t, std::uint64_t,
+                     std::uint64_t, std::uint32_t, std::uint32_t) {
+    return {};
+  }
+  template <typename Cb>
+  std::uint64_t drain_round(Cb&&) {
+    return 0;
+  }
+};
+
+struct LinkStats {
+  void charge_spill(std::uint32_t, std::uint32_t, std::uint64_t) {}
+  void set_backlog(std::size_t, std::uint64_t) {}
+};
+
+class GreedyPhase {
+ public:
+  void on_send(std::uint32_t from, std::uint32_t to, std::uint64_t bytes) {
+    // Forks the ledger: a shard-local schedule diverges from the engine's
+    // canonical admission order.
+    const Scheduled s =
+        link_queues_.schedule(from, to, 1000, bytes, 64, 0);
+    if (s.clamped_bytes != 0) {
+      link_stats_->charge_spill(from, to, s.clamped_bytes);
+    }
+  }
+
+  void on_round_end() {
+    const std::uint64_t left =
+        link_queues_.drain_round([](std::uint32_t, std::uint64_t) {});
+    link_stats_->set_backlog(0, left);
+  }
+
+ private:
+  LinkQueueTable link_queues_;
+  LinkStats* link_stats_ = nullptr;
+};
+
+}  // namespace fixture

@@ -42,6 +42,15 @@
 // --budget exits 1 so CI can cap what telemetry itself costs:
 //
 //   nf-inspect overhead --budget=0.35 fig7.json
+//
+// Congestion: the schema v7 link-capacity telemetry — per-level
+// utilization (charged bytes over static capacity x engine rounds), peak
+// backlog and the number of retained rounds each level's queue gated, the
+// queueing counters and the spill hot-link table. With a second report the
+// deterministic congestion scalars diff against the baseline and a
+// relative increase beyond --tol exits 1:
+//
+//   nf-inspect congestion [--util=0.75] fig_congestion.json [BASELINE.json]
 #include <cmath>
 #include <cstdlib>
 #include <fstream>
@@ -624,6 +633,170 @@ int overhead_cmd(const Json& doc, const std::string& path, double budget) {
   return 0;
 }
 
+/// Reads a counter from the metrics section (0.0 when absent).
+double metric_counter(const Json& doc, std::string_view name) {
+  const Json* metrics = doc.find("metrics");
+  if (metrics == nullptr || !metrics->is_object()) return 0.0;
+  const Json* counters = metrics->find("counters");
+  if (counters == nullptr || !counters->is_object()) return 0.0;
+  return num(*counters, name);
+}
+
+/// `nf-inspect congestion [--util=0.75] REPORT.json` — the schema v7
+/// link-capacity picture: which levels saturated (utilization = charged
+/// bytes / (static capacity x engine rounds)), how deep their backlogs got
+/// (peak of the link/level<d>/backlog_bytes series) and how many retained
+/// rounds each queue gated, plus the engine queueing counters and the
+/// spill hot-link table (which links the queueing concentrated on). Exit 2
+/// when the report has no link_stats section.
+int congestion_cmd(const Json& doc, const std::string& path,
+                   double util_threshold) {
+  print_header(doc, path);
+  warn_series_truncation(doc);
+  const Json& ls = link_stats_or_die(doc, path);
+
+  const double rounds = metric_counter(doc, "engine/rounds");
+  const double queued = metric_counter(doc, "engine/congestion/queued_msgs");
+  const double delay =
+      metric_counter(doc, "engine/congestion/queue_delay_rounds");
+  const double clamped =
+      metric_counter(doc, "engine/congestion/clamped_bytes");
+  std::cout << "engine rounds: " << fmt(rounds) << "   queued msgs: "
+            << fmt(queued) << "   queue delay: " << fmt(delay)
+            << " rounds   clamped backlog: " << fmt(clamped) << " bytes\n";
+
+  // Per-level backlog series columns, for peak depth and gated rounds.
+  const Json* gauges = nullptr;
+  if (const Json* series = doc.find("series");
+      series != nullptr && series->is_object()) {
+    gauges = series->find("gauges");
+  }
+  const auto backlog_stats = [&](double level, double* peak,
+                                 double* gated_rounds) {
+    *peak = 0.0;
+    *gated_rounds = 0.0;
+    if (gauges == nullptr || !gauges->is_object()) return;
+    std::string name = "link/level";
+    name += fmt(level);
+    name += "/backlog_bytes";
+    const Json* col = gauges->find(name);
+    if (col == nullptr || !col->is_array()) return;
+    for (const Json& v : col->as_array()) {
+      const double b = v.as_double();
+      *peak = std::max(*peak, b);
+      if (b > 0.0) *gated_rounds += 1.0;
+    }
+  };
+
+  const Json* levels = ls.find("levels");
+  int saturated = 0;
+  if (levels != nullptr && levels->is_array() && levels->size() != 0) {
+    std::cout << "\n== per-level congestion (saturated at "
+              << fmt(util_threshold * 100.0) << "% utilization) ==\n";
+    TableWriter t({"level", "peers", "capacity", "bytes", "util%",
+                   "backlog_peak", "gated_rounds", "status"},
+                  std::cout, 14);
+    for (const Json& row : levels->as_array()) {
+      const double level = num(row, "level");
+      const double capacity = num(row, "capacity");
+      const double bytes = num(row, "total_bytes");
+      const double util = capacity > 0.0 && rounds > 0.0
+                              ? bytes / (capacity * rounds)
+                              : 0.0;
+      double peak = 0.0;
+      double gated_rounds = 0.0;
+      backlog_stats(level, &peak, &gated_rounds);
+      std::string status = "ok";
+      if (capacity <= 0.0) {
+        status = "uncapped";
+      } else if (util >= util_threshold || peak > 0.0) {
+        status = "SATURATED";
+        ++saturated;
+      }
+      t.row(fmt(level), fmt(num(row, "peers")), fmt(capacity), fmt(bytes),
+            util * 100.0, fmt(peak), fmt(gated_rounds), status);
+    }
+  }
+
+  const Json* congestion = ls.find("congestion");
+  if (congestion != nullptr && congestion->is_object()) {
+    std::cout << "\n== spill hot links (" << fmt(num(*congestion,
+                                                     "spilled_bytes"))
+              << " bytes queued, error bound "
+              << fmt(num(*congestion, "spill_error_bound")) << ") ==\n";
+    if (const Json* hot = congestion->find("hot");
+        hot != nullptr && hot->is_array()) {
+      TableWriter t({"rank", "from", "to", "level", "queued_bytes"},
+                    std::cout, 13);
+      std::size_t rank = 0;
+      for (const Json& link : hot->as_array()) {
+        t.row(rank++, fmt(num(link, "from")), fmt(num(link, "to")),
+              fmt(num(link, "level")), fmt(num(link, "bytes")));
+      }
+    }
+  } else {
+    std::cout << "\nno links queued (run never exceeded link capacity)\n";
+  }
+  if (saturated != 0) {
+    std::cout << "\n" << saturated << " level(s) saturated\n";
+  }
+  std::cout << "\nOK\n";
+  return 0;
+}
+
+/// `nf-inspect congestion REPORT.json BASELINE.json` — regression diff of
+/// the deterministic congestion scalars. The engine schedules on the
+/// engine thread in canonical order, so these are exact across machines
+/// and thread counts; a relative increase beyond --tol (more queueing than
+/// the committed baseline) exits 1.
+int congestion_diff_cmd(const Json& a, const Json& b,
+                        const std::string& path_a, const std::string& path_b,
+                        double tol) {
+  std::cout << "# A: " << path_a << "\n# B (baseline): " << path_b << "\n";
+  const auto spilled = [](const Json& doc) {
+    const Json* ls = doc.find("link_stats");
+    if (ls == nullptr || !ls->is_object()) return 0.0;
+    const Json* congestion = ls->find("congestion");
+    if (congestion == nullptr || !congestion->is_object()) return 0.0;
+    return num(*congestion, "spilled_bytes");
+  };
+  struct Scalar {
+    const char* name;
+    double x;
+    double y;
+  };
+  const Scalar scalars[] = {
+      {"engine/rounds", metric_counter(a, "engine/rounds"),
+       metric_counter(b, "engine/rounds")},
+      {"congestion/queued_msgs",
+       metric_counter(a, "engine/congestion/queued_msgs"),
+       metric_counter(b, "engine/congestion/queued_msgs")},
+      {"congestion/queue_delay_rounds",
+       metric_counter(a, "engine/congestion/queue_delay_rounds"),
+       metric_counter(b, "engine/congestion/queue_delay_rounds")},
+      {"congestion/clamped_bytes",
+       metric_counter(a, "engine/congestion/clamped_bytes"),
+       metric_counter(b, "engine/congestion/clamped_bytes")},
+      {"link_stats/spilled_bytes", spilled(a), spilled(b)},
+  };
+  int breaches = 0;
+  TableWriter t({"scalar", "A", "B", "delta%", "status"}, std::cout, 24);
+  for (const Scalar& s : scalars) {
+    const double delta = s.y != 0.0 ? (s.x - s.y) / std::abs(s.y)
+                                    : (s.x == 0.0 ? 0.0 : 1.0);
+    const bool breach = delta > tol;
+    if (breach) ++breaches;
+    t.row(s.name, s.x, s.y, delta * 100.0, breach ? "BREACH" : "ok");
+  }
+  if (breaches != 0) {
+    std::cout << "\nFAIL: " << breaches << " congestion scalar(s) regressed "
+              << "more than " << tol * 100 << "% vs baseline\n";
+    return 1;
+  }
+  std::cout << "\nOK: no congestion regressions vs baseline\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -632,6 +805,7 @@ int main(int argc, char** argv) {
   std::size_t top = 20;
   bool expect_root_adjacent = false;
   double budget = 0.35;
+  double util_threshold = 0.75;
   std::vector<std::string> paths;
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
@@ -644,6 +818,8 @@ int main(int argc, char** argv) {
       expect_root_adjacent = true;
     } else if (arg.rfind("--budget=", 0) == 0) {
       budget = std::stod(std::string(arg.substr(9)));
+    } else if (arg.rfind("--util=", 0) == 0) {
+      util_threshold = std::stod(std::string(arg.substr(7)));
     } else if (arg == "--help" || arg == "-h") {
       std::cout << "usage: nf-inspect [--tol=0.10] REPORT.json "
                    "[BASELINE.json]\n"
@@ -652,6 +828,8 @@ int main(int argc, char** argv) {
                    "[--expect-root-adjacent] REPORT.json\n"
                    "       nf-inspect levels [--tol=0.01] REPORT.json\n"
                    "       nf-inspect overhead [--budget=0.35] REPORT.json\n"
+                   "       nf-inspect congestion [--util=0.75] REPORT.json "
+                   "[BASELINE.json]\n"
                    "  one file: summarize + gate cost-model conformance\n"
                    "  two files: regression-diff A against baseline B\n"
                    "  critical-path: per-session gating chain + per-phase "
@@ -660,7 +838,11 @@ int main(int argc, char** argv) {
                    "(schema v6 link_stats)\n"
                    "  levels: per-level bytes vs cost-model level terms\n"
                    "  overhead: gate obs self-overhead against a budget "
-                   "fraction of engine wall\n";
+                   "fraction of engine wall\n"
+                   "  congestion: saturated levels/links, backlog depth + "
+                   "gated rounds; with a\n"
+                   "    baseline, gate the deterministic queueing scalars "
+                   "(schema v7)\n";
       return 0;
     } else if (!arg.empty() && arg[0] == '-') {
       std::cerr << "nf-inspect: unknown flag " << arg << "\n";
@@ -693,6 +875,18 @@ int main(int argc, char** argv) {
     // so default much tighter than the conformance gate.
     return levels_cmd(load(paths[1]), paths[1], tol_set ? tol : 0.01);
   }
+  if (!paths.empty() && paths[0] == "congestion") {
+    if (paths.size() != 2 && paths.size() != 3) {
+      std::cerr << "usage: nf-inspect congestion [--util=0.75] REPORT.json "
+                   "[BASELINE.json]\n";
+      return 2;
+    }
+    if (paths.size() == 2) {
+      return congestion_cmd(load(paths[1]), paths[1], util_threshold);
+    }
+    return congestion_diff_cmd(load(paths[1]), load(paths[2]), paths[1],
+                               paths[2], tol);
+  }
   if (!paths.empty() && paths[0] == "overhead") {
     if (paths.size() != 2) {
       std::cerr << "usage: nf-inspect overhead [--budget=0.35] "
@@ -704,7 +898,8 @@ int main(int argc, char** argv) {
   if (paths.empty() || paths.size() > 2) {
     std::cerr << "usage: nf-inspect [--tol=0.10] REPORT.json "
                  "[BASELINE.json] | nf-inspect "
-                 "critical-path|hotspots|levels|overhead REPORT.json\n";
+                 "critical-path|hotspots|levels|overhead|congestion "
+                 "REPORT.json\n";
     return 2;
   }
   const Json a = load(paths[0]);

@@ -695,6 +695,62 @@ void check_flat_payload(const SourceFile& file, const std::vector<Tok>& t,
   }
 }
 
+// ---------------------------------------------------------------------------
+// Check 7: nf-link-model.
+//
+// The per-link backlog ledger (net/link_model.h LinkQueueTable) is only
+// deterministic because every mutation happens on the engine thread in
+// canonical (major, minor) admission order, inside net/engine.cpp. A
+// schedule()/drain_round() call anywhere else — a protocol peeking at
+// capacity headroom, a bench draining queues itself — would fork the
+// ledger and desynchronize serial vs sharded congestion. Matching is by
+// the conventional member names (link_queues_ / link_queues), so a unit
+// test exercising a standalone table under a local name is not flagged.
+
+void check_link_model(const SourceFile& file, const std::vector<Tok>& t,
+                      std::vector<Finding>& out) {
+  if (path_ends_with(file.path, "net/engine.cpp") ||
+      path_ends_with(file.path, "net/link_model.h") ||
+      path_ends_with(file.path, "net/link_model.cpp")) {
+    return;
+  }
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    const std::string& s = t[i].text;
+    const bool queue_object = s == "link_queues" || s == "link_queues_" ||
+                              s == "LinkQueueTable";
+    if (queue_object &&
+        (tok_at(t, i + 1) == "." || tok_at(t, i + 1) == "->" ||
+         tok_at(t, i + 1) == "::")) {
+      const std::string& m = tok_at(t, i + 2);
+      if ((m == "schedule" || m == "drain_round") &&
+          tok_at(t, i + 3) == "(") {
+        add_finding(out, file, Check::kLinkModel, t[i].line,
+                    "LinkQueueTable::" + m +
+                        " outside net/engine.cpp: the backlog ledger is "
+                        "admission-order sensitive; only the engine's "
+                        "canonical scheduler may mutate it "
+                        "(net/link_model.h)");
+      }
+    }
+    // The congestion telemetry mirror: spill charges and backlog gauges
+    // are snapshots of the engine-thread ledger; writing them elsewhere
+    // misreports a ledger the writer cannot see.
+    if ((s == "link_stats" || s == "link_stats_") &&
+        (tok_at(t, i + 1) == "." || tok_at(t, i + 1) == "->")) {
+      const std::string& m = tok_at(t, i + 2);
+      if ((m == "charge_spill" || m == "set_backlog") &&
+          tok_at(t, i + 3) == "(") {
+        add_finding(out, file, Check::kLinkModel, t[i].line,
+                    "LinkStats::" + m +
+                        " outside net/engine.cpp: congestion telemetry "
+                        "mirrors the engine-thread backlog ledger; only "
+                        "the canonical scheduler may write it "
+                        "(obs/link_stats.h)");
+      }
+    }
+  }
+}
+
 }  // namespace
 
 std::vector<Finding> run_token_engine(const std::vector<std::string>& paths,
@@ -721,6 +777,7 @@ std::vector<Finding> run_token_engine(const std::vector<std::string>& paths,
       check_obs_context(file, toks, depth, out);
     }
     if (enabled(Check::kFlatPayload)) check_flat_payload(file, toks, out);
+    if (enabled(Check::kLinkModel)) check_link_model(file, toks, out);
   }
   sort_findings(out);
   return out;

@@ -29,12 +29,13 @@ enum class Check : std::uint8_t {
   kArenaMap,            // nf-arena-map
   kObsContext,          // nf-obs-context
   kFlatPayload,         // nf-flat-payload
+  kLinkModel,           // nf-link-model
 };
 
 inline constexpr Check kAllChecks[] = {
     Check::kUnorderedIteration, Check::kBannedEntropy,
     Check::kEnvelopeDiscipline, Check::kArenaMap, Check::kObsContext,
-    Check::kFlatPayload};
+    Check::kFlatPayload, Check::kLinkModel};
 
 inline const char* check_name(Check c) {
   switch (c) {
@@ -50,6 +51,8 @@ inline const char* check_name(Check c) {
       return "nf-obs-context";
     case Check::kFlatPayload:
       return "nf-flat-payload";
+    case Check::kLinkModel:
+      return "nf-link-model";
   }
   return "?";
 }
@@ -80,6 +83,11 @@ inline const char* check_description(Check c) {
              "payloads (net::FlatPhase + PayloadRef, net/payload.h), not "
              "std::any objects via TypedPhase/send_raw: object payloads "
              "allocate per message and break the zero-alloc steady state";
+    case Check::kLinkModel:
+      return "LinkQueueTable state may only be mutated by the engine's "
+             "canonical-order scheduler in net/engine.cpp: schedule/"
+             "drain_round elsewhere would fork the backlog ledger and "
+             "break bit-identical sharded congestion (net/link_model.h)";
   }
   return "?";
 }
