@@ -1,0 +1,132 @@
+#!/usr/bin/env python3
+"""Baseline gate for clang-tidy, mirroring nf-lint's workflow.
+
+Parses a run-clang-tidy report and fails on any diagnostic whose key is not
+in the committed baseline (tools/clang_tidy_baseline.txt). Keys are
+`check|path|message` — line and column are deliberately dropped so the
+baseline survives unrelated edits, and duplicate diagnostics from a header
+included by many TUs collapse to one key. Hard errors (`error:`) always
+fail, baseline or not.
+
+Usage:
+  clang_tidy_gate.py --baseline FILE [--update] [--strict] [REPORT]
+
+REPORT defaults to stdin. --update rewrites the baseline from the current
+report instead of gating (burn it back down to empty, as with nf-lint).
+--strict also fails on stale baseline entries that no longer match any
+diagnostic; the default only warns, so a fixed warning cannot break CI.
+
+Exit: 0 clean, 1 new findings / errors (/ stale under --strict), 2 usage.
+"""
+
+import argparse
+import re
+import sys
+
+# /abs/or/rel/path.h:12:3: warning: message text [check-a,check-b]
+DIAG = re.compile(
+    r"^(?P<path>[^\s:][^:]*?):(?P<line>\d+):(?P<col>\d+):\s+"
+    r"(?P<kind>warning|error):\s+(?P<msg>.*?)\s+\[(?P<checks>[\w\-.,]+)\]\s*$"
+)
+
+# Repo roots a diagnostic path is trimmed back to, so keys are identical
+# whether clang-tidy printed absolute or build-relative paths.
+ROOTS = ("src/", "tools/", "tests/", "bench/", "examples/")
+
+
+def repo_path(path: str) -> str:
+    path = path.replace("\\", "/")
+    for root in ROOTS:
+        idx = path.find("/" + root)
+        if idx >= 0:
+            return path[idx + 1 :]
+        if path.startswith(root):
+            return path
+    return path
+
+
+def keys_of(report_lines):
+    """Yield (key, kind) per diagnostic; one key per listed check id."""
+    for line in report_lines:
+        m = DIAG.match(line.rstrip("\n"))
+        if not m:
+            continue
+        path = repo_path(m.group("path"))
+        msg = " ".join(m.group("msg").split())
+        for check in m.group("checks").split(","):
+            yield f"{check}|{path}|{msg}", m.group("kind")
+
+
+def load_baseline(path):
+    entries = set()
+    try:
+        with open(path, encoding="utf-8") as fh:
+            for line in fh:
+                line = line.rstrip("\n")
+                if not line or line.startswith("#"):
+                    continue
+                entries.add(line)
+    except FileNotFoundError:
+        pass
+    return entries
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(add_help=True)
+    ap.add_argument("--baseline", required=True)
+    ap.add_argument("--update", action="store_true")
+    ap.add_argument("--strict", action="store_true")
+    ap.add_argument("report", nargs="?")
+    args = ap.parse_args()
+
+    if args.report:
+        with open(args.report, encoding="utf-8") as fh:
+            lines = fh.readlines()
+    else:
+        lines = sys.stdin.readlines()
+
+    seen = {}  # key -> kind (error wins over warning)
+    for key, kind in keys_of(lines):
+        if seen.get(key) != "error":
+            seen[key] = kind
+
+    if args.update:
+        with open(args.baseline, "w", encoding="utf-8") as fh:
+            fh.write(
+                "# clang-tidy baseline: one `check|path|message` key per\n"
+                "# accepted warning. CI fails on any diagnostic NOT listed\n"
+                "# here; burn this file down to empty. Regenerate:\n"
+                "#   run-clang-tidy -p build -quiet 'src/.*\\.cpp$' \\\n"
+                "#     | python3 scripts/clang_tidy_gate.py \\\n"
+                "#         --baseline tools/clang_tidy_baseline.txt --update\n"
+            )
+            for key in sorted(seen):
+                fh.write(key + "\n")
+        print(f"clang-tidy-gate: wrote {len(seen)} entries to {args.baseline}")
+        return 0
+
+    baseline = load_baseline(args.baseline)
+    errors = sorted(k for k, kind in seen.items() if kind == "error")
+    new = sorted(k for k in seen if k not in baseline and k not in errors)
+    stale = sorted(baseline - set(seen))
+
+    for key in errors:
+        print(f"clang-tidy-gate: ERROR (always gated): {key}")
+    for key in new:
+        print(f"clang-tidy-gate: new warning not in baseline: {key}")
+    for key in stale:
+        print(
+            f"clang-tidy-gate: stale baseline entry (fixed? delete it): {key}"
+        )
+
+    fail = bool(errors or new or (args.strict and stale))
+    print(
+        f"clang-tidy-gate: {len(seen)} diagnostics, {len(errors)} errors, "
+        f"{len(new)} new vs baseline, {len(stale)} stale"
+        f"{' (strict)' if args.strict else ''}"
+    )
+    return 1 if fail else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -31,6 +31,7 @@
 
 #include "agg/hierarchy.h"
 #include "common/arena.h"
+#include "common/capability.h"
 #include "common/error.h"
 #include "common/ids.h"
 #include "common/item_source.h"
@@ -125,8 +126,9 @@ class FlatAggregateConvergecastPhase final : public net::FlatPhase {
   }
 
  protected:
-  void on_flat(net::PhaseContext& ctx, std::span<const std::uint8_t> bytes,
-               PeerId /*from*/) override {
+  NF_SHARD_CONTEXT NF_STEADY_NOALLOC void on_flat(
+      net::PhaseContext& ctx, std::span<const std::uint8_t> bytes,
+      PeerId /*from*/) override {
     const PeerId p = ctx.self();
     ensure(init_[p] != 0, "convergecast message before initialization");
     ensure(pending_[p] > 0, "unexpected convergecast message");
@@ -272,8 +274,9 @@ class FlatPairsConvergecastPhase final : public net::FlatPhase {
   }
 
  protected:
-  void on_flat(net::PhaseContext& ctx, std::span<const std::uint8_t> bytes,
-               PeerId /*from*/) override {
+  NF_SHARD_CONTEXT NF_STEADY_NOALLOC void on_flat(
+      net::PhaseContext& ctx, std::span<const std::uint8_t> bytes,
+      PeerId /*from*/) override {
     const PeerId p = ctx.self();
     ensure(init_[p] != 0, "convergecast message before initialization");
     ensure(pending_[p] > 0, "unexpected convergecast message");
@@ -392,8 +395,9 @@ class FlatMulticastPhase final : public net::FlatPhase {
   }
 
  protected:
-  void on_flat(net::PhaseContext& ctx, std::span<const std::uint8_t> bytes,
-               PeerId /*from*/) override {
+  NF_SHARD_CONTEXT NF_STEADY_NOALLOC void on_flat(
+      net::PhaseContext& ctx, std::span<const std::uint8_t> bytes,
+      PeerId /*from*/) override {
     ensure(received_[ctx.self()] == 0, "duplicate multicast delivery");
     deliver(ctx, bytes);
   }

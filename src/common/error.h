@@ -57,6 +57,9 @@ inline void require(
     bool condition, const char* what,
     std::source_location loc = std::source_location::current()) {
   if (!condition) {
+    // The throw path only fires on a violated precondition, after which the
+    // run is dead; passing checks touch no heap.
+    // nf-lint: nf-cap-noalloc-ok
     throw InvalidArgument(
         concat(what, " (", loc.file_name(), ":", loc.line(), ")"));
   }
@@ -74,6 +77,9 @@ inline void ensure(
     bool condition, const char* what,
     std::source_location loc = std::source_location::current()) {
   if (!condition) {
+    // Invariant-failure path, never taken in a healthy steady state; passing
+    // checks touch no heap.
+    // nf-lint: nf-cap-noalloc-ok
     throw ProtocolError(concat("invariant violated: ", what, " (",
                                loc.file_name(), ":", loc.line(), ")"));
   }

@@ -40,6 +40,7 @@ void MisraGries::shrink() {
   ValueMap<ItemId, Value> kept;
   kept.reserve(capacity_);
   std::vector<std::pair<ItemId, Value>> pairs;
+  pairs.reserve(counters_.size());
   for (const auto& [id, v] : counters_) {
     if (v > cut) pairs.emplace_back(id, v - cut);
   }

@@ -39,6 +39,7 @@
 #include <span>
 #include <vector>
 
+#include "common/capability.h"
 #include "common/ids.h"
 #include "common/rng.h"
 #include "net/churn.h"
@@ -99,65 +100,69 @@ class Engine;
 /// canonical order at the round barrier.
 class Context {
  public:
-  [[nodiscard]] PeerId self() const { return self_; }
-  [[nodiscard]] std::uint64_t round() const;
-  [[nodiscard]] const Overlay& overlay() const;
-  [[nodiscard]] const std::vector<PeerId>& neighbors() const;
-  [[nodiscard]] bool is_alive(PeerId p) const;
+  NF_REENTRANT [[nodiscard]] PeerId self() const { return self_; }
+  NF_REENTRANT [[nodiscard]] std::uint64_t round() const;
+  NF_REENTRANT [[nodiscard]] const Overlay& overlay() const;
+  NF_REENTRANT [[nodiscard]] const std::vector<PeerId>& neighbors() const;
+  NF_REENTRANT [[nodiscard]] bool is_alive(PeerId p) const;
 
   /// Lineage id of the delivered message this callback is handling, or
   /// kNoLineage for round ticks (and runs without an obs context). Sends
   /// made from this context inherit it as their causal parent.
-  [[nodiscard]] obs::LineageId cause() const { return cause_; }
+  NF_REENTRANT [[nodiscard]] obs::LineageId cause() const { return cause_; }
 
   /// A writer into the executing shard's outbox slab. Encode the payload,
   /// finish() for the PayloadRef, and pass it to send_flat(). Refs are only
   /// valid to send from this same callback (the slab resets next round).
-  [[nodiscard]] PayloadWriter flat_payload();
+  NF_REENTRANT [[nodiscard]] PayloadWriter flat_payload();
 
   /// Resolves a delivered envelope's flat payload to bytes. Empty span when
   /// the envelope carries none.
-  [[nodiscard]] std::span<const std::uint8_t> payload_bytes(
+  NF_REENTRANT [[nodiscard]] std::span<const std::uint8_t> payload_bytes(
       const Envelope& env) const;
 
   /// Queues a message whose payload is a flat slab ref (net/payload.h). The
   /// engine copies the referenced span into the destination transit-ring
   /// slot at the barrier — no owning object is ever constructed.
-  void send_flat(PeerId to, TrafficCategory category, std::uint64_t bytes,
-                 PayloadRef flat);
-  void send_flat(PeerId to, TrafficCategory category, std::uint64_t bytes,
-                 PayloadRef flat, std::span<const obs::LineageId> parents);
+  NF_REENTRANT void send_flat(PeerId to, TrafficCategory category,
+                              std::uint64_t bytes, PayloadRef flat);
+  NF_REENTRANT void send_flat(PeerId to, TrafficCategory category,
+                              std::uint64_t bytes, PayloadRef flat,
+                              std::span<const obs::LineageId> parents);
 
   /// Flat send tagged with a (session, phase) pair (see send_tagged()).
-  void send_flat_tagged(PeerId to, TrafficCategory category,
-                        std::uint64_t bytes, PayloadRef flat,
-                        SessionId session, PhaseId phase,
-                        std::span<const obs::LineageId> parents);
+  NF_REENTRANT void send_flat_tagged(PeerId to, TrafficCategory category,
+                                     std::uint64_t bytes, PayloadRef flat,
+                                     SessionId session, PhaseId phase,
+                                     std::span<const obs::LineageId> parents);
 
   /// Queues a message for delivery at the next round (later under the
   /// latency model); its bytes are metered at the round barrier.
-  void send(PeerId to, TrafficCategory category, std::uint64_t bytes,
-            std::any payload = {});
+  NF_REENTRANT void send(PeerId to, TrafficCategory category,
+                         std::uint64_t bytes, std::any payload = {});
 
   /// As send(), with an explicit causal parent set replacing the implicit
   /// cause() — for components whose sends merge several arrivals (e.g. a
   /// convergecast forward, a gossip share). parents[0] becomes the primary
   /// parent; the rest are recorded as sampled extra edges. Zero ids are
   /// ignored, so callers push causes unconditionally.
-  void send(PeerId to, TrafficCategory category, std::uint64_t bytes,
-            std::any payload, std::span<const obs::LineageId> parents);
+  NF_REENTRANT void send(PeerId to, TrafficCategory category,
+                         std::uint64_t bytes, std::any payload,
+                         std::span<const obs::LineageId> parents);
 
   /// As send(), tagging the envelope with a (session, phase) pair so a
   /// SessionMux (net/session.h) can route it to the right Phase component.
-  void send_tagged(PeerId to, TrafficCategory category, std::uint64_t bytes,
-                   std::any payload, SessionId session, PhaseId phase);
+  NF_REENTRANT void send_tagged(PeerId to, TrafficCategory category,
+                                std::uint64_t bytes, std::any payload,
+                                SessionId session, PhaseId phase);
 
   /// Tagged send with an explicit causal parent set (see the untagged
   /// overload). The session runtime uses this to thread the replayed
   /// envelope's own lineage through buffered-phase replays.
-  void send_tagged(PeerId to, TrafficCategory category, std::uint64_t bytes,
-                   std::any payload, SessionId session, PhaseId phase,
-                   std::span<const obs::LineageId> parents);
+  NF_REENTRANT void send_tagged(PeerId to, TrafficCategory category,
+                                std::uint64_t bytes, std::any payload,
+                                SessionId session, PhaseId phase,
+                                std::span<const obs::LineageId> parents);
 
  private:
   friend class Engine;
@@ -194,9 +199,11 @@ class Context {
         next_minor_(first_minor),
         cause_(cause) {}
 
-  void push_send(PeerId to, TrafficCategory category, std::uint64_t bytes,
-                 std::any payload, PayloadRef flat, SessionId session,
-                 PhaseId phase, std::span<const obs::LineageId> parents);
+  NF_REENTRANT void push_send(PeerId to, TrafficCategory category,
+                              std::uint64_t bytes, std::any payload,
+                              PayloadRef flat, SessionId session,
+                              PhaseId phase,
+                              std::span<const obs::LineageId> parents);
 
   Engine& engine_;
   PeerId self_;
@@ -223,27 +230,29 @@ class Protocol {
 
   /// Called once per run() on the engine thread before the first round;
   /// size per-peer arenas here.
-  virtual void on_run_start(const Overlay& /*overlay*/) {}
+  NF_ENGINE_THREAD virtual void on_run_start(const Overlay& /*overlay*/) {}
 
   /// Called once per round on the engine thread, after churn and before
   /// any delivery or tick — the place for whole-round bookkeeping that
   /// must not live in per-peer callbacks (e.g. a gossip round counter).
-  virtual void on_round_begin(std::uint64_t /*round*/) {}
+  NF_ENGINE_THREAD virtual void on_round_begin(std::uint64_t /*round*/) {}
 
   /// Called once per alive peer per round, after message delivery.
-  virtual void on_round(Context& /*ctx*/) {}
+  NF_SHARD_CONTEXT virtual void on_round(Context& /*ctx*/) {}
 
   /// Called for each envelope delivered to an alive peer.
-  virtual void on_message(Context& /*ctx*/, Envelope&& /*env*/) {}
+  NF_SHARD_CONTEXT virtual void on_message(Context& /*ctx*/,
+                                           Envelope&& /*env*/) {}
 
   /// Called once per run() on the engine thread after the final round —
   /// quiescence or max_rounds. Close out bookkeeping that would otherwise
   /// need one more round boundary (e.g. trace spans for work that finished
   /// in the very last round).
-  virtual void on_run_end() {}
+  NF_ENGINE_THREAD virtual void on_run_end() {}
 
   /// Engine stops when no messages are in flight and no protocol is active.
-  [[nodiscard]] virtual bool active() const { return false; }
+  /// Polled on the engine thread, but implementations must be pure reads.
+  NF_REENTRANT [[nodiscard]] virtual bool active() const { return false; }
 };
 
 class Engine {
@@ -254,17 +263,21 @@ class Engine {
   /// active) or `max_rounds`, whichever first. Returns rounds executed.
   /// Churn events in `schedule` whose round falls inside the run are applied
   /// at the start of the matching round.
-  std::uint64_t run(std::span<Protocol* const> protocols,
-                    std::uint64_t max_rounds,
-                    const ChurnSchedule* schedule = nullptr);
+  NF_ENGINE_THREAD std::uint64_t run(std::span<Protocol* const> protocols,
+                                     std::uint64_t max_rounds,
+                                     const ChurnSchedule* schedule = nullptr);
 
   /// Convenience overload for a single protocol.
-  std::uint64_t run(Protocol& protocol, std::uint64_t max_rounds,
-                    const ChurnSchedule* schedule = nullptr);
+  NF_ENGINE_THREAD std::uint64_t run(Protocol& protocol,
+                                     std::uint64_t max_rounds,
+                                     const ChurnSchedule* schedule = nullptr);
 
-  [[nodiscard]] std::uint64_t round() const { return round_; }
-  [[nodiscard]] Overlay& overlay() { return overlay_; }
-  [[nodiscard]] const Overlay& overlay() const { return overlay_; }
+  /// Stable during the parallel phase; safe to read from shard callbacks.
+  NF_REENTRANT [[nodiscard]] std::uint64_t round() const { return round_; }
+  NF_REENTRANT [[nodiscard]] Overlay& overlay() { return overlay_; }
+  NF_REENTRANT [[nodiscard]] const Overlay& overlay() const {
+    return overlay_;
+  }
   [[nodiscard]] TrafficMeter& meter() { return meter_; }
 
   /// Messages dropped because the destination was dead on delivery.
@@ -274,16 +287,16 @@ class Engine {
   /// Any K produces bit-identical results; K > 1 spawns K-1 pool workers
   /// (the engine thread drives the remaining shard). Must be called before
   /// run().
-  void set_threads(std::uint32_t threads);
+  NF_ENGINE_THREAD void set_threads(std::uint32_t threads);
   [[nodiscard]] std::uint32_t threads() const { return threads_; }
 
   /// Enables the lossy-link model. Must be called before run().
-  void set_fault_model(const LinkFaultModel& model);
+  NF_ENGINE_THREAD void set_fault_model(const LinkFaultModel& model);
 
   /// Sets heterogeneous link latencies (the infinite-capacity special case
   /// of set_link_model — bit-identical delays). Must be called before
   /// run().
-  void set_latency_model(const LatencyModel& model);
+  NF_ENGINE_THREAD void set_latency_model(const LatencyModel& model);
 
   /// Sets the full link model: per-link propagation delay plus per-link
   /// capacity (bytes/round) with a bounded backlog. Under a capacity-
@@ -294,7 +307,7 @@ class Engine {
   /// the engine thread, so congested runs stay bit-identical for any
   /// thread count. The default model reproduces the historical synchronous
   /// engine exactly. Must be called before run().
-  void set_link_model(const LinkModel& model);
+  NF_ENGINE_THREAD void set_link_model(const LinkModel& model);
   [[nodiscard]] const LinkModel& link_model() const { return link_; }
 
   /// Diagnostics for the link scheduler (0 under infinite capacity).
@@ -322,18 +335,19 @@ class Engine {
   /// `engine/shard<k>/busy_us` / `idle_us` gauges so `--threads=K`
   /// imbalance is visible in reports. Metric handles are cached here so the
   /// per-message cost is an increment, not a map lookup.
-  void set_obs(obs::Context* obs);
+  NF_ENGINE_THREAD void set_obs(obs::Context* obs);
 
   /// Observes every transmission the engine admits to the network (data,
   /// ACKs and retransmissions alike), in canonical order — the hook the
   /// golden determinism tests record envelope streams through. Pass an
   /// empty function to detach.
-  void set_send_probe(std::function<void(const Envelope&)> probe);
+  NF_ENGINE_THREAD void set_send_probe(
+      std::function<void(const Envelope&)> probe);
 
   /// Resolves a flat payload ref against the engine's slab table. Valid for
   /// shard-slab refs during the round that produced them and for ring-slab
   /// refs until their delivery round completes. Empty span for kNoSlab.
-  [[nodiscard]] std::span<const std::uint8_t> resolve(
+  NF_REENTRANT [[nodiscard]] std::span<const std::uint8_t> resolve(
       const PayloadRef& ref) const;
 
   /// Marks warm-up as finished: from the next round on, heap allocations
@@ -344,7 +358,7 @@ class Engine {
   /// gate. Also equalizes transit-ring capacities: a run's heaviest round
   /// warms only the ring slot its parity happens to land on, and the next
   /// run may land it on another.
-  void begin_steady_state();
+  NF_ENGINE_THREAD void begin_steady_state();
   [[nodiscard]] std::uint64_t steady_allocs() const { return steady_allocs_; }
 
   /// Diagnostics for the reliability layer (0 when the model is off).
@@ -392,20 +406,26 @@ class Engine {
     std::vector<Context::KeyedSend> outbox;
   };
 
-  void predispatch(std::span<Protocol* const> protocols,
-                   std::vector<Outgoing>& inbox, const ShardPlan& plan);
-  void run_shard(std::span<Protocol* const> protocols, std::uint32_t shard,
-                 const ShardPlan& plan, std::uint64_t tick_base);
-  void merge_and_finalize();
+  NF_ENGINE_THREAD void predispatch(std::span<Protocol* const> protocols,
+                                    std::vector<Outgoing>& inbox,
+                                    const ShardPlan& plan);
+  NF_SHARD_CONTEXT void run_shard(std::span<Protocol* const> protocols,
+                                  std::uint32_t shard, const ShardPlan& plan,
+                                  std::uint64_t tick_base);
+  NF_ENGINE_THREAD NF_STEADY_NOALLOC void merge_and_finalize();
   /// `flat_bytes` is the payload span to copy into the destination ring
   /// slot (empty unless out.envelope.flat is valid).
-  void admit(Outgoing&& out, std::span<const std::uint8_t> flat_bytes);
-  void scan_retransmissions();
-  void drain_link_queues();
-  void ack_received(PeerId original_sender, std::uint64_t msg_id);
-  [[nodiscard]] bool draw_loss();
-  [[nodiscard]] std::vector<Outgoing>& bucket_at(std::uint64_t round);
-  [[nodiscard]] SlabArena& ring_slab_at(std::uint64_t round);
+  NF_ENGINE_THREAD NF_STEADY_NOALLOC void admit(
+      Outgoing&& out, std::span<const std::uint8_t> flat_bytes);
+  NF_ENGINE_THREAD void scan_retransmissions();
+  NF_ENGINE_THREAD void drain_link_queues();
+  NF_ENGINE_THREAD void ack_received(PeerId original_sender,
+                                     std::uint64_t msg_id);
+  NF_ENGINE_THREAD [[nodiscard]] bool draw_loss();
+  NF_ENGINE_THREAD [[nodiscard]] std::vector<Outgoing>& bucket_at(
+      std::uint64_t round);
+  NF_ENGINE_THREAD [[nodiscard]] SlabArena& ring_slab_at(
+      std::uint64_t round);
 
   Overlay& overlay_;
   TrafficMeter& meter_;

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "common/arena.h"
+#include "common/capability.h"
 #include "common/error.h"
 #include "common/ids.h"
 #include "net/codec.h"
@@ -222,8 +223,9 @@ class FlatFloodPhase final : public FlatPhase {
   }
 
  protected:
-  void on_flat(PhaseContext& ctx, std::span<const std::uint8_t> bytes,
-               PeerId from) override {
+  NF_SHARD_CONTEXT NF_STEADY_NOALLOC void on_flat(
+      PhaseContext& ctx, std::span<const std::uint8_t> bytes,
+      PeerId from) override {
     const PeerId self = ctx.self();
     num_copies_.fetch_add(1, std::memory_order_relaxed);
     if (seen_[self.value()] != 0) return;  // duplicate

@@ -34,6 +34,7 @@
 #include <span>
 #include <vector>
 
+#include "common/capability.h"
 #include "common/error.h"
 #include "common/hashing.h"
 #include "common/ids.h"
@@ -222,9 +223,11 @@ class LinkQueueTable {
   /// cached on the slot for the drain's per-level telemetry only (~0u when
   /// no observability is attached — it never affects scheduling). Engine
   /// thread only, canonical order.
-  Scheduled schedule(PeerId from, PeerId to, std::uint64_t capacity,
-                     std::uint64_t bytes, std::uint32_t max_backlog_rounds,
-                     std::uint32_t level);
+  NF_ENGINE_THREAD Scheduled schedule(PeerId from, PeerId to,
+                                      std::uint64_t capacity,
+                                      std::uint64_t bytes,
+                                      std::uint32_t max_backlog_rounds,
+                                      std::uint32_t level);
 
   /// Round-barrier drain: every backlogged link clears up to its capacity.
   /// Calls `level_cb(level, remaining_bytes)` for each link still
@@ -232,7 +235,7 @@ class LinkQueueTable {
   /// never set). Returns total remaining backlog bytes. Engine thread
   /// only.
   template <typename LevelCb>
-  std::uint64_t drain_round(LevelCb&& level_cb) {
+  NF_ENGINE_THREAD std::uint64_t drain_round(LevelCb&& level_cb) {
     std::uint64_t total = 0;
     std::size_t i = 0;
     while (i < active_.size()) {

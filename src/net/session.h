@@ -45,6 +45,7 @@
 #include <vector>
 
 #include "common/arena.h"
+#include "common/capability.h"
 #include "common/error.h"
 #include "common/ids.h"
 #include "net/engine.h"
@@ -100,59 +101,69 @@ struct SessionTraffic {
 /// phase can open later phases of its own session at this peer.
 class PhaseContext {
  public:
-  [[nodiscard]] PeerId self() const { return ctx_.self(); }
-  [[nodiscard]] std::uint64_t round() const { return ctx_.round(); }
-  [[nodiscard]] const Overlay& overlay() const { return ctx_.overlay(); }
-  [[nodiscard]] const std::vector<PeerId>& neighbors() const {
+  NF_REENTRANT [[nodiscard]] PeerId self() const { return ctx_.self(); }
+  NF_REENTRANT [[nodiscard]] std::uint64_t round() const {
+    return ctx_.round();
+  }
+  NF_REENTRANT [[nodiscard]] const Overlay& overlay() const {
+    return ctx_.overlay();
+  }
+  NF_REENTRANT [[nodiscard]] const std::vector<PeerId>& neighbors() const {
     return ctx_.neighbors();
   }
-  [[nodiscard]] bool is_alive(PeerId p) const { return ctx_.is_alive(p); }
-  [[nodiscard]] SessionId session() const { return session_; }
-  [[nodiscard]] PhaseId phase() const { return phase_; }
+  NF_REENTRANT [[nodiscard]] bool is_alive(PeerId p) const {
+    return ctx_.is_alive(p);
+  }
+  NF_REENTRANT [[nodiscard]] SessionId session() const { return session_; }
+  NF_REENTRANT [[nodiscard]] PhaseId phase() const { return phase_; }
 
   /// Lineage id of the message whose arrival triggered this callback, or
   /// kNoLineage for round-originated work. During buffered replay this is
   /// the replayed envelope's own id, not the delivery that opened the
   /// phase — so causality survives the buffering detour.
-  [[nodiscard]] obs::LineageId cause() const { return cause_; }
+  NF_REENTRANT [[nodiscard]] obs::LineageId cause() const { return cause_; }
 
   /// Sends `payload` tagged with this phase's (session, phase) and charges
   /// it to the session's traffic tally. Prefer TypedPhase::send, which
   /// type-checks the payload at compile time. The send inherits cause() as
   /// its causal parent.
-  void send_raw(PeerId to, TrafficCategory category, std::uint64_t bytes,
-                std::any payload);
+  NF_REENTRANT void send_raw(PeerId to, TrafficCategory category,
+                             std::uint64_t bytes, std::any payload);
 
   /// As send_raw(), with an explicit causal parent set — for sends that
   /// merge several arrivals (convergecast forwards). Zero ids are ignored.
-  void send_raw(PeerId to, TrafficCategory category, std::uint64_t bytes,
-                std::any payload, std::span<const obs::LineageId> parents);
+  NF_REENTRANT void send_raw(PeerId to, TrafficCategory category,
+                             std::uint64_t bytes, std::any payload,
+                             std::span<const obs::LineageId> parents);
 
   /// A writer into the executing shard's outbox slab (Context::
   /// flat_payload()); pair with send_flat() from the same callback.
-  [[nodiscard]] PayloadWriter flat_payload() { return ctx_.flat_payload(); }
+  NF_REENTRANT [[nodiscard]] PayloadWriter flat_payload() {
+    return ctx_.flat_payload();
+  }
 
   /// Resolves a delivered envelope's flat payload. During buffered replay
   /// the mux substitutes its owned copy of the bytes (the originating slab
   /// slot has been reclaimed by then), so phases read payloads only through
   /// this accessor, never through the raw ref.
-  [[nodiscard]] std::span<const std::uint8_t> payload_bytes(
+  NF_REENTRANT [[nodiscard]] std::span<const std::uint8_t> payload_bytes(
       const Envelope& env) const {
     return replay_payload_active_ ? replay_payload_ : ctx_.payload_bytes(env);
   }
 
   /// Flat tagged send, charged to the session's traffic tally. The hot-path
   /// counterpart of send_raw(): ships a slab span, never an owning object.
-  void send_flat(PeerId to, TrafficCategory category, std::uint64_t bytes,
-                 PayloadRef flat);
-  void send_flat(PeerId to, TrafficCategory category, std::uint64_t bytes,
-                 PayloadRef flat, std::span<const obs::LineageId> parents);
+  NF_REENTRANT void send_flat(PeerId to, TrafficCategory category,
+                              std::uint64_t bytes, PayloadRef flat);
+  NF_REENTRANT void send_flat(PeerId to, TrafficCategory category,
+                              std::uint64_t bytes, PayloadRef flat,
+                              std::span<const obs::LineageId> parents);
 
   /// Opens `phase` of this session at this peer (idempotent): fires its
   /// on_start now and replays any buffered messages. This is the per-peer
   /// phase-transition edge — each peer advances on its own trigger, no
   /// global barrier.
-  void open_phase(PhaseId phase);
+  NF_REENTRANT void open_phase(PhaseId phase);
 
  private:
   friend class SessionMux;
@@ -180,21 +191,22 @@ class Phase {
   virtual ~Phase() = default;
 
   /// Size per-peer arenas here; called once per engine run.
-  virtual void on_run_start(const Overlay& /*overlay*/) {}
+  NF_ENGINE_THREAD virtual void on_run_start(const Overlay& /*overlay*/) {}
 
   /// Fires exactly once per peer, when the phase opens there.
-  virtual void on_start(PhaseContext& /*ctx*/) {}
+  NF_SHARD_CONTEXT virtual void on_start(PhaseContext& /*ctx*/) {}
 
   /// Called once per alive peer per round while the phase is open at that
   /// peer and not done. Most event-driven phases need no tick.
-  virtual void on_round(PhaseContext& /*ctx*/) {}
+  NF_SHARD_CONTEXT virtual void on_round(PhaseContext& /*ctx*/) {}
 
   /// Called for each envelope tagged with this phase.
-  virtual void on_message(PhaseContext& ctx, Envelope&& env) = 0;
+  NF_SHARD_CONTEXT virtual void on_message(PhaseContext& ctx,
+                                           Envelope&& env) = 0;
 
-  /// Session-global completion. The engine stays alive until every phase of
-  /// every session is done.
-  [[nodiscard]] virtual bool done() const = 0;
+  /// Session-global completion. Polled on the engine thread; the engine
+  /// stays alive until every phase of every session is done.
+  NF_REENTRANT [[nodiscard]] virtual bool done() const = 0;
 };
 
 /// CRTP-free typed phase base: performs the single std::any_cast at the
@@ -206,7 +218,7 @@ class TypedPhase : public Phase {
  public:
   using Message = M;
 
-  void on_message(PhaseContext& ctx, Envelope&& env) final {
+  NF_SHARD_CONTEXT void on_message(PhaseContext& ctx, Envelope&& env) final {
     M* msg = std::any_cast<M>(&env.payload);
     ensure(msg != nullptr, "session phase payload type mismatch");
     on_payload(ctx, std::move(*msg), env.from);
@@ -214,18 +226,20 @@ class TypedPhase : public Phase {
 
  protected:
   /// Typed delivery hook; `from` is the sending peer.
-  virtual void on_payload(PhaseContext& ctx, M&& msg, PeerId from) = 0;
+  NF_SHARD_CONTEXT virtual void on_payload(PhaseContext& ctx, M&& msg,
+                                           PeerId from) = 0;
 
   /// Typed send: only this phase's message type compiles.
-  void send(PhaseContext& ctx, PeerId to, TrafficCategory category,
-            std::uint64_t bytes, M msg) const {
+  NF_REENTRANT void send(PhaseContext& ctx, PeerId to,
+                         TrafficCategory category, std::uint64_t bytes,
+                         M msg) const {
     ctx.send_raw(to, category, bytes, std::any(std::move(msg)));
   }
 
   /// Typed send with an explicit causal parent set (multi-parent merges).
-  void send(PhaseContext& ctx, PeerId to, TrafficCategory category,
-            std::uint64_t bytes, M msg,
-            std::span<const obs::LineageId> parents) const {
+  NF_REENTRANT void send(PhaseContext& ctx, PeerId to,
+                         TrafficCategory category, std::uint64_t bytes, M msg,
+                         std::span<const obs::LineageId> parents) const {
     ctx.send_raw(to, category, bytes, std::any(std::move(msg)), parents);
   }
 };
@@ -236,14 +250,17 @@ class TypedPhase : public Phase {
 /// the codecs in net/codec.h. No owning payload object exists at any point.
 class FlatPhase : public Phase {
  public:
-  void on_message(PhaseContext& ctx, Envelope&& env) final {
+  NF_SHARD_CONTEXT void on_message(PhaseContext& ctx, Envelope&& env) final {
     on_flat(ctx, ctx.payload_bytes(env), env.from);
   }
 
  protected:
-  /// Flat delivery hook; `bytes` is valid for this callback only.
-  virtual void on_flat(PhaseContext& ctx, std::span<const std::uint8_t> bytes,
-                       PeerId from) = 0;
+  /// Flat delivery hook; `bytes` is valid for this callback only. Runs every
+  /// warmed steady-state round, so overrides must stay heap-free (and must
+  /// repeat both capability macros — nf-lint models no inheritance).
+  NF_SHARD_CONTEXT NF_STEADY_NOALLOC virtual void on_flat(
+      PhaseContext& ctx, std::span<const std::uint8_t> bytes,
+      PeerId from) = 0;
 };
 
 /// Routes tagged envelopes to per-session Phase components and drives their
@@ -263,12 +280,12 @@ class SessionMux final : public Protocol {
   PhaseId add_phase(SessionId session, Phase& phase, PhaseOptions options);
 
   // net::Protocol — the engine-facing half.
-  void on_run_start(const Overlay& overlay) override;
-  void on_round_begin(std::uint64_t round) override;
-  void on_round(Context& ctx) override;
-  void on_message(Context& ctx, Envelope&& env) override;
-  void on_run_end() override;
-  [[nodiscard]] bool active() const override;
+  NF_ENGINE_THREAD void on_run_start(const Overlay& overlay) override;
+  NF_ENGINE_THREAD void on_round_begin(std::uint64_t round) override;
+  NF_SHARD_CONTEXT void on_round(Context& ctx) override;
+  NF_SHARD_CONTEXT void on_message(Context& ctx, Envelope&& env) override;
+  NF_ENGINE_THREAD void on_run_end() override;
+  NF_REENTRANT [[nodiscard]] bool active() const override;
 
   /// True iff every phase of `session` is done.
   [[nodiscard]] bool session_done(SessionId session) const;
@@ -327,10 +344,12 @@ class SessionMux final : public Protocol {
 
   [[nodiscard]] PhaseSlot& slot(SessionId s, PhaseId p) const;
   [[nodiscard]] std::string display_name(SessionId s) const;
-  void open_at(Context& ctx, SessionId s, PhaseId p, obs::LineageId cause);
-  void charge(SessionId s, TrafficCategory category, std::uint64_t bytes);
-  void maybe_begin_span(PhaseSlot& slot);
-  void record_done_rounds();
+  NF_REENTRANT void open_at(Context& ctx, SessionId s, PhaseId p,
+                            obs::LineageId cause);
+  NF_REENTRANT void charge(SessionId s, TrafficCategory category,
+                           std::uint64_t bytes);
+  NF_REENTRANT void maybe_begin_span(PhaseSlot& slot);
+  NF_ENGINE_THREAD void record_done_rounds();
 
   obs::Context* obs_;
   std::vector<std::unique_ptr<SessionSlot>> sessions_;

@@ -17,6 +17,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/capability.h"
 #include "common/error.h"
 #include "common/ids.h"
 
@@ -33,18 +34,22 @@ class ShardPlan {
     if (num_peers_ == 0) num_shards_ = 1;
   }
 
-  [[nodiscard]] std::uint32_t num_shards() const { return num_shards_; }
-  [[nodiscard]] std::uint32_t num_peers() const { return num_peers_; }
+  NF_REENTRANT [[nodiscard]] std::uint32_t num_shards() const {
+    return num_shards_;
+  }
+  NF_REENTRANT [[nodiscard]] std::uint32_t num_peers() const {
+    return num_peers_;
+  }
 
-  [[nodiscard]] std::uint32_t begin(std::uint32_t shard) const {
+  NF_REENTRANT [[nodiscard]] std::uint32_t begin(std::uint32_t shard) const {
     return static_cast<std::uint32_t>(
         (static_cast<std::uint64_t>(num_peers_) * shard) / num_shards_);
   }
-  [[nodiscard]] std::uint32_t end(std::uint32_t shard) const {
+  NF_REENTRANT [[nodiscard]] std::uint32_t end(std::uint32_t shard) const {
     return begin(shard + 1);
   }
 
-  [[nodiscard]] std::uint32_t shard_of(PeerId p) const {
+  NF_REENTRANT [[nodiscard]] std::uint32_t shard_of(PeerId p) const {
     // Inverse of begin(): floor((idx * K + K - 1) / N) overshoots on range
     // boundaries, so compute the candidate and correct by comparison.
     const std::uint64_t idx = p.value();
@@ -74,16 +79,16 @@ class ShardPool {
   ShardPool(const ShardPool&) = delete;
   ShardPool& operator=(const ShardPool&) = delete;
 
-  void dispatch(std::uint32_t tasks,
-                const std::function<void(std::uint32_t)>& fn);
+  NF_ENGINE_THREAD void dispatch(std::uint32_t tasks,
+                                 const std::function<void(std::uint32_t)>& fn);
 
   [[nodiscard]] std::uint32_t num_workers() const {
     return static_cast<std::uint32_t>(workers_.size());
   }
 
  private:
-  void worker_loop();
-  void run_tasks();
+  NF_SHARD_CONTEXT void worker_loop();
+  NF_SHARD_CONTEXT void run_tasks();
 
   std::mutex mutex_;
   std::condition_variable work_ready_;

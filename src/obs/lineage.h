@@ -33,6 +33,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/capability.h"
 #include "common/hashing.h"
 #include "common/ids.h"
 
@@ -93,9 +94,10 @@ class LineageRecorder {
   // --- an attached-but-idle recorder costs nothing.
 
   /// Assigns the next id (canonical admission order) and records the node.
-  LineageId admit(LineageId parent, PeerId from, PeerId to,
-                  std::uint32_t session, std::uint32_t phase,
-                  std::uint64_t bytes, std::uint64_t send_clock) {
+  NF_ENGINE_THREAD LineageId admit(LineageId parent, PeerId from, PeerId to,
+                                   std::uint32_t session, std::uint32_t phase,
+                                   std::uint64_t bytes,
+                                   std::uint64_t send_clock) {
     if (parent_.empty()) allocate();
     const LineageId id = ++total_;
     if (id > capacity_) ++dropped_nodes_;  // the slot's previous occupant
@@ -114,7 +116,7 @@ class LineageRecorder {
   /// Records an extra parent (beyond the envelope's primary) via reservoir
   /// sampling; zero ids are ignored so components can push causes
   /// unconditionally.
-  void link(LineageId child, LineageId parent) {
+  NF_ENGINE_THREAD void link(LineageId child, LineageId parent) {
     if (parent == kNoLineage || child == kNoLineage) return;
     if (edge_capacity_ == 0) return;
     const std::uint64_t n = edges_seen_++;
@@ -132,26 +134,28 @@ class LineageRecorder {
 
   /// Marks a successful delivery; undelivered nodes (loss, churn, duplicate
   /// suppression) keep deliver_clock 0 and never enter critical paths.
-  void delivered(LineageId id, std::uint64_t deliver_clock) {
+  NF_ENGINE_THREAD void delivered(LineageId id, std::uint64_t deliver_clock) {
     if (retained(id)) deliver_clock_[slot(id)] = deliver_clock;
   }
 
   /// Called at each Engine::run entry with the tracer clock; windows the
   /// analysis to the most recent run.
-  void mark_run_start(std::uint64_t clock) {
+  NF_ENGINE_THREAD void mark_run_start(std::uint64_t clock) {
     runs_.push_back(RunMark{clock, total_ + 1});
   }
 
   // --- Session metadata, registered by the session runtime.
 
-  void set_session_name(std::uint32_t session, std::string_view name) {
+  NF_ENGINE_THREAD void set_session_name(std::uint32_t session,
+                                         std::string_view name) {
     if (session == kNoSessionTag) return;
     if (session_names_.size() <= session) session_names_.resize(session + 1);
     session_names_[session] = std::string(name);
   }
 
-  void set_phase_name(std::uint32_t session, std::uint32_t phase,
-                      std::string_view name) {
+  NF_ENGINE_THREAD void set_phase_name(std::uint32_t session,
+                                       std::uint32_t phase,
+                                       std::string_view name) {
     if (session == kNoSessionTag) return;
     if (phase_names_.size() <= session) phase_names_.resize(session + 1);
     auto& phases = phase_names_[session];
@@ -161,7 +165,8 @@ class LineageRecorder {
 
   /// Records the run-relative round at which `session` completed (all its
   /// phases done()); critical paths terminate at or before this round.
-  void set_session_done(std::uint32_t session, std::uint64_t round) {
+  NF_ENGINE_THREAD void set_session_done(std::uint32_t session,
+                                         std::uint64_t round) {
     if (session == kNoSessionTag) return;
     if (done_round_.size() <= session) {
       done_round_.resize(session + 1, kNoRound);
@@ -235,6 +240,9 @@ class LineageRecorder {
   }
 
   void allocate() {
+    // The edge reservoir fills to edge_capacity_ and then overwrites in
+    // place; reserving here keeps link() heap-free after this warm-up.
+    edges_.reserve(edge_capacity_);
     parent_.assign(capacity_, kNoLineage);
     from_.assign(capacity_, 0);
     to_.assign(capacity_, 0);

@@ -39,6 +39,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/capability.h"
 #include "obs/metrics.h"
 #include "obs/timeseries.h"
 
@@ -317,8 +318,8 @@ class LinkStats {
   /// alpha sweep re-runs over one shared context and hierarchy); a changed
   /// geometry resets the matrix — mixed-geometry accumulation would be
   /// meaningless.
-  void configure_levels(const std::vector<std::uint32_t>& peer_level,
-                        std::uint32_t num_levels) {
+  NF_ENGINE_THREAD void configure_levels(
+      const std::vector<std::uint32_t>& peer_level, std::uint32_t num_levels) {
     if (peer_level == peer_level_ && num_levels == num_levels_) return;
     peer_level_ = peer_level;
     num_levels_ = num_levels;
@@ -339,7 +340,8 @@ class LinkStats {
   /// in the TimeSeries ring and — via the trace-event exporter — as Perfetto
   /// counter tracks per level. Call after configure_levels(); allocation
   /// happens here, never in charge()/set_backlog().
-  void bind_series(MetricsRegistry& registry, TimeSeries& series) {
+  NF_ENGINE_THREAD void bind_series(MetricsRegistry& registry,
+                                    TimeSeries& series) {
     backlog_gauges_.assign(num_levels_, nullptr);
     for (std::uint32_t d = 0; d < num_levels_; ++d) {
       const std::string name = "link/level" + std::to_string(d) + "/bytes";
@@ -375,8 +377,8 @@ class LinkStats {
   /// Charges one admitted envelope. Engine thread only, canonical merge
   /// order only (enforced by nf-lint outside net/engine.cpp). Zero
   /// allocation after warm-up.
-  void charge(std::uint32_t from, std::uint32_t to, std::size_t category,
-              std::uint64_t bytes) {
+  NF_ENGINE_THREAD void charge(std::uint32_t from, std::uint32_t to,
+                               std::size_t category, std::uint64_t bytes) {
     const std::size_t row = level_of_link(from, to);
     if (category >= kMaxCategories) category = kMaxCategories - 1;
     bytes_[row * kMaxCategories + category] += bytes;
@@ -393,8 +395,8 @@ class LinkStats {
   /// charge(): engine thread only, canonical admission order only (nf-lint's
   /// nf-link-model check flags calls outside net/engine.cpp). Zero
   /// allocation after warm-up.
-  void charge_spill(std::uint32_t from, std::uint32_t to,
-                    std::uint64_t bytes) {
+  NF_ENGINE_THREAD void charge_spill(std::uint32_t from, std::uint32_t to,
+                                     std::uint64_t bytes) {
     spill_.add(link_key(from, to), bytes);
   }
 
@@ -402,7 +404,7 @@ class LinkStats {
   /// on the level's links after the round's capacity drained). Engine
   /// thread only; no-op for rows without a bound gauge (off-hierarchy,
   /// detached series).
-  void set_backlog(std::size_t row, std::uint64_t bytes) {
+  NF_ENGINE_THREAD void set_backlog(std::size_t row, std::uint64_t bytes) {
     if (row < backlog_gauges_.size() && backlog_gauges_[row] != nullptr) {
       backlog_gauges_[row]->set(static_cast<double>(bytes));
     }

@@ -35,6 +35,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/capability.h"
 #include "obs/metrics.h"
 
 namespace nf::obs {
@@ -48,7 +49,8 @@ class TimeSeries {
   /// baseline is the counter's value at registration. Re-registering an
   /// existing name rebinds its source (and re-baselines); rows sampled
   /// before registration read as 0.
-  void track_counter(std::string_view name, const Counter* src) {
+  NF_ENGINE_THREAD void track_counter(std::string_view name,
+                                      const Counter* src) {
     const std::lock_guard<std::mutex> lock(mutex_);
     for (CounterColumn& col : counters_) {
       if (col.name == name) {
@@ -63,7 +65,7 @@ class TimeSeries {
   }
 
   /// Registers `src` under `name`, sampled as its current value.
-  void track_gauge(std::string_view name, const Gauge* src) {
+  NF_ENGINE_THREAD void track_gauge(std::string_view name, const Gauge* src) {
     const std::lock_guard<std::mutex> lock(mutex_);
     for (GaugeColumn& col : gauges_) {
       if (col.name == name) {
@@ -77,7 +79,7 @@ class TimeSeries {
 
   /// Records one row stamped `stamp` (the engine passes the tracer clock).
   /// Zero allocation: writes one ring slot per registered column.
-  void sample(std::uint64_t stamp) {
+  NF_ENGINE_THREAD void sample(std::uint64_t stamp) {
     const std::lock_guard<std::mutex> lock(mutex_);
     if (stamp_ring_.empty()) stamp_ring_.assign(capacity_, 0);
     const auto slot = static_cast<std::size_t>(total_ % capacity_);

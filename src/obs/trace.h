@@ -67,7 +67,9 @@ struct TraceEvent {
 class ProtocolTracer {
  public:
   explicit ProtocolTracer(std::size_t capacity = 4096)
-      : capacity_(capacity == 0 ? 1 : capacity) {}
+      : capacity_(capacity == 0 ? 1 : capacity) {
+    ring_.reserve(capacity_);
+  }
 
   void record(EventKind kind, const char* name, std::uint32_t peer = kNoPeer,
               std::uint64_t value = 0) {

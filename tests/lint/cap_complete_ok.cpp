@@ -1,0 +1,20 @@
+// nf-lint fixture: the same guarded-member touch as cap_complete_pos.cpp
+// with the finding suppressed (pretend this is a scratch prototype whose
+// real counterpart is annotated). nf-lint must report nothing for
+// nf-cap-complete.
+#include <cstdint>
+
+namespace fixture {
+
+class Engine {
+ public:
+  void note_admission(std::uint64_t bytes) {
+    // nf-lint: nf-cap-complete-ok (scratch prototype, annotated upstream)
+    lineage_ += bytes;
+  }
+
+ private:
+  std::uint64_t lineage_ = 0;
+};
+
+}  // namespace fixture

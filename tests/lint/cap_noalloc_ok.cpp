@@ -1,0 +1,30 @@
+// nf-lint fixture: the same allocating sites as cap_noalloc_pos.cpp with
+// both findings suppressed (pretend the vector is bounded scratch measured
+// off-path and the copy is a debug-only diagnostic). nf-lint must report
+// nothing for nf-cap-noalloc.
+#include <cstdint>
+#include <vector>
+
+#include "common/capability.h"
+
+namespace fixture {
+
+class Merge {
+ public:
+  NF_STEADY_NOALLOC void on_flat(std::uint64_t v) {
+    // nf-lint: nf-cap-noalloc-ok (bounded scratch, measured off-path)
+    values_.push_back(v);
+    stash(v);
+  }
+
+ private:
+  void stash(std::uint64_t v) {
+    // nf-lint: nf-cap-noalloc-ok (debug-only diagnostic copy, cold)
+    auto* copy = new std::uint64_t(v);
+    delete copy;
+  }
+
+  std::vector<std::uint64_t> values_;
+};
+
+}  // namespace fixture

@@ -1,7 +1,8 @@
-// nf-lint fixture: nf-obs-context must fire — LinkStats::charge called
+// nf-lint fixture: nf-cap-thread must fire — LinkStats::charge called
 // from a protocol component. The Misra-Gries link summary is merge-order
 // sensitive, so only net/engine.cpp's canonical barrier merge may charge
-// it. Never compiled; lexed by tools/nf-lint only.
+// it (folded into the capability pass from the old nf-obs-context rule).
+// Lexed by tools/nf-lint; compiled only by the engine parity test.
 #include <cstddef>
 #include <cstdint>
 

@@ -1,0 +1,103 @@
+# Asserts the token and Clang engines of nf-lint produce byte-identical
+# findings on the capability fixture corpus. The corpus is compiled for
+# real by the Clang engine (via a generated compile_commands.json), so the
+# fixtures must stay valid C++20.
+#
+# Inputs: -DLINT=<nf-lint binary> -DFIXTURES=<tests/lint dir>
+#         -DSRC=<repo src dir>   -DWORK=<scratch dir>
+# Env:    NF_LINT_REQUIRE_CLANG=1 makes a missing Clang engine a failure
+#         (CI sets this); by default the test skips when nf-lint was built
+#         without Clang LibTooling support.
+
+foreach(var LINT FIXTURES SRC WORK)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "nf_lint_parity: missing -D${var}")
+  endif()
+endforeach()
+
+set(corpus
+    cap_thread_pos.cpp
+    cap_thread_ok.cpp
+    cap_noalloc_pos.cpp
+    cap_noalloc_ok.cpp
+    cap_complete_pos.cpp
+    cap_complete_ok.cpp
+    link_charge_pos.cpp
+    link_charge_ok.cpp)
+
+file(MAKE_DIRECTORY "${WORK}")
+
+set(files)
+set(entries)
+foreach(f ${corpus})
+  set(path "${FIXTURES}/${f}")
+  if(NOT EXISTS "${path}")
+    message(FATAL_ERROR "nf_lint_parity: corpus file missing: ${path}")
+  endif()
+  list(APPEND files "${path}")
+  string(APPEND entries
+         "  {\"directory\": \"${FIXTURES}\",\n"
+         "   \"file\": \"${path}\",\n"
+         "   \"command\": \"clang++ -std=c++20 -I${SRC} -c ${path}\"},\n")
+endforeach()
+string(REGEX REPLACE ",\n$" "\n" entries "${entries}")
+file(WRITE "${WORK}/compile_commands.json" "[\n${entries}]\n")
+
+set(checks --check=nf-cap-thread --check=nf-cap-noalloc
+           --check=nf-cap-complete)
+
+execute_process(
+  COMMAND "${LINT}" --engine=tokens ${checks} --quiet
+          --report "${WORK}/tokens.txt" ${files}
+  RESULT_VARIABLE tok_rc
+  OUTPUT_VARIABLE tok_out
+  ERROR_VARIABLE tok_err)
+if(tok_rc GREATER 1)
+  message(FATAL_ERROR "nf_lint_parity: token engine failed (rc=${tok_rc})\n"
+                      "${tok_out}${tok_err}")
+endif()
+
+execute_process(
+  COMMAND "${LINT}" --engine=clang --compdb "${WORK}" ${checks} --quiet
+          --report "${WORK}/clang.txt" ${files}
+  RESULT_VARIABLE cl_rc
+  OUTPUT_VARIABLE cl_out
+  ERROR_VARIABLE cl_err)
+if(cl_rc EQUAL 2 AND cl_err MATCHES "built without Clang")
+  if(DEFINED ENV{NF_LINT_REQUIRE_CLANG})
+    message(FATAL_ERROR
+            "nf_lint_parity: NF_LINT_REQUIRE_CLANG is set but nf-lint was "
+            "built without the Clang engine:\n${cl_err}")
+  endif()
+  message(STATUS "nf_lint_parity: skipped — nf-lint built without the "
+                 "Clang engine (set NF_LINT_REQUIRE_CLANG=1 to require it)")
+  return()
+endif()
+if(cl_rc GREATER 1)
+  message(FATAL_ERROR "nf_lint_parity: clang engine failed (rc=${cl_rc})\n"
+                      "${cl_out}${cl_err}")
+endif()
+
+# The reports are identical except for the engine-named summary line.
+file(READ "${WORK}/tokens.txt" tok_report)
+file(READ "${WORK}/clang.txt" cl_report)
+string(REGEX REPLACE "nf-lint \\([a-z]+\\)[^\n]*\n?" "" tok_report
+       "${tok_report}")
+string(REGEX REPLACE "nf-lint \\([a-z]+\\)[^\n]*\n?" "" cl_report
+       "${cl_report}")
+
+if(NOT tok_report STREQUAL cl_report)
+  message(FATAL_ERROR
+          "nf_lint_parity: engines disagree on the fixture corpus.\n"
+          "--- tokens ---\n${tok_report}\n"
+          "--- clang ----\n${cl_report}")
+endif()
+
+if(tok_report STREQUAL "")
+  message(FATAL_ERROR
+          "nf_lint_parity: corpus produced no findings — the positive "
+          "fixtures should fire; the parity check is vacuous")
+endif()
+
+message(STATUS "nf_lint_parity: engines agree byte-for-byte "
+               "(rc tokens=${tok_rc} clang=${cl_rc})")

@@ -8,6 +8,10 @@
 // Clang engine (nf_lint_clang.cpp, optional) resolves types instead of
 // guessing from spelling. Both feed the same suppression/baseline pipeline
 // below, so CI behaves identically whichever engine a machine can build.
+//
+// Lexing lives in nf_lint_lex.h (shared with the capability pass); the
+// whole-program capability checks live in nf_lint_cap.cpp and run over a
+// model extracted here file-by-file.
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -19,263 +23,22 @@
 #include <vector>
 
 #include "nf_lint.h"
+#include "nf_lint_cap.h"
+#include "nf_lint_lex.h"
 
 namespace nf::lint {
 namespace {
 
-// ---------------------------------------------------------------------------
-// Source loading and sanitizing.
-
-struct SourceFile {
-  std::string path;               // display path, '/'-separated
-  std::vector<std::string> raw;   // as on disk (comments intact)
-  std::vector<std::string> code;  // comments and literals blanked out
-};
-
-std::string normalize_path(std::string p) {
-  for (char& c : p) {
-    if (c == '\\') c = '/';
-  }
-  return p;
-}
-
-std::vector<std::string> split_lines(const std::string& text) {
-  std::vector<std::string> lines;
-  std::string cur;
-  for (const char c : text) {
-    if (c == '\n') {
-      lines.push_back(cur);
-      cur.clear();
-    } else if (c != '\r') {
-      cur.push_back(c);
-    }
-  }
-  if (!cur.empty()) lines.push_back(cur);
-  return lines;
-}
-
-/// Blanks comments, string literals and char literals (newlines kept), so
-/// the token scan never trips on prose or quoted code.
-std::string sanitize(const std::string& text) {
-  std::string out;
-  out.reserve(text.size());
-  enum class St { kCode, kLine, kBlock, kStr, kChar, kRaw };
-  St st = St::kCode;
-  std::string raw_delim;  // for R"delim( ... )delim"
-  for (std::size_t i = 0; i < text.size(); ++i) {
-    const char c = text[i];
-    const char n = i + 1 < text.size() ? text[i + 1] : '\0';
-    switch (st) {
-      case St::kCode:
-        if (c == '/' && n == '/') {
-          st = St::kLine;
-          out += "  ";
-          ++i;
-        } else if (c == '/' && n == '*') {
-          st = St::kBlock;
-          out += "  ";
-          ++i;
-        } else if (c == 'R' && n == '"' &&
-                   (out.empty() || !(std::isalnum(out.back()) != 0 ||
-                                     out.back() == '_'))) {
-          st = St::kRaw;
-          raw_delim.clear();
-          std::size_t j = i + 2;
-          while (j < text.size() && text[j] != '(') raw_delim += text[j++];
-          out += "  ";
-          out.append(raw_delim.size() + 1, ' ');
-          i = j;
-        } else if (c == '"') {
-          st = St::kStr;
-          out += ' ';
-        } else if (c == '\'') {
-          st = St::kChar;
-          out += ' ';
-        } else {
-          out += c;
-        }
-        break;
-      case St::kLine:
-        if (c == '\n') {
-          st = St::kCode;
-          out += '\n';
-        } else {
-          out += ' ';
-        }
-        break;
-      case St::kBlock:
-        if (c == '*' && n == '/') {
-          st = St::kCode;
-          out += "  ";
-          ++i;
-        } else {
-          out += c == '\n' ? '\n' : ' ';
-        }
-        break;
-      case St::kStr:
-        if (c == '\\') {
-          out += "  ";
-          ++i;
-        } else if (c == '"') {
-          st = St::kCode;
-          out += ' ';
-        } else {
-          out += c == '\n' ? '\n' : ' ';
-        }
-        break;
-      case St::kChar:
-        if (c == '\\') {
-          out += "  ";
-          ++i;
-        } else if (c == '\'') {
-          st = St::kCode;
-          out += ' ';
-        } else {
-          out += c == '\n' ? '\n' : ' ';
-        }
-        break;
-      case St::kRaw: {
-        const std::string close = ")" + raw_delim + "\"";
-        if (text.compare(i, close.size(), close) == 0) {
-          st = St::kCode;
-          out.append(close.size(), ' ');
-          i += close.size() - 1;
-        } else {
-          out += c == '\n' ? '\n' : ' ';
-        }
-        break;
-      }
-    }
-  }
-  return out;
-}
-
-bool load_file(const std::string& path, SourceFile& file) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return false;
-  std::stringstream ss;
-  ss << in.rdbuf();
-  const std::string text = ss.str();
-  file.path = normalize_path(path);
-  file.raw = split_lines(text);
-  file.code = split_lines(sanitize(text));
-  file.code.resize(file.raw.size());
-  return true;
-}
-
-// ---------------------------------------------------------------------------
-// Tokenizing.
-
-struct Tok {
-  std::string text;
-  int line = 0;  // 1-based
-};
-
-bool ident_start(char c) { return std::isalpha(c) != 0 || c == '_'; }
-bool ident_char(char c) { return std::isalnum(c) != 0 || c == '_'; }
-
-std::vector<Tok> lex(const SourceFile& file) {
-  std::vector<Tok> toks;
-  for (std::size_t li = 0; li < file.code.size(); ++li) {
-    const std::string& s = file.code[li];
-    const int line = static_cast<int>(li) + 1;
-    for (std::size_t i = 0; i < s.size();) {
-      const char c = s[i];
-      if (std::isspace(c) != 0) {
-        ++i;
-      } else if (ident_start(c)) {
-        std::size_t j = i + 1;
-        while (j < s.size() && ident_char(s[j])) ++j;
-        toks.push_back({s.substr(i, j - i), line});
-        i = j;
-      } else if (std::isdigit(c) != 0) {
-        std::size_t j = i + 1;
-        while (j < s.size() && (ident_char(s[j]) || s[j] == '.')) ++j;
-        toks.push_back({s.substr(i, j - i), line});
-        i = j;
-      } else if (c == ':' && i + 1 < s.size() && s[i + 1] == ':') {
-        toks.push_back({"::", line});
-        i += 2;
-      } else if (c == '-' && i + 1 < s.size() && s[i + 1] == '>') {
-        toks.push_back({"->", line});
-        i += 2;
-      } else {
-        toks.push_back({std::string(1, c), line});
-        ++i;
-      }
-    }
-  }
-  return toks;
-}
-
-// ---------------------------------------------------------------------------
-// Small token-stream helpers.
-
-const std::string& tok_at(const std::vector<Tok>& t, std::size_t i) {
-  static const std::string empty;
-  return i < t.size() ? t[i].text : empty;
-}
-
-/// Receiver chain (identifiers joined by '.'/'::') ending just before
-/// token `end` — e.g. for `config_.obs->` returns "config_.obs".
-std::string chain_before(const std::vector<Tok>& t, std::size_t end) {
-  std::string chain;
-  std::size_t i = end;
-  while (i > 0) {
-    const std::string& s = t[i - 1].text;
-    if (s == "." || s == "::" || ident_start(s[0])) {
-      chain.insert(0, s);
-      --i;
-    } else {
-      break;
-    }
-  }
-  return chain;
-}
-
-/// Index of the matching ')' for the '(' at `open`, or t.size().
-std::size_t match_paren(const std::vector<Tok>& t, std::size_t open) {
-  int depth = 0;
-  for (std::size_t i = open; i < t.size(); ++i) {
-    if (t[i].text == "(") ++depth;
-    if (t[i].text == ")" && --depth == 0) return i;
-  }
-  return t.size();
-}
-
-std::string collapse_ws(const std::string& s) {
-  std::string out;
-  bool space = false;
-  for (const char c : s) {
-    if (std::isspace(c) != 0) {
-      space = !out.empty();
-    } else {
-      if (space) out += ' ';
-      out += c;
-      space = false;
-    }
-  }
-  return out;
-}
-
-std::string strip_ws(const std::string& s) {
-  std::string out;
-  for (const char c : s) {
-    if (std::isspace(c) == 0) out += c;
-  }
-  return out;
-}
-
-/// True when `path` has `dir` as one of its directory components.
-bool in_dir(const std::string& path, const std::string& dir) {
-  const std::string p = "/" + path;
-  return p.find("/" + dir + "/") != std::string::npos;
-}
-
-bool path_ends_with(const std::string& path, const std::string& tail) {
-  return path.size() >= tail.size() &&
-         path.compare(path.size() - tail.size(), tail.size(), tail) == 0;
-}
+using lex::SourceFile;
+using lex::Tok;
+using lex::chain_before;
+using lex::ident_start;
+using lex::in_dir;
+using lex::load_file;
+using lex::match_paren;
+using lex::path_ends_with;
+using lex::strip_ws;
+using lex::tok_at;
 
 void add_finding(std::vector<Finding>& out, const SourceFile& file, Check c,
                  int line, std::string message) {
@@ -287,7 +50,8 @@ void add_finding(std::vector<Finding>& out, const SourceFile& file, Check c,
       line >= 1 && line <= static_cast<int>(file.raw.size())
           ? file.raw[static_cast<std::size_t>(line) - 1]
           : std::string();
-  out.push_back({c, file.path, line, std::move(message), collapse_ws(src)});
+  out.push_back(
+      {c, file.path, line, std::move(message), lex::collapse_ws(src)});
 }
 
 /// Per-token loop-body depth: >0 when the token sits inside a for/while
@@ -570,12 +334,10 @@ void check_arena_map(const SourceFile& file, const std::vector<Tok>& t,
 // obs::Context rides protocol hot paths as a nullable pointer, so (a) every
 // dereference needs a null guard in sight, and (b) string-keyed registry
 // lookups (registry.counter("...")) may not sit inside loops — cache the
-// handle once (see Engine::set_obs) and bump it. (c) LinkStats::charge is
-// engine-only: the Misra-Gries link summary is merge-order sensitive, so
-// charging anywhere but the canonical (major, minor)-ordered barrier merge
-// in net/engine.cpp silently breaks the bit-identical-across---threads
-// contract (obs/link_stats.h). src/obs itself is exempt: it implements the
-// registry.
+// handle once (see Engine::set_obs) and bump it. src/obs itself is exempt:
+// it implements the registry. (The former rule (c) — LinkStats::charge
+// outside net/engine.cpp — moved to the whole-program nf-cap-thread pass,
+// nf_lint_cap.cpp.)
 
 void check_obs_context(const SourceFile& file, const std::vector<Tok>& t,
                        const std::vector<int>& loop_depth,
@@ -622,17 +384,6 @@ void check_obs_context(const SourceFile& file, const std::vector<Tok>& t,
                         "(...) inside a loop does a string-keyed lookup per "
                         "iteration; hoist the handle (see Engine::set_obs)");
       }
-    }
-    // (c) LinkStats::charge outside the engine's canonical merge path.
-    if ((t[i].text == "link_stats" || t[i].text == "link_stats_") &&
-        (tok_at(t, i + 1) == "." || tok_at(t, i + 1) == "->") &&
-        tok_at(t, i + 2) == "charge" && tok_at(t, i + 3) == "(" &&
-        !path_ends_with(file.path, "net/engine.cpp")) {
-      add_finding(out, file, Check::kObsContext, t[i].line,
-                  "LinkStats::charge outside net/engine.cpp: the link "
-                  "summary is merge-order sensitive; only the engine's "
-                  "canonical barrier merge may charge it "
-                  "(obs/link_stats.h)");
     }
   }
 }
@@ -759,13 +510,17 @@ std::vector<Finding> run_token_engine(const std::vector<std::string>& paths,
   const auto enabled = [&checks](Check c) {
     return std::find(checks.begin(), checks.end(), c) != checks.end();
   };
+  const bool want_cap = enabled(Check::kCapThread) ||
+                        enabled(Check::kCapNoalloc) ||
+                        enabled(Check::kCapComplete);
+  cap::Model model;
   for (const std::string& path : paths) {
     SourceFile file;
     if (!load_file(path, file)) {
       std::fprintf(stderr, "nf-lint: cannot read %s\n", path.c_str());
       continue;
     }
-    const std::vector<Tok> toks = lex(file);
+    const std::vector<Tok> toks = lex::lex(file);
     const std::vector<int> depth = loop_depths(toks);
     if (enabled(Check::kUnorderedIteration)) {
       check_unordered(file, toks, out);
@@ -778,7 +533,15 @@ std::vector<Finding> run_token_engine(const std::vector<std::string>& paths,
     }
     if (enabled(Check::kFlatPayload)) check_flat_payload(file, toks, out);
     if (enabled(Check::kLinkModel)) check_link_model(file, toks, out);
+    if (want_cap) {
+      // The capability pass reads declarations, so macro-definition lines
+      // spelling the same tokens must not leak in.
+      const std::vector<Tok> cap_toks =
+          lex::lex(file, /*skip_preprocessor=*/true);
+      cap::extract_from_tokens(file, cap_toks, model);
+    }
   }
+  if (want_cap) cap::analyze(model, checks, out);
   sort_findings(out);
   return out;
 }
@@ -814,6 +577,7 @@ struct Options {
   std::string engine = "auto";  // auto | tokens | clang
   std::string compdb = "build";
   bool quiet = false;
+  bool strict_suppressions = false;
 };
 
 int usage(const char* argv0) {
@@ -829,6 +593,8 @@ int usage(const char* argv0) {
       "  --engine E             auto|tokens|clang (default auto)\n"
       "  --compdb DIR           compile_commands.json dir for the clang "
       "engine (default build)\n"
+      "  --strict-suppressions  fail when a `<check>-ok` comment suppresses "
+      "nothing\n"
       "  --list-checks          print the check catalog and exit\n"
       "  -q, --quiet            summary only\n\n"
       "Suppress a finding inline with `// nf-lint: <check>-ok` on the "
@@ -870,38 +636,64 @@ std::vector<std::string> collect_files(const std::vector<std::string>& paths) {
   return files;
 }
 
-/// Drops findings suppressed by `// nf-lint: <check>-ok` on the finding's
-/// line or the line above it.
-void apply_suppressions(std::vector<Finding>& findings) {
-  std::map<std::string, std::vector<std::string>> lines_by_file;
-  std::vector<Finding> kept;
-  for (Finding& f : findings) {
-    auto it = lines_by_file.find(f.path);
-    if (it == lines_by_file.end()) {
-      std::ifstream in(f.path, std::ios::binary);
-      std::stringstream ss;
-      ss << in.rdbuf();
-      std::vector<std::string> lines;
-      std::string cur;
-      for (const char c : ss.str()) {
-        if (c == '\n') {
-          lines.push_back(cur);
-          cur.clear();
-        } else if (c != '\r') {
-          cur.push_back(c);
+/// One `// nf-lint: <check>-ok` comment found in a scanned file.
+struct Suppression {
+  std::string path;
+  int line = 0;
+  std::string check;  // check name, without the "-ok"
+  bool used = false;
+};
+
+std::vector<std::string> read_raw_lines(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  std::vector<std::string> lines;
+  std::string cur;
+  for (const char c : ss.str()) {
+    if (c == '\n') {
+      lines.push_back(cur);
+      cur.clear();
+    } else if (c != '\r') {
+      cur.push_back(c);
+    }
+  }
+  lines.push_back(cur);
+  return lines;
+}
+
+/// Scans every file for suppression comments naming an enabled check, so
+/// stale ones (suppressing nothing) can be reported instead of rotting.
+std::vector<Suppression> collect_suppressions(
+    const std::vector<std::string>& files, const std::vector<Check>& checks) {
+  std::vector<Suppression> out;
+  for (const std::string& path : files) {
+    const std::vector<std::string> lines = read_raw_lines(path);
+    for (std::size_t li = 0; li < lines.size(); ++li) {
+      if (lines[li].find("nf-lint:") == std::string::npos) continue;
+      for (const Check c : checks) {
+        const std::string want = std::string(check_name(c)) + "-ok";
+        if (lines[li].find(want) != std::string::npos) {
+          out.push_back({nf::lint::lex::normalize_path(path),
+                         static_cast<int>(li) + 1, check_name(c), false});
         }
       }
-      lines.push_back(cur);
-      it = lines_by_file.emplace(f.path, std::move(lines)).first;
     }
-    const std::vector<std::string>& lines = it->second;
-    const std::string want = std::string(check_name(f.check)) + "-ok";
+  }
+  return out;
+}
+
+/// Drops findings suppressed by `// nf-lint: <check>-ok` on the finding's
+/// line or the line above it, marking the matching comments used.
+void apply_suppressions(std::vector<Finding>& findings,
+                        std::vector<Suppression>& suppressions) {
+  std::vector<Finding> kept;
+  for (Finding& f : findings) {
     bool suppressed = false;
-    for (int li = f.line - 1; li <= f.line && !suppressed; ++li) {
-      if (li < 1 || li > static_cast<int>(lines.size())) continue;
-      const std::string& raw = lines[static_cast<std::size_t>(li) - 1];
-      if (raw.find("nf-lint:") != std::string::npos &&
-          raw.find(want) != std::string::npos) {
+    for (Suppression& s : suppressions) {
+      if (s.path == f.path && s.check == check_name(f.check) &&
+          (s.line == f.line || s.line == f.line - 1)) {
+        s.used = true;
         suppressed = true;
       }
     }
@@ -975,6 +767,8 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) return usage(argv[0]);
       opt.compdb = v;
+    } else if (arg == "--strict-suppressions") {
+      opt.strict_suppressions = true;
     } else if (arg == "-q" || arg == "--quiet") {
       opt.quiet = true;
     } else if (!arg.empty() && arg[0] == '-') {
@@ -1017,7 +811,9 @@ int main(int argc, char** argv) {
     return usage(argv[0]);
   }
 
-  apply_suppressions(findings);
+  std::vector<Suppression> suppressions =
+      collect_suppressions(files, opt.checks);
+  apply_suppressions(findings, suppressions);
   nf::lint::sort_findings(findings);
 
   if (!opt.write_baseline.empty()) {
@@ -1072,11 +868,24 @@ int main(int argc, char** argv) {
            << (known ? " (baseline)" : "") << " " << f.message << "\n";
     if (!f.snippet.empty()) report << "    " << f.snippet << "\n";
   }
+  std::size_t stale_count = 0;
+  for (const Suppression& s : suppressions) {
+    if (s.used) continue;
+    ++stale_count;
+    report << s.path << ":" << s.line << ": stale suppression `nf-lint: "
+           << s.check << "-ok`: it no longer matches any finding; delete "
+           << "it (or re-justify it) so the audit trail stays honest\n";
+  }
   std::ostringstream summary;
   summary << "nf-lint (" << engine_used << "): " << findings.size()
           << " finding" << (findings.size() == 1 ? "" : "s");
   if (!opt.baseline.empty()) {
     summary << " (" << new_count << " new vs " << opt.baseline << ")";
+  }
+  if (stale_count > 0) {
+    summary << ", " << stale_count << " stale suppression"
+            << (stale_count == 1 ? "" : "s")
+            << (opt.strict_suppressions ? "" : " (warning)");
   }
   summary << " across " << files.size() << " files\n";
 
@@ -1087,7 +896,7 @@ int main(int argc, char** argv) {
     out << report.str() << summary.str();
   }
 
-  const bool fail =
-      opt.baseline.empty() ? !findings.empty() : new_count > 0;
+  bool fail = opt.baseline.empty() ? !findings.empty() : new_count > 0;
+  if (opt.strict_suppressions && stale_count > 0) fail = true;
   return fail ? 1 : 0;
 }

@@ -30,12 +30,22 @@ enum class Check : std::uint8_t {
   kObsContext,          // nf-obs-context
   kFlatPayload,         // nf-flat-payload
   kLinkModel,           // nf-link-model
+  kCapThread,           // nf-cap-thread
+  kCapNoalloc,          // nf-cap-noalloc
+  kCapComplete,         // nf-cap-complete
 };
 
 inline constexpr Check kAllChecks[] = {
     Check::kUnorderedIteration, Check::kBannedEntropy,
     Check::kEnvelopeDiscipline, Check::kArenaMap, Check::kObsContext,
-    Check::kFlatPayload, Check::kLinkModel};
+    Check::kFlatPayload, Check::kLinkModel, Check::kCapThread,
+    Check::kCapNoalloc, Check::kCapComplete};
+
+/// The whole-program capability checks (common/capability.h): run over a
+/// cross-file call graph instead of one file at a time, and the only checks
+/// whose messages are engine-independent (tests/lint parity relies on it).
+inline constexpr Check kCapChecks[] = {Check::kCapThread, Check::kCapNoalloc,
+                                       Check::kCapComplete};
 
 inline const char* check_name(Check c) {
   switch (c) {
@@ -53,6 +63,12 @@ inline const char* check_name(Check c) {
       return "nf-flat-payload";
     case Check::kLinkModel:
       return "nf-link-model";
+    case Check::kCapThread:
+      return "nf-cap-thread";
+    case Check::kCapNoalloc:
+      return "nf-cap-noalloc";
+    case Check::kCapComplete:
+      return "nf-cap-complete";
   }
   return "?";
 }
@@ -88,6 +104,23 @@ inline const char* check_description(Check c) {
              "canonical-order scheduler in net/engine.cpp: schedule/"
              "drain_round elsewhere would fork the backlog ledger and "
              "break bit-identical sharded congestion (net/link_model.h)";
+    case Check::kCapThread:
+      return "no NF_ENGINE_THREAD API may be reachable from an "
+             "NF_SHARD_CONTEXT root over the whole-program call graph: "
+             "engine-thread bookkeeping is canonical-order sensitive "
+             "(common/capability.h); includes the LinkStats::charge "
+             "engine-only rule";
+    case Check::kCapNoalloc:
+      return "no allocating construct (new, growing container ops without "
+             "a reserve in sight, std::string/std::function temporaries, "
+             "throw) may be reachable from an NF_STEADY_NOALLOC root: the "
+             "warmed steady-state round performs zero heap allocations "
+             "(tests/steady_alloc_test.cpp is the dynamic twin)";
+    case Check::kCapComplete:
+      return "a function touching the engine's guarded members "
+             "(link_stats_, link_queues_, lineage_, ...) must declare a "
+             "capability macro so the reachability checks can see it "
+             "(common/capability.h)";
   }
   return "?";
 }

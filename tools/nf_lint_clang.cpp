@@ -15,13 +15,17 @@
 // clean.
 #ifdef NF_LINT_HAVE_CLANG
 
+#include <algorithm>
 #include <cctype>
+#include <map>
 #include <memory>
 #include <set>
 #include <string>
 #include <vector>
 
 #include "clang/AST/ASTContext.h"
+#include "clang/AST/Attr.h"
+#include "clang/AST/ExprCXX.h"
 #include "clang/ASTMatchers/ASTMatchFinder.h"
 #include "clang/ASTMatchers/ASTMatchers.h"
 #include "clang/Basic/SourceManager.h"
@@ -30,6 +34,8 @@
 #include "llvm/Support/Path.h"
 
 #include "nf_lint.h"
+#include "nf_lint_cap.h"
+#include "nf_lint_lex.h"
 
 namespace nf::lint {
 namespace {
@@ -270,6 +276,262 @@ class Callback : public MatchFinder::MatchCallback {
   Sink& sink_;
 };
 
+/// Extracts the capability model (nf_lint_cap.h) from real ASTs. The model
+/// mirrors the token engine's *surface* facts on purpose — the spelled
+/// callee name, the innermost written qualifier, the receiver identifier —
+/// rather than fully-resolved callees, because the shared cap::analyze()
+/// resolution heuristics are part of the checks' contract: both engines
+/// must agree on what src/ counts as clean, and feeding the same analyzer
+/// the same surface model is what guarantees byte-for-byte findings.
+class CapCollector : public MatchFinder::MatchCallback {
+ public:
+  explicit CapCollector(Sink& sink) : sink_(sink) {}
+
+  cap::Model model;
+
+  void run(const MatchFinder::MatchResult& result) override {
+    const auto* fd = result.Nodes.getNodeAs<FunctionDecl>("capfn");
+    if (fd == nullptr || fd->isImplicit() || fd->isTemplateInstantiation() ||
+        fd->isOverloadedOperator() || isa<CXXConversionDecl>(fd)) {
+      return;
+    }
+    const auto* method = dyn_cast<CXXMethodDecl>(fd);
+    if (method != nullptr && method->getParent()->isLambda()) return;
+    const SourceManager& sm = *result.SourceManager;
+    const std::string path = path_of(sm, fd->getLocation());
+    if (path.empty()) return;
+
+    cap::Function fn;
+    fn.name = fd->getNameAsString();
+    if (fn.name.empty() || !lex::ident_start(fn.name[0])) {
+      // Destructors: the token engine folds '~' into the name.
+      if (fn.name.empty() || fn.name[0] != '~') return;
+    }
+    fn.path = path;
+    fn.line = line_of(sm, fd->getLocation());
+    if (method != nullptr) fn.cls = method->getParent()->getNameAsString();
+    for (const auto* attr : fd->attrs()) {
+      if (const auto* ann = dyn_cast<AnnotateAttr>(attr)) {
+        fn.caps |= cap::capability_from_annotation(ann->getAnnotation().str());
+      }
+    }
+    fn.has_body = fd->doesThisDeclarationHaveABody();
+    const std::string key = path + "|" + std::to_string(fn.line) + "|" +
+                            fn.display() + (fn.has_body ? "|d" : "");
+    if (!dedup_.insert(key).second) return;
+    ensure_lines(path);
+    if (fn.has_body) walk(fd->getBody(), sm, reserved_for(path), fn);
+    model.functions.push_back(std::move(fn));
+  }
+
+ private:
+  static int line_of(const SourceManager& sm, SourceLocation loc) {
+    return static_cast<int>(
+        sm.getSpellingLineNumber(sm.getExpansionLoc(loc)));
+  }
+
+  std::string path_of(const SourceManager& sm, SourceLocation loc) const {
+    const SourceLocation spell = sm.getExpansionLoc(loc);
+    if (spell.isInvalid()) return {};
+    const auto* entry = sm.getFileEntryForID(sm.getFileID(spell));
+    if (entry == nullptr) return {};
+    llvm::SmallString<256> abs(entry->tryGetRealPathName());
+    if (abs.empty()) abs = entry->getName();
+    return sink_.display_path(abs.str());
+  }
+
+  void ensure_lines(const std::string& path) {
+    if (model.lines.count(path) > 0) return;
+    lex::SourceFile sf;
+    if (lex::load_file(path, sf)) model.lines[path] = sf.raw;
+  }
+
+  /// The same lexical "reserve in sight" evidence the token engine uses —
+  /// deliberately textual, like the nf-obs-context guard window: it is a
+  /// convention about code shape, and both engines must read it alike.
+  const std::vector<std::string>& reserved_for(const std::string& path) {
+    const auto it = reserved_by_path_.find(path);
+    if (it != reserved_by_path_.end()) return it->second;
+    std::vector<std::string> reserved;
+    lex::SourceFile sf;
+    if (lex::load_file(path, sf)) {
+      reserved = cap::reserve_evidence(
+          lex::lex(sf, /*skip_preprocessor=*/true));
+    }
+    return reserved_by_path_.emplace(path, std::move(reserved)).first->second;
+  }
+
+  /// The token engine's receiver spelling: the identifier right before the
+  /// '.'/'->', "this" for explicit this, "?" when the base is not a plain
+  /// identifier (call results, dereferences).
+  static std::string receiver_of(const Expr* base) {
+    if (base == nullptr) return "?";
+    base = base->IgnoreParenImpCasts();
+    if (const auto* dre = dyn_cast<DeclRefExpr>(base)) {
+      return dre->getNameInfo().getAsString();
+    }
+    if (const auto* me = dyn_cast<MemberExpr>(base)) {
+      return me->getMemberNameInfo().getAsString();
+    }
+    if (isa<CXXThisExpr>(base)) return "this";
+    return "?";
+  }
+
+  static std::string qualifier_of(const NestedNameSpecifier* q) {
+    if (q == nullptr) return {};
+    switch (q->getKind()) {
+      case NestedNameSpecifier::Identifier:
+        return q->getAsIdentifier()->getName().str();
+      case NestedNameSpecifier::Namespace:
+        return q->getAsNamespace()->getNameAsString();
+      case NestedNameSpecifier::NamespaceAlias:
+        return q->getAsNamespaceAlias()->getNameAsString();
+      case NestedNameSpecifier::TypeSpec:
+      case NestedNameSpecifier::TypeSpecWithTemplate: {
+        const Type* t = q->getAsType();
+        if (const auto* rd = t->getAsCXXRecordDecl()) {
+          return rd->getNameAsString();
+        }
+        return {};
+      }
+      default:
+        return {};
+    }
+  }
+
+  static bool is_std_record(QualType qt, llvm::StringRef name) {
+    if (qt.isNull() || qt->isReferenceType() || qt->isPointerType()) {
+      return false;
+    }
+    const auto* rd = qt->getAsCXXRecordDecl();
+    return rd != nullptr && rd->getName() == name && rd->isInStdNamespace();
+  }
+
+  void walk(const Stmt* s, const SourceManager& sm,
+            const std::vector<std::string>& reserved, cap::Function& fn) {
+    if (s == nullptr) return;
+    static const std::set<std::string> grow_ops = {
+        "push_back", "emplace_back", "emplace", "push_front", "insert"};
+    if (const auto* call = dyn_cast<CallExpr>(s)) {
+      // Operator calls never look like `ident (` to the token engine.
+      if (!isa<CXXOperatorCallExpr>(call)) {
+        const Expr* callee = call->getCallee();
+        if (callee != nullptr) callee = callee->IgnoreParenImpCasts();
+        std::string name, qualifier, receiver;
+        SourceLocation name_loc;
+        bool dotted = false;  // spelled with '.'/'->' (grow-op candidate)
+        if (const auto* me = dyn_cast_or_null<MemberExpr>(callee)) {
+          name = me->getMemberNameInfo().getAsString();
+          name_loc = me->getMemberNameInfo().getLoc();
+          if (!me->isImplicitAccess()) {
+            receiver = receiver_of(me->getBase());
+            dotted = true;
+          }
+        } else if (const auto* dre = dyn_cast_or_null<DeclRefExpr>(callee)) {
+          name = dre->getNameInfo().getAsString();
+          name_loc = dre->getNameInfo().getLoc();
+          qualifier = qualifier_of(dre->getQualifier());
+        } else if (const auto* ule =
+                       dyn_cast_or_null<UnresolvedLookupExpr>(callee)) {
+          name = ule->getNameInfo().getAsString();
+          name_loc = ule->getNameInfo().getLoc();
+          qualifier = qualifier_of(ule->getQualifier());
+        } else if (const auto* dme =
+                       dyn_cast_or_null<CXXDependentScopeMemberExpr>(
+                           callee)) {
+          name = dme->getMemberNameInfo().getAsString();
+          name_loc = dme->getMemberNameInfo().getLoc();
+          if (!dme->isImplicitAccess()) {
+            receiver = receiver_of(dme->getBase());
+            dotted = true;
+          }
+        } else if (const auto* ume =
+                       dyn_cast_or_null<UnresolvedMemberExpr>(callee)) {
+          name = ume->getMemberNameInfo().getAsString();
+          name_loc = ume->getMemberNameInfo().getLoc();
+          if (!ume->isImplicitAccess()) {
+            receiver = receiver_of(ume->getBase());
+            dotted = true;
+          }
+        }
+        if (!name.empty() && lex::ident_start(name[0])) {
+          cap::CallSite cs;
+          cs.callee = name;
+          cs.qualifier = qualifier;
+          cs.receiver = receiver;
+          cs.line = line_of(sm, name_loc);
+          const int call_line = cs.line;
+          fn.calls.push_back(std::move(cs));
+          if (dotted && grow_ops.count(name) > 0) {
+            const std::string recv = receiver == "?" ? std::string()
+                                                     : receiver;
+            const bool has_reserve =
+                !recv.empty() &&
+                std::binary_search(reserved.begin(), reserved.end(), recv);
+            if (!has_reserve) {
+              fn.effects.push_back(
+                  {cap::EffectKind::kGrowContainer,
+                   recv.empty() ? name : recv + "." + name, call_line});
+            }
+          }
+        }
+      }
+    }
+    if (const auto* ne = dyn_cast<CXXNewExpr>(s)) {
+      if (ne->getNumPlacementArgs() == 0) {
+        fn.effects.push_back(
+            {cap::EffectKind::kNew, "", line_of(sm, ne->getBeginLoc())});
+      }
+    }
+    if (const auto* th = dyn_cast<CXXThrowExpr>(s)) {
+      if (th->getSubExpr() != nullptr) {
+        fn.effects.push_back(
+            {cap::EffectKind::kThrow, "", line_of(sm, th->getThrowLoc())});
+      }
+    }
+    if (const auto* tmp = dyn_cast<CXXTemporaryObjectExpr>(s)) {
+      if (is_std_record(tmp->getType(), "basic_string")) {
+        fn.effects.push_back(
+            {cap::EffectKind::kString, "", line_of(sm, tmp->getBeginLoc())});
+      }
+    }
+    if (const auto* ds = dyn_cast<DeclStmt>(s)) {
+      for (const Decl* d : ds->decls()) {
+        const auto* vd = dyn_cast<VarDecl>(d);
+        if (vd == nullptr) continue;
+        const int line = line_of(sm, vd->getTypeSpecStartLoc());
+        if (is_std_record(vd->getType(), "basic_string")) {
+          fn.effects.push_back({cap::EffectKind::kString, "", line});
+        } else if (is_std_record(vd->getType(), "function")) {
+          fn.effects.push_back({cap::EffectKind::kFunction, "", line});
+        }
+      }
+    }
+    if (const auto* me = dyn_cast<MemberExpr>(s)) {
+      touch(me->getMemberNameInfo().getAsString(),
+            line_of(sm, me->getMemberNameInfo().getLoc()), fn);
+    }
+    if (const auto* dre = dyn_cast<DeclRefExpr>(s)) {
+      touch(dre->getNameInfo().getAsString(),
+            line_of(sm, dre->getNameInfo().getLoc()), fn);
+    }
+    for (const Stmt* child : s->children()) walk(child, sm, reserved, fn);
+  }
+
+  static void touch(const std::string& name, int line, cap::Function& fn) {
+    for (const std::string& m : cap::guarded_members()) {
+      if (name == m) {
+        fn.touches.push_back({m, line});
+        return;
+      }
+    }
+  }
+
+  Sink& sink_;
+  std::set<std::string> dedup_;
+  std::map<std::string, std::vector<std::string>> reserved_by_path_;
+};
+
 auto unordered_type() {
   return qualType(hasUnqualifiedDesugaredType(recordType(hasDeclaration(
       namedDecl(hasAnyName("::std::unordered_map", "::std::unordered_set",
@@ -323,6 +585,11 @@ bool run_clang_engine(const std::vector<std::string>& paths,
   };
   MatchFinder finder;
   Callback cb(sink);
+  CapCollector capcb(sink);
+  const bool want_cap = enabled(Check::kCapThread) ||
+                        enabled(Check::kCapNoalloc) ||
+                        enabled(Check::kCapComplete);
+  if (want_cap) finder.addMatcher(functionDecl().bind("capfn"), &capcb);
   if (enabled(Check::kUnorderedIteration)) {
     finder.addMatcher(
         cxxForRangeStmt(hasRangeInit(expr(hasType(unordered_type()))))
@@ -403,6 +670,7 @@ bool run_clang_engine(const std::vector<std::string>& paths,
   tooling::ClangTool tool(*db, sources);
   tool.setPrintErrorMessage(false);
   tool.run(tooling::newFrontendActionFactory(&finder).get());
+  if (want_cap) cap::analyze(capcb.model, checks, findings);
   sort_findings(findings);
   return true;
 }
